@@ -1,0 +1,84 @@
+"""Stress workload: a CCSD-doubles-style residual through the whole
+pipeline.
+
+Five contributions to one residual (including a quadratic T2*V*T2 term)
+force: multi-term operation minimization, a five-child combine node in
+the fusion DP (exercising the sequential chain-state join), CSE, and
+per-statement distribution planning.  The paper's target users write
+exactly this kind of equation block.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ProcessorGrid, SynthesisConfig, synthesize
+from repro.chem.workloads import ccsd_doubles_program
+from repro.opmin.cost import sequence_op_count, statement_op_count
+from repro.opmin.multi_term import optimize_program
+from repro.validate import verify_result
+
+
+def test_operation_minimization(record_rows):
+    rows = []
+    for V, O in [(20, 6), (100, 20), (1000, 50)]:
+        prog = ccsd_doubles_program(V=V, O=O)
+        direct = statement_op_count(prog.statements[0])
+        optimized = sequence_op_count(optimize_program(prog))
+        assert optimized < direct
+        rows.append([f"V={V}, O={O}", direct, optimized,
+                     f"{direct / optimized:,.0f}x"])
+    record_rows(
+        "CCSD-doubles residual: direct vs optimized",
+        ["size", "direct ops", "optimized ops", "reduction"],
+        rows,
+    )
+
+
+def test_full_pipeline_verifies(record_rows):
+    prog = ccsd_doubles_program(V=5, O=3)
+    result = synthesize(prog, SynthesisConfig(optimize_cache=False))
+    report = verify_result(result)
+    assert report.ok, str(report)
+    record_rows(
+        "pipeline verification (V=5, O=3)",
+        ["check", "value"],
+        [["max |error|", f"{report.max_error:.2e}"],
+         ["measured ops", report.counters.total_ops],
+         ["formula statements", len(result.statements)]],
+    )
+
+
+def test_distribution_planning_on_grid():
+    prog = ccsd_doubles_program(V=6, O=3)
+    config = SynthesisConfig(
+        grid=ProcessorGrid((2, 2)), optimize_cache=False
+    )
+    result = synthesize(prog, config)
+    assert result.partition_plans  # per-statement plans exist
+    report = verify_result(result)
+    assert report.ok
+
+
+def test_benchmark_pipeline(benchmark):
+    prog = ccsd_doubles_program(V=6, O=3)
+    result = benchmark(
+        synthesize, prog, SynthesisConfig(optimize_cache=False)
+    )
+    assert result.statements
+
+
+def test_benchmark_wide_combine_fusion(benchmark):
+    """The five-child combine node must stay fast (the sequential
+    chain-state DP; the naive cartesian join would take minutes)."""
+    from repro.fusion.memopt import minimize_memory
+    from repro.fusion.tree import build_forest
+
+    prog = ccsd_doubles_program(V=8, O=4)
+    seq = optimize_program(prog)
+    forest = build_forest(seq)
+
+    def run():
+        return [minimize_memory(root) for root in forest]
+
+    results = benchmark(run)
+    assert sum(r.total_memory for r in results) >= 0

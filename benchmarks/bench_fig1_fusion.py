@@ -1,0 +1,64 @@
+"""E2 -- paper Fig. 1(c): fusion-based memory reduction.
+
+Reproduces: loop fusion reduces T1 to a scalar and T2 to a 2-D (O x O)
+array without changing the operation count; the fused code computes the
+same values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.workloads import fig1_formula_sequence
+from repro.engine.executor import random_inputs, run_statements
+from repro.codegen.builder import build_fused, build_unfused
+from repro.codegen.interp import execute
+from repro.codegen.loops import array_sizes, loop_op_count
+from repro.fusion.memopt import minimize_memory
+from repro.fusion.tree import build_tree
+
+
+@pytest.mark.parametrize("v,o", [(10, 4), (20, 6), (40, 10)])
+def test_fusion_memory_reduction(v, o, record_rows):
+    prog = fig1_formula_sequence(V=v, O=o)
+    root = build_tree(prog.statements)
+    result = minimize_memory(root)
+    by_array = result.memory_by_array()
+    assert by_array["T1"] == 1  # scalar, as in Fig. 1(c)
+    assert by_array["T2"] == o * o  # 2-D
+    unfused = v**4 + v * v * o * o
+    record_rows(
+        f"Fig. 1(c) memory, V={v} O={o}",
+        ["array", "unfused", "fused", "paper"],
+        [
+            ["T1", v**4, by_array["T1"], "scalar"],
+            ["T2", v * v * o * o, by_array["T2"], "2-dimensional"],
+            ["total", unfused, result.total_memory, "-"],
+        ],
+    )
+
+
+def test_fusion_preserves_op_count():
+    prog = fig1_formula_sequence(V=10, O=4)
+    root = build_tree(prog.statements)
+    result = minimize_memory(root)
+    assert loop_op_count(build_fused(result)) == loop_op_count(
+        build_unfused(prog.statements)
+    )
+
+
+def test_fused_numerics():
+    prog = fig1_formula_sequence(V=4, O=3)
+    bindings = None
+    arrays = random_inputs(prog, seed=17)
+    want = run_statements(prog.statements, arrays)["S"]
+    root = build_tree(prog.statements)
+    block = build_fused(minimize_memory(root))
+    env = execute(block, arrays)
+    np.testing.assert_allclose(env["S"], want, rtol=1e-10)
+
+
+def test_benchmark_fusion_dp(benchmark):
+    prog = fig1_formula_sequence(V=10, O=4)
+    root = build_tree(prog.statements)
+    result = benchmark(minimize_memory, root)
+    assert result.total_memory == 1 + 16

@@ -1,0 +1,75 @@
+"""E1 -- paper Section 2 / Fig. 1(a,b): operation minimization.
+
+Reproduces: direct translation of ``S = sum A*B*C*D`` costs ``4 x N^10``
+operations; the operation-minimal BDCA formula sequence costs
+``6 x N^6``; our search must find that factorization.
+"""
+
+import pytest
+
+from repro.expr.canonical import flatten
+from repro.expr.parser import parse_program
+from repro.opmin.cost import statement_op_count
+from repro.opmin.multi_term import optimize_statement
+from repro.opmin.optree import Contract, Leaf, tree_cost
+from repro.opmin.single_term import optimize_term
+from repro.opmin.cost import sequence_op_count
+
+
+def uniform_fig1(n: int):
+    return parse_program(f"""
+    range N = {n};
+    index a, b, c, d, e, f, i, j, k, l : N;
+    tensor A(a, c, i, k); tensor B(b, e, f, l);
+    tensor C(d, f, j, k); tensor D(c, d, e, l);
+    S(a, b, i, j) = sum(c, d, e, f, k, l)
+        A(a,c,i,k) * B(b,e,f,l) * C(d,f,j,k) * D(c,d,e,l);
+    """)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 64])
+def test_direct_cost_is_4_n10(n, record_rows):
+    prog = uniform_fig1(n)
+    direct = statement_op_count(prog.statements[0])
+    assert direct == 4 * n**10
+    record_rows(
+        f"direct ten-loop cost, N={n}",
+        ["N", "paper 4*N^10", "measured"],
+        [[n, 4 * n**10, direct]],
+    )
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 64])
+def test_optimized_cost_is_6_n6(n, record_rows):
+    prog = uniform_fig1(n)
+    seq = optimize_statement(prog.statements[0])
+    optimized = sequence_op_count(seq)
+    assert optimized == 6 * n**6
+    record_rows(
+        f"operation-minimal cost, N={n}",
+        ["N", "paper 6*N^6", "measured", "reduction"],
+        [[n, 6 * n**6, optimized, f"{4 * n**10 / optimized:.0f}x"]],
+    )
+
+
+def test_bdca_order_found():
+    prog = uniform_fig1(8)
+    (coef, sums, refs), = flatten(prog.statements[0].expr)
+    tree = optimize_term(refs, sums)
+
+    def leaves_first_contract(node):
+        if isinstance(node, Contract):
+            l, r = node.left, node.right
+            if isinstance(l, Leaf) and isinstance(r, Leaf):
+                return {l.ref.tensor.name, r.ref.tensor.name}
+            return leaves_first_contract(l) or leaves_first_contract(r)
+        return None
+
+    assert leaves_first_contract(tree) == {"B", "D"}
+
+
+def test_benchmark_subset_dp(benchmark):
+    prog = uniform_fig1(16)
+    (coef, sums, refs), = flatten(prog.statements[0].expr)
+    tree = benchmark(optimize_term, refs, sums)
+    assert tree_cost(tree) == 6 * 16**6

@@ -1,0 +1,69 @@
+"""E3 -- paper Fig. 2: unfused operation-minimal A3A.
+
+Reproduces the space/time table {X: (V^4, V^4 O^2), T1/T2: (V^3 O,
+Ci V^3 O), Y: (V^4, V^5 O), E: (1, V^4)} analytically at paper scale and
+by counted execution at small scale.
+"""
+
+import pytest
+
+from repro.chem.a3a import a3a_problem, fig2_structure, fig2_table, table_totals
+from repro.engine.counters import Counters
+from repro.engine.executor import random_inputs
+from repro.codegen.interp import execute
+from repro.codegen.loops import array_sizes, loop_op_count
+
+SMALL = dict(V=4, O=2, Ci=50)
+
+
+def test_fig2_table_small_scale(record_rows):
+    problem = a3a_problem(**SMALL)
+    block = fig2_structure(problem)
+    sizes = array_sizes(block)
+    table = fig2_table(**SMALL)
+    rows = []
+    for arr in ("X", "T1", "T2", "Y", "E"):
+        assert sizes[arr] == table[arr]["space"]
+        rows.append([arr, table[arr]["space"], sizes[arr], table[arr]["time"]])
+    assert loop_op_count(block) == table_totals(table)["time"]
+    record_rows(
+        "Fig. 2 space/time (V=4, O=2, Ci=50)",
+        ["array", "space (model)", "space (measured)", "time (model)"],
+        rows,
+    )
+
+
+def test_fig2_table_paper_scale(record_rows):
+    V, O, Ci = 3000, 100, 1000
+    table = fig2_table(V, O, Ci)
+    # headline claims from Section 3: T1/T2 are O(10^13-14) bytes,
+    # X/Y are O(10^14-15) bytes at V=3000..5000
+    assert table["T1"]["space"] * 8 > 1e13
+    assert table["X"]["space"] * 8 > 1e14
+    record_rows(
+        "Fig. 2 at paper scale (V=3000, O=100)",
+        ["array", "space (elements)", "bytes", "time (ops)"],
+        [
+            [a, table[a]["space"], table[a]["space"] * 8, table[a]["time"]]
+            for a in ("X", "T1", "T2", "Y", "E")
+        ],
+    )
+
+
+def test_measured_execution_counters():
+    problem = a3a_problem(**SMALL)
+    block = fig2_structure(problem)
+    inputs = random_inputs(problem.program, seed=1)
+    counters = Counters()
+    execute(block, inputs, functions=problem.functions, counters=counters)
+    assert counters.total_ops == table_totals(fig2_table(**SMALL))["time"]
+    V, O = SMALL["V"], SMALL["O"]
+    assert counters.func_evals == 2 * V**3 * O  # maximal integral reuse
+
+
+def test_benchmark_unfused_execution(benchmark):
+    problem = a3a_problem(**SMALL)
+    block = fig2_structure(problem)
+    inputs = random_inputs(problem.program, seed=1)
+    env = benchmark(execute, block, inputs, None, problem.functions)
+    assert "E" in env

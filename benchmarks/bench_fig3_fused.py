@@ -1,0 +1,82 @@
+"""E4 -- paper Fig. 3: fully-fused A3A with redundant computation.
+
+Reproduces: all temporaries reduce to scalars; integral evaluation cost
+inflates from Ci V^3 O to Ci V^5 O (a factor V^2 -- "three orders of
+magnitude" at paper scale); and the trade-off DP *discovers* this
+configuration as its minimum-memory pareto point.
+"""
+
+import pytest
+
+from repro.chem.a3a import (
+    a3a_problem,
+    fig2_table,
+    fig3_structure,
+    fig3_table,
+    table_totals,
+)
+from repro.engine.counters import Counters
+from repro.engine.executor import random_inputs
+from repro.codegen.builder import build_fused
+from repro.codegen.interp import execute
+from repro.codegen.loops import array_sizes, loop_op_count
+from repro.spacetime.tradeoff import tradeoff_search
+
+SMALL = dict(V=4, O=2, Ci=50)
+
+
+def test_fig3_table(record_rows):
+    problem = a3a_problem(**SMALL)
+    block = fig3_structure(problem)
+    sizes = array_sizes(block)
+    table = fig3_table(**SMALL)
+    rows = []
+    for arr in ("X", "T1", "T2", "Y", "E"):
+        assert sizes[arr] == 1
+        rows.append([arr, 1, sizes[arr], table[arr]["time"]])
+    assert loop_op_count(block) == table_totals(table)["time"]
+    record_rows(
+        "Fig. 3 space/time (V=4, O=2, Ci=50)",
+        ["array", "space (model)", "space (measured)", "time (model)"],
+        rows,
+    )
+
+
+def test_recompute_blowup_is_v_squared(record_rows):
+    for V, O, Ci in [(4, 2, 50), (3000, 100, 1000)]:
+        f2 = fig2_table(V, O, Ci)["T1"]["time"]
+        f3 = fig3_table(V, O, Ci)["T1"]["time"]
+        assert f3 == V**2 * f2
+    record_rows(
+        "integral-cost blowup (paper: 'three orders of magnitude')",
+        ["V", "unfused T1 time", "fused T1 time", "factor"],
+        [
+            [3000, fig2_table(3000, 100, 1000)["T1"]["time"],
+             fig3_table(3000, 100, 1000)["T1"]["time"], 3000**2],
+        ],
+    )
+
+
+def test_tradeoff_dp_discovers_fig3():
+    problem = a3a_problem(**SMALL)
+    frontier = tradeoff_search(problem.tree())
+    best = frontier[0]
+    assert best.memory == 4  # X, T1, T2, Y all scalar
+    assert best.ops == table_totals(fig3_table(**SMALL))["time"]
+
+
+def test_measured_func_evals_lose_all_reuse():
+    problem = a3a_problem(**SMALL)
+    block = fig3_structure(problem)
+    inputs = random_inputs(problem.program, seed=1)
+    counters = Counters()
+    execute(block, inputs, functions=problem.functions, counters=counters)
+    V, O = SMALL["V"], SMALL["O"]
+    assert counters.func_evals == 2 * V**5 * O
+
+
+def test_benchmark_tradeoff_search(benchmark):
+    problem = a3a_problem(**SMALL)
+    tree = problem.tree()
+    frontier = benchmark(tradeoff_search, tree)
+    assert frontier[0].memory == 4

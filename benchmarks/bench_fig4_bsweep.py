@@ -1,0 +1,88 @@
+"""E6 -- paper Section 3: the block-size sweep.
+
+    "So we can expect that as B is increased, performance will improve
+    and then level off and then deteriorate.  The optimum value of B
+    will clearly depend on the cost of access at the various levels of
+    the memory hierarchy."
+
+Reproduces the predicted U-shaped curve: modeled total time (arithmetic
++ memory-hierarchy misses on a machine model) improves with B while
+integral reuse grows, levels off once B^2 is comparable to Ci, and
+deteriorates when the B^4 temporaries exceed the capacity.  The optimum
+lies strictly inside the sweep.
+"""
+
+import pytest
+
+from repro.chem.a3a import a3a_problem, fig4_structure
+from repro.engine.machine import MachineModel, MemoryLevel
+from repro.codegen.loops import loop_op_count, total_memory
+from repro.locality.cost_model import access_cost
+
+V, O, CI = 16, 2, 64
+#: capacity between the B=4 working set and the B=8 one
+MACHINE = MachineModel(
+    cache=MemoryLevel("cache", 256, 8.0),
+    memory=MemoryLevel("memory", 3000, 2000.0),
+)
+
+
+def modeled_time(problem, B):
+    block = fig4_structure(problem, B)
+    ops = loop_op_count(block)
+    misses = access_cost(block, MACHINE.memory.capacity)
+    return (
+        MACHINE.flop_cost * ops + MACHINE.memory.miss_cost * misses,
+        ops,
+        misses,
+        total_memory(block),
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    problem = a3a_problem(V=V, O=O, Ci=CI)
+    out = {}
+    for B in (1, 2, 4, 8, 16):
+        out[B] = modeled_time(problem, B)
+    return out
+
+
+def test_curve_improves_then_deteriorates(sweep, record_rows):
+    times = {B: t[0] for B, t in sweep.items()}
+    best_B = min(times, key=times.get)
+    record_rows(
+        f"B sweep (V={V}, O={O}, Ci={CI}, mem={MACHINE.memory.capacity})",
+        ["B", "modeled time", "ops", "modeled misses", "temp memory"],
+        [[B, *sweep[B]] for B in sorted(sweep)],
+    )
+    # improves from B=1
+    assert times[2] < times[1]
+    # deteriorates at the largest block size
+    assert times[max(times)] > times[best_B]
+    # the optimum is interior
+    assert 1 < best_B < V
+
+
+def test_ops_monotone_decreasing_with_b(sweep):
+    ops = [sweep[B][1] for B in sorted(sweep)]
+    assert ops == sorted(ops, reverse=True)
+
+
+def test_memory_monotone_increasing_with_b(sweep):
+    mem = [sweep[B][3] for B in sorted(sweep)]
+    assert mem == sorted(mem)
+
+
+def test_reuse_levels_off_beyond_ci(sweep):
+    """Once B^2 exceeds Ci the arithmetic no longer improves much: the
+    op reduction from B=8 to B=16 is smaller than from B=1 to B=2."""
+    gain_early = sweep[1][1] - sweep[2][1]
+    gain_late = sweep[8][1] - sweep[16][1]
+    assert gain_late < gain_early / 10
+
+
+def test_benchmark_sweep_point(benchmark):
+    problem = a3a_problem(V=V, O=O, Ci=CI)
+    time, *_ = benchmark(modeled_time, problem, 4)
+    assert time > 0

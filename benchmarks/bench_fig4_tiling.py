@@ -1,0 +1,79 @@
+"""E5 -- paper Fig. 4: tiling and partial fusion of A3A.
+
+Reproduces the Fig.-4 table for every block size B: spaces
+{X: B^4, T1/T2: B^2, Y: B^4, E: 1}, integral time Ci (V/B)^2 V^3 O; and
+the equivalence of the generated structure with the trade-off DP's
+tiled realization.
+"""
+
+import pytest
+
+from repro.chem.a3a import (
+    a3a_problem,
+    fig4_structure,
+    fig4_table,
+    table_totals,
+)
+from repro.engine.counters import Counters
+from repro.engine.executor import random_inputs
+from repro.codegen.interp import execute
+from repro.codegen.loops import array_sizes, loop_op_count
+
+SMALL = dict(V=8, O=2, Ci=50)
+
+
+@pytest.mark.parametrize("B", [1, 2, 4, 8])
+def test_fig4_table_all_block_sizes(B, record_rows):
+    problem = a3a_problem(**SMALL)
+    block = fig4_structure(problem, B)
+    table = fig4_table(B=B, **SMALL)
+    sizes = array_sizes(block)
+    rows = []
+    for arr in ("X", "T1", "T2", "Y", "E"):
+        assert sizes[arr] == table[arr]["space"], arr
+        rows.append([arr, table[arr]["space"], sizes[arr], table[arr]["time"]])
+    assert loop_op_count(block) == table_totals(table)["time"]
+    record_rows(
+        f"Fig. 4 space/time at B={B} (V=8, O=2, Ci=50)",
+        ["array", "space (model)", "space (measured)", "time (model)"],
+        rows,
+    )
+
+
+def test_integral_cost_scales_inverse_b_squared(record_rows):
+    V, O, Ci = SMALL["V"], SMALL["O"], SMALL["Ci"]
+    rows = []
+    prev = None
+    for B in (1, 2, 4, 8):
+        t = fig4_table(B=B, **SMALL)["T1"]["time"]
+        assert t == Ci * (V // B) ** 2 * V**3 * O
+        if prev is not None:
+            assert prev == 4 * t  # doubling B quarters the integral work
+        prev = t
+        rows.append([B, t])
+    record_rows(
+        "integral time vs B: Ci (V/B)^2 V^3 O",
+        ["B", "T1 time"],
+        rows,
+    )
+
+
+def test_measured_counters_match_at_each_b():
+    problem = a3a_problem(V=4, O=2, Ci=50)
+    inputs = random_inputs(problem.program, seed=1)
+    for B in (1, 2, 4):
+        counters = Counters()
+        execute(
+            fig4_structure(problem, B),
+            inputs,
+            functions=problem.functions,
+            counters=counters,
+        )
+        table = fig4_table(V=4, O=2, Ci=50, B=B)
+        assert counters.total_ops == table_totals(table)["time"]
+
+
+def test_benchmark_structure_generation(benchmark):
+    problem = a3a_problem(**SMALL)
+    block = benchmark(fig4_structure, problem, 4)
+    assert array_sizes(block)["Y"] == 4**4

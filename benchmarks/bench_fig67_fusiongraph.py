@@ -1,0 +1,153 @@
+"""E7 -- paper Figs. 6-7: fusion graphs for the A3A computation.
+
+Reproduces the fusion-graph narrative of Section 5:
+
+* the (a,e,c,f) edges around X and the (c,e,a,f) edges around Y can all
+  become fusion edges (X and Y reduce to scalars);
+* after fusing T1's producer into Y on (c,e), T2 cannot also be fused --
+  any additional fusion edge creates partially-overlapping chains;
+* adding redundant vertices (a,f) at T1 and (c,e) at T2 enables complete
+  fusion -- and redundant vertices at only ONE of T1/T2 already suffice.
+"""
+
+import pytest
+
+from repro.chem.a3a import a3a_problem
+from repro.fusion.fusion_graph import FusionGraph
+
+SMALL = dict(V=4, O=2, Ci=50)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    problem = a3a_problem(**SMALL)
+    root = problem.tree()  # E
+    graph = FusionGraph(root)
+    nodes = {n.array.name: n for n in root.subtree() if not n.is_leaf}
+    ids = {name: graph.node_id(node) for name, node in nodes.items()}
+    ix = problem.index
+    return problem, graph, ids, ix
+
+
+def fuse(ix, *names):
+    return frozenset(ix(n) for n in names)
+
+
+def test_x_and_y_fully_fusible(setup, record_rows):
+    problem, graph, ids, ix = setup
+    fusion = {
+        (ids["E"], ids["X"]): fuse(ix, "a", "e", "c", "f"),
+        (ids["E"], ids["Y"]): fuse(ix, "a", "e", "c", "f"),
+    }
+    assert graph.feasible(fusion)
+    record_rows(
+        "Fig. 6: X and Y loops fully fusible with E",
+        ["edge", "fused indices", "feasible"],
+        [["E-X", "a,e,c,f", "yes"], ["E-Y", "a,e,c,f", "yes"]],
+    )
+
+
+def test_t1_fusible_then_t2_blocked(setup, record_rows):
+    """Paper: 'by creating fusion edges for indices (c,e), the producer
+    loop for T1 can be fully fused ... However, now the producer loop
+    for T2 cannot be fused since the addition of any fusion edge (say
+    for index a) will result in partially overlapping fusion chains'."""
+    problem, graph, ids, ix = setup
+    base = {
+        (ids["E"], ids["X"]): fuse(ix, "a", "e", "c", "f"),
+        (ids["E"], ids["Y"]): fuse(ix, "a", "e", "c", "f"),
+        (ids["Y"], ids["T1"]): fuse(ix, "c", "e"),
+    }
+    assert graph.feasible(base)
+    rows = [["T1 on (c,e)", "feasible"]]
+    for idx_name in ("a", "f"):
+        attempt = dict(base)
+        attempt[(ids["Y"], ids["T2"])] = fuse(ix, idx_name)
+        assert not graph.feasible(attempt)
+        rows.append([f"+ T2 on ({idx_name})", "infeasible (partial overlap)"])
+    record_rows("Fig. 6: T2 blocked after T1 fusion", ["fusion", "status"], rows)
+
+
+def test_redundant_vertices_enable_full_fusion(setup, record_rows):
+    """Fig. 7(a): with redundant (a,f) vertices at T1 and (c,e) at T2,
+    complete fusion chains exist without partial overlap."""
+    problem, graph, ids, ix = setup
+    graph2 = FusionGraph(problem.tree())
+    ids2 = {
+        n.array.name: graph2.node_id(n)
+        for n in graph2.root.subtree()
+        if not n.is_leaf
+    }
+    graph2.add_redundant_indices(ids2["T1"], fuse(ix, "a", "f"))
+    graph2.add_redundant_indices(ids2["T2"], fuse(ix, "c", "e"))
+    fusion = {
+        (ids2["E"], ids2["X"]): fuse(ix, "a", "e", "c", "f"),
+        (ids2["E"], ids2["Y"]): fuse(ix, "a", "e", "c", "f"),
+        (ids2["Y"], ids2["T1"]): fuse(ix, "a", "e", "c", "f", "b", "k"),
+        (ids2["Y"], ids2["T2"]): fuse(ix, "a", "e", "c", "f", "b", "k"),
+    }
+    assert graph2.feasible(fusion)
+    record_rows(
+        "Fig. 7(a): redundant vertices enable full fusion",
+        ["node", "redundant vertices", "fused"],
+        [["T1", "a,f", "a,e,c,f,b,k"], ["T2", "c,e", "a,e,c,f,b,k"]],
+    )
+
+
+def test_redundancy_at_one_producer_suffices(setup):
+    """Paper: 'the redundant computation need only be added to one of
+    T1 or T2'.  With redundant (a,f) vertices at T1 only, T2 fuses on
+    its natural (a,f,b,k) loops and Y keeps its (c,e) dimensions: the
+    chains a/f span everything, the c/e chains split into the disjoint
+    pieces {X,E} and {Y,T1}, and no partial overlap remains."""
+    problem, graph, ids, ix = setup
+    graph3 = FusionGraph(problem.tree())
+    ids3 = {
+        n.array.name: graph3.node_id(n)
+        for n in graph3.root.subtree()
+        if not n.is_leaf
+    }
+    graph3.add_redundant_indices(ids3["T1"], fuse(ix, "a", "f"))
+    fusion = {
+        (ids3["E"], ids3["X"]): fuse(ix, "a", "e", "c", "f"),
+        (ids3["E"], ids3["Y"]): fuse(ix, "a", "f"),  # Y keeps (c,e)
+        (ids3["Y"], ids3["T1"]): fuse(ix, "a", "e", "c", "f", "b", "k"),
+        (ids3["Y"], ids3["T2"]): fuse(ix, "a", "f", "b", "k"),
+    }
+    assert graph3.feasible(fusion)
+
+
+def test_one_sided_point_on_tradeoff_frontier(setup):
+    """The one-sided-redundancy configuration (memory V^2 + 3: Y is a
+    2-D (c,e) slab, X/T1/T2 scalars) appears on the trade-off pareto
+    frontier, cheaper in ops than full fusion (only T1's integrals lose
+    reuse, not T2's)."""
+    from repro.spacetime.tradeoff import tradeoff_search
+
+    problem, graph, ids, ix = setup
+    V = SMALL["V"]
+    frontier = tradeoff_search(problem.tree())
+    full = next(s for s in frontier if s.memory == 4)
+    # a small-memory point at most the one-sided configuration's size
+    # (Y slab V^2 plus three scalars) beats full fusion in operations
+    one_sided_like = [
+        s for s in frontier if 4 < s.memory <= V * V + 3 and s.ops < full.ops
+    ]
+    assert one_sided_like
+
+
+def test_potential_edges_match_common_loops(setup):
+    problem, graph, ids, ix = setup
+    pot = graph.potential_edges()
+    assert pot[(ids["E"], ids["X"])] == fuse(ix, "a", "e", "c", "f")
+    assert pot[(ids["Y"], ids["T1"])] == fuse(ix, "c", "e", "b", "k")
+
+
+def test_benchmark_feasibility_check(benchmark, setup):
+    problem, graph, ids, ix = setup
+    fusion = {
+        (ids["E"], ids["X"]): fuse(ix, "a", "e", "c", "f"),
+        (ids["E"], ids["Y"]): fuse(ix, "a", "e", "c", "f"),
+        (ids["Y"], ids["T1"]): fuse(ix, "c", "e"),
+    }
+    assert benchmark(graph.feasible, fusion)

@@ -1,0 +1,70 @@
+"""E10 extension -- logical grid-shape selection.
+
+The paper assumes a logical multi-dimensional view of the processors;
+this bench shows the synthesis system *choosing* that view: for a fixed
+processor count, the Section-7 DP is run on every grid factorization and
+the cheapest shape wins.  Tree vs linear reduction patterns are also
+compared.
+"""
+
+import pytest
+
+from repro.expr.parser import parse_program
+from repro.parallel.commcost import CommModel
+from repro.parallel.gridsearch import choose_grid, grid_shapes
+from repro.parallel.ptree import expression_to_ptree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    prog = parse_program("""
+    range M = 64; range N = 8; range K = 64;
+    index i : M; index j : N; index k : K;
+    tensor A(i, k); tensor B(k, j);
+    C(i, j) = sum(k) A(i, k) * B(k, j);
+    """)
+    return expression_to_ptree(prog.statements[0].expr)
+
+
+def test_shape_selection_table(tree, record_rows):
+    """Asymmetric extents (M=K=64 >> N=8) make the shape choice
+    non-trivial: shapes that put many processors on the long dimensions
+    should win."""
+    choice = choose_grid(tree, 16, max_dims=3)
+    rows = [
+        ["x".join(str(p) for p in shape), f"{cost:,.0f}",
+         "<-- chosen" if tuple(choice.grid.dims) == shape else ""]
+        for shape, cost in sorted(choice.table, key=lambda t: t[1])
+    ]
+    record_rows(
+        "grid shapes for 16 processors (C[64,8] = A[64,64] B[64,8])",
+        ["shape", "modeled cost", ""],
+        rows,
+    )
+    best_cost = min(cost for _, cost in choice.table)
+    assert choice.plan.total_cost == best_cost
+
+
+def test_reduction_pattern_choice(tree, record_rows):
+    rows = []
+    for pattern in ("linear", "tree"):
+        model = CommModel(reduction=pattern)
+        choice = choose_grid(tree, 16, model)
+        rows.append(
+            ["x".join(str(p) for p in choice.grid.dims), pattern,
+             f"{choice.plan.total_cost:,.0f}"]
+        )
+    record_rows(
+        "reduction pattern effect on the chosen plan",
+        ["chosen shape", "pattern", "modeled cost"],
+        rows,
+    )
+    # tree reductions never cost more than linear at the optimum
+    assert float(rows[1][2].replace(",", "")) <= float(
+        rows[0][2].replace(",", "")
+    )
+
+
+def test_benchmark_grid_search(benchmark, tree):
+    choice = benchmark(choose_grid, tree, 16)
+    assert choice.plan.total_cost > 0

@@ -1,0 +1,130 @@
+"""Scaling behaviour of the core search algorithms.
+
+Empirical growth tables for the claims the paper makes about its
+algorithms: the subset DP's O(3^n) in factors, the fusion DP's behaviour
+in tree depth and in combine-node width (the sequential chain-state join
+keeps width linear), and the distribution DP's O(q^2 |T|).
+"""
+
+import time
+
+import pytest
+
+from repro.expr.ast import Add, Mul, Statement, Sum, TensorRef
+from repro.expr.canonical import flatten
+from repro.expr.indices import Index, IndexRange
+from repro.expr.parser import parse_program
+from repro.expr.tensor import Tensor
+from repro.fusion.memopt import minimize_memory
+from repro.fusion.tree import build_tree
+from repro.opmin.single_term import optimize_term
+
+
+def ring_contraction(n_tensors: int, extent: int = 4):
+    """T0(x0,x1) T1(x1,x2) ... ring over n tensors, all inner summed."""
+    rng = IndexRange("N", extent)
+    idx = [Index(f"x{k}", rng) for k in range(n_tensors)]
+    refs = []
+    for k in range(n_tensors):
+        pair = (idx[k], idx[(k + 1) % n_tensors])
+        refs.append(TensorRef(Tensor(f"T{k}", pair), pair))
+    sums = frozenset(idx[1:])
+    return refs, sums
+
+
+def test_subset_dp_scaling(record_rows):
+    rows = []
+    prev = None
+    for n in (4, 6, 8, 10, 12):
+        refs, sums = ring_contraction(n)
+        t0 = time.perf_counter()
+        optimize_term(refs, sums)
+        dt = time.perf_counter() - t0
+        growth = f"{dt / prev:.1f}x" if prev else "-"
+        rows.append([n, f"{dt * 1000:.2f}ms", growth])
+        prev = dt
+    record_rows(
+        "subset DP over factor count (O(3^n) states)",
+        ["tensors", "time", "growth"],
+        rows,
+    )
+    # tractable well past typical term sizes
+    assert prev < 30.0
+
+
+def deep_chain(depth: int):
+    src = ["range N = 4;", "index " + ", ".join(f"x{k}" for k in range(depth + 2)) + " : N;"]
+    src.append("tensor A0(x0, x1);")
+    src.append("tensor B0(x1, x2);")
+    src.append("T0(x0, x2) = sum(x1) A0(x0, x1) * B0(x1, x2);")
+    for k in range(1, depth):
+        src.append(f"tensor B{k}(x{k + 1}, x{k + 2});")
+        src.append(
+            f"T{k}(x0, x{k + 2}) = sum(x{k + 1}) "
+            f"T{k - 1}(x0, x{k + 1}) * B{k}(x{k + 1}, x{k + 2});"
+        )
+    return parse_program("\n".join(src))
+
+
+def test_fusion_dp_depth_scaling(record_rows):
+    rows = []
+    for depth in (2, 4, 8, 12):
+        prog = deep_chain(depth)
+        root = build_tree(prog.statements)
+        t0 = time.perf_counter()
+        minimize_memory(root)
+        dt = time.perf_counter() - t0
+        rows.append([depth, f"{dt * 1000:.2f}ms"])
+    record_rows(
+        "fusion DP over chain depth (linear in nodes)",
+        ["chain depth", "time"],
+        rows,
+    )
+
+
+def wide_combine(width: int):
+    rng = IndexRange("N", 4)
+    a, b = Index("a", rng), Index("b", rng)
+    refs = []
+    statements = []
+    for k in range(width):
+        src = Tensor(f"IN{k}", (a, b))
+        temp = Tensor(f"T{k}", (a,))
+        statements.append(
+            Statement(temp, Sum((b,), TensorRef(src, (a, b))))
+        )
+        refs.append((1.0, TensorRef(temp, (a,))))
+    statements.append(Statement(Tensor("OUT", (a,)), Add(tuple(refs))))
+    return statements
+
+
+def test_fusion_dp_width_scaling(record_rows):
+    """The five-child CCSD combine motivated the sequential join; this
+    pushes width to 16 children (the cartesian join would be 5^16)."""
+    rows = []
+    for width in (2, 4, 8, 16):
+        statements = wide_combine(width)
+        root = build_tree(statements)
+        t0 = time.perf_counter()
+        result = minimize_memory(root)
+        dt = time.perf_counter() - t0
+        rows.append([width, f"{dt * 1000:.2f}ms", result.total_memory])
+        assert result.total_memory == width  # every temp fuses to scalar
+    record_rows(
+        "fusion DP over combine width (sequential chain-state join)",
+        ["children", "time", "min memory"],
+        rows,
+    )
+
+
+def test_benchmark_subset_dp_12_tensors(benchmark):
+    refs, sums = ring_contraction(12)
+    tree = benchmark(optimize_term, refs, sums)
+    assert tree is not None
+
+
+def test_benchmark_fusion_wide_16(benchmark):
+    statements = wide_combine(16)
+    root = build_tree(statements)
+    result = benchmark(minimize_memory, root)
+    assert result.total_memory == 16

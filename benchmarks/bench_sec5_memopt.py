@@ -1,0 +1,112 @@
+"""E8 -- paper Section 5: memory-minimization DP claims.
+
+Reproduces: (a) the bottom-up pareto DP returns the same minimum as
+exhaustive enumeration of all feasible fusion configurations; (b) the
+pruning keeps per-node solution-set sizes small ("there is indication
+that the pruning is effective in keeping the size of the solution set
+at each node small").
+"""
+
+import random
+
+import pytest
+
+from repro.chem.workloads import fig1_formula_sequence
+from repro.expr.ast import Mul, Statement, Sum, TensorRef
+from repro.expr.indices import Index, IndexRange
+from repro.expr.tensor import Tensor
+from repro.fusion.brute import brute_force_min_memory
+from repro.fusion.memopt import minimize_memory, ordered_subsets
+from repro.fusion.tree import build_tree
+
+
+def random_chain(seed, n_stmts=3, n_ranges=3):
+    rng = random.Random(seed)
+    extents = [rng.choice([2, 3, 5, 7]) for _ in range(n_ranges)]
+    ranges = [IndexRange(f"R{k}", e) for k, e in enumerate(extents)]
+    pool = [Index(n, ranges[k % n_ranges]) for k, n in enumerate("abcdefgh")]
+    statements = []
+    prev = None
+    for s in range(n_stmts):
+        if prev is None:
+            in_idx = tuple(rng.sample(pool, rng.randint(2, 4)))
+            body = TensorRef(Tensor(f"IN{s}", in_idx), in_idx)
+            avail = set(in_idx)
+        else:
+            other_idx = tuple(rng.sample(pool, rng.randint(2, 4)))
+            other = Tensor(f"IN{s}", other_idx)
+            body = Mul(
+                (TensorRef(prev, prev.indices), TensorRef(other, other_idx))
+            )
+            avail = set(prev.indices) | set(other_idx)
+        keep = rng.randint(1, max(1, len(avail) - 1))
+        out_idx = tuple(sorted(avail)[:keep])
+        sums = tuple(sorted(avail - set(out_idx)))
+        expr = Sum(sums, body) if sums else body
+        result = Tensor(f"N{s}", out_idx)
+        statements.append(Statement(result, expr))
+        prev = result
+    return statements
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_dp_matches_brute_force(seed):
+    statements = random_chain(seed)
+    root = build_tree(statements)
+    dp = minimize_memory(root)
+    brute, _ = brute_force_min_memory(root)
+    assert dp.total_memory == brute
+
+
+def test_fig1_dp_and_brute_agree(record_rows):
+    prog = fig1_formula_sequence(V=10, O=4)
+    root = build_tree(prog.statements)
+    dp = minimize_memory(root)
+    brute, assignment = brute_force_min_memory(root)
+    assert dp.total_memory == brute == 17
+    record_rows(
+        "Section 5 DP vs exhaustive on Fig. 1",
+        ["method", "min total temporary memory"],
+        [["pareto DP", dp.total_memory], ["exhaustive", brute]],
+    )
+
+
+def test_solution_sets_stay_small(record_rows):
+    """Per-node candidate table sizes for the A3A tree stay far below
+    the worst-case exponential bound."""
+    from repro.chem.a3a import a3a_problem
+    from repro.spacetime.tradeoff import tradeoff_search
+
+    problem = a3a_problem(V=4, O=2, Ci=50)
+    frontier = tradeoff_search(problem.tree())
+    # pareto frontier of the whole tree stays tiny (paper: pruning is
+    # effective); the worst case would be exponential in indices
+    assert len(frontier) <= 16
+    record_rows(
+        "pareto frontier size (A3A)",
+        ["tree", "frontier points"],
+        [["A3A (5 arrays, 7 indices)", len(frontier)]],
+    )
+
+
+def test_ordered_subsets_growth():
+    """The per-edge candidate count for k common indices is
+    sum_{r<=k} P(k, r) -- the DP's branching factor."""
+    base = IndexRange("N", 4)
+    for k, expect in [(1, 2), (2, 5), (3, 16), (4, 65)]:
+        indices = frozenset(Index(f"x{i}", base) for i in range(k))
+        assert len(ordered_subsets(indices)) == expect
+
+
+def test_benchmark_memopt_on_fig1(benchmark):
+    prog = fig1_formula_sequence(V=10, O=4)
+    root = build_tree(prog.statements)
+    result = benchmark(minimize_memory, root)
+    assert result.total_memory == 17
+
+
+def test_benchmark_brute_force_on_fig1(benchmark):
+    prog = fig1_formula_sequence(V=10, O=4)
+    root = build_tree(prog.statements)
+    brute, _ = benchmark(brute_force_min_memory, root)
+    assert brute == 17

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures and reproduction-report helper.
+
+Every experiment module regenerates one paper artifact (figure/table)
+and records the reproduced rows through ``record_rows`` so that running
+``pytest benchmarks/ --benchmark-only -s`` prints the same series the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+
+from repro.report import format_table
+
+
+@pytest.fixture
+def record_rows(request, capsys):
+    """Print a labelled reproduction table (visible with -s / -rA)."""
+
+    def _record(title: str, headers: Sequence[str], rows: Sequence[Sequence]):
+        text = f"\n[{request.node.name}] {title}\n"
+        text += format_table(headers, rows)
+        print(text)
+
+    return _record

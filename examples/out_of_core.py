@@ -1,0 +1,81 @@
+"""Out-of-core behaviour: measuring disk paging (paper Sections 3/6).
+
+Executes the A3A Fig.-4 structures through a page-granular LRU buffer
+pool at a fixed memory budget and prints the measured disk traffic per
+block size -- the measured counterpart of "expensive paging in and out
+of disk will be required for Y".
+
+Also shows disk-level blocking on a matrix multiply: the Section-6 tile
+search run with the *memory* capacity (disk-access minimization), with
+its decision validated by measured I/O.
+
+Usage::
+
+    python examples/out_of_core.py
+"""
+
+from repro.chem.a3a import a3a_problem, fig4_structure
+from repro.engine.executor import random_inputs
+from repro.engine.outofcore import simulate_out_of_core
+from repro.expr.parser import parse_program
+from repro.codegen.builder import build_unfused
+from repro.codegen.loops import total_memory
+from repro.locality.tile_search import optimize_locality
+from repro.report import format_table
+
+
+def main() -> None:
+    # --- A3A block-size sweep under a memory budget -----------------------
+    problem = a3a_problem(V=4, O=2, Ci=10)
+    inputs = random_inputs(problem.program, seed=0)
+    budget, page = 160, 4
+    print(f"A3A (V=4, O=2) under a {budget}-element memory budget, "
+          f"{page}-element pages:\n")
+    rows = []
+    for B in (1, 2, 4):
+        block = fig4_structure(problem, B)
+        stats = simulate_out_of_core(
+            block, inputs, budget, page, functions=problem.functions
+        )
+        rows.append(
+            [B, total_memory(block), stats.disk_reads, stats.disk_writes,
+             stats.evictions]
+        )
+    print(format_table(
+        ["B", "temp memory", "disk reads", "disk writes", "evictions"],
+        rows,
+    ))
+    print("\n(B=4's temporaries exceed the budget: the pool thrashes --")
+    print(" the paper's predicted paging cliff, measured)")
+
+    # --- disk-level blocking of a matrix multiply -------------------------
+    n = 16
+    prog = parse_program(f"""
+    range N = {n};
+    index i, j, k : N;
+    tensor A(i, k); tensor B(k, j);
+    C(i, j) = sum(k) A(i, k) * B(k, j);
+    """)
+    block = build_unfused(prog.statements)
+    arrays = random_inputs(prog, seed=1)
+    budget = 96
+    print(f"\nmatmul {n}^3 with a {budget}-element buffer pool:")
+    untiled = simulate_out_of_core(block, arrays, budget, page)
+    result = optimize_locality(block, capacity=budget)
+    tiled = simulate_out_of_core(result.structure, arrays, budget, page)
+    print(format_table(
+        ["structure", "modeled misses", "measured reads", "measured writes"],
+        [
+            ["untiled", result.baseline_cost, untiled.disk_reads,
+             untiled.disk_writes],
+            [f"blocked {dict((i.name, b) for i, b in result.tile_sizes.items())}",
+             result.cost, tiled.disk_reads, tiled.disk_writes],
+        ],
+    ))
+    assert tiled.total_io < untiled.total_io
+    print("\nthe disk-level tile search's decision is confirmed by "
+          "measured I/O  [OK]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: synthesize a parallel program from a tensor-contraction
+specification.
+
+Runs the full Fig.-5 pipeline of the paper on the Section-2 example,
+prints the per-stage report, the synthesized loop structure, and the
+generated Python code, then validates the result against a direct
+einsum evaluation.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CommModel, ProcessorGrid, SynthesisConfig, synthesize
+from repro.engine.executor import evaluate_expression, random_inputs
+
+SOURCE = """
+# The paper's Section-2 example:
+#   S[a,b,i,j] = sum_{cdefkl} A[a,c,i,k] B[b,e,f,l] C[d,f,j,k] D[c,d,e,l]
+range V = 8;
+range O = 4;
+index a, b, c, d, e, f : V;
+index i, j, k, l : O;
+tensor A(a, c, i, k);
+tensor B(b, e, f, l);
+tensor C(d, f, j, k);
+tensor D(c, d, e, l);
+S(a, b, i, j) = sum(c, d, e, f, k, l)
+    A(a,c,i,k) * B(b,e,f,l) * C(d,f,j,k) * D(c,d,e,l);
+"""
+
+
+def main() -> None:
+    config = SynthesisConfig(grid=ProcessorGrid((2, 2)), comm=CommModel())
+    result = synthesize(SOURCE, config)
+
+    print("=" * 70)
+    print("SYNTHESIS REPORT")
+    print("=" * 70)
+    print(result.describe())
+
+    print()
+    print("=" * 70)
+    print("SYNTHESIZED LOOP STRUCTURE")
+    print("=" * 70)
+    print(result.render_structure())
+
+    print()
+    print("=" * 70)
+    print("GENERATED PYTHON (first 30 lines)")
+    print("=" * 70)
+    print("\n".join(result.source.splitlines()[:30]))
+
+    print()
+    print("=" * 70)
+    print("DISTRIBUTION PLANS (Section 7)")
+    print("=" * 70)
+    for name, plan in result.partition_plans.items():
+        print(f"--- statement producing {name} ---")
+        print(plan.describe())
+
+    # validate against the reference evaluation
+    arrays = random_inputs(result.program, seed=0)
+    want = evaluate_expression(result.program.statements[0].expr, arrays)
+    kernel = result.compile()
+    got = kernel(arrays)["S"]
+    np.testing.assert_allclose(got, want, rtol=1e-9)
+    print()
+    print("validation: synthesized kernel matches einsum reference  [OK]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate every reproduction artifact:
+#   - full test suite (correctness + property tests)
+#   - every paper table/figure (benchmarks, printed with -s)
+#   - timing benchmarks
+#   - all runnable examples
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== installing =="
+pip install -e . --quiet --no-build-isolation
+
+echo "== test suite =="
+python -m pytest tests/ -q
+
+echo "== paper tables (E1-E13 + ablations) =="
+python -m pytest benchmarks/ --benchmark-disable -q -s
+
+echo "== timing benchmarks =="
+python -m pytest benchmarks/ --benchmark-only -q
+
+echo "== examples =="
+for f in examples/*.py; do
+  echo "--- $f ---"
+  python "$f" > /dev/null
+  echo "OK"
+done
+
+echo "== CLI =="
+python -m repro examples/ccsd_residual.tce --no-cache-opt > /dev/null
+echo "OK"
+
+echo "all reproduction artifacts regenerated successfully"

@@ -1,0 +1,52 @@
+"""Quantum-chemistry workloads from the paper.
+
+* :mod:`repro.chem.integrals` -- deterministic synthetic stand-ins for
+  the two-electron integral computations ``f1``, ``f2`` (cost
+  :math:`C_i` each);
+* :mod:`repro.chem.a3a` -- the CCSD(T) A3A energy component of paper
+  Section 3 with the analytic space/time tables of Figs. 2-4;
+* :mod:`repro.chem.workloads` -- additional representative contraction
+  sets (the Section-2 example, coupled-cluster-like multi-term sums).
+"""
+
+from repro.chem.integrals import make_integral, integral_table
+from repro.chem.a3a import (
+    A3AProblem,
+    a3a_problem,
+    fig2_structure,
+    fig3_structure,
+    fig4_structure,
+    fig2_table,
+    fig3_table,
+    fig4_table,
+)
+from repro.chem.workloads import (
+    ccsd_doubles_program,
+    ccsd_like_program,
+    fig1_formula_sequence,
+    fig1_program,
+    polarizability_like_program,
+    random_contraction_program,
+)
+from repro.chem.a3a_full import A3AFull, a3a_full_problem
+
+__all__ = [
+    "make_integral",
+    "integral_table",
+    "A3AProblem",
+    "a3a_problem",
+    "fig2_structure",
+    "fig3_structure",
+    "fig4_structure",
+    "fig2_table",
+    "fig3_table",
+    "fig4_table",
+    "fig1_program",
+    "fig1_formula_sequence",
+    "ccsd_like_program",
+    "ccsd_doubles_program",
+    "polarizability_like_program",
+    "random_contraction_program",
+    "A3AFull",
+    "a3a_full_problem",
+]

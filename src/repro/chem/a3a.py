@@ -1,0 +1,235 @@
+"""The CCSD(T) A3A energy component (paper Section 3, Figs. 2-4).
+
+The computation::
+
+    X[a,e,c,f] = sum(i,j) T[i,j,a,e] * T[i,j,c,f]
+    T1[c,e,b,k] = f1(c,e,b,k)          # integral, cost C_i per element
+    T2[a,f,b,k] = f2(a,f,b,k)          # integral, cost C_i per element
+    Y[c,e,a,f]  = sum(b,k) T1[c,e,b,k] * T2[a,f,b,k]
+    E           = sum(a,e,c,f) X[a,e,c,f] * Y[c,e,a,f]
+
+Three implementations from the paper:
+
+* :func:`fig2_structure` -- unfused operation-minimal form (maximal
+  memory, maximal integral reuse);
+* :func:`fig3_structure` -- fully fused with redundant computation
+  (scalar temporaries, integrals recomputed :math:`V^2`-fold);
+* :func:`fig4_structure` -- tiled partial fusion with block size ``B``
+  (the space-time compromise).
+
+``fig2_table``/``fig3_table``/``fig4_table`` give the corresponding
+space/time tables with exact operation counts under this repository's
+cost conventions (2 ops per multiply-accumulate; the paper's tables drop
+constant factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.expr.ast import Program, Statement
+from repro.expr.indices import Index
+from repro.expr.parser import parse_program
+from repro.chem.integrals import integral_table
+from repro.codegen.builder import apply_tiling, build_fused, build_unfused
+from repro.codegen.loops import Block
+from repro.fusion.memopt import FusionDecision, FusionResult
+from repro.fusion.tree import CompNode, build_tree
+
+_A3A_TEMPLATE = """
+range V = {V};
+range O = {O};
+index a, b, c, e, f : V;
+index i, j, k : O;
+tensor T(i, j, a, e);
+function f1(c, e, b, k) cost {Ci};
+function f2(a, f, b, k) cost {Ci};
+X(a, e, c, f) = sum(i, j) T(i,j,a,e) * T(i,j,c,f);
+T1(c, e, b, k) = f1(c, e, b, k);
+T2(a, f, b, k) = f2(a, f, b, k);
+Y(c, e, a, f) = sum(b, k) T1(c,e,b,k) * T2(a,f,b,k);
+E() = sum(a, e, c, f) X(a,e,c,f) * Y(c,e,a,f);
+"""
+
+
+@dataclass
+class A3AProblem:
+    """The A3A computation with its sizes and integral implementations."""
+
+    V: int
+    O: int
+    Ci: int
+    program: Program
+    functions: Dict[str, Callable] = field(default_factory=dict)
+
+    @property
+    def statements(self) -> Tuple[Statement, ...]:
+        return self.program.statements
+
+    def index(self, name: str) -> Index:
+        for stmt in self.statements:
+            for i in stmt.expr.free:
+                if i.name == name:
+                    return i
+            for ref in stmt.expr.refs():
+                for i in ref.indices:
+                    if i.name == name:
+                        return i
+        raise KeyError(name)
+
+    def tree(self) -> CompNode:
+        return build_tree(self.statements)
+
+
+def a3a_problem(V: int = 3000, O: int = 100, Ci: int = 1000) -> A3AProblem:
+    """Build the A3A problem at the given sizes (defaults: paper scale)."""
+    src = _A3A_TEMPLATE.format(V=V, O=O, Ci=Ci)
+    program = parse_program(src)
+    return A3AProblem(V, O, Ci, program, integral_table(["f1", "f2"]))
+
+
+# ---------------------------------------------------------------------------
+# the three structures
+# ---------------------------------------------------------------------------
+
+def fig2_structure(problem: A3AProblem) -> Block:
+    """Unfused operation-minimal form (paper Fig. 2)."""
+    return build_unfused(problem.statements)
+
+
+def _decisions(
+    problem: A3AProblem,
+    seqs: Mapping[str, Tuple[str, ...]],
+    orders: Mapping[str, Tuple[str, ...]],
+) -> FusionResult:
+    """Build a FusionResult from per-array fusion sequences / loop orders
+    given as index-name tuples."""
+    root = problem.tree()
+    ix = problem.index
+    decisions: Dict[int, FusionDecision] = {}
+
+    def visit(node: CompNode) -> None:
+        name = node.array.name
+        pseq = tuple(ix(n) for n in seqs.get(name, ()))
+        child_seqs = tuple(
+            tuple(ix(n) for n in seqs.get(c.array.name, ()))
+            if not c.is_leaf
+            else ()
+            for c in node.children
+        )
+        order = tuple(ix(n) for n in orders.get(name, ()))
+        if not order:
+            rest = tuple(sorted(set(node.loop_indices) - set(pseq)))
+            order = pseq + rest
+        decisions[id(node)] = FusionDecision(node, pseq, child_seqs, order)
+        for child in node.children:
+            visit(child)
+
+    visit(root)
+    from repro.fusion.memopt import reduced_size
+
+    total = 0
+    for dec in decisions.values():
+        node = dec.node
+        if node.is_leaf or node is root:
+            continue
+        total += reduced_size(node.array.indices, dec.parent_fusion)
+    return FusionResult(root, total, decisions)
+
+
+def fig3_structure(problem: A3AProblem) -> Block:
+    """Fully fused form with redundant computation (paper Fig. 3).
+
+    All temporaries become scalars; the integral evaluations lose all
+    reuse (T1 recomputed for every (a, f), T2 for every (c, e))."""
+    seqs = {
+        "X": ("a", "e", "c", "f"),
+        "Y": ("a", "e", "c", "f"),
+        "T1": ("a", "e", "c", "f", "b", "k"),
+        "T2": ("a", "e", "c", "f", "b", "k"),
+    }
+    orders = {
+        "E": ("a", "e", "c", "f"),
+        "X": ("a", "e", "c", "f", "i", "j"),
+        "Y": ("a", "e", "c", "f", "b", "k"),
+        "T1": ("a", "e", "c", "f", "b", "k"),
+        "T2": ("a", "e", "c", "f", "b", "k"),
+    }
+    return build_fused(_decisions(problem, seqs, orders))
+
+
+def fig4_structure(problem: A3AProblem, B: int) -> Block:
+    """Tiled partial fusion with block size ``B`` (paper Fig. 4).
+
+    The underlying fusion keeps X and Y as full arrays while fusing the
+    integral producers into Y's (b, k) loops; tiling the a, e, c, f
+    loops then shrinks X and Y to :math:`B^4` blocks and T1/T2 to
+    :math:`B^2` blocks, recomputing integrals once per tile pair."""
+    seqs = {
+        "X": (),
+        "Y": (),
+        "T1": ("b", "k"),
+        "T2": ("b", "k"),
+    }
+    orders = {
+        "E": ("a", "e", "c", "f"),
+        "X": ("a", "e", "c", "f", "i", "j"),
+        "Y": ("b", "k", "c", "e", "a", "f"),
+        "T1": ("b", "k", "c", "e"),
+        "T2": ("b", "k", "a", "f"),
+    }
+    fused = build_fused(_decisions(problem, seqs, orders))
+    tiles = {problem.index(n): B for n in ("a", "e", "c", "f")}
+    return apply_tiling(fused, tiles, keep_global=["E"])
+
+
+# ---------------------------------------------------------------------------
+# analytic space/time tables
+# ---------------------------------------------------------------------------
+
+def fig2_table(V: int, O: int, Ci: int) -> Dict[str, Dict[str, int]]:
+    """Exact space (elements) and time (ops) of the unfused form.
+
+    Paper's order-of-magnitude column in comments."""
+    return {
+        "X": {"space": V**4, "time": 2 * V**4 * O**2},   # V^4, V^4 O^2
+        "T1": {"space": V**3 * O, "time": Ci * V**3 * O},  # V^3 O, Ci V^3 O
+        "T2": {"space": V**3 * O, "time": Ci * V**3 * O},
+        "Y": {"space": V**4, "time": 2 * V**5 * O},       # V^4, V^5 O
+        "E": {"space": 1, "time": 2 * V**4},              # 1, V^4
+    }
+
+
+def fig3_table(V: int, O: int, Ci: int) -> Dict[str, Dict[str, int]]:
+    """Fully-fused form: all scalars, integrals recomputed V^2-fold."""
+    return {
+        "X": {"space": 1, "time": 2 * V**4 * O**2},
+        "T1": {"space": 1, "time": Ci * V**5 * O},
+        "T2": {"space": 1, "time": Ci * V**5 * O},
+        "Y": {"space": 1, "time": 2 * V**5 * O},
+        "E": {"space": 1, "time": 2 * V**4},
+    }
+
+
+def fig4_table(V: int, O: int, Ci: int, B: int) -> Dict[str, Dict[str, int]]:
+    """Tiled form at block size ``B`` (requires ``B | V`` for exactness)."""
+    if V % B != 0:
+        raise ValueError("fig4_table requires B to divide V")
+    t = V // B
+    return {
+        "X": {"space": B**4, "time": 2 * V**4 * O**2},
+        "T1": {"space": B**2, "time": Ci * t**2 * V**3 * O},
+        "T2": {"space": B**2, "time": Ci * t**2 * V**3 * O},
+        "Y": {"space": B**4, "time": 2 * V**5 * O},
+        "E": {"space": 1, "time": 2 * V**4},
+    }
+
+
+def table_totals(table: Dict[str, Dict[str, int]]) -> Dict[str, int]:
+    """Aggregate space/time of a per-array table (space excludes E's
+    output slot only if desired by the caller)."""
+    return {
+        "space": sum(row["space"] for row in table.values()),
+        "time": sum(row["time"] for row in table.values()),
+    }

@@ -1,0 +1,159 @@
+"""Representative tensor-contraction workloads.
+
+* :func:`fig1_program` -- the Section-2 four-tensor contraction
+  ``S_abij = sum A*B*C*D`` with separate V/O ranges;
+* :func:`fig1_formula_sequence` -- its paper-given BDCA factorization
+  (Fig. 1(a));
+* :func:`ccsd_like_program` -- a small multi-term coupled-cluster-style
+  residual with shared sub-contractions, exercising CSE and multi-term
+  optimization;
+* :func:`random_contraction_program` -- reproducible random workloads
+  for stress tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.expr.ast import Program
+from repro.expr.parser import parse_program
+
+
+def fig1_program(V: int = 3000, O: int = 100) -> Program:
+    """The paper's Section-2 example (single statement, 4 tensors)."""
+    return parse_program(f"""
+    range V = {V};
+    range O = {O};
+    index a, b, c, d, e, f : V;
+    index i, j, k, l : O;
+    tensor A(a, c, i, k); tensor B(b, e, f, l);
+    tensor C(d, f, j, k); tensor D(c, d, e, l);
+    S(a, b, i, j) = sum(c, d, e, f, k, l)
+        A(a,c,i,k) * B(b,e,f,l) * C(d,f,j,k) * D(c,d,e,l);
+    """)
+
+
+def fig1_formula_sequence(V: int = 3000, O: int = 100) -> Program:
+    """The operation-reduced BDCA formula sequence (paper Fig. 1(a))."""
+    return parse_program(f"""
+    range V = {V};
+    range O = {O};
+    index a, b, c, d, e, f : V;
+    index i, j, k, l : O;
+    tensor A(a, c, i, k); tensor B(b, e, f, l);
+    tensor C(d, f, j, k); tensor D(c, d, e, l);
+    T1(b, c, d, f) = sum(e, l) B(b,e,f,l) * D(c,d,e,l);
+    T2(b, c, j, k) = sum(d, f) T1(b,c,d,f) * C(d,f,j,k);
+    S(a, b, i, j) = sum(c, k) T2(b,c,j,k) * A(a,c,i,k);
+    """)
+
+
+def ccsd_like_program(V: int = 40, O: int = 10) -> Program:
+    """A compact multi-term residual in the style of CCSD equations.
+
+    Two terms share the intermediate ``sum(e) F(a,e)*T2x(e,b,i,j)``-like
+    shape after canonicalization, exercising cross-term CSE; a third
+    brings a 3-tensor chain."""
+    return parse_program(f"""
+    range V = {V};
+    range O = {O};
+    index a, b, c, e, f : V;
+    index i, j, m, n : O;
+    tensor F(a, e);
+    tensor W(m, n, i, j);
+    tensor T2x(e, b, i, j);
+    tensor T2y(a, b, m, n);
+    tensor G(a, e);
+    R(a, b, i, j) = sum(e) F(a,e) * T2x(e,b,i,j)
+                  + sum(e) G(a,e) * T2x(e,b,i,j)
+                  + sum(m, n) W(m,n,i,j) * T2y(a,b,m,n);
+    """)
+
+
+def ccsd_doubles_program(V: int = 20, O: int = 6) -> Program:
+    """A CCSD-doubles-style residual block: five contributions to one
+    residual tensor, mixing 2- and 4-index intermediates, particle and
+    hole ladders, and a quadratic T2*T2 term.
+
+    This is the stress workload for the whole pipeline: multi-term
+    optimization, CSE, a forest of computation trees (shared
+    intermediates), and per-statement distribution planning.
+    """
+    return parse_program(f"""
+    range V = {V};
+    range O = {O};
+    index a, b, c, d, e : V;
+    index i, j, k, l, m : O;
+    tensor Fae(a, e);
+    tensor Fmi(m, i);
+    tensor T2(a, b, i, j);
+    tensor Wabef(a, b, e, d);
+    tensor Wmnij(m, l, i, j);
+    tensor Vmnef(m, l, e, d);
+    R(a, b, i, j) = sum(e) Fae(a, e) * T2(e, b, i, j)
+                  - sum(m) Fmi(m, i) * T2(a, b, m, j)
+                  + sum(e, d) Wabef(a, b, e, d) * T2(e, d, i, j)
+                  + sum(m, l) Wmnij(m, l, i, j) * T2(a, b, m, l)
+                  + sum(m, l, e, d) Vmnef(m, l, e, d) * T2(a, e, i, m)
+                                  * T2(d, b, l, j);
+    """)
+
+
+def polarizability_like_program(Nv: int = 24, Nc: int = 12, Ng: int = 16) -> Program:
+    """A solid-state-physics-flavoured workload (the paper's intro also
+    motivates "computational physics codes modeling electronic
+    properties of semiconductors and metals").
+
+    Independent-particle polarizability-like object: matrix elements
+    ``M[g, v, c]`` between valence (v) and conduction (c) states on a
+    plane-wave-like basis (g), energy denominators ``D[v, c]``, and the
+    response ``Chi[g, gp] = sum_{v,c} M[g,v,c] D[v,c] M[gp,v,c]`` --
+    a three-factor contraction whose optimal evaluation hinges on
+    absorbing the diagonal ``D`` into one matrix-element factor first.
+    """
+    return parse_program(f"""
+    range G = {Ng};
+    range VAL = {Nv};
+    range CON = {Nc};
+    index g, gp : G;
+    index v : VAL;
+    index c : CON;
+    tensor M(g, v, c);
+    tensor D(v, c);
+    Chi(g, gp) = sum(v, c) M(g, v, c) * D(v, c) * M(gp, v, c);
+    """)
+
+
+def random_contraction_program(
+    seed: int,
+    n_tensors: int = 4,
+    n_indices: int = 6,
+    extents: Sequence[int] = (4, 6, 8),
+) -> Program:
+    """A reproducible random single-term contraction program."""
+    rng = random.Random(seed)
+    names = [f"x{k}" for k in range(n_indices)]
+    lines = []
+    for k, name in enumerate(names):
+        ext = rng.choice(list(extents))
+        lines.append(f"range R{k} = {ext};")
+        lines.append(f"index {name} : R{k};")
+    refs = []
+    used = set()
+    for t in range(n_tensors):
+        dims = rng.randint(1, min(3, n_indices))
+        chosen = rng.sample(names, dims)
+        used.update(chosen)
+        lines.append(f"tensor T{t}({', '.join(chosen)});")
+        refs.append(f"T{t}({','.join(chosen)})")
+    used = sorted(used)
+    n_out = rng.randint(1, max(1, len(used) - 1))
+    out = rng.sample(used, n_out)
+    sums = [n for n in used if n not in out]
+    rhs = " * ".join(refs)
+    if sums:
+        lines.append(f"S({', '.join(out)}) = sum({', '.join(sums)}) {rhs};")
+    else:
+        lines.append(f"S({', '.join(out)}) = {rhs};")
+    return parse_program("\n".join(lines))

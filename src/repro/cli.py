@@ -1,0 +1,180 @@
+"""Command-line interface: the synthesis system as a compiler.
+
+Usage::
+
+    python -m repro input.tce                      # report only
+    python -m repro input.tce --grid 2x2           # plan for a grid
+    python -m repro input.tce --show-structure     # print the loop nest
+    python -m repro input.tce --show-code          # print generated Python
+    python -m repro input.tce --emit out.py        # write the kernel
+    python -m repro input.tce --cache 32768 --memory 16777216
+
+The input file uses the high-level notation of
+:mod:`repro.expr.parser` (see ``examples/quickstart.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.engine.machine import MachineModel, MemoryLevel
+from repro.parallel.commcost import CommModel
+from repro.parallel.grid import ProcessorGrid
+from repro.pipeline import SynthesisConfig, synthesize
+
+
+def _parse_grid(text: str) -> ProcessorGrid:
+    try:
+        dims = tuple(int(p) for p in text.lower().split("x"))
+        return ProcessorGrid(dims)
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad grid {text!r}: use forms like 4 or 2x2x2"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Synthesize optimized (parallel) loop programs from tensor "
+            "contraction expressions (IPPS 2002 TCE framework)."
+        ),
+    )
+    parser.add_argument("input", help="source file (or - for stdin)")
+    parser.add_argument(
+        "--grid",
+        type=_parse_grid,
+        default=None,
+        help="processor grid, e.g. 4 or 2x2x2 (default: sequential)",
+    )
+    parser.add_argument(
+        "--processors",
+        type=int,
+        default=None,
+        help="processor count; the synthesis system picks the best "
+        "logical grid shape (alternative to --grid)",
+    )
+    parser.add_argument(
+        "--cache", type=int, default=32 * 1024,
+        help="cache capacity in elements",
+    )
+    parser.add_argument(
+        "--memory", type=int, default=16 * 1024 * 1024,
+        help="physical memory capacity in elements",
+    )
+    parser.add_argument(
+        "--disk", type=int, default=2 * 1024**3,
+        help="disk capacity in elements",
+    )
+    parser.add_argument(
+        "--capacity-level",
+        choices=("memory", "disk"),
+        default="memory",
+        help="level the fused computation must fit into",
+    )
+    parser.add_argument(
+        "--comm-cost", type=float, default=10.0,
+        help="communication cost per element (in op units)",
+    )
+    parser.add_argument(
+        "--no-cache-opt", action="store_true",
+        help="skip the data-locality tile search",
+    )
+    parser.add_argument(
+        "--show-structure", action="store_true",
+        help="print the synthesized loop structure",
+    )
+    parser.add_argument(
+        "--show-code", action="store_true",
+        help="print the generated Python source",
+    )
+    parser.add_argument(
+        "--show-plans", action="store_true",
+        help="print the chosen data distributions",
+    )
+    parser.add_argument(
+        "--emit", metavar="FILE", default=None,
+        help="write the generated Python kernel to FILE",
+    )
+    parser.add_argument(
+        "--emit-spmd", metavar="FILE", default=None,
+        help="write the generated per-rank SPMD program(s) to FILE "
+        "(requires --grid)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.input == "-":
+        source = sys.stdin.read()
+    else:
+        try:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+            return 2
+
+    machine = MachineModel(
+        cache=MemoryLevel("cache", args.cache, 8.0),
+        memory=MemoryLevel("memory", args.memory, 512.0),
+        disk=MemoryLevel("disk", args.disk, 100_000.0),
+    )
+    config = SynthesisConfig(
+        machine=machine,
+        grid=args.grid,
+        processors=args.processors,
+        comm=CommModel(comm_cost=args.comm_cost),
+        capacity_level=args.capacity_level,
+        optimize_cache=not args.no_cache_opt,
+    )
+    try:
+        result = synthesize(source, config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(result.describe())
+    if args.show_structure:
+        print("\n# synthesized loop structure")
+        print(result.render_structure())
+    if args.show_plans and result.partition_plans:
+        print("\n# distribution plans")
+        for name, plan in result.partition_plans.items():
+            print(f"-- {name} --")
+            print(plan.describe())
+    if args.show_code:
+        print("\n# generated Python")
+        print(result.source)
+    if args.emit:
+        with open(args.emit, "w", encoding="utf-8") as handle:
+            handle.write("import numpy as _np\n\n")
+            handle.write(result.source)
+        print(f"\nwrote kernel to {args.emit}")
+    if args.emit_spmd:
+        if not result.partition_plans:
+            print(
+                "error: --emit-spmd requires --grid and plannable "
+                "statements",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.parallel.spmd import generate_spmd_source
+
+        with open(args.emit_spmd, "w", encoding="utf-8") as handle:
+            for name, plan in result.partition_plans.items():
+                handle.write(f"# ==== statement producing {name} ====\n")
+                handle.write(
+                    generate_spmd_source(plan, name=f"rank_program_{name}")
+                )
+                handle.write("\n")
+        print(f"wrote SPMD program(s) to {args.emit_spmd}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Interpreter for the loop IR.
+
+Executes a loop structure element by element against numpy arrays,
+tallying measured counters (arithmetic ops, function evaluations,
+allocated elements).  Slow by design -- it exists to *validate* that
+transformed structures (fused, tiled) compute exactly what the reference
+einsum executor computes, and that measured operation counts match the
+analytic cost models.  Use small bindings.
+
+Tile-boundary semantics: when an index ``a`` is split into
+``(a_t, a_i)``, iterations whose reconstructed global value
+``a_t*B + a_i`` falls outside the index extent are skipped (the
+generated-code equivalent of an ``if a < N`` guard).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.counters import Counters
+from repro.engine.executor import FunctionImpl
+from repro.expr.indices import Bindings
+from repro.codegen.loops import (
+    Access,
+    Alloc,
+    Assign,
+    Block,
+    FuncEval,
+    Loop,
+    LoopVar,
+    ZeroArr,
+)
+
+
+def execute(
+    block: Block,
+    inputs: Mapping[str, np.ndarray],
+    bindings: Optional[Bindings] = None,
+    functions: Optional[Mapping[str, FunctionImpl]] = None,
+    counters: Optional[Counters] = None,
+    trace=None,
+) -> Dict[str, np.ndarray]:
+    """Run the structure; returns the array environment (inputs +
+    allocated arrays).
+
+    ``trace`` is an optional callback ``trace(array_name, coords,
+    is_write)`` invoked for every element access -- the hook the cache
+    simulator (:mod:`repro.locality.cache_sim`) uses to measure misses.
+    """
+    functions = functions or {}
+    counters = counters if counters is not None else Counters()
+    arrays: Dict[str, np.ndarray] = {
+        k: np.asarray(v, dtype=np.float64) for k, v in inputs.items()
+    }
+    allocated: set = set()
+    env: Dict[LoopVar, int] = {}
+
+    def sub_value(sub: Tuple[LoopVar, ...]) -> Optional[int]:
+        """Value of a subscript; None when out of the index's range."""
+        if len(sub) == 1:
+            return env[sub[0]]
+        # mixed-radix combination; the (tile, intra) pair is the only
+        # shape produced by apply_tiling
+        value = 0
+        for var in sub:
+            value = value * (
+                var.block if var.role == "intra" else var.extent(bindings)
+            )
+            value += env[var]
+        if len(sub) == 2 and sub[0].role == "tile":
+            n = sub[0].index.extent(bindings)
+            value = env[sub[0]] * sub[0].block + env[sub[1]]
+            if value >= n:
+                return None
+        return value
+
+    def guard_ok() -> bool:
+        """All (tile, intra) pairs currently in scope reconstruct valid
+        global coordinates."""
+        tiles = {}
+        intras = {}
+        for var, val in env.items():
+            if var.role == "tile":
+                tiles[var.index] = (var, val)
+            elif var.role == "intra":
+                intras[var.index] = (var, val)
+        for idx, (tvar, tval) in tiles.items():
+            hit = intras.get(idx)
+            if hit is None:
+                continue
+            if tval * tvar.block + hit[1] >= idx.extent(bindings):
+                return False
+        return True
+
+    def term_value(term) -> float:
+        if isinstance(term, FuncEval):
+            coords = []
+            for sub in term.subs:
+                v = sub_value(sub)
+                assert v is not None  # guarded before evaluation
+                coords.append(v)
+            counters.func_evals += 1
+            counters.func_ops += term.func.compute_cost
+            impl = functions.get(term.func.name)
+            if impl is None:
+                raise KeyError(
+                    f"no implementation for function {term.func.name!r}"
+                )
+            return float(impl(*coords))
+        coords = []
+        for sub in term.subs:
+            v = sub_value(sub)
+            assert v is not None
+            coords.append(v)
+        try:
+            arr = arrays[term.array]
+        except KeyError:
+            raise KeyError(f"array {term.array!r} neither input nor allocated") from None
+        if trace is not None:
+            trace(term.array, tuple(coords), False)
+        return float(arr[tuple(coords)])
+
+    def run(blk: Block) -> None:
+        for node in blk:
+            if isinstance(node, Loop):
+                var = node.var
+                for value in range(var.extent(bindings)):
+                    env[var] = value
+                    run(node.body)
+                del env[var]
+            elif isinstance(node, Alloc):
+                shape = tuple(
+                    _alloc_dim_extent(dim, bindings) for dim in node.dims
+                )
+                arrays[node.array] = np.zeros(shape)
+                if node.array not in allocated:
+                    allocated.add(node.array)
+                    size = 1
+                    for s in shape:
+                        size *= s
+                    counters.allocate(size)
+            elif isinstance(node, ZeroArr):
+                arrays[node.array][...] = 0.0
+            elif isinstance(node, Assign):
+                if not guard_ok():
+                    continue
+                value = node.coef
+                for term in node.terms:
+                    value *= term_value(term)
+                coords = tuple(
+                    sub_value(sub) for sub in node.target.subs
+                )
+                assert all(c is not None for c in coords)
+                target = arrays[node.target.array]
+                if trace is not None:
+                    trace(node.target.array, coords, True)
+                muls = max(len(node.terms) - 1, 0)
+                if node.coef not in (1.0, -1.0):
+                    muls += 1
+                if node.accumulate:
+                    target[coords] += value
+                    counters.flops += muls + 1
+                else:
+                    target[coords] = value
+                    counters.flops += muls
+            else:  # pragma: no cover - exhaustive
+                raise TypeError(f"unknown node {type(node).__name__}")
+
+    run(block)
+    return arrays
+
+
+def _alloc_dim_extent(dim: Tuple[LoopVar, ...], bindings: Optional[Bindings]) -> int:
+    """Extent of one allocated dimension."""
+    out = 1
+    for var in dim:
+        out *= var.extent(bindings)
+    if (
+        len(dim) == 2
+        and dim[0].role == "tile"
+        and dim[1].role == "intra"
+        and dim[0].index == dim[1].index
+    ):
+        out = dim[0].index.extent(bindings)
+    return out

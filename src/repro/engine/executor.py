@@ -1,0 +1,139 @@
+"""Reference dense executor.
+
+Evaluates expressions and formula sequences with ``numpy.einsum``.  This
+is the *semantic oracle* of the repository: every transformation stage
+(operation minimization, fusion, tiling, distribution) is validated by
+comparing its output against this executor on random inputs.
+
+Conventions
+-----------
+* The array stored for tensor ``T`` has its axes in the order of ``T``'s
+  *declared* index signature.
+* Results of :func:`evaluate_expression` have axes ordered by the sorted
+  free-index tuple (``sorted(expr.free)``), matching the index order that
+  :mod:`repro.opmin` gives temporaries.
+* Function tensors are materialized on the fly by calling a registered
+  callable on integer coordinate grids.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.expr.ast import Add, Expr, Mul, Program, Statement, Sum, TensorRef
+from repro.expr.canonical import flatten
+from repro.expr.indices import Bindings, Index
+
+#: Signature of a function-tensor implementation: called with integer
+#: coordinate arrays (broadcastable), returns the element values.
+FunctionImpl = Callable[..., np.ndarray]
+
+
+def _materialize_function(
+    ref: TensorRef,
+    impl: FunctionImpl,
+    bindings: Optional[Bindings],
+) -> np.ndarray:
+    """Evaluate a function tensor over the full index grid of ``ref``."""
+    shape = tuple(i.extent(bindings) for i in ref.indices)
+    grids = np.indices(shape)
+    return np.asarray(impl(*grids), dtype=np.float64)
+
+
+def _einsum_letters(indices: Sequence[Index]) -> Dict[Index, str]:
+    letters = string.ascii_letters
+    if len(indices) > len(letters):
+        raise ValueError("too many distinct indices for einsum labels")
+    return {idx: letters[k] for k, idx in enumerate(indices)}
+
+
+def evaluate_expression(
+    expr: Expr,
+    arrays: Mapping[str, np.ndarray],
+    bindings: Optional[Bindings] = None,
+    functions: Optional[Mapping[str, FunctionImpl]] = None,
+) -> np.ndarray:
+    """Evaluate ``expr`` to a dense array (axes: ``sorted(expr.free)``).
+
+    ``arrays`` maps tensor names to their stored values; ``functions``
+    maps function-tensor names to callables.
+    """
+    functions = functions or {}
+    terms = flatten(expr)  # OverflowError propagates: caller's bug
+    out_indices = tuple(sorted(expr.free))
+    out_shape = tuple(i.extent(bindings) for i in out_indices)
+    result = np.zeros(out_shape)
+    for coef, sum_indices, refs in terms:
+        all_indices = tuple(
+            sorted(set().union(*[set(r.indices) for r in refs]))
+        )
+        letters = _einsum_letters(all_indices)
+        operands = []
+        subscripts = []
+        for ref in refs:
+            if ref.tensor.is_function:
+                impl = functions.get(ref.tensor.name)
+                if impl is None:
+                    raise KeyError(
+                        f"no implementation registered for function "
+                        f"{ref.tensor.name!r}"
+                    )
+                operands.append(_materialize_function(ref, impl, bindings))
+            else:
+                try:
+                    operands.append(np.asarray(arrays[ref.tensor.name]))
+                except KeyError:
+                    raise KeyError(
+                        f"no array provided for tensor {ref.tensor.name!r}"
+                    ) from None
+            subscripts.append("".join(letters[i] for i in ref.indices))
+        out_sub = "".join(letters[i] for i in out_indices)
+        spec = ",".join(subscripts) + "->" + out_sub
+        result = result + coef * np.einsum(spec, *operands, optimize=True)
+    return result
+
+
+def run_statements(
+    statements: Sequence[Statement],
+    inputs: Mapping[str, np.ndarray],
+    bindings: Optional[Bindings] = None,
+    functions: Optional[Mapping[str, FunctionImpl]] = None,
+) -> Dict[str, np.ndarray]:
+    """Execute a formula sequence; returns all arrays (inputs + produced).
+
+    Produced arrays are stored with axes in the order of the result
+    tensor's declared signature.  ``+=`` statements accumulate into an
+    existing array (allocating zeros on first touch).
+    """
+    env: Dict[str, np.ndarray] = {k: np.asarray(v) for k, v in inputs.items()}
+    for stmt in statements:
+        value = evaluate_expression(stmt.expr, env, bindings, functions)
+        # transpose from sorted-free order to declared result order
+        sorted_order = tuple(sorted(stmt.result.indices))
+        perm = tuple(sorted_order.index(i) for i in stmt.result.indices)
+        value = np.transpose(value, perm) if perm else value
+        name = stmt.result.name
+        if stmt.accumulate:
+            if name in env:
+                env[name] = env[name] + value
+            else:
+                env[name] = value
+        else:
+            env[name] = value
+    return env
+
+
+def random_inputs(
+    program: Program,
+    bindings: Optional[Bindings] = None,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Deterministic random arrays for every input tensor of a program."""
+    rng = np.random.default_rng(seed)
+    out: Dict[str, np.ndarray] = {}
+    for tensor in program.inputs():
+        out[tensor.name] = rng.standard_normal(tensor.shape(bindings))
+    return out

@@ -1,0 +1,59 @@
+"""High-level tensor-contraction expression language (paper Section 4).
+
+This package implements the input layer of the synthesis system: index
+ranges, tensor declarations with optional symmetry annotations, the
+expression AST (sum-of-products array expressions), a small text parser
+for the high-level notation, and canonicalization utilities used for
+common-subexpression detection.
+
+The notation accepted by :func:`repro.expr.parser.parse_program` mirrors
+the paper's examples, e.g.::
+
+    range V = 3000;
+    range O = 100;
+    index a, b, c, d, e, f, l2 : V;
+    index i, j, k, l : O;
+    tensor A(a, c, i, k);
+    tensor B(b, e, f, l);
+    tensor C(d, f, j, k);
+    tensor D(c, d, e, l);
+    S(a, b, i, j) = sum(c, d, e, f, k, l) A(a,c,i,k) * B(b,e,f,l)
+                                        * C(d,f,j,k) * D(c,d,e,l);
+"""
+
+from repro.expr.indices import Index, IndexRange, Bindings, extent, total_extent
+from repro.expr.tensor import Tensor, Symmetry
+from repro.expr.ast import (
+    Expr,
+    TensorRef,
+    Mul,
+    Sum,
+    Add,
+    Statement,
+    Program,
+)
+from repro.expr.parser import parse_program, parse_expression, ParseError
+from repro.expr.canonical import canonical_key, rename_indices, free_indices
+
+__all__ = [
+    "Index",
+    "IndexRange",
+    "Bindings",
+    "extent",
+    "total_extent",
+    "Tensor",
+    "Symmetry",
+    "Expr",
+    "TensorRef",
+    "Mul",
+    "Sum",
+    "Add",
+    "Statement",
+    "Program",
+    "parse_program",
+    "parse_expression",
+    "ParseError",
+    "canonical_key",
+    "rename_indices",
+    "free_indices",
+]

@@ -1,0 +1,283 @@
+"""Expression AST for sum-of-products tensor expressions.
+
+The language of the synthesis system is a sequence of *statements*, each
+assigning a sum-of-products expression to a result tensor::
+
+    S(a,b,i,j) = sum(c,d,e,f,k,l) A(a,c,i,k)*B(b,e,f,l)*C(d,f,j,k)*D(c,d,e,l);
+
+The AST node kinds are:
+
+* :class:`TensorRef` -- a use of a declared tensor with concrete index
+  names (possibly different from the declared signature, but of matching
+  ranges);
+* :class:`Mul` -- an n-ary product of expressions;
+* :class:`Sum` -- a summation (contraction) over a set of indices;
+* :class:`Add` -- a sum of terms with scalar coefficients.
+
+All nodes are immutable.  Free-index computation is structural:
+``free(Sum) = free(body) - sum_indices``; the terms of an :class:`Add`
+must agree on their free indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+from repro.expr.indices import Bindings, Index
+from repro.expr.tensor import Tensor
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    @property
+    def free(self) -> FrozenSet[Index]:
+        """Free (un-summed) indices of this expression."""
+        raise NotImplementedError
+
+    def refs(self) -> Iterator["TensorRef"]:
+        """Iterate over all tensor references in the expression."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Immediate sub-expressions."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TensorRef(Expr):
+    """Use of a tensor with a concrete index tuple.
+
+    The reference indices must match the declared signature dimension by
+    dimension in *range* (not in name): ``A(a,c,i,k)`` may be referenced
+    as ``A(c,a,k,i)`` only if the swapped positions have equal ranges.
+    """
+
+    tensor: Tensor
+    indices: Tuple[Index, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != self.tensor.order:
+            raise ValueError(
+                f"{self.tensor.name} is {self.tensor.order}-dimensional but "
+                f"referenced with {len(self.indices)} indices"
+            )
+        for pos, (use, decl) in enumerate(zip(self.indices, self.tensor.indices)):
+            if use.range != decl.range:
+                raise ValueError(
+                    f"dimension {pos} of {self.tensor.name} has range "
+                    f"{decl.range.name} but index {use.name} has range "
+                    f"{use.range.name}"
+                )
+
+    @property
+    def free(self) -> FrozenSet[Index]:
+        return frozenset(self.indices)
+
+    def refs(self) -> Iterator["TensorRef"]:
+        yield self
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return f"{self.tensor.name}({','.join(i.name for i in self.indices)})"
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    """Product of two or more expressions."""
+
+    factors: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.factors) < 2:
+            raise ValueError("Mul needs at least two factors")
+
+    @cached_property
+    def _free(self) -> FrozenSet[Index]:
+        out: FrozenSet[Index] = frozenset()
+        for f in self.factors:
+            out |= f.free
+        return out
+
+    @property
+    def free(self) -> FrozenSet[Index]:
+        return self._free
+
+    def refs(self) -> Iterator[TensorRef]:
+        for f in self.factors:
+            yield from f.refs()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.factors
+
+    def __str__(self) -> str:
+        return " * ".join(
+            f"({f})" if isinstance(f, (Add, Sum)) else str(f) for f in self.factors
+        )
+
+
+@dataclass(frozen=True)
+class Sum(Expr):
+    """Summation (contraction) over one or more indices.
+
+    ``indices`` is kept as a sorted tuple for deterministic iteration and
+    hashing; semantically it is a set.
+    """
+
+    indices: Tuple[Index, ...]
+    body: Expr
+
+    def __post_init__(self) -> None:
+        if not self.indices:
+            raise ValueError("Sum needs at least one summation index")
+        if len(set(self.indices)) != len(self.indices):
+            raise ValueError("duplicate summation indices")
+        missing = set(self.indices) - self.body.free
+        if missing:
+            names = ", ".join(sorted(i.name for i in missing))
+            raise ValueError(f"summation indices not free in body: {names}")
+        # normalize ordering for structural equality
+        object.__setattr__(self, "indices", tuple(sorted(self.indices)))
+
+    @property
+    def free(self) -> FrozenSet[Index]:
+        return self.body.free - frozenset(self.indices)
+
+    def refs(self) -> Iterator[TensorRef]:
+        yield from self.body.refs()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        names = ",".join(i.name for i in self.indices)
+        return f"sum({names}) {self.body}"
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    """Sum of terms with scalar coefficients.
+
+    All terms must have identical free-index sets (they contribute to the
+    same result array).
+    """
+
+    terms: Tuple[Tuple[float, Expr], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.terms) < 1:
+            raise ValueError("Add needs at least one term")
+        base = self.terms[0][1].free
+        for _, term in self.terms[1:]:
+            if term.free != base:
+                got = sorted(i.name for i in term.free)
+                want = sorted(i.name for i in base)
+                raise ValueError(
+                    f"Add terms disagree on free indices: {got} vs {want}"
+                )
+
+    @property
+    def free(self) -> FrozenSet[Index]:
+        return self.terms[0][1].free
+
+    def refs(self) -> Iterator[TensorRef]:
+        for _, term in self.terms:
+            yield from term.refs()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return tuple(t for _, t in self.terms)
+
+    def __str__(self) -> str:
+        parts = []
+        for coef, term in self.terms:
+            if coef == 1.0:
+                parts.append(str(term))
+            elif coef == -1.0:
+                parts.append(f"-({term})")
+            else:
+                parts.append(f"{coef}*({term})")
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One assignment ``result(indices) = expr``.
+
+    The expression's free indices must equal the result's index set.
+    ``accumulate`` marks ``+=`` semantics (the result is added into).
+    """
+
+    result: Tensor
+    expr: Expr
+    accumulate: bool = False
+
+    def __post_init__(self) -> None:
+        lhs = frozenset(self.result.indices)
+        if self.expr.free != lhs:
+            got = sorted(i.name for i in self.expr.free)
+            want = sorted(i.name for i in lhs)
+            raise ValueError(
+                f"free indices of RHS {got} do not match LHS "
+                f"{self.result.name}{want}"
+            )
+
+    def __str__(self) -> str:
+        op = "+=" if self.accumulate else "="
+        return f"{self.result} {op} {self.expr};"
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed program: declarations plus a statement sequence."""
+
+    ranges: Tuple["IndexRangeDecl", ...] = ()
+    statements: Tuple[Statement, ...] = ()
+
+    def tensors(self) -> Tuple[Tensor, ...]:
+        """All tensors appearing in the program (inputs then results)."""
+        seen = {}
+        for stmt in self.statements:
+            for ref in stmt.expr.refs():
+                seen.setdefault(ref.tensor.name, ref.tensor)
+        for stmt in self.statements:
+            seen.setdefault(stmt.result.name, stmt.result)
+        return tuple(seen.values())
+
+    def inputs(self) -> Tuple[Tensor, ...]:
+        """Array tensors that are read but never produced by a statement.
+
+        Function tensors are excluded; see :meth:`functions`.
+        """
+        produced = {s.result.name for s in self.statements}
+        out = []
+        seen = set()
+        for stmt in self.statements:
+            for ref in stmt.expr.refs():
+                name = ref.tensor.name
+                if (
+                    name not in produced
+                    and name not in seen
+                    and not ref.tensor.is_function
+                ):
+                    seen.add(name)
+                    out.append(ref.tensor)
+        return tuple(out)
+
+    def functions(self) -> Tuple[Tensor, ...]:
+        """Primitive function evaluations referenced by the program."""
+        out = []
+        seen = set()
+        for stmt in self.statements:
+            for ref in stmt.expr.refs():
+                if ref.tensor.is_function and ref.tensor.name not in seen:
+                    seen.add(ref.tensor.name)
+                    out.append(ref.tensor)
+        return tuple(out)
+
+
+# imported late to avoid a cycle in type hints of Program
+from repro.expr.indices import IndexRange as IndexRangeDecl  # noqa: E402

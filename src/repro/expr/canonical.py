@@ -1,0 +1,332 @@
+"""Canonicalization of tensor expressions.
+
+Operation minimization creates many candidate intermediates; recognizing
+that two intermediates are the *same* computation (up to commutativity of
+``*``, renaming of summation indices, and declared tensor symmetries) is
+what enables common-subexpression elimination across terms.  This module
+computes a hashable :func:`canonical_key` with those invariances:
+
+* products are flattened and factor order is ignored;
+* nested summations over independent scopes are merged and the summation
+  index *names* are ignored (they are re-labelled canonically);
+* dimension positions inside a declared symmetric group are sorted (for
+  antisymmetric groups the permutation sign is folded into the term
+  coefficient);
+* sums of terms are sorted and equal terms are merged by coefficient.
+
+Canonical summation-index labelling uses signature refinement (a
+Weisfeiler-Lehman-style iteration on the term's index-occurrence
+hypergraph) followed by exhaustive permutation of any remaining tie
+groups, choosing the lexicographically least key.  Tie groups are tiny in
+practice; enumeration is capped and falls back to a deterministic order
+beyond the cap (which can only cause a *missed* CSE, never a wrong one,
+because the fallback order is itself a function of the refined
+signatures and the deterministic input order).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.expr.ast import Add, Expr, Mul, Statement, Sum, TensorRef
+from repro.expr.indices import Index
+
+#: Permutation-enumeration cap for breaking label ties exactly.
+_TIE_ENUM_CAP = 720
+
+#: Term-count cap when distributing Add under Mul/Sum for key purposes.
+_DISTRIBUTE_CAP = 256
+
+
+def free_indices(expr: Expr) -> FrozenSet[Index]:
+    """Free indices of ``expr`` (alias for :attr:`Expr.free`)."""
+    return expr.free
+
+
+def rename_indices(expr: Expr, mapping: Mapping[Index, Index]) -> Expr:
+    """Rebuild ``expr`` with indices substituted according to ``mapping``.
+
+    Indices not present in the mapping are left untouched.  The mapping
+    must be injective on the indices it touches within any one scope;
+    range compatibility is enforced by the AST constructors.
+    """
+    def sub(i: Index) -> Index:
+        return mapping.get(i, i)
+
+    if isinstance(expr, TensorRef):
+        return TensorRef(expr.tensor, tuple(sub(i) for i in expr.indices))
+    if isinstance(expr, Mul):
+        return Mul(tuple(rename_indices(f, mapping) for f in expr.factors))
+    if isinstance(expr, Sum):
+        return Sum(
+            tuple(sub(i) for i in expr.indices),
+            rename_indices(expr.body, mapping),
+        )
+    if isinstance(expr, Add):
+        return Add(
+            tuple((c, rename_indices(t, mapping)) for c, t in expr.terms)
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# flattening to sum-of-products normal form
+# ---------------------------------------------------------------------------
+
+#: A flat term: (coefficient, summation indices, tensor references).
+FlatTerm = Tuple[float, FrozenSet[Index], Tuple[TensorRef, ...]]
+
+
+def flatten(expr: Expr) -> List[FlatTerm]:
+    """Distribute and flatten ``expr`` into sum-of-products terms.
+
+    Raises :class:`OverflowError` if distribution would exceed the cap;
+    callers catch it and fall back to structural keys.
+    """
+    terms = _flatten(expr)
+    if len(terms) > _DISTRIBUTE_CAP:
+        raise OverflowError("distribution cap exceeded")
+    return terms
+
+
+def _flatten(expr: Expr) -> List[FlatTerm]:
+    if isinstance(expr, TensorRef):
+        return [(1.0, frozenset(), (expr,))]
+    if isinstance(expr, Add):
+        out: List[FlatTerm] = []
+        for coef, term in expr.terms:
+            for c, s, f in _flatten(term):
+                out.append((coef * c, s, f))
+            if len(out) > _DISTRIBUTE_CAP:
+                raise OverflowError("distribution cap exceeded")
+        return out
+    if isinstance(expr, Sum):
+        inner = _flatten(expr.body)
+        sum_set = frozenset(expr.indices)
+        # sum distributes over addition; scopes merge because summation
+        # indices are unique within a term
+        return [(c, s | sum_set, f) for c, s, f in inner]
+    if isinstance(expr, Mul):
+        parts = [_flatten(f) for f in expr.factors]
+        out = [(1.0, frozenset(), ())]
+        for part in parts:
+            nxt: List[FlatTerm] = []
+            for c1, s1, f1 in out:
+                for c2, s2, f2 in part:
+                    if s1 & s2:
+                        # identically-named summation indices in different
+                        # factors are distinct bound variables; keep the
+                        # expression un-distributed rather than conflate them
+                        raise OverflowError("bound-variable collision")
+                    nxt.append((c1 * c2, s1 | s2, f1 + f2))
+            if len(nxt) > _DISTRIBUTE_CAP:
+                raise OverflowError("distribution cap exceeded")
+            out = nxt
+        return out
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# canonical keys
+# ---------------------------------------------------------------------------
+
+def _position_groups(ref: TensorRef) -> List[List[int]]:
+    """Dimension positions of ``ref`` grouped by symmetry; singletons too."""
+    grouped = set()
+    groups: List[List[int]] = []
+    for sym in ref.tensor.symmetries:
+        groups.append(list(sym.positions))
+        grouped.update(sym.positions)
+    for pos in range(len(ref.indices)):
+        if pos not in grouped:
+            groups.append([pos])
+    return groups
+
+
+def _canonical_positions(ref: TensorRef) -> Dict[int, int]:
+    """Map each dimension position to its group-canonical position.
+
+    Positions inside one symmetry group are interchangeable for signature
+    purposes; they all map to the smallest position of the group.
+    """
+    out = {}
+    for group in _position_groups(ref):
+        rep = min(group)
+        for pos in group:
+            out[pos] = rep
+    return out
+
+
+def _term_key(
+    coef: float,
+    sum_indices: FrozenSet[Index],
+    refs: Sequence[TensorRef],
+) -> Tuple:
+    """Canonical key of one flat product term."""
+    # --- label indices: free keep their names, summation get refined labels
+    labels: Dict[Index, Tuple] = {}
+    for ref in refs:
+        for idx in ref.indices:
+            if idx not in sum_indices:
+                labels[idx] = ("F", idx.name)
+
+    sum_list = sorted(sum_indices)
+    # initial signature: range name + occurrence multiset
+    sigs: Dict[Index, Tuple] = {}
+    for idx in sum_list:
+        occ = []
+        for ref in refs:
+            canon = _canonical_positions(ref)
+            for pos, used in enumerate(ref.indices):
+                if used == idx:
+                    occ.append((ref.tensor.name, canon[pos]))
+        sigs[idx] = (idx.range.name, tuple(sorted(occ)))
+
+    # two rounds of refinement with neighbour labels
+    for _ in range(2):
+        new_sigs: Dict[Index, Tuple] = {}
+        for idx in sum_list:
+            neigh = []
+            for ref in refs:
+                if idx in ref.indices:
+                    row = tuple(
+                        sorted(
+                            labels[other]
+                            if other in labels
+                            else ("S",) + sigs[other]
+                            for other in ref.indices
+                            if other != idx
+                        )
+                    )
+                    neigh.append((ref.tensor.name, row))
+            new_sigs[idx] = sigs[idx] + (tuple(sorted(neigh)),)
+        sigs = new_sigs
+
+    # group summation indices by signature; enumerate permutations inside
+    # tie groups to find the lexicographically least key
+    by_sig: Dict[Tuple, List[Index]] = {}
+    for idx in sum_list:
+        by_sig.setdefault(sigs[idx], []).append(idx)
+    ordered_groups = [by_sig[s] for s in sorted(by_sig)]
+
+    combos = 1
+    for group in ordered_groups:
+        for n in range(2, len(group) + 1):
+            combos *= n
+    candidates: Iterable[Tuple[Index, ...]]
+    if combos <= _TIE_ENUM_CAP:
+        per_group = [list(itertools.permutations(g)) for g in ordered_groups]
+        candidates = (
+            tuple(itertools.chain.from_iterable(choice))
+            for choice in itertools.product(*per_group)
+        )
+    else:  # deterministic fallback: sorted order inside each group
+        candidates = (
+            tuple(itertools.chain.from_iterable(sorted(g) for g in ordered_groups)),
+        )
+
+    best: Optional[Tuple] = None
+    for order in candidates:
+        trial = dict(labels)
+        for rank, idx in enumerate(order):
+            trial[idx] = ("S", rank)
+        key, sign = _refs_key(refs, trial)
+        full = (coef * sign, len(sum_list), key)
+        if best is None or full < best:
+            best = full
+    assert best is not None
+    return best
+
+
+def _refs_key(
+    refs: Sequence[TensorRef], labels: Mapping[Index, Tuple]
+) -> Tuple[Tuple, float]:
+    """Key for a factor multiset under an index labelling, with the sign
+    accumulated from sorting antisymmetric groups."""
+    sign = 1.0
+    factor_keys = []
+    for ref in refs:
+        slots: List[Tuple] = [labels[i] for i in ref.indices]
+        for sym in ref.tensor.symmetries:
+            positions = list(sym.positions)
+            values = [slots[p] for p in positions]
+            order = sorted(range(len(values)), key=lambda k: values[k])
+            if sym.antisymmetric:
+                sign *= _permutation_sign(order)
+            for slot_pos, take in zip(positions, order):
+                slots[slot_pos] = values[take]
+        factor_keys.append((ref.tensor.name, tuple(slots)))
+    return tuple(sorted(factor_keys)), sign
+
+
+def _permutation_sign(order: Sequence[int]) -> float:
+    """Sign of the permutation given as a list of source positions."""
+    seen = [False] * len(order)
+    sign = 1.0
+    for start in range(len(order)):
+        if seen[start]:
+            continue
+        length = 0
+        pos = start
+        while not seen[pos]:
+            seen[pos] = True
+            pos = order[pos]
+            length += 1
+        if length % 2 == 0:
+            sign = -sign
+    return sign
+
+
+def _structural_key(expr: Expr) -> Tuple:
+    """Fallback key: structural, factor-order-normalized, no renaming."""
+    if isinstance(expr, TensorRef):
+        return ("ref", expr.tensor.name, tuple(i.name for i in expr.indices))
+    if isinstance(expr, Mul):
+        return ("mul", tuple(sorted(_structural_key(f) for f in expr.factors)))
+    if isinstance(expr, Sum):
+        return (
+            "sum",
+            tuple(sorted(i.name for i in expr.indices)),
+            _structural_key(expr.body),
+        )
+    if isinstance(expr, Add):
+        return (
+            "add",
+            tuple(sorted((c, _structural_key(t)) for c, t in expr.terms)),
+        )
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def canonical_key(expr: Expr) -> Tuple:
+    """Hashable key identifying ``expr`` up to the invariances above.
+
+    Two expressions with equal keys compute the same values (given the
+    same inputs); unequal keys may still be mathematically equal in rare
+    fallback cases -- safe for CSE.
+    """
+    try:
+        terms = flatten(expr)
+    except OverflowError:
+        return ("structural", _structural_key(expr))
+
+    term_keys = [_term_key(c, s, f) for c, s, f in terms]
+    # merge identical terms by coefficient
+    merged: Dict[Tuple, float] = {}
+    for key in term_keys:
+        coef, rest = key[0], key[1:]
+        merged[rest] = merged.get(rest, 0.0) + coef
+    final = tuple(
+        sorted((rest, coef) for rest, coef in merged.items() if coef != 0.0)
+    )
+    return ("sop", final)
+
+
+def statement_key(stmt: Statement) -> Tuple:
+    """Canonical key for a whole statement (result signature + expression)."""
+    return (
+        stmt.result.name,
+        tuple(i.name for i in stmt.result.indices),
+        stmt.accumulate,
+        canonical_key(stmt.expr),
+    )

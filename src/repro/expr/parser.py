@@ -1,0 +1,386 @@
+"""Parser for the high-level tensor-contraction notation.
+
+Grammar (semicolon-terminated declarations and statements)::
+
+    program   := { declaration | statement }
+    declaration :=
+        "range" NAME "=" INT ";"
+      | "index" NAME {"," NAME} ":" NAME ";"
+      | "tensor" NAME "(" NAME {"," NAME} ")" {annotation} ";"
+      | "function" NAME "(" NAME {"," NAME} ")" "cost" INT ";"
+    annotation :=
+        "symmetric" "(" INT {"," INT} ")"
+      | "antisymmetric" "(" INT {"," INT} ")"
+      | "sparse" "(" FLOAT ")"
+    statement := NAME "(" NAME {"," NAME} ")" ("=" | "+=") expr ";"
+    expr      := ["-"] term { ("+" | "-") term }
+    term      := [NUMBER "*"] factor { "*" factor }
+    factor    := "sum" "(" NAME {"," NAME} ")" factor
+               | NAME "(" NAME {"," NAME} ")"
+               | "(" expr ")"
+
+Comments run from ``#`` to end of line.  Result tensors are implicitly
+declared from their left-hand side if not declared with ``tensor``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.expr.ast import Add, Expr, Mul, Program, Statement, Sum, TensorRef
+from repro.expr.indices import Index, IndexRange
+from repro.expr.tensor import Symmetry, Tensor
+
+
+class ParseError(ValueError):
+    """Raised on malformed input, with line/column information."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NAME | NUMBER | SYMBOL | EOF
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>\#[^\n]*)
+    | (?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+    | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<symbol>\+=|[()=+\-*,;:])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            col = pos - line_start + 1
+            raise ParseError(f"unexpected character {source[pos]!r}", line, col)
+        text = match.group(0)
+        col = pos - line_start + 1
+        if match.lastgroup == "name":
+            tokens.append(_Token("NAME", text, line, col))
+        elif match.lastgroup == "number":
+            tokens.append(_Token("NUMBER", text, line, col))
+        elif match.lastgroup == "symbol":
+            tokens.append(_Token("SYMBOL", text, line, col))
+        # ws / comment: track newlines only
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rindex("\n") + 1
+        pos = match.end()
+    tokens.append(_Token("EOF", "", line, len(source) - line_start + 1))
+    return tokens
+
+
+@dataclass
+class _Env:
+    """Symbol tables built up while parsing declarations."""
+
+    ranges: Dict[str, IndexRange] = field(default_factory=dict)
+    indices: Dict[str, Index] = field(default_factory=dict)
+    tensors: Dict[str, Tensor] = field(default_factory=dict)
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], env: Optional[_Env] = None) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.env = env or _Env()
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def _next(self) -> _Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def _error(self, message: str, tok: Optional[_Token] = None) -> ParseError:
+        tok = tok or self._peek()
+        return ParseError(message, tok.line, tok.column)
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        tok = self._next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise self._error(f"expected {want!r}, got {tok.text or 'end of input'}", tok)
+        return tok
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        tok = self._peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._next()
+        return None
+
+    # -- symbol lookup ----------------------------------------------------
+
+    def _lookup_index(self, tok: _Token) -> Index:
+        try:
+            return self.env.indices[tok.text]
+        except KeyError:
+            raise self._error(f"undeclared index {tok.text!r}", tok) from None
+
+    def _name_list(self) -> List[_Token]:
+        names = [self._expect("NAME")]
+        while self._accept("SYMBOL", ","):
+            names.append(self._expect("NAME"))
+        return names
+
+    def _index_list(self) -> Tuple[Index, ...]:
+        return tuple(self._lookup_index(t) for t in self._name_list())
+
+    def _maybe_empty_index_list(self) -> Tuple[Index, ...]:
+        """Index list that may be empty: scalar results like ``E()``."""
+        if self._peek().kind == "SYMBOL" and self._peek().text == ")":
+            return ()
+        return self._index_list()
+
+    # -- declarations -----------------------------------------------------
+
+    def _parse_range_decl(self) -> None:
+        name = self._expect("NAME")
+        self._expect("SYMBOL", "=")
+        value = self._expect("NUMBER")
+        self._expect("SYMBOL", ";")
+        if name.text in self.env.ranges:
+            raise self._error(f"range {name.text!r} already declared", name)
+        try:
+            extent = int(value.text)
+        except ValueError:
+            raise self._error("range extent must be an integer", value) from None
+        self.env.ranges[name.text] = IndexRange(name.text, extent)
+
+    def _parse_index_decl(self) -> None:
+        names = self._name_list()
+        self._expect("SYMBOL", ":")
+        rng_tok = self._expect("NAME")
+        self._expect("SYMBOL", ";")
+        try:
+            rng = self.env.ranges[rng_tok.text]
+        except KeyError:
+            raise self._error(f"undeclared range {rng_tok.text!r}", rng_tok) from None
+        for tok in names:
+            if tok.text in self.env.indices:
+                raise self._error(f"index {tok.text!r} already declared", tok)
+            self.env.indices[tok.text] = Index(tok.text, rng)
+
+    def _parse_tensor_decl(self) -> None:
+        name = self._expect("NAME")
+        self._expect("SYMBOL", "(")
+        indices = self._index_list()
+        self._expect("SYMBOL", ")")
+        symmetries: List[Symmetry] = []
+        sparsity, fill = "dense", 1.0
+        while True:
+            ann = self._accept("NAME")
+            if ann is None:
+                break
+            if ann.text in ("symmetric", "antisymmetric"):
+                self._expect("SYMBOL", "(")
+                positions = tuple(
+                    int(t.text) for t in [self._expect("NUMBER")]
+                    + self._more_numbers()
+                )
+                self._expect("SYMBOL", ")")
+                symmetries.append(
+                    Symmetry(positions, antisymmetric=ann.text == "antisymmetric")
+                )
+            elif ann.text == "sparse":
+                self._expect("SYMBOL", "(")
+                fill = float(self._expect("NUMBER").text)
+                self._expect("SYMBOL", ")")
+                sparsity = "sparse"
+            else:
+                raise self._error(f"unknown tensor annotation {ann.text!r}", ann)
+        self._expect("SYMBOL", ";")
+        if name.text in self.env.tensors:
+            raise self._error(f"tensor {name.text!r} already declared", name)
+        try:
+            self.env.tensors[name.text] = Tensor(
+                name.text, indices, tuple(symmetries), sparsity, fill
+            )
+        except ValueError as exc:
+            raise self._error(str(exc), name) from None
+
+    def _parse_function_decl(self) -> None:
+        """``function f1(c, e, b, k) cost 1000;`` -- a primitive function
+        evaluation (paper Section 3's integral computations)."""
+        name = self._expect("NAME")
+        self._expect("SYMBOL", "(")
+        indices = self._index_list()
+        self._expect("SYMBOL", ")")
+        self._expect("NAME", "cost")
+        cost_tok = self._expect("NUMBER")
+        self._expect("SYMBOL", ";")
+        if name.text in self.env.tensors:
+            raise self._error(f"tensor {name.text!r} already declared", name)
+        try:
+            self.env.tensors[name.text] = Tensor(
+                name.text,
+                indices,
+                kind="function",
+                compute_cost=int(float(cost_tok.text)),
+            )
+        except ValueError as exc:
+            raise self._error(str(exc), name) from None
+
+    def _more_numbers(self) -> List[_Token]:
+        out = []
+        while self._accept("SYMBOL", ","):
+            out.append(self._expect("NUMBER"))
+        return out
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        terms: List[Tuple[float, Expr]] = []
+        sign = -1.0 if self._accept("SYMBOL", "-") else 1.0
+        terms.append(self._parse_term(sign))
+        while True:
+            if self._accept("SYMBOL", "+"):
+                terms.append(self._parse_term(1.0))
+            elif self._accept("SYMBOL", "-"):
+                terms.append(self._parse_term(-1.0))
+            else:
+                break
+        if len(terms) == 1 and terms[0][0] == 1.0:
+            return terms[0][1]
+        try:
+            return Add(tuple(terms))
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+
+    def _parse_term(self, sign: float) -> Tuple[float, Expr]:
+        coef = sign
+        tok = self._peek()
+        if tok.kind == "NUMBER":
+            self._next()
+            coef *= float(tok.text)
+            self._expect("SYMBOL", "*")
+        factors = [self._parse_factor()]
+        while self._accept("SYMBOL", "*"):
+            factors.append(self._parse_factor())
+        expr = factors[0] if len(factors) == 1 else Mul(tuple(factors))
+        return coef, expr
+
+    def _parse_factor(self) -> Expr:
+        tok = self._peek()
+        if tok.kind == "SYMBOL" and tok.text == "(":
+            self._next()
+            inner = self.parse_expr()
+            self._expect("SYMBOL", ")")
+            return inner
+        if tok.kind == "NAME" and tok.text == "sum":
+            # the summation binds the entire product that follows, matching
+            # the paper's notation: sum(c,k) T2(b,c,j,k) * A(a,c,i,k)
+            self._next()
+            self._expect("SYMBOL", "(")
+            indices = self._index_list()
+            self._expect("SYMBOL", ")")
+            factors = [self._parse_factor()]
+            while self._accept("SYMBOL", "*"):
+                factors.append(self._parse_factor())
+            body = factors[0] if len(factors) == 1 else Mul(tuple(factors))
+            try:
+                return Sum(indices, body)
+            except ValueError as exc:
+                raise self._error(str(exc), tok) from None
+        if tok.kind == "NAME":
+            self._next()
+            self._expect("SYMBOL", "(")
+            indices = self._index_list()
+            self._expect("SYMBOL", ")")
+            tensor = self.env.tensors.get(tok.text)
+            if tensor is None:
+                raise self._error(f"undeclared tensor {tok.text!r}", tok)
+            try:
+                return TensorRef(tensor, indices)
+            except ValueError as exc:
+                raise self._error(str(exc), tok) from None
+        raise self._error(f"expected a factor, got {tok.text or 'end of input'}", tok)
+
+    # -- statements / program ---------------------------------------------
+
+    def _parse_statement(self, name: _Token) -> Statement:
+        self._expect("SYMBOL", "(")
+        lhs_indices = self._maybe_empty_index_list()
+        self._expect("SYMBOL", ")")
+        op = self._next()
+        if op.kind != "SYMBOL" or op.text not in ("=", "+="):
+            raise self._error("expected '=' or '+=' in statement", op)
+        expr = self.parse_expr()
+        self._expect("SYMBOL", ";")
+        result = self.env.tensors.get(name.text)
+        if result is None:
+            result = Tensor(name.text, lhs_indices)
+            self.env.tensors[name.text] = result
+        elif result.indices != lhs_indices:
+            raise self._error(
+                f"LHS indices of {name.text!r} do not match its declaration", name
+            )
+        try:
+            return Statement(result, expr, accumulate=op.text == "+=")
+        except ValueError as exc:
+            raise self._error(str(exc), name) from None
+
+    def parse_program(self) -> Program:
+        statements: List[Statement] = []
+        while self._peek().kind != "EOF":
+            tok = self._next()
+            if tok.kind == "NAME" and tok.text == "range":
+                self._parse_range_decl()
+            elif tok.kind == "NAME" and tok.text == "index":
+                self._parse_index_decl()
+            elif tok.kind == "NAME" and tok.text == "tensor":
+                self._parse_tensor_decl()
+            elif tok.kind == "NAME" and tok.text == "function":
+                self._parse_function_decl()
+            elif tok.kind == "NAME":
+                statements.append(self._parse_statement(tok))
+            else:
+                raise self._error(
+                    f"expected a declaration or statement, got {tok.text!r}", tok
+                )
+        return Program(tuple(self.env.ranges.values()), tuple(statements))
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full program (declarations + statements)."""
+    return _Parser(_tokenize(source)).parse_program()
+
+
+def parse_expression(
+    source: str,
+    ranges: Dict[str, IndexRange],
+    indices: Dict[str, Index],
+    tensors: Dict[str, Tensor],
+) -> Expr:
+    """Parse a single expression against existing symbol tables."""
+    env = _Env(dict(ranges), dict(indices), dict(tensors))
+    parser = _Parser(_tokenize(source), env)
+    expr = parser.parse_expr()
+    tok = parser._peek()
+    if tok.kind != "EOF":
+        raise ParseError(f"trailing input {tok.text!r}", tok.line, tok.column)
+    return expr

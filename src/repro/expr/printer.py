@@ -1,0 +1,112 @@
+"""Serialization of programs back to the high-level notation.
+
+``program_to_source`` renders declarations and statements in the input
+language so that ``parse_program(program_to_source(p))`` reproduces the
+program (up to formatting).  Useful for emitting optimizer *output* as
+readable formula sequences (the paper's Fig. 1(a) form), for golden
+tests, and for shipping synthesized sequences between tools.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.expr.ast import Add, Expr, Mul, Program, Statement, Sum, TensorRef
+from repro.expr.indices import Index, IndexRange
+from repro.expr.tensor import Tensor
+
+
+def _expr_to_source(expr: Expr) -> str:
+    if isinstance(expr, TensorRef):
+        inner = ",".join(i.name for i in expr.indices)
+        return f"{expr.tensor.name}({inner})"
+    if isinstance(expr, Mul):
+        return " * ".join(
+            f"({_expr_to_source(f)})"
+            if isinstance(f, (Add, Sum))
+            else _expr_to_source(f)
+            for f in expr.factors
+        )
+    if isinstance(expr, Sum):
+        names = ",".join(i.name for i in expr.indices)
+        body = expr.body
+        if isinstance(body, Add):
+            return f"sum({names}) ({_expr_to_source(body)})"
+        return f"sum({names}) {_expr_to_source(body)}"
+    if isinstance(expr, Add):
+        parts: List[str] = []
+        for k, (coef, term) in enumerate(expr.terms):
+            text = _expr_to_source(term)
+            if isinstance(term, Add):
+                text = f"({text})"
+            if coef == 1.0:
+                parts.append(text if k == 0 else f"+ {text}")
+            elif coef == -1.0:
+                parts.append(f"- {text}" if k else f"-{text}")
+            else:
+                mag = abs(coef)
+                coef_text = (
+                    str(int(mag)) if float(mag).is_integer() else repr(mag)
+                )
+                sign = "-" if coef < 0 else ("+" if k else "")
+                lead = f"{sign} " if k else sign
+                parts.append(f"{lead}{coef_text} * {text}")
+        return " ".join(parts)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def statement_to_source(stmt: Statement) -> str:
+    lhs_inner = ",".join(i.name for i in stmt.result.indices)
+    op = "+=" if stmt.accumulate else "="
+    return f"{stmt.result.name}({lhs_inner}) {op} {_expr_to_source(stmt.expr)};"
+
+
+def _tensor_decl(tensor: Tensor) -> str:
+    inner = ",".join(i.name for i in tensor.indices)
+    if tensor.is_function:
+        return f"function {tensor.name}({inner}) cost {tensor.compute_cost};"
+    parts = [f"tensor {tensor.name}({inner})"]
+    for sym in tensor.symmetries:
+        kw = "antisymmetric" if sym.antisymmetric else "symmetric"
+        parts.append(f"{kw}({','.join(str(p) for p in sym.positions)})")
+    if tensor.sparsity == "sparse":
+        parts.append(f"sparse({tensor.fill})")
+    return " ".join(parts) + ";"
+
+
+def program_to_source(
+    program: Program, statements: Sequence[Statement] = None
+) -> str:
+    """Render a whole program (optionally with replacement statements,
+    e.g. an optimized formula sequence over the same declarations)."""
+    stmts = tuple(statements) if statements is not None else program.statements
+    lines: List[str] = []
+
+    ranges: Dict[str, IndexRange] = {}
+    indices: Dict[str, Index] = {}
+    tensors: Dict[str, Tensor] = {}
+    produced: Set[str] = set()
+    for stmt in stmts:
+        for ref in list(stmt.expr.refs()):
+            tensors.setdefault(ref.tensor.name, ref.tensor)
+            for idx in ref.indices:
+                indices.setdefault(idx.name, idx)
+                ranges.setdefault(idx.range.name, idx.range)
+        for idx in stmt.result.indices:
+            indices.setdefault(idx.name, idx)
+            ranges.setdefault(idx.range.name, idx.range)
+        produced.add(stmt.result.name)
+
+    for rng in ranges.values():
+        lines.append(f"range {rng.name} = {rng.default};")
+    by_range: Dict[str, List[str]] = {}
+    for idx in indices.values():
+        by_range.setdefault(idx.range.name, []).append(idx.name)
+    for rng_name, names in by_range.items():
+        lines.append(f"index {', '.join(sorted(names))} : {rng_name};")
+    for tensor in tensors.values():
+        if tensor.name not in produced:
+            lines.append(_tensor_decl(tensor))
+    for stmt in stmts:
+        lines.append(statement_to_source(stmt))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,163 @@
+"""Tensor declarations with symmetry and sparsity annotations.
+
+The high-level language declares each input (and output) array together
+with its index signature.  The paper notes that declarations also carry
+*symmetry* and *sparsity* information "that would be difficult or
+impossible to extract out of low-level code"; we model both:
+
+* :class:`Symmetry` records groups of mutually (anti)symmetric dimension
+  positions, e.g. the antisymmetrized two-electron integrals
+  ``<pq||rs> = -<qp||rs>``.  Canonicalization (see
+  :mod:`repro.expr.canonical`) uses symmetry groups to sort index names
+  into a normal form so that syntactically different but symmetric-equal
+  references hash identically for CSE.
+* ``sparsity`` is a free-form tag (``"dense"`` by default) consumed by
+  cost models, which scale element counts by an optional fill factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.expr.indices import Bindings, Index, total_extent
+
+
+@dataclass(frozen=True)
+class Symmetry:
+    """A group of dimension positions that are mutually (anti)symmetric.
+
+    Parameters
+    ----------
+    positions:
+        Dimension positions (0-based) that may be permuted.
+    antisymmetric:
+        ``True`` for antisymmetry (odd permutations flip sign).
+    """
+
+    positions: Tuple[int, ...]
+    antisymmetric: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.positions) < 2:
+            raise ValueError("a symmetry group needs at least two positions")
+        if len(set(self.positions)) != len(self.positions):
+            raise ValueError("symmetry group positions must be distinct")
+        if any(p < 0 for p in self.positions):
+            raise ValueError("symmetry group positions must be non-negative")
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A declared multi-dimensional array.
+
+    Parameters
+    ----------
+    name:
+        Array identifier.
+    indices:
+        Declared index signature.  The *declared* indices define the
+        dimension ranges; references in expressions may use different
+        index names of the same ranges.
+    symmetries:
+        Optional symmetry groups over dimension positions.
+    sparsity:
+        ``"dense"`` (default) or a tag such as ``"sparse"``; cost models
+        may scale dense element counts by :attr:`fill`.
+    fill:
+        Fraction of stored elements for non-dense tensors (1.0 for dense).
+    kind:
+        ``"array"`` for stored arrays, ``"function"`` for primitive
+        function evaluations (the paper's integral computations ``f1``,
+        ``f2``).  Function tensors are never stored; every reference to an
+        element recomputes it at :attr:`compute_cost` arithmetic
+        operations.
+    compute_cost:
+        Operations per element evaluation for ``kind="function"`` (the
+        paper's :math:`C_i`, on the order of 1000 for integrals).
+    """
+
+    name: str
+    indices: Tuple[Index, ...]
+    symmetries: Tuple[Symmetry, ...] = field(default=())
+    sparsity: str = "dense"
+    fill: float = 1.0
+    kind: str = "array"
+    compute_cost: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Tensor name must be non-empty")
+        if self.kind not in ("array", "function"):
+            raise ValueError(f"kind must be 'array' or 'function', got {self.kind!r}")
+        if self.kind == "function" and self.compute_cost <= 0:
+            raise ValueError("function tensors need a positive compute_cost")
+        if self.kind == "array" and self.compute_cost != 0:
+            raise ValueError("array tensors must have compute_cost 0")
+        if not 0.0 < self.fill <= 1.0:
+            raise ValueError(f"fill must be in (0, 1], got {self.fill}")
+        for group in self.symmetries:
+            for pos in group.positions:
+                if pos >= len(self.indices):
+                    raise ValueError(
+                        f"symmetry position {pos} out of bounds for "
+                        f"{self.name} with {len(self.indices)} dims"
+                    )
+            ranges = {self.indices[p].range for p in group.positions}
+            if len(ranges) > 1:
+                raise ValueError(
+                    f"symmetry group {group.positions} of tensor {self.name} "
+                    "mixes dimensions of different ranges"
+                )
+
+    @property
+    def order(self) -> int:
+        """Number of dimensions."""
+        return len(self.indices)
+
+    def size(self, bindings: Optional[Bindings] = None) -> int:
+        """Dense element count under the given range bindings."""
+        return total_extent(self.indices, bindings)
+
+    @property
+    def is_function(self) -> bool:
+        """True for primitive function evaluations (never stored)."""
+        return self.kind == "function"
+
+    def stored_size(self, bindings: Optional[Bindings] = None) -> int:
+        """Element count actually stored.
+
+        Declared symmetries reduce storage to the distinct elements: a
+        symmetric group of k dimensions over extent n stores the
+        multiset count C(n+k-1, k); an antisymmetric group stores
+        C(n, k) (the strictly-ordered tuples).  Sparsity scales by the
+        fill factor.  Function tensors occupy no storage -- their
+        elements are recomputed on every reference.
+        """
+        if self.is_function:
+            return 0
+        from math import comb
+
+        grouped = set()
+        stored = 1
+        for sym in self.symmetries:
+            k = len(sym.positions)
+            n = self.indices[sym.positions[0]].extent(bindings)
+            stored *= comb(n, k) if sym.antisymmetric else comb(n + k - 1, k)
+            grouped.update(sym.positions)
+        for pos, idx in enumerate(self.indices):
+            if pos not in grouped:
+                stored *= idx.extent(bindings)
+        return max(1, int(stored * self.fill))
+
+    def shape(self, bindings: Optional[Bindings] = None) -> Tuple[int, ...]:
+        """Concrete dense shape under the given bindings."""
+        return tuple(idx.extent(bindings) for idx in self.indices)
+
+    def symmetric_groups(self) -> Sequence[Tuple[int, ...]]:
+        """Position groups usable for canonical index sorting."""
+        return [g.positions for g in self.symmetries]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = ",".join(i.name for i in self.indices)
+        return f"{self.name}({dims})"

@@ -1,0 +1,34 @@
+"""Memory minimization by loop fusion (paper Section 5).
+
+Given a formula sequence (one loop nest per binary contraction), decide
+which loops to fuse between producer-consumer pairs so that intermediate
+arrays lose the fused dimensions and total temporary storage is minimal,
+*without changing the operation count*.
+
+Modules:
+
+* :mod:`repro.fusion.tree` -- computation trees over formula sequences;
+* :mod:`repro.fusion.fusion_graph` -- the paper's fusion-graph data
+  structure (Figs. 6-7): potential-fusion edges, fusion chains, and the
+  "scopes disjoint or nested" feasibility condition;
+* :mod:`repro.fusion.memopt` -- bottom-up dynamic programming over
+  fusion configurations (prefix-chain formulation);
+* :mod:`repro.fusion.brute` -- brute-force enumeration used to validate
+  the DP on small trees.
+"""
+
+from repro.fusion.tree import CompNode, build_tree
+from repro.fusion.fusion_graph import FusionGraph, FusionChain
+from repro.fusion.memopt import FusionDecision, FusionResult, minimize_memory
+from repro.fusion.brute import brute_force_min_memory
+
+__all__ = [
+    "CompNode",
+    "build_tree",
+    "FusionGraph",
+    "FusionChain",
+    "FusionDecision",
+    "FusionResult",
+    "minimize_memory",
+    "brute_force_min_memory",
+]

@@ -1,0 +1,95 @@
+"""Brute-force fusion enumeration (ground truth for the DP).
+
+Enumerates every per-edge *set* assignment of fused indices, checks
+feasibility with the fusion-graph scope condition (chains pairwise
+disjoint or nested), and returns the minimal total temporary storage.
+Exponential -- use on small trees only.  The DP's ordered-prefix
+formulation must agree with this scope-condition ground truth; the test
+suite compares both on random trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.expr.indices import Bindings, Index, total_extent
+from repro.fusion.fusion_graph import FusionGraph
+from repro.fusion.memopt import reduced_size
+from repro.fusion.tree import CompNode
+
+
+def brute_force_min_memory(
+    root: CompNode,
+    bindings: Optional[Bindings] = None,
+    include_output: bool = False,
+    cap: int = 2_000_000,
+) -> Tuple[int, Dict[Tuple[int, int], FrozenSet[Index]]]:
+    """Minimal total temporary memory over all feasible fusions.
+
+    Returns ``(memory, best_assignment)`` where the assignment maps
+    (parent_id, child_id) edges to fused index sets.
+    """
+    graph = FusionGraph(root)
+
+    # enumerable edges: fusible, child non-leaf; candidate sets are
+    # subsets of (common loops intersect child's array dims)
+    edges: List[Tuple[int, int]] = []
+    choices: List[List[FrozenSet[Index]]] = []
+    for p, c in graph.edges():
+        if not graph.is_fusible_edge(p, c):
+            continue
+        child = graph.node(c)
+        if child.is_leaf:
+            continue
+        parent = graph.node(p)
+        common = (
+            parent.loop_indices
+            & child.loop_indices
+            & set(child.array.indices)
+        )
+        subsets: List[FrozenSet[Index]] = [frozenset()]
+        items = sorted(common)
+        for r in range(1, len(items) + 1):
+            subsets.extend(
+                frozenset(combo) for combo in itertools.combinations(items, r)
+            )
+        edges.append((p, c))
+        choices.append(subsets)
+
+    total = 1
+    for ch in choices:
+        total *= len(ch)
+    if total > cap:
+        raise ValueError(f"brute-force space too large ({total} assignments)")
+
+    # memory contribution of each enumerable edge's child array, plus the
+    # fixed storage of arrays whose parent edge is not enumerable
+    fixed = 0
+    enumerable_children = {c for _, c in edges}
+    for nid in range(graph.n_nodes()):
+        node = graph.node(nid)
+        if node.is_leaf:
+            continue
+        if nid == graph.node_id(root):
+            if include_output:
+                fixed += total_extent(node.array.indices, bindings)
+            continue
+        if nid not in enumerable_children:
+            fixed += total_extent(node.array.indices, bindings)
+
+    best_mem: Optional[int] = None
+    best_assign: Dict[Tuple[int, int], FrozenSet[Index]] = {}
+    for combo in itertools.product(*choices):
+        assignment = dict(zip(edges, combo))
+        if not graph.feasible(assignment):
+            continue
+        mem = fixed
+        for (p, c), fused in assignment.items():
+            child = graph.node(c)
+            mem += reduced_size(child.array.indices, tuple(fused), bindings)
+        if best_mem is None or mem < best_mem:
+            best_mem = mem
+            best_assign = assignment
+    assert best_mem is not None  # empty assignment is always feasible
+    return best_mem, best_assign

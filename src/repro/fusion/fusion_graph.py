@@ -1,0 +1,177 @@
+"""The paper's fusion-graph data structure (Section 5, Figs. 6-7).
+
+For each node of a computation tree the fusion graph has one vertex per
+loop index of that node's loop nest.  A *potential fusion edge* (dashed
+in the paper) connects equal indices of a producer-consumer pair.  A
+fusion configuration turns some potential edges into *fusion edges*;
+edges for one index connected through shared nodes form a *fusion
+chain*, whose *scope* is the set of tree nodes it spans.
+
+Feasibility (the paper's characterization): **the scopes of any two
+fusion chains must be disjoint or related by inclusion** -- loops are
+either separate or nested, never partially overlapping.
+
+Redundant-computation vertices (Fig. 7(a)) may be added to a node to
+enable fusions that its natural loop set does not allow; the space-time
+module uses this to trade recomputation for memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.expr.indices import Index
+from repro.fusion.tree import CompNode
+
+#: A fusion assignment: for each (parent, child) edge, the set of fused
+#: indices.  Edges are identified by node ids (see FusionGraph.node_id).
+EdgeFusion = Mapping[Tuple[int, int], FrozenSet[Index]]
+
+
+@dataclass(frozen=True)
+class FusionChain:
+    """A maximal connected run of fusion edges for one index."""
+
+    index: Index
+    scope: FrozenSet[int]  # node ids spanned
+
+    def overlaps_partially(self, other: "FusionChain") -> bool:
+        inter = self.scope & other.scope
+        if not inter:
+            return False
+        return not (
+            self.scope <= other.scope or other.scope <= self.scope
+        )
+
+
+class FusionGraph:
+    """Fusion graph over a computation tree.
+
+    Node ids are assigned in pre-order over the tree.  The vertex set of
+    each node starts as its loop-index set and can be extended with
+    redundant indices.
+    """
+
+    def __init__(self, root: CompNode) -> None:
+        self.root = root
+        self._nodes: List[CompNode] = []
+        self._ids: Dict[int, int] = {}
+        self._parent: Dict[int, Optional[int]] = {}
+        self._fusible: Dict[Tuple[int, int], bool] = {}
+        self.vertices: Dict[int, Set[Index]] = {}
+
+        def visit(node: CompNode, parent_id: Optional[int]) -> None:
+            nid = len(self._nodes)
+            self._nodes.append(node)
+            self._ids[id(node)] = nid
+            self._parent[nid] = parent_id
+            self.vertices[nid] = set(node.loop_indices)
+            for child, ok in zip(node.children, node.fusible):
+                cid = len(self._nodes)
+                visit(child, nid)
+                self._fusible[(nid, cid)] = ok
+
+        visit(root, None)
+
+    # -- structure ----------------------------------------------------------
+
+    def node_id(self, node: CompNode) -> int:
+        return self._ids[id(node)]
+
+    def node(self, nid: int) -> CompNode:
+        return self._nodes[nid]
+
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """(parent_id, child_id) pairs, fusible or not."""
+        return sorted(self._fusible)
+
+    def is_fusible_edge(self, parent: int, child: int) -> bool:
+        return self._fusible.get((parent, child), False)
+
+    def add_redundant_indices(self, nid: int, indices: Iterable[Index]) -> None:
+        """Add redundant-loop vertices to a node (Fig. 7(a)): the node's
+        loop nest gains loops over these indices, enabling their fusion
+        at the price of recomputation."""
+        node = self._nodes[nid]
+        if node.is_leaf:
+            raise ValueError("cannot add redundant loops to a leaf")
+        self.vertices[nid].update(indices)
+
+    # -- potential edges ----------------------------------------------------
+
+    def potential_edges(self) -> Dict[Tuple[int, int], FrozenSet[Index]]:
+        """Per tree edge, the indices whose vertices could be fused."""
+        out: Dict[Tuple[int, int], FrozenSet[Index]] = {}
+        for (p, c), ok in self._fusible.items():
+            if not ok:
+                continue
+            common = frozenset(self.vertices[p] & self.vertices[c])
+            if common:
+                out[(p, c)] = common
+        return out
+
+    # -- chains and feasibility ----------------------------------------------
+
+    def chains(self, fusion: EdgeFusion) -> List[FusionChain]:
+        """Maximal fusion chains induced by an edge-fusion assignment."""
+        # collect, per index, the fused tree edges; connected components
+        # through shared endpoints form chains
+        by_index: Dict[Index, List[Tuple[int, int]]] = {}
+        for edge, indices in fusion.items():
+            for idx in indices:
+                by_index.setdefault(idx, []).append(edge)
+        chains: List[FusionChain] = []
+        for idx, edges in by_index.items():
+            nodes: Set[int] = set()
+            adj: Dict[int, Set[int]] = {}
+            for p, c in edges:
+                nodes.update((p, c))
+                adj.setdefault(p, set()).add(c)
+                adj.setdefault(c, set()).add(p)
+            seen: Set[int] = set()
+            for start in sorted(nodes):
+                if start in seen:
+                    continue
+                comp: Set[int] = set()
+                stack = [start]
+                while stack:
+                    cur = stack.pop()
+                    if cur in comp:
+                        continue
+                    comp.add(cur)
+                    stack.extend(adj.get(cur, ()))
+                seen |= comp
+                chains.append(FusionChain(idx, frozenset(comp)))
+        return chains
+
+    def validate_assignment(self, fusion: EdgeFusion) -> None:
+        """Raise ValueError for structurally invalid assignments (fusing
+        a non-fusible edge or an index missing from either endpoint)."""
+        for (p, c), indices in fusion.items():
+            if not indices:
+                continue
+            if (p, c) not in self._fusible:
+                raise ValueError(f"({p},{c}) is not a tree edge")
+            if not self._fusible[(p, c)]:
+                raise ValueError(f"edge ({p},{c}) is not fusible")
+            bad = set(indices) - (self.vertices[p] & self.vertices[c])
+            if bad:
+                names = ", ".join(sorted(i.name for i in bad))
+                raise ValueError(
+                    f"indices {names} not common to both endpoints of "
+                    f"({p},{c})"
+                )
+
+    def feasible(self, fusion: EdgeFusion) -> bool:
+        """The paper's condition: chain scopes pairwise disjoint/nested."""
+        self.validate_assignment(fusion)
+        chains = self.chains(fusion)
+        for a in range(len(chains)):
+            for b in range(a + 1, len(chains)):
+                if chains[a].overlaps_partially(chains[b]):
+                    return False
+        return True

@@ -1,0 +1,219 @@
+"""Memory-minimization dynamic program (paper Section 5).
+
+Bottom-up DP over the computation tree.  The state at a subtree root is
+the *ordered* sequence of indices fused with its parent (outermost
+first): the fused loops must be the outermost loops of the node, so any
+two fusion sequences meeting at a node must be prefixes of one common
+loop order -- equivalently, pairwise one must be a prefix of the other.
+The ordering is what rules out partially-overlapping fusion chains (see
+:mod:`repro.fusion.fusion_graph`).
+
+For every candidate parent-fusion sequence the DP keeps the minimal
+total temporary storage achievable in the subtree, merging child
+solution tables under the prefix-chain compatibility condition -- the
+paper's "pareto-optimal fusion configurations at each node" with
+(constraint, memory) as the two metrics: here the constraint *is* the
+key of the solution table, and only memory is minimized per key.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.expr.indices import Bindings, Index, total_extent
+from repro.fusion.tree import CompNode
+
+#: An ordered fusion sequence (outermost fused loop first).
+Seq = Tuple[Index, ...]
+
+
+def _is_prefix(short: Seq, long: Seq) -> bool:
+    return len(short) <= len(long) and long[: len(short)] == short
+
+
+def prefix_chain_compatible(seqs: Sequence[Seq]) -> bool:
+    """True if the sequences can all be prefixes of one loop order."""
+    ordered = sorted(seqs, key=len)
+    for a, b in zip(ordered, ordered[1:]):
+        if not _is_prefix(a, b):
+            return False
+    return True
+
+
+def ordered_subsets(indices: FrozenSet[Index], cap: int = 50000) -> List[Seq]:
+    """All ordered subsets (permutations of subsets) of an index set."""
+    items = sorted(indices)
+    out: List[Seq] = [()]
+    for r in range(1, len(items) + 1):
+        for combo in itertools.permutations(items, r):
+            out.append(combo)
+            if len(out) > cap:
+                raise ValueError(
+                    f"fusion search space too large ({len(items)} candidate "
+                    "indices on one edge)"
+                )
+    return out
+
+
+def reduced_size(
+    array_indices: Sequence[Index],
+    fused: Seq,
+    bindings: Optional[Bindings] = None,
+) -> int:
+    """Array size after eliminating fused dimensions."""
+    drop = set(fused)
+    return total_extent([i for i in array_indices if i not in drop], bindings)
+
+
+@dataclass
+class FusionDecision:
+    """Chosen fusion for one tree node: the sequence on the parent edge
+    and, per child, the sequence on that child edge."""
+
+    node: CompNode
+    parent_fusion: Seq
+    child_fusions: Tuple[Seq, ...]
+    loop_order: Tuple[Index, ...] = ()
+
+
+@dataclass
+class FusionResult:
+    """Outcome of the DP for one tree."""
+
+    root: CompNode
+    total_memory: int
+    decisions: Dict[int, FusionDecision]  # keyed by id(node)
+    bindings: Optional[Bindings] = None
+
+    def fusion_of(self, node: CompNode) -> Seq:
+        return self.decisions[id(node)].parent_fusion
+
+    def array_dims(self, node: CompNode) -> Tuple[Index, ...]:
+        """Remaining dimensions of the node's array after fusion."""
+        fused = set(self.fusion_of(node))
+        return tuple(i for i in node.array.indices if i not in fused)
+
+    def memory_by_array(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for node_key, dec in self.decisions.items():
+            node = dec.node
+            if node.is_leaf:
+                continue
+            out[node.array.name] = reduced_size(
+                node.array.indices, dec.parent_fusion, self.bindings
+            )
+        return out
+
+
+def minimize_memory(
+    root: CompNode,
+    bindings: Optional[Bindings] = None,
+    include_output: bool = False,
+) -> FusionResult:
+    """Run the fusion DP; returns the minimal-total-memory configuration.
+
+    ``include_output=False`` (default) excludes the root's result array
+    from the objective -- it must be stored anyway; the paper's metric
+    is temporary storage.
+    """
+    # solution tables: per node, {parent_seq: (memory, child_seq_choices)}
+    tables: Dict[int, Dict[Seq, Tuple[int, Tuple[Seq, ...]]]] = {}
+
+    def solve(node: CompNode) -> Dict[Seq, Tuple[int, Tuple[Seq, ...]]]:
+        cached = tables.get(id(node))
+        if cached is not None:
+            return cached
+        if node.is_leaf:
+            # leaves hold no temporary storage and fuse with nothing
+            table = {(): (0, ())}
+            tables[id(node)] = table
+            return table
+
+        child_tables: List[Dict[Seq, Tuple[int, Tuple[Seq, ...]]]] = []
+        child_options: List[List[Seq]] = []
+        for child, ok in zip(node.children, node.fusible):
+            tab = solve(child)
+            child_tables.append(tab)
+            if not ok or child.is_leaf:
+                child_options.append([()])
+                continue
+            common = node.common_indices(child) & set(
+                child.array.indices
+            )
+            opts = [
+                seq
+                for seq in ordered_subsets(frozenset(common))
+                if seq in tab
+            ]
+            child_options.append(opts or [()])
+
+        # candidate parent sequences: ordered subsets of the node's
+        # array dimensions that are also loops of the node
+        parent_cands = ordered_subsets(
+            frozenset(set(node.array.indices) & node.loop_indices)
+        )
+
+        # sequential DP over children instead of a cartesian product:
+        # any family of sequences meeting at a node must be pairwise
+        # prefix-comparable, i.e. all prefixes of the longest one --
+        # so "the longest sequence so far" is a sufficient state.
+        states: Dict[Seq, Tuple[int, Tuple[Seq, ...]]] = {(): (0, ())}
+        for k, opts in enumerate(child_options):
+            new_states: Dict[Seq, Tuple[int, Tuple[Seq, ...]]] = {}
+            for longest, (mem, picks) in states.items():
+                for seq in opts:
+                    if _is_prefix(seq, longest):
+                        new_longest = longest
+                    elif _is_prefix(longest, seq):
+                        new_longest = seq
+                    else:
+                        continue
+                    total = mem + child_tables[k][seq][0]
+                    cur = new_states.get(new_longest)
+                    if cur is None or total < cur[0]:
+                        new_states[new_longest] = (total, picks + (seq,))
+            states = new_states
+
+        table: Dict[Seq, Tuple[int, Tuple[Seq, ...]]] = {}
+        for pseq in parent_cands:
+            own = reduced_size(node.array.indices, pseq, bindings)
+            for longest, (mem, picks) in states.items():
+                if not (
+                    _is_prefix(pseq, longest) or _is_prefix(longest, pseq)
+                ):
+                    continue
+                total = mem + own
+                cur = table.get(pseq)
+                if cur is None or total < cur[0]:
+                    table[pseq] = (total, picks)
+        tables[id(node)] = table
+        return table
+
+    root_table = solve(root)
+    best_mem, best_children = root_table[()]
+    if not include_output:
+        best_mem -= total_extent(root.array.indices, bindings)
+
+    # reconstruct decisions top-down
+    decisions: Dict[int, FusionDecision] = {}
+
+    def reconstruct(node: CompNode, pseq: Seq) -> None:
+        if node.is_leaf:
+            decisions[id(node)] = FusionDecision(node, pseq, ())
+            return
+        _, child_seqs = tables[id(node)][pseq]
+        chain = sorted([pseq, *child_seqs], key=len)
+        longest = chain[-1] if chain else ()
+        rest = tuple(
+            sorted(i for i in node.loop_indices if i not in set(longest))
+        )
+        decisions[id(node)] = FusionDecision(
+            node, pseq, child_seqs, loop_order=longest + rest
+        )
+        for child, cseq in zip(node.children, child_seqs):
+            reconstruct(child, cseq)
+
+    reconstruct(root, ())
+    return FusionResult(root, best_mem, decisions, bindings)

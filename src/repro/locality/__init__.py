@@ -1,0 +1,32 @@
+"""Data-locality optimization (paper Section 6).
+
+Given a memory-reduced (fused) loop structure, choose loop blockings
+that maximize data reuse at a level of the memory hierarchy:
+
+* :mod:`repro.locality.cost_model` -- the paper's memory-access cost
+  model: a bottom-up traversal counting, for each loop, the number of
+  distinct elements accessed in its scope (``Accesses``); if they fit in
+  the cache the loop costs ``Accesses``, otherwise the loop range times
+  the cost of its inner loops;
+* :mod:`repro.locality.tile_search` -- the doubling tile-size search
+  (:math:`T_i = 1, 2, 4, \\ldots, N_i`) minimizing the modeled cost;
+  applied with the cache capacity for cache blocking or the physical
+  memory capacity for disk-access minimization.
+"""
+
+from repro.locality.cost_model import access_cost, loop_accesses
+from repro.locality.tile_search import LocalityResult, optimize_locality
+from repro.locality.permute import PermuteResult, optimize_loop_order
+from repro.locality.cache_sim import CacheStats, LRUCache, simulate_cache
+
+__all__ = [
+    "access_cost",
+    "loop_accesses",
+    "LocalityResult",
+    "optimize_locality",
+    "PermuteResult",
+    "optimize_loop_order",
+    "CacheStats",
+    "LRUCache",
+    "simulate_cache",
+]

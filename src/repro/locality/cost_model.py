@@ -1,0 +1,78 @@
+"""The Section-6 memory-access cost model.
+
+    "We introduce a memory access cost model (Cost), an estimate on the
+    number of cache misses, as a function of tile sizes and loop bounds.
+    In a bottom-up traversal of the abstract syntax tree, we count for
+    each loop the number (Accesses) of distinct array elements accessed
+    in its scope.  If this number is smaller than the number of elements
+    that fit into the cache, then Cost = Accesses.  Otherwise, it means
+    that the elements in the cache are not reused from one loop
+    iteration to the next, and the cost is obtained by multiplying the
+    loop range by the cost of its inner loop(s)."
+
+The model is applied to our loop IR.  For disk-access minimization the
+same function is called with the physical-memory capacity instead of the
+cache capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.expr.indices import Bindings
+from repro.codegen.loops import (
+    Access,
+    Assign,
+    Block,
+    FuncEval,
+    Loop,
+    LoopVar,
+    Node,
+    distinct_accesses,
+)
+
+
+def loop_accesses(
+    node: Loop, bindings: Optional[Bindings] = None
+) -> int:
+    """``Accesses``: distinct elements touched in one full execution of
+    the loop (outer-loop variables held fixed)."""
+    return distinct_accesses(node, bindings)
+
+
+def _stmt_accesses(stmt: Assign) -> int:
+    """Distinct elements touched by a single statement execution."""
+    return 1 + len(stmt.terms)
+
+
+def access_cost(
+    block: Block,
+    capacity: int,
+    bindings: Optional[Bindings] = None,
+) -> int:
+    """Total modeled misses of the structure for a given capacity.
+
+    Implements the paper's recursion exactly: per loop, if the distinct
+    elements accessed in its scope fit in ``capacity``, the loop costs
+    that many misses (each element fetched once, then reused); otherwise
+    the loop multiplies the cost of its body by its trip count.  A block
+    of siblings costs the sum of its members; statements cost their
+    per-execution distinct accesses.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+
+    def block_cost(blk: Block) -> int:
+        return sum(node_cost(n) for n in blk)
+
+    def node_cost(node: Node) -> int:
+        if isinstance(node, Loop):
+            accesses = loop_accesses(node, bindings)
+            if accesses <= capacity:
+                return accesses
+            return node.var.extent(bindings) * block_cost(node.body)
+        if isinstance(node, Assign):
+            return _stmt_accesses(node)
+        return 0  # Alloc / ZeroArr do not touch elements in this model
+
+    return block_cost(block)

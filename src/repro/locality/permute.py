@@ -1,0 +1,108 @@
+"""Loop-order selection for locality.
+
+Blocking is one half of Section 6's "appropriate blocking of the loops";
+the order of loops in each nest is the other: it decides which array
+walks contiguously in the innermost scope and which working set each
+loop level carries.  This module enumerates permutations of every
+maximal *perfect* nest (a chain of single-statement loops) and picks the
+order minimizing the Section-6 miss model.
+
+Reordering a perfect contraction nest is always semantics-preserving
+here: statements are pure multiply-accumulates into a target indexed by
+a subset of the loops, and floating-point reassociation is accepted
+throughout the repository (all validation uses relative tolerances).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.expr.indices import Bindings
+from repro.codegen.loops import Assign, Block, Loop, LoopVar, Node
+from repro.locality.cost_model import access_cost
+
+#: Permutation cap per nest (loops beyond this keep their order).
+_MAX_PERMUTED = 6
+
+
+@dataclass
+class PermuteResult:
+    """Outcome of the loop-order search."""
+
+    structure: Block
+    cost: int
+    baseline_cost: int
+    orders: List[Tuple[str, ...]]  # chosen order per rewritten nest
+    evaluated: int
+
+
+def _perfect_chain(node: Loop) -> Tuple[List[LoopVar], Block]:
+    """The maximal chain of singly-nested loops starting at ``node`` and
+    the innermost body."""
+    chain = [node.var]
+    body: Block = node.body
+    while len(body) == 1 and isinstance(body[0], Loop):
+        chain.append(body[0].var)
+        body = body[0].body
+    return chain, body
+
+
+def _is_reorderable(body: Block) -> bool:
+    """Only pure-statement bodies are safely permutable (no allocs or
+    nested imperfect structure whose placement depends on the order)."""
+    return all(isinstance(n, Assign) for n in body)
+
+
+def _rebuild(chain: Sequence[LoopVar], body: Block) -> Node:
+    out: Block = body
+    for var in reversed(chain):
+        out = (Loop(var, out),)
+    return out[0]
+
+
+def optimize_loop_order(
+    block: Block,
+    capacity: int,
+    bindings: Optional[Bindings] = None,
+) -> PermuteResult:
+    """Choose loop orders per perfect nest minimizing modeled misses.
+
+    Nests are optimized independently (the model is additive over
+    sibling nests); imperfect structures (fused bodies, allocations
+    inside) are left untouched.
+    """
+    baseline = access_cost(block, capacity, bindings)
+    evaluated = 0
+    orders: List[Tuple[str, ...]] = []
+
+    def best_for(node: Node) -> Node:
+        nonlocal evaluated
+        if not isinstance(node, Loop):
+            return node
+        chain, body = _perfect_chain(node)
+        if not _is_reorderable(body) or len(chain) < 2:
+            # recurse into imperfect structure
+            return Loop(node.var, tuple(best_for(n) for n in node.body))
+        head = chain[: _MAX_PERMUTED]
+        tail = chain[_MAX_PERMUTED:]
+        best_cost = None
+        best_node = node
+        best_order: Tuple[str, ...] = tuple(v.name for v in chain)
+        for perm in itertools.permutations(head):
+            candidate = _rebuild(list(perm) + tail, body)
+            cost = access_cost((candidate,), capacity, bindings)
+            evaluated += 1
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_node = candidate
+                best_order = tuple(v.name for v in perm) + tuple(
+                    v.name for v in tail
+                )
+        orders.append(best_order)
+        return best_node
+
+    structure = tuple(best_for(n) for n in block)
+    cost = access_cost(structure, capacity, bindings)
+    return PermuteResult(structure, cost, baseline, orders, evaluated)

@@ -1,0 +1,53 @@
+"""Operation minimization (paper Section 2 / "Algebraic Transformations").
+
+Given a sum-of-products tensor expression, find an equivalent sequence of
+binary contractions (a *formula sequence*, paper Fig. 1(a)) with minimal
+arithmetic-operation count, exploiting commutativity, associativity, and
+distributivity.  The underlying decision problem is NP-complete (Lam,
+Sadayappan & Wenger 1997); practical inputs have few enough factors per
+term that an exact subset dynamic program is fast, and a pruning
+branch-and-bound search (as in the paper) is provided for comparison.
+"""
+
+from repro.opmin.cost import (
+    statement_op_count,
+    sequence_op_count,
+    term_op_count,
+    MULADD_OPS,
+    ADD_OPS,
+)
+from repro.opmin.optree import Contract, Leaf, OpTree, Reduce, tree_cost, tree_to_statements
+from repro.opmin.single_term import optimize_term
+from repro.opmin.search import exhaustive_best_tree, pruning_search, SearchStats
+from repro.opmin.multi_term import TempNamer, optimize_statement, optimize_program
+from repro.opmin.factorize import Factorizer
+from repro.opmin.schedule import (
+    ScheduleResult,
+    peak_live_memory,
+    schedule_statements,
+)
+
+__all__ = [
+    "statement_op_count",
+    "sequence_op_count",
+    "term_op_count",
+    "MULADD_OPS",
+    "ADD_OPS",
+    "Contract",
+    "Leaf",
+    "Reduce",
+    "OpTree",
+    "tree_cost",
+    "tree_to_statements",
+    "optimize_term",
+    "exhaustive_best_tree",
+    "pruning_search",
+    "SearchStats",
+    "TempNamer",
+    "optimize_statement",
+    "optimize_program",
+    "Factorizer",
+    "ScheduleResult",
+    "peak_live_memory",
+    "schedule_statements",
+]

@@ -1,0 +1,130 @@
+"""Arithmetic-operation cost model.
+
+Conventions (consistent with the paper's Section 2 arithmetic):
+
+* a contraction iteration performing one multiply and one accumulate-add
+  costs :data:`MULADD_OPS` = 2 operations;
+* a pure reduction (add only) iteration costs :data:`ADD_OPS` = 1;
+* the *direct* translation of a k-factor sum-of-products term into a
+  single loop nest costs ``(k-1) multiplies + 1 add`` per innermost
+  iteration -- for the paper's 4-tensor example this gives exactly
+  ``4 x N^10``;
+* each reference to a function tensor (integral evaluation) adds its
+  ``compute_cost`` per iteration in which it is evaluated.
+
+Costs are plain Python integers, so paper-scale values (``10^15`` and
+beyond) are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.expr.ast import Expr, Statement, TensorRef
+from repro.expr.canonical import FlatTerm, flatten
+from repro.expr.indices import Bindings, Index, total_extent
+
+#: Operations per multiply-accumulate iteration.
+MULADD_OPS = 2
+#: Operations per add-only (reduction/copy-accumulate) iteration.
+ADD_OPS = 1
+
+
+def term_op_count(
+    term: FlatTerm,
+    free: Iterable[Index],
+    bindings: Optional[Bindings] = None,
+    sparse_aware: bool = False,
+    in_multi_term: bool = False,
+) -> int:
+    """Operations of one flat term translated directly to one loop nest.
+
+    ``free`` is the free-index set of the enclosing expression: the loop
+    nest iterates over ``free | term summation indices``.
+
+    With ``sparse_aware=True``, declared sparsity scales the work: a
+    product term contributes only where every factor is non-zero, so the
+    expected iteration count is the dense count times the product of the
+    factors' fill fractions (independence assumption -- the usual
+    planning estimate).
+    """
+    _, sum_indices, refs = term
+    loop = set(free) | set(sum_indices)
+    iters = total_extent(loop, bindings)
+    if sparse_aware:
+        density = 1.0
+        for ref in refs:
+            density *= ref.tensor.fill
+        iters = max(1, int(iters * density))
+    k = len(refs)
+    muls = max(k - 1, 0)
+    # the accumulate-add exists only when something is being combined:
+    # a summation, a multi-factor product, or accumulation of several
+    # terms into one target.  A bare copy or a pure function
+    # materialization performs no extra arithmetic.
+    adds = 1 if (sum_indices or k > 1 or in_multi_term) else 0
+    func = sum(r.tensor.compute_cost for r in refs if r.tensor.is_function)
+    per_iter = muls + adds + func
+    return per_iter * iters
+
+
+def statement_op_count(
+    stmt: Statement,
+    bindings: Optional[Bindings] = None,
+    sparse_aware: bool = False,
+) -> int:
+    """Operation count of the direct (single-loop-nest-per-term)
+    implementation of a statement.
+
+    The expression must be in (distributable) sum-of-products form --
+    which every statement of a formula sequence is.  Raises
+    :class:`ValueError` for expressions too entangled to flatten.
+    """
+    try:
+        terms = flatten(stmt.expr)
+    except OverflowError:
+        raise ValueError(
+            f"statement for {stmt.result.name} is not in sum-of-products "
+            "form; op counting applies to formula-sequence statements"
+        ) from None
+    free = stmt.expr.free
+    multi = len(terms) > 1
+    return sum(
+        term_op_count(t, free, bindings, sparse_aware, in_multi_term=multi)
+        for t in terms
+    )
+
+
+def sequence_op_count(
+    statements: Sequence[Statement], bindings: Optional[Bindings] = None
+) -> int:
+    """Total operations of a formula sequence (paper Fig. 1(a) style)."""
+    return sum(statement_op_count(s, bindings) for s in statements)
+
+
+def contraction_cost(
+    left_free: Iterable[Index],
+    right_free: Iterable[Index],
+    bindings: Optional[Bindings] = None,
+) -> int:
+    """Cost of one binary contraction: 2 ops per point of the joint
+    iteration space ``free(left) | free(right)``."""
+    loop = set(left_free) | set(right_free)
+    return MULADD_OPS * total_extent(loop, bindings)
+
+
+def reduction_cost(
+    child_free: Iterable[Index], bindings: Optional[Bindings] = None
+) -> int:
+    """Cost of a unary reduction over the child's full index space."""
+    return ADD_OPS * total_extent(child_free, bindings)
+
+
+def materialization_cost(
+    ref: TensorRef, bindings: Optional[Bindings] = None
+) -> int:
+    """Cost of materializing a leaf: zero for stored arrays, one function
+    evaluation per element for function tensors."""
+    if not ref.tensor.is_function:
+        return 0
+    return ref.tensor.compute_cost * total_extent(ref.indices, bindings)

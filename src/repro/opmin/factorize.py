@@ -1,0 +1,139 @@
+"""Factorization: applying distributivity in reverse.
+
+The Algebraic Transformations module exploits "the distributivity of
+multiplication over addition" in both directions.  Splitting a product
+over a sum is what :func:`repro.expr.canonical.flatten` undoes; this
+module implements the profitable direction: two terms that differ in a
+single factor with identical index structure,
+
+    c1 * (A * F * ...)  +  c2 * (A * G * ...)      (same summations)
+
+are rewritten as one term over the combined factor
+
+    A * H * ...   with   H = c1*F + c2*G,
+
+trading one whole contraction for one elementwise addition.  The
+rewrite is applied greedily, most-profitable pair first, re-evaluating
+costs with the single-term DP after every merge (a merge can enable
+further merges).  This captures classic coupled-cluster patterns such
+as ``sum(e) F(a,e)*T(e,b,i,j) + sum(e) G(a,e)*T(e,b,i,j)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.expr.ast import Add, Expr, Mul, Statement, Sum, TensorRef
+from repro.expr.indices import Bindings, Index, total_extent
+from repro.expr.tensor import Tensor
+from repro.opmin.cost import ADD_OPS
+from repro.opmin.optree import tree_cost
+from repro.opmin.single_term import optimize_term
+
+#: A flat term in factorization form.
+FTerm = Tuple[float, FrozenSet[Index], Tuple[TensorRef, ...]]
+
+
+def _ref_key(ref: TensorRef) -> Tuple:
+    return (ref.tensor.name, tuple(i.name for i in ref.indices))
+
+
+def _term_cost(
+    term: FTerm, bindings: Optional[Bindings] = None
+) -> int:
+    """Optimal evaluation cost of one term (via the subset DP)."""
+    _, sums, refs = term
+    return tree_cost(optimize_term(refs, sums, bindings), bindings)
+
+
+def _mergeable(
+    a: FTerm, b: FTerm
+) -> Optional[Tuple[int, int]]:
+    """If ``a`` and ``b`` differ in exactly one factor position (same
+    index tuple on the differing refs, same summations), return the
+    differing positions (pos_in_a, pos_in_b)."""
+    _, sums_a, refs_a = a
+    _, sums_b, refs_b = b
+    if sums_a != sums_b or len(refs_a) != len(refs_b):
+        return None
+    keys_a = [_ref_key(r) for r in refs_a]
+    keys_b = [_ref_key(r) for r in refs_b]
+    from collections import Counter
+
+    extra_a = Counter(keys_a) - Counter(keys_b)
+    extra_b = Counter(keys_b) - Counter(keys_a)
+    if sum(extra_a.values()) != 1 or sum(extra_b.values()) != 1:
+        return None
+    ka = next(iter(extra_a))
+    kb = next(iter(extra_b))
+    pos_a = keys_a.index(ka)
+    pos_b = keys_b.index(kb)
+    ra, rb = refs_a[pos_a], refs_b[pos_b]
+    if tuple(ra.indices) != tuple(rb.indices):
+        return None  # index structure must match for an elementwise add
+    return pos_a, pos_b
+
+
+class Factorizer:
+    """Greedy reverse-distributivity rewriter for a set of flat terms."""
+
+    def __init__(
+        self,
+        namer,
+        bindings: Optional[Bindings] = None,
+    ) -> None:
+        self.namer = namer
+        self.bindings = bindings
+        #: statements defining the combined factors (H = c1*F + c2*G)
+        self.helper_statements: List[Statement] = []
+
+    def _merge(
+        self, a: FTerm, b: FTerm, pos_a: int, pos_b: int
+    ) -> FTerm:
+        coef_a, sums, refs_a = a
+        coef_b, _, refs_b = b
+        fa, fb = refs_a[pos_a], refs_b[pos_b]
+        combined = Add(((coef_a, fa), (coef_b, fb)))
+        indices = tuple(fa.indices)
+        helper = Tensor(self.namer.fresh(), indices)
+        self.helper_statements.append(Statement(helper, combined))
+        new_ref = TensorRef(helper, indices)
+        new_refs = tuple(
+            new_ref if k == pos_a else r for k, r in enumerate(refs_a)
+        )
+        return (1.0, sums, new_refs)
+
+    def run(self, terms: Sequence[FTerm]) -> List[FTerm]:
+        """Merge profitable pairs until none remain."""
+        work = list(terms)
+        while True:
+            best = None
+            for i in range(len(work)):
+                for j in range(i + 1, len(work)):
+                    hit = _mergeable(work[i], work[j])
+                    if hit is None:
+                        continue
+                    cost_split = _term_cost(
+                        work[i], self.bindings
+                    ) + _term_cost(work[j], self.bindings)
+                    merged_refs = work[i][2]
+                    add_cost = ADD_OPS * total_extent(
+                        work[i][2][hit[0]].indices, self.bindings
+                    )
+                    # merged term: same structure as term i
+                    cost_merged = (
+                        _term_cost(
+                            (1.0, work[i][1], work[i][2]), self.bindings
+                        )
+                        + add_cost
+                    )
+                    saving = cost_split - cost_merged
+                    if saving > 0 and (best is None or saving > best[0]):
+                        best = (saving, i, j, hit)
+            if best is None:
+                return work
+            _, i, j, (pos_a, pos_b) = best
+            merged = self._merge(work[i], work[j], pos_a, pos_b)
+            work = [
+                t for k, t in enumerate(work) if k not in (i, j)
+            ] + [merged]

@@ -1,0 +1,126 @@
+"""Operation minimization for whole statements and programs.
+
+A statement's right-hand side may be a multi-term sum (the A3A energy
+expression has six terms).  Each term is optimized independently by the
+subset DP; the resulting trees are linearized into one formula sequence
+with common-subexpression elimination across terms *and* across
+statements: any intermediate whose canonical expression key was already
+materialized is reused instead of recomputed.
+
+The output is a list of binary-contraction statements (paper Fig. 1(a))
+suitable for the memory-minimization stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.expr.ast import Add, Expr, Program, Statement, TensorRef
+from repro.expr.canonical import canonical_key, flatten
+from repro.expr.indices import Bindings
+from repro.expr.tensor import Tensor
+from repro.opmin.optree import _Namer, tree_to_statements
+from repro.opmin.single_term import optimize_term
+
+
+class TempNamer(_Namer):
+    """Public alias of the temporary-name generator."""
+
+
+def optimize_statement(
+    stmt: Statement,
+    bindings: Optional[Bindings] = None,
+    namer: Optional[TempNamer] = None,
+    registry: Optional[Dict[Tuple, TensorRef]] = None,
+    cse: bool = True,
+    factorize: bool = True,
+) -> List[Statement]:
+    """Rewrite one statement into an op-minimal formula sequence.
+
+    Multi-term right-hand sides are first factorized (profitable
+    reverse-distributivity merges, see :mod:`repro.opmin.factorize`),
+    then each term is optimized and materialized, ending in a combining
+    statement; single-term right-hand sides assign the root contraction
+    directly to the result.
+
+    ``cse=False`` disables common-subexpression sharing across terms
+    (each term gets a private registry); ``factorize=False`` disables
+    the reverse-distributivity pass -- ablation knobs used by the
+    benchmark suite.
+    """
+    try:
+        terms = flatten(stmt.expr)
+    except OverflowError:
+        raise ValueError(
+            f"cannot optimize statement for {stmt.result.name}: expression "
+            "does not flatten to sum-of-products form"
+        ) from None
+
+    namer = namer or TempNamer({t.name for t in _statement_names(stmt)})
+    registry = registry if registry is not None else {}
+
+    out: List[Statement] = []
+    if len(terms) == 1 and terms[0][0] == 1.0:
+        coef, sum_indices, refs = terms[0]
+        tree = optimize_term(refs, sum_indices, bindings)
+        out.extend(
+            tree_to_statements(
+                tree, stmt.result, namer, registry, accumulate=stmt.accumulate
+            )
+        )
+        return out
+
+    # multi-term: factorize, materialize each term, then combine
+    if factorize and len(terms) > 1:
+        from repro.opmin.factorize import Factorizer
+
+        machine = Factorizer(namer, bindings)
+        terms = machine.run(terms)
+        out.extend(machine.helper_statements)
+
+    combined: List[Tuple[float, Expr]] = []
+    for coef, sum_indices, refs in terms:
+        term_registry = registry if cse else {}
+        tree = optimize_term(refs, sum_indices, bindings)
+        expr = tree.expression()
+        key = canonical_key(expr)
+        hit = term_registry.get(key)
+        if hit is None:
+            indices = tuple(sorted(tree.free))
+            temp = Tensor(namer.fresh(), indices)
+            seq = tree_to_statements(tree, temp, namer, term_registry)
+            out.extend(seq)
+            hit = TensorRef(temp, indices)
+            term_registry[key] = hit
+        combined.append((coef, hit))
+    out.append(
+        Statement(stmt.result, Add(tuple(combined)), accumulate=stmt.accumulate)
+    )
+    return out
+
+
+def optimize_program(
+    program: Program,
+    bindings: Optional[Bindings] = None,
+    cse: bool = True,
+    factorize: bool = True,
+) -> List[Statement]:
+    """Optimize every statement, sharing temporaries across statements
+    (unless ``cse=False``)."""
+    taken = {t.name for t in program.tensors()}
+    namer = TempNamer(taken)
+    registry: Dict[Tuple, TensorRef] = {}
+    out: List[Statement] = []
+    for stmt in program.statements:
+        out.extend(
+            optimize_statement(
+                stmt, bindings, namer, registry, cse=cse, factorize=factorize
+            )
+        )
+    return out
+
+
+def _statement_names(stmt: Statement) -> List[Tensor]:
+    tensors = [stmt.result]
+    tensors.extend(ref.tensor for ref in stmt.expr.refs())
+    return tensors

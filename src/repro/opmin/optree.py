@@ -1,0 +1,266 @@
+"""Binary operator trees for contraction sequences.
+
+An :class:`OpTree` describes *how* a single sum-of-products term is
+evaluated: leaves are tensor references (input arrays or function
+evaluations), :class:`Contract` nodes multiply two subtrees and sum over
+the indices that become ready at that point, and :class:`Reduce` nodes
+sum a single subtree over indices (needed when a summation index occurs
+in only one factor).
+
+``tree_to_statements`` linearizes a tree into the paper's formula-
+sequence form (Fig. 1(a)): one statement per internal node, temporaries
+named ``T1, T2, ...``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.expr.ast import Expr, Mul, Statement, Sum, TensorRef
+from repro.expr.canonical import canonical_key
+from repro.expr.indices import Bindings, Index, total_extent
+from repro.expr.tensor import Tensor
+from repro.opmin.cost import (
+    contraction_cost,
+    materialization_cost,
+    reduction_cost,
+)
+
+
+class OpTree:
+    """Base class for operator-tree nodes."""
+
+    @property
+    def free(self) -> FrozenSet[Index]:
+        """Indices of the value produced by this subtree."""
+        raise NotImplementedError
+
+    def expression(self) -> Expr:
+        """The tensor expression this subtree computes."""
+        raise NotImplementedError
+
+    def leaves(self) -> Tuple["Leaf", ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Leaf(OpTree):
+    """A tensor reference: stored input array or function evaluation."""
+
+    ref: TensorRef
+
+    @property
+    def free(self) -> FrozenSet[Index]:
+        return self.ref.free
+
+    def expression(self) -> Expr:
+        return self.ref
+
+    def leaves(self) -> Tuple["Leaf", ...]:
+        return (self,)
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class Reduce(OpTree):
+    """Sum a single subtree over ``sum_indices``."""
+
+    child: OpTree
+    sum_indices: Tuple[Index, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sum_indices:
+            raise ValueError("Reduce needs at least one summation index")
+        if not set(self.sum_indices) <= self.child.free:
+            raise ValueError("Reduce indices must be free in the child")
+        object.__setattr__(self, "sum_indices", tuple(sorted(self.sum_indices)))
+
+    @property
+    def free(self) -> FrozenSet[Index]:
+        return self.child.free - set(self.sum_indices)
+
+    def expression(self) -> Expr:
+        return Sum(self.sum_indices, self.child.expression())
+
+    def leaves(self) -> Tuple[Leaf, ...]:
+        return self.child.leaves()
+
+    def __str__(self) -> str:
+        names = ",".join(i.name for i in self.sum_indices)
+        return f"sum({names})[{self.child}]"
+
+
+@dataclass(frozen=True)
+class Contract(OpTree):
+    """Multiply two subtrees, summing over ``sum_indices`` on the fly."""
+
+    left: OpTree
+    right: OpTree
+    sum_indices: Tuple[Index, ...]
+
+    def __post_init__(self) -> None:
+        avail = self.left.free | self.right.free
+        if not set(self.sum_indices) <= avail:
+            raise ValueError("Contract sum indices must be free in a child")
+        object.__setattr__(self, "sum_indices", tuple(sorted(self.sum_indices)))
+
+    @cached_property
+    def _free(self) -> FrozenSet[Index]:
+        return (self.left.free | self.right.free) - set(self.sum_indices)
+
+    @property
+    def free(self) -> FrozenSet[Index]:
+        return self._free
+
+    @property
+    def loop_indices(self) -> FrozenSet[Index]:
+        """Joint iteration space of this contraction."""
+        return self.left.free | self.right.free
+
+    def expression(self) -> Expr:
+        body = Mul((self.left.expression(), self.right.expression()))
+        if self.sum_indices:
+            return Sum(self.sum_indices, body)
+        return body
+
+    def leaves(self) -> Tuple[Leaf, ...]:
+        return self.left.leaves() + self.right.leaves()
+
+    def __str__(self) -> str:
+        names = ",".join(i.name for i in self.sum_indices)
+        head = f"sum({names})" if names else "prod"
+        return f"{head}({self.left}, {self.right})"
+
+
+def tree_cost(tree: OpTree, bindings: Optional[Bindings] = None) -> int:
+    """Total operation count of evaluating ``tree`` with every internal
+    node materialized as a temporary (the formula-sequence cost).
+
+    Function leaves are charged one materialization (``compute_cost`` per
+    element); repeated *distinct* leaves of the same function are each
+    charged (CSE happens later, in :mod:`repro.opmin.multi_term`).
+    """
+    if isinstance(tree, Leaf):
+        return materialization_cost(tree.ref, bindings)
+    if isinstance(tree, Reduce):
+        return tree_cost(tree.child, bindings) + reduction_cost(
+            tree.child.free, bindings
+        )
+    if isinstance(tree, Contract):
+        return (
+            tree_cost(tree.left, bindings)
+            + tree_cost(tree.right, bindings)
+            + contraction_cost(tree.left.free, tree.right.free, bindings)
+        )
+    raise TypeError(f"unknown OpTree node {type(tree).__name__}")
+
+
+def tree_intermediate_size(
+    tree: OpTree, bindings: Optional[Bindings] = None
+) -> int:
+    """Total element count of all temporaries a formula sequence for
+    ``tree`` would materialize (tie-breaking metric for op-equal trees,
+    and the input of the memory-minimization stage)."""
+    if isinstance(tree, Leaf):
+        # materialized function results are temporaries too
+        if tree.ref.tensor.is_function:
+            return total_extent(tree.ref.indices, bindings)
+        return 0
+    if isinstance(tree, Reduce):
+        return tree_intermediate_size(tree.child, bindings) + total_extent(
+            tree.free, bindings
+        )
+    if isinstance(tree, Contract):
+        return (
+            tree_intermediate_size(tree.left, bindings)
+            + tree_intermediate_size(tree.right, bindings)
+            + total_extent(tree.free, bindings)
+        )
+    raise TypeError(f"unknown OpTree node {type(tree).__name__}")
+
+
+class _Namer:
+    """Generates fresh temporary names avoiding a set of taken names."""
+
+    def __init__(self, taken: Optional[set] = None, prefix: str = "T") -> None:
+        self.taken = set(taken or ())
+        self.prefix = prefix
+        self.counter = 0
+
+    def fresh(self) -> str:
+        while True:
+            self.counter += 1
+            name = f"{self.prefix}{self.counter}"
+            if name not in self.taken:
+                self.taken.add(name)
+                return name
+
+
+def tree_to_statements(
+    tree: OpTree,
+    result: Tensor,
+    namer: Optional[_Namer] = None,
+    registry: Optional[Dict[Tuple, TensorRef]] = None,
+    accumulate: bool = False,
+) -> List[Statement]:
+    """Linearize ``tree`` into a formula sequence ending in ``result``.
+
+    ``registry`` maps canonical expression keys to already-materialized
+    temporaries, enabling common-subexpression reuse across trees (and
+    across statements when the caller shares the registry).
+    """
+    namer = namer or _Namer({result.name})
+    registry = registry if registry is not None else {}
+    statements: List[Statement] = []
+
+    def emit(node: OpTree, expr: Expr) -> TensorRef:
+        """Materialize ``expr`` (the value of ``node``) as a temporary."""
+        key = canonical_key(expr)
+        hit = registry.get(key)
+        if hit is not None:
+            return hit
+        indices = tuple(sorted(node.free))
+        temp = Tensor(namer.fresh(), indices)
+        statements.append(Statement(temp, expr))
+        ref = TensorRef(temp, indices)
+        registry[key] = ref
+        return ref
+
+    def visit(node: OpTree) -> TensorRef:
+        if isinstance(node, Leaf):
+            if node.ref.tensor.is_function:
+                return emit(node, node.ref)
+            return node.ref
+        if isinstance(node, Reduce):
+            child = visit(node.child)
+            return emit(node, Sum(node.sum_indices, child))
+        if isinstance(node, Contract):
+            left = visit(node.left)
+            right = visit(node.right)
+            body = Mul((left, right))
+            expr: Expr = (
+                Sum(node.sum_indices, body) if node.sum_indices else body
+            )
+            return emit(node, expr)
+        raise TypeError(f"unknown OpTree node {type(node).__name__}")
+
+    # the root is assigned to `result` rather than a temporary
+    if isinstance(tree, Leaf):
+        statements.append(Statement(result, tree.ref, accumulate=accumulate))
+        return statements
+    if isinstance(tree, Reduce):
+        child = visit(tree.child)
+        expr = Sum(tree.sum_indices, child)
+    elif isinstance(tree, Contract):
+        left = visit(tree.left)
+        right = visit(tree.right)
+        body = Mul((left, right))
+        expr = Sum(tree.sum_indices, body) if tree.sum_indices else body
+    else:
+        raise TypeError(f"unknown OpTree node {type(tree).__name__}")
+    statements.append(Statement(result, expr, accumulate=accumulate))
+    return statements

@@ -1,0 +1,144 @@
+"""Optimal binary-contraction tree for a single product term.
+
+This is the core of the Algebraic Transformations module: given one flat
+term (a product of tensor references summed over a set of contraction
+indices), find the binary evaluation order minimizing total operation
+count.  It generalizes matrix-chain multiplication: any pairing of
+factors is allowed, not just adjacent ones (the paper's ``BDCA`` order
+for the Section-2 example).
+
+The search is an exact dynamic program over factor subsets
+(``O(3^n)`` in the number of factors ``n``).  Summation indices are
+summed as early as possible: an index is reduced at the node where the
+last factor containing it is multiplied in.  Earlier summation never
+increases the operation count under the joint-iteration-space cost model
+and strictly shrinks intermediates.
+
+Ties in operation count are broken by total intermediate size, which
+hands the memory-minimization stage the friendliest op-minimal tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.expr.ast import TensorRef
+from repro.expr.indices import Bindings, Index, total_extent
+from repro.opmin.cost import contraction_cost, materialization_cost, reduction_cost
+from repro.opmin.optree import Contract, Leaf, OpTree, Reduce, tree_intermediate_size
+
+
+def optimize_term(
+    refs: Sequence[TensorRef],
+    sum_indices: FrozenSet[Index],
+    bindings: Optional[Bindings] = None,
+) -> OpTree:
+    """Return a minimal-operation-count tree for ``prod(refs)`` summed
+    over ``sum_indices``.
+
+    Raises :class:`ValueError` for empty terms or summation indices that
+    appear in no factor.
+    """
+    if not refs:
+        raise ValueError("a term needs at least one factor")
+    owners: Dict[Index, int] = {}
+    for pos, ref in enumerate(refs):
+        for idx in ref.indices:
+            if idx in sum_indices:
+                owners[idx] = owners.get(idx, 0) | (1 << pos)
+    missing = set(sum_indices) - set(owners)
+    if missing:
+        names = ", ".join(sorted(i.name for i in missing))
+        raise ValueError(f"summation indices in no factor: {names}")
+
+    n = len(refs)
+    full = (1 << n) - 1
+
+    def result_indices(mask: int) -> FrozenSet[Index]:
+        """Free indices of the value computed from the factors in mask,
+        with every fully-owned summation index reduced."""
+        out = set()
+        for pos in range(n):
+            if mask & (1 << pos):
+                out |= refs[pos].free
+        done = {
+            idx
+            for idx, own in owners.items()
+            if own & mask == own
+        }
+        return frozenset(out - done)
+
+    # single-factor base cases: reduce solely-owned summation indices
+    best: Dict[int, Tuple[int, int, OpTree]] = {}
+    for pos in range(n):
+        mask = 1 << pos
+        leaf: OpTree = Leaf(refs[pos])
+        cost = materialization_cost(refs[pos], bindings)
+        solo = tuple(
+            sorted(idx for idx, own in owners.items() if own == mask)
+        )
+        if solo:
+            cost += reduction_cost(leaf.free, bindings)
+            leaf = Reduce(leaf, solo)
+        best[mask] = (cost, tree_intermediate_size(leaf, bindings), leaf)
+
+    if n == 1:
+        return best[full][2]
+
+    # combine subsets in increasing popcount order
+    by_count: List[List[int]] = [[] for _ in range(n + 1)]
+    for mask in range(1, full + 1):
+        by_count[mask.bit_count()].append(mask)
+
+    result_cache: Dict[int, FrozenSet[Index]] = {}
+
+    def res(mask: int) -> FrozenSet[Index]:
+        hit = result_cache.get(mask)
+        if hit is None:
+            hit = result_indices(mask)
+            result_cache[mask] = hit
+        return hit
+
+    for count in range(2, n + 1):
+        for mask in by_count[count]:
+            champion: Optional[Tuple[int, int, OpTree]] = None
+            # iterate proper submasks; visit each split once (sub < other)
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other:
+                    lcost, _, ltree = best[sub]
+                    rcost, _, rtree = best[other]
+                    join = contraction_cost(res(sub), res(other), bindings)
+                    cost = lcost + rcost + join
+                    if champion is None or cost <= champion[0]:
+                        summed = tuple(
+                            sorted(
+                                idx
+                                for idx, own in owners.items()
+                                if own & mask == own
+                                and not (own & sub == own)
+                                and not (own & other == own)
+                            )
+                        )
+                        tree = Contract(ltree, rtree, summed)
+                        size = (
+                            best[sub][1]
+                            + best[other][1]
+                            + (
+                                total_extent(tree.free, bindings)
+                                if mask != full
+                                else 0
+                            )
+                        )
+                        if (
+                            champion is None
+                            or cost < champion[0]
+                            or (cost == champion[0] and size < champion[1])
+                        ):
+                            champion = (cost, size, tree)
+                sub = (sub - 1) & mask
+            assert champion is not None
+            best[mask] = champion
+
+    return best[full][2]

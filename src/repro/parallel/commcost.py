@@ -1,0 +1,163 @@
+"""Computation and communication cost models for Section 7.
+
+Cost semantics (shared exactly with the simulator in
+:mod:`repro.parallel.simulate`, which *measures* the same quantities):
+
+* **CalcCost** -- parallel compute time of a node: the *maximum* over
+  participating processors of local work (elementwise products for a
+  multiplication node, partial-sum additions for a summation node),
+  weighted by ``flop_cost``.
+* **MoveCost** -- redistribution time: the maximum over processors of
+  elements *received* (elements needed under the target distribution
+  and not already held under the source), weighted by ``comm_cost``.
+  The paper's example holds: ``<j,*,1> -> <j,t,1>`` costs nothing
+  because every processor already holds a superset of its target block.
+* **Reduction** -- a summation over an index distributed on processor
+  dimension ``d`` (``p`` processors) forms partial sums locally, then
+  either combines them onto coordinate 0 of ``d`` (root receives
+  ``(p-1)`` partial blocks; the result has ``1`` at position ``d``) or
+  combines-and-broadcasts (replicated result, same maximum receive
+  volume, held by all) -- the paper's two options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.expr.indices import Bindings, Index
+from repro.parallel.dist import Distribution, REPLICATED, SINGLE
+from repro.parallel.grid import ProcessorGrid
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Relative weights of computation and communication.
+
+    ``comm_cost`` is the time to receive one element in units of one
+    arithmetic operation; 8-byte elements over a network that is ~10x
+    slower than the FPU give the default of 10.
+
+    ``reduction`` selects the partial-sum combining pattern: ``"linear"``
+    (everyone sends to the root; root receives ``p-1`` blocks) or
+    ``"tree"`` (recursive halving; the maximum receive volume is
+    ``ceil(log2 p)`` blocks).  The grid simulator implements both
+    patterns, so model and measurement stay comparable.
+    """
+
+    flop_cost: float = 1.0
+    comm_cost: float = 10.0
+    reduction: str = "linear"
+
+    def __post_init__(self) -> None:
+        if self.reduction not in ("linear", "tree"):
+            raise ValueError(
+                f"reduction must be 'linear' or 'tree', got {self.reduction!r}"
+            )
+
+
+def _interval_overlap(a: Tuple[int, int], b: Tuple[int, int]) -> int:
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    return max(0, hi - lo)
+
+
+def received_elements(
+    array_indices: Sequence[Index],
+    source: Distribution,
+    target: Distribution,
+    rank: Tuple[int, ...],
+    grid: ProcessorGrid,
+    bindings: Optional[Bindings] = None,
+) -> int:
+    """Elements ``rank`` must receive going from ``source`` to
+    ``target`` (exact, by per-dimension interval arithmetic)."""
+    tgt = target.local_ranges(array_indices, rank, grid, bindings)
+    if tgt is None:
+        return 0
+    src = source.local_ranges(array_indices, rank, grid, bindings)
+    need = 1
+    for lo, hi in tgt:
+        need *= hi - lo
+    if src is None:
+        return need
+    overlap = 1
+    for t, s in zip(tgt, src):
+        overlap *= _interval_overlap(t, s)
+    return need - overlap
+
+
+def move_cost_elements(
+    array_indices: Sequence[Index],
+    source: Distribution,
+    target: Distribution,
+    grid: ProcessorGrid,
+    bindings: Optional[Bindings] = None,
+) -> int:
+    """Max-over-processors received elements for a redistribution."""
+    return max(
+        received_elements(array_indices, source, target, rank, grid, bindings)
+        for rank in grid.ranks()
+    )
+
+
+def calc_mul_elements(
+    result_indices: Sequence[Index],
+    dist: Distribution,
+    grid: ProcessorGrid,
+    bindings: Optional[Bindings] = None,
+) -> int:
+    """Max per-processor products formed by a multiplication node."""
+    return dist.max_local_size(result_indices, grid, bindings)
+
+
+def partial_sum_elements(
+    child_indices: Sequence[Index],
+    dist: Distribution,
+    grid: ProcessorGrid,
+    bindings: Optional[Bindings] = None,
+) -> int:
+    """Max per-processor additions forming the partial sums."""
+    return dist.max_local_size(child_indices, grid, bindings)
+
+
+def reduction_result_dist(
+    dist: Distribution, index: Index, replicate: bool
+) -> Distribution:
+    """Distribution of the summation result: the summed index's
+    processor dimension becomes ``1`` (combine) or ``*`` (replicate)."""
+    d = dist.position_of(index)
+    if d is None:
+        return dist
+    entries = list(dist.entries)
+    entries[d] = REPLICATED if replicate else SINGLE
+    return Distribution(tuple(entries))
+
+
+def reduction_comm_elements(
+    result_indices: Sequence[Index],
+    dist: Distribution,
+    index: Index,
+    grid: ProcessorGrid,
+    bindings: Optional[Bindings] = None,
+    pattern: str = "linear",
+) -> int:
+    """Max received elements while combining partial sums over
+    ``index``'s processor dimension.
+
+    ``"linear"``: everyone sends its partial block to the root, which
+    receives ``p - 1`` blocks.  ``"tree"``: recursive halving; every
+    surviving rank receives one block per round, ``ceil(log2 p)`` rounds.
+    """
+    d = dist.position_of(index)
+    if d is None:
+        return 0
+    p = grid.dims[d]
+    if p == 1:
+        return 0
+    root_dist = reduction_result_dist(dist, index, replicate=False)
+    block = root_dist.max_local_size(result_indices, grid, bindings)
+    if pattern == "tree":
+        rounds = (p - 1).bit_length()  # ceil(log2 p)
+        return rounds * block
+    return (p - 1) * block

@@ -1,0 +1,96 @@
+"""Logical grid-shape selection.
+
+The paper assumes "a logical view of the processors as a
+multi-dimensional grid" -- but the *shape* of that view is itself a
+compiler decision: 16 processors can be 16, 8x2, 4x4, 4x2x2, or 2x2x2x2,
+and the best distribution cost differs across shapes (more dimensions
+allow finer partitioning but more tuple positions to serve).
+
+``choose_grid`` enumerates the factorizations of a processor count into
+at most ``max_dims`` grid dimensions, runs the Section-7 DP on each, and
+returns the cheapest plan with its shape -- completing the automation
+story: the user supplies a processor *count*, the synthesis system picks
+the view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.expr.indices import Bindings
+from repro.parallel.commcost import CommModel
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.partition import PartitionPlan, optimize_distribution
+from repro.parallel.ptree import PNode
+
+
+def grid_shapes(processors: int, max_dims: int = 3) -> List[Tuple[int, ...]]:
+    """All ordered factorizations of ``processors`` into 1..max_dims
+    dimensions (each factor >= 2, except the trivial 1-d shape)."""
+    shapes: List[Tuple[int, ...]] = [(processors,)]
+
+    def rec(remaining: int, prefix: Tuple[int, ...]) -> None:
+        if len(prefix) >= max_dims:
+            return
+        for divisor in range(2, remaining + 1):
+            if remaining % divisor:
+                continue
+            rest = remaining // divisor
+            if rest == 1:
+                if prefix:
+                    shapes.append(prefix + (divisor,))
+            else:
+                if len(prefix) + 2 <= max_dims:
+                    shapes.append(prefix + (divisor, rest))
+                rec(rest, prefix + (divisor,))
+
+    rec(processors, ())
+    # dedupe, keep deterministic order
+    seen = set()
+    out: List[Tuple[int, ...]] = []
+    for shape in shapes:
+        if shape not in seen and _product(shape) == processors:
+            seen.add(shape)
+            out.append(shape)
+    return out
+
+
+def _product(values: Sequence[int]) -> int:
+    out = 1
+    for v in values:
+        out *= v
+    return out
+
+
+@dataclass
+class GridChoice:
+    """Outcome of the grid-shape search."""
+
+    grid: ProcessorGrid
+    plan: PartitionPlan
+    table: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
+
+
+def choose_grid(
+    tree: PNode,
+    processors: int,
+    model: Optional[CommModel] = None,
+    bindings: Optional[Bindings] = None,
+    max_dims: int = 3,
+) -> GridChoice:
+    """Pick the cheapest logical grid shape for a processor count."""
+    if processors <= 0:
+        raise ValueError("processor count must be positive")
+    model = model or CommModel()
+    best: Optional[GridChoice] = None
+    table: List[Tuple[Tuple[int, ...], float]] = []
+    for shape in grid_shapes(processors, max_dims):
+        grid = ProcessorGrid(shape)
+        plan = optimize_distribution(tree, grid, model, bindings)
+        table.append((shape, plan.total_cost))
+        if best is None or plan.total_cost < best.plan.total_cost:
+            best = GridChoice(grid, plan)
+    assert best is not None
+    best.table = table
+    return best

@@ -1,0 +1,139 @@
+"""Expression trees for the Section-7 algorithm.
+
+The distribution DP operates on trees with two internal node kinds,
+exactly as in the paper:
+
+* multiplication nodes with two children (elementwise product over the
+  union of the children's index sets);
+* summation nodes over a single index with one child.
+
+A contraction ``sum(i, j) A * B`` becomes
+``PSum(i, PSum(j, PMul(A, B)))``.  :func:`expression_to_ptree` converts
+an AST expression (or an opmin operator tree, via its expression) into
+this form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import FrozenSet, Iterator, List, Tuple
+
+from repro.expr.ast import Expr, Mul, Sum, TensorRef
+from repro.expr.indices import Bindings, Index, total_extent
+
+
+class PNode:
+    """Base class for partitioning-tree nodes."""
+
+    @property
+    def indices(self) -> Tuple[Index, ...]:
+        """Sorted index tuple of the node's value."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["PNode", ...]:
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["PNode"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def internal_count(self) -> int:
+        return sum(1 for n in self.walk() if not isinstance(n, PLeaf))
+
+    def size(self, bindings: Bindings = None) -> int:
+        return total_extent(self.indices, bindings)
+
+
+@dataclass(frozen=True)
+class PLeaf(PNode):
+    """An input array."""
+
+    ref: TensorRef
+
+    @property
+    def indices(self) -> Tuple[Index, ...]:
+        return tuple(sorted(self.ref.indices))
+
+    def children(self) -> Tuple[PNode, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class PMul(PNode):
+    """Elementwise product over the union of child indices."""
+
+    left: PNode
+    right: PNode
+
+    @cached_property
+    def _indices(self) -> Tuple[Index, ...]:
+        return tuple(sorted(set(self.left.indices) | set(self.right.indices)))
+
+    @property
+    def indices(self) -> Tuple[Index, ...]:
+        return self._indices
+
+    def children(self) -> Tuple[PNode, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} * {self.right})"
+
+
+@dataclass(frozen=True)
+class PSum(PNode):
+    """Summation over one index."""
+
+    index: Index
+    child: PNode
+
+    def __post_init__(self) -> None:
+        if self.index not in self.child.indices:
+            raise ValueError(
+                f"summation index {self.index.name} not in child indices"
+            )
+
+    @cached_property
+    def _indices(self) -> Tuple[Index, ...]:
+        return tuple(i for i in self.child.indices if i != self.index)
+
+    @property
+    def indices(self) -> Tuple[Index, ...]:
+        return self._indices
+
+    def children(self) -> Tuple[PNode, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"sum_{self.index.name}({self.child})"
+
+
+def expression_to_ptree(expr: Expr) -> PNode:
+    """Convert a single-term AST expression to a partitioning tree.
+
+    Products become left-deep multiplication chains; each summation
+    index becomes its own :class:`PSum` node (innermost index first).
+    ``Add`` nodes are not supported -- the DP handles one operator-tree
+    node (one statement of a formula sequence) at a time.
+    """
+    if isinstance(expr, TensorRef):
+        return PLeaf(expr)
+    if isinstance(expr, Mul):
+        nodes = [expression_to_ptree(f) for f in expr.factors]
+        out = nodes[0]
+        for node in nodes[1:]:
+            out = PMul(out, node)
+        return out
+    if isinstance(expr, Sum):
+        node = expression_to_ptree(expr.body)
+        for idx in sorted(expr.indices, reverse=True):
+            node = PSum(idx, node)
+        return node
+    raise TypeError(
+        f"cannot build a partitioning tree from {type(expr).__name__}"
+    )

@@ -1,0 +1,312 @@
+"""Simulated message-counting processor grid.
+
+This is the repository's stand-in for the paper's parallel target
+machine (see DESIGN.md): a :class:`GridSimulator` executes a
+:class:`~repro.parallel.partition.PartitionPlan` bottom-up, with every
+virtual processor owning real numpy blocks.  Communication follows the
+exact patterns the cost model assumes:
+
+* redistribution: each processor receives the elements of its target
+  block it does not already hold;
+* summation over a distributed index: local partial sums, then either
+  combine-to-root (root receives ``p - 1`` partial blocks) or
+  combine-and-broadcast (every non-root additionally receives its result
+  block).
+
+The report carries per-processor received-element counts and local
+operation counts, so tests can assert byte-for-byte agreement with
+:mod:`repro.parallel.commcost` and numeric equality with the reference
+einsum executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.expr.indices import Bindings, Index
+from repro.parallel.commcost import received_elements, reduction_result_dist
+from repro.parallel.dist import Distribution, REPLICATED, SINGLE
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.partition import PartitionPlan
+from repro.parallel.ptree import PLeaf, PMul, PNode, PSum
+
+Rank = Tuple[int, ...]
+
+
+@dataclass
+class SimulationReport:
+    """Measured quantities of one plan execution."""
+
+    received: Dict[Rank, int] = field(default_factory=dict)
+    local_ops: Dict[Rank, int] = field(default_factory=dict)
+    messages: int = 0
+    #: (label, total received, max received on one processor) per event
+    node_comm: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def event_comm_time(self) -> int:
+        """Sum over events of the per-event maximum receive volume --
+        the quantity the cost model's MoveCost/reduction terms bound."""
+        return sum(mx for _, _, mx in self.node_comm)
+
+    @property
+    def max_received(self) -> int:
+        return max(self.received.values(), default=0)
+
+    @property
+    def total_received(self) -> int:
+        return sum(self.received.values())
+
+    @property
+    def max_local_ops(self) -> int:
+        return max(self.local_ops.values(), default=0)
+
+
+@dataclass
+class _DistArray:
+    """A distributed value: per-rank blocks plus its distribution."""
+
+    indices: Tuple[Index, ...]
+    dist: Distribution
+    blocks: Dict[Rank, np.ndarray]
+
+
+class GridSimulator:
+    """Executes partition plans on a virtual processor grid."""
+
+    def __init__(
+        self,
+        grid: ProcessorGrid,
+        bindings: Optional[Bindings] = None,
+    ) -> None:
+        self.grid = grid
+        self.bindings = bindings
+
+    # -- placement helpers --------------------------------------------------
+
+    def scatter(
+        self,
+        global_array: np.ndarray,
+        indices: Tuple[Index, ...],
+        dist: Distribution,
+    ) -> _DistArray:
+        """Place a global array according to a distribution (free)."""
+        blocks: Dict[Rank, np.ndarray] = {}
+        for rank in self.grid.ranks():
+            ranges = dist.local_ranges(indices, rank, self.grid, self.bindings)
+            if ranges is None:
+                continue
+            sel = tuple(slice(lo, hi) for lo, hi in ranges)
+            blocks[rank] = np.ascontiguousarray(global_array[sel])
+        return _DistArray(indices, dist, blocks)
+
+    def assemble(self, value: _DistArray) -> np.ndarray:
+        """Gather a distributed value into a global array."""
+        shape = tuple(i.extent(self.bindings) for i in value.indices)
+        out = np.zeros(shape)
+        for rank, block in value.blocks.items():
+            ranges = value.dist.local_ranges(
+                value.indices, rank, self.grid, self.bindings
+            )
+            sel = tuple(slice(lo, hi) for lo, hi in ranges)
+            out[sel] = block
+        return out
+
+    # -- communication -----------------------------------------------------
+
+    def redistribute(
+        self, value: _DistArray, target: Distribution, report: SimulationReport
+    ) -> _DistArray:
+        """Move a value to a new distribution, counting received volume."""
+        if value.dist == target:
+            return value
+        global_view = self.assemble(value)
+        comm_here = 0
+        comm_max = 0
+        for rank in self.grid.ranks():
+            got = received_elements(
+                value.indices, value.dist, target, rank, self.grid, self.bindings
+            )
+            if got:
+                report.received[rank] = report.received.get(rank, 0) + got
+                report.messages += 1
+                comm_here += got
+                comm_max = max(comm_max, got)
+        report.node_comm.append(("redistribute", comm_here, comm_max))
+        return self.scatter(global_view, value.indices, target)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        plan: PartitionPlan,
+        inputs: Mapping[str, np.ndarray],
+    ) -> Tuple[np.ndarray, SimulationReport]:
+        """Execute the plan; returns (global result, report)."""
+        report = SimulationReport(
+            received={rank: 0 for rank in self.grid.ranks()},
+            local_ops={rank: 0 for rank in self.grid.ranks()},
+        )
+
+        def axis_map(node_indices, sub_indices):
+            return [node_indices.index(i) for i in sub_indices]
+
+        def evaluate(node: PNode) -> _DistArray:
+            if isinstance(node, PLeaf):
+                name = node.ref.tensor.name
+                try:
+                    glob = np.asarray(inputs[name], dtype=np.float64)
+                except KeyError:
+                    raise KeyError(f"no input array for {name!r}") from None
+                # stored axes follow the declared signature; reorder to
+                # the ptree's sorted-index convention
+                declared = list(node.ref.indices)
+                order = [declared.index(i) for i in node.indices]
+                glob = np.transpose(glob, order)
+                return self.scatter(
+                    glob, node.indices, plan.gamma[id(node)]
+                )
+
+            if isinstance(node, PMul):
+                gamma = plan.gamma[id(node)]
+                left = evaluate(node.left)
+                right = evaluate(node.right)
+                left = self.redistribute(
+                    left, gamma.effective(node.left.indices), report
+                )
+                right = self.redistribute(
+                    right, gamma.effective(node.right.indices), report
+                )
+                blocks: Dict[Rank, np.ndarray] = {}
+                for rank in self.grid.ranks():
+                    ranges = gamma.local_ranges(
+                        node.indices, rank, self.grid, self.bindings
+                    )
+                    if ranges is None:
+                        continue
+                    lb = _expand(left, node.indices, rank)
+                    rb = _expand(right, node.indices, rank)
+                    block = lb * rb
+                    blocks[rank] = block
+                    report.local_ops[rank] += block.size
+                out = _DistArray(node.indices, gamma, blocks)
+                return self.redistribute(
+                    out, plan.dist[id(node)], report
+                )
+
+            if isinstance(node, PSum):
+                gamma = plan.gamma[id(node)]
+                child = evaluate(node.child)
+                child = self.redistribute(child, gamma, report)
+                axis = list(node.child.indices).index(node.index)
+                option = plan.sum_option[id(node)]
+                partial_blocks: Dict[Rank, np.ndarray] = {}
+                for rank, block in child.blocks.items():
+                    partial_blocks[rank] = block.sum(axis=axis)
+                    report.local_ops[rank] += block.size
+                d = gamma.position_of(node.index)
+                if d is None:
+                    out_dist = gamma
+                    out = _DistArray(node.indices, out_dist, partial_blocks)
+                else:
+                    out_dist = reduction_result_dist(
+                        gamma, node.index, replicate=option == "replicate"
+                    )
+                    out = self._combine(
+                        node,
+                        gamma,
+                        d,
+                        partial_blocks,
+                        option,
+                        report,
+                        pattern=plan.model.reduction,
+                    )
+                return self.redistribute(out, plan.dist[id(node)], report)
+
+            raise TypeError(f"unknown PNode {type(node).__name__}")
+
+        def _expand(value: _DistArray, out_indices, rank) -> np.ndarray:
+            """Broadcast a child's local block to the parent's local
+            block shape at ``rank``."""
+            block = value.blocks[rank]
+            shape = []
+            src_axis = 0
+            for idx in out_indices:
+                if idx in value.indices:
+                    shape.append(block.shape[src_axis])
+                    src_axis += 1
+                else:
+                    shape.append(1)
+            return block.reshape(shape)
+
+        result = evaluate(plan.root)
+        return self.assemble(result), report
+
+    def _combine(
+        self,
+        node: PSum,
+        gamma: Distribution,
+        proc_dim: int,
+        partials: Dict[Rank, np.ndarray],
+        option: str,
+        report: SimulationReport,
+        pattern: str = "linear",
+    ) -> _DistArray:
+        """Combine partial sums along ``proc_dim``; count the traffic.
+
+        ``pattern="linear"``: every member sends to the group root.
+        ``pattern="tree"``: recursive halving (the root receives
+        ``ceil(log2 p)`` blocks, matching the tree cost model).
+        """
+        out_dist = reduction_result_dist(
+            gamma, node.index, replicate=option == "replicate"
+        )
+        blocks: Dict[Rank, np.ndarray] = {}
+        comm_here = 0
+        per_rank: Dict[Rank, int] = {}
+
+        def receive(rank: Rank, elements: int) -> None:
+            nonlocal comm_here
+            report.received[rank] += elements
+            per_rank[rank] = per_rank.get(rank, 0) + elements
+            report.messages += 1
+            comm_here += elements
+
+        groups: Dict[Rank, List[Rank]] = {}
+        for rank in partials:
+            key = tuple(z for d, z in enumerate(rank) if d != proc_dim)
+            groups.setdefault(key, []).append(rank)
+        for key, members in groups.items():
+            members.sort(key=lambda r: r[proc_dim])
+            root = members[0]
+            if pattern == "tree":
+                acc = {rank: partials[rank].copy() for rank in members}
+                offset = 1
+                n = len(members)
+                while offset < n:
+                    for pos in range(0, n, 2 * offset):
+                        src_pos = pos + offset
+                        if src_pos < n:
+                            dst, src = members[pos], members[src_pos]
+                            acc[dst] = acc[dst] + acc[src]
+                            receive(dst, acc[src].size)
+                    offset *= 2
+                total = acc[root]
+            else:
+                total = partials[root].copy()
+                for other in members[1:]:
+                    total = total + partials[other]
+                    receive(root, partials[other].size)
+            holders = members if option == "replicate" else [root]
+            for holder in holders:
+                blocks[holder] = total
+                if holder != root:
+                    receive(holder, total.size)
+        report.node_comm.append(
+            (f"reduce[{option}/{pattern}]", comm_here,
+             max(per_rank.values(), default=0))
+        )
+        return _DistArray(node.indices, out_dist, blocks)

@@ -1,0 +1,514 @@
+"""SPMD code generation: partition plans to per-rank parallel programs.
+
+The paper's title promises compilation of tensor contractions *into
+parallel programs*.  This module closes that loop: a
+:class:`~repro.parallel.partition.PartitionPlan` is lowered to a static
+schedule of typed steps (:func:`compile_schedule`) and then emitted as
+the Python source of a **rank program** (:func:`generate_spmd_source`):
+
+    def rank_program(rank, comm, arrays, state):
+        ...
+        yield   # superstep boundary
+
+Every rank executes the same code, branching on its own grid
+coordinates -- classic SPMD.  Communication goes through an explicit
+communicator (``comm.send`` / ``comm.recv_all``) in bulk-synchronous
+supersteps: the program ``yield``s between the send half and the
+receive half of every data movement, and the driver (:func:`run_spmd`)
+advances all ranks in lock step -- the in-process stand-in for
+``mpiexec`` (see the mpi4py substitution note in DESIGN.md).
+
+Communication patterns match the cost model exactly:
+
+* redistribution: each receiver's needed-but-not-held region is
+  decomposed into boxes; each box piece is sent by its canonical owner
+  (disjoint senders, so transferred elements == the model's
+  received-element count);
+* reduction: partial sums, combine to the coordinate-0 root along the
+  summed processor dimension, optional broadcast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.expr.indices import Bindings, Index
+from repro.parallel.commcost import reduction_result_dist
+from repro.parallel.dist import Distribution, REPLICATED, SINGLE
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.partition import PartitionPlan
+from repro.parallel.ptree import PLeaf, PMul, PNode, PSum
+from repro.parallel.spmd_runtime import paste
+
+Rank = Tuple[int, ...]
+
+
+# ---------------------------------------------------------------------------
+# communicator
+# ---------------------------------------------------------------------------
+
+
+class LocalComm:
+    """In-process mailbox communicator with traffic counters."""
+
+    def __init__(self, grid: ProcessorGrid) -> None:
+        self.grid = grid
+        self._mail: Dict[Tuple[Rank, str], List] = {}
+        self.sent_elements: Dict[Rank, int] = {r: 0 for r in grid.ranks()}
+        self.received_elements: Dict[Rank, int] = {
+            r: 0 for r in grid.ranks()
+        }
+        self.messages = 0
+
+    def send(self, source: Rank, dest: Rank, tag: str, payload) -> None:
+        self._mail.setdefault((dest, tag), []).append(payload)
+        if source != dest:
+            size = int(np.asarray(payload[1]).size)
+            self.sent_elements[source] += size
+            self.received_elements[dest] += size
+            self.messages += 1
+
+    def recv_all(self, dest: Rank, tag: str) -> List:
+        return self._mail.pop((dest, tag), [])
+
+    @property
+    def total_traffic(self) -> int:
+        return sum(self.sent_elements.values())
+
+
+# ---------------------------------------------------------------------------
+# schedule lowering
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Step:
+    """One typed schedule entry."""
+
+    kind: str  # 'slice' | 'move' | 'mul' | 'partial' | 'combine' | 'bcast' | 'result'
+    out: str
+    args: Tuple
+
+
+def _dist_meta(
+    dist: Distribution,
+    indices: Sequence[Index],
+) -> Tuple[Tuple[Optional[int], ...], Tuple[int, ...], Tuple[int, ...]]:
+    """(per-array-dim processor positions, '1' dims, replica-dedup dims)
+    of a distribution as seen by an array."""
+    eff = dist.effective(indices)
+    positions = tuple(eff.position_of(i) for i in indices)
+    single = tuple(
+        d for d, e in enumerate(eff.entries) if e is SINGLE
+    )
+    dedup = tuple(
+        d
+        for d, e in enumerate(eff.entries)
+        if e is REPLICATED
+    )
+    return positions, single, dedup
+
+
+def compile_schedule(plan: PartitionPlan) -> List[Step]:
+    """Lower a partition plan to the static step schedule."""
+    steps: List[Step] = []
+    counter = itertools.count()
+
+    def fresh() -> str:
+        return f"v{next(counter)}"
+
+    def move(var: str, indices, src: Distribution, dst: Distribution) -> str:
+        out = fresh()
+        steps.append(Step("move", out, (var, tuple(indices), src, dst)))
+        return out
+
+    def visit(node: PNode) -> Tuple[str, Distribution]:
+        if isinstance(node, PLeaf):
+            var = fresh()
+            dist = plan.gamma[id(node)]
+            steps.append(
+                Step(
+                    "slice",
+                    var,
+                    (
+                        node.ref.tensor.name,
+                        tuple(node.ref.indices),
+                        tuple(node.indices),
+                        dist,
+                    ),
+                )
+            )
+            out_dist = plan.dist[id(node)]
+            if out_dist.effective(node.indices) != dist.effective(node.indices):
+                return move(var, node.indices, dist, out_dist), out_dist
+            return var, out_dist
+
+        if isinstance(node, PMul):
+            gamma = plan.gamma[id(node)]
+            lvar, ldist = visit(node.left)
+            rvar, rdist = visit(node.right)
+            leff = gamma.effective(node.left.indices)
+            reff = gamma.effective(node.right.indices)
+            if ldist.effective(node.left.indices) != leff:
+                lvar = move(lvar, node.left.indices, ldist, leff)
+            if rdist.effective(node.right.indices) != reff:
+                rvar = move(rvar, node.right.indices, rdist, reff)
+            var = fresh()
+            steps.append(
+                Step(
+                    "mul",
+                    var,
+                    (
+                        lvar,
+                        tuple(node.left.indices),
+                        rvar,
+                        tuple(node.right.indices),
+                        tuple(node.indices),
+                        gamma,
+                    ),
+                )
+            )
+            out_dist = plan.dist[id(node)]
+            if out_dist.effective(node.indices) != gamma.effective(node.indices):
+                return move(var, node.indices, gamma, out_dist), out_dist
+            return var, gamma
+
+        if isinstance(node, PSum):
+            gamma = plan.gamma[id(node)]
+            cvar, cdist = visit(node.child)
+            ceff = gamma.effective(node.child.indices)
+            if cdist.effective(node.child.indices) != ceff:
+                cvar = move(cvar, node.child.indices, cdist, gamma)
+            pvar = fresh()
+            steps.append(
+                Step(
+                    "partial",
+                    pvar,
+                    (cvar, tuple(node.child.indices), node.index,
+                     tuple(node.indices), gamma),
+                )
+            )
+            option = plan.sum_option[id(node)]
+            d = gamma.position_of(node.index)
+            if d is None:
+                var, cur = pvar, gamma
+            else:
+                var = fresh()
+                steps.append(
+                    Step(
+                        "combine",
+                        var,
+                        (pvar, tuple(node.indices), d, gamma),
+                    )
+                )
+                cur = reduction_result_dist(gamma, node.index, replicate=False)
+                if option == "replicate":
+                    bvar = fresh()
+                    steps.append(
+                        Step("bcast", bvar, (var, tuple(node.indices), d, cur))
+                    )
+                    var = bvar
+                    cur = reduction_result_dist(
+                        gamma, node.index, replicate=True
+                    )
+            out_dist = plan.dist[id(node)]
+            if out_dist.effective(node.indices) != cur.effective(node.indices):
+                return move(var, node.indices, cur, out_dist), out_dist
+            return var, out_dist
+
+        raise TypeError(type(node).__name__)
+
+    root_var, root_dist = visit(plan.root)
+    steps.append(
+        Step("result", root_var, (tuple(plan.root.indices), root_dist))
+    )
+    return steps
+
+
+# ---------------------------------------------------------------------------
+# source generation
+# ---------------------------------------------------------------------------
+
+
+def generate_spmd_source(plan: PartitionPlan, name: str = "rank_program") -> str:
+    """Emit the per-rank program source for a partition plan."""
+    grid = plan.grid
+    bindings = plan.bindings
+    steps = compile_schedule(plan)
+    ranks = list(grid.ranks())
+
+    L: List[str] = [
+        "# generated SPMD rank program -- every rank runs this code,",
+        "# branching on its own grid coordinates; `yield` marks a",
+        "# bulk-synchronous superstep boundary.",
+        "import numpy as np",
+        "from repro.parallel.spmd_runtime import (",
+        "    region, holds, canonical_sender, box_intersect, box_empty,",
+        "    box_difference, box_volume, slice_of, paste, extract,",
+        "    broadcast_to_axes,",
+        ")",
+        "",
+        f"GRID = {tuple(grid.dims)!r}",
+        f"RANKS = {ranks!r}",
+        "",
+        f"def {name}(rank, comm, arrays, state):",
+    ]
+
+    def ext(indices) -> Tuple[int, ...]:
+        return tuple(i.extent(bindings) for i in indices)
+
+    def emit(text: str = "") -> None:
+        L.append(("    " + text) if text else "")
+
+    for knum, step in enumerate(steps):
+        tag = f"s{knum}"
+        if step.kind == "slice":
+            tensor_name, ref_indices, node_indices, dist = step.args
+            pos, single, _ = _dist_meta(dist, node_indices)
+            perm = tuple(
+                list(ref_indices).index(i) for i in node_indices
+            )
+            emit(f"# step {knum}: place input {tensor_name} as {dist}")
+            emit(f"if holds(rank, {single!r}):")
+            emit(f"    _box = region(rank, {pos!r}, {ext(node_indices)!r}, GRID)")
+            emit(
+                f"    state[{step.out!r}] = (_box, slice_of("
+                f"np.transpose(np.asarray(arrays[{tensor_name!r}], "
+                f"dtype=np.float64), {perm!r}), _box))"
+            )
+            emit("else:")
+            emit(f"    state[{step.out!r}] = (None, None)")
+            emit("yield")
+
+        elif step.kind == "move":
+            var, indices, src, dst = step.args
+            spos, ssingle, sdedup = _dist_meta(src, indices)
+            dpos, dsingle, _ = _dist_meta(dst, indices)
+            extents = ext(indices)
+            emit(f"# step {knum}: redistribute {src} -> {dst}")
+            emit(f"if holds(rank, {ssingle!r}) and canonical_sender(rank, {sdedup!r}):")
+            emit(f"    _mybox, _myblk = state[{var!r}]")
+            emit("    for _other in RANKS:")
+            emit(f"        if not holds(_other, {dsingle!r}):")
+            emit("            continue")
+            emit(f"        _need = region(_other, {dpos!r}, {extents!r}, GRID)")
+            emit(f"        if holds(_other, {ssingle!r}):")
+            emit(
+                f"            _pieces = box_difference(_need, "
+                f"region(_other, {spos!r}, {extents!r}, GRID))"
+            )
+            emit("        else:")
+            emit("            _pieces = [_need]")
+            emit("        for _piece in _pieces:")
+            emit("            _part = box_intersect(_piece, _mybox)")
+            emit("            if not box_empty(_part):")
+            emit(
+                f"                comm.send(rank, _other, {tag!r}, "
+                "(_part, extract(_myblk, _mybox, _part)))"
+            )
+            emit("yield")
+            emit(f"if holds(rank, {dsingle!r}):")
+            emit(f"    _box = region(rank, {dpos!r}, {extents!r}, GRID)")
+            emit("    _blk = np.zeros(tuple(hi - lo for lo, hi in _box))")
+            emit(f"    if holds(rank, {ssingle!r}):")
+            emit(f"        _own = box_intersect(_box, state[{var!r}][0])")
+            emit("        if not box_empty(_own):")
+            emit(
+                f"            paste(_blk, _box, _own, "
+                f"extract(state[{var!r}][1], state[{var!r}][0], _own))"
+            )
+            emit(f"    for _pbox, _piece in comm.recv_all(rank, {tag!r}):")
+            emit("        paste(_blk, _box, _pbox, _piece)")
+            emit(f"    state[{step.out!r}] = (_box, _blk)")
+            emit("else:")
+            emit(f"    state[{step.out!r}] = (None, None)")
+            emit("yield")
+
+        elif step.kind == "mul":
+            lvar, lind, rvar, rind, oind, gamma = step.args
+            opos, osingle, _ = _dist_meta(gamma, oind)
+            laxes = tuple(list(oind).index(i) for i in lind)
+            raxes = tuple(list(oind).index(i) for i in rind)
+            emit(f"# step {knum}: local products under {gamma}")
+            emit(f"if holds(rank, {osingle!r}):")
+            emit(f"    _box = region(rank, {opos!r}, {ext(oind)!r}, GRID)")
+            emit(
+                f"    _lb = broadcast_to_axes(state[{lvar!r}][1], "
+                f"{laxes!r}, {len(oind)})"
+            )
+            emit(
+                f"    _rb = broadcast_to_axes(state[{rvar!r}][1], "
+                f"{raxes!r}, {len(oind)})"
+            )
+            emit(f"    state[{step.out!r}] = (_box, _lb * _rb)")
+            emit("else:")
+            emit(f"    state[{step.out!r}] = (None, None)")
+            emit("yield")
+
+        elif step.kind == "partial":
+            cvar, cind, sidx, oind, gamma = step.args
+            axis = list(cind).index(sidx)
+            emit(f"# step {knum}: partial sums over {sidx.name}")
+            emit(f"_held = state[{cvar!r}]")
+            emit("if _held[0] is not None:")
+            emit(
+                f"    _box = tuple(r for _k, r in enumerate(_held[0]) "
+                f"if _k != {axis})"
+            )
+            emit(f"    state[{step.out!r}] = (_box, _held[1].sum(axis={axis}))")
+            emit("else:")
+            emit(f"    state[{step.out!r}] = (None, None)")
+            emit("yield")
+
+        elif step.kind == "combine":
+            pvar, oind, proc_dim, gamma = step.args
+            emit(f"# step {knum}: combine partials to root of dim {proc_dim}")
+            emit(f"_root = tuple(0 if _d == {proc_dim} else _z "
+                 "for _d, _z in enumerate(rank))")
+            emit(f"if state[{pvar!r}][0] is not None and rank != _root:")
+            emit(f"    comm.send(rank, _root, {tag!r}, state[{pvar!r}])")
+            emit("yield")
+            emit(f"if rank == _root and state[{pvar!r}][0] is not None:")
+            emit(f"    _box, _blk = state[{pvar!r}]")
+            emit("    _blk = _blk.copy()")
+            emit(f"    for _pbox, _piece in comm.recv_all(rank, {tag!r}):")
+            emit("        _blk += _piece")
+            emit(f"    state[{step.out!r}] = (_box, _blk)")
+            emit("else:")
+            emit(f"    state[{step.out!r}] = (None, None)")
+            emit("yield")
+
+        elif step.kind == "bcast":
+            cvar, oind, proc_dim, root_dist = step.args
+            emit(f"# step {knum}: broadcast along dim {proc_dim}")
+            emit(f"_root = tuple(0 if _d == {proc_dim} else _z "
+                 "for _d, _z in enumerate(rank))")
+            emit(f"if rank == _root and state[{cvar!r}][0] is not None:")
+            emit("    for _other in RANKS:")
+            emit(
+                f"        if _other != rank and tuple(0 if _d == {proc_dim} "
+                "else _z for _d, _z in enumerate(_other)) == _root:"
+            )
+            emit(f"            comm.send(rank, _other, {tag!r}, state[{cvar!r}])")
+            emit("yield")
+            emit(f"if rank == _root:")
+            emit(f"    state[{step.out!r}] = state[{cvar!r}]")
+            emit("else:")
+            emit(f"    _got = comm.recv_all(rank, {tag!r})")
+            emit(
+                f"    state[{step.out!r}] = _got[0] if _got "
+                "else (None, None)"
+            )
+            emit("yield")
+
+        elif step.kind == "result":
+            indices, dist = step.args
+            emit(f"# step {knum}: expose the result block")
+            emit(f"state['__result__'] = state[{step.out!r}]")
+            emit("yield")
+
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(step.kind)
+
+    return "\n".join(L) + "\n"
+
+
+@dataclass
+class SpmdRun:
+    """Outcome of an in-process SPMD execution."""
+
+    result: np.ndarray
+    comm: LocalComm
+    source: str
+    supersteps: int
+
+
+@dataclass
+class SpmdSequenceRun:
+    """Outcome of executing a whole formula sequence as SPMD programs."""
+
+    arrays: Dict[str, np.ndarray]  # produced global arrays (declared axes)
+    runs: List[Tuple[str, SpmdRun]]
+    total_traffic: int
+    total_supersteps: int
+
+
+def run_spmd(
+    plan: PartitionPlan,
+    inputs,
+    name: str = "rank_program",
+) -> SpmdRun:
+    """Generate, compile, and execute the rank program on all ranks.
+
+    The driver advances every rank program one superstep at a time
+    (lock-step, like a BSP machine), then assembles the distributed
+    result into a global array.
+    """
+    source = generate_spmd_source(plan, name)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<generated spmd>", "exec"), namespace)
+    program = namespace[name]
+
+    grid = plan.grid
+    comm = LocalComm(grid)
+    states: Dict[Rank, Dict] = {r: {} for r in grid.ranks()}
+    gens = {
+        r: program(r, comm, inputs, states[r]) for r in grid.ranks()
+    }
+    supersteps = 0
+    live = dict(gens)
+    while live:
+        done = []
+        for rank, gen in live.items():
+            try:
+                next(gen)
+            except StopIteration:
+                done.append(rank)
+        supersteps += 1
+        for rank in done:
+            del live[rank]
+
+    indices = tuple(plan.root.indices)
+    shape = tuple(i.extent(plan.bindings) for i in indices)
+    out = np.zeros(shape)
+    for rank, state in states.items():
+        box, blk = state.get("__result__", (None, None))
+        if box is not None:
+            paste(out, tuple((0, n) for n in shape), box, blk)
+    return SpmdRun(out, comm, source, supersteps)
+
+
+def run_spmd_sequence(statements, seq_plan, inputs) -> SpmdSequenceRun:
+    """Execute a whole-sequence plan (:func:`repro.parallel.program_plan.
+    plan_sequence`) as a series of generated SPMD programs.
+
+    Each statement's result is gathered and handed to the next program
+    with its axes restored to the result tensor's declared order (the
+    storage convention of the rest of the repository).  The per-program
+    gather/re-scatter is an artifact of running programs independently;
+    traffic inside each program still matches the cost model.
+    """
+    declared = {s.result.name: tuple(s.result.indices) for s in statements}
+    arrays: Dict[str, np.ndarray] = dict(inputs)
+    runs: List[Tuple[str, SpmdRun]] = []
+    traffic = 0
+    steps = 0
+    for name, plan in seq_plan.plans:
+        run = run_spmd(plan, arrays)
+        runs.append((name, run))
+        traffic += run.comm.total_traffic
+        steps += run.supersteps
+        # run_spmd returns axes in sorted-index order (the ptree
+        # convention); store under the producing statement's declared
+        # order so later references slice correctly
+        sorted_idx = tuple(plan.root.indices)
+        order = declared.get(name, sorted_idx)
+        perm = tuple(sorted_idx.index(i) for i in order)
+        arrays[name] = (
+            np.transpose(run.result, perm) if perm else run.result
+        )
+    return SpmdSequenceRun(arrays, runs, traffic, steps)

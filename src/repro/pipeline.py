@@ -1,0 +1,431 @@
+"""The end-to-end synthesis pipeline (paper Fig. 5).
+
+``synthesize`` drives the full chain on a high-level program:
+
+1. **Algebraic transformations** -- operation minimization into a
+   formula sequence (:mod:`repro.opmin`);
+2. **Memory minimization** -- loop-fusion DP per computation tree
+   (:mod:`repro.fusion`);
+3. **Space-time transformation** -- if the fused memory still exceeds
+   the configured capacity, the fusion/recompute pareto search plus
+   tile-size search (:mod:`repro.spacetime`); with feedback to memory
+   minimization exactly as in the figure (the tradeoff search subsumes
+   the pure-fusion solutions);
+4. **Data locality optimization** -- cache blocking of the resulting
+   structure (:mod:`repro.locality`);
+5. **Data distribution and partitioning** -- the Section-7 DP per
+   formula-sequence statement on a processor grid
+   (:mod:`repro.parallel`);
+6. **Code generation** -- executable Python from the loop IR
+   (:mod:`repro.codegen.pygen`).
+
+The result object carries every stage's report, the final loop
+structure, the generated source, and an ``execute`` method validated
+against the reference einsum executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.expr.ast import Program, Statement
+from repro.expr.parser import parse_program
+from repro.engine.machine import MachineModel
+from repro.opmin.cost import sequence_op_count, statement_op_count
+from repro.opmin.multi_term import optimize_program
+from repro.fusion.memopt import minimize_memory
+from repro.fusion.tree import build_forest
+from repro.spacetime.tiling import search_tile_sizes
+from repro.spacetime.tradeoff import tradeoff_search
+from repro.locality.tile_search import optimize_locality, tileable_indices
+from repro.parallel.commcost import CommModel
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.partition import PartitionPlan, optimize_distribution
+from repro.parallel.ptree import expression_to_ptree
+from repro.codegen.builder import build_fused
+from repro.codegen.interp import execute as interp_execute
+from repro.codegen.loops import Block, loop_op_count, peak_memory, render, total_memory
+from repro.codegen.pygen import compile_loops, generate_source
+from repro.engine.counters import Counters
+from repro.report import StageReport
+
+
+@dataclass
+class SynthesisConfig:
+    """Knobs of the pipeline."""
+
+    machine: MachineModel = field(default_factory=MachineModel)
+    grid: Optional[ProcessorGrid] = None
+    #: alternative to `grid`: give a processor *count* and let the
+    #: distribution stage pick the best logical grid shape
+    processors: Optional[int] = None
+    comm: CommModel = field(default_factory=CommModel)
+    bindings: Optional[Mapping[str, int]] = None
+    #: memory level the fused computation must fit in before the
+    #: space-time stage stops rewriting ('memory' or 'disk')
+    capacity_level: str = "memory"
+    #: run the (potentially slow) locality tile search
+    optimize_cache: bool = True
+    locality_max_indices: int = 4
+    #: also search loop orders of perfect nests (Section 6's other knob)
+    optimize_order: bool = False
+    #: apply reverse-distributivity factorization in stage 1
+    factorize: bool = True
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the pipeline produced."""
+
+    program: Program
+    config: SynthesisConfig
+    statements: List[Statement]
+    structure: Block
+    source: str
+    reports: List[StageReport]
+    partition_plans: Dict[str, PartitionPlan] = field(default_factory=dict)
+    locality_tiles: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return "\n\n".join(r.render() for r in self.reports)
+
+    def render_structure(self) -> str:
+        return render(self.structure)
+
+    def execute(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        functions: Optional[Mapping[str, Callable]] = None,
+        counters: Optional[Counters] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Run the synthesized loop structure (interpreter, counted)."""
+        return interp_execute(
+            self.structure,
+            inputs,
+            self.config.bindings,
+            functions,
+            counters,
+        )
+
+    def compile(self) -> Callable:
+        """Compile the generated Python source to a callable kernel."""
+        return compile_loops(self.structure, self.config.bindings)
+
+    def compile_fast(self) -> Callable:
+        """Compile the *formula sequence* to a vectorized numpy kernel.
+
+        This is the practical execution path at real sizes: one einsum
+        per contraction (no fusion/tiling -- use it when the problem
+        fits in memory).  Numerically it matches the reference executor
+        bit-for-bit.
+        """
+        from repro.codegen.npgen import compile_sequence
+
+        return compile_sequence(self.statements, self.config.bindings)
+
+    def spmd_sources(self) -> Dict[str, str]:
+        """Generated per-rank SPMD program source per planned statement.
+
+        Empty when no grid was configured.  See
+        :mod:`repro.parallel.spmd` for the execution driver.
+        """
+        from repro.parallel.spmd import generate_spmd_source
+
+        return {
+            name: generate_spmd_source(plan, name=f"rank_program_{name}")
+            for name, plan in self.partition_plans.items()
+        }
+
+    def run_parallel(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        functions: Optional[Mapping[str, Callable]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Execute the generated SPMD programs for the whole sequence on
+        the in-process lock-step driver; returns produced arrays.
+
+        Statements without partition plans (multi-term combines kept
+        data-local) and statements materializing primitive functions are
+        evaluated in place between the SPMD runs.
+        """
+        if not self.partition_plans:
+            raise ValueError("no partition plans: configure a grid first")
+        from repro.engine.executor import run_statements as run_local
+        from repro.parallel.program_plan import SequencePlan
+        from repro.parallel.spmd import run_spmd_sequence
+
+        arrays: Dict[str, np.ndarray] = dict(inputs)
+        for stmt in self.statements:
+            name = stmt.result.name
+            plan = self.partition_plans.get(name)
+            uses_functions = any(
+                ref.tensor.is_function for ref in stmt.expr.refs()
+            )
+            if plan is None or uses_functions:
+                arrays = run_local(
+                    [stmt], arrays, self.config.bindings, functions
+                )
+                continue
+            seq_plan = SequencePlan([(name, plan)], plan.total_cost)
+            out = run_spmd_sequence([stmt], seq_plan, arrays)
+            arrays.update(out.arrays)
+        return arrays
+
+
+def synthesize(
+    source: "str | Program",
+    config: Optional[SynthesisConfig] = None,
+) -> SynthesisResult:
+    """Run the full Fig.-5 pipeline on a program or its source text."""
+    config = config or SynthesisConfig()
+    bindings = config.bindings
+    program = (
+        parse_program(source) if isinstance(source, str) else source
+    )
+    reports: List[StageReport] = []
+
+    # -- stage 1: algebraic transformations -------------------------------
+    direct_ops = sum(
+        statement_op_count(s, bindings) for s in program.statements
+    )
+    statements = optimize_program(
+        program, bindings, factorize=config.factorize
+    )
+    optimized_ops = sequence_op_count(statements, bindings)
+    from repro.opmin.schedule import schedule_statements
+
+    scheduled = schedule_statements(statements, bindings)
+    statements = scheduled.statements
+    reports.append(
+        StageReport(
+            "Algebraic transformations",
+            {
+                "input statements": len(program.statements),
+                "formula sequence length": len(statements),
+                "direct operation count": direct_ops,
+                "optimized operation count": optimized_ops,
+                "operation reduction": (
+                    f"{direct_ops / optimized_ops:,.1f}x"
+                    if optimized_ops
+                    else "1x"
+                ),
+                "peak live memory (scheduled)": (
+                    f"{scheduled.baseline_peak:,} -> {scheduled.peak_live:,}"
+                    if scheduled.peak_live < scheduled.baseline_peak
+                    else f"{scheduled.peak_live:,}"
+                ),
+            },
+        )
+    )
+
+    # -- stage 2: memory minimization --------------------------------------
+    forest = build_forest(statements)
+    # roots of non-final trees are shared temporaries: their storage
+    # counts toward the temporary-memory objective
+    fusion_results = [
+        minimize_memory(root, bindings, include_output=(k < len(forest) - 1))
+        for k, root in enumerate(forest)
+    ]
+    fused_memory = sum(r.total_memory for r in fusion_results)
+    unfused_memory = sum(
+        0 if node.is_leaf else node.array_size(bindings)
+        for root in forest
+        for node in root.subtree()
+        if node is not root
+    )
+    capacity = config.machine.level(config.capacity_level).capacity
+    mem_report = StageReport(
+        "Memory minimization",
+        {
+            "computation trees": len(forest),
+            "unfused temporary memory": unfused_memory,
+            "fused temporary memory": fused_memory,
+            f"{config.capacity_level} capacity": capacity,
+            "fits": str(fused_memory <= capacity),
+        },
+    )
+    reports.append(mem_report)
+
+    # -- stage 3: space-time transformation -------------------------------
+    blocks: List[Block] = []
+    if fused_memory <= capacity:
+        for result in fusion_results:
+            blocks.append(build_fused(result))
+        reports.append(
+            StageReport(
+                "Space-time transformation",
+                {"invoked": "no (memory minimization sufficed)"},
+            )
+        )
+    else:
+        st_report = StageReport("Space-time transformation", {"invoked": "yes"})
+        remaining = capacity
+        for root, result in zip(forest, fusion_results):
+            if result.total_memory <= remaining // max(1, len(forest)):
+                blocks.append(build_fused(result))
+                continue
+            frontier = tradeoff_search(root, bindings, memory_limit=capacity)
+            solution = min(
+                (s for s in frontier if s.memory <= capacity),
+                key=lambda s: s.ops,
+                default=None,
+            )
+            if solution is None:
+                raise ValueError(
+                    f"no space-time trade-off fits {root.array.name} into "
+                    f"{capacity} elements"
+                )
+            tiled = search_tile_sizes(
+                solution, memory_limit=capacity, bindings=bindings
+            )
+            blocks.append(tiled.structure)
+            st_report.details[f"{root.array.name}: pareto points"] = len(
+                frontier
+            )
+            st_report.details[f"{root.array.name}: block size"] = (
+                tiled.block_size
+            )
+            st_report.details[f"{root.array.name}: memory"] = tiled.memory
+            st_report.details[f"{root.array.name}: ops"] = tiled.ops
+        reports.append(st_report)
+
+    structure: Block = tuple(n for blk in blocks for n in blk)
+    structure_memory = total_memory(structure, bindings)
+    structure_ops = loop_op_count(structure, bindings)
+
+    # -- stage 4: data locality --------------------------------------------
+    locality_tiles: Dict[str, int] = {}
+    if config.optimize_cache:
+        loc_report = StageReport(
+            "Data locality optimization",
+            {"cache capacity": config.machine.cache.capacity},
+        )
+        if config.optimize_order:
+            from repro.locality.permute import optimize_loop_order
+
+            perm = optimize_loop_order(
+                structure, config.machine.cache.capacity, bindings
+            )
+            structure = perm.structure
+            loc_report.details["loop-order modeled misses"] = (
+                f"{perm.baseline_cost:,} -> {perm.cost:,}"
+            )
+        indices = tileable_indices(structure)
+        indices = sorted(
+            indices, key=lambda i: -i.extent(bindings)
+        )[: config.locality_max_indices]
+        loc = optimize_locality(
+            structure,
+            config.machine.cache.capacity,
+            bindings,
+            indices=indices,
+        )
+        locality_tiles = {i.name: b for i, b in loc.tile_sizes.items()}
+        structure = loc.structure
+        loc_report.details.update(
+            {
+                "baseline modeled misses": loc.baseline_cost,
+                "optimized modeled misses": loc.cost,
+                "tile sizes": locality_tiles or "none needed",
+                "candidates evaluated": loc.evaluated,
+            }
+        )
+        reports.append(loc_report)
+    else:
+        reports.append(
+            StageReport("Data locality optimization", {"invoked": "no"})
+        )
+
+    # -- stage 5: data distribution ----------------------------------------
+    partition_plans: Dict[str, PartitionPlan] = {}
+    grid = config.grid
+    grid_note = None
+    if grid is None and config.processors is not None:
+        # let the synthesis system pick the logical view: choose the
+        # shape minimizing the whole-sequence (or first plannable
+        # statement's) distribution cost
+        from repro.parallel.gridsearch import choose_grid
+        from repro.parallel.program_plan import inline_sequence
+
+        try:
+            tree = expression_to_ptree(inline_sequence(statements))
+        except (ValueError, TypeError):
+            tree = None
+            for stmt in statements:
+                try:
+                    tree = expression_to_ptree(stmt.expr)
+                    break
+                except TypeError:
+                    continue
+        if tree is not None:
+            choice = choose_grid(
+                tree, config.processors, config.comm, bindings
+            )
+            grid = choice.grid
+            grid_note = (
+                f"chose grid {grid} among "
+                f"{len(choice.table)} shapes for {config.processors} "
+                "processors"
+            )
+    if grid is not None:
+        from repro.parallel.program_plan import plan_sequence
+
+        part_report = StageReport(
+            "Data distribution and partitioning",
+            {"grid": str(grid), "processors": grid.size},
+        )
+        if grid_note:
+            part_report.notes.append(grid_note)
+        seq_plan = plan_sequence(
+            statements, grid, config.comm, bindings
+        )
+        from repro.expr.ast import Add
+
+        partition_plans = dict(seq_plan.plans)
+        planned = {name for name, _ in seq_plan.plans}
+        for stmt in statements:
+            if stmt.result.name not in planned and isinstance(stmt.expr, Add):
+                part_report.notes.append(
+                    f"{stmt.result.name}: multi-term combine kept data-local"
+                )
+        if len(seq_plan.plans) == 1 and len(statements) > 1:
+            part_report.notes.append(
+                "whole operator tree planned in one Section-7 DP run"
+            )
+        part_report.details["total modeled cost"] = seq_plan.total_cost
+        reports.append(part_report)
+    else:
+        reports.append(
+            StageReport(
+                "Data distribution and partitioning",
+                {"invoked": "no (sequential target)"},
+            )
+        )
+
+    # -- stage 6: code generation --------------------------------------------
+    src = generate_source(structure, bindings)
+    reports.append(
+        StageReport(
+            "Code generation",
+            {
+                "operation count": structure_ops,
+                "temporary memory (elements)": structure_memory,
+                "peak memory (elements)": peak_memory(structure, bindings),
+                "generated source lines": src.count("\n"),
+            },
+        )
+    )
+
+    return SynthesisResult(
+        program,
+        config,
+        statements,
+        structure,
+        src,
+        reports,
+        partition_plans,
+        locality_tiles,
+    )

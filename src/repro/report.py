@@ -1,0 +1,50 @@
+"""Plain-text report formatting for the synthesis pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class StageReport:
+    """Outcome of one pipeline stage (paper Fig. 5 box)."""
+
+    name: str
+    details: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"== {self.name} =="]
+        width = max((len(k) for k in self.details), default=0)
+        for key, value in self.details.items():
+            if isinstance(value, float):
+                value = f"{value:,.1f}"
+            elif isinstance(value, int):
+                value = f"{value:,}"
+            lines.append(f"  {key.ljust(width)} : {value}")
+        for note in self.notes:
+            lines.append(f"  - {note}")
+        return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table used by benchmarks and examples."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [
+                f"{v:,}" if isinstance(v, int) else
+                f"{v:,.2f}" if isinstance(v, float) else str(v)
+                for v in row
+            ]
+        )
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    out = []
+    for k, row in enumerate(cells):
+        out.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if k == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)

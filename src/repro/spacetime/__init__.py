@@ -1,0 +1,35 @@
+"""Space-time trade-off optimization (paper Section 5, second half).
+
+When pure loop fusion cannot bring temporary storage under the capacity
+limit, parts of the computation must be *recomputed*:
+
+* :mod:`repro.spacetime.tradeoff` -- the first step of the paper's
+  algorithm: a fusion DP extended with redundant-computation loops,
+  maintaining pareto-optimal (memory, recomputation-cost) configuration
+  sets per node and pruning solutions over the memory limit;
+* :mod:`repro.spacetime.tiling` -- the second step: split recomputation
+  indices into tile/intra-tile loop pairs and search tile sizes that
+  minimize recomputation cost within the memory limit.
+"""
+
+from repro.spacetime.tradeoff import (
+    EdgeChoice,
+    TradeoffSolution,
+    tradeoff_search,
+)
+from repro.spacetime.tiling import (
+    tiled_structure,
+    search_tile_sizes,
+    refine_tile_sizes,
+    TileSearchResult,
+)
+
+__all__ = [
+    "EdgeChoice",
+    "TradeoffSolution",
+    "tradeoff_search",
+    "tiled_structure",
+    "search_tile_sizes",
+    "refine_tile_sizes",
+    "TileSearchResult",
+]

@@ -1,0 +1,316 @@
+"""Fusion + redundant-computation dynamic program (paper Section 5).
+
+Extends the memory-minimization DP with the paper's redundant-loop trick
+(Fig. 3 / Fig. 7(a)): an edge may additionally be "fused" on consumer
+loops the producer does not naturally have, wrapping the producer's
+computation inside them.  This enables fusions that eliminate large
+dimensions at the price of re-executing the producer's subtree once per
+iteration of each redundant loop.
+
+The DP therefore carries *two* metrics per configuration -- total
+temporary memory and total operation count -- and keeps the pareto
+frontier at every node ("a set of pareto-optimal fusion/recomputation
+configurations, in which the recomputation cost is used as a third
+metric").  Solutions exceeding the memory limit are pruned.
+
+State.  Fusion legality is the same scope-nesting condition as before,
+tracked here in *set* form: the state key at a subtree root is the fused
+index set on the parent edge plus the subtree's *visible chain* -- the
+nested proper subsets of that set already committed inside the subtree.
+At a join, the family of all incident fused sets and visible-chain
+members must form an inclusion chain; realizable loop orders are then
+reconstructed top-down by layering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.expr.indices import Bindings, Index, total_extent
+from repro.fusion.memopt import FusionDecision, FusionResult, reduced_size
+from repro.fusion.tree import CompNode
+from repro.opmin.cost import statement_op_count
+
+SetKey = FrozenSet[Index]
+Chain = Tuple[SetKey, ...]  # sorted by (size, names); nested proper subsets
+
+
+@dataclass(frozen=True)
+class EdgeChoice:
+    """Fusion decision for one tree edge."""
+
+    fused: SetKey  # natural common indices fused (eliminate array dims)
+    redundant: SetKey  # consumer loops wrapped redundantly around producer
+
+    @property
+    def all(self) -> SetKey:
+        return self.fused | self.redundant
+
+
+@dataclass
+class TradeoffSolution:
+    """One pareto point: a full fusion/recomputation configuration."""
+
+    root: CompNode
+    memory: int
+    ops: int
+    edges: Dict[int, EdgeChoice]  # keyed by id(child node)
+    bindings: Optional[Bindings] = None
+    _families: Dict[int, Tuple[SetKey, ...]] = None  # keyed by id(node)
+
+    def decisions(self) -> FusionResult:
+        """Realize loop orders and package as a FusionResult for
+        :func:`repro.codegen.builder.build_fused`."""
+        decisions: Dict[int, FusionDecision] = {}
+
+        def realize(node: CompNode, pseq: Tuple[Index, ...]) -> None:
+            if node.is_leaf:
+                decisions[id(node)] = FusionDecision(node, pseq, ())
+                return
+            child_sets = []
+            for child in node.children:
+                choice = self.edges.get(id(child))
+                child_sets.append(choice.all if choice else frozenset())
+            # layered order: every family set becomes a prefix
+            family = sorted(
+                {frozenset(pseq), *child_sets, *self._families.get(id(node), ())},
+                key=lambda s: (len(s), sorted(i.name for i in s)),
+            )
+            order: List[Index] = list(pseq)
+            placed = set(pseq)
+            for fam in family:
+                extra = sorted(fam - placed)
+                if not fam <= placed | set(extra):
+                    raise AssertionError("family is not an inclusion chain")
+                order.extend(extra)
+                placed.update(extra)
+            rest = sorted(set(node.loop_indices) - placed)
+            order.extend(rest)
+            placed.update(rest)
+
+            child_seqs = []
+            for child, cset in zip(node.children, child_sets):
+                cseq = tuple(order[: len(cset)])
+                if set(cseq) != set(cset):  # pragma: no cover - invariant
+                    raise AssertionError("layering failed to realize a prefix")
+                child_seqs.append(cseq)
+                realize(child, cseq)
+            decisions[id(node)] = FusionDecision(
+                node, pseq, tuple(child_seqs), tuple(order)
+            )
+
+        realize(self.root, ())
+        return FusionResult(self.root, self.memory, decisions, self.bindings)
+
+    def recomputation_indices(self) -> SetKey:
+        """Union of all redundant index sets (the tiling candidates)."""
+        out: SetKey = frozenset()
+        for choice in self.edges.values():
+            out |= choice.redundant
+        return out
+
+
+def _subsets(items: Sequence[Index]) -> List[SetKey]:
+    out = [frozenset()]
+    items = sorted(items)
+    for r in range(1, len(items) + 1):
+        out.extend(
+            frozenset(c) for c in itertools.combinations(items, r)
+        )
+    return out
+
+
+def _is_chain(family: Sequence[SetKey]) -> bool:
+    ordered = sorted(family, key=len)
+    for a, b in zip(ordered, ordered[1:]):
+        if not a <= b:
+            return False
+    return True
+
+
+def _chain_key(sets: Sequence[SetKey]) -> Chain:
+    uniq = sorted(
+        set(sets), key=lambda s: (len(s), sorted(i.name for i in s))
+    )
+    return tuple(uniq)
+
+
+def tradeoff_search(
+    root: CompNode,
+    bindings: Optional[Bindings] = None,
+    memory_limit: Optional[int] = None,
+    allow_redundancy: bool = True,
+    max_redundant_per_edge: int = 4,
+) -> List[TradeoffSolution]:
+    """Pareto frontier of (memory, ops) fusion/recompute configurations.
+
+    Returns solutions sorted by memory (ascending); ops is then
+    descending.  ``memory_limit`` prunes during the search (the paper's
+    "solutions exceeding the memory limit are pruned out").
+    """
+    # per node: {(S, visible_chain): [(mem, ops, choice), ...]}  where
+    # choice = tuple per child of (child_key, entry_index, redundant_set)
+    tables: Dict[int, Dict[Tuple[SetKey, Chain], List[Tuple]]] = {}
+    stmt_ops_cache: Dict[int, int] = {}
+
+    def stmt_ops(node: CompNode) -> int:
+        hit = stmt_ops_cache.get(id(node))
+        if hit is None:
+            hit = statement_op_count(node.stmt, bindings)
+            stmt_ops_cache[id(node)] = hit
+        return hit
+
+    def pareto_insert(entries: List[Tuple], cand: Tuple) -> None:
+        mem, ops = cand[0], cand[1]
+        for e in entries:
+            if e[0] <= mem and e[1] <= ops:
+                return
+        entries[:] = [e for e in entries if not (mem <= e[0] and ops <= e[1])]
+        entries.append(cand)
+
+    def solve(node: CompNode) -> Dict[Tuple[SetKey, Chain], List[Tuple]]:
+        cached = tables.get(id(node))
+        if cached is not None:
+            return cached
+        if node.is_leaf:
+            table = {(frozenset(), ()): [(0, 0, ())]}
+            tables[id(node)] = table
+            return table
+
+        # per child: list of (S_edge, visible, mem, ops, backref)
+        per_child: List[List[Tuple]] = []
+        for child, ok in zip(node.children, node.fusible):
+            sol = solve(child)
+            opts: List[Tuple] = []
+            if not ok or child.is_leaf:
+                for (s, vis), entries in sol.items():
+                    if s:
+                        continue
+                    for k, (mem, ops, _) in enumerate(entries):
+                        opts.append(
+                            (frozenset(), vis, mem, ops, ((s, vis), k, frozenset()))
+                        )
+                per_child.append(opts)
+                continue
+            common_dims = (
+                node.loop_indices
+                & child.loop_indices
+                & set(child.array.indices)
+            )
+            red_pool: List[Index] = []
+            if allow_redundancy:
+                red_pool = sorted(node.loop_indices - child.loop_indices)[
+                    : max(0, max_redundant_per_edge)
+                ]
+            red_subsets = _subsets(red_pool) if red_pool else [frozenset()]
+            for (s, vis), entries in sol.items():
+                if not s <= common_dims:
+                    continue
+                for red in red_subsets:
+                    s_edge = s | red
+                    mult = total_extent(red, bindings) if red else 1
+                    for k, (mem, ops, _) in enumerate(entries):
+                        opts.append(
+                            (s_edge, vis, mem, ops * mult, ((s, vis), k, red))
+                        )
+            per_child.append(opts)
+
+        parent_cands = _subsets(
+            sorted(set(node.array.indices) & node.loop_indices)
+        )
+        base_ops = stmt_ops(node)
+
+        # sequential DP over children: the state is the canonical chain
+        # of fused/visible sets committed so far (it must stay a total
+        # inclusion chain); per state keep the (mem, ops) pareto list.
+        states: Dict[Chain, List[Tuple[int, int, Tuple]]] = {
+            (): [(0, 0, ())]
+        }
+        for opts in per_child:
+            new_states: Dict[Chain, List[Tuple[int, int, Tuple]]] = {}
+            for chain, entries in states.items():
+                for s_edge, vis, cmem, cops, backref in opts:
+                    cand = [s for s in (s_edge, *vis) if s]
+                    merged = _chain_key(list(chain) + cand)
+                    if not _is_chain(merged):
+                        continue
+                    bucket = new_states.setdefault(merged, [])
+                    for mem, ops, picks in entries:
+                        if (
+                            memory_limit is not None
+                            and mem + cmem > memory_limit
+                        ):
+                            continue
+                        pareto_insert(
+                            bucket,
+                            (mem + cmem, ops + cops, picks + (backref,)),
+                        )
+            states = new_states
+
+        table: Dict[Tuple[SetKey, Chain], List[Tuple]] = {}
+        for s_p in parent_cands:
+            own = reduced_size(node.array.indices, tuple(s_p), bindings)
+            for chain, entries in states.items():
+                family = _chain_key(list(chain) + ([s_p] if s_p else []))
+                if not _is_chain(family):
+                    continue
+                visible_up = _chain_key([x for x in chain if x < s_p])
+                key = (s_p, visible_up)
+                bucket = table.setdefault(key, [])
+                for mem, ops, picks in entries:
+                    pareto_insert(bucket, (mem + own, ops + base_ops, picks))
+        tables[id(node)] = table
+        return table
+
+    root_table = solve(root)
+    root_size = total_extent(root.array.indices, bindings)
+
+    # collect root entries (S must be empty), reconstruct each pareto point
+    solutions: List[TradeoffSolution] = []
+    families: Dict[int, Dict[int, Tuple[SetKey, ...]]] = {}
+
+    def reconstruct(
+        node: CompNode,
+        key: Tuple[SetKey, Chain],
+        entry_idx: int,
+        edges: Dict[int, EdgeChoice],
+        fams: Dict[int, Tuple[SetKey, ...]],
+    ) -> None:
+        if node.is_leaf:
+            return
+        _, _, choice = tables[id(node)][key][entry_idx]
+        fam_sets: List[SetKey] = [key[0]]
+        for child, (ckey, cidx, red) in zip(node.children, choice):
+            edges[id(child)] = EdgeChoice(ckey[0], red)
+            fam_sets.append(ckey[0] | red)
+            fam_sets.extend(ckey[1])
+            reconstruct(child, ckey, cidx, edges, fams)
+        fams[id(node)] = _chain_key([s for s in fam_sets if s])
+
+    for (s, vis), entries in root_table.items():
+        if s:
+            continue
+        for idx, (mem, ops, _) in enumerate(entries):
+            total_mem = mem - root_size  # exclude the output array
+            if memory_limit is not None and total_mem > memory_limit:
+                continue
+            edges: Dict[int, EdgeChoice] = {}
+            fams: Dict[int, Tuple[SetKey, ...]] = {}
+            reconstruct(root, (s, vis), idx, edges, fams)
+            sol = TradeoffSolution(
+                root, total_mem, ops, edges, bindings
+            )
+            sol._families = fams
+            solutions.append(sol)
+
+    # global pareto across keys, then sort by memory
+    solutions.sort(key=lambda s: (s.memory, s.ops))
+    frontier: List[TradeoffSolution] = []
+    best_ops: Optional[int] = None
+    for sol in solutions:
+        if best_ops is None or sol.ops < best_ops:
+            frontier.append(sol)
+            best_ops = sol.ops
+    return frontier

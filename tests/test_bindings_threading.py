@@ -1,0 +1,158 @@
+"""Bindings threading: one program, many scales.
+
+The same AST must serve paper-scale analysis and test-scale execution
+through the ``bindings`` mapping.  These tests pin that contract for
+every stage: cost models, fusion, space-time, locality, distribution,
+codegen, and the pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SynthesisConfig, synthesize
+from repro.chem.workloads import fig1_formula_sequence, fig1_program
+from repro.engine.executor import evaluate_expression, random_inputs
+from repro.codegen.builder import build_fused, build_unfused
+from repro.codegen.interp import execute
+from repro.codegen.loops import array_sizes, loop_op_count, total_memory
+from repro.codegen.pygen import compile_loops
+from repro.fusion.memopt import minimize_memory
+from repro.fusion.tree import build_tree
+from repro.opmin.cost import sequence_op_count, statement_op_count
+from repro.opmin.multi_term import optimize_statement
+from repro.validate import verify_result
+
+SMALL = {"V": 3, "O": 2}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    # declared defaults are paper scale; tests bind down
+    return fig1_program()  # V=3000, O=100 defaults
+
+
+class TestCostModelBindings:
+    def test_direct_count_scales(self, prog):
+        stmt = prog.statements[0]
+        paper = statement_op_count(stmt)
+        small = statement_op_count(stmt, SMALL)
+        assert paper == 4 * 3000**6 * 100**4
+        assert small == 4 * 3**6 * 2**4
+
+    def test_optimizer_uses_bindings_for_decisions(self, prog):
+        """Extent-dependent tie-breaks must follow the bound sizes, and
+        the optimized count at a binding matches re-counting there."""
+        stmt = prog.statements[0]
+        seq = optimize_statement(stmt, SMALL)
+        assert sequence_op_count(seq, SMALL) <= statement_op_count(
+            stmt, SMALL
+        )
+
+
+class TestStructureBindings:
+    def test_sizes_scale_with_bindings(self):
+        seq_prog = fig1_formula_sequence()  # paper-scale defaults
+        block = build_unfused(seq_prog.statements)
+        paper_sizes = array_sizes(block)
+        small_sizes = array_sizes(block, SMALL)
+        assert paper_sizes["T1"] == 3000**4
+        assert small_sizes["T1"] == 3**4
+        assert total_memory(block, SMALL) < total_memory(block)
+
+    def test_fusion_result_carries_bindings(self):
+        seq_prog = fig1_formula_sequence()
+        root = build_tree(seq_prog.statements)
+        paper = minimize_memory(root)
+        small = minimize_memory(root, SMALL)
+        # T1 scalar + T2 O^2 in both, with O bound accordingly
+        assert paper.total_memory == 1 + 100 * 100
+        assert small.total_memory == 1 + 2 * 2
+
+    def test_execution_at_bound_scale(self):
+        seq_prog = fig1_formula_sequence()
+        root = build_tree(seq_prog.statements)
+        result = minimize_memory(root, SMALL)
+        block = build_fused(result)
+        arrays = random_inputs(seq_prog, SMALL, seed=0)
+        want = None
+        env = execute(block, arrays, SMALL)
+        # reference at the same binding
+        from repro.engine.executor import run_statements
+
+        ref = run_statements(seq_prog.statements, arrays, SMALL)
+        np.testing.assert_allclose(env["S"], ref["S"], rtol=1e-10)
+
+    def test_generated_code_respects_bindings(self):
+        seq_prog = fig1_formula_sequence()
+        block = build_unfused(seq_prog.statements)
+        kernel = compile_loops(block, SMALL)
+        arrays = random_inputs(seq_prog, SMALL, seed=1)
+        env = kernel(arrays)
+        assert env["S"].shape == (3, 3, 2, 2)
+
+
+class TestPipelineBindings:
+    def test_full_pipeline_at_binding(self, prog):
+        config = SynthesisConfig(bindings=SMALL, optimize_cache=False)
+        result = synthesize(prog, config)
+        report = verify_result(result)
+        assert report.ok
+        # the codegen report counted at the bound scale
+        codegen = next(
+            r for r in result.reports if r.name == "Code generation"
+        )
+        assert codegen.details["operation count"] < 10**7
+
+    def test_spacetime_trigger_depends_on_binding(self):
+        """The same machine budget that fits at a tiny binding requires
+        the space-time stage at a larger one."""
+        from repro import MachineModel, MemoryLevel
+        from repro.chem.a3a import a3a_problem
+
+        problem = a3a_problem(V=6, O=2, Ci=20)
+        machine = MachineModel(
+            cache=MemoryLevel("cache", 16, 8.0),
+            memory=MemoryLevel("memory", 200, 512.0),
+        )
+
+        def invoked(bindings):
+            config = SynthesisConfig(
+                machine=machine, bindings=bindings, optimize_cache=False
+            )
+            result = synthesize(problem.program, config)
+            st = next(
+                r for r in result.reports if "Space-time" in r.name
+            )
+            return st.details["invoked"] == "yes"
+
+        assert not invoked({"V": 2, "O": 2})  # temps fit
+        assert invoked(None)  # V=6: 2 + 2*V^3*O = 866 > 200
+
+    def test_distribution_with_bindings(self, prog):
+        from repro import ProcessorGrid
+
+        config = SynthesisConfig(
+            bindings=SMALL,
+            grid=ProcessorGrid((2,)),
+            optimize_cache=False,
+        )
+        result = synthesize(prog, config)
+        arrays = random_inputs(prog, SMALL, seed=2)
+        got = result.run_parallel(arrays)
+        want = evaluate_expression(prog.statements[0].expr, arrays, SMALL)
+        np.testing.assert_allclose(got["S"], want, rtol=1e-9)
+
+
+class TestLocalityBindings:
+    def test_tile_candidates_follow_bound_extents(self):
+        from repro.locality.tile_search import optimize_locality
+
+        seq_prog = fig1_formula_sequence()
+        block = build_unfused(seq_prog.statements)
+        result = optimize_locality(
+            block, capacity=32, bindings=SMALL,
+            indices=None, max_combinations=50_000,
+        )
+        # candidate tile sizes never exceed the bound extents
+        for idx, b in result.tile_sizes.items():
+            assert b <= idx.extent(SMALL)

@@ -1,0 +1,199 @@
+"""A3A reproduction tests: Figs. 2, 3, 4 structures vs analytic tables
+and vs measured execution."""
+
+import numpy as np
+import pytest
+
+from repro.chem.a3a import (
+    a3a_problem,
+    fig2_structure,
+    fig2_table,
+    fig3_structure,
+    fig3_table,
+    fig4_structure,
+    fig4_table,
+    table_totals,
+)
+from repro.engine.counters import Counters
+from repro.engine.executor import evaluate_expression, random_inputs, run_statements
+from repro.codegen.interp import execute
+from repro.codegen.loops import array_sizes, loop_op_count
+
+# tiny but structurally faithful sizes: V divisible by the fig4 block
+SMALL = dict(V=4, O=2, Ci=50)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return a3a_problem(**SMALL)
+
+
+@pytest.fixture(scope="module")
+def inputs(problem):
+    return random_inputs(problem.program, seed=13)
+
+
+@pytest.fixture(scope="module")
+def reference_E(problem, inputs):
+    env = run_statements(
+        problem.statements, inputs, functions=problem.functions
+    )
+    return float(env["E"])
+
+
+class TestProblemDefinition:
+    def test_statements(self, problem):
+        names = [s.result.name for s in problem.statements]
+        assert names == ["X", "T1", "T2", "Y", "E"]
+
+    def test_scalar_result(self, problem):
+        assert problem.statements[-1].result.indices == ()
+
+    def test_functions_registered(self, problem):
+        assert set(problem.functions) == {"f1", "f2"}
+
+    def test_paper_scale_defaults(self):
+        big = a3a_problem()
+        assert big.V == 3000 and big.O == 100 and big.Ci == 1000
+
+
+class TestFig2:
+    def test_space_matches_table(self, problem):
+        block = fig2_structure(problem)
+        sizes = array_sizes(block)
+        table = fig2_table(**SMALL)
+        for arr in ("X", "T1", "T2", "Y", "E"):
+            assert sizes[arr] == table[arr]["space"], arr
+
+    def test_time_matches_table(self, problem):
+        block = fig2_structure(problem)
+        table = fig2_table(**SMALL)
+        assert loop_op_count(block) == table_totals(table)["time"]
+
+    def test_measured_ops_match(self, problem, inputs, reference_E):
+        block = fig2_structure(problem)
+        counters = Counters()
+        env = execute(block, inputs, functions=problem.functions, counters=counters)
+        assert counters.total_ops == loop_op_count(block)
+        assert float(env["E"]) == pytest.approx(reference_E, rel=1e-10)
+
+    def test_integral_reuse_is_maximal(self, problem, inputs):
+        """Each T1/T2 element evaluated exactly once: V^3*O calls each."""
+        block = fig2_structure(problem)
+        counters = Counters()
+        execute(block, inputs, functions=problem.functions, counters=counters)
+        V, O = SMALL["V"], SMALL["O"]
+        assert counters.func_evals == 2 * V**3 * O
+
+
+class TestFig3:
+    def test_all_temporaries_scalar(self, problem):
+        block = fig3_structure(problem)
+        sizes = array_sizes(block)
+        for arr in ("X", "T1", "T2", "Y", "E"):
+            assert sizes[arr] == 1, arr
+
+    def test_time_matches_table(self, problem):
+        block = fig3_structure(problem)
+        table = fig3_table(**SMALL)
+        assert loop_op_count(block) == table_totals(table)["time"]
+
+    def test_numerics_preserved(self, problem, inputs, reference_E):
+        block = fig3_structure(problem)
+        env = execute(block, inputs, functions=problem.functions)
+        assert float(env["E"]) == pytest.approx(reference_E, rel=1e-10)
+
+    def test_recompute_blowup_factor(self, problem):
+        """Integral work grows by V^2 vs the unfused form (3 orders of
+        magnitude at paper scale)."""
+        V = SMALL["V"]
+        f2_time = fig2_table(**SMALL)["T1"]["time"]
+        f3_time = fig3_table(**SMALL)["T1"]["time"]
+        assert f3_time == V**2 * f2_time
+
+    def test_measured_func_evals(self, problem, inputs):
+        block = fig3_structure(problem)
+        counters = Counters()
+        execute(block, inputs, functions=problem.functions, counters=counters)
+        V, O = SMALL["V"], SMALL["O"]
+        assert counters.func_evals == 2 * V**5 * O
+
+
+class TestFig4:
+    @pytest.mark.parametrize("B", [1, 2, 4])
+    def test_space_matches_table(self, problem, B):
+        block = fig4_structure(problem, B)
+        sizes = array_sizes(block)
+        table = fig4_table(B=B, **SMALL)
+        for arr in ("X", "T1", "T2", "Y", "E"):
+            assert sizes[arr] == table[arr]["space"], (arr, B)
+
+    @pytest.mark.parametrize("B", [1, 2, 4])
+    def test_time_matches_table(self, problem, B):
+        block = fig4_structure(problem, B)
+        table = fig4_table(B=B, **SMALL)
+        assert loop_op_count(block) == table_totals(table)["time"]
+
+    @pytest.mark.parametrize("B", [1, 2, 4])
+    def test_numerics_preserved(self, problem, inputs, reference_E, B):
+        block = fig4_structure(problem, B)
+        env = execute(block, inputs, functions=problem.functions)
+        assert float(env["E"]) == pytest.approx(reference_E, rel=1e-10)
+
+    def test_extremes_recover_fig2_and_fig3_costs(self, problem):
+        """B=V restores full integral reuse; B=1 costs like full fusion."""
+        V, O, Ci = SMALL["V"], SMALL["O"], SMALL["Ci"]
+        t_b_full = fig4_table(B=V, **SMALL)["T1"]["time"]
+        assert t_b_full == fig2_table(**SMALL)["T1"]["time"]
+        t_b_one = fig4_table(B=1, **SMALL)["T1"]["time"]
+        assert t_b_one == fig3_table(**SMALL)["T1"]["time"]
+
+    def test_reuse_grows_with_B(self, problem, inputs):
+        evals = {}
+        for B in (1, 2, 4):
+            counters = Counters()
+            execute(
+                fig4_structure(problem, B),
+                inputs,
+                functions=problem.functions,
+                counters=counters,
+            )
+            evals[B] = counters.func_evals
+        assert evals[1] > evals[2] > evals[4]
+        # each doubling of B cuts integral evaluations 4x
+        assert evals[1] == 4 * evals[2] == 16 * evals[4]
+
+
+class TestFig4Uneven:
+    def test_nondivisible_block_still_correct(self, inputs, reference_E):
+        problem = a3a_problem(**SMALL)
+        block = fig4_structure(problem, 3)  # 3 does not divide V=4
+        env = execute(block, inputs, functions=problem.functions)
+        assert float(env["E"]) == pytest.approx(reference_E, rel=1e-10)
+
+    def test_table_rejects_nondivisible(self):
+        with pytest.raises(ValueError, match="divide"):
+            fig4_table(B=3, **SMALL)
+
+
+class TestPaperScaleTables:
+    """The tables at paper scale (V=3000, O=100, Ci=1000) -- pure
+    arithmetic, no execution."""
+
+    def test_fig2_memory_is_terabytes(self):
+        table = fig2_table(3000, 100, 1000)
+        bytes_needed = table_totals(table)["space"] * 8
+        assert bytes_needed > 1e12  # "several tera bytes"
+
+    def test_fig3_removes_memory_but_costs_1000x(self):
+        f2 = fig2_table(3000, 100, 1000)
+        f3 = fig3_table(3000, 100, 1000)
+        assert table_totals(f3)["space"] == 5
+        blowup = f3["T1"]["time"] / f2["T1"]["time"]
+        assert blowup == pytest.approx(3000**2)
+
+    def test_fig4_intermediate_point(self):
+        f2 = fig2_table(3000, 100, 1000)
+        f4 = fig4_table(3000, 100, 1000, B=30)
+        assert table_totals(f4)["space"] < table_totals(f2)["space"]
+        assert f4["T1"]["time"] < fig3_table(3000, 100, 1000)["T1"]["time"]

@@ -1,0 +1,154 @@
+"""Tests for the workload library."""
+
+import numpy as np
+import pytest
+
+from repro import SynthesisConfig, synthesize
+from repro.chem.workloads import (
+    ccsd_doubles_program,
+    ccsd_like_program,
+    fig1_formula_sequence,
+    fig1_program,
+    random_contraction_program,
+)
+from repro.engine.executor import random_inputs, run_statements
+from repro.opmin.cost import sequence_op_count, statement_op_count
+from repro.opmin.multi_term import optimize_program
+from repro.validate import verify_result
+
+
+class TestFig1Workloads:
+    def test_program_and_sequence_agree(self):
+        prog = fig1_program(V=4, O=3)
+        seq = fig1_formula_sequence(V=4, O=3)
+        arrays = random_inputs(prog, seed=0)
+        want = run_statements(prog.statements, arrays)["S"]
+        got = run_statements(seq.statements, arrays)["S"]
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+
+    def test_default_paper_scale(self):
+        assert fig1_program().ranges[0].default == 3000
+
+
+class TestCcsdLike:
+    def test_three_terms(self):
+        prog = ccsd_like_program(V=5, O=3)
+        from repro.expr.canonical import flatten
+
+        assert len(flatten(prog.statements[0].expr)) == 3
+
+    def test_optimization_valid(self):
+        prog = ccsd_like_program(V=5, O=3)
+        seq = optimize_program(prog)
+        arrays = random_inputs(prog, seed=1)
+        want = run_statements(prog.statements, arrays)["R"]
+        got = run_statements(seq, arrays)["R"]
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+
+
+class TestCcsdDoubles:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        return ccsd_doubles_program(V=5, O=3)
+
+    def test_five_terms(self, prog):
+        from repro.expr.canonical import flatten
+
+        assert len(flatten(prog.statements[0].expr)) == 5
+
+    def test_quadratic_term_has_three_factors(self, prog):
+        from repro.expr.canonical import flatten
+
+        sizes = sorted(len(refs) for _, _, refs in flatten(prog.statements[0].expr))
+        assert sizes == [2, 2, 2, 2, 3]
+
+    def test_optimization_reduces_ops(self, prog):
+        direct = statement_op_count(prog.statements[0])
+        seq = optimize_program(prog)
+        assert sequence_op_count(seq) < direct
+
+    def test_quadratic_term_factored(self, prog):
+        """The T2*V*T2 term must be evaluated as two binary
+        contractions, never the direct 3-factor nest."""
+        seq = optimize_program(prog)
+        from repro.expr.canonical import flatten
+
+        for s in seq:
+            for _, _, refs in flatten(s.expr):
+                assert len(refs) <= 2
+
+    def test_full_pipeline(self, prog):
+        result = synthesize(prog, SynthesisConfig(optimize_cache=False))
+        report = verify_result(result)
+        assert report.ok, str(report)
+
+    def test_paper_scale_op_estimate(self):
+        big = ccsd_doubles_program(V=1000, O=50)
+        direct = statement_op_count(big.statements[0])
+        optimized = sequence_op_count(optimize_program(big))
+        # the quadratic term alone is V^4 O^4 direct; factoring brings
+        # the total down by orders of magnitude
+        assert optimized < direct / 1000
+
+
+class TestRandomPrograms:
+    def test_deterministic(self):
+        a = random_contraction_program(7)
+        b = random_contraction_program(7)
+        assert str(a.statements[0]) == str(b.statements[0])
+
+    def test_seeds_differ(self):
+        a = random_contraction_program(1)
+        b = random_contraction_program(2)
+        assert str(a.statements[0]) != str(b.statements[0])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_valid(self, seed):
+        prog = random_contraction_program(seed, n_tensors=5, n_indices=7)
+        arrays = random_inputs(prog, seed=seed)
+        run_statements(prog.statements, arrays)
+
+
+class TestPolarizability:
+    def test_optimal_absorbs_diagonal_first(self):
+        """The op-minimal tree contracts M with D (elementwise over v,c)
+        before the big g/gp contraction -- never the M*M outer product."""
+        from repro.expr.canonical import flatten
+        from repro.chem.workloads import polarizability_like_program
+        from repro.opmin.optree import Contract, Leaf
+        from repro.opmin.single_term import optimize_term
+
+        prog = polarizability_like_program()
+        (coef, sums, refs), = flatten(prog.statements[0].expr)
+        tree = optimize_term(refs, sums)
+
+        def first_pair(node):
+            if isinstance(node, Contract):
+                l, r = node.left, node.right
+                if isinstance(l, Leaf) and isinstance(r, Leaf):
+                    return {l.ref.tensor.name, r.ref.tensor.name}
+                return first_pair(l) or first_pair(r)
+            return None
+
+        assert first_pair(tree) == {"M", "D"}
+
+    def test_pipeline_verifies(self):
+        from repro import SynthesisConfig, synthesize
+        from repro.chem.workloads import polarizability_like_program
+        from repro.validate import verify_result
+
+        prog = polarizability_like_program(Nv=6, Nc=4, Ng=5)
+        result = synthesize(prog, SynthesisConfig(optimize_cache=False))
+        assert verify_result(result).ok
+
+    def test_chi_is_symmetric(self):
+        """Physical sanity: Chi[g,gp] == Chi[gp,g] for this form."""
+        import numpy as np
+
+        from repro.chem.workloads import polarizability_like_program
+        from repro.engine.executor import random_inputs, run_statements
+
+        prog = polarizability_like_program(Nv=5, Nc=3, Ng=4)
+        arrays = random_inputs(prog, seed=0)
+        chi = run_statements(prog.statements, arrays)["Chi"]
+        np.testing.assert_allclose(chi, chi.T, rtol=1e-10)

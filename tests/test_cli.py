@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+SRC = """
+range V = 4;
+range O = 2;
+index a, b, c, d, e, f : V;
+index i, j, k, l : O;
+tensor A(a, c, i, k); tensor B(b, e, f, l);
+tensor C(d, f, j, k); tensor D(c, d, e, l);
+S(a, b, i, j) = sum(c, d, e, f, k, l)
+    A(a,c,i,k) * B(b,e,f,l) * C(d,f,j,k) * D(c,d,e,l);
+"""
+
+
+@pytest.fixture
+def src_file(tmp_path):
+    path = tmp_path / "input.tce"
+    path.write_text(SRC)
+    return str(path)
+
+
+class TestParser:
+    def test_grid_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["x.tce", "--grid", "2x2x2"])
+        assert args.grid.dims == (2, 2, 2)
+
+    def test_grid_single(self):
+        args = build_parser().parse_args(["x.tce", "--grid", "4"])
+        assert args.grid.dims == (4,)
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x.tce", "--grid", "two"])
+
+
+class TestMain:
+    def test_basic_run(self, src_file, capsys):
+        rc = main([src_file, "--no-cache-opt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Algebraic transformations" in out
+        assert "Code generation" in out
+
+    def test_show_structure(self, src_file, capsys):
+        rc = main([src_file, "--no-cache-opt", "--show-structure"])
+        assert rc == 0
+        assert "for " in capsys.readouterr().out
+
+    def test_show_code(self, src_file, capsys):
+        rc = main([src_file, "--no-cache-opt", "--show-code"])
+        assert rc == 0
+        assert "def kernel(" in capsys.readouterr().out
+
+    def test_grid_plans(self, src_file, capsys):
+        rc = main([src_file, "--no-cache-opt", "--grid", "2", "--show-plans"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "distribution plans" in out
+
+    def test_missing_file(self, capsys):
+        rc = main(["/nonexistent/path.tce"])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tce"
+        bad.write_text("range V = ;")
+        rc = main([str(bad)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_emit_kernel_is_importable(self, src_file, tmp_path, capsys):
+        out_py = tmp_path / "kernel.py"
+        rc = main([src_file, "--no-cache-opt", "--emit", str(out_py)])
+        assert rc == 0
+        namespace = {}
+        exec(out_py.read_text(), namespace)
+        kernel = namespace["kernel"]
+        rng = np.random.default_rng(0)
+        arrays = {
+            "A": rng.standard_normal((4, 4, 2, 2)),
+            "B": rng.standard_normal((4, 4, 4, 2)),
+            "C": rng.standard_normal((4, 4, 2, 2)),
+            "D": rng.standard_normal((4, 4, 4, 2)),
+        }
+        env = kernel(dict(arrays), {})
+        assert env["S"].shape == (4, 4, 2, 2)
+
+    def test_module_invocation(self, src_file):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", src_file, "--no-cache-opt"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "Algebraic transformations" in proc.stdout
+
+
+class TestEmitSpmd:
+    def test_emit_spmd_with_grid(self, src_file, tmp_path, capsys):
+        out_py = tmp_path / "spmd.py"
+        rc = main([
+            src_file, "--no-cache-opt", "--grid", "2",
+            "--emit-spmd", str(out_py),
+        ])
+        assert rc == 0
+        text = out_py.read_text()
+        assert "def rank_program_" in text
+        assert "yield" in text
+        compile(text, str(out_py), "exec")
+
+    def test_emit_spmd_without_grid_fails(self, src_file, tmp_path, capsys):
+        out_py = tmp_path / "spmd.py"
+        rc = main([src_file, "--no-cache-opt", "--emit-spmd", str(out_py)])
+        assert rc == 1
+        assert "requires --grid" in capsys.readouterr().err
+
+    def test_processors_flag(self, src_file, capsys):
+        rc = main([src_file, "--no-cache-opt", "--processors", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chose grid" in out

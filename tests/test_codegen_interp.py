@@ -1,0 +1,149 @@
+"""Focused interpreter tests: tile guards, counters, analyses
+consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.indices import Index, IndexRange
+from repro.expr.parser import parse_program
+from repro.engine.counters import Counters
+from repro.engine.executor import random_inputs
+from repro.codegen.builder import apply_tiling, build_unfused
+from repro.codegen.interp import execute
+from repro.codegen.loops import (
+    Access,
+    Alloc,
+    Assign,
+    Loop,
+    LoopVar,
+    ZeroArr,
+    loop_op_count,
+    peak_memory,
+    total_memory,
+)
+
+N = IndexRange("N", 5)
+A_IDX = Index("a", N)
+
+
+class TestTileGuards:
+    def test_out_of_range_iterations_skipped(self):
+        """N=5, B=2: the (tile=2, intra=1) slot maps to a=5 and must be
+        skipped -- measured assign executions equal N exactly."""
+        tile = LoopVar(A_IDX, "tile", 2)
+        intra = LoopVar(A_IDX, "intra", 2)
+        target = Access("S", ((tile, intra),))
+        src = Access("A", ((tile, intra),))
+        block = (
+            Alloc("S", ((LoopVar(A_IDX),),)),
+            ZeroArr("S"),
+            Loop(tile, (Loop(intra, (Assign(target, (src,), True),)),)),
+        )
+        counters = Counters()
+        env = execute(block, {"A": np.arange(5.0)}, counters=counters)
+        np.testing.assert_array_equal(env["S"], np.arange(5.0))
+        assert counters.flops == 5  # one add per valid iteration
+
+    def test_static_count_matches_guarded_execution(self):
+        tile = LoopVar(A_IDX, "tile", 2)
+        intra = LoopVar(A_IDX, "intra", 2)
+        target = Access("S", ((tile, intra),))
+        src = Access("A", ((tile, intra),))
+        block = (
+            Alloc("S", ((LoopVar(A_IDX),),)),
+            ZeroArr("S"),
+            Loop(tile, (Loop(intra, (Assign(target, (src,), True),)),)),
+        )
+        counters = Counters()
+        execute(block, {"A": np.arange(5.0)}, counters=counters)
+        assert counters.flops == loop_op_count(block)
+
+
+class TestCounters:
+    def test_alloc_counted_once_per_name(self):
+        prog = parse_program("""
+        range N = 3;
+        index a, b : N;
+        tensor X(a, b);
+        S(a) = sum(b) X(a, b);
+        """)
+        block = build_unfused(prog.statements)
+        counters = Counters()
+        execute(block, random_inputs(prog, seed=0), counters=counters)
+        assert counters.elements_allocated == 3  # S only, once
+
+    def test_realloc_inside_loop_counts_once(self):
+        inner_alloc = Alloc("T", ())
+        tgt = Access("T", ())
+        block = (
+            Loop(
+                LoopVar(A_IDX),
+                (inner_alloc, Assign(tgt, (tgt,), False)),
+            ),
+        )
+        counters = Counters()
+        execute(block, {}, counters=counters)
+        assert counters.elements_allocated == 1
+
+
+class TestAnalysesConsistency:
+    def test_peak_never_exceeds_total(self):
+        prog = parse_program("""
+        range N = 4;
+        index a, b, c : N;
+        tensor A(a, b); tensor B(b, c);
+        T(a, c) = sum(b) A(a, b) * B(b, c);
+        S(a) = sum(c) T(a, c) * T(a, c);
+        """)
+        block = build_unfused(prog.statements)
+        assert peak_memory(block) <= total_memory(block)
+
+    def test_fused_peak_le_unfused_peak(self, fig1_program):
+        from repro.codegen.builder import build_fused
+        from repro.fusion.memopt import minimize_memory
+        from repro.fusion.tree import build_tree
+        from repro.opmin.multi_term import optimize_statement
+
+        seq = optimize_statement(fig1_program.statements[0])
+        unfused = build_unfused(seq)
+        fused = build_fused(minimize_memory(build_tree(seq)))
+        assert peak_memory(fused) <= peak_memory(unfused)
+
+    @given(st.integers(min_value=1, max_value=9))
+    @settings(max_examples=9, deadline=None)
+    def test_guarded_count_independent_of_block_size(self, b):
+        """Any block size yields the same executed-op count for a
+        statement covering its tiled index."""
+        prog = parse_program("""
+        range N = 9;
+        index a, b : N;
+        tensor A(a, b);
+        S(a) = sum(b) A(a, b);
+        """)
+        block = build_unfused(prog.statements)
+        a = next(i for i in prog.statements[0].expr.free if i.name == "a")
+        tiled = apply_tiling(block, {a: b}, keep_global=["S"])
+        assert loop_op_count(tiled) == loop_op_count(block)
+
+
+class TestSpmdDeterminism:
+    def test_generated_source_is_deterministic(self):
+        from repro.parallel.grid import ProcessorGrid
+        from repro.parallel.partition import optimize_distribution
+        from repro.parallel.ptree import expression_to_ptree
+        from repro.parallel.spmd import generate_spmd_source
+
+        prog = parse_program("""
+        range N = 8;
+        index i, j, k : N;
+        tensor A(i, k); tensor B(k, j);
+        C(i, j) = sum(k) A(i, k) * B(k, j);
+        """)
+        tree = expression_to_ptree(prog.statements[0].expr)
+        grid = ProcessorGrid((2, 2))
+        plan = optimize_distribution(tree, grid)
+        s1 = generate_spmd_source(plan)
+        s2 = generate_spmd_source(plan)
+        assert s1 == s2

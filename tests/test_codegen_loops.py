@@ -1,0 +1,142 @@
+"""Unit tests for the loop IR and its static analyses."""
+
+import pytest
+
+from repro.expr.indices import Index, IndexRange
+from repro.codegen.loops import (
+    Access,
+    Alloc,
+    Assign,
+    Loop,
+    LoopVar,
+    ZeroArr,
+    array_sizes,
+    distinct_accesses,
+    loop_op_count,
+    peak_memory,
+    render,
+    total_memory,
+    validate,
+)
+
+V = IndexRange("V", 8)
+A, B, C = Index("a", V), Index("b", V), Index("c", V)
+
+
+def lv(i):
+    return LoopVar(i)
+
+
+class TestLoopVar:
+    def test_full_extent(self):
+        assert lv(A).extent() == 8
+        assert lv(A).extent({"V": 3}) == 3
+
+    def test_tile_extent_ceil(self):
+        assert LoopVar(A, "tile", 3).extent() == 3  # ceil(8/3)
+        assert LoopVar(A, "tile", 4).extent() == 2
+
+    def test_intra_extent(self):
+        assert LoopVar(A, "intra", 3).extent() == 3
+        assert LoopVar(A, "intra", 16).extent() == 8  # capped at N
+
+    def test_role_validation(self):
+        with pytest.raises(ValueError):
+            LoopVar(A, "weird")
+        with pytest.raises(ValueError):
+            LoopVar(A, "tile")  # missing block
+        with pytest.raises(ValueError):
+            LoopVar(A, "full", 4)  # spurious block
+
+    def test_names(self):
+        assert lv(A).name == "a"
+        assert LoopVar(A, "tile", 2).name == "a_t"
+        assert LoopVar(A, "intra", 2).name == "a_i"
+
+
+def simple_block():
+    """T[a,b] = 0; for a: for b: for c: T[a,b] += X[a,c]*Y[c,b]"""
+    t = Access("T", ((lv(A),), (lv(B),)))
+    x = Access("X", ((lv(A),), (lv(C),)))
+    y = Access("Y", ((lv(C),), (lv(B),)))
+    inner = Assign(t, (x, y), accumulate=True)
+    return (
+        Alloc("T", ((lv(A),), (lv(B),))),
+        ZeroArr("T"),
+        Loop(lv(A), (Loop(lv(B), (Loop(lv(C), (inner,)),)),)),
+    )
+
+
+class TestAnalyses:
+    def test_op_count(self):
+        # 2 ops (1 mul + 1 add) per (a,b,c) point
+        assert loop_op_count(simple_block()) == 2 * 8**3
+        assert loop_op_count(simple_block(), {"V": 2}) == 16
+
+    def test_array_sizes(self):
+        assert array_sizes(simple_block()) == {"T": 64}
+
+    def test_total_and_peak_memory(self):
+        blk = simple_block()
+        assert total_memory(blk) == 64
+        assert peak_memory(blk) == 64
+
+    def test_peak_scoped_allocs(self):
+        """An alloc inside a loop is one reusable buffer."""
+        inner_alloc = Alloc("S", ((lv(B),),))
+        blk = (
+            Alloc("T", ((lv(A),),)),
+            Loop(lv(A), (inner_alloc,)),
+        )
+        assert total_memory(blk) == 8 + 8
+        assert peak_memory(blk) == 16
+
+    def test_double_alloc_rejected(self):
+        blk = (Alloc("T", ()), Alloc("T", ()))
+        with pytest.raises(ValueError, match="twice"):
+            array_sizes(blk)
+
+    def test_validate_unbound_var(self):
+        t = Access("T", ((lv(A),),))
+        blk = (Assign(t, (t,), accumulate=False),)
+        with pytest.raises(ValueError, match="unbound"):
+            validate(blk)
+
+    def test_validate_shadowing(self):
+        blk = (Loop(lv(A), (Loop(lv(A), ()),)),)
+        with pytest.raises(ValueError, match="shadows"):
+            validate(blk)
+
+    def test_render_contains_structure(self):
+        text = render(simple_block())
+        assert "for a:" in text
+        assert "T[a,b] += X[a,c] * Y[c,b]" in text
+
+
+class TestDistinctAccesses:
+    def test_innermost_loop(self):
+        blk = simple_block()
+        loop_a = blk[2]
+        loop_b = loop_a.body[0]
+        loop_c = loop_b.body[0]
+        # within loop c (a, b fixed): T[a,b] 1 elem, X[a,c] 8, Y[c,b] 8
+        assert distinct_accesses(loop_c) == 1 + 8 + 8
+        # within loop b: T 8, X 8, Y 64
+        assert distinct_accesses(loop_b) == 8 + 8 + 64
+        # full: 64 + 64 + 64
+        assert distinct_accesses(loop_a) == 192
+
+    def test_bindings(self):
+        blk = simple_block()
+        loop_a = blk[2]
+        assert distinct_accesses(loop_a, {"V": 2}) == 12
+
+
+class TestAssignOps:
+    def test_ops_per_iteration(self):
+        t = Access("T", ((lv(A),),))
+        x = Access("X", ((lv(A),),))
+        assert Assign(t, (x,), accumulate=True).ops_per_iteration() == 1
+        assert Assign(t, (x, x), accumulate=True).ops_per_iteration() == 2
+        assert Assign(t, (x,), accumulate=False).ops_per_iteration() == 0
+        assert Assign(t, (x, x), False, coef=2.0).ops_per_iteration() == 2

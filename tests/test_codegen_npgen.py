@@ -1,0 +1,95 @@
+"""Tests for the vectorized numpy backend."""
+
+import numpy as np
+import pytest
+
+from repro.chem.a3a import a3a_problem
+from repro.chem.a3a_full import a3a_full_problem
+from repro.chem.workloads import fig1_formula_sequence, random_contraction_program
+from repro.engine.executor import random_inputs, run_statements
+from repro.codegen.npgen import compile_sequence, generate_numpy_source
+from repro.opmin.multi_term import optimize_program, optimize_statement
+
+
+class TestNumpyBackend:
+    def test_fig1_sequence_matches_reference(self):
+        prog = fig1_formula_sequence(V=5, O=3)
+        arrays = random_inputs(prog, seed=0)
+        want = run_statements(prog.statements, arrays)
+        kernel = compile_sequence(prog.statements)
+        got = kernel(arrays)
+        np.testing.assert_allclose(got["S"], want["S"], rtol=1e-12)
+
+    def test_a3a_with_functions(self):
+        problem = a3a_problem(V=4, O=2, Ci=50)
+        arrays = random_inputs(problem.program, seed=1)
+        want = run_statements(
+            problem.statements, arrays, functions=problem.functions
+        )
+        kernel = compile_sequence(problem.statements)
+        got = kernel(arrays, problem.functions)
+        assert float(got["E"]) == pytest.approx(float(want["E"]), rel=1e-12)
+
+    def test_six_term_a3a_optimized(self):
+        problem = a3a_full_problem(VA=3, VB=2, O=2, Ci=20)
+        seq = optimize_program(problem.program)
+        arrays = random_inputs(problem.program, seed=2)
+        want = run_statements(seq, arrays, functions=problem.functions)
+        kernel = compile_sequence(seq)
+        got = kernel(arrays, problem.functions)
+        assert float(got["E"]) == pytest.approx(float(want["E"]), rel=1e-12)
+
+    def test_accumulate_statement(self):
+        from repro.expr.parser import parse_program
+
+        prog = parse_program("""
+        range N = 4; index a, b : N;
+        tensor A(a, b); tensor B(a, b);
+        S(a) = sum(b) A(a, b);
+        S(a) += sum(b) B(a, b);
+        """)
+        arrays = random_inputs(prog, seed=3)
+        want = run_statements(prog.statements, arrays)
+        kernel = compile_sequence(prog.statements)
+        got = kernel(arrays)
+        np.testing.assert_allclose(got["S"], want["S"], rtol=1e-12)
+
+    def test_copy_with_transpose(self):
+        from repro.expr.parser import parse_program
+
+        prog = parse_program("""
+        range P = 2; range Q = 3; index p : P; index q : Q;
+        tensor A(p, q);
+        S(q, p) = A(p, q);
+        """)
+        arrays = random_inputs(prog, seed=4)
+        kernel = compile_sequence(prog.statements)
+        got = kernel(arrays)
+        np.testing.assert_array_equal(got["S"], arrays["A"].T)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_programs(self, seed):
+        prog = random_contraction_program(seed + 500, n_tensors=4)
+        seq = optimize_statement(prog.statements[0])
+        arrays = random_inputs(prog, seed=seed)
+        want = run_statements(seq, arrays)
+        kernel = compile_sequence(seq)
+        got = kernel(arrays)
+        name = prog.statements[0].result.name
+        np.testing.assert_allclose(got[name], want[name], rtol=1e-10)
+
+    def test_source_is_compilable_python(self):
+        prog = fig1_formula_sequence(V=5, O=3)
+        src = generate_numpy_source(prog.statements)
+        compile(src, "<test>", "exec")
+        assert "einsum" in src
+
+    def test_inputs_not_mutated(self):
+        prog = fig1_formula_sequence(V=4, O=2)
+        arrays = random_inputs(prog, seed=5)
+        kernel = compile_sequence(prog.statements)
+        before = {k: v.copy() for k, v in arrays.items()}
+        kernel(arrays)
+        for k in arrays:
+            np.testing.assert_array_equal(arrays[k], before[k])
+        assert "S" not in arrays  # the caller's dict is untouched

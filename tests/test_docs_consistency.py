@@ -1,0 +1,91 @@
+"""Documentation consistency guards: the repo's own docs must track its
+artifacts."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+class TestReadme:
+    def test_mentions_every_example(self):
+        readme = read("README.md")
+        for path in sorted((ROOT / "examples").glob("*")):
+            if path.suffix in (".py", ".tce"):
+                assert path.name in readme, path.name
+
+    def test_quickstart_source_parses(self):
+        """The README quickstart program snippet must stay valid."""
+        readme = read("README.md")
+        match = re.search(r'synthesize\("""(.*?)"""', readme, re.DOTALL)
+        assert match, "quickstart snippet not found"
+        from repro.expr.parser import parse_program
+
+        parse_program(match.group(1))
+
+    def test_install_commands_present(self):
+        readme = read("README.md")
+        assert "pip install -e ." in readme
+        assert "pytest benchmarks/ --benchmark-only" in readme
+
+
+class TestDesign:
+    def test_lists_every_source_package(self):
+        design = read("DESIGN.md")
+        for pkg in sorted((ROOT / "src" / "repro").iterdir()):
+            if pkg.is_dir() and (pkg / "__init__.py").exists():
+                assert pkg.name in design, pkg.name
+
+    def test_experiment_ids_have_bench_files(self):
+        design = read("DESIGN.md")
+        for match in re.finditer(r"benchmarks/(bench_\w+\.py)", design):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), (
+                match.group(1)
+            )
+
+    def test_paper_identity_check_recorded(self):
+        design = read("DESIGN.md")
+        assert "identity check" in design.lower()
+        assert "No mismatch" in design
+
+
+class TestExperiments:
+    def test_every_bench_module_is_referenced(self):
+        experiments = read("EXPERIMENTS.md")
+        for path in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            assert path.name in experiments, (
+                f"{path.name} not recorded in EXPERIMENTS.md"
+            )
+
+    def test_experiment_ids_sequential(self):
+        experiments = read("EXPERIMENTS.md")
+        for k in range(1, 14):
+            assert f"## E{k} " in experiments, f"E{k} missing"
+
+    def test_deviations_section_present(self):
+        assert "Known deviations" in read("EXPERIMENTS.md")
+
+
+class TestDocsDir:
+    def test_api_reference_fresh_enough(self):
+        """docs/api.md must mention every subpackage (regenerated via
+        scripts/gen_api_docs.py)."""
+        api = read("docs/api.md")
+        for pkg in sorted((ROOT / "src" / "repro").iterdir()):
+            if pkg.is_dir() and (pkg / "__init__.py").exists():
+                assert f"repro.{pkg.name}" in api, pkg.name
+
+    def test_language_doc_grammar_matches_parser(self):
+        """Key grammar productions documented in docs/language.md exist
+        in the parser's docstring too."""
+        lang = read("docs/language.md")
+        parser_doc = read("src/repro/expr/parser.py")
+        for token in ('"range"', '"index"', '"tensor"', '"function"'):
+            assert token in lang
+            assert token in parser_doc

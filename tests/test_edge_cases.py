@@ -1,0 +1,205 @@
+"""Edge-case coverage across modules: lexical corner cases, fallback
+paths, and error reporting."""
+
+import numpy as np
+import pytest
+
+from repro.expr.ast import Add, Mul, Sum, TensorRef
+from repro.expr.canonical import canonical_key, flatten
+from repro.expr.indices import Index, IndexRange
+from repro.expr.parser import ParseError, parse_program
+from repro.expr.tensor import Tensor
+
+
+class TestLexicalEdges:
+    def test_float_exponent_literals(self):
+        prog = parse_program(
+            "range N=3; index a:N; tensor A(a); S(a) = 1.5e2 * A(a);"
+        )
+        assert prog.statements[0].expr.terms[0][0] == 150.0
+
+    def test_adjacent_statements_no_whitespace(self):
+        prog = parse_program(
+            "range N=2;index a:N;tensor A(a);S(a)=A(a);T(a)=A(a);"
+        )
+        assert len(prog.statements) == 2
+
+    def test_deeply_nested_parens(self):
+        prog = parse_program(
+            "range N=2; index a:N; tensor A(a); S(a) = (((A(a))));"
+        )
+        assert isinstance(prog.statements[0].expr, TensorRef)
+
+    def test_comment_only_program(self):
+        prog = parse_program("# nothing here\n# at all\n")
+        assert prog.statements == ()
+
+    def test_empty_program(self):
+        prog = parse_program("")
+        assert prog.statements == ()
+
+    def test_keyword_like_names_allowed_as_tensors(self):
+        # 'range' etc. are contextual keywords at statement starts only;
+        # 'summ' and 'cost1' are ordinary identifiers
+        prog = parse_program(
+            "range N=2; index a:N; tensor summ(a); S(a) = summ(a);"
+        )
+        assert prog.statements[0].expr.tensor.name == "summ"
+
+
+class TestCanonicalFallbacks:
+    def test_bound_variable_collision_uses_structural_key(self):
+        """(sum(b) A(a,b)) * (sum(b) A(a,b)) cannot flatten (the two b's
+        are distinct bound variables); the structural key still works."""
+        N = IndexRange("N", 4)
+        a, b = Index("a", N), Index("b", N)
+        A = Tensor("A", (a, b))
+        inner = Sum((b,), TensorRef(A, (a, b)))
+        expr = Mul((inner, inner))
+        key = canonical_key(expr)
+        assert key[0] == "structural"
+        assert key == canonical_key(Mul((inner, inner)))
+
+    def test_flatten_raises_on_collision(self):
+        N = IndexRange("N", 4)
+        a, b = Index("a", N), Index("b", N)
+        A = Tensor("A", (a, b))
+        inner = Sum((b,), TensorRef(A, (a, b)))
+        with pytest.raises(OverflowError):
+            flatten(Mul((inner, inner)))
+
+    def test_zero_coefficient_term_dropped(self):
+        N = IndexRange("N", 4)
+        a = Index("a", N)
+        A = Tensor("A", (a,))
+        ref = TensorRef(A, (a,))
+        e = Add(((0.5, ref), (-0.5, ref), (1.0, ref)))
+        assert canonical_key(e) == canonical_key(ref)
+
+
+class TestInterpreterEdges:
+    def test_scalar_target(self):
+        from repro.codegen.builder import build_unfused
+        from repro.codegen.interp import execute
+
+        prog = parse_program(
+            "range N=3; index a:N; tensor A(a); E() = sum(a) A(a) * A(a);"
+        )
+        block = build_unfused(prog.statements)
+        arr = np.array([1.0, 2.0, 3.0])
+        env = execute(block, {"A": arr})
+        assert float(env["E"]) == pytest.approx(14.0)
+
+    def test_missing_input_raises(self):
+        from repro.codegen.builder import build_unfused
+        from repro.codegen.interp import execute
+
+        prog = parse_program(
+            "range N=3; index a:N; tensor A(a); S(a) = A(a);"
+        )
+        block = build_unfused(prog.statements)
+        with pytest.raises(KeyError, match="neither input nor allocated"):
+            execute(block, {})
+
+    def test_negative_coefficient(self):
+        from repro.codegen.builder import build_unfused
+        from repro.codegen.interp import execute
+
+        prog = parse_program(
+            "range N=3; index a:N; tensor A(a); S(a) = -A(a);"
+        )
+        block = build_unfused(prog.statements)
+        arr = np.array([1.0, -2.0, 3.0])
+        env = execute(block, {"A": arr})
+        np.testing.assert_array_equal(env["S"], -arr)
+
+
+class TestPygenEdges:
+    def test_scalar_access_in_generated_code(self):
+        from repro.codegen.builder import build_unfused
+        from repro.codegen.pygen import compile_loops
+
+        prog = parse_program(
+            "range N=3; index a:N; tensor A(a); E() = sum(a) A(a) * A(a);"
+        )
+        kernel = compile_loops(build_unfused(prog.statements))
+        env = kernel({"A": np.array([1.0, 2.0, 3.0])})
+        assert float(env["E"]) == pytest.approx(14.0)
+
+    def test_function_call_in_generated_code(self):
+        from repro.chem.integrals import make_integral
+        from repro.codegen.builder import build_unfused
+        from repro.codegen.pygen import compile_loops
+
+        prog = parse_program(
+            "range N=3; index a:N; function f(a) cost 5; T(a) = f(a);"
+        )
+        kernel = compile_loops(build_unfused(prog.statements))
+        impl = make_integral("f")
+        env = kernel({}, {"f": impl})
+        for k in range(3):
+            assert env["T"][k] == pytest.approx(float(impl(k)))
+
+
+class TestOpminEdges:
+    def test_six_factor_term(self):
+        """Larger factor counts exercise the 3^n DP comfortably."""
+        from repro.opmin.multi_term import optimize_statement
+        from repro.opmin.cost import sequence_op_count, statement_op_count
+
+        lines = ["range N = 4;", "index " + ", ".join("abcdefg") + " : N;"]
+        refs = []
+        names = "abcdefg"
+        for k in range(6):
+            i1, i2 = names[k], names[(k + 1) % 7]
+            lines.append(f"tensor T{k}({i1}, {i2});")
+            refs.append(f"T{k}({i1},{i2})")
+        lines.append(
+            "S(a) = sum(" + ", ".join(names[1:]) + ") " + " * ".join(refs) + ";"
+        )
+        prog = parse_program("\n".join(lines))
+        seq = optimize_statement(prog.statements[0])
+        assert sequence_op_count(seq) < statement_op_count(prog.statements[0])
+
+    def test_identical_factor_twice(self):
+        """A squared factor (A*A) survives optimization and evaluation."""
+        from repro.engine.executor import random_inputs, run_statements
+        from repro.opmin.multi_term import optimize_statement
+
+        prog = parse_program(
+            "range N=4; index a, b : N; tensor A(a, b);"
+            "S(a) = sum(b) A(a, b) * A(a, b);"
+        )
+        seq = optimize_statement(prog.statements[0])
+        arrays = random_inputs(prog, seed=0)
+        want = run_statements(prog.statements, arrays)["S"]
+        got = run_statements(seq, arrays)["S"]
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+
+class TestFusionEdges:
+    def test_single_statement_tree(self):
+        from repro.fusion.memopt import minimize_memory
+        from repro.fusion.tree import build_tree
+
+        prog = parse_program(
+            "range N=4; index a, b : N; tensor A(a, b);"
+            "S(a) = sum(b) A(a, b);"
+        )
+        root = build_tree(prog.statements)
+        result = minimize_memory(root)
+        assert result.total_memory == 0  # no temporaries at all
+
+    def test_scalar_root(self):
+        from repro.fusion.memopt import minimize_memory
+        from repro.fusion.tree import build_tree
+
+        prog = parse_program(
+            "range N=4; index a, b : N; tensor A(a, b);"
+            "T(a) = sum(b) A(a, b);"
+            "E() = sum(a) T(a) * T(a);"
+        )
+        # T has two references in one statement -> still one consumer
+        root = build_tree(prog.statements)
+        result = minimize_memory(root)
+        assert result.total_memory <= 4

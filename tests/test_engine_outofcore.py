@@ -1,0 +1,124 @@
+"""Tests for the out-of-core paging simulator."""
+
+import numpy as np
+import pytest
+
+from repro.expr.parser import parse_program
+from repro.engine.executor import random_inputs
+from repro.engine.outofcore import (
+    PagedBufferPool,
+    array_shapes,
+    simulate_out_of_core,
+)
+from repro.codegen.builder import build_unfused
+from repro.locality.tile_search import optimize_locality
+
+
+def matmul(n=16):
+    prog = parse_program(f"""
+    range N = {n};
+    index i, j, k : N;
+    tensor A(i, k); tensor B(k, j);
+    C(i, j) = sum(k) A(i, k) * B(k, j);
+    """)
+    return prog, build_unfused(prog.statements)
+
+
+class TestPagedBufferPool:
+    def test_page_hit_no_read(self):
+        pool = PagedBufferPool(64, 4, {"A": (8, 8)})
+        pool.access("A", (0, 0), False)
+        pool.access("A", (0, 1), False)  # same page
+        assert pool.stats.disk_reads == 4
+
+    def test_eviction_writes_back_dirty(self):
+        pool = PagedBufferPool(4, 4, {"A": (8, 8)})  # single-page pool
+        pool.access("A", (0, 0), True)  # dirty page
+        pool.access("A", (4, 0), False)  # different page -> evict dirty
+        assert pool.stats.disk_writes == 4
+        assert pool.stats.evictions == 1
+
+    def test_flush_writes_dirty(self):
+        pool = PagedBufferPool(64, 4, {"A": (8, 8)})
+        pool.access("A", (0, 0), True)
+        pool.access("A", (4, 0), False)
+        pool.flush()
+        assert pool.stats.disk_writes == 4  # only the dirty page
+
+    def test_unknown_array_ignored(self):
+        pool = PagedBufferPool(16, 4, {})
+        pool.access("E", (), True)
+        assert pool.stats.disk_reads == 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            PagedBufferPool(2, 4, {})
+        with pytest.raises(ValueError):
+            PagedBufferPool(16, 0, {})
+
+
+class TestArrayShapes:
+    def test_includes_inputs_and_allocs(self):
+        prog, block = matmul(4)
+        arrays = random_inputs(prog, seed=0)
+        shapes = array_shapes(block, arrays)
+        assert shapes["A"] == (4, 4)
+        assert shapes["C"] == (4, 4)
+
+
+class TestSimulateOutOfCore:
+    def test_large_budget_cold_pages_only(self):
+        n = 8
+        prog, block = matmul(n)
+        arrays = random_inputs(prog, seed=0)
+        stats = simulate_out_of_core(
+            block, arrays, budget_elements=10**6, page_elements=4
+        )
+        # 3 arrays x n^2 elements, each page read exactly once
+        assert stats.disk_reads == 3 * n * n
+        assert stats.evictions == 0
+        # C's pages are dirty and flushed once
+        assert stats.disk_writes == n * n
+
+    def test_tight_budget_causes_paging(self):
+        prog, block = matmul(16)
+        arrays = random_inputs(prog, seed=0)
+        loose = simulate_out_of_core(block, arrays, 10**6, 4)
+        tight = simulate_out_of_core(block, arrays, 64, 4)
+        assert tight.disk_reads > loose.disk_reads
+        assert tight.evictions > 0
+
+    def test_blocking_reduces_io(self):
+        """The disk-level tile search's choice reduces measured I/O."""
+        prog, block = matmul(16)
+        arrays = random_inputs(prog, seed=1)
+        budget = 96
+        untiled = simulate_out_of_core(block, arrays, budget, 4)
+        result = optimize_locality(block, capacity=budget)
+        if result.tile_sizes:
+            tiled = simulate_out_of_core(
+                result.structure, arrays, budget, 4
+            )
+            assert tiled.total_io < untiled.total_io
+
+    def test_io_monotone_in_budget(self):
+        prog, block = matmul(12)
+        arrays = random_inputs(prog, seed=2)
+        ios = [
+            simulate_out_of_core(block, arrays, budget, 4).total_io
+            for budget in (16, 64, 256, 4096)
+        ]
+        assert ios == sorted(ios, reverse=True)
+
+    def test_functions_do_not_page(self):
+        from repro.chem.a3a import a3a_problem, fig3_structure
+
+        problem = a3a_problem(V=3, O=2, Ci=10)
+        block = fig3_structure(problem)
+        arrays = random_inputs(problem.program, seed=3)
+        stats = simulate_out_of_core(
+            block, arrays, 10**6, 4, functions=problem.functions
+        )
+        # scalars dominate; only the amplitude input T pages in
+        assert "f1" not in stats.per_array_reads
+        assert "T" in stats.per_array_reads

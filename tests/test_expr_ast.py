@@ -1,0 +1,115 @@
+"""Unit tests for repro.expr.ast."""
+
+import pytest
+
+from repro.expr.ast import Add, Mul, Statement, Sum, TensorRef
+from repro.expr.tensor import Tensor
+
+
+def ref(name, idx, *index_names):
+    indices = tuple(idx[n] for n in index_names)
+    return TensorRef(Tensor(name, indices), indices)
+
+
+class TestTensorRef:
+    def test_free_indices(self, idx):
+        r = ref("A", idx, "a", "i")
+        assert r.free == {idx["a"], idx["i"]}
+
+    def test_arity_mismatch(self, idx):
+        t = Tensor("A", (idx["a"], idx["i"]))
+        with pytest.raises(ValueError, match="referenced with"):
+            TensorRef(t, (idx["a"],))
+
+    def test_range_mismatch(self, idx):
+        t = Tensor("A", (idx["a"], idx["i"]))
+        with pytest.raises(ValueError, match="range"):
+            TensorRef(t, (idx["i"], idx["a"]))
+
+    def test_renamed_reference_ok(self, idx):
+        t = Tensor("A", (idx["a"], idx["i"]))
+        r = TensorRef(t, (idx["b"], idx["j"]))
+        assert r.free == {idx["b"], idx["j"]}
+
+    def test_str(self, idx):
+        assert str(ref("A", idx, "a", "i")) == "A(a,i)"
+
+
+class TestMul:
+    def test_free_union(self, idx):
+        m = Mul((ref("A", idx, "a", "b"), ref("B", idx, "b", "c")))
+        assert m.free == {idx["a"], idx["b"], idx["c"]}
+
+    def test_needs_two_factors(self, idx):
+        with pytest.raises(ValueError):
+            Mul((ref("A", idx, "a"),))
+
+    def test_refs_iterates_all(self, idx):
+        m = Mul((ref("A", idx, "a"), ref("B", idx, "b"), ref("C", idx, "c")))
+        assert [r.tensor.name for r in m.refs()] == ["A", "B", "C"]
+
+
+class TestSum:
+    def test_free_subtracts_summed(self, idx):
+        body = Mul((ref("A", idx, "a", "b"), ref("B", idx, "b", "c")))
+        s = Sum((idx["b"],), body)
+        assert s.free == {idx["a"], idx["c"]}
+
+    def test_sum_index_must_be_free_in_body(self, idx):
+        body = ref("A", idx, "a")
+        with pytest.raises(ValueError, match="not free"):
+            Sum((idx["b"],), body)
+
+    def test_duplicate_sum_indices_rejected(self, idx):
+        body = ref("A", idx, "a")
+        with pytest.raises(ValueError, match="[Dd]uplicate"):
+            Sum((idx["a"], idx["a"]), body)
+
+    def test_indices_normalized_sorted(self, idx):
+        body = Mul((ref("A", idx, "a", "b"), ref("B", idx, "b", "a")))
+        s1 = Sum((idx["b"], idx["a"]), body)
+        s2 = Sum((idx["a"], idx["b"]), body)
+        assert s1 == s2
+
+    def test_empty_rejected(self, idx):
+        with pytest.raises(ValueError):
+            Sum((), ref("A", idx, "a"))
+
+
+class TestAdd:
+    def test_terms_must_agree_on_free(self, idx):
+        with pytest.raises(ValueError, match="disagree"):
+            Add(((1.0, ref("A", idx, "a")), (1.0, ref("B", idx, "b"))))
+
+    def test_free(self, idx):
+        a = Add(((1.0, ref("A", idx, "a")), (-1.0, ref("B", idx, "a"))))
+        assert a.free == {idx["a"]}
+
+    def test_str_has_signs(self, idx):
+        a = Add(((1.0, ref("A", idx, "a")), (-1.0, ref("B", idx, "a"))))
+        assert "-" in str(a)
+
+
+class TestStatement:
+    def test_lhs_rhs_match(self, idx):
+        body = Mul((ref("A", idx, "a", "b"), ref("B", idx, "b", "c")))
+        expr = Sum((idx["b"],), body)
+        result = Tensor("S", (idx["a"], idx["c"]))
+        stmt = Statement(result, expr)
+        assert not stmt.accumulate
+
+    def test_lhs_rhs_mismatch_rejected(self, idx):
+        expr = ref("A", idx, "a", "b")
+        result = Tensor("S", (idx["a"],))
+        with pytest.raises(ValueError, match="do not match"):
+            Statement(result, expr)
+
+
+class TestProgram:
+    def test_inputs_excludes_produced(self, fig1_program):
+        names = {t.name for t in fig1_program.inputs()}
+        assert names == {"A", "B", "C", "D"}
+
+    def test_tensors_includes_result(self, fig1_program):
+        names = {t.name for t in fig1_program.tensors()}
+        assert names == {"A", "B", "C", "D", "S"}

@@ -1,0 +1,238 @@
+"""Unit and property tests for canonicalization / CSE keys."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.ast import Add, Mul, Sum, TensorRef
+from repro.expr.canonical import (
+    canonical_key,
+    flatten,
+    rename_indices,
+    statement_key,
+)
+from repro.expr.indices import Index, IndexRange
+from repro.expr.tensor import Symmetry, Tensor
+
+V = IndexRange("V", 10)
+IDX = {n: Index(n, V) for n in "abcdefgh"}
+
+
+def t(name, *index_names, symmetries=()):
+    indices = tuple(IDX[n] for n in index_names)
+    return TensorRef(Tensor(name, indices, symmetries), indices)
+
+
+def tref(tensor, *index_names):
+    return TensorRef(tensor, tuple(IDX[n] for n in index_names))
+
+
+class TestRenameIndices:
+    def test_rename_ref(self):
+        r = t("A", "a", "b")
+        out = rename_indices(r, {IDX["a"]: IDX["c"]})
+        assert [i.name for i in out.indices] == ["c", "b"]
+
+    def test_rename_sum_binder(self):
+        expr = Sum((IDX["b"],), Mul((t("A", "a", "b"), t("B", "b", "c"))))
+        out = rename_indices(expr, {IDX["b"]: IDX["d"]})
+        assert IDX["d"] in out.indices
+        assert all(IDX["b"] not in r.free for r in out.refs())
+
+    def test_identity_when_unmapped(self):
+        expr = t("A", "a")
+        assert rename_indices(expr, {}) == expr
+
+
+class TestFlatten:
+    def test_single_ref(self):
+        terms = flatten(t("A", "a"))
+        assert len(terms) == 1
+        coef, sums, refs = terms[0]
+        assert coef == 1.0 and sums == frozenset() and len(refs) == 1
+
+    def test_nested_sum_merge(self):
+        inner = Sum((IDX["c"],), Mul((t("A", "a", "c"), t("B", "c", "b"))))
+        outer = Sum((IDX["b"],), Mul((inner.body, t("C", "b", "a"))))
+        # build Sum(b, Sum(c, A*B) * C) explicitly
+        expr = Sum((IDX["b"],), Mul((inner, t("C", "b", "a"))))
+        terms = flatten(expr)
+        assert len(terms) == 1
+        _, sums, refs = terms[0]
+        assert sums == {IDX["b"], IDX["c"]}
+        assert len(refs) == 3
+
+    def test_distributes_add(self):
+        expr = Mul((Add(((1.0, t("A", "a")), (2.0, t("B", "a")))), t("C", "a")))
+        terms = flatten(expr)
+        assert sorted(c for c, _, _ in terms) == [1.0, 2.0]
+
+
+class TestCanonicalKey:
+    def test_factor_order_irrelevant(self):
+        e1 = Sum((IDX["b"],), Mul((t("A", "a", "b"), t("B", "b", "c"))))
+        e2 = Sum((IDX["b"],), Mul((t("B", "b", "c"), t("A", "a", "b"))))
+        assert canonical_key(e1) == canonical_key(e2)
+
+    def test_summation_index_name_irrelevant(self):
+        e1 = Sum((IDX["b"],), Mul((t("A", "a", "b"), t("B", "b", "c"))))
+        A = e1.body.factors[0].tensor
+        B = e1.body.factors[1].tensor
+        e2 = Sum(
+            (IDX["d"],),
+            Mul((TensorRef(A, (IDX["a"], IDX["d"])), TensorRef(B, (IDX["d"], IDX["c"])))),
+        )
+        assert canonical_key(e1) == canonical_key(e2)
+
+    def test_free_index_names_matter(self):
+        e1 = t("A", "a", "b")
+        e2 = t("A", "b", "a")
+        assert canonical_key(e1) != canonical_key(e2)
+
+    def test_different_tensors_differ(self):
+        assert canonical_key(t("A", "a")) != canonical_key(t("B", "a"))
+
+    def test_two_symmetric_summation_indices(self):
+        # sum(b, d) A(a,b)*A(a,d)*M(b,d): b and d are interchangeable
+        A = Tensor("A", (IDX["a"], IDX["b"]))
+        M = Tensor("M", (IDX["b"], IDX["d"]))
+        e1 = Sum(
+            (IDX["b"], IDX["d"]),
+            Mul((
+                TensorRef(A, (IDX["a"], IDX["b"])),
+                TensorRef(A, (IDX["a"], IDX["d"])),
+                TensorRef(M, (IDX["b"], IDX["d"])),
+            )),
+        )
+        e2 = Sum(
+            (IDX["b"], IDX["d"]),
+            Mul((
+                TensorRef(A, (IDX["a"], IDX["d"])),
+                TensorRef(A, (IDX["a"], IDX["b"])),
+                TensorRef(M, (IDX["d"], IDX["b"])),
+            )),
+        )
+        assert canonical_key(e1) == canonical_key(e2)
+
+    def test_symmetric_tensor_dimension_swap(self):
+        T = Tensor("T", (IDX["a"], IDX["b"]), (Symmetry((0, 1)),))
+        e1 = TensorRef(T, (IDX["a"], IDX["b"]))
+        e2 = TensorRef(T, (IDX["b"], IDX["a"]))
+        assert canonical_key(e1) == canonical_key(e2)
+
+    def test_antisymmetric_swap_flips_sign(self):
+        T = Tensor("T", (IDX["a"], IDX["b"]), (Symmetry((0, 1), antisymmetric=True),))
+        e1 = Add(((1.0, TensorRef(T, (IDX["a"], IDX["b"]))),))
+        e2 = Add(((-1.0, TensorRef(T, (IDX["b"], IDX["a"]))),))
+        assert canonical_key(e1) == canonical_key(e2)
+
+    def test_add_term_order_irrelevant(self):
+        e1 = Add(((1.0, t("A", "a")), (2.0, t("B", "a"))))
+        e2 = Add(((2.0, t("B", "a")), (1.0, t("A", "a"))))
+        assert canonical_key(e1) == canonical_key(e2)
+
+    def test_cancelling_terms_vanish(self):
+        e = Add(((1.0, t("A", "a")), (-1.0, t("A", "a"))))
+        zero_key = canonical_key(e)
+        assert zero_key == ("sop", ())
+
+    def test_coefficient_merging(self):
+        e1 = Add(((1.0, t("A", "a")), (1.0, t("A", "a"))))
+        e2 = Add(((2.0, t("A", "a")),))
+        assert canonical_key(e1) == canonical_key(e2)
+
+    def test_statement_key_distinguishes_accumulate(self):
+        from repro.expr.ast import Statement
+
+        A = Tensor("A", (IDX["a"],))
+        S = Tensor("S", (IDX["a"],))
+        s1 = Statement(S, TensorRef(A, (IDX["a"],)))
+        s2 = Statement(S, TensorRef(A, (IDX["a"],)), accumulate=True)
+        assert statement_key(s1) != statement_key(s2)
+
+
+@st.composite
+def random_contraction(draw):
+    """A random single-term contraction over 2-4 tensors and <=6 indices."""
+    n_idx = draw(st.integers(min_value=2, max_value=6))
+    pool = [IDX[n] for n in "abcdefgh"[:n_idx]]
+    n_tensors = draw(st.integers(min_value=2, max_value=4))
+    refs = []
+    used = set()
+    for k in range(n_tensors):
+        dims = draw(st.integers(min_value=1, max_value=3))
+        chosen = tuple(
+            draw(st.sampled_from(pool)) for _ in range(dims)
+        )
+        # indices within one ref must be distinct
+        chosen = tuple(dict.fromkeys(chosen))
+        tensor = Tensor(f"T{k}", chosen)
+        refs.append(TensorRef(tensor, chosen))
+        used.update(chosen)
+    body = Mul(tuple(refs)) if len(refs) > 1 else refs[0]
+    free = sorted(body.free)
+    n_sum = draw(st.integers(min_value=0, max_value=len(free)))
+    sum_indices = tuple(free[:n_sum])
+    if sum_indices:
+        return Sum(sum_indices, body)
+    return body
+
+
+class TestCanonicalProperties:
+    @given(random_contraction(), st.randoms())
+    @settings(max_examples=60, deadline=None)
+    def test_key_invariant_under_factor_shuffle(self, expr, rnd):
+        base = canonical_key(expr)
+        body = expr.body if isinstance(expr, Sum) else expr
+        if not isinstance(body, Mul):
+            return
+        factors = list(body.factors)
+        rnd.shuffle(factors)
+        shuffled = Mul(tuple(factors))
+        if isinstance(expr, Sum):
+            shuffled = Sum(expr.indices, shuffled)
+        assert canonical_key(shuffled) == base
+
+    @given(random_contraction())
+    @settings(max_examples=60, deadline=None)
+    def test_key_invariant_under_bound_renaming(self, expr):
+        if not isinstance(expr, Sum):
+            return
+        base = canonical_key(expr)
+        fresh = [IDX[n] for n in "abcdefgh" if IDX[n] not in expr.body.free]
+        if len(fresh) < len(expr.indices):
+            return
+        mapping = dict(zip(expr.indices, fresh))
+        renamed = rename_indices(expr, mapping)
+        assert canonical_key(renamed) == base
+
+    @given(random_contraction())
+    @settings(max_examples=60, deadline=None)
+    def test_key_is_hashable_and_stable(self, expr):
+        k1 = canonical_key(expr)
+        k2 = canonical_key(expr)
+        assert k1 == k2
+        hash(k1)
+
+    @given(random_contraction(), random_contraction())
+    @settings(max_examples=80, deadline=None)
+    def test_equal_keys_imply_equal_values(self, e1, e2):
+        """CSE soundness: two expressions with the same canonical key
+        must evaluate to the same array on shared random inputs."""
+        if canonical_key(e1) != canonical_key(e2):
+            return
+        import numpy as np
+
+        from repro.engine.executor import evaluate_expression
+
+        rng = np.random.default_rng(0)
+        arrays = {}
+        for expr in (e1, e2):
+            for ref in expr.refs():
+                arrays.setdefault(
+                    ref.tensor.name,
+                    rng.standard_normal(ref.tensor.shape()),
+                )
+        v1 = evaluate_expression(e1, arrays)
+        v2 = evaluate_expression(e2, arrays)
+        np.testing.assert_allclose(v1, v2, rtol=1e-9, atol=1e-9)

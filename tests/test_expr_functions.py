@@ -1,0 +1,60 @@
+"""Tests for primitive-function tensors (the paper's f1/f2 integrals)."""
+
+import pytest
+
+from repro.expr.parser import ParseError, parse_program
+from repro.expr.tensor import Tensor
+
+
+A3A_SNIPPET = """
+range V = 8;
+range O = 3;
+index a, c, e, f, b : V;
+index k : O;
+function f1(c, e, b, k) cost 1000;
+T1(c, e, b, k) = f1(c, e, b, k);
+"""
+
+
+class TestFunctionDeclaration:
+    def test_parse_function(self):
+        prog = parse_program(A3A_SNIPPET)
+        f1 = prog.statements[0].expr.tensor
+        assert f1.is_function
+        assert f1.compute_cost == 1000
+
+    def test_function_not_in_inputs(self):
+        prog = parse_program(A3A_SNIPPET)
+        assert all(t.name != "f1" for t in prog.inputs())
+        assert [t.name for t in prog.functions()] == ["f1"]
+
+    def test_function_occupies_no_storage(self):
+        prog = parse_program(A3A_SNIPPET)
+        f1 = prog.statements[0].expr.tensor
+        assert f1.stored_size() == 0
+        assert f1.size() == 8 * 8 * 8 * 3  # iteration space still defined
+
+    def test_duplicate_function_name_rejected(self):
+        with pytest.raises(ParseError, match="already declared"):
+            parse_program(
+                "range V=2; index a:V;"
+                "function f(a) cost 10; function f(a) cost 10;"
+            )
+
+    def test_function_requires_cost_keyword(self):
+        with pytest.raises(ParseError, match="cost"):
+            parse_program("range V=2; index a:V; function f(a) price 10;")
+
+
+class TestFunctionTensorInvariants:
+    def test_zero_cost_function_rejected(self, idx):
+        with pytest.raises(ValueError, match="positive compute_cost"):
+            Tensor("f", (idx["a"],), kind="function", compute_cost=0)
+
+    def test_array_with_cost_rejected(self, idx):
+        with pytest.raises(ValueError, match="compute_cost 0"):
+            Tensor("A", (idx["a"],), compute_cost=5)
+
+    def test_bad_kind_rejected(self, idx):
+        with pytest.raises(ValueError, match="kind"):
+            Tensor("A", (idx["a"],), kind="blob")

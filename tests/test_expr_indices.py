@@ -1,0 +1,91 @@
+"""Unit tests for repro.expr.indices."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr.indices import Index, IndexRange, extent, make_indices, total_extent
+
+
+class TestIndexRange:
+    def test_extent_uses_default(self):
+        assert IndexRange("V", 3000).extent() == 3000
+
+    def test_extent_binding_overrides_default(self):
+        assert IndexRange("V", 3000).extent({"V": 8}) == 8
+
+    def test_extent_binding_for_other_range_ignored(self):
+        assert IndexRange("V", 3000).extent({"O": 8}) == 3000
+
+    def test_extent_without_default_or_binding_raises(self):
+        with pytest.raises(ValueError, match="no default"):
+            IndexRange("V").extent()
+
+    def test_extent_without_default_but_with_binding(self):
+        assert IndexRange("V").extent({"V": 5}) == 5
+
+    def test_nonpositive_binding_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            IndexRange("V", 10).extent({"V": 0})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            IndexRange("")
+
+    def test_negative_default_rejected(self):
+        with pytest.raises(ValueError):
+            IndexRange("V", -1)
+
+    def test_equality_and_hash(self):
+        assert IndexRange("V", 10) == IndexRange("V", 10)
+        assert hash(IndexRange("V", 10)) == hash(IndexRange("V", 10))
+        assert IndexRange("V", 10) != IndexRange("V", 20)
+
+
+class TestIndex:
+    def test_extent_delegates_to_range(self, rng_v):
+        assert Index("a", rng_v).extent() == 10
+        assert Index("a", rng_v).extent({"V": 3}) == 3
+
+    def test_indices_of_same_name_different_range_differ(self, rng_v, rng_o):
+        assert Index("a", rng_v) != Index("a", rng_o)
+
+    def test_sortable(self, rng_v):
+        names = sorted([Index("c", rng_v), Index("a", rng_v), Index("b", rng_v)])
+        assert [i.name for i in names] == ["a", "b", "c"]
+
+    def test_empty_name_rejected(self, rng_v):
+        with pytest.raises(ValueError):
+            Index("", rng_v)
+
+    def test_extent_function_alias(self, rng_v):
+        assert extent(Index("a", rng_v)) == 10
+
+
+class TestTotalExtent:
+    def test_empty_is_scalar(self):
+        assert total_extent([]) == 1
+
+    def test_product(self, rng_v, rng_o):
+        indices = [Index("a", rng_v), Index("i", rng_o)]
+        assert total_extent(indices) == 40
+
+    def test_with_bindings(self, rng_v, rng_o):
+        indices = [Index("a", rng_v), Index("i", rng_o)]
+        assert total_extent(indices, {"V": 2, "O": 3}) == 6
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), max_size=6))
+    def test_matches_manual_product(self, extents):
+        rngs = [IndexRange(f"R{k}", n) for k, n in enumerate(extents)]
+        indices = [Index(f"x{k}", r) for k, r in enumerate(rngs)]
+        expected = 1
+        for n in extents:
+            expected *= n
+        assert total_extent(indices) == expected
+
+
+class TestMakeIndices:
+    def test_creates_all(self, rng_v):
+        table = make_indices("abc", rng_v)
+        assert set(table) == {"a", "b", "c"}
+        assert all(i.range == rng_v for i in table.values())

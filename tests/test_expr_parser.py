@@ -1,0 +1,197 @@
+"""Unit tests for the high-level language parser."""
+
+import pytest
+
+from repro.expr.ast import Add, Mul, Sum, TensorRef
+from repro.expr.parser import ParseError, parse_expression, parse_program
+
+
+class TestDeclarations:
+    def test_range_decl(self):
+        prog = parse_program("range V = 3000;")
+        assert prog.ranges[0].name == "V"
+        assert prog.ranges[0].default == 3000
+
+    def test_duplicate_range_rejected(self):
+        with pytest.raises(ParseError, match="already declared"):
+            parse_program("range V = 1; range V = 2;")
+
+    def test_index_decl_requires_range(self):
+        with pytest.raises(ParseError, match="undeclared range"):
+            parse_program("index a : V;")
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ParseError, match="already declared"):
+            parse_program("range V = 2; index a : V; index a : V;")
+
+    def test_tensor_decl_requires_indices(self):
+        with pytest.raises(ParseError, match="undeclared index"):
+            parse_program("range V = 2; tensor A(a);")
+
+    def test_symmetric_annotation(self):
+        prog = parse_program(
+            "range V = 4; index a, b : V; tensor T(a, b) symmetric(0, 1);"
+        )
+        stmt_tensors = {}
+        # tensor is registered in env; reach it through a statement
+        prog2 = parse_program(
+            "range V = 4; index a, b : V; tensor T(a, b) symmetric(0, 1);"
+            "S(a, b) = T(a, b);"
+        )
+        t = prog2.statements[0].expr.tensor
+        assert t.symmetries[0].positions == (0, 1)
+        assert not t.symmetries[0].antisymmetric
+
+    def test_antisymmetric_annotation(self):
+        prog = parse_program(
+            "range V = 4; index a, b : V;"
+            "tensor T(a, b) antisymmetric(0, 1); S(a, b) = T(a, b);"
+        )
+        assert prog.statements[0].expr.tensor.symmetries[0].antisymmetric
+
+    def test_sparse_annotation(self):
+        prog = parse_program(
+            "range V = 4; index a, b : V;"
+            "tensor T(a, b) sparse(0.1); S(a, b) = T(a, b);"
+        )
+        t = prog.statements[0].expr.tensor
+        assert t.sparsity == "sparse"
+        assert t.fill == pytest.approx(0.1)
+
+    def test_unknown_annotation_rejected(self):
+        with pytest.raises(ParseError, match="unknown tensor annotation"):
+            parse_program("range V=2; index a:V; tensor T(a) bogus(1);")
+
+
+class TestStatements:
+    def test_fig1_parses(self, fig1_program):
+        stmt = fig1_program.statements[0]
+        assert stmt.result.name == "S"
+        assert isinstance(stmt.expr, Sum)
+        assert len(stmt.expr.indices) == 6
+        assert isinstance(stmt.expr.body, Mul)
+        assert len(stmt.expr.body.factors) == 4
+
+    def test_accumulate(self):
+        prog = parse_program(
+            "range V=2; index a:V; tensor A(a); S(a) += A(a);"
+        )
+        assert prog.statements[0].accumulate
+
+    def test_implicit_result_declaration(self):
+        prog = parse_program("range V=2; index a:V; tensor A(a); S(a) = A(a);")
+        assert prog.statements[0].result.indices[0].name == "a"
+
+    def test_result_reused_as_input(self):
+        prog = parse_program(
+            "range V=2; index a, b:V; tensor A(a, b);"
+            "T(a) = sum(b) A(a, b);"
+            "S(a) = T(a);"
+        )
+        assert prog.statements[1].expr.tensor.name == "T"
+
+    def test_lhs_free_mismatch_rejected(self):
+        with pytest.raises(ParseError, match="free indices"):
+            parse_program("range V=2; index a, b:V; tensor A(a, b); S(a) = A(a, b);")
+
+    def test_lhs_redeclaration_mismatch(self):
+        with pytest.raises(ParseError, match="do not match its declaration"):
+            parse_program(
+                "range V=2; index a, b:V; tensor A(a, b); tensor S(a, b);"
+                "S(b, a) = A(a, b);"
+            )
+
+
+class TestExpressions:
+    def test_addition_with_coefficients(self):
+        prog = parse_program(
+            "range V=2; index a:V; tensor A(a); tensor B(a);"
+            "S(a) = 2 * A(a) - 0.5 * B(a);"
+        )
+        expr = prog.statements[0].expr
+        assert isinstance(expr, Add)
+        coefs = sorted(c for c, _ in expr.terms)
+        assert coefs == [-0.5, 2.0]
+
+    def test_leading_minus(self):
+        prog = parse_program(
+            "range V=2; index a:V; tensor A(a); S(a) = -A(a);"
+        )
+        expr = prog.statements[0].expr
+        assert isinstance(expr, Add)
+        assert expr.terms[0][0] == -1.0
+
+    def test_parenthesized_subexpression(self):
+        prog = parse_program(
+            "range V=2; index a, b:V; tensor A(a,b); tensor B(a,b); tensor C(b);"
+            "S(a) = sum(b) (A(a,b) + B(a,b)) * C(b);"
+        )
+        expr = prog.statements[0].expr
+        assert isinstance(expr, Sum)
+        assert isinstance(expr.body, Mul)
+        assert isinstance(expr.body.factors[0], Add)
+
+    def test_nested_sum(self):
+        prog = parse_program(
+            "range V=2; index a, b, c:V; tensor A(a,b); tensor B(b,c);"
+            "S(a) = sum(b) A(a,b) * (sum(c) B(b,c));"
+        )
+        assert isinstance(prog.statements[0].expr, Sum)
+
+    def test_undeclared_tensor_rejected(self):
+        with pytest.raises(ParseError, match="undeclared tensor"):
+            parse_program("range V=2; index a:V; S(a) = Q(a);")
+
+    def test_undeclared_index_in_expr(self):
+        with pytest.raises(ParseError, match="undeclared index"):
+            parse_program("range V=2; index a:V; tensor A(a); S(a) = A(z);")
+
+
+class TestErrorsAndLexing:
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("range V = ;")
+        assert "line 1" in str(err.value)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_program("range V = 3000; @")
+
+    def test_comments_ignored(self):
+        prog = parse_program("# a comment\nrange V = 5; # trailing\n")
+        assert prog.ranges[0].default == 5
+
+    def test_multiline_location_tracking(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("range V = 5;\nrange W = ;\n")
+        assert "line 2" in str(err.value)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError, match="expected ';'"):
+            parse_program("range V = 5")
+
+
+class TestParseExpression:
+    def test_roundtrip_with_env(self, fig1_program):
+        # reuse the program's declarations through a fresh parse
+        from repro.expr.indices import Index, IndexRange
+
+        v = IndexRange("V", 10)
+        indices = {n: Index(n, v) for n in "ab"}
+        from repro.expr.tensor import Tensor
+
+        tensors = {"A": Tensor("A", (indices["a"], indices["b"]))}
+        expr = parse_expression(
+            "sum(b) A(a, b)", {"V": v}, indices, tensors
+        )
+        assert isinstance(expr, Sum)
+
+    def test_trailing_garbage_rejected(self):
+        from repro.expr.indices import Index, IndexRange
+        from repro.expr.tensor import Tensor
+
+        v = IndexRange("V", 10)
+        indices = {"a": Index("a", v)}
+        tensors = {"A": Tensor("A", (indices["a"],))}
+        with pytest.raises(ParseError, match="trailing"):
+            parse_expression("A(a) ;", {"V": v}, indices, tensors)

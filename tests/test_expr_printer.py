@@ -1,0 +1,106 @@
+"""Round-trip tests for program serialization."""
+
+import numpy as np
+import pytest
+
+from repro.expr.canonical import canonical_key
+from repro.expr.parser import parse_program
+from repro.expr.printer import program_to_source, statement_to_source
+from repro.engine.executor import random_inputs, run_statements
+from repro.chem.workloads import (
+    ccsd_doubles_program,
+    ccsd_like_program,
+    fig1_formula_sequence,
+    fig1_program,
+    random_contraction_program,
+)
+from repro.opmin.multi_term import optimize_statement
+
+
+def roundtrip(program, statements=None):
+    source = program_to_source(program, statements)
+    return parse_program(source), source
+
+
+class TestStatementToSource:
+    def test_simple(self, fig1_statement):
+        text = statement_to_source(fig1_statement)
+        assert text.startswith("S(a,b,i,j) = sum(")
+        assert text.endswith(";")
+
+    def test_accumulate(self):
+        prog = parse_program(
+            "range N=3; index a:N; tensor A(a); S(a) += A(a);"
+        )
+        assert "+=" in statement_to_source(prog.statements[0])
+
+    def test_coefficients(self):
+        prog = parse_program(
+            "range N=3; index a:N; tensor A(a); tensor B(a);"
+            "S(a) = 2 * A(a) - B(a) - 0.5 * B(a);"
+        )
+        text = statement_to_source(prog.statements[0])
+        back = parse_program(
+            "range N=3; index a:N; tensor A(a); tensor B(a);" + text
+        )
+        assert canonical_key(back.statements[0].expr) == canonical_key(
+            prog.statements[0].expr
+        )
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: fig1_program(V=5, O=3),
+            lambda: fig1_formula_sequence(V=5, O=3),
+            lambda: ccsd_like_program(V=5, O=3),
+            lambda: ccsd_doubles_program(V=4, O=2),
+        ],
+    )
+    def test_canonically_equal(self, maker):
+        prog = maker()
+        back, _ = roundtrip(prog)
+        assert len(back.statements) == len(prog.statements)
+        for a, b in zip(prog.statements, back.statements):
+            assert canonical_key(a.expr) == canonical_key(b.expr)
+            assert a.result.name == b.result.name
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_programs_numerically_equal(self, seed):
+        prog = random_contraction_program(seed + 900)
+        back, _ = roundtrip(prog)
+        arrays = random_inputs(prog, seed=seed)
+        want = run_statements(prog.statements, arrays)
+        got = run_statements(back.statements, arrays)
+        name = prog.statements[0].result.name
+        np.testing.assert_allclose(got[name], want[name], rtol=1e-12)
+
+    def test_optimized_sequence_prints_and_reparses(self, fig1_statement):
+        seq = optimize_statement(fig1_statement)
+        prog = fig1_program(V=10, O=4)
+        source = program_to_source(prog, seq)
+        back = parse_program(source)
+        assert len(back.statements) == len(seq)
+        arrays = random_inputs(prog, {"V": 3, "O": 2}, seed=1)
+        want = run_statements(seq, arrays, {"V": 3, "O": 2})
+        got = run_statements(back.statements, arrays, {"V": 3, "O": 2})
+        np.testing.assert_allclose(got["S"], want["S"], rtol=1e-12)
+
+    def test_annotations_preserved(self):
+        prog = parse_program("""
+        range N = 5;
+        index a, b : N;
+        tensor T(a, b) symmetric(0, 1) ;
+        tensor W(a, b) sparse(0.25);
+        function f(a, b) cost 42;
+        S(a, b) = T(a, b) + W(a, b) + f(a, b);
+        """)
+        back, source = roundtrip(prog)
+        assert "symmetric(0,1)" in source
+        assert "sparse(0.25)" in source
+        assert "cost 42" in source
+        tensors = {t.name: t for t in back.tensors()}
+        assert tensors["T"].symmetries[0].positions == (0, 1)
+        assert tensors["W"].fill == 0.25
+        assert tensors["f"].compute_cost == 42

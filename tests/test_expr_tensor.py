@@ -1,0 +1,69 @@
+"""Unit tests for repro.expr.tensor."""
+
+import pytest
+
+from repro.expr.indices import Index
+from repro.expr.tensor import Symmetry, Tensor
+
+
+class TestSymmetry:
+    def test_basic(self):
+        sym = Symmetry((0, 1))
+        assert not sym.antisymmetric
+
+    def test_needs_two_positions(self):
+        with pytest.raises(ValueError):
+            Symmetry((0,))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Symmetry((0, 0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Symmetry((-1, 0))
+
+
+class TestTensor:
+    def test_size_and_shape(self, idx):
+        t = Tensor("A", (idx["a"], idx["c"], idx["i"], idx["k"]))
+        assert t.order == 4
+        assert t.size() == 10 * 10 * 4 * 4
+        assert t.shape() == (10, 10, 4, 4)
+        assert t.shape({"V": 3, "O": 2}) == (3, 3, 2, 2)
+
+    def test_scalar_tensor(self):
+        t = Tensor("E", ())
+        assert t.size() == 1
+        assert t.shape() == ()
+
+    def test_symmetry_position_bounds_checked(self, idx):
+        with pytest.raises(ValueError, match="out of bounds"):
+            Tensor("A", (idx["a"], idx["b"]), (Symmetry((0, 2)),))
+
+    def test_symmetry_group_must_share_range(self, idx):
+        with pytest.raises(ValueError, match="mixes"):
+            Tensor("A", (idx["a"], idx["i"]), (Symmetry((0, 1)),))
+
+    def test_symmetry_group_same_range_ok(self, idx):
+        t = Tensor("A", (idx["a"], idx["b"]), (Symmetry((0, 1)),))
+        assert t.symmetric_groups() == [(0, 1)]
+
+    def test_sparsity_fill(self, idx):
+        t = Tensor("A", (idx["a"], idx["b"]), sparsity="sparse", fill=0.25)
+        assert t.stored_size() == 25
+        dense = Tensor("A", (idx["a"], idx["b"]))
+        assert dense.stored_size() == 100
+
+    def test_bad_fill_rejected(self, idx):
+        with pytest.raises(ValueError):
+            Tensor("A", (idx["a"],), fill=0.0)
+        with pytest.raises(ValueError):
+            Tensor("A", (idx["a"],), fill=1.5)
+
+    def test_empty_name_rejected(self, idx):
+        with pytest.raises(ValueError):
+            Tensor("", (idx["a"],))
+
+    def test_str(self, idx):
+        assert str(Tensor("A", (idx["a"], idx["i"]))) == "A(a,i)"

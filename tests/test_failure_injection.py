@@ -1,0 +1,143 @@
+"""Failure-injection tests: corrupted inputs, broken plans, and
+inconsistent structures must fail loudly, never silently."""
+
+import numpy as np
+import pytest
+
+from repro.expr.parser import parse_program
+from repro.engine.executor import evaluate_expression, random_inputs
+from repro.codegen.builder import build_unfused
+from repro.codegen.interp import execute
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.partition import optimize_distribution
+from repro.parallel.ptree import expression_to_ptree
+from repro.parallel.simulate import GridSimulator
+from repro.parallel.spmd import LocalComm, run_spmd
+
+
+def matmul(n=4):
+    prog = parse_program(f"""
+    range N = {n};
+    index i, j, k : N;
+    tensor A(i, k); tensor B(k, j);
+    C(i, j) = sum(k) A(i, k) * B(k, j);
+    """)
+    return prog
+
+
+class TestBadInputs:
+    def test_wrong_shape_array_fails(self):
+        prog = matmul()
+        block = build_unfused(prog.statements)
+        bad = {
+            "A": np.zeros((4, 4)),
+            "B": np.zeros((2, 2)),  # wrong shape
+        }
+        with pytest.raises(IndexError):
+            execute(block, bad)
+
+    def test_missing_input_in_simulator(self):
+        prog = matmul()
+        tree = expression_to_ptree(prog.statements[0].expr)
+        grid = ProcessorGrid((2,))
+        plan = optimize_distribution(tree, grid)
+        with pytest.raises(KeyError, match="no input array"):
+            GridSimulator(grid).run(plan, {"A": np.zeros((4, 4))})
+
+    def test_nan_propagates_not_hidden(self):
+        """NaNs in inputs surface in outputs (no silent masking)."""
+        prog = matmul()
+        block = build_unfused(prog.statements)
+        arrays = random_inputs(prog, seed=0)
+        arrays["A"] = arrays["A"].copy()
+        arrays["A"][0, 0] = np.nan
+        env = execute(block, arrays)
+        assert np.isnan(env["C"][0]).any()
+
+
+class TestBrokenPlans:
+    def test_mismatched_plan_and_tree(self):
+        """A plan from one tree applied to a different tree's simulator
+        run fails (no cross-wired silent success)."""
+        prog = matmul()
+        tree1 = expression_to_ptree(prog.statements[0].expr)
+        tree2 = expression_to_ptree(prog.statements[0].expr)
+        grid = ProcessorGrid((2,))
+        plan = optimize_distribution(tree1, grid)
+        # tree2 has different node ids -> lookups must fail
+        plan.root = tree2
+        with pytest.raises(KeyError):
+            GridSimulator(grid).run(plan, random_inputs(prog, seed=0))
+
+
+class TestCommFailures:
+    def test_recv_without_send_in_generated_pattern(self):
+        """LocalComm.recv_all on an empty mailbox returns nothing; the
+        generated program tolerates ranks with no incoming pieces (it
+        zero-fills only regions it owns), so results stay exact even on
+        grids where some ranks receive nothing."""
+        prog = matmul()
+        tree = expression_to_ptree(prog.statements[0].expr)
+        grid = ProcessorGrid((4,))
+        plan = optimize_distribution(tree, grid)
+        arrays = random_inputs(prog, seed=1)
+        run = run_spmd(plan, arrays)
+        want = evaluate_expression(prog.statements[0].expr, arrays)
+        np.testing.assert_allclose(run.result, want, rtol=1e-10)
+
+    def test_dropped_message_detected(self):
+        """Dropping one message corrupts the gathered result -- the
+        validation harness (not silence) is what catches it."""
+        prog = matmul()
+        tree = expression_to_ptree(prog.statements[0].expr)
+        grid = ProcessorGrid((2,))
+        from repro.parallel.dist import Distribution, SINGLE
+
+        pinned = Distribution((SINGLE,))
+        plan = optimize_distribution(tree, grid, result_dist=pinned)
+        arrays = random_inputs(prog, seed=2)
+        want = evaluate_expression(prog.statements[0].expr, arrays)
+
+        # sabotage: a comm that drops every second cross-rank message
+        class LossyComm(LocalComm):
+            def __init__(self, grid):
+                super().__init__(grid)
+                self._count = 0
+
+            def send(self, source, dest, tag, payload):
+                self._count += 1
+                if source != dest and self._count % 2 == 0:
+                    return  # dropped on the floor
+                super().send(source, dest, tag, payload)
+
+        from repro.parallel.spmd import generate_spmd_source
+
+        source_code = generate_spmd_source(plan)
+        namespace = {}
+        exec(compile(source_code, "<spmd>", "exec"), namespace)
+        program = namespace["rank_program"]
+        comm = LossyComm(grid)
+        states = {r: {} for r in grid.ranks()}
+        gens = {r: program(r, comm, arrays, states[r]) for r in grid.ranks()}
+        live = dict(gens)
+        while live:
+            done = []
+            for rank, gen in live.items():
+                try:
+                    next(gen)
+                except StopIteration:
+                    done.append(rank)
+            for rank in done:
+                del live[rank]
+        # assemble and verify the corruption is visible
+        from repro.parallel.spmd_runtime import paste
+
+        out = np.zeros((4, 4))
+        touched = False
+        for rank, state in states.items():
+            box, blk = state.get("__result__", (None, None))
+            if box is not None:
+                paste(out, ((0, 4), (0, 4)), box, blk)
+                touched = True
+        if comm._count >= 2 and touched:
+            assert not np.allclose(out, want)

@@ -1,0 +1,304 @@
+"""Tests for the memory-minimization DP, fusion graphs, and brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.indices import Index, IndexRange
+from repro.expr.parser import parse_program
+from repro.expr.ast import Statement, Sum, Mul, TensorRef
+from repro.expr.tensor import Tensor
+from repro.fusion.brute import brute_force_min_memory
+from repro.fusion.fusion_graph import FusionChain, FusionGraph
+from repro.fusion.memopt import (
+    minimize_memory,
+    ordered_subsets,
+    prefix_chain_compatible,
+    reduced_size,
+)
+from repro.fusion.tree import build_tree
+
+FIG1_SEQ_SRC = """
+range V = 10;
+range O = 4;
+index a, b, c, d, e, f : V;
+index i, j, k, l : O;
+tensor A(a, c, i, k); tensor B(b, e, f, l);
+tensor C(d, f, j, k); tensor D(c, d, e, l);
+T1(b, c, d, f) = sum(e, l) B(b,e,f,l) * D(c,d,e,l);
+T2(b, c, j, k) = sum(d, f) T1(b,c,d,f) * C(d,f,j,k);
+S(a, b, i, j) = sum(c, k) T2(b,c,j,k) * A(a,c,i,k);
+"""
+
+
+class TestPrefixChain:
+    def test_prefixes_compatible(self, idx):
+        a, b, c = idx["a"], idx["b"], idx["c"]
+        assert prefix_chain_compatible([(), (a,), (a, b)])
+        assert prefix_chain_compatible([(a, b), (a,)])
+
+    def test_divergent_incompatible(self, idx):
+        a, b = idx["a"], idx["b"]
+        assert not prefix_chain_compatible([(a,), (b,)])
+        assert not prefix_chain_compatible([(a, b), (b, a)])
+
+    def test_empty_always_fits(self, idx):
+        assert prefix_chain_compatible([(), ()])
+
+    def test_ordered_subsets_count(self, idx):
+        # sum over k of P(3, k) = 1 + 3 + 6 + 6 = 16
+        subs = ordered_subsets(frozenset([idx["a"], idx["b"], idx["c"]]))
+        assert len(subs) == 16
+
+
+class TestFig1Fusion:
+    """Paper Fig. 1(c): T1 reduces to a scalar and T2 to a 2-D array."""
+
+    def test_memory_minimum(self):
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        result = minimize_memory(root)
+        # T1 -> scalar (1), T2 -> O x O (j,k) = 16
+        assert result.total_memory == 1 + 16
+
+    def test_array_dims(self):
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        result = minimize_memory(root)
+        by_array = result.memory_by_array()
+        assert by_array["T1"] == 1
+        assert by_array["T2"] == 16
+        t2 = next(c for c in root.children if c.array.name == "T2")
+        assert {i.name for i in result.array_dims(t2)} == {"j", "k"}
+
+    def test_matches_brute_force(self):
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        dp = minimize_memory(root)
+        brute, _ = brute_force_min_memory(root)
+        assert dp.total_memory == brute
+
+    def test_fusion_does_not_change_op_count(self):
+        from repro.codegen.builder import build_fused, build_unfused
+        from repro.codegen.loops import loop_op_count
+
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        result = minimize_memory(root)
+        unfused = build_unfused(prog.statements)
+        fused = build_fused(result)
+        assert loop_op_count(fused) == loop_op_count(unfused)
+
+    def test_include_output_adds_root_size(self):
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        with_out = minimize_memory(root, include_output=True)
+        without = minimize_memory(root)
+        # S is V*V*O*O = 1600
+        assert with_out.total_memory - without.total_memory == 1600
+
+
+class TestFusionGraph:
+    def test_vertices_and_edges(self):
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        graph = FusionGraph(root)
+        rid = graph.node_id(root)
+        assert {i.name for i in graph.vertices[rid]} == {"a", "b", "i", "j", "c", "k"}
+        pot = graph.potential_edges()
+        # S-T2 and T2-T1 are the fusible edges with common indices
+        assert len(pot) == 2
+
+    def test_feasible_nested_chains(self):
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        graph = FusionGraph(root)
+        t2 = next(c for c in root.children if c.array.name == "T2")
+        t1 = next(c for c in t2.children if c.array.name == "T1")
+        sid, t2id, t1id = graph.node_id(root), graph.node_id(t2), graph.node_id(t1)
+        name = {i.name: i for i in t2.loop_indices | root.loop_indices | t1.loop_indices}
+        # paper-optimal: S-T2 fused on (b,c); T2-T1 fused on (b,c,d,f)
+        fusion = {
+            (sid, t2id): frozenset([name["b"], name["c"]]),
+            (t2id, t1id): frozenset([name["b"], name["c"], name["d"], name["f"]]),
+        }
+        assert graph.feasible(fusion)
+
+    def test_infeasible_partial_overlap(self):
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        graph = FusionGraph(root)
+        t2 = next(c for c in root.children if c.array.name == "T2")
+        t1 = next(c for c in t2.children if c.array.name == "T1")
+        sid, t2id, t1id = graph.node_id(root), graph.node_id(t2), graph.node_id(t1)
+        name = {i.name: i for i in t2.loop_indices | root.loop_indices}
+        # j fused above, d fused below, b fused above and below:
+        # chains j:{S,T2}, d:{T2,T1}, b:{S,T2,T1}? -> j and d chains both
+        # contain T2; with j={S,T2} and d={T2,T1} partially overlapping
+        fusion = {
+            (sid, t2id): frozenset([name["j"]]),
+            (t2id, t1id): frozenset([name["d"]]),
+        }
+        assert not graph.feasible(fusion)
+
+    def test_validate_rejects_noncommon_index(self):
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        graph = FusionGraph(root)
+        t2 = next(c for c in root.children if c.array.name == "T2")
+        sid, t2id = graph.node_id(root), graph.node_id(t2)
+        a = next(i for i in root.loop_indices if i.name == "a")
+        with pytest.raises(ValueError, match="not common"):
+            graph.validate_assignment({(sid, t2id): frozenset([a])})
+
+    def test_redundant_vertices_extend(self):
+        prog = parse_program(FIG1_SEQ_SRC)
+        root = build_tree(prog.statements)
+        graph = FusionGraph(root)
+        t2 = next(c for c in root.children if c.array.name == "T2")
+        t2id = graph.node_id(t2)
+        a = next(i for i in root.loop_indices if i.name == "a")
+        graph.add_redundant_indices(t2id, [a])
+        assert a in graph.vertices[t2id]
+
+    def test_chain_partial_overlap_detection(self, idx):
+        c1 = FusionChain(idx["a"], frozenset([1, 2]))
+        c2 = FusionChain(idx["b"], frozenset([2, 3]))
+        c3 = FusionChain(idx["b"], frozenset([1, 2, 3]))
+        assert c1.overlaps_partially(c2)
+        assert not c1.overlaps_partially(c3)
+        assert not c2.overlaps_partially(c3)
+        assert not c1.overlaps_partially(FusionChain(idx["c"], frozenset([5])))
+
+
+# ---------------------------------------------------------------------------
+# randomized DP-vs-brute-force validation
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_chain_program(draw):
+    """Random 2-4 statement contraction chain with varied index overlap."""
+    n_ranges = draw(st.integers(min_value=2, max_value=3))
+    extents = [draw(st.sampled_from([2, 3, 5, 7])) for _ in range(n_ranges)]
+    ranges = [IndexRange(f"R{k}", e) for k, e in enumerate(extents)]
+    pool = [Index(n, ranges[k % n_ranges]) for k, n in enumerate("abcdefgh")]
+
+    def pick(nmin, nmax):
+        n = draw(st.integers(min_value=nmin, max_value=nmax))
+        return tuple(draw(st.permutations(pool))[:n])
+
+    statements = []
+    prev = None
+    n_stmts = draw(st.integers(min_value=2, max_value=3))
+    for s in range(n_stmts):
+        if prev is None:
+            in_idx = pick(2, 4)
+            src = Tensor(f"IN{s}", in_idx)
+            body = TensorRef(src, in_idx)
+            avail = set(in_idx)
+        else:
+            other_idx = pick(2, 4)
+            other = Tensor(f"IN{s}", other_idx)
+            body = Mul((TensorRef(prev, prev.indices), TensorRef(other, other_idx)))
+            avail = set(prev.indices) | set(other_idx)
+        keep = draw(
+            st.integers(min_value=1, max_value=max(1, len(avail) - 1))
+        )
+        ordered = sorted(avail)
+        out_idx = tuple(ordered[:keep])
+        sums = tuple(sorted(avail - set(out_idx)))
+        expr = Sum(sums, body) if sums else body
+        result = Tensor(f"N{s}", out_idx)
+        statements.append(Statement(result, expr))
+        prev = result
+    return statements
+
+
+class TestDPvsBrute:
+    @given(random_chain_program())
+    @settings(max_examples=40, deadline=None)
+    def test_dp_equals_brute_force(self, statements):
+        root = build_tree(statements)
+        dp = minimize_memory(root)
+        brute, _ = brute_force_min_memory(root)
+        assert dp.total_memory == brute
+
+    @given(random_chain_program())
+    @settings(max_examples=20, deadline=None)
+    def test_fused_structure_valid_and_op_preserving(self, statements):
+        from repro.codegen.builder import build_fused, build_unfused
+        from repro.codegen.loops import loop_op_count
+
+        root = build_tree(statements)
+        result = minimize_memory(root)
+        fused = build_fused(result)
+        unfused = build_unfused(statements)
+        assert loop_op_count(fused) == loop_op_count(unfused)
+
+
+@st.composite
+def random_multiterm_program(draw):
+    """Programs whose final statement combines 3-4 term temporaries:
+    the computation tree gets a multi-child root, exercising the
+    sequential chain-state join of the fusion DP."""
+    from repro.expr.ast import Add
+
+    n_ranges = draw(st.integers(min_value=2, max_value=3))
+    extents = [draw(st.sampled_from([2, 3, 5])) for _ in range(n_ranges)]
+    ranges = [IndexRange(f"R{k}", e) for k, e in enumerate(extents)]
+    pool = [Index(n, ranges[k % n_ranges]) for k, n in enumerate("abcde")]
+
+    out_n = draw(st.integers(min_value=1, max_value=3))
+    out_idx = tuple(pool[:out_n])
+    n_terms = draw(st.integers(min_value=3, max_value=4))
+    statements = []
+    refs = []
+    for t in range(n_terms):
+        extra = draw(st.integers(min_value=0, max_value=2))
+        loop_idx = list(out_idx) + pool[out_n: out_n + extra]
+        in_idx = tuple(loop_idx)
+        src = Tensor(f"IN{t}", in_idx)
+        body = TensorRef(src, in_idx)
+        sums = tuple(i for i in in_idx if i not in out_idx)
+        expr = Sum(sums, body) if sums else body
+        temp = Tensor(f"T{t}", out_idx)
+        statements.append(Statement(temp, expr))
+        refs.append((1.0, TensorRef(temp, out_idx)))
+    final = Tensor("OUT", out_idx)
+    statements.append(Statement(final, Add(tuple(refs))))
+    return statements
+
+
+class TestMultiChildJoin:
+    @given(random_multiterm_program())
+    @settings(max_examples=30, deadline=None)
+    def test_sequential_join_equals_brute_force(self, statements):
+        root = build_tree(statements)
+        dp = minimize_memory(root)
+        brute, _ = brute_force_min_memory(root)
+        assert dp.total_memory == brute
+
+    @given(random_multiterm_program())
+    @settings(max_examples=15, deadline=None)
+    def test_multi_child_structures_execute(self, statements):
+        import numpy as np
+
+        from repro.codegen.builder import build_fused
+        from repro.codegen.interp import execute
+        from repro.engine.executor import run_statements
+
+        root = build_tree(statements)
+        result = minimize_memory(root)
+        block = build_fused(result)
+        rng = np.random.default_rng(0)
+        arrays = {}
+        for stmt in statements:
+            for ref in stmt.expr.refs():
+                if ref.tensor.name.startswith("IN"):
+                    arrays.setdefault(
+                        ref.tensor.name,
+                        rng.standard_normal(ref.tensor.shape()),
+                    )
+        want = run_statements(statements, arrays)["OUT"]
+        env = execute(block, arrays)
+        np.testing.assert_allclose(env["OUT"], want, rtol=1e-9)

@@ -1,0 +1,91 @@
+"""Unit tests for the operation-count cost model."""
+
+import pytest
+
+from repro.expr.parser import parse_program
+from repro.opmin.cost import (
+    sequence_op_count,
+    statement_op_count,
+)
+
+
+class TestDirectOpCount:
+    def test_fig1_direct_is_4_N10(self):
+        """Paper Section 2: the direct ten-loop translation of
+        S = sum A*B*C*D costs 4 x N^10 when every index has range N."""
+        src = """
+        range N = 7;
+        index a, b, c, d, e, f, i, j, k, l : N;
+        tensor A(a, c, i, k); tensor B(b, e, f, l);
+        tensor C(d, f, j, k); tensor D(c, d, e, l);
+        S(a, b, i, j) = sum(c, d, e, f, k, l)
+            A(a,c,i,k) * B(b,e,f,l) * C(d,f,j,k) * D(c,d,e,l);
+        """
+        prog = parse_program(src)
+        n = 7
+        assert statement_op_count(prog.statements[0]) == 4 * n**10
+
+    def test_fig1_formula_sequence_is_6_N6(self):
+        """Paper Section 2: the BDCA formula sequence costs 6 x N^6."""
+        src = """
+        range N = 7;
+        index a, b, c, d, e, f, i, j, k, l : N;
+        tensor A(a, c, i, k); tensor B(b, e, f, l);
+        tensor C(d, f, j, k); tensor D(c, d, e, l);
+        T1(b, c, d, f) = sum(e, l) B(b,e,f,l) * D(c,d,e,l);
+        T2(b, c, j, k) = sum(d, f) T1(b,c,d,f) * C(d,f,j,k);
+        S(a, b, i, j) = sum(c, k) T2(b,c,j,k) * A(a,c,i,k);
+        """
+        prog = parse_program(src)
+        n = 7
+        assert sequence_op_count(prog.statements) == 6 * n**6
+
+    def test_bindings_override(self):
+        src = """
+        range N = 7;
+        index a, b : N;
+        tensor A(a, b);
+        S(a) = sum(b) A(a, b);
+        """
+        prog = parse_program(src)
+        # pure reduction: 1 add per point of the a,b space
+        assert statement_op_count(prog.statements[0]) == 7 * 7
+        assert statement_op_count(prog.statements[0], {"N": 3}) == 9
+
+    def test_copy_is_free(self):
+        src = "range N=5; index a:N; tensor A(a); S(a) = A(a);"
+        prog = parse_program(src)
+        assert statement_op_count(prog.statements[0]) == 0
+
+    def test_function_materialization_charges_compute_cost(self):
+        src = """
+        range N = 4;
+        index a, b : N;
+        function f(a, b) cost 100;
+        T(a, b) = f(a, b);
+        """
+        prog = parse_program(src)
+        assert statement_op_count(prog.statements[0]) == 100 * 16
+
+    def test_multi_term_adds_per_term(self):
+        src = """
+        range N = 3;
+        index a, b : N;
+        tensor A(a, b); tensor B(a, b);
+        S(a) = sum(b) A(a, b) + sum(b) B(a, b);
+        """
+        prog = parse_program(src)
+        # each term: 1 add over 9 points
+        assert statement_op_count(prog.statements[0]) == 18
+
+    def test_contraction_in_product_with_function(self):
+        src = """
+        range N = 3;
+        index a, b : N;
+        tensor A(a, b);
+        function f(a, b) cost 10;
+        S(a) = sum(b) A(a, b) * f(a, b);
+        """
+        prog = parse_program(src)
+        # per (a,b) point: 1 mul + 1 add + 10 function ops
+        assert statement_op_count(prog.statements[0]) == 12 * 9

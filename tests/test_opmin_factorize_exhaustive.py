@@ -1,0 +1,93 @@
+"""Validation of the greedy factorizer against exhaustive merge-order
+enumeration on small multi-term expressions."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.expr.ast import Statement
+from repro.expr.canonical import flatten
+from repro.expr.indices import Index, IndexRange
+from repro.expr.parser import parse_program
+from repro.opmin.cost import ADD_OPS
+from repro.opmin.factorize import Factorizer, _mergeable, _term_cost
+from repro.opmin.multi_term import TempNamer
+from repro.expr.indices import total_extent
+
+
+def exhaustive_best(terms) -> int:
+    """Minimum total cost over every sequence of legal merges."""
+
+    def cost_of(terms_now) -> int:
+        return sum(_term_cost(t) for t in terms_now)
+
+    best = [cost_of(terms)]
+
+    def explore(work, helper_cost):
+        best[0] = min(best[0], cost_of(work) + helper_cost)
+        for i in range(len(work)):
+            for j in range(i + 1, len(work)):
+                hit = _mergeable(work[i], work[j])
+                if hit is None:
+                    continue
+                pos_a, _ = hit
+                factorizer = Factorizer(TempNamer(set()))
+                merged = factorizer._merge(work[i], work[j], *hit)
+                add_cost = ADD_OPS * total_extent(work[i][2][pos_a].indices)
+                rest = [t for k, t in enumerate(work) if k not in (i, j)]
+                explore(rest + [merged], helper_cost + add_cost)
+
+    explore(list(terms), 0)
+    return best[0]
+
+
+def greedy_total(terms) -> int:
+    factorizer = Factorizer(TempNamer(set()))
+    out = factorizer.run(list(terms))
+    # each helper statement merges exactly two operands -> one add/elem
+    helper = sum(
+        ADD_OPS * total_extent(s.result.indices)
+        for s in factorizer.helper_statements
+    )
+    return sum(_term_cost(t) for t in out) + helper
+
+
+def random_mergeable_statement(seed: int):
+    """2-4 terms over a small pool with deliberately shared factors."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 4)
+    shared = rng.random() < 0.8
+    lines = ["range N = 6;", "index a, b, e : N;", "tensor T(e, b);"]
+    terms = []
+    for k in range(n):
+        lines.append(f"tensor F{k}(a, e);")
+    for k in range(n):
+        other = "T(e,b)" if shared or k == 0 else f"F{(k + 1) % n}(e, b)"
+        terms.append(f"sum(e) F{k}(a,e) * {other}")
+    lines.append("R(a, b) = " + " + ".join(t for t in terms) + ";")
+    return parse_program("\n".join(lines))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_greedy_matches_exhaustive(seed):
+    prog = random_mergeable_statement(seed)
+    stmt = prog.statements[0]
+    terms = flatten(stmt.expr)
+    assert greedy_total(terms) == exhaustive_best(terms)
+
+
+def test_exhaustive_on_three_way_merge():
+    prog = parse_program("""
+    range N = 8;
+    index a, b, e : N;
+    tensor F(a, e); tensor G(a, e); tensor H(a, e); tensor T(e, b);
+    R(a, b) = sum(e) F(a,e) * T(e,b)
+            + sum(e) G(a,e) * T(e,b)
+            + sum(e) H(a,e) * T(e,b);
+    """)
+    terms = flatten(prog.statements[0].expr)
+    assert greedy_total(terms) == exhaustive_best(terms)
+    # fully merged: one contraction + two helper adds
+    n = 8
+    assert exhaustive_best(terms) == 2 * n**3 + 2 * (n * n)

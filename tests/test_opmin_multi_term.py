@@ -1,0 +1,154 @@
+"""Tests for statement/program-level operation minimization with CSE."""
+
+import numpy as np
+import pytest
+
+from repro.expr.parser import parse_program
+from repro.opmin.cost import sequence_op_count, statement_op_count
+from repro.opmin.multi_term import optimize_program, optimize_statement
+from repro.engine.executor import evaluate_expression, random_inputs, run_statements
+
+
+class TestOptimizeStatement:
+    def test_fig1_end_to_end(self, fig1_program):
+        stmt = fig1_program.statements[0]
+        seq = optimize_statement(stmt)
+        # three binary contractions
+        assert len(seq) == 3
+        assert seq[-1].result.name == "S"
+        n_v, n_o = 10, 4
+        direct = statement_op_count(stmt)
+        optimized = sequence_op_count(seq)
+        assert optimized < direct
+
+    def test_numerics_preserved(self, fig1_program):
+        stmt = fig1_program.statements[0]
+        bindings = {"V": 4, "O": 3}
+        arrays = random_inputs(fig1_program, bindings, seed=3)
+        want = evaluate_expression(stmt.expr, arrays, bindings)
+        seq = optimize_statement(stmt, bindings)
+        env = run_statements(seq, arrays, bindings)
+        np.testing.assert_allclose(env["S"], want, rtol=1e-9)
+
+    def test_multi_term_produces_final_add(self):
+        src = """
+        range N = 4;
+        index a, b, c : N;
+        tensor A(a, b); tensor B(b, c); tensor C(a, c);
+        S(a) = sum(b, c) A(a,b) * B(b,c) * C(a,c)
+             - 2 * sum(b) A(a,b) * A(a,b);
+        """
+        prog = parse_program(src)
+        seq = optimize_statement(prog.statements[0])
+        assert seq[-1].result.name == "S"
+        from repro.expr.ast import Add
+
+        assert isinstance(seq[-1].expr, Add)
+        coefs = sorted(c for c, _ in seq[-1].expr.terms)
+        assert coefs == [-2.0, 1.0]
+
+    def test_multi_term_numerics(self):
+        src = """
+        range N = 4;
+        index a, b, c : N;
+        tensor A(a, b); tensor B(b, c); tensor C(a, c);
+        S(a) = sum(b, c) A(a,b) * B(b,c) * C(a,c)
+             - 2 * sum(b) A(a,b) * A(a,b);
+        """
+        prog = parse_program(src)
+        stmt = prog.statements[0]
+        arrays = random_inputs(prog, seed=11)
+        want = evaluate_expression(stmt.expr, arrays)
+        env = run_statements(optimize_statement(stmt), arrays)
+        np.testing.assert_allclose(env["S"], want, rtol=1e-9)
+
+    def test_cse_shares_identical_terms(self):
+        """X appears twice with identical structure; the intermediate is
+        materialized once."""
+        src = """
+        range N = 6;
+        index a, b, c : N;
+        tensor A(a, b); tensor B(b, c); tensor M(a, c); tensor K(a, c);
+        S(a, c) = sum(b) A(a,b) * B(b,c) * M(a,c)
+                + sum(b) A(a,b) * B(b,c) * K(a,c);
+        """
+        prog = parse_program(src)
+        stmt = prog.statements[0]
+        seq = optimize_statement(stmt)
+        # AB must be computed only once
+        produced = [s.result.name for s in seq]
+        assert len(produced) == len(set(produced))
+        ab_like = [
+            s
+            for s in seq
+            if {r.tensor.name for r in s.expr.refs()} == {"A", "B"}
+        ]
+        assert len(ab_like) == 1
+
+    def test_unflattenable_rejected(self):
+        # A statement whose identical bound names collide across factors
+        src = """
+        range N = 3;
+        index a, b : N;
+        tensor A(a, b);
+        S(a) = (sum(b) A(a, b)) * (sum(b) A(a, b));
+        """
+        prog = parse_program(src)
+        with pytest.raises(ValueError, match="sum-of-products"):
+            optimize_statement(prog.statements[0])
+
+
+class TestOptimizeProgram:
+    def test_cse_across_statements(self):
+        src = """
+        range N = 5;
+        index a, b, c : N;
+        tensor A(a, b); tensor B(b, c);
+        X(a, c) = sum(b) A(a, b) * B(b, c);
+        Y(a) = sum(b, c) A(a, b) * B(b, c) * A(a, c);
+        """
+        prog = parse_program(src)
+        seq = optimize_program(prog)
+        # all produced names unique and S-free contractions shared when equal
+        produced = [s.result.name for s in seq]
+        assert len(produced) == len(set(produced))
+
+    def test_program_numerics(self):
+        src = """
+        range N = 4;
+        index a, b, c : N;
+        tensor A(a, b); tensor B(b, c);
+        X(a, c) = sum(b) A(a, b) * B(b, c);
+        Y(a) = sum(c) X(a, c) * X(a, c);
+        """
+        prog = parse_program(src)
+        arrays = random_inputs(prog, seed=5)
+        want_env = run_statements(prog.statements, arrays)
+        got_env = run_statements(optimize_program(prog), arrays)
+        np.testing.assert_allclose(got_env["Y"], want_env["Y"], rtol=1e-9)
+
+    def test_temp_names_avoid_collisions(self):
+        src = """
+        range N = 3;
+        index a, b, c, d : N;
+        tensor T1(a, b); tensor B(b, c); tensor C(c, d);
+        S(a, d) = sum(b, c) T1(a,b) * B(b,c) * C(c,d);
+        """
+        prog = parse_program(src)
+        seq = optimize_program(prog)
+        names = [s.result.name for s in seq]
+        # the generated temporary must not reuse the input name T1
+        assert names[0] != "T1"
+
+
+class TestSearchStats:
+    def test_pruning_explores_fewer_states(self, fig1_program):
+        from repro.expr.canonical import flatten
+        from repro.opmin.search import pruning_search
+
+        stmt = fig1_program.statements[0]
+        (coef, sums, refs), = flatten(stmt.expr)
+        _, pruned_stats = pruning_search(refs, sums, prune=True)
+        _, full_stats = pruning_search(refs, sums, prune=False)
+        assert pruned_stats.best_cost == full_stats.best_cost
+        assert pruned_stats.explored < full_stats.explored

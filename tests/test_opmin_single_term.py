@@ -1,0 +1,209 @@
+"""Unit and property tests for the single-term subset DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.ast import TensorRef
+from repro.expr.canonical import flatten
+from repro.expr.indices import Index, IndexRange
+from repro.expr.parser import parse_program
+from repro.expr.tensor import Tensor
+from repro.opmin.optree import Contract, Leaf, Reduce, tree_cost, tree_to_statements
+from repro.opmin.cost import sequence_op_count, statement_op_count
+from repro.opmin.search import exhaustive_best_tree
+from repro.opmin.single_term import optimize_term
+from repro.engine.executor import evaluate_expression, run_statements
+
+
+def term_of(program_stmt):
+    terms = flatten(program_stmt.expr)
+    assert len(terms) == 1
+    coef, sums, refs = terms[0]
+    return refs, sums
+
+
+FIG1_SRC = """
+range N = 6;
+index a, b, c, d, e, f, i, j, k, l : N;
+tensor A(a, c, i, k); tensor B(b, e, f, l);
+tensor C(d, f, j, k); tensor D(c, d, e, l);
+S(a, b, i, j) = sum(c, d, e, f, k, l)
+    A(a,c,i,k) * B(b,e,f,l) * C(d,f,j,k) * D(c,d,e,l);
+"""
+
+
+class TestFig1:
+    def test_optimal_cost_is_6_N6(self):
+        prog = parse_program(FIG1_SRC)
+        refs, sums = term_of(prog.statements[0])
+        tree = optimize_term(refs, sums)
+        assert tree_cost(tree) == 6 * 6**6
+
+    def test_matches_exhaustive(self):
+        prog = parse_program(FIG1_SRC)
+        refs, sums = term_of(prog.statements[0])
+        tree = optimize_term(refs, sums)
+        ex_tree, stats = exhaustive_best_tree(refs, sums)
+        assert tree_cost(tree) == stats.best_cost == tree_cost(ex_tree)
+
+    def test_finds_bdca_association(self):
+        """The op-minimal tree contracts B with D first (paper's order)."""
+        prog = parse_program(FIG1_SRC)
+        refs, sums = term_of(prog.statements[0])
+        tree = optimize_term(refs, sums)
+
+        def innermost_pair(node):
+            if isinstance(node, Contract):
+                l, r = node.left, node.right
+                if isinstance(l, Leaf) and isinstance(r, Leaf):
+                    return {l.ref.tensor.name, r.ref.tensor.name}
+                return innermost_pair(l) or innermost_pair(r)
+            return None
+
+        assert innermost_pair(tree) == {"B", "D"}
+
+    def test_formula_sequence_cost_matches_tree_cost(self):
+        prog = parse_program(FIG1_SRC)
+        stmt = prog.statements[0]
+        refs, sums = term_of(stmt)
+        tree = optimize_term(refs, sums)
+        statements = tree_to_statements(tree, stmt.result)
+        assert sequence_op_count(statements) == tree_cost(tree)
+
+    def test_numerical_equivalence(self):
+        """The optimized formula sequence computes the same S."""
+        prog = parse_program(FIG1_SRC)
+        stmt = prog.statements[0]
+        bindings = {"N": 3}
+        rng = np.random.default_rng(1)
+        arrays = {
+            t.name: rng.standard_normal(t.shape(bindings))
+            for t in prog.inputs()
+        }
+        reference = evaluate_expression(stmt.expr, arrays, bindings)
+
+        refs, sums = term_of(stmt)
+        tree = optimize_term(refs, sums, bindings)
+        statements = tree_to_statements(tree, stmt.result)
+        env = run_statements(statements, arrays, bindings)
+        got = env["S"]
+        # reference axes are sorted(free); S is declared (a,b,i,j) == sorted
+        np.testing.assert_allclose(got, reference, rtol=1e-10)
+
+
+class TestSmallCases:
+    def test_single_factor_copy(self, idx):
+        A = Tensor("A", (idx["a"],))
+        tree = optimize_term([TensorRef(A, (idx["a"],))], frozenset())
+        assert isinstance(tree, Leaf)
+
+    def test_single_factor_reduction(self, idx):
+        A = Tensor("A", (idx["a"], idx["b"]))
+        tree = optimize_term(
+            [TensorRef(A, (idx["a"], idx["b"]))], frozenset([idx["b"]])
+        )
+        assert isinstance(tree, Reduce)
+        assert tree.free == {idx["a"]}
+
+    def test_sum_index_in_no_factor_rejected(self, idx):
+        A = Tensor("A", (idx["a"],))
+        with pytest.raises(ValueError, match="no factor"):
+            optimize_term([TensorRef(A, (idx["a"],))], frozenset([idx["b"]]))
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(ValueError, match="at least one factor"):
+            optimize_term([], frozenset())
+
+    def test_matrix_chain_classic(self):
+        """((AB)C) vs (A(BC)): ranges chosen so the classic DP answer is
+        known: dims 10x100, 100x5, 5x50 -> (AB)C with 7500 mults."""
+        src = """
+        range P = 10; range Q = 100; range R = 5; range S = 50;
+        index p : P; index q : Q; index r : R; index s : S;
+        tensor A(p, q); tensor B(q, r); tensor C(r, s);
+        M(p, s) = sum(q, r) A(p, q) * B(q, r) * C(r, s);
+        """
+        prog = parse_program(src)
+        refs, sums = term_of(prog.statements[0])
+        tree = optimize_term(refs, sums)
+        # (AB): 2*10*100*5 = 10000 ops; (AB)C: 2*10*5*50 = 5000 -> 15000
+        # A(BC): 2*100*5*50 = 50000; then 2*10*100*50 = 100000 -> 150000
+        assert tree_cost(tree) == 15000
+
+    def test_outer_product(self, idx):
+        A = Tensor("A", (idx["a"],))
+        B = Tensor("B", (idx["b"],))
+        tree = optimize_term(
+            [TensorRef(A, (idx["a"],)), TensorRef(B, (idx["b"],))], frozenset()
+        )
+        assert isinstance(tree, Contract)
+        assert tree.sum_indices == ()
+        assert tree.free == {idx["a"], idx["b"]}
+
+    def test_hadamard_then_reduce(self, idx):
+        A = Tensor("A", (idx["a"], idx["b"]))
+        B = Tensor("B", (idx["a"], idx["b"]))
+        refs = [
+            TensorRef(A, (idx["a"], idx["b"])),
+            TensorRef(B, (idx["a"], idx["b"])),
+        ]
+        tree = optimize_term(refs, frozenset([idx["a"], idx["b"]]))
+        assert tree.free == frozenset()
+        assert tree_cost(tree) == 2 * 100  # one muladd per (a,b)
+
+
+@st.composite
+def random_term(draw):
+    """Random contraction: 3-5 tensors over up to 7 indices with varied
+    extents; a random subset of indices is summed."""
+    n_idx = draw(st.integers(min_value=3, max_value=7))
+    extents = [draw(st.sampled_from([2, 3, 4, 8, 16])) for _ in range(n_idx)]
+    ranges = [IndexRange(f"R{k}", e) for k, e in enumerate(extents)]
+    pool = [Index(f"x{k}", r) for k, r in enumerate(ranges)]
+    n_tensors = draw(st.integers(min_value=3, max_value=5))
+    refs = []
+    for t in range(n_tensors):
+        dims = draw(st.integers(min_value=1, max_value=3))
+        chosen = tuple(
+            dict.fromkeys(draw(st.sampled_from(pool)) for _ in range(dims))
+        )
+        refs.append(TensorRef(Tensor(f"T{t}", chosen), chosen))
+    used = sorted({i for r in refs for i in r.indices})
+    n_sum = draw(st.integers(min_value=0, max_value=len(used)))
+    sums = frozenset(draw(st.permutations(used))[:n_sum])
+    return refs, sums
+
+
+class TestDPMatchesExhaustive:
+    @given(random_term())
+    @settings(max_examples=40, deadline=None)
+    def test_dp_equals_exhaustive_cost(self, term):
+        refs, sums = term
+        dp_tree = optimize_term(refs, sums)
+        _, stats = exhaustive_best_tree(refs, sums)
+        assert tree_cost(dp_tree) == stats.best_cost
+
+    @given(random_term())
+    @settings(max_examples=25, deadline=None)
+    def test_tree_evaluates_correctly(self, term):
+        refs, sums = term
+        tree = optimize_term(refs, sums)
+        expr = tree.expression()
+
+        # reference: evaluate the original flat term
+        from repro.expr.ast import Mul, Sum
+
+        body = Mul(tuple(refs)) if len(refs) > 1 else refs[0]
+        original = Sum(tuple(sums), body) if sums else body
+
+        rng = np.random.default_rng(0)
+        arrays = {}
+        for ref in refs:
+            arrays.setdefault(
+                ref.tensor.name, rng.standard_normal(ref.tensor.shape())
+            )
+        want = evaluate_expression(original, arrays)
+        got = evaluate_expression(expr, arrays)
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,196 @@
+"""Tests for grids, distribution tuples, and redistribution costs
+(paper Section 7 examples)."""
+
+import numpy as np
+import pytest
+
+from repro.expr.indices import Index, IndexRange
+from repro.parallel.commcost import (
+    move_cost_elements,
+    received_elements,
+    reduction_comm_elements,
+    reduction_result_dist,
+)
+from repro.parallel.dist import (
+    Distribution,
+    REPLICATED,
+    SINGLE,
+    enumerate_distributions,
+    no_replicate,
+)
+from repro.parallel.grid import ProcessorGrid, myrange
+
+N = IndexRange("N", 8)
+J, K, T = Index("j", N), Index("k", N), Index("t", N)
+
+
+class TestMyrange:
+    def test_even_split(self):
+        assert myrange(0, 8, 4) == (0, 2)
+        assert myrange(3, 8, 4) == (6, 8)
+
+    def test_uneven_split_balanced(self):
+        # 7 over 3: 3, 2, 2
+        assert myrange(0, 7, 3) == (0, 3)
+        assert myrange(1, 7, 3) == (3, 5)
+        assert myrange(2, 7, 3) == (5, 7)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            myrange(4, 8, 4)
+
+
+class TestProcessorGrid:
+    def test_size_and_ranks(self):
+        grid = ProcessorGrid((2, 4, 8))
+        assert grid.size == 64
+        assert len(list(grid.ranks())) == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid(())
+        with pytest.raises(ValueError):
+            ProcessorGrid((2, 0))
+
+
+class TestDistribution:
+    """The paper's worked example: B[j,k,t] on a 2x4x8 grid with
+    3-tuple <k,*,1>."""
+
+    def setup_method(self):
+        self.grid = ProcessorGrid((2, 4, 8))
+        self.dist = Distribution((K, REPLICATED, SINGLE))
+        self.indices = (J, K, T)
+
+    def test_holds_only_third_coordinate_zero(self):
+        assert self.dist.holds((0, 1, 0))
+        assert self.dist.holds((1, 3, 0))
+        assert not self.dist.holds((0, 0, 1))
+
+    def test_local_ranges_match_paper(self):
+        """Processor (z1, z2, 0) gets B[1:Nj, myrange(z1,Nk,2), 1:Nt]."""
+        ranges = self.dist.local_ranges(self.indices, (1, 2, 0), self.grid)
+        assert ranges == [(0, 8), (4, 8), (0, 8)]
+
+    def test_excluded_processor_holds_nothing(self):
+        assert (
+            self.dist.local_ranges(self.indices, (1, 2, 3), self.grid) is None
+        )
+        assert self.dist.local_size(self.indices, (1, 2, 3), self.grid) == 0
+
+    def test_holder_count(self):
+        # replicated along dim 2 (4 procs), distributed dim 1 (2), single dim 3
+        assert self.dist.holder_count(self.grid) == 8
+
+    def test_effective_maps_foreign_index_to_replication(self):
+        dist = Distribution((T, J))
+        eff = dist.effective((J, K))
+        assert eff.entries[0] is REPLICATED
+        assert eff.entries[1] == J
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution((J, J))
+
+    def test_ownership_mask_counts(self):
+        mask = self.dist.ownership_mask(self.indices, (1, 2, 0), self.grid)
+        assert mask.sum() == 8 * 4 * 8
+
+    def test_str(self):
+        assert str(self.dist) == "<k,*,1>"
+
+
+class TestEnumerateDistributions:
+    def test_count_formula(self):
+        """q on a 2-D grid over 2 indices: entries from {j,k,*,1} minus
+        repeated-index tuples: 4*4 - 2 = 14."""
+        grid = ProcessorGrid((2, 2))
+        dists = enumerate_distributions((J, K), grid)
+        assert len(dists) == 14
+
+    def test_no_replicate_predicate(self):
+        assert no_replicate(Distribution((J, SINGLE)))
+        assert not no_replicate(Distribution((J, REPLICATED)))
+
+
+class TestRedistributionCosts:
+    """The paper's Section-7 example: T1 <1,t,j> -> <j,t,1> moves data;
+    T2 <j,*,1> -> <j,t,1> is free."""
+
+    def setup_method(self):
+        self.grid = ProcessorGrid((2, 2, 2))
+        self.indices = (J, T)  # arrays T1[j,t], T2[j,t]
+
+    def test_free_redistribution_from_replication(self):
+        src = Distribution((J, REPLICATED, SINGLE))
+        dst = Distribution((J, T, SINGLE))
+        assert move_cost_elements(self.indices, src, dst, self.grid) == 0
+
+    def test_moving_redistribution_costs(self):
+        src = Distribution((SINGLE, T, J))
+        dst = Distribution((J, T, SINGLE))
+        cost = move_cost_elements(self.indices, src, dst, self.grid)
+        assert cost > 0
+
+    def test_identity_is_free(self):
+        d = Distribution((J, T, SINGLE))
+        assert move_cost_elements(self.indices, d, d, self.grid) == 0
+
+    def test_received_elements_exact(self):
+        """Gather to a single processor: rank (0,0,0) receives everything
+        it does not already hold."""
+        src = Distribution((J, T, SINGLE))
+        dst = Distribution((SINGLE, SINGLE, SINGLE))
+        got = received_elements(
+            self.indices, src, dst, (0, 0, 0), self.grid
+        )
+        # full array 64, own block 4x4=16 -> receives 48
+        assert got == 48
+        # others receive nothing
+        assert received_elements(
+            self.indices, src, dst, (1, 0, 0), self.grid
+        ) == 0
+
+    def test_block_to_block_same_partition_free(self):
+        src = Distribution((J, SINGLE, SINGLE))
+        dst = Distribution((J, SINGLE, SINGLE))
+        for rank in self.grid.ranks():
+            assert received_elements(
+                self.indices, src, dst, rank, self.grid
+            ) == 0
+
+    def test_swap_dimensions(self):
+        """<j,t,1> -> <t,j,1>: blocks change unless diagonal."""
+        src = Distribution((J, T, SINGLE))
+        dst = Distribution((T, J, SINGLE))
+        diag = received_elements(self.indices, src, dst, (0, 0, 0), self.grid)
+        off = received_elements(self.indices, src, dst, (0, 1, 0), self.grid)
+        assert diag == 0  # (0,0) block is the same region
+        assert off == 16  # entire target block differs
+
+
+class TestReductionCosts:
+    def test_result_dist_combine_and_replicate(self):
+        dist = Distribution((J, K))
+        combined = reduction_result_dist(dist, K, replicate=False)
+        assert combined.entries[1] is SINGLE
+        replicated = reduction_result_dist(dist, K, replicate=True)
+        assert replicated.entries[1] is REPLICATED
+
+    def test_comm_elements(self):
+        grid = ProcessorGrid((2, 4))
+        dist = Distribution((J, K))
+        # result is [j]; root along dim 1 receives 3 partial blocks of
+        # j-block size 4
+        cost = reduction_comm_elements((J,), dist, K, grid)
+        assert cost == 3 * 4
+
+    def test_undistributed_index_is_free(self):
+        grid = ProcessorGrid((2, 2))
+        dist = Distribution((J, SINGLE))
+        assert reduction_comm_elements((J,), dist, K, grid) == 0
+
+    def test_single_processor_dimension_free(self):
+        grid = ProcessorGrid((2, 1))
+        dist = Distribution((J, K))
+        assert reduction_comm_elements((J,), dist, K, grid) == 0

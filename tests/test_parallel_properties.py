@@ -1,0 +1,141 @@
+"""Property-based tests for the distribution layer: the closed-form
+interval arithmetic must agree with element-exact ownership masks for
+arbitrary distributions, arrays, and grids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.indices import Index, IndexRange
+from repro.parallel.commcost import (
+    move_cost_elements,
+    received_elements,
+    reduction_comm_elements,
+    reduction_result_dist,
+)
+from repro.parallel.dist import (
+    Distribution,
+    REPLICATED,
+    SINGLE,
+    enumerate_distributions,
+)
+from repro.parallel.grid import ProcessorGrid, myrange
+
+R1 = IndexRange("R1", 7)
+R2 = IndexRange("R2", 5)
+J = Index("j", R1)
+T = Index("t", R2)
+INDICES = (J, T)
+
+
+@st.composite
+def grid_and_dists(draw):
+    ndims = draw(st.integers(min_value=1, max_value=3))
+    dims = tuple(
+        draw(st.sampled_from([1, 2, 3, 4])) for _ in range(ndims)
+    )
+    grid = ProcessorGrid(dims)
+    alphabet = [J, T, REPLICATED, SINGLE]
+
+    def dist():
+        while True:
+            entries = tuple(
+                draw(st.sampled_from(alphabet)) for _ in range(ndims)
+            )
+            idx = [e for e in entries if isinstance(e, Index)]
+            if len(idx) == len(set(idx)):
+                return Distribution(entries)
+
+    return grid, dist(), dist()
+
+
+class TestIntervalVsMasks:
+    @given(grid_and_dists())
+    @settings(max_examples=60, deadline=None)
+    def test_received_elements_matches_masks(self, case):
+        grid, src, dst = case
+        for rank in grid.ranks():
+            src_mask = src.ownership_mask(INDICES, rank, grid)
+            dst_mask = dst.ownership_mask(INDICES, rank, grid)
+            exact = int((dst_mask & ~src_mask).sum())
+            assert exact == received_elements(
+                INDICES, src, dst, rank, grid
+            )
+
+    @given(grid_and_dists())
+    @settings(max_examples=40, deadline=None)
+    def test_local_size_matches_mask(self, case):
+        grid, src, _ = case
+        for rank in grid.ranks():
+            mask = src.ownership_mask(INDICES, rank, grid)
+            assert int(mask.sum()) == src.local_size(INDICES, rank, grid)
+
+    @given(grid_and_dists())
+    @settings(max_examples=40, deadline=None)
+    def test_holders_cover_every_element(self, case):
+        """Union over ranks of ownership masks covers the whole array
+        (every element lives somewhere)."""
+        grid, src, _ = case
+        total = np.zeros((7, 5), dtype=bool)
+        for rank in grid.ranks():
+            total |= src.ownership_mask(INDICES, rank, grid)
+        assert total.all()
+
+    @given(grid_and_dists())
+    @settings(max_examples=40, deadline=None)
+    def test_move_cost_zero_iff_no_rank_needs_data(self, case):
+        grid, src, dst = case
+        cost = move_cost_elements(INDICES, src, dst, grid)
+        needs = any(
+            received_elements(INDICES, src, dst, rank, grid) > 0
+            for rank in grid.ranks()
+        )
+        assert (cost > 0) == needs
+
+    @given(grid_and_dists())
+    @settings(max_examples=40, deadline=None)
+    def test_self_move_free(self, case):
+        grid, src, _ = case
+        assert move_cost_elements(INDICES, src, src, grid) == 0
+
+
+class TestMyrangeProperties:
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_blocks_partition_range(self, n, p):
+        covered = []
+        for z in range(p):
+            lo, hi = myrange(z, n, p)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(n))
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_blocks_balanced(self, n, p):
+        sizes = [myrange(z, n, p)[1] - myrange(z, n, p)[0] for z in range(p)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestReductionProperties:
+    def test_reduction_dist_loses_index(self):
+        grid = ProcessorGrid((2, 3))
+        for dist in enumerate_distributions(INDICES, grid):
+            if dist.position_of(T) is None:
+                continue
+            for rep in (False, True):
+                out = reduction_result_dist(dist, T, rep)
+                assert out.position_of(T) is None
+
+    def test_reduction_comm_scales_with_p(self):
+        dist = Distribution((J, T))
+        costs = []
+        for p in (1, 2, 4, 8):
+            grid = ProcessorGrid((2, p))
+            costs.append(reduction_comm_elements((J,), dist, T, grid))
+        assert costs[0] == 0
+        assert costs == sorted(costs)

@@ -1,0 +1,125 @@
+"""Tests for linear vs tree reduction patterns (model and simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.expr.indices import Index, IndexRange
+from repro.expr.parser import parse_program
+from repro.engine.executor import evaluate_expression, random_inputs
+from repro.parallel.commcost import CommModel, reduction_comm_elements
+from repro.parallel.dist import Distribution
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.partition import optimize_distribution
+from repro.parallel.ptree import expression_to_ptree
+from repro.parallel.simulate import GridSimulator
+
+N = IndexRange("N", 16)
+J, K = Index("j", N), Index("k", N)
+
+
+class TestModel:
+    def test_tree_cheaper_for_large_p(self):
+        grid = ProcessorGrid((8,))
+        dist = Distribution((K,))
+        linear = reduction_comm_elements((J,), dist, K, grid, pattern="linear")
+        tree = reduction_comm_elements((J,), dist, K, grid, pattern="tree")
+        assert linear == 7 * 16
+        assert tree == 3 * 16  # ceil(log2 8) = 3 rounds
+        assert tree < linear
+
+    def test_equal_for_two_processors(self):
+        grid = ProcessorGrid((2,))
+        dist = Distribution((K,))
+        linear = reduction_comm_elements((J,), dist, K, grid, pattern="linear")
+        tree = reduction_comm_elements((J,), dist, K, grid, pattern="tree")
+        assert linear == tree == 16
+
+    def test_bad_pattern_name_rejected(self):
+        with pytest.raises(ValueError, match="reduction"):
+            CommModel(reduction="star")
+
+
+def matmul(n=8):
+    prog = parse_program(f"""
+    range N = {n};
+    index i, j, k : N;
+    tensor A(i, k); tensor B(k, j);
+    C(i, j) = sum(k) A(i, k) * B(k, j);
+    """)
+    stmt = prog.statements[0]
+    return expression_to_ptree(stmt.expr), stmt, prog
+
+
+class TestSimulator:
+    @pytest.mark.parametrize("pattern", ["linear", "tree"])
+    def test_numerics_identical(self, pattern):
+        tree, stmt, prog = matmul()
+        grid = ProcessorGrid((8,))
+        model = CommModel(reduction=pattern)
+        plan = optimize_distribution(tree, grid, model)
+        arrays = random_inputs(prog, seed=0)
+        want = evaluate_expression(stmt.expr, arrays)
+        got, _ = GridSimulator(grid).run(plan, arrays)
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+
+    def test_tree_reduces_max_receive(self):
+        """Pin a plan that reduces over a distributed index on 8 ranks
+        and compare measured per-event maxima."""
+        tree, stmt, prog = matmul()
+        grid = ProcessorGrid((8,))
+        arrays = random_inputs(prog, seed=1)
+        from repro.parallel.dist import Distribution, SINGLE
+
+        i = next(x for x in tree.indices if x.name == "i")
+        alpha = Distribution((i,))
+        results = {}
+        for pattern in ("linear", "tree"):
+            model = CommModel(reduction=pattern)
+            plan = optimize_distribution(tree, grid, model, result_dist=alpha)
+            got, report = GridSimulator(grid).run(plan, arrays)
+            reduce_events = [
+                (label, total, mx)
+                for label, total, mx in report.node_comm
+                if label.startswith("reduce")
+            ]
+            results[pattern] = reduce_events
+        # if the chosen gammas both reduce over a distributed k, the tree
+        # pattern's per-event max receive must not exceed the linear one
+        if results["linear"] and results["tree"]:
+            lin_max = max(mx for _, _, mx in results["linear"])
+            tree_max = max(mx for _, _, mx in results["tree"])
+            assert tree_max <= lin_max
+
+    def test_model_matches_measured_tree_max(self):
+        """For a pinned gamma reducing over k on 8 ranks, the measured
+        per-event max equals the tree model's prediction."""
+        from repro.parallel.commcost import reduction_result_dist
+
+        grid = ProcessorGrid((8,))
+        n = 8
+        prog = parse_program(f"""
+        range N = {n};
+        index j, k : N;
+        tensor A(k, j);
+        S(j) = sum(k) A(k, j);
+        """)
+        stmt = prog.statements[0]
+        ptree = expression_to_ptree(stmt.expr)
+        model = CommModel(reduction="tree")
+        plan = optimize_distribution(ptree, grid, model)
+        gamma = plan.gamma[id(ptree)]
+        k = next(x for x in stmt.expr.indices if x.name == "k")
+        arrays = random_inputs(prog, seed=2)
+        got, report = GridSimulator(grid).run(plan, arrays)
+        want = evaluate_expression(stmt.expr, arrays)
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+        if gamma.position_of(k) is not None:
+            predicted = reduction_comm_elements(
+                tuple(ptree.indices), gamma, k, grid, pattern="tree"
+            )
+            measured = max(
+                mx
+                for label, _, mx in report.node_comm
+                if label.startswith("reduce")
+            )
+            assert measured == predicted

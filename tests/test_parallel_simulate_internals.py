@@ -1,0 +1,97 @@
+"""Unit tests for GridSimulator internals: scatter/assemble round trips
+and redistribution counting."""
+
+import numpy as np
+import pytest
+
+from repro.expr.indices import Index, IndexRange
+from repro.parallel.commcost import move_cost_elements
+from repro.parallel.dist import Distribution, REPLICATED, SINGLE
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.simulate import GridSimulator, SimulationReport
+
+N = IndexRange("N", 8)
+I, J = Index("i", N), Index("j", N)
+INDICES = (I, J)
+
+
+@pytest.fixture
+def sim():
+    return GridSimulator(ProcessorGrid((2, 2)))
+
+
+def scatter(sim, dist, seed=0):
+    rng = np.random.default_rng(seed)
+    glob = rng.standard_normal((8, 8))
+    return glob, sim.scatter(glob, INDICES, dist)
+
+
+class TestScatterAssemble:
+    @pytest.mark.parametrize(
+        "entries",
+        [
+            (I, J),
+            (J, I),
+            (I, REPLICATED),
+            (SINGLE, J),
+            (REPLICATED, REPLICATED),
+            (SINGLE, SINGLE),
+        ],
+    )
+    def test_roundtrip(self, sim, entries):
+        dist = Distribution(entries)
+        glob, value = scatter(sim, dist)
+        back = sim.assemble(value)
+        np.testing.assert_array_equal(back, glob)
+
+    def test_holder_blocks_only(self, sim):
+        dist = Distribution((SINGLE, J))
+        _, value = scatter(sim, dist)
+        # only ranks with first coordinate 0 hold blocks
+        assert set(value.blocks) == {(0, 0), (0, 1)}
+
+    def test_block_shapes(self, sim):
+        dist = Distribution((I, J))
+        _, value = scatter(sim, dist)
+        for rank, blk in value.blocks.items():
+            assert blk.shape == (4, 4)
+
+
+class TestRedistribute:
+    def test_counts_match_model(self, sim):
+        src = Distribution((I, J))
+        dst = Distribution((J, I))
+        glob, value = scatter(sim, src)
+        report = SimulationReport(
+            received={r: 0 for r in sim.grid.ranks()},
+            local_ops={r: 0 for r in sim.grid.ranks()},
+        )
+        out = sim.redistribute(value, dst, report)
+        np.testing.assert_array_equal(sim.assemble(out), glob)
+        assert max(report.received.values()) == move_cost_elements(
+            INDICES, src, dst, sim.grid
+        )
+
+    def test_noop_costs_nothing(self, sim):
+        dist = Distribution((I, J))
+        _, value = scatter(sim, dist)
+        report = SimulationReport(
+            received={r: 0 for r in sim.grid.ranks()},
+            local_ops={r: 0 for r in sim.grid.ranks()},
+        )
+        out = sim.redistribute(value, dist, report)
+        assert out is value
+        assert sum(report.received.values()) == 0
+
+    def test_replication_counts_copies(self, sim):
+        src = Distribution((I, J))
+        dst = Distribution((REPLICATED, REPLICATED))
+        glob, value = scatter(sim, src)
+        report = SimulationReport(
+            received={r: 0 for r in sim.grid.ranks()},
+            local_ops={r: 0 for r in sim.grid.ranks()},
+        )
+        out = sim.redistribute(value, dst, report)
+        np.testing.assert_array_equal(sim.assemble(out), glob)
+        # every rank ends with the full 64 minus its own 16
+        assert all(v == 48 for v in report.received.values())

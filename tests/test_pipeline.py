@@ -1,0 +1,200 @@
+"""End-to-end pipeline tests (paper Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CommModel,
+    MachineModel,
+    MemoryLevel,
+    ProcessorGrid,
+    SynthesisConfig,
+    synthesize,
+)
+from repro.engine.counters import Counters
+from repro.engine.executor import evaluate_expression, random_inputs, run_statements
+from repro.chem.a3a import a3a_problem
+from repro.chem.workloads import ccsd_like_program, fig1_program
+
+FIG1_SRC = """
+range V = 6;
+range O = 3;
+index a, b, c, d, e, f : V;
+index i, j, k, l : O;
+tensor A(a, c, i, k); tensor B(b, e, f, l);
+tensor C(d, f, j, k); tensor D(c, d, e, l);
+S(a, b, i, j) = sum(c, d, e, f, k, l)
+    A(a,c,i,k) * B(b,e,f,l) * C(d,f,j,k) * D(c,d,e,l);
+"""
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return synthesize(FIG1_SRC)
+
+
+class TestSynthesizeFig1:
+    def test_all_stages_reported(self, fig1_result):
+        names = [r.name for r in fig1_result.reports]
+        assert names == [
+            "Algebraic transformations",
+            "Memory minimization",
+            "Space-time transformation",
+            "Data locality optimization",
+            "Data distribution and partitioning",
+            "Code generation",
+        ]
+
+    def test_operation_reduction(self, fig1_result):
+        report = fig1_result.reports[0]
+        direct = report.details["direct operation count"]
+        optimized = report.details["optimized operation count"]
+        assert direct == 4 * 6**6 * 3**4  # 4 * V^6 O^4 mixed ranges
+        assert optimized < direct
+
+    def test_memory_minimization_applied(self, fig1_result):
+        report = fig1_result.reports[1]
+        assert report.details["fused temporary memory"] < report.details[
+            "unfused temporary memory"
+        ]
+
+    def test_executes_correctly(self, fig1_result):
+        prog = fig1_result.program
+        arrays = random_inputs(prog, seed=21)
+        want = evaluate_expression(prog.statements[0].expr, arrays)
+        env = fig1_result.execute(arrays)
+        np.testing.assert_allclose(env["S"], want, rtol=1e-9)
+
+    def test_compiled_kernel_matches_interpreter(self, fig1_result):
+        prog = fig1_result.program
+        arrays = random_inputs(prog, seed=22)
+        interp_env = fig1_result.execute(arrays)
+        kernel = fig1_result.compile()
+        compiled_env = kernel(arrays)
+        np.testing.assert_allclose(
+            compiled_env["S"], interp_env["S"], rtol=1e-12
+        )
+
+    def test_source_generated(self, fig1_result):
+        assert fig1_result.source.startswith("def kernel(")
+        assert "for " in fig1_result.source
+
+    def test_describe_is_text(self, fig1_result):
+        text = fig1_result.describe()
+        assert "Algebraic transformations" in text
+        assert "Code generation" in text
+
+
+class TestSpaceTimeTrigger:
+    def test_tight_memory_invokes_spacetime(self):
+        problem = a3a_problem(V=4, O=2, Ci=50)
+        machine = MachineModel(
+            cache=MemoryLevel("cache", 16, 8.0),
+            memory=MemoryLevel("memory", 64, 512.0),  # < 2+2*V^3*O = 258
+        )
+        config = SynthesisConfig(machine=machine, optimize_cache=False)
+        result = synthesize(problem.program, config)
+        st = next(
+            r for r in result.reports if r.name == "Space-time transformation"
+        )
+        assert st.details["invoked"] == "yes"
+        # still executes correctly
+        inputs = random_inputs(problem.program, seed=1)
+        want = run_statements(
+            problem.statements, inputs, functions=problem.functions
+        )["E"]
+        env = result.execute(inputs, functions=problem.functions)
+        assert float(env["E"]) == pytest.approx(float(want), rel=1e-9)
+
+    def test_loose_memory_skips_spacetime(self):
+        problem = a3a_problem(V=4, O=2, Ci=50)
+        config = SynthesisConfig(optimize_cache=False)
+        result = synthesize(problem.program, config)
+        st = next(
+            r for r in result.reports if r.name == "Space-time transformation"
+        )
+        assert "no" in str(st.details["invoked"])
+
+    def test_impossible_budget_raises(self):
+        problem = a3a_problem(V=4, O=2, Ci=50)
+        machine = MachineModel(
+            cache=MemoryLevel("cache", 2, 8.0),
+            memory=MemoryLevel("memory", 2, 512.0),
+        )
+        config = SynthesisConfig(machine=machine, optimize_cache=False)
+        with pytest.raises(ValueError):
+            synthesize(problem.program, config)
+
+
+class TestParallelStage:
+    def test_grid_produces_plans(self):
+        config = SynthesisConfig(
+            grid=ProcessorGrid((2, 2)),
+            comm=CommModel(),
+            optimize_cache=False,
+        )
+        result = synthesize(FIG1_SRC, config)
+        assert result.partition_plans
+        report = next(
+            r
+            for r in result.reports
+            if r.name == "Data distribution and partitioning"
+        )
+        assert report.details["processors"] == 4
+        assert report.details["total modeled cost"] > 0
+
+    def test_multiterm_program(self):
+        prog = ccsd_like_program(V=5, O=3)
+        config = SynthesisConfig(
+            grid=ProcessorGrid((2,)), optimize_cache=False
+        )
+        result = synthesize(prog, config)
+        arrays = random_inputs(prog, seed=9)
+        want = run_statements(prog.statements, arrays)["R"]
+        env = result.execute(arrays)
+        np.testing.assert_allclose(env["R"], want, rtol=1e-9)
+        # the final multi-term combine is noted, not planned
+        report = next(
+            r
+            for r in result.reports
+            if r.name == "Data distribution and partitioning"
+        )
+        assert any("multi-term" in n for n in report.notes)
+
+
+class TestLocalityStage:
+    def test_cache_blocking_reported(self):
+        machine = MachineModel(
+            cache=MemoryLevel("cache", 32, 8.0),
+        )
+        config = SynthesisConfig(machine=machine)
+        result = synthesize(FIG1_SRC, config)
+        report = next(
+            r
+            for r in result.reports
+            if r.name == "Data locality optimization"
+        )
+        assert report.details["optimized modeled misses"] <= report.details[
+            "baseline modeled misses"
+        ]
+
+    def test_locality_preserves_numerics(self):
+        machine = MachineModel(cache=MemoryLevel("cache", 32, 8.0))
+        result = synthesize(FIG1_SRC, SynthesisConfig(machine=machine))
+        prog = result.program
+        arrays = random_inputs(prog, seed=30)
+        want = evaluate_expression(prog.statements[0].expr, arrays)
+        env = result.execute(arrays)
+        np.testing.assert_allclose(env["S"], want, rtol=1e-9)
+
+
+class TestCounters:
+    def test_execution_counters_match_codegen_report(self, fig1_result):
+        prog = fig1_result.program
+        arrays = random_inputs(prog, seed=2)
+        counters = Counters()
+        fig1_result.execute(arrays, counters=counters)
+        codegen = next(
+            r for r in fig1_result.reports if r.name == "Code generation"
+        )
+        assert counters.total_ops == codegen.details["operation count"]

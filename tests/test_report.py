@@ -1,0 +1,47 @@
+"""Unit tests for report formatting."""
+
+from repro.report import StageReport, format_table
+
+
+class TestStageReport:
+    def test_render_includes_name_and_details(self):
+        r = StageReport("Stage X", {"key": 12345, "ratio": 1.5})
+        text = r.render()
+        assert "== Stage X ==" in text
+        assert "12,345" in text
+        assert "1.5" in text
+
+    def test_notes_rendered(self):
+        r = StageReport("S", {}, notes=["something happened"])
+        assert "- something happened" in r.render()
+
+    def test_empty_details(self):
+        assert StageReport("S").render() == "== S =="
+
+    def test_alignment(self):
+        r = StageReport("S", {"a": 1, "longer key": 2})
+        lines = r.render().splitlines()[1:]
+        colons = [l.index(":") for l in lines]
+        assert len(set(colons)) == 1
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(["x", "count"], [["a", 1000], ["bb", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "1,000" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

@@ -1,0 +1,184 @@
+"""Tests for the space-time trade-off DP and tile-size search."""
+
+import numpy as np
+import pytest
+
+from repro.chem.a3a import (
+    a3a_problem,
+    fig2_table,
+    fig3_table,
+    fig4_table,
+    table_totals,
+)
+from repro.engine.executor import random_inputs, run_statements
+from repro.codegen.interp import execute
+from repro.codegen.loops import array_sizes, loop_op_count, total_memory
+from repro.codegen.builder import build_fused, build_unfused
+from repro.fusion.memopt import minimize_memory
+from repro.fusion.tree import build_tree
+from repro.spacetime.tiling import search_tile_sizes, tiled_structure
+from repro.spacetime.tradeoff import tradeoff_search
+
+SMALL = dict(V=4, O=2, Ci=50)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return a3a_problem(**SMALL)
+
+
+@pytest.fixture(scope="module")
+def frontier(problem):
+    return tradeoff_search(problem.tree())
+
+
+class TestTradeoffFrontier:
+    def test_frontier_is_pareto(self, frontier):
+        mems = [s.memory for s in frontier]
+        opss = [s.ops for s in frontier]
+        assert mems == sorted(mems)
+        assert opss == sorted(opss, reverse=True)
+        assert len(set(mems)) == len(mems)
+
+    def test_min_memory_point_is_full_fusion(self, frontier):
+        """The smallest-memory configuration reduces all four
+        temporaries to scalars (paper Fig. 3): total memory 4."""
+        best = frontier[0]
+        assert best.memory == 4
+
+    def test_min_memory_ops_match_fig3(self, frontier):
+        table = fig3_table(**SMALL)
+        assert frontier[0].ops == table_totals(table)["time"]
+
+    def test_max_reuse_point_matches_memopt(self, problem, frontier):
+        """With no recomputation the cheapest-ops point has the unfused
+        operation count and (at best) the pure-fusion minimal memory."""
+        table = fig2_table(**SMALL)
+        base_ops = table_totals(table)["time"]
+        cheapest = frontier[-1]
+        assert cheapest.ops == base_ops
+        pure = minimize_memory(problem.tree())
+        assert cheapest.memory == pure.total_memory
+
+    def test_redundancy_indices_of_fig3_point(self, frontier):
+        names = {i.name for i in frontier[0].recomputation_indices()}
+        assert names == {"a", "e", "c", "f"} or names == {"a", "f", "c", "e"}
+
+    def test_memory_limit_prunes(self, problem):
+        limited = tradeoff_search(problem.tree(), memory_limit=100)
+        assert all(s.memory <= 100 for s in limited)
+        assert limited  # something survives (full fusion needs only 4)
+
+    def test_no_redundancy_reduces_to_fusion_dp(self, problem):
+        frontier = tradeoff_search(problem.tree(), allow_redundancy=False)
+        pure = minimize_memory(problem.tree())
+        assert frontier[0].memory == pure.total_memory
+
+
+class TestRealization:
+    def test_fig3_point_builds_and_matches_numerics(self, problem, frontier):
+        inputs = random_inputs(problem.program, seed=3)
+        want = run_statements(
+            problem.statements, inputs, functions=problem.functions
+        )["E"]
+        block = build_fused(frontier[0].decisions())
+        sizes = array_sizes(block)
+        assert all(sizes[a] == 1 for a in ("X", "T1", "T2", "Y", "E"))
+        env = execute(block, inputs, functions=problem.functions)
+        assert float(env["E"]) == pytest.approx(float(want), rel=1e-10)
+
+    def test_every_frontier_point_builds_and_is_exact(self, problem, frontier):
+        inputs = random_inputs(problem.program, seed=4)
+        want = float(
+            run_statements(
+                problem.statements, inputs, functions=problem.functions
+            )["E"]
+        )
+        for sol in frontier:
+            block = build_fused(sol.decisions())
+            assert loop_op_count(block) == sol.ops, sol.memory
+            mem = total_memory(block) - 1  # exclude scalar output E
+            assert mem == sol.memory
+            env = execute(block, inputs, functions=problem.functions)
+            assert float(env["E"]) == pytest.approx(want, rel=1e-10)
+
+
+class TestTiledStructure:
+    def test_fig4_recovered_from_fig3_point(self, problem, frontier):
+        """Tiling the min-memory solution's recomputation indices at
+        block size B reproduces the Fig.-4 cost table."""
+        sol = frontier[0]
+        B = 2
+        tiles = {i: B for i in sol.recomputation_indices()}
+        block = tiled_structure(sol, tiles)
+        table = fig4_table(B=B, **SMALL)
+        sizes = array_sizes(block)
+        for arr in ("X", "T1", "T2", "Y", "E"):
+            assert sizes[arr] == table[arr]["space"], arr
+        assert loop_op_count(block) == table_totals(table)["time"]
+
+    def test_tiled_numerics(self, problem, frontier):
+        inputs = random_inputs(problem.program, seed=5)
+        want = float(
+            run_statements(
+                problem.statements, inputs, functions=problem.functions
+            )["E"]
+        )
+        sol = frontier[0]
+        for B in (1, 2, 4, 3):  # including a non-divisor
+            tiles = {i: B for i in sol.recomputation_indices()}
+            block = tiled_structure(sol, tiles)
+            env = execute(block, inputs, functions=problem.functions)
+            assert float(env["E"]) == pytest.approx(want, rel=1e-10), B
+
+
+class TestTileSearch:
+    def test_search_returns_largest_feasible_block(self, problem, frontier):
+        """Ops decrease monotonically with B for A3A, so the search
+        should pick the largest B whose memory fits."""
+        sol = frontier[0]
+        V = SMALL["V"]
+        # limit chosen so B=2 fits (2*B^4 + 2*B^2 + ... ) but B=4 not:
+        # B=2: X=16,Y=16,T1=T2=4 -> 40; B=4: 256+256+16+16 = 544
+        result = search_tile_sizes(sol, memory_limit=100)
+        assert result.block_size == 2
+        assert result.memory <= 100
+
+    def test_search_unlimited_picks_full_extent(self, problem, frontier):
+        result = search_tile_sizes(frontier[0])
+        assert result.block_size == SMALL["V"]
+        # full-extent tiles restore the unfused integral cost
+        assert result.ops == table_totals(fig2_table(**SMALL))["time"]
+
+    def test_search_reports_candidates(self, problem, frontier):
+        result = search_tile_sizes(frontier[0], memory_limit=100)
+        bs = [c["B"] for c in result.candidates]
+        assert bs == [1, 2, 4]
+        opss = [c["ops"] for c in result.candidates]
+        assert opss == sorted(opss, reverse=True)
+
+    def test_infeasible_limit_raises(self, problem, frontier):
+        with pytest.raises(ValueError, match="memory limit"):
+            search_tile_sizes(frontier[0], memory_limit=2)
+
+    def test_no_recompute_solution_needs_no_tiling(self, problem, frontier):
+        sol = frontier[-1]  # max-reuse point has no redundancy
+        assert not sol.recomputation_indices()
+        result = search_tile_sizes(sol)
+        assert result.block_size == 0
+        assert result.ops == sol.ops
+
+
+class TestTradeoffOnFig1:
+    def test_pure_chain_has_no_useful_redundancy(self):
+        """For the Section-2 example every pareto point with recompute
+        must genuinely reduce memory below the pure-fusion optimum."""
+        from repro.chem.workloads import fig1_formula_sequence
+
+        prog = fig1_formula_sequence(V=6, O=3)
+        root = build_tree(prog.statements)
+        frontier = tradeoff_search(root)
+        pure = minimize_memory(root)
+        assert frontier[-1].memory == pure.total_memory
+        for sol in frontier[:-1]:
+            assert sol.memory < pure.total_memory

@@ -1,0 +1,90 @@
+"""Tests for per-index tile-size refinement (non-uniform blocks)."""
+
+import pytest
+
+from repro.chem.a3a import a3a_problem
+from repro.engine.executor import random_inputs, run_statements
+from repro.codegen.interp import execute
+from repro.spacetime.tiling import (
+    refine_tile_sizes,
+    search_tile_sizes,
+    tiled_structure,
+)
+from repro.spacetime.tradeoff import tradeoff_search
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return a3a_problem(V=8, O=2, Ci=50)
+
+
+@pytest.fixture(scope="module")
+def min_mem_solution(problem):
+    return tradeoff_search(problem.tree())[0]
+
+
+class TestRefine:
+    def test_never_worse_than_uniform(self, min_mem_solution):
+        for limit in (64, 200, 1000):
+            uniform = search_tile_sizes(min_mem_solution, memory_limit=limit)
+            refined = refine_tile_sizes(
+                min_mem_solution, uniform, memory_limit=limit
+            )
+            assert refined.ops <= uniform.ops
+            assert refined.memory <= limit
+
+    def test_nonuniform_beats_uniform_under_asymmetric_budget(
+        self, min_mem_solution
+    ):
+        """With a budget between two uniform-B working sets, per-index
+        blocks can spend the slack where it buys the most reuse."""
+        # uniform candidates at V=8: B=1 (mem ~4), B=2 (~40), B=4 (~544)
+        limit = 300
+        uniform = search_tile_sizes(min_mem_solution, memory_limit=limit)
+        refined = refine_tile_sizes(
+            min_mem_solution, uniform, memory_limit=limit
+        )
+        assert refined.ops <= uniform.ops
+        # the refinement actually used the slack: memory grew or ops fell
+        assert refined.ops < uniform.ops or refined.memory >= uniform.memory
+
+    def test_refined_structure_is_exact(self, problem, min_mem_solution):
+        inputs = random_inputs(problem.program, seed=9)
+        want = float(
+            run_statements(
+                problem.statements, inputs, functions=problem.functions
+            )["E"]
+        )
+        uniform = search_tile_sizes(min_mem_solution, memory_limit=300)
+        refined = refine_tile_sizes(
+            min_mem_solution, uniform, memory_limit=300
+        )
+        env = execute(
+            refined.structure, inputs, functions=problem.functions
+        )
+        assert float(env["E"]) == pytest.approx(want, rel=1e-9)
+
+    def test_no_recompute_solution_passthrough(self, problem):
+        frontier = tradeoff_search(problem.tree())
+        no_red = frontier[-1]
+        assert not no_red.recomputation_indices()
+        start = search_tile_sizes(no_red)
+        refined = refine_tile_sizes(no_red, start)
+        assert refined is start
+
+    def test_mixed_block_sizes_execute(self, problem, min_mem_solution):
+        """Hand-picked non-uniform blocks (including a non-divisor)
+        still produce the exact energy."""
+        indices = sorted(min_mem_solution.recomputation_indices())
+        tiles = {}
+        for k, idx in enumerate(indices):
+            tiles[idx] = [2, 3, 4, 8][k % 4]
+        block = tiled_structure(min_mem_solution, tiles)
+        inputs = random_inputs(problem.program, seed=10)
+        want = float(
+            run_statements(
+                problem.statements, inputs, functions=problem.functions
+            )["E"]
+        )
+        env = execute(block, inputs, functions=problem.functions)
+        assert float(env["E"]) == pytest.approx(want, rel=1e-9)

@@ -1,0 +1,105 @@
+"""Tests for symmetry-aware storage and sparsity-aware cost estimates --
+the declaration information the paper's high-level language carries
+"that would be difficult or impossible to extract out of low-level
+code"."""
+
+import pytest
+
+from repro.expr.indices import Index, IndexRange
+from repro.expr.parser import parse_program
+from repro.expr.tensor import Symmetry, Tensor
+from repro.opmin.cost import statement_op_count
+
+
+V = IndexRange("V", 10)
+IDX = {n: Index(n, V) for n in "abcd"}
+
+
+class TestSymmetricStorage:
+    def test_symmetric_pair_stores_triangle(self):
+        t = Tensor("T", (IDX["a"], IDX["b"]), (Symmetry((0, 1)),))
+        assert t.stored_size() == 10 * 11 // 2
+        assert t.size() == 100  # dense iteration space unchanged
+
+    def test_antisymmetric_pair_stores_strict_triangle(self):
+        t = Tensor(
+            "T", (IDX["a"], IDX["b"]), (Symmetry((0, 1), antisymmetric=True),)
+        )
+        assert t.stored_size() == 10 * 9 // 2
+
+    def test_four_index_symmetric_group(self):
+        t = Tensor(
+            "T",
+            tuple(IDX[n] for n in "abcd"),
+            (Symmetry((0, 1, 2, 3)),),
+        )
+        from math import comb
+
+        assert t.stored_size() == comb(13, 4)
+
+    def test_two_independent_pairs(self):
+        t = Tensor(
+            "T",
+            tuple(IDX[n] for n in "abcd"),
+            (Symmetry((0, 1)), Symmetry((2, 3))),
+        )
+        assert t.stored_size() == (55) * (55)
+
+    def test_mixed_grouped_and_plain(self):
+        t = Tensor(
+            "T", (IDX["a"], IDX["b"], IDX["c"]), (Symmetry((0, 1)),)
+        )
+        assert t.stored_size() == 55 * 10
+
+    def test_bindings_respected(self):
+        t = Tensor("T", (IDX["a"], IDX["b"]), (Symmetry((0, 1)),))
+        assert t.stored_size({"V": 4}) == 10
+
+    def test_symmetry_with_fill(self):
+        t = Tensor(
+            "T",
+            (IDX["a"], IDX["b"]),
+            (Symmetry((0, 1)),),
+            sparsity="sparse",
+            fill=0.5,
+        )
+        assert t.stored_size() == 27  # int(55 * 0.5)
+
+
+class TestSparseCost:
+    def setup_method(self):
+        self.prog = parse_program("""
+        range N = 10;
+        index a, b, c : N;
+        tensor A(a, b) sparse(0.1);
+        tensor B(b, c);
+        C(a, c) = sum(b) A(a, b) * B(b, c);
+        """)
+
+    def test_dense_count_unchanged_by_default(self):
+        assert statement_op_count(self.prog.statements[0]) == 2 * 1000
+
+    def test_sparse_aware_scales_by_fill(self):
+        got = statement_op_count(self.prog.statements[0], sparse_aware=True)
+        assert got == 2 * 100  # 10% of the dense iterations
+
+    def test_two_sparse_factors_multiply(self):
+        prog = parse_program("""
+        range N = 10;
+        index a, b, c : N;
+        tensor A(a, b) sparse(0.5);
+        tensor B(b, c) sparse(0.5);
+        C(a, c) = sum(b) A(a, b) * B(b, c);
+        """)
+        got = statement_op_count(prog.statements[0], sparse_aware=True)
+        assert got == 2 * 250
+
+    def test_dense_tensors_unaffected(self):
+        prog = parse_program("""
+        range N = 6; index a, b : N;
+        tensor A(a, b);
+        S(a) = sum(b) A(a, b);
+        """)
+        dense = statement_op_count(prog.statements[0])
+        aware = statement_op_count(prog.statements[0], sparse_aware=True)
+        assert dense == aware

@@ -1,0 +1,70 @@
+"""Tests for the public cross-validation helper."""
+
+import numpy as np
+import pytest
+
+from repro import SynthesisConfig, synthesize
+from repro.chem.a3a import a3a_problem
+from repro.validate import verify_result
+
+SRC = """
+range V = 5;
+range O = 3;
+index a, b, c, d, e, f : V;
+index i, j, k, l : O;
+tensor A(a, c, i, k); tensor B(b, e, f, l);
+tensor C(d, f, j, k); tensor D(c, d, e, l);
+S(a, b, i, j) = sum(c, d, e, f, k, l)
+    A(a,c,i,k) * B(b,e,f,l) * C(d,f,j,k) * D(c,d,e,l);
+"""
+
+
+class TestVerifyResult:
+    def test_fig1_verifies(self):
+        result = synthesize(SRC, SynthesisConfig(optimize_cache=False))
+        report = verify_result(result)
+        assert report.ok
+        assert report.max_error < 1e-8
+        assert report.counters.total_ops > 0
+        assert "OK" in str(report)
+
+    def test_with_functions(self):
+        problem = a3a_problem(V=4, O=2, Ci=50)
+        result = synthesize(
+            problem.program, SynthesisConfig(optimize_cache=False)
+        )
+        report = verify_result(result, functions=problem.functions)
+        assert report.ok
+        assert "E" in report.outputs
+
+    def test_detects_corruption(self):
+        """A deliberately corrupted structure must fail verification."""
+        result = synthesize(SRC, SynthesisConfig(optimize_cache=False))
+        # corrupt: double one Assign's coefficient
+        from repro.codegen.loops import Assign, Loop
+
+        def corrupt(block):
+            out = []
+            for node in block:
+                if isinstance(node, Loop):
+                    out.append(Loop(node.var, corrupt(node.body)))
+                elif isinstance(node, Assign):
+                    out.append(
+                        Assign(node.target, node.terms, node.accumulate, 2.0)
+                    )
+                else:
+                    out.append(node)
+            return tuple(out)
+
+        result.structure = corrupt(result.structure)
+        report = verify_result(result)
+        assert not report.ok
+        assert "MISMATCH" in str(report)
+
+    def test_custom_inputs(self):
+        result = synthesize(SRC, SynthesisConfig(optimize_cache=False))
+        from repro.engine.executor import random_inputs
+
+        inputs = random_inputs(result.program, seed=99)
+        report = verify_result(result, inputs=inputs)
+        assert report.ok
