@@ -84,6 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the data-locality tile search",
     )
     parser.add_argument(
+        "--sparse-aware", action="store_true",
+        help="scale operation-minimization costs by declared "
+        "sparse(fill) annotations",
+    )
+    parser.add_argument(
+        "--no-sparse-exec", action="store_true",
+        help="keep statements with sparse operands on the dense "
+        "loop-IR path instead of the sparse executor",
+    )
+    parser.add_argument(
         "--show-structure", action="store_true",
         help="print the synthesized loop structure",
     )
@@ -131,6 +141,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         comm=CommModel(comm_cost=args.comm_cost),
         capacity_level=args.capacity_level,
         optimize_cache=not args.no_cache_opt,
+        sparse_aware=args.sparse_aware,
+        sparse_execution=not args.no_sparse_exec,
     )
     try:
         result = synthesize(source, config)

@@ -11,7 +11,10 @@ This package provides:
   formula sequences, application of fusion configurations and tiling;
 * :mod:`repro.codegen.interp` -- an interpreter that executes the IR and
   tallies measured counters;
-* :mod:`repro.codegen.pygen` -- Python source generation from the IR.
+* :mod:`repro.codegen.pygen` -- Python source generation from the IR;
+* :mod:`repro.codegen.dispatch` -- mixed dense/sparse execution plans
+  routing statements with declared-sparse operands to the sparse
+  executor while dense statements keep the loop-IR path.
 """
 
 from repro.codegen.loops import (
@@ -37,6 +40,13 @@ from repro.codegen.builder import (
 from repro.codegen.interp import execute
 from repro.codegen.pygen import generate_source, compile_loops
 from repro.codegen.npgen import compile_sequence, generate_numpy_source
+from repro.codegen.dispatch import (
+    DenseSegment,
+    ExecutionPlan,
+    SparseSegment,
+    execute_plan,
+    plan_execution,
+)
 
 __all__ = [
     "Access",
@@ -60,4 +70,9 @@ __all__ = [
     "compile_loops",
     "compile_sequence",
     "generate_numpy_source",
+    "ExecutionPlan",
+    "DenseSegment",
+    "SparseSegment",
+    "plan_execution",
+    "execute_plan",
 ]

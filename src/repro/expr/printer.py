@@ -107,6 +107,18 @@ def program_to_source(
     for tensor in tensors.values():
         if tensor.name not in produced:
             lines.append(_tensor_decl(tensor))
+    # produced tensors are implicitly declared by their statement's LHS,
+    # but symmetry/sparsity annotations exist only on the declaration --
+    # emit one for any annotated result so the round-trip preserves it
+    declared_results: Set[str] = set()
+    for stmt in stmts:
+        tensor = stmt.result
+        if (
+            (tensor.symmetries or tensor.sparsity != "dense")
+            and tensor.name not in declared_results
+        ):
+            lines.append(_tensor_decl(tensor))
+            declared_results.add(tensor.name)
     for stmt in stmts:
         lines.append(statement_to_source(stmt))
     return "\n".join(lines) + "\n"

@@ -96,28 +96,53 @@ def statement_op_count(
 
 
 def sequence_op_count(
-    statements: Sequence[Statement], bindings: Optional[Bindings] = None
+    statements: Sequence[Statement],
+    bindings: Optional[Bindings] = None,
+    sparse_aware: bool = False,
 ) -> int:
     """Total operations of a formula sequence (paper Fig. 1(a) style)."""
-    return sum(statement_op_count(s, bindings) for s in statements)
+    return sum(
+        statement_op_count(s, bindings, sparse_aware) for s in statements
+    )
+
+
+def _scale(iters: int, density: float) -> int:
+    """Scale an iteration count by an expected nonzero density.
+
+    Kept separate so the dense path never converts exact big integers
+    through floats (paper-scale counts exceed 2**53).
+    """
+    if density >= 1.0:
+        return iters
+    return max(1, int(iters * density))
 
 
 def contraction_cost(
     left_free: Iterable[Index],
     right_free: Iterable[Index],
     bindings: Optional[Bindings] = None,
+    density: float = 1.0,
 ) -> int:
     """Cost of one binary contraction: 2 ops per point of the joint
-    iteration space ``free(left) | free(right)``."""
+    iteration space ``free(left) | free(right)``.
+
+    ``density`` is the expected fraction of joint points where both
+    operands are nonzero (product of the operands' fills under the
+    independence assumption); sparsity-aware planning passes it to scale
+    the count.
+    """
     loop = set(left_free) | set(right_free)
-    return MULADD_OPS * total_extent(loop, bindings)
+    return MULADD_OPS * _scale(total_extent(loop, bindings), density)
 
 
 def reduction_cost(
-    child_free: Iterable[Index], bindings: Optional[Bindings] = None
+    child_free: Iterable[Index],
+    bindings: Optional[Bindings] = None,
+    density: float = 1.0,
 ) -> int:
-    """Cost of a unary reduction over the child's full index space."""
-    return ADD_OPS * total_extent(child_free, bindings)
+    """Cost of a unary reduction over the child's full index space,
+    optionally scaled by the child's expected nonzero density."""
+    return ADD_OPS * _scale(total_extent(child_free, bindings), density)
 
 
 def materialization_cost(

@@ -34,6 +34,7 @@ def optimize_statement(
     registry: Optional[Dict[Tuple, TensorRef]] = None,
     cse: bool = True,
     factorize: bool = True,
+    sparse_aware: bool = False,
 ) -> List[Statement]:
     """Rewrite one statement into an op-minimal formula sequence.
 
@@ -46,7 +47,8 @@ def optimize_statement(
     ``cse=False`` disables common-subexpression sharing across terms
     (each term gets a private registry); ``factorize=False`` disables
     the reverse-distributivity pass -- ablation knobs used by the
-    benchmark suite.
+    benchmark suite.  ``sparse_aware=True`` scales the subset DP's costs
+    by declared fills (see :func:`repro.opmin.single_term.optimize_term`).
     """
     try:
         terms = flatten(stmt.expr)
@@ -62,7 +64,7 @@ def optimize_statement(
     out: List[Statement] = []
     if len(terms) == 1 and terms[0][0] == 1.0:
         coef, sum_indices, refs = terms[0]
-        tree = optimize_term(refs, sum_indices, bindings)
+        tree = optimize_term(refs, sum_indices, bindings, sparse_aware)
         out.extend(
             tree_to_statements(
                 tree, stmt.result, namer, registry, accumulate=stmt.accumulate
@@ -81,7 +83,7 @@ def optimize_statement(
     combined: List[Tuple[float, Expr]] = []
     for coef, sum_indices, refs in terms:
         term_registry = registry if cse else {}
-        tree = optimize_term(refs, sum_indices, bindings)
+        tree = optimize_term(refs, sum_indices, bindings, sparse_aware)
         expr = tree.expression()
         key = canonical_key(expr)
         hit = term_registry.get(key)
@@ -104,6 +106,7 @@ def optimize_program(
     bindings: Optional[Bindings] = None,
     cse: bool = True,
     factorize: bool = True,
+    sparse_aware: bool = False,
 ) -> List[Statement]:
     """Optimize every statement, sharing temporaries across statements
     (unless ``cse=False``)."""
@@ -114,7 +117,13 @@ def optimize_program(
     for stmt in program.statements:
         out.extend(
             optimize_statement(
-                stmt, bindings, namer, registry, cse=cse, factorize=factorize
+                stmt,
+                bindings,
+                namer,
+                registry,
+                cse=cse,
+                factorize=factorize,
+                sparse_aware=sparse_aware,
             )
         )
     return out

@@ -32,9 +32,19 @@ def optimize_term(
     refs: Sequence[TensorRef],
     sum_indices: FrozenSet[Index],
     bindings: Optional[Bindings] = None,
+    sparse_aware: bool = False,
 ) -> OpTree:
     """Return a minimal-operation-count tree for ``prod(refs)`` summed
     over ``sum_indices``.
+
+    With ``sparse_aware=True`` the DP scales each contraction's cost by
+    the expected nonzero density of its operands (declared fills,
+    independence assumption): a leaf's density is its tensor's ``fill``;
+    a contraction's operands match at a joint point with probability
+    ``d_left * d_right``; summing over indices of extent ``n`` raises
+    the result's density to ``min(1, d_left * d_right * n)``.  This can
+    change which evaluation order wins -- contracting through a sparse
+    operand first shrinks downstream work.
 
     Raises :class:`ValueError` for empty terms or summation indices that
     appear in no factor.
@@ -69,18 +79,24 @@ def optimize_term(
         return frozenset(out - done)
 
     # single-factor base cases: reduce solely-owned summation indices
-    best: Dict[int, Tuple[int, int, OpTree]] = {}
+    # best[mask] = (cost, intermediate size, tree, estimated density)
+    best: Dict[int, Tuple[int, int, OpTree, float]] = {}
     for pos in range(n):
         mask = 1 << pos
         leaf: OpTree = Leaf(refs[pos])
         cost = materialization_cost(refs[pos], bindings)
+        density = refs[pos].tensor.fill if sparse_aware else 1.0
         solo = tuple(
             sorted(idx for idx, own in owners.items() if own == mask)
         )
         if solo:
-            cost += reduction_cost(leaf.free, bindings)
+            cost += reduction_cost(leaf.free, bindings, density)
             leaf = Reduce(leaf, solo)
-        best[mask] = (cost, tree_intermediate_size(leaf, bindings), leaf)
+            if sparse_aware:
+                density = min(1.0, density * total_extent(solo, bindings))
+        best[mask] = (
+            cost, tree_intermediate_size(leaf, bindings), leaf, density
+        )
 
     if n == 1:
         return best[full][2]
@@ -101,15 +117,17 @@ def optimize_term(
 
     for count in range(2, n + 1):
         for mask in by_count[count]:
-            champion: Optional[Tuple[int, int, OpTree]] = None
+            champion: Optional[Tuple[int, int, OpTree, float]] = None
             # iterate proper submasks; visit each split once (sub < other)
             sub = (mask - 1) & mask
             while sub:
                 other = mask ^ sub
                 if sub < other:
-                    lcost, _, ltree = best[sub]
-                    rcost, _, rtree = best[other]
-                    join = contraction_cost(res(sub), res(other), bindings)
+                    lcost, _, ltree, ldens = best[sub]
+                    rcost, _, rtree, rdens = best[other]
+                    join = contraction_cost(
+                        res(sub), res(other), bindings, ldens * rdens
+                    )
                     cost = lcost + rcost + join
                     if champion is None or cost <= champion[0]:
                         summed = tuple(
@@ -131,12 +149,22 @@ def optimize_term(
                                 else 0
                             )
                         )
+                        density = (
+                            min(
+                                1.0,
+                                ldens
+                                * rdens
+                                * total_extent(summed, bindings),
+                            )
+                            if sparse_aware
+                            else 1.0
+                        )
                         if (
                             champion is None
                             or cost < champion[0]
                             or (cost == champion[0] and size < champion[1])
                         ):
-                            champion = (cost, size, tree)
+                            champion = (cost, size, tree, density)
                 sub = (sub - 1) & mask
             assert champion is not None
             best[mask] = champion

@@ -74,6 +74,12 @@ class SynthesisConfig:
     optimize_order: bool = False
     #: apply reverse-distributivity factorization in stage 1
     factorize: bool = True
+    #: scale operation-minimization costs by declared fills, so sparsity
+    #: annotations influence the chosen formula sequence
+    sparse_aware: bool = False
+    #: dispatch statements with declared-sparse operands to the sparse
+    #: executor (dense statements keep the loop-IR path)
+    sparse_execution: bool = True
 
 
 @dataclass
@@ -88,6 +94,13 @@ class SynthesisResult:
     reports: List[StageReport]
     partition_plans: Dict[str, PartitionPlan] = field(default_factory=dict)
     locality_tiles: Dict[str, int] = field(default_factory=dict)
+    #: mixed dense/sparse plan; set when the program declares sparsity
+    #: and ``config.sparse_execution`` is on
+    execution_plan: Optional["ExecutionPlan"] = None
+    #: per-statement dense-vs-sparse planning estimates (result -> est.)
+    sparsity_estimates: Dict[str, "SparsityEstimate"] = field(
+        default_factory=dict
+    )
 
     def describe(self) -> str:
         return "\n\n".join(r.render() for r in self.reports)
@@ -101,7 +114,23 @@ class SynthesisResult:
         functions: Optional[Mapping[str, Callable]] = None,
         counters: Optional[Counters] = None,
     ) -> Dict[str, np.ndarray]:
-        """Run the synthesized loop structure (interpreter, counted)."""
+        """Run the synthesized computation (interpreter, counted).
+
+        With a mixed :attr:`execution_plan` (program declares sparsity),
+        statements with sparse operands run on the nonzero-iterating
+        executor and dense statements on the loop-IR interpreter;
+        otherwise the whole loop structure is interpreted.
+        """
+        if self.execution_plan is not None:
+            from repro.codegen.dispatch import execute_plan
+
+            return execute_plan(
+                self.execution_plan,
+                inputs,
+                self.config.bindings,
+                functions,
+                counters,
+            )
         return interp_execute(
             self.structure,
             inputs,
@@ -192,34 +221,43 @@ def synthesize(
         statement_op_count(s, bindings) for s in program.statements
     )
     statements = optimize_program(
-        program, bindings, factorize=config.factorize
+        program,
+        bindings,
+        factorize=config.factorize,
+        sparse_aware=config.sparse_aware,
     )
     optimized_ops = sequence_op_count(statements, bindings)
     from repro.opmin.schedule import schedule_statements
 
     scheduled = schedule_statements(statements, bindings)
     statements = scheduled.statements
-    reports.append(
-        StageReport(
-            "Algebraic transformations",
-            {
-                "input statements": len(program.statements),
-                "formula sequence length": len(statements),
-                "direct operation count": direct_ops,
-                "optimized operation count": optimized_ops,
-                "operation reduction": (
-                    f"{direct_ops / optimized_ops:,.1f}x"
-                    if optimized_ops
-                    else "1x"
-                ),
-                "peak live memory (scheduled)": (
-                    f"{scheduled.baseline_peak:,} -> {scheduled.peak_live:,}"
-                    if scheduled.peak_live < scheduled.baseline_peak
-                    else f"{scheduled.peak_live:,}"
-                ),
-            },
-        )
+    stage1 = StageReport(
+        "Algebraic transformations",
+        {
+            "input statements": len(program.statements),
+            "formula sequence length": len(statements),
+            "direct operation count": direct_ops,
+            "optimized operation count": optimized_ops,
+            "operation reduction": (
+                f"{direct_ops / optimized_ops:,.1f}x"
+                if optimized_ops
+                else "1x"
+            ),
+            "peak live memory (scheduled)": (
+                f"{scheduled.baseline_peak:,} -> {scheduled.peak_live:,}"
+                if scheduled.peak_live < scheduled.baseline_peak
+                else f"{scheduled.peak_live:,}"
+            ),
+        },
     )
+    if config.sparse_aware:
+        stage1.details["sparse-aware operation count"] = sequence_op_count(
+            statements, bindings, sparse_aware=True
+        )
+        stage1.notes.append(
+            "operation minimization used declared fills (sparse_aware)"
+        )
+    reports.append(stage1)
 
     # -- stage 2: memory minimization --------------------------------------
     forest = build_forest(statements)
@@ -405,6 +443,48 @@ def synthesize(
             )
         )
 
+    # -- sparsity dispatch (statements with declared-sparse operands) ------
+    execution_plan = None
+    sparsity_estimates: Dict[str, "SparsityEstimate"] = {}
+    from repro.sparse.estimate import (
+        has_sparse_operands,
+        sequence_sparsity_estimates,
+    )
+
+    if has_sparse_operands(statements):
+        sparsity_estimates = sequence_sparsity_estimates(
+            statements, bindings
+        )
+        sp_report = StageReport(
+            "Sparsity dispatch",
+            {
+                "sparse-aware minimization": str(config.sparse_aware),
+            },
+        )
+        for name, est in sparsity_estimates.items():
+            sp_report.details[f"{name}: est ops dense -> sparse"] = (
+                f"{est.dense_ops:,} -> {est.sparse_ops:,} "
+                f"({est.op_reduction:,.1f}x)"
+            )
+            sp_report.details[f"{name}: est memory words"] = (
+                f"{est.dense_memory:,} -> {est.sparse_memory:,}"
+            )
+        if config.sparse_execution:
+            from repro.codegen.dispatch import plan_execution
+
+            execution_plan = plan_execution(statements, bindings)
+            sp_report.details["sparse-dispatched statements"] = len(
+                execution_plan.sparse_statements
+            )
+            sp_report.details["loop-IR statements"] = len(
+                execution_plan.dense_statements
+            )
+        else:
+            sp_report.details["execution dispatch"] = (
+                "off (sparse_execution=False); loop-IR path only"
+            )
+        reports.append(sp_report)
+
     # -- stage 6: code generation --------------------------------------------
     src = generate_source(structure, bindings)
     reports.append(
@@ -428,4 +508,6 @@ def synthesize(
         reports,
         partition_plans,
         locality_tiles,
+        execution_plan,
+        sparsity_estimates,
     )

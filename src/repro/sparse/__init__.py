@@ -1,0 +1,57 @@
+"""Sparse tensor subsystem: storage formats, nonzero-iterating
+execution, and sparsity planning estimates.
+
+The high-level language has always *declared* sparsity
+(``tensor W(a,b) sparse(0.05);``); this package makes the declaration
+real end to end:
+
+* :mod:`repro.sparse.formats` -- COO and CSF storage with dense
+  round-trip and random generation at a target fill;
+* :mod:`repro.sparse.executor` -- a reference executor that evaluates
+  expressions by hash-joining stored nonzeros, validated against the
+  dense einsum oracle;
+* :mod:`repro.sparse.estimate` -- per-statement dense-vs-sparse
+  op-count and memory estimates driving reports and dispatch.
+
+The compilation path consumes it in two places: operation minimization
+scales costs by declared fills (``SynthesisConfig.sparse_aware``), and
+code generation dispatches statements with sparse operands to this
+executor (:mod:`repro.codegen.dispatch`) while dense statements keep
+the loop-IR path.
+"""
+
+from repro.sparse.formats import (
+    COOTensor,
+    CSFTensor,
+    as_coo,
+    as_dense,
+)
+from repro.sparse.executor import (
+    evaluate_expression,
+    random_sparse_inputs,
+    run_statements,
+)
+from repro.sparse.estimate import (
+    SparsityEstimate,
+    has_sparse_operands,
+    is_sparse_statement,
+    is_sparse_tensor,
+    sequence_sparsity_estimates,
+    statement_sparsity_estimate,
+)
+
+__all__ = [
+    "COOTensor",
+    "CSFTensor",
+    "as_coo",
+    "as_dense",
+    "evaluate_expression",
+    "run_statements",
+    "random_sparse_inputs",
+    "SparsityEstimate",
+    "statement_sparsity_estimate",
+    "sequence_sparsity_estimates",
+    "is_sparse_tensor",
+    "is_sparse_statement",
+    "has_sparse_operands",
+]

@@ -1,0 +1,104 @@
+"""Dense-versus-sparse planning estimates per statement.
+
+The compilation path needs to report (and the dispatch route to decide
+on) what declared sparsity buys: expected scalar multiply-adds under the
+independence assumption of :func:`repro.opmin.cost.term_op_count`, and
+storage footprints comparing dense element counts against COO words
+(``nnz * (order + 1)``).
+
+All numbers are *planning estimates* from declared fills -- measured
+counts come from running :mod:`repro.sparse.executor` with counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.expr.ast import Statement
+from repro.expr.indices import Bindings
+from repro.expr.tensor import Tensor
+from repro.opmin.cost import statement_op_count
+
+
+def is_sparse_tensor(tensor: Tensor) -> bool:
+    """Declared sparse: annotated ``sparse(fill)`` with fill < 1."""
+    return tensor.sparsity == "sparse" and tensor.fill < 1.0
+
+
+def is_sparse_statement(stmt: Statement) -> bool:
+    """True when any referenced operand is declared sparse."""
+    return any(is_sparse_tensor(ref.tensor) for ref in stmt.expr.refs())
+
+
+def has_sparse_operands(statements: Sequence[Statement]) -> bool:
+    return any(is_sparse_statement(s) for s in statements)
+
+
+def _tensor_stored_words(tensor: Tensor, bindings: Optional[Bindings]) -> int:
+    """Estimated storage words: COO footprint for sparse tensors, dense
+    element count otherwise (function tensors store nothing)."""
+    if tensor.is_function:
+        return 0
+    if is_sparse_tensor(tensor):
+        nnz = max(1, int(tensor.size(bindings) * tensor.fill))
+        return nnz * (tensor.order + 1)
+    return tensor.size(bindings)
+
+
+@dataclass(frozen=True)
+class SparsityEstimate:
+    """Dense-vs-sparse estimate for one statement."""
+
+    result: str
+    dense_ops: int
+    sparse_ops: int
+    dense_memory: int
+    sparse_memory: int
+
+    @property
+    def op_reduction(self) -> float:
+        """Dense/sparse op ratio (1.0 when sparsity buys nothing)."""
+        return self.dense_ops / max(1, self.sparse_ops)
+
+    def describe(self) -> str:
+        return (
+            f"{self.result}: ops {self.dense_ops:,} -> {self.sparse_ops:,} "
+            f"({self.op_reduction:,.1f}x), memory words "
+            f"{self.dense_memory:,} -> {self.sparse_memory:,}"
+        )
+
+
+def statement_sparsity_estimate(
+    stmt: Statement, bindings: Optional[Bindings] = None
+) -> SparsityEstimate:
+    """Estimate one statement's dense and sparse op counts and operand
+    storage (result storage counts as dense on both sides -- results
+    are materialized densely by the reference substrates)."""
+    dense_ops = statement_op_count(stmt, bindings)
+    sparse_ops = statement_op_count(stmt, bindings, sparse_aware=True)
+    operands = {}
+    for ref in stmt.expr.refs():
+        operands.setdefault(ref.tensor.name, ref.tensor)
+    result_words = stmt.result.size(bindings)
+    dense_memory = result_words + sum(
+        t.size(bindings) for t in operands.values() if not t.is_function
+    )
+    sparse_memory = result_words + sum(
+        _tensor_stored_words(t, bindings) for t in operands.values()
+    )
+    return SparsityEstimate(
+        stmt.result.name, dense_ops, sparse_ops, dense_memory, sparse_memory
+    )
+
+
+def sequence_sparsity_estimates(
+    statements: Sequence[Statement], bindings: Optional[Bindings] = None
+) -> Dict[str, SparsityEstimate]:
+    """Per-statement estimates keyed by result name (later assignments
+    to the same name overwrite -- formula sequences are single
+    assignment)."""
+    return {
+        s.result.name: statement_sparsity_estimate(s, bindings)
+        for s in statements
+    }

@@ -1,0 +1,207 @@
+"""Sparse reference executor.
+
+Evaluates contraction expressions by iterating *stored nonzeros* instead
+of dense iteration spaces.  Each flat term (coefficient, summation
+indices, factor references) is computed as a multi-way hash join over
+the factors' coordinate lists:
+
+* factors are visited in ascending-nonzero-count order; each factor is
+  pre-hashed on the subset of its indices already bound by earlier
+  factors (*coordinate merge* for products);
+* full matches accumulate ``coef * prod(values)`` into a dictionary
+  keyed by the output coordinates -- summation indices simply do not
+  appear in the key (*hash-accumulate* for contractions).
+
+The work performed is proportional to the number of matching nonzero
+combinations, not to the dense iteration space: for fill ``p`` per
+factor the expected scalar multiply-add count shrinks by roughly the
+product of the fills, which is exactly the planning estimate
+:func:`repro.opmin.cost.term_op_count` makes under ``sparse_aware=True``.
+
+Semantics mirror :mod:`repro.engine.executor` (the dense oracle) --
+same axis conventions, same function-tensor protocol, same ``+=``
+accumulation -- so the two can be compared ``allclose`` on any program.
+Measured multiply-adds are tallied into the standard
+:class:`repro.engine.counters.Counters` (``flops``/``func_evals``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.counters import Counters
+from repro.engine.executor import FunctionImpl, _materialize_function
+from repro.expr.ast import Expr, Program, Statement, TensorRef
+from repro.expr.canonical import flatten
+from repro.expr.indices import Bindings, Index
+from repro.sparse.formats import COOTensor, as_coo
+
+
+def _ref_as_coo(
+    ref: TensorRef,
+    arrays: Mapping[str, object],
+    bindings: Optional[Bindings],
+    functions: Mapping[str, FunctionImpl],
+    counters: Counters,
+) -> COOTensor:
+    """Stored nonzeros of one factor (function tensors materialize)."""
+    if ref.tensor.is_function:
+        impl = functions.get(ref.tensor.name)
+        if impl is None:
+            raise KeyError(
+                f"no implementation registered for function "
+                f"{ref.tensor.name!r}"
+            )
+        dense = _materialize_function(ref, impl, bindings)
+        counters.func_evals += dense.size
+        counters.func_ops += dense.size * ref.tensor.compute_cost
+        return COOTensor.from_dense(dense)
+    try:
+        return as_coo(arrays[ref.tensor.name])
+    except KeyError:
+        raise KeyError(
+            f"no array provided for tensor {ref.tensor.name!r}"
+        ) from None
+
+
+def _join_term(
+    coef: float,
+    refs: Sequence[TensorRef],
+    operands: Sequence[COOTensor],
+    out_indices: Tuple[Index, ...],
+    acc: Dict[Tuple[int, ...], float],
+    counters: Counters,
+) -> None:
+    """Multi-way hash join of one product term into the accumulator."""
+    # visit small factors first: they bind indices cheaply and prune early
+    order = sorted(range(len(refs)), key=lambda k: operands[k].nnz)
+    bound: set = set()
+    plans: List[Tuple[TensorRef, Dict, List[int], List[Index]]] = []
+    for k in order:
+        ref, coo = refs[k], operands[k]
+        key_pos = [
+            p for p, idx in enumerate(ref.indices) if idx in bound
+        ]
+        # pre-hash this factor's rows on the already-bound positions
+        table: Dict[Tuple[int, ...], List[Tuple[np.ndarray, float]]] = {}
+        for row, value in zip(coo.coords, coo.values):
+            key = tuple(int(row[p]) for p in key_pos)
+            table.setdefault(key, []).append((row, value))
+        plans.append((ref, table, key_pos, list(ref.indices)))
+        bound |= set(ref.indices)
+
+    n = len(plans)
+    muls_per_match = max(n - 1, 0) + (0 if coef in (1.0, -1.0) else 1)
+
+    def descend(depth: int, env: Dict[Index, int], product: float) -> None:
+        if depth == n:
+            key = tuple(env[i] for i in out_indices)
+            acc[key] = acc.get(key, 0.0) + coef * product
+            counters.flops += muls_per_match + 1
+            return
+        ref, table, key_pos, indices = plans[depth]
+        key = tuple(env[indices[p]] for p in key_pos)
+        for row, value in table.get(key, ()):
+            new_env = env
+            added: List[Index] = []
+            consistent = True
+            for p, idx in enumerate(indices):
+                coord = int(row[p])
+                known = new_env.get(idx)
+                if known is None:
+                    if new_env is env:
+                        new_env = dict(env)
+                    new_env[idx] = coord
+                    added.append(idx)
+                elif known != coord:
+                    consistent = False
+                    break
+            if consistent:
+                descend(depth + 1, new_env, product * value)
+
+    descend(0, {}, 1.0)
+
+
+def evaluate_expression(
+    expr: Expr,
+    arrays: Mapping[str, object],
+    bindings: Optional[Bindings] = None,
+    functions: Optional[Mapping[str, FunctionImpl]] = None,
+    counters: Optional[Counters] = None,
+) -> np.ndarray:
+    """Evaluate ``expr`` by nonzero iteration (axes: ``sorted(expr.free)``).
+
+    ``arrays`` values may be dense ndarrays, :class:`COOTensor`, or
+    :class:`CSFTensor` -- dense operands are scanned once to coordinate
+    form (their zeros then cost nothing downstream).
+    """
+    functions = functions or {}
+    counters = counters if counters is not None else Counters()
+    terms = flatten(expr)
+    out_indices = tuple(sorted(expr.free))
+    out_shape = tuple(i.extent(bindings) for i in out_indices)
+    acc: Dict[Tuple[int, ...], float] = {}
+    for coef, _sum_indices, refs in terms:
+        operands = [
+            _ref_as_coo(ref, arrays, bindings, functions, counters)
+            for ref in refs
+        ]
+        _join_term(coef, refs, operands, out_indices, acc, counters)
+    result = np.zeros(out_shape)
+    for key, value in acc.items():
+        result[key] += value
+    return result
+
+
+def run_statements(
+    statements: Sequence[Statement],
+    inputs: Mapping[str, object],
+    bindings: Optional[Bindings] = None,
+    functions: Optional[Mapping[str, FunctionImpl]] = None,
+    counters: Optional[Counters] = None,
+) -> Dict[str, np.ndarray]:
+    """Execute a formula sequence sparsely; returns dense arrays.
+
+    Mirrors :func:`repro.engine.executor.run_statements`: produced
+    arrays use the result tensor's declared axis order and ``+=``
+    accumulates.  Inputs may be sparse tensors; the returned environment
+    is dense for interchangeability with the dense substrates
+    (intermediates are re-compressed on their next sparse use, keeping
+    *dynamic* zeros out of later joins).
+    """
+    counters = counters if counters is not None else Counters()
+    env: Dict[str, object] = dict(inputs)
+    for stmt in statements:
+        value = evaluate_expression(
+            stmt.expr, env, bindings, functions, counters
+        )
+        sorted_order = tuple(sorted(stmt.result.indices))
+        perm = tuple(sorted_order.index(i) for i in stmt.result.indices)
+        value = np.transpose(value, perm) if perm else value
+        name = stmt.result.name
+        if stmt.accumulate and name in env:
+            from repro.sparse.formats import as_dense
+
+            env[name] = as_dense(env[name]) + value
+        else:
+            env[name] = value
+    from repro.sparse.formats import as_dense
+
+    return {k: as_dense(v) for k, v in env.items()}
+
+
+def random_sparse_inputs(
+    program: Program,
+    bindings: Optional[Bindings] = None,
+    seed: int = 0,
+) -> Dict[str, COOTensor]:
+    """Deterministic random COO inputs honoring each tensor's declared
+    fill (dense tensors get fill 1.0 -- every element stored)."""
+    out: Dict[str, COOTensor] = {}
+    for k, tensor in enumerate(program.inputs()):
+        out[tensor.name] = COOTensor.random(
+            tensor.shape(bindings), tensor.fill, seed=seed * 7919 + k
+        )
+    return out

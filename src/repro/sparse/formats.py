@@ -1,0 +1,296 @@
+"""Sparse tensor storage formats.
+
+The high-level language declares sparsity (``tensor W(a,b) sparse(0.05);``)
+but the dense substrates ignore it at execution time.  This module makes
+the declaration *physical* with two classic formats:
+
+* :class:`COOTensor` -- coordinate format: one ``(nnz, order)`` integer
+  coordinate matrix plus a value vector.  Canonical form (coordinates
+  sorted lexicographically, duplicates summed, explicit zeros dropped)
+  makes equality and merging well defined.  This is the exchange format
+  of the subsystem: everything converts to and from it.
+* :class:`CSFTensor` -- a compressed sparse fiber hierarchy (the
+  generalization of CSR to arbitrary order used by SPLATT/TACO-style
+  systems): level ``d`` stores the distinct index values of dimension
+  ``d`` grouped under their parent fiber, with a pointer array
+  delimiting each group.  Storage is proportional to the number of
+  distinct prefixes instead of ``nnz * order``.
+
+Both formats support dense round-trip (``from_dense`` / ``to_dense``),
+random generation at a target fill, and nonzero iteration -- the
+primitives the sparse reference executor (:mod:`repro.sparse.executor`)
+is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+def _canonicalize(
+    coords: np.ndarray, values: np.ndarray, shape: Tuple[int, ...]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort lexicographically, sum duplicates, drop explicit zeros."""
+    coords = np.asarray(coords, dtype=np.int64).reshape(len(values), len(shape))
+    values = np.asarray(values, dtype=np.float64)
+    if coords.size and (
+        (coords < 0).any() or (coords >= np.asarray(shape)).any()
+    ):
+        raise ValueError("coordinates out of bounds for shape")
+    if len(values) == 0:
+        return coords, values
+    if len(shape) == 0:
+        total = float(values.sum())
+        if total == 0.0:
+            return coords[:0], values[:0]
+        return coords[:1], np.asarray([total])
+    # np.lexsort sorts by the *last* key first: feed columns reversed
+    order = np.lexsort(tuple(coords[:, d] for d in reversed(range(len(shape)))))
+    coords, values = coords[order], values[order]
+    keep = np.ones(len(values), dtype=bool)
+    same = (coords[1:] == coords[:-1]).all(axis=1)
+    if same.any():
+        # accumulate runs of equal coordinates into their first row
+        out_coords: List[np.ndarray] = []
+        out_values: List[float] = []
+        k = 0
+        while k < len(values):
+            j = k + 1
+            total = values[k]
+            while j < len(values) and (coords[j] == coords[k]).all():
+                total += values[j]
+                j += 1
+            out_coords.append(coords[k])
+            out_values.append(total)
+            k = j
+        coords = np.asarray(out_coords, dtype=np.int64)
+        values = np.asarray(out_values, dtype=np.float64)
+        keep = np.ones(len(values), dtype=bool)
+    keep &= values != 0.0
+    return coords[keep], values[keep]
+
+
+@dataclass(frozen=True)
+class COOTensor:
+    """Coordinate-format sparse tensor in canonical form.
+
+    ``coords`` is ``(nnz, order)`` int64; ``values`` is ``(nnz,)``
+    float64.  Rows are sorted lexicographically with no duplicate
+    coordinates and no stored zeros.
+    """
+
+    shape: Tuple[int, ...]
+    coords: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        coords, values = _canonicalize(self.coords, self.values, self.shape)
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        object.__setattr__(self, "coords", coords)
+        object.__setattr__(self, "values", values)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "COOTensor":
+        array = np.asarray(array, dtype=np.float64)
+        coords = np.argwhere(array != 0.0)
+        values = array[tuple(coords.T)] if coords.size else array.ravel()[:0]
+        if array.ndim == 0:
+            coords = np.zeros((1 if array != 0.0 else 0, 0), dtype=np.int64)
+            values = array.reshape(1)[: len(coords)]
+        return cls(array.shape, coords, values)
+
+    @classmethod
+    def random(
+        cls,
+        shape: Sequence[int],
+        fill: float,
+        seed: int = 0,
+    ) -> "COOTensor":
+        """Exactly ``round(fill * size)`` distinct nonzeros, standard
+        normal values (resampled away from exact zero)."""
+        if not 0.0 < fill <= 1.0:
+            raise ValueError(f"fill must be in (0, 1], got {fill}")
+        shape = tuple(int(s) for s in shape)
+        size = int(np.prod(shape)) if shape else 1
+        nnz = max(1, round(fill * size))
+        rng = np.random.default_rng(seed)
+        flat = rng.choice(size, size=nnz, replace=False)
+        coords = np.stack(
+            np.unravel_index(flat, shape), axis=1
+        ) if shape else np.zeros((nnz, 0), dtype=np.int64)
+        values = rng.standard_normal(nnz)
+        values[values == 0.0] = 1.0
+        return cls(shape, coords, values)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def fill(self) -> float:
+        """Actual stored fraction (1.0 for a scalar holding a value)."""
+        size = int(np.prod(self.shape)) if self.shape else 1
+        return self.nnz / size if size else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        if self.nnz:
+            if self.shape:
+                out[tuple(self.coords.T)] = self.values
+            else:
+                out[()] = self.values[0]
+        return out
+
+    def nonzeros(self) -> Iterator[Tuple[Tuple[int, ...], float]]:
+        """Iterate ``(coordinate_tuple, value)`` in lexicographic order."""
+        for row, value in zip(self.coords, self.values):
+            yield tuple(int(c) for c in row), float(value)
+
+    def storage_words(self) -> int:
+        """Stored words: one value plus ``order`` coordinates per nonzero."""
+        return self.nnz * (self.order + 1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, COOTensor):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.coords, other.coords)
+            and np.array_equal(self.values, other.values)
+        )
+
+
+@dataclass(frozen=True)
+class CSFTensor:
+    """Compressed-sparse-fiber hierarchy.
+
+    ``ids[d]`` holds the index values at tree level ``d`` (dimension
+    ``d``); ``ptrs[d]`` segments ``ids[d]`` by parent node (``ptrs[0]``
+    is the trivial root segmentation ``[0, len(ids[0])]``).  ``values``
+    aligns with the deepest level ``ids[order-1]``.
+    """
+
+    shape: Tuple[int, ...]
+    ptrs: Tuple[np.ndarray, ...]
+    ids: Tuple[np.ndarray, ...]
+    values: np.ndarray
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: COOTensor) -> "CSFTensor":
+        order = coo.order
+        coords, values = coo.coords, coo.values
+        ids: List[np.ndarray] = []
+        ptrs: List[np.ndarray] = []
+        segments: List[Tuple[int, int]] = [(0, coo.nnz)]
+        for level in range(order):
+            level_ids: List[int] = []
+            level_ptr: List[int] = [0]
+            next_segments: List[Tuple[int, int]] = []
+            for start, end in segments:
+                k = start
+                while k < end:
+                    j = k + 1
+                    while j < end and coords[j, level] == coords[k, level]:
+                        j += 1
+                    level_ids.append(int(coords[k, level]))
+                    next_segments.append((k, j))
+                    k = j
+                level_ptr.append(len(level_ids))
+            ids.append(np.asarray(level_ids, dtype=np.int64))
+            ptrs.append(np.asarray(level_ptr, dtype=np.int64))
+            segments = next_segments
+        return cls(coo.shape, tuple(ptrs), tuple(ids), values.copy())
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "CSFTensor":
+        return cls.from_coo(COOTensor.from_dense(array))
+
+    @classmethod
+    def random(
+        cls, shape: Sequence[int], fill: float, seed: int = 0
+    ) -> "CSFTensor":
+        return cls.from_coo(COOTensor.random(shape, fill, seed))
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def to_coo(self) -> COOTensor:
+        coords = np.zeros((self.nnz, self.order), dtype=np.int64)
+
+        def expand(level: int, node: int, prefix: List[int]) -> None:
+            start, end = self.ptrs[level][node], self.ptrs[level][node + 1]
+            for child in range(start, end):
+                row = prefix + [int(self.ids[level][child])]
+                if level == self.order - 1:
+                    coords[child] = row
+                else:
+                    expand(level + 1, child, row)
+
+        if self.order and self.nnz:
+            expand(0, 0, [])
+        return COOTensor(self.shape, coords, self.values.copy())
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def nonzeros(self) -> Iterator[Tuple[Tuple[int, ...], float]]:
+        yield from self.to_coo().nonzeros()
+
+    def storage_words(self) -> int:
+        """Stored words across all pointer, id, and value arrays."""
+        return (
+            sum(len(p) for p in self.ptrs)
+            + sum(len(i) for i in self.ids)
+            + self.nnz
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSFTensor):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and len(self.ids) == len(other.ids)
+            and all(np.array_equal(a, b) for a, b in zip(self.ids, other.ids))
+            and all(np.array_equal(a, b) for a, b in zip(self.ptrs, other.ptrs))
+            and np.array_equal(self.values, other.values)
+        )
+
+
+SparseTensor = (COOTensor, CSFTensor)
+"""Runtime-checkable tuple of the sparse storage classes."""
+
+
+def as_coo(value) -> COOTensor:
+    """Coerce a dense array or either sparse format to canonical COO."""
+    if isinstance(value, COOTensor):
+        return value
+    if isinstance(value, CSFTensor):
+        return value.to_coo()
+    return COOTensor.from_dense(np.asarray(value))
+
+
+def as_dense(value) -> np.ndarray:
+    """Coerce a dense array or either sparse format to a dense ndarray."""
+    if isinstance(value, (COOTensor, CSFTensor)):
+        return value.to_dense()
+    return np.asarray(value, dtype=np.float64)

@@ -87,6 +87,22 @@ class TestProgramRoundTrip:
         got = run_statements(back.statements, arrays, {"V": 3, "O": 2})
         np.testing.assert_allclose(got["S"], want["S"], rtol=1e-12)
 
+    def test_result_annotations_preserved(self):
+        """Annotated *result* declarations must survive the round-trip
+        (they used to be dropped because the LHS implicitly declares)."""
+        prog = parse_program("""
+        range N = 8;
+        index a, b, c : N;
+        tensor A(a, b) sparse(0.1);
+        tensor S(a, c) symmetric(0, 1) sparse(0.25);
+        S(a, c) = sum(b) A(a, b) * A(b, c);
+        """)
+        back, source = roundtrip(prog)
+        want = {t.name: t for t in prog.tensors()}
+        got = {t.name: t for t in back.tensors()}
+        assert got == want
+        assert source.count("tensor S(") == 1
+
     def test_annotations_preserved(self):
         prog = parse_program("""
         range N = 5;
@@ -104,3 +120,83 @@ class TestProgramRoundTrip:
         assert tensors["T"].symmetries[0].positions == (0, 1)
         assert tensors["W"].fill == 0.25
         assert tensors["f"].compute_cost == 42
+
+
+def random_annotated_program(seed: int):
+    """A random program whose tensors (inputs *and* result) carry random
+    symmetry groups and sparse(fill) annotations."""
+    import random
+
+    rng = random.Random(seed)
+    n_ranges = rng.randint(1, 2)
+    ranges = {f"R{k}": rng.randint(2, 6) for k in range(n_ranges)}
+    lines = [f"range {n} = {e};" for n, e in ranges.items()]
+    index_names = [f"x{k}" for k in range(rng.randint(3, 5))]
+    index_range = {}
+    for name in index_names:
+        index_range[name] = rng.choice(list(ranges))
+        lines.append(f"index {name} : {index_range[name]};")
+
+    def annotations(dims):
+        parts = []
+        positions_by_range = {}
+        for pos, idx in enumerate(dims):
+            positions_by_range.setdefault(index_range[idx], []).append(pos)
+        group = [p for p in positions_by_range.values() if len(p) >= 2]
+        if group and rng.random() < 0.5:
+            chosen = rng.choice(group)
+            kw = rng.choice(["symmetric", "antisymmetric"])
+            parts.append(f"{kw}({','.join(map(str, chosen))})")
+        if rng.random() < 0.6:
+            fill = rng.choice([0.5, 0.25, 0.1, 0.05, 0.001])
+            parts.append(f"sparse({fill})")
+        return " ".join(parts)
+
+    refs = []
+    used = []
+    for t in range(rng.randint(2, 3)):
+        dims = rng.sample(index_names, rng.randint(1, min(3, len(index_names))))
+        used.extend(d for d in dims if d not in used)
+        lines.append(
+            f"tensor T{t}({','.join(dims)}) {annotations(dims)};"
+        )
+        refs.append(f"T{t}({','.join(dims)})")
+    out = rng.sample(used, rng.randint(1, len(used)))
+    sums = [n for n in used if n not in out]
+    out_ann = annotations(out)
+    if out_ann:
+        lines.append(f"tensor S({','.join(out)}) {out_ann};")
+    rhs = " * ".join(refs)
+    if sums:
+        rhs = f"sum({','.join(sums)}) {rhs}"
+    op = rng.choice(["=", "+="])
+    lines.append(f"S({','.join(out)}) {op} {rhs};")
+    return parse_program("\n".join(lines))
+
+
+class TestAnnotationRoundTripProperty:
+    """Property: printing and re-parsing preserves every tensor
+    declaration exactly -- symmetry groups, sparse fills, function
+    costs -- for randomized annotated programs."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(seed=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_declarations_equal(self, seed):
+        prog = random_annotated_program(seed)
+        back, _ = roundtrip(prog)
+        want = {t.name: t for t in prog.tensors()}
+        got = {t.name: t for t in back.tensors()}
+        assert got == want
+
+    @given(seed=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_statements_canonically_equal(self, seed):
+        prog = random_annotated_program(seed)
+        back, _ = roundtrip(prog)
+        assert len(back.statements) == len(prog.statements)
+        for a, b in zip(prog.statements, back.statements):
+            assert canonical_key(a.expr) == canonical_key(b.expr)
+            assert a.accumulate == b.accumulate

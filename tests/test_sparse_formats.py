@@ -1,0 +1,118 @@
+"""COO / CSF storage: dense round-trip, canonical form, random
+generation at a target fill."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.formats import COOTensor, CSFTensor, as_coo, as_dense
+
+
+def random_dense(seed: int, max_order: int = 4) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    order = int(rng.integers(0, max_order + 1))
+    shape = tuple(int(s) for s in rng.integers(1, 6, size=order))
+    dense = rng.standard_normal(shape)
+    return dense * (rng.random(shape) < rng.uniform(0.05, 0.9))
+
+
+class TestCOO:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_dense_roundtrip(self, seed):
+        dense = random_dense(seed)
+        coo = COOTensor.from_dense(dense)
+        assert np.array_equal(coo.to_dense(), dense)
+        assert coo.nnz == int(np.count_nonzero(dense))
+
+    def test_canonical_sorted_lexicographically(self):
+        coo = COOTensor(
+            (3, 3),
+            np.array([[2, 1], [0, 2], [0, 1]]),
+            np.array([1.0, 2.0, 3.0]),
+        )
+        assert coo.coords.tolist() == [[0, 1], [0, 2], [2, 1]]
+
+    def test_duplicates_summed_zeros_dropped(self):
+        coo = COOTensor(
+            (4,),
+            np.array([[1], [1], [2], [3], [3]]),
+            np.array([2.0, 3.0, 0.0, 1.0, -1.0]),
+        )
+        assert coo.coords.tolist() == [[1]]
+        assert coo.values.tolist() == [5.0]
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            COOTensor((2, 2), np.array([[0, 2]]), np.array([1.0]))
+
+    def test_random_hits_target_fill(self):
+        coo = COOTensor.random((10, 10, 10), fill=0.05, seed=7)
+        assert coo.nnz == 50
+        assert abs(coo.fill - 0.05) < 1e-12
+        # distinct coordinates by construction
+        assert len({tuple(r) for r in coo.coords.tolist()}) == coo.nnz
+
+    def test_random_fill_bounds(self):
+        with pytest.raises(ValueError):
+            COOTensor.random((4,), fill=0.0)
+        with pytest.raises(ValueError):
+            COOTensor.random((4,), fill=1.5)
+
+    def test_scalar(self):
+        full = COOTensor.from_dense(np.array(2.5))
+        assert full.nnz == 1 and full.to_dense() == 2.5
+        empty = COOTensor.from_dense(np.array(0.0))
+        assert empty.nnz == 0 and empty.to_dense() == 0.0
+
+    def test_storage_words(self):
+        coo = COOTensor.random((6, 6), fill=0.5, seed=0)
+        assert coo.storage_words() == coo.nnz * 3  # 2 coords + 1 value
+
+
+class TestCSF:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_dense_roundtrip(self, seed):
+        dense = random_dense(seed)
+        csf = CSFTensor.from_dense(dense)
+        assert np.array_equal(csf.to_dense(), dense)
+        assert csf.nnz == int(np.count_nonzero(dense))
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_coo_csf_agree(self, seed):
+        dense = random_dense(seed)
+        coo = COOTensor.from_dense(dense)
+        csf = CSFTensor.from_coo(coo)
+        assert csf.to_coo() == coo
+        assert list(csf.nonzeros()) == list(coo.nonzeros())
+
+    def test_compression_beats_coo_on_shared_prefixes(self):
+        """A fully-dense last mode shares every prefix: CSF stores each
+        leading fiber id once, COO repeats it per nonzero."""
+        dense = np.zeros((4, 4, 8))
+        dense[1, 2, :] = 1.0
+        dense[3, 0, :] = 2.0
+        coo = COOTensor.from_dense(dense)
+        csf = CSFTensor.from_dense(dense)
+        assert csf.storage_words() < coo.storage_words()
+
+    def test_random_at_fill(self):
+        csf = CSFTensor.random((8, 8), fill=0.25, seed=3)
+        assert csf.nnz == 16
+
+
+class TestCoercions:
+    def test_as_coo_accepts_all(self):
+        dense = np.eye(3)
+        for value in (dense, COOTensor.from_dense(dense),
+                      CSFTensor.from_dense(dense)):
+            assert np.array_equal(as_coo(value).to_dense(), dense)
+
+    def test_as_dense_accepts_all(self):
+        dense = np.eye(3)
+        for value in (dense, COOTensor.from_dense(dense),
+                      CSFTensor.from_dense(dense)):
+            assert np.array_equal(as_dense(value), dense)

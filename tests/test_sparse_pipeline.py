@@ -1,0 +1,158 @@
+"""Sparsity-aware compilation path through the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.codegen.dispatch import (
+    DenseSegment,
+    SparseSegment,
+    execute_plan,
+    plan_execution,
+)
+from repro.engine.counters import Counters
+from repro.engine.executor import random_inputs
+from repro.engine.executor import run_statements as dense_run
+from repro.expr.parser import parse_program
+from repro.pipeline import SynthesisConfig, synthesize
+
+SPARSE_FIG1 = """
+range V = 8;
+range O = 6;
+index a, b, c, d, e, f : V;
+index i, j, k, l : O;
+tensor A(a, c, i, k) sparse(0.05);
+tensor B(b, e, f, l);
+tensor C(d, f, j, k);
+tensor D(c, d, e, l) sparse(0.1);
+S(a, b, i, j) = sum(c, d, e, f, k, l)
+    A(a,c,i,k) * B(b,e,f,l) * C(d,f,j,k) * D(c,d,e,l);
+"""
+
+DENSE_SOURCE = """
+range N = 6;
+index a, b, c : N;
+tensor A(a, b);
+tensor B(b, c);
+S(a, c) = sum(b) A(a, b) * B(b, c);
+"""
+
+
+def mixed_program_source():
+    return """
+    range V = 6; range O = 4;
+    index a, b, c : V; index i : O;
+    tensor A(a, b) sparse(0.1);
+    tensor B(b, c);
+    tensor C(c, i);
+    T1(a, c) = sum(b) A(a, b) * B(b, c);
+    T2(c, i) = sum(b) B(b, c) * C(c, i) * B(b, c);
+    S(b, i) = sum(a, c) A(a, b) * T1(a, c) * T2(c, i);
+    """
+
+
+class TestPipelineSparse:
+    def test_plan_and_estimates_present(self):
+        result = synthesize(SPARSE_FIG1, SynthesisConfig(optimize_cache=False))
+        assert result.execution_plan is not None
+        assert result.sparsity_estimates
+        names = [r.name for r in result.reports]
+        assert "Sparsity dispatch" in names
+        for est in result.sparsity_estimates.values():
+            assert est.dense_ops >= 1
+            assert est.sparse_ops >= 1
+
+    def test_execute_matches_oracle(self):
+        result = synthesize(SPARSE_FIG1, SynthesisConfig(optimize_cache=False))
+        arrays = random_inputs(result.program, seed=4)
+        want = dense_run(result.program.statements, arrays)
+        counters = Counters()
+        got = result.execute(arrays, counters=counters)
+        np.testing.assert_allclose(got["S"], want["S"], rtol=1e-9)
+        assert counters.flops > 0
+
+    def test_sparse_aware_changes_estimates(self):
+        base = synthesize(SPARSE_FIG1, SynthesisConfig(optimize_cache=False))
+        aware = synthesize(
+            SPARSE_FIG1,
+            SynthesisConfig(optimize_cache=False, sparse_aware=True),
+        )
+        assert "sparse-aware operation count" in aware.reports[0].details
+        assert "sparse-aware operation count" not in base.reports[0].details
+        for est in aware.sparsity_estimates.values():
+            assert est.sparse_ops <= est.dense_ops
+
+    def test_sparse_execution_off_keeps_loop_ir(self):
+        result = synthesize(
+            SPARSE_FIG1,
+            SynthesisConfig(optimize_cache=False, sparse_execution=False),
+        )
+        assert result.execution_plan is None
+        # estimates still reported for visibility
+        assert result.sparsity_estimates
+        arrays = random_inputs(result.program, seed=1)
+        want = dense_run(result.program.statements, arrays)
+        got = result.execute(arrays)
+        np.testing.assert_allclose(got["S"], want["S"], rtol=1e-9)
+
+
+class TestPipelineDenseUnchanged:
+    def test_no_sparse_stage_or_plan(self):
+        result = synthesize(DENSE_SOURCE, SynthesisConfig(optimize_cache=False))
+        assert result.execution_plan is None
+        assert not result.sparsity_estimates
+        assert [r.name for r in result.reports] == [
+            "Algebraic transformations",
+            "Memory minimization",
+            "Space-time transformation",
+            "Data locality optimization",
+            "Data distribution and partitioning",
+            "Code generation",
+        ]
+
+
+class TestExecutionPlan:
+    def test_segments_group_consecutive_kinds(self):
+        program = parse_program(mixed_program_source())
+        plan = plan_execution(program.statements, None)
+        kinds = [type(s) for s in plan.segments]
+        assert kinds == [SparseSegment, DenseSegment, SparseSegment]
+        assert [s.result.name for s in plan.sparse_statements] == ["T1", "S"]
+        assert [s.result.name for s in plan.dense_statements] == ["T2"]
+        assert "sparse" in plan.describe()
+
+    def test_execute_plan_matches_oracle(self):
+        program = parse_program(mixed_program_source())
+        plan = plan_execution(program.statements, None)
+        arrays = random_inputs(program, seed=7)
+        want = dense_run(program.statements, arrays)
+        got = execute_plan(plan, arrays, None, None, Counters())
+        for name in ("T1", "T2", "S"):
+            np.testing.assert_allclose(got[name], want[name], rtol=1e-9)
+
+
+class TestCLI:
+    def run_cli(self, tmp_path, capsys, source, *flags):
+        path = tmp_path / "prog.tce"
+        path.write_text(source)
+        rc = cli_main([str(path), "--no-cache-opt", *flags])
+        out = capsys.readouterr().out
+        assert rc == 0
+        return out
+
+    def test_sparse_program_reports_dispatch(self, tmp_path, capsys):
+        out = self.run_cli(tmp_path, capsys, SPARSE_FIG1)
+        assert "Sparsity dispatch" in out
+        assert "est ops dense -> sparse" in out
+
+    def test_sparse_aware_flag(self, tmp_path, capsys):
+        out = self.run_cli(tmp_path, capsys, SPARSE_FIG1, "--sparse-aware")
+        assert "sparse-aware operation count" in out
+
+    def test_no_sparse_exec_flag(self, tmp_path, capsys):
+        out = self.run_cli(tmp_path, capsys, SPARSE_FIG1, "--no-sparse-exec")
+        assert "loop-IR path only" in out
+
+    def test_dense_program_unchanged(self, tmp_path, capsys):
+        out = self.run_cli(tmp_path, capsys, DENSE_SOURCE)
+        assert "Sparsity dispatch" not in out
