@@ -8,9 +8,23 @@ Usage::
     python -m repro input.tce --show-code          # print generated Python
     python -m repro input.tce --emit out.py        # write the kernel
     python -m repro input.tce --cache 32768 --memory 16777216
+    python -m repro input.tce --budget-ms 50       # bounded search
+    python -m repro input.tce --run --grid 2 --inject-fault drop:0
 
 The input file uses the high-level notation of
 :mod:`repro.expr.parser` (see ``examples/quickstart.py``).
+
+Exit codes (see :mod:`repro.robustness.errors`):
+
+====  =====================================================
+code  meaning
+====  =====================================================
+0     success
+1     other error
+2     specification/parse error (bad input, bad fault spec)
+3     budget exhausted without a fallback (strict budgets)
+4     execution or validation failure
+====  =====================================================
 """
 
 from __future__ import annotations
@@ -20,9 +34,24 @@ import sys
 from typing import List, Optional
 
 from repro.engine.machine import MachineModel, MemoryLevel
+from repro.expr.parser import ParseError
 from repro.parallel.commcost import CommModel
 from repro.parallel.grid import ProcessorGrid
 from repro.pipeline import SynthesisConfig, synthesize
+from repro.robustness.budget import Budget
+from repro.robustness.errors import BudgetExceeded, ReproError, SpecError
+from repro.robustness.faults import parse_fault_spec
+
+#: exit codes by failure class (mirrors ReproError.exit_code)
+EXIT_SPEC = 2
+EXIT_BUDGET = 3
+EXIT_EXECUTION = 4
+
+
+def _fail(exc: Exception, code: int) -> int:
+    """One structured diagnostic line on stderr, then the exit code."""
+    print(f"error: {exc}", file=sys.stderr)
+    return code
 
 
 def _parse_grid(text: str) -> ProcessorGrid:
@@ -114,6 +143,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the generated per-rank SPMD program(s) to FILE "
         "(requires --grid)",
     )
+    parser.add_argument(
+        "--budget-ms", type=float, default=None,
+        help="search deadline in milliseconds; exhausted stages degrade "
+        "to documented greedy fallbacks",
+    )
+    parser.add_argument(
+        "--budget-nodes", type=int, default=None,
+        help="search node budget shared across all stages",
+    )
+    parser.add_argument(
+        "--budget-strict", action="store_true",
+        help="fail (exit code 3) instead of degrading when the search "
+        "budget is exhausted",
+    )
+    parser.add_argument(
+        "--run", action="store_true",
+        help="execute the synthesized computation on deterministic "
+        "random inputs and validate against the reference executor",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="with --run: checkpoint/restart directory for the "
+        "interpreter execution",
+    )
+    parser.add_argument(
+        "--inject-fault", metavar="SPEC", default=None,
+        help="with --run and a grid: inject SPMD faults, e.g. "
+        "'drop:0,3', 'drop:0x5' (5 attempts), 'crash:1', or "
+        "'drop:0;crash:2'",
+    )
     return parser
 
 
@@ -129,6 +188,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
             return 2
 
+    faults = None
+    if args.inject_fault is not None:
+        try:
+            faults = parse_fault_spec(args.inject_fault)
+        except SpecError as exc:
+            return _fail(exc, EXIT_SPEC)
+        if not args.run:
+            return _fail(
+                SpecError("--inject-fault requires --run"), EXIT_SPEC
+            )
+
+    budget = None
+    if (
+        args.budget_ms is not None
+        or args.budget_nodes is not None
+        or args.budget_strict
+    ):
+        budget = Budget(
+            deadline_ms=args.budget_ms,
+            max_nodes=args.budget_nodes,
+            strict=args.budget_strict,
+        )
+
     machine = MachineModel(
         cache=MemoryLevel("cache", args.cache, 8.0),
         memory=MemoryLevel("memory", args.memory, 512.0),
@@ -143,12 +225,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         optimize_cache=not args.no_cache_opt,
         sparse_aware=args.sparse_aware,
         sparse_execution=not args.no_sparse_exec,
+        budget=budget,
     )
     try:
         result = synthesize(source, config)
+    except BudgetExceeded as exc:
+        return _fail(exc, EXIT_BUDGET)
+    except ParseError as exc:
+        return _fail(exc, EXIT_SPEC)
+    except ReproError as exc:
+        return _fail(exc, exc.exit_code)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return _fail(exc, 1)
 
     print(result.describe())
     if args.show_structure:
@@ -169,12 +257,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"\nwrote kernel to {args.emit}")
     if args.emit_spmd:
         if not result.partition_plans:
-            print(
-                "error: --emit-spmd requires --grid and plannable "
-                "statements",
-                file=sys.stderr,
+            return _fail(
+                SpecError(
+                    "--emit-spmd requires --grid and plannable statements"
+                ),
+                EXIT_SPEC,
             )
-            return 1
         from repro.parallel.spmd import generate_spmd_source
 
         with open(args.emit_spmd, "w", encoding="utf-8") as handle:
@@ -185,6 +273,77 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 handle.write("\n")
         print(f"wrote SPMD program(s) to {args.emit_spmd}")
+    if args.run:
+        rc = _run_and_validate(result, faults, args.checkpoint_dir)
+        if rc:
+            return rc
+    return 0
+
+
+def _run_and_validate(result, faults, checkpoint_dir) -> int:
+    """Execute the synthesis result on deterministic random inputs and
+    compare against the reference einsum executor; 0 on success."""
+    import numpy as np
+
+    from repro.engine.executor import random_inputs, run_statements
+
+    program = result.program
+    bindings = result.config.bindings
+    if any(t.is_function for t in program.tensors()):
+        return _fail(
+            SpecError(
+                "--run cannot synthesize inputs for function tensors"
+            ),
+            EXIT_SPEC,
+        )
+    inputs = random_inputs(program, bindings, seed=0)
+    try:
+        env = result.execute(inputs, checkpoint=checkpoint_dir)
+        want = run_statements(program.statements, inputs, bindings)
+        for stmt in program.statements:
+            name = stmt.result.name
+            if not np.allclose(env[name], want[name], rtol=1e-8, atol=1e-10):
+                return _fail(
+                    ReproError(
+                        f"output {name!r} does not match the reference "
+                        "executor",
+                        stage="validation",
+                        tensor=name,
+                    ),
+                    EXIT_EXECUTION,
+                )
+        print("run: outputs match the reference executor")
+        if result.partition_plans:
+            out = result.run_parallel(inputs, faults=faults)
+            for stmt in program.statements:
+                name = stmt.result.name
+                if name not in out:
+                    continue
+                if not np.allclose(
+                    out[name], want[name], rtol=1e-8, atol=1e-10
+                ):
+                    return _fail(
+                        ReproError(
+                            f"parallel output {name!r} does not match "
+                            "the reference executor",
+                            stage="validation",
+                            tensor=name,
+                        ),
+                        EXIT_EXECUTION,
+                    )
+            suffix = (
+                " (with injected faults recovered)"
+                if faults is not None and faults.any_faults
+                else ""
+            )
+            print(f"run: parallel outputs match the reference executor{suffix}")
+        elif faults is not None:
+            print(
+                "run: no partition plans; fault injection had nothing "
+                "to act on"
+            )
+    except ReproError as exc:
+        return _fail(exc, exc.exit_code)
     return 0
 
 

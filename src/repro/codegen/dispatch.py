@@ -91,13 +91,16 @@ def _lower_dense(
     statements: Tuple[Statement, ...],
     bindings: Optional[Bindings],
     is_last_segment: bool,
+    budget=None,
 ) -> Block:
     """Fuse and lower one dense run exactly like the pipeline does."""
     forest = build_forest(list(statements))
     blocks: List[Block] = []
     for k, root in enumerate(forest):
         shared = not (is_last_segment and k == len(forest) - 1)
-        result = minimize_memory(root, bindings, include_output=shared)
+        result = minimize_memory(
+            root, bindings, include_output=shared, budget=budget
+        )
         blocks.append(build_fused(result))
     return tuple(n for blk in blocks for n in blk)
 
@@ -105,9 +108,15 @@ def _lower_dense(
 def plan_execution(
     statements: Sequence[Statement],
     bindings: Optional[Bindings] = None,
+    budget=None,
 ) -> ExecutionPlan:
     """Cut a formula sequence into dense/sparse segments and lower the
-    dense ones to fused loop structures."""
+    dense ones to fused loop structures.
+
+    ``budget`` (a shared :class:`~repro.robustness.budget.
+    BudgetTracker`) bounds the per-segment fusion DP exactly as in the
+    dense pipeline path.
+    """
     runs: List[Tuple[bool, List[Statement]]] = []
     for stmt in statements:
         sparse = is_sparse_statement(stmt)
@@ -121,7 +130,10 @@ def plan_execution(
             segments.append(SparseSegment(tuple(run)))
         else:
             block = _lower_dense(
-                tuple(run), bindings, is_last_segment=(k == len(runs) - 1)
+                tuple(run),
+                bindings,
+                is_last_segment=(k == len(runs) - 1),
+                budget=budget,
             )
             segments.append(DenseSegment(tuple(run), block))
     return ExecutionPlan(tuple(segments))

@@ -11,6 +11,13 @@ Tile-boundary semantics: when an index ``a`` is split into
 ``(a_t, a_i)``, iterations whose reconstructed global value
 ``a_t*B + a_i`` falls outside the index extent are skipped (the
 generated-code equivalent of an ``if a < N`` guard).
+
+Robustness: inputs are validated against the structure's inferred
+shapes before execution (``validate=False`` opts out), so failures name
+the offending tensor instead of raising from numpy internals; and the
+execution can checkpoint/restart at top-level *unit* granularity (a
+top-level statement, or one iteration of a top-level loop) -- see
+:mod:`repro.robustness.checkpoint`.
 """
 
 from __future__ import annotations
@@ -32,6 +39,16 @@ from repro.codegen.loops import (
     LoopVar,
     ZeroArr,
 )
+from repro.robustness.checkpoint import (
+    checkpoint_path,
+    clear_checkpoint,
+    counters_state,
+    load_checkpoint,
+    restore_counters,
+    save_checkpoint,
+)
+from repro.robustness.errors import InjectedFault, ShapeError, SpecError
+from repro.robustness.validation import validate_block_inputs
 
 
 def execute(
@@ -41,6 +58,12 @@ def execute(
     functions: Optional[Mapping[str, FunctionImpl]] = None,
     counters: Optional[Counters] = None,
     trace=None,
+    *,
+    validate: bool = True,
+    check_finite: bool = False,
+    checkpoint: Optional[str] = None,
+    interrupt_after: Optional[int] = None,
+    extra_state=None,
 ) -> Dict[str, np.ndarray]:
     """Run the structure; returns the array environment (inputs +
     allocated arrays).
@@ -48,9 +71,30 @@ def execute(
     ``trace`` is an optional callback ``trace(array_name, coords,
     is_write)`` invoked for every element access -- the hook the cache
     simulator (:mod:`repro.locality.cache_sim`) uses to measure misses.
+
+    ``validate`` checks the inputs' shapes/dtypes against the structure
+    before running (:func:`repro.robustness.validation.
+    validate_block_inputs`); ``check_finite`` additionally rejects
+    NaN/Inf inputs.
+
+    ``checkpoint`` names a directory (or file) to snapshot progress
+    into after every completed top-level unit; when a checkpoint from
+    an interrupted run exists there, execution *resumes* after its last
+    completed unit, bit-identical to an uninterrupted run.
+    ``interrupt_after=n`` injects a fault
+    (:class:`~repro.robustness.errors.InjectedFault`) after ``n`` units
+    have completed in this call -- the fault-injection hook the
+    checkpoint tests use.  ``extra_state`` is an optional
+    ``(get_state, set_state)`` pair folded into the snapshot (used by
+    the out-of-core buffer pool).
     """
     functions = functions or {}
     counters = counters if counters is not None else Counters()
+    if validate:
+        validate_block_inputs(
+            block, inputs, bindings, stage="execution",
+            check_finite=check_finite,
+        )
     arrays: Dict[str, np.ndarray] = {
         k: np.asarray(v, dtype=np.float64) for k, v in inputs.items()
     }
@@ -105,8 +149,10 @@ def execute(
             counters.func_ops += term.func.compute_cost
             impl = functions.get(term.func.name)
             if impl is None:
-                raise KeyError(
-                    f"no implementation for function {term.func.name!r}"
+                raise SpecError(
+                    f"no implementation for function {term.func.name!r}",
+                    stage="execution",
+                    tensor=term.func.name,
                 )
             return float(impl(*coords))
         coords = []
@@ -117,10 +163,22 @@ def execute(
         try:
             arr = arrays[term.array]
         except KeyError:
-            raise KeyError(f"array {term.array!r} neither input nor allocated") from None
+            raise SpecError(
+                f"array {term.array!r} neither input nor allocated",
+                stage="execution",
+                tensor=term.array,
+            ) from None
         if trace is not None:
             trace(term.array, tuple(coords), False)
-        return float(arr[tuple(coords)])
+        try:
+            return float(arr[tuple(coords)])
+        except IndexError:
+            raise ShapeError(
+                f"array for tensor {term.array!r} has shape "
+                f"{arr.shape}, too small for coordinate {tuple(coords)}",
+                stage="execution",
+                tensor=term.array,
+            ) from None
 
     def run(blk: Block) -> None:
         for node in blk:
@@ -153,23 +211,133 @@ def execute(
                     sub_value(sub) for sub in node.target.subs
                 )
                 assert all(c is not None for c in coords)
-                target = arrays[node.target.array]
+                try:
+                    target = arrays[node.target.array]
+                except KeyError:
+                    raise SpecError(
+                        f"array {node.target.array!r} neither input nor "
+                        "allocated",
+                        stage="execution",
+                        tensor=node.target.array,
+                    ) from None
                 if trace is not None:
                     trace(node.target.array, coords, True)
                 muls = max(len(node.terms) - 1, 0)
                 if node.coef not in (1.0, -1.0):
                     muls += 1
-                if node.accumulate:
-                    target[coords] += value
-                    counters.flops += muls + 1
-                else:
-                    target[coords] = value
-                    counters.flops += muls
+                try:
+                    if node.accumulate:
+                        target[coords] += value
+                        counters.flops += muls + 1
+                    else:
+                        target[coords] = value
+                        counters.flops += muls
+                except IndexError:
+                    raise ShapeError(
+                        f"array for tensor {node.target.array!r} has shape "
+                        f"{target.shape}, too small for coordinate {coords}",
+                        stage="execution",
+                        tensor=node.target.array,
+                    ) from None
             else:  # pragma: no cover - exhaustive
                 raise TypeError(f"unknown node {type(node).__name__}")
 
-    run(block)
+    if checkpoint is None and interrupt_after is None:
+        run(block)
+        return arrays
+
+    _run_units(
+        block,
+        bindings,
+        run,
+        env,
+        arrays,
+        allocated,
+        counters,
+        checkpoint,
+        interrupt_after,
+        extra_state,
+    )
     return arrays
+
+
+def _run_units(
+    block: Block,
+    bindings: Optional[Bindings],
+    run,
+    env: Dict,
+    arrays: Dict[str, np.ndarray],
+    allocated: set,
+    counters: Counters,
+    checkpoint: Optional[str],
+    interrupt_after: Optional[int],
+    extra_state,
+) -> None:
+    """Drive the structure unit by unit with checkpoint/restart.
+
+    A *unit* is one top-level non-loop node or one iteration of a
+    top-level loop; the loop-variable environment is empty at every
+    unit boundary, so (arrays, allocated set, counters, extra state)
+    is the complete execution state.
+    """
+    ckpt_file = checkpoint_path(checkpoint) if checkpoint else None
+    start_unit = -1
+    if ckpt_file is not None:
+        saved = load_checkpoint(ckpt_file)
+        if saved is not None:
+            arrays.clear()
+            arrays.update(saved["arrays"])
+            allocated.update(saved["allocated"])
+            restore_counters(counters, saved["counters"])
+            if extra_state is not None and saved.get("extra") is not None:
+                extra_state[1](saved["extra"])
+            start_unit = saved["unit"]
+
+    unit = -1
+    done_here = 0
+
+    def finish_unit() -> None:
+        nonlocal done_here
+        done_here += 1
+        if ckpt_file is not None:
+            save_checkpoint(
+                ckpt_file,
+                {
+                    "unit": unit,
+                    "arrays": dict(arrays),
+                    "allocated": set(allocated),
+                    "counters": counters_state(counters),
+                    "extra": (
+                        extra_state[0]() if extra_state is not None else None
+                    ),
+                },
+            )
+        if interrupt_after is not None and done_here >= interrupt_after:
+            raise InjectedFault(
+                f"interrupted after {done_here} units (unit {unit})",
+                stage="execution",
+            )
+
+    for node in block:
+        if isinstance(node, Loop):
+            var = node.var
+            for value in range(var.extent(bindings)):
+                unit += 1
+                if unit <= start_unit:
+                    continue
+                env[var] = value
+                run(node.body)
+                del env[var]
+                finish_unit()
+        else:
+            unit += 1
+            if unit <= start_unit:
+                continue
+            run((node,))
+            finish_unit()
+
+    if ckpt_file is not None:
+        clear_checkpoint(ckpt_file)
 
 
 def _alloc_dim_extent(dim: Tuple[LoopVar, ...], bindings: Optional[Bindings]) -> int:

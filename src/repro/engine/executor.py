@@ -26,6 +26,7 @@ import numpy as np
 from repro.expr.ast import Add, Expr, Mul, Program, Statement, Sum, TensorRef
 from repro.expr.canonical import flatten
 from repro.expr.indices import Bindings, Index
+from repro.robustness.errors import SpecError
 
 #: Signature of a function-tensor implementation: called with integer
 #: coordinate arrays (broadcastable), returns the element values.
@@ -55,14 +56,32 @@ def evaluate_expression(
     arrays: Mapping[str, np.ndarray],
     bindings: Optional[Bindings] = None,
     functions: Optional[Mapping[str, FunctionImpl]] = None,
+    *,
+    validate: bool = True,
+    check_finite: bool = False,
 ) -> np.ndarray:
     """Evaluate ``expr`` to a dense array (axes: ``sorted(expr.free)``).
 
     ``arrays`` maps tensor names to their stored values; ``functions``
     maps function-tensor names to callables.
+
+    ``validate`` checks every referenced array's presence, shape, and
+    dtype up front (:func:`repro.robustness.validation.validate_env`),
+    so failures name the offending tensor; ``check_finite`` additionally
+    rejects NaN/Inf inputs.
     """
+    from repro.robustness.validation import validate_env
+
     functions = functions or {}
     terms = flatten(expr)  # OverflowError propagates: caller's bug
+    if validate:
+        validate_env(
+            arrays,
+            (ref for _, _, refs in terms for ref in refs),
+            bindings,
+            stage="execution",
+            check_finite=check_finite,
+        )
     out_indices = tuple(sorted(expr.free))
     out_shape = tuple(i.extent(bindings) for i in out_indices)
     result = np.zeros(out_shape)
@@ -77,17 +96,21 @@ def evaluate_expression(
             if ref.tensor.is_function:
                 impl = functions.get(ref.tensor.name)
                 if impl is None:
-                    raise KeyError(
+                    raise SpecError(
                         f"no implementation registered for function "
-                        f"{ref.tensor.name!r}"
+                        f"{ref.tensor.name!r}",
+                        stage="execution",
+                        tensor=ref.tensor.name,
                     )
                 operands.append(_materialize_function(ref, impl, bindings))
             else:
                 try:
                     operands.append(np.asarray(arrays[ref.tensor.name]))
                 except KeyError:
-                    raise KeyError(
-                        f"no array provided for tensor {ref.tensor.name!r}"
+                    raise SpecError(
+                        f"no array provided for tensor {ref.tensor.name!r}",
+                        stage="execution",
+                        tensor=ref.tensor.name,
                     ) from None
             subscripts.append("".join(letters[i] for i in ref.indices))
         out_sub = "".join(letters[i] for i in out_indices)

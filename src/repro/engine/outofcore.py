@@ -11,6 +11,12 @@ pool of bounded capacity with LRU replacement and write-back dirty
 pages.  The resulting disk-read/write volumes are the measured
 counterpart of the Section-6 cost model applied at the physical-memory
 level, and the quantity the disk-level tile search minimizes.
+
+Long simulations can checkpoint/restart: pass ``checkpoint_dir`` and an
+interrupted run (crash, or injected via ``interrupt_after``) resumes
+from the last completed top-level unit with bit-identical results *and*
+I/O counters -- the pool's LRU state and statistics are part of the
+snapshot.
 """
 
 from __future__ import annotations
@@ -38,6 +44,9 @@ class OOCStats:
     evictions: int = 0
     accesses: int = 0
     per_array_reads: Dict[str, int] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def total_io(self) -> int:
@@ -99,6 +108,28 @@ class PagedBufferPool:
                 self.stats.disk_writes += self.page
         self._pages.clear()
 
+    def get_state(self) -> dict:
+        """Snapshot the resident set and counters for checkpointing."""
+        s = self.stats
+        return {
+            "pages": list(self._pages.items()),
+            "disk_reads": s.disk_reads,
+            "disk_writes": s.disk_writes,
+            "evictions": s.evictions,
+            "accesses": s.accesses,
+            "per_array_reads": dict(s.per_array_reads),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot (LRU order included)."""
+        self._pages = OrderedDict(state["pages"])
+        s = self.stats
+        s.disk_reads = state["disk_reads"]
+        s.disk_writes = state["disk_writes"]
+        s.evictions = state["evictions"]
+        s.accesses = state["accesses"]
+        s.per_array_reads = dict(state["per_array_reads"])
+
 
 def array_shapes(
     block: Block,
@@ -133,15 +164,38 @@ def simulate_out_of_core(
     page_elements: int = 8,
     bindings: Optional[Bindings] = None,
     functions: Optional[Mapping[str, FunctionImpl]] = None,
+    *,
+    checkpoint_dir: Optional[str] = None,
+    interrupt_after: Optional[int] = None,
 ) -> OOCStats:
     """Execute ``block`` with a bounded buffer pool; returns I/O stats.
 
     The computation itself is exact (the interpreter runs normally);
     only the *movement* implied by the access sequence is measured.
+    The returned stats carry the final array environment in
+    ``stats.arrays``.
+
+    ``checkpoint_dir`` enables checkpoint/restart at top-level-unit
+    granularity: an interrupted simulation re-invoked with the same
+    directory resumes after the last completed unit, and the final
+    results and I/O counters are bit-identical to an uninterrupted
+    run.  ``interrupt_after=n`` injects an
+    :class:`~repro.robustness.errors.InjectedFault` after ``n`` units
+    complete (testing hook).
     """
     pool = PagedBufferPool(
         budget_elements, page_elements, array_shapes(block, inputs, bindings)
     )
-    execute(block, inputs, bindings, functions, trace=pool.access)
+    arrays = execute(
+        block,
+        inputs,
+        bindings,
+        functions,
+        trace=pool.access,
+        checkpoint=checkpoint_dir,
+        interrupt_after=interrupt_after,
+        extra_state=(pool.get_state, pool.set_state),
+    )
     pool.flush()
+    pool.stats.arrays = arrays
     return pool.stats

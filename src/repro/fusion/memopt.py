@@ -24,6 +24,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.expr.indices import Bindings, Index, total_extent
 from repro.fusion.tree import CompNode
+from repro.robustness.budget import as_tracker
+from repro.robustness.errors import BudgetExceeded
 
 #: An ordered fusion sequence (outermost fused loop first).
 Seq = Tuple[Index, ...]
@@ -111,13 +113,68 @@ def minimize_memory(
     root: CompNode,
     bindings: Optional[Bindings] = None,
     include_output: bool = False,
+    budget=None,
 ) -> FusionResult:
     """Run the fusion DP; returns the minimal-total-memory configuration.
 
     ``include_output=False`` (default) excludes the root's result array
     from the objective -- it must be stored anyway; the paper's metric
     is temporary storage.
+
+    ``budget`` bounds the DP (each candidate fusion state ticks); on
+    exhaustion the stage degrades to the no-fusion baseline -- every
+    temporary at full size, still a correct loop structure.
     """
+    tracker = as_tracker(budget)
+    try:
+        return _minimize_memory_dp(root, bindings, include_output, tracker)
+    except BudgetExceeded as exc:
+        if tracker is not None:
+            tracker.degrade("fusion", exc, "no-fusion baseline")
+        return unfused_result(root, bindings, include_output)
+    except ValueError as exc:
+        # the ordered-subsets cap is a search-space blowup: under a
+        # budget it degrades like exhaustion; without one it still fails
+        if tracker is None:
+            raise
+        tracker.degrade(
+            "fusion",
+            BudgetExceeded(str(exc), stage="fusion"),
+            "no-fusion baseline",
+        )
+        return unfused_result(root, bindings, include_output)
+
+
+def unfused_result(
+    root: CompNode,
+    bindings: Optional[Bindings] = None,
+    include_output: bool = False,
+) -> FusionResult:
+    """The no-fusion baseline: empty fusion sequences everywhere, every
+    non-leaf temporary stored at its full declared size."""
+    decisions: Dict[int, FusionDecision] = {}
+    memory = 0
+    for node in root.subtree():
+        if node.is_leaf:
+            decisions[id(node)] = FusionDecision(node, (), ())
+            continue
+        decisions[id(node)] = FusionDecision(
+            node,
+            (),
+            tuple(() for _ in node.children),
+            loop_order=tuple(sorted(node.loop_indices)),
+        )
+        if node is not root or include_output:
+            memory += node.array_size(bindings)
+    return FusionResult(root, memory, decisions, bindings)
+
+
+def _minimize_memory_dp(
+    root: CompNode,
+    bindings: Optional[Bindings],
+    include_output: bool,
+    tracker,
+) -> FusionResult:
     # solution tables: per node, {parent_seq: (memory, child_seq_choices)}
     tables: Dict[int, Dict[Seq, Tuple[int, Tuple[Seq, ...]]]] = {}
 
@@ -164,6 +221,8 @@ def minimize_memory(
             new_states: Dict[Seq, Tuple[int, Tuple[Seq, ...]]] = {}
             for longest, (mem, picks) in states.items():
                 for seq in opts:
+                    if tracker is not None:
+                        tracker.tick(1, stage="fusion")
                     if _is_prefix(seq, longest):
                         new_longest = longest
                     elif _is_prefix(longest, seq):
@@ -180,6 +239,8 @@ def minimize_memory(
         for pseq in parent_cands:
             own = reduced_size(node.array.indices, pseq, bindings)
             for longest, (mem, picks) in states.items():
+                if tracker is not None:
+                    tracker.tick(1, stage="fusion")
                 if not (
                     _is_prefix(pseq, longest) or _is_prefix(longest, pseq)
                 ):

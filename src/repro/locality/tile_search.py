@@ -26,6 +26,8 @@ from repro.expr.indices import Bindings, Index
 from repro.codegen.builder import apply_tiling
 from repro.codegen.loops import Alloc, Block, Loop, loop_op_count, walk
 from repro.locality.cost_model import access_cost
+from repro.robustness.budget import as_tracker
+from repro.robustness.errors import BudgetExceeded
 
 
 @dataclass
@@ -38,6 +40,10 @@ class LocalityResult:
     structure: Block
     evaluated: int
     table: List[Dict[str, object]] = field(default_factory=list)
+    #: True when the search stopped early on budget exhaustion; the
+    #: result is the best candidate evaluated before the cutoff
+    degraded: bool = False
+    degradation_reason: str = ""
 
     @property
     def improvement(self) -> float:
@@ -74,6 +80,7 @@ def optimize_locality(
     bindings: Optional[Bindings] = None,
     indices: Optional[Sequence[Index]] = None,
     max_combinations: int = 50_000,
+    budget=None,
 ) -> LocalityResult:
     """Find tile sizes minimizing the modeled miss count.
 
@@ -81,7 +88,12 @@ def optimize_locality(
     the structure).  All arrays keep their global shapes -- this is pure
     iteration-space blocking, so the operation count is checked to be
     unchanged and candidates violating that are discarded.
+
+    The search is *anytime*: when ``budget`` runs out it stops and
+    returns the best candidate evaluated so far (the untiled baseline at
+    worst), flagged ``degraded``.
     """
+    tracker = as_tracker(budget)
     if indices is None:
         indices = tileable_indices(block)
     base_ops = loop_op_count(block, bindings)
@@ -105,7 +117,23 @@ def optimize_locality(
     best_structure = block
     evaluated = 0
     table: List[Dict[str, object]] = []
+    degraded = False
+    degradation_reason = ""
     for combo in itertools.product(*per_index):
+        if tracker is not None:
+            try:
+                tracker.tick(1, stage="locality")
+            except BudgetExceeded as exc:
+                tracker.degrade(
+                    "locality",
+                    exc,
+                    "best tiling found so far"
+                    if best_tiles
+                    else "untiled structure",
+                )
+                degraded = True
+                degradation_reason = exc.message
+                break
         tiles = {
             idx: size
             for idx, size in zip(indices, combo)
@@ -136,5 +164,12 @@ def optimize_locality(
             best_tiles = tiles
             best_structure = structure
     return LocalityResult(
-        best_tiles, best_cost, baseline, best_structure, evaluated, table
+        best_tiles,
+        best_cost,
+        baseline,
+        best_structure,
+        evaluated,
+        table,
+        degraded,
+        degradation_reason,
     )

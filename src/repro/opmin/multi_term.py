@@ -35,6 +35,7 @@ def optimize_statement(
     cse: bool = True,
     factorize: bool = True,
     sparse_aware: bool = False,
+    budget=None,
 ) -> List[Statement]:
     """Rewrite one statement into an op-minimal formula sequence.
 
@@ -49,6 +50,9 @@ def optimize_statement(
     the reverse-distributivity pass -- ablation knobs used by the
     benchmark suite.  ``sparse_aware=True`` scales the subset DP's costs
     by declared fills (see :func:`repro.opmin.single_term.optimize_term`).
+    ``budget`` bounds the subset DP per term (see
+    :mod:`repro.robustness.budget`); on exhaustion terms degrade to the
+    greedy left-to-right factorization.
     """
     try:
         terms = flatten(stmt.expr)
@@ -64,7 +68,7 @@ def optimize_statement(
     out: List[Statement] = []
     if len(terms) == 1 and terms[0][0] == 1.0:
         coef, sum_indices, refs = terms[0]
-        tree = optimize_term(refs, sum_indices, bindings, sparse_aware)
+        tree = optimize_term(refs, sum_indices, bindings, sparse_aware, budget)
         out.extend(
             tree_to_statements(
                 tree, stmt.result, namer, registry, accumulate=stmt.accumulate
@@ -83,7 +87,7 @@ def optimize_statement(
     combined: List[Tuple[float, Expr]] = []
     for coef, sum_indices, refs in terms:
         term_registry = registry if cse else {}
-        tree = optimize_term(refs, sum_indices, bindings, sparse_aware)
+        tree = optimize_term(refs, sum_indices, bindings, sparse_aware, budget)
         expr = tree.expression()
         key = canonical_key(expr)
         hit = term_registry.get(key)
@@ -107,6 +111,7 @@ def optimize_program(
     cse: bool = True,
     factorize: bool = True,
     sparse_aware: bool = False,
+    budget=None,
 ) -> List[Statement]:
     """Optimize every statement, sharing temporaries across statements
     (unless ``cse=False``)."""
@@ -124,6 +129,7 @@ def optimize_program(
                 cse=cse,
                 factorize=factorize,
                 sparse_aware=sparse_aware,
+                budget=budget,
             )
         )
     return out

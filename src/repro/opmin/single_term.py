@@ -26,6 +26,8 @@ from repro.expr.ast import TensorRef
 from repro.expr.indices import Bindings, Index, total_extent
 from repro.opmin.cost import contraction_cost, materialization_cost, reduction_cost
 from repro.opmin.optree import Contract, Leaf, OpTree, Reduce, tree_intermediate_size
+from repro.robustness.budget import as_tracker
+from repro.robustness.errors import BudgetExceeded
 
 
 def optimize_term(
@@ -33,6 +35,7 @@ def optimize_term(
     sum_indices: FrozenSet[Index],
     bindings: Optional[Bindings] = None,
     sparse_aware: bool = False,
+    budget=None,
 ) -> OpTree:
     """Return a minimal-operation-count tree for ``prod(refs)`` summed
     over ``sum_indices``.
@@ -45,6 +48,12 @@ def optimize_term(
     the result's density to ``min(1, d_left * d_right * n)``.  This can
     change which evaluation order wins -- contracting through a sparse
     operand first shrinks downstream work.
+
+    ``budget`` (a :class:`~repro.robustness.budget.Budget` or shared
+    :class:`~repro.robustness.budget.BudgetTracker`) bounds the subset
+    DP; on exhaustion the search degrades to the greedy left-to-right
+    factorization (still a correct evaluation order, just not the
+    op-minimal one) unless the budget is strict.
 
     Raises :class:`ValueError` for empty terms or summation indices that
     appear in no factor.
@@ -63,6 +72,7 @@ def optimize_term(
 
     n = len(refs)
     full = (1 << n) - 1
+    tracker = as_tracker(budget)
 
     def result_indices(mask: int) -> FrozenSet[Index]:
         """Free indices of the value computed from the factors in mask,
@@ -115,6 +125,31 @@ def optimize_term(
             result_cache[mask] = hit
         return hit
 
+    try:
+        _subset_dp(n, full, by_count, best, res, owners, bindings,
+                   sparse_aware, tracker)
+    except BudgetExceeded as exc:
+        if tracker is not None:
+            tracker.degrade(
+                "opmin", exc, "greedy left-to-right factorization"
+            )
+        return _greedy_left_to_right(refs, owners)
+
+    return best[full][2]
+
+
+def _subset_dp(
+    n: int,
+    full: int,
+    by_count: List[List[int]],
+    best: Dict[int, Tuple[int, int, OpTree, float]],
+    res,
+    owners: Dict[Index, int],
+    bindings: Optional[Bindings],
+    sparse_aware: bool,
+    tracker,
+) -> None:
+    """The exact subset DP (exponential; every split ticks the budget)."""
     for count in range(2, n + 1):
         for mask in by_count[count]:
             champion: Optional[Tuple[int, int, OpTree, float]] = None
@@ -123,6 +158,8 @@ def optimize_term(
             while sub:
                 other = mask ^ sub
                 if sub < other:
+                    if tracker is not None:
+                        tracker.tick(1, stage="opmin")
                     lcost, _, ltree, ldens = best[sub]
                     rcost, _, rtree, rdens = best[other]
                     join = contraction_cost(
@@ -169,4 +206,42 @@ def optimize_term(
             assert champion is not None
             best[mask] = champion
 
-    return best[full][2]
+
+def _greedy_left_to_right(
+    refs: Sequence[TensorRef],
+    owners: Dict[Index, int],
+) -> OpTree:
+    """Budget fallback: contract the factors in writing order.
+
+    Summation semantics match the DP exactly -- an index is reduced at
+    the node where its last owning factor is multiplied in (solely-owned
+    indices reduce at the leaf) -- so the tree computes the same value,
+    just without searching for the cheapest pairing.
+    """
+
+    def leaf(pos: int) -> OpTree:
+        mask = 1 << pos
+        tree: OpTree = Leaf(refs[pos])
+        solo = tuple(
+            sorted(idx for idx, own in owners.items() if own == mask)
+        )
+        if solo:
+            tree = Reduce(tree, solo)
+        return tree
+
+    tree = leaf(0)
+    mask = 1
+    for pos in range(1, len(refs)):
+        new_mask = mask | (1 << pos)
+        summed = tuple(
+            sorted(
+                idx
+                for idx, own in owners.items()
+                if own & new_mask == own
+                and not (own & mask == own)
+                and not (own & (1 << pos) == own)
+            )
+        )
+        tree = Contract(tree, leaf(pos), summed)
+        mask = new_mask
+    return tree

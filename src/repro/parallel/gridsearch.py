@@ -21,8 +21,14 @@ from typing import List, Optional, Sequence, Tuple
 from repro.expr.indices import Bindings
 from repro.parallel.commcost import CommModel
 from repro.parallel.grid import ProcessorGrid
-from repro.parallel.partition import PartitionPlan, optimize_distribution
+from repro.parallel.partition import (
+    PartitionPlan,
+    canonical_plan,
+    optimize_distribution,
+)
 from repro.parallel.ptree import PNode
+from repro.robustness.budget import as_tracker
+from repro.robustness.errors import BudgetExceeded
 
 
 def grid_shapes(processors: int, max_dims: int = 3) -> List[Tuple[int, ...]]:
@@ -78,16 +84,40 @@ def choose_grid(
     model: Optional[CommModel] = None,
     bindings: Optional[Bindings] = None,
     max_dims: int = 3,
+    budget=None,
 ) -> GridChoice:
-    """Pick the cheapest logical grid shape for a processor count."""
+    """Pick the cheapest logical grid shape for a processor count.
+
+    The shape sweep is *anytime* under a ``budget``: on exhaustion the
+    cheapest shape evaluated so far wins; if not even the first shape
+    finished, the canonical plan on the trivial 1-D grid is returned.
+    """
     if processors <= 0:
         raise ValueError("processor count must be positive")
     model = model or CommModel()
+    tracker = as_tracker(budget)
     best: Optional[GridChoice] = None
     table: List[Tuple[Tuple[int, ...], float]] = []
     for shape in grid_shapes(processors, max_dims):
         grid = ProcessorGrid(shape)
-        plan = optimize_distribution(tree, grid, model, bindings)
+        try:
+            plan = optimize_distribution(
+                tree, grid, model, bindings, budget=tracker
+            )
+        except BudgetExceeded as exc:
+            if best is not None:
+                tracker.degrade(
+                    "distribution", exc, "best grid shape evaluated so far"
+                )
+                break
+            tracker.degrade(
+                "distribution", exc, "canonical plan on the 1-D grid"
+            )
+            grid = ProcessorGrid((processors,))
+            plan = canonical_plan(tree, grid, model, bindings)
+            best = GridChoice(grid, plan)
+            table.append(((processors,), plan.total_cost))
+            break
         table.append((shape, plan.total_cost))
         if best is None or plan.total_cost < best.plan.total_cost:
             best = GridChoice(grid, plan)

@@ -39,12 +39,14 @@ from repro.parallel.commcost import (
     reduction_result_dist,
 )
 from repro.parallel.dist import (
+    SINGLE,
     Distribution,
     enumerate_distributions,
     no_replicate,
 )
 from repro.parallel.grid import ProcessorGrid
 from repro.parallel.ptree import PLeaf, PMul, PNode, PSum
+from repro.robustness.budget import as_tracker
 
 
 @dataclass
@@ -95,14 +97,20 @@ def optimize_distribution(
     model: Optional[CommModel] = None,
     bindings: Optional[Bindings] = None,
     result_dist: Optional[Distribution] = None,
+    budget=None,
 ) -> PartitionPlan:
     """Run the Section-7 DP; returns the minimal-cost plan.
 
     ``result_dist`` pins the root's distribution (e.g. when the caller
     needs the output on one processor); by default the cheapest root
     distribution is chosen.
+
+    ``budget`` bounds the DP (every evaluated state ticks); on
+    exhaustion :class:`~repro.robustness.errors.BudgetExceeded`
+    propagates and callers degrade to :func:`canonical_plan`.
     """
     model = model or CommModel()
+    tracker = as_tracker(budget)
     states = 0
 
     # Cost and Dist tables: per node, keyed by Distribution
@@ -116,8 +124,13 @@ def optimize_distribution(
             indices, src, dst, grid, bindings
         )
 
-    def solve(node: PNode) -> Dict[Distribution, float]:
+    def tick(n: int = 1) -> None:
         nonlocal states
+        states += n
+        if tracker is not None:
+            tracker.tick(n, stage="distribution")
+
+    def solve(node: PNode) -> Dict[Distribution, float]:
         hit = cost_tab.get(id(node))
         if hit is not None:
             return hit
@@ -128,7 +141,7 @@ def optimize_distribution(
         if isinstance(node, PLeaf):
             plains = [a for a in alphas if no_replicate(a)]
             for alpha in alphas:
-                states += 1
+                tick()
                 if no_replicate(alpha):
                     table[alpha] = 0.0
                     trace[alpha] = ("init", alpha)
@@ -157,7 +170,7 @@ def optimize_distribution(
             for alpha in alphas:
                 best, best_gamma = None, None
                 for gamma, fcost in formed:
-                    states += 1
+                    tick()
                     c = fcost + move(node.indices, gamma, alpha)
                     if best is None or c < best:
                         best, best_gamma = c, gamma
@@ -194,7 +207,7 @@ def optimize_distribution(
             for alpha in alphas:
                 best, best_choice = None, None
                 for gamma, fcost, out_dist, option in options:
-                    states += 1
+                    tick()
                     c = fcost + move(node.indices, out_dist, alpha)
                     if best is None or c < best:
                         best = c
@@ -244,6 +257,124 @@ def optimize_distribution(
         grid,
         model,
         best_cost,
+        dist,
+        gamma_map,
+        sum_option,
+        states,
+        bindings,
+    )
+
+
+def canonical_distribution(indices, grid: ProcessorGrid) -> Distribution:
+    """The canonical block distribution of an index set: the sorted
+    indices fill the grid dimensions in order, surplus dimensions get
+    the first-processor marker (never replication)."""
+    idxs = sorted(indices)
+    entries = tuple(
+        idxs[d] if d < len(idxs) else SINGLE
+        for d in range(len(grid.dims))
+    )
+    return Distribution(entries)
+
+
+def canonical_plan(
+    root: PNode,
+    grid: ProcessorGrid,
+    model: Optional[CommModel] = None,
+    bindings: Optional[Bindings] = None,
+    result_dist: Optional[Distribution] = None,
+) -> PartitionPlan:
+    """Budget fallback for :func:`optimize_distribution`: no search.
+
+    Every node computes under the canonical block distribution of its
+    own indices; the SPMD lowering inserts redistributions wherever
+    adjacent distributions differ, so the plan is always executable --
+    it just doesn't minimize communication.  Costs are still charged
+    honestly through the Section-7 cost model, so the plan's
+    ``total_cost`` is comparable to a searched plan's.
+    """
+    model = model or CommModel()
+    dist: Dict[int, Distribution] = {}
+    gamma_map: Dict[int, Distribution] = {}
+    sum_option: Dict[int, str] = {}
+    total = 0.0
+    states = 0
+
+    def move(indices, src: Distribution, dst: Distribution) -> float:
+        if src.effective(indices) == dst.effective(indices):
+            return 0.0
+        return model.comm_cost * move_cost_elements(
+            indices, src, dst, grid, bindings
+        )
+
+    def visit(node: PNode, want: Optional[Distribution]) -> None:
+        nonlocal total, states
+        states += 1
+
+        if isinstance(node, PLeaf):
+            desired = (
+                want
+                if want is not None
+                else canonical_distribution(node.indices, grid)
+            )
+            if no_replicate(desired):
+                gamma_map[id(node)] = desired
+            else:
+                # initial placement must be plain; charge the broadcast
+                beta = canonical_distribution(node.indices, grid)
+                total += move(node.indices, beta, desired)
+                gamma_map[id(node)] = beta
+            dist[id(node)] = desired
+            return
+
+        if isinstance(node, PMul):
+            gamma = canonical_distribution(node.indices, grid)
+            visit(node.left, gamma.effective(node.left.indices))
+            visit(node.right, gamma.effective(node.right.indices))
+            total += model.flop_cost * calc_mul_elements(
+                node.indices, gamma, grid, bindings
+            )
+            gamma_map[id(node)] = gamma
+            out = want if want is not None else gamma
+            total += move(node.indices, gamma, out)
+            dist[id(node)] = out
+            return
+
+        if isinstance(node, PSum):
+            child = node.child
+            cgamma = canonical_distribution(child.indices, grid)
+            visit(child, cgamma)
+            gamma_map[id(node)] = cgamma
+            total += model.flop_cost * partial_sum_elements(
+                child.indices, cgamma, grid, bindings
+            )
+            if cgamma.position_of(node.index) is None:
+                sum_option[id(node)] = "local"
+                cur = cgamma
+            else:
+                sum_option[id(node)] = "combine"
+                total += model.comm_cost * reduction_comm_elements(
+                    node.indices,
+                    cgamma,
+                    node.index,
+                    grid,
+                    bindings,
+                    pattern=model.reduction,
+                )
+                cur = reduction_result_dist(cgamma, node.index, replicate=False)
+            out = want if want is not None else cur
+            total += move(node.indices, cur, out)
+            dist[id(node)] = out
+            return
+
+        raise TypeError(f"unknown PNode {type(node).__name__}")
+
+    visit(root, result_dist)
+    return PartitionPlan(
+        root,
+        grid,
+        model,
+        total,
         dist,
         gamma_map,
         sum_option,

@@ -25,7 +25,13 @@ from repro.expr.indices import Bindings
 from repro.parallel.commcost import CommModel, move_cost_elements
 from repro.parallel.dist import Distribution, enumerate_distributions, no_replicate
 from repro.parallel.grid import ProcessorGrid
-from repro.parallel.partition import PartitionPlan, optimize_distribution
+from repro.parallel.partition import (
+    PartitionPlan,
+    canonical_plan,
+    optimize_distribution,
+)
+from repro.robustness.budget import as_tracker
+from repro.robustness.errors import BudgetExceeded
 from repro.parallel.ptree import PLeaf, PMul, PNode, PSum, expression_to_ptree
 
 
@@ -119,6 +125,7 @@ def plan_sequence(
     grid: ProcessorGrid,
     model: Optional[CommModel] = None,
     bindings: Optional[Bindings] = None,
+    budget=None,
 ) -> SequencePlan:
     """Plan distributions across a formula sequence.
 
@@ -127,14 +134,23 @@ def plan_sequence(
     temporaries or multi-term combines fall back to statement order:
     each statement is planned with its already-produced operands pinned
     to their chosen distributions.
+
+    When a ``budget`` runs out the Section-7 DP is replaced by
+    :func:`repro.parallel.partition.canonical_plan` per tree -- always
+    an executable plan, just not communication-minimal.
     """
     model = model or CommModel()
+    tracker = as_tracker(budget)
     try:
         whole = inline_sequence(statements)
         tree = expression_to_ptree(whole)
     except (ValueError, TypeError):
-        return _plan_statementwise(statements, grid, model, bindings)
-    plan = optimize_distribution(tree, grid, model, bindings)
+        return _plan_statementwise(statements, grid, model, bindings, tracker)
+    try:
+        plan = optimize_distribution(tree, grid, model, bindings, budget=tracker)
+    except BudgetExceeded as exc:
+        tracker.degrade("distribution", exc, "canonical block distribution")
+        plan = canonical_plan(tree, grid, model, bindings)
     name = statements[-1].result.name
     return SequencePlan(
         [(name, plan)],
@@ -148,6 +164,7 @@ def _plan_statementwise(
     grid: ProcessorGrid,
     model: CommModel,
     bindings: Optional[Bindings],
+    tracker=None,
 ) -> SequencePlan:
     produced: Dict[str, Distribution] = {}
     plans: List[Tuple[str, PartitionPlan]] = []
@@ -173,7 +190,7 @@ def _plan_statementwise(
             total += cost
             continue
         plan = _plan_with_pinned_leaves(
-            tree, grid, model, bindings, produced
+            tree, grid, model, bindings, produced, tracker
         )
         plans.append((stmt.result.name, plan))
         produced[stmt.result.name] = plan.dist[id(tree)]
@@ -187,13 +204,21 @@ def _plan_with_pinned_leaves(
     model: CommModel,
     bindings: Optional[Bindings],
     produced: Mapping[str, Distribution],
+    tracker=None,
 ) -> PartitionPlan:
     """Run the DP but charge pinned leaves their redistribution cost
     from the distribution they were produced in."""
     # cheap approach: run the standard DP, then add the fixed cost of
     # moving each pinned leaf from its produced distribution to the
     # distribution the plan assumed for it (free placement otherwise).
-    plan = optimize_distribution(tree, grid, model, bindings)
+    try:
+        plan = optimize_distribution(tree, grid, model, bindings, budget=tracker)
+    except BudgetExceeded as exc:
+        if tracker is not None:
+            tracker.degrade(
+                "distribution", exc, "canonical block distribution"
+            )
+        plan = canonical_plan(tree, grid, model, bindings)
     extra = 0.0
     for node in tree.walk():
         if isinstance(node, PLeaf):

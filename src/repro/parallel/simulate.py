@@ -32,8 +32,16 @@ from repro.parallel.dist import Distribution, REPLICATED, SINGLE
 from repro.parallel.grid import ProcessorGrid
 from repro.parallel.partition import PartitionPlan
 from repro.parallel.ptree import PLeaf, PMul, PNode, PSum
+from repro.robustness.errors import PlanError, SpecError
+from repro.robustness.validation import validate_env
 
 Rank = Tuple[int, ...]
+
+
+def _walk_ptree(node: PNode):
+    yield node
+    for child in node.children():
+        yield from _walk_ptree(child)
 
 
 @dataclass
@@ -144,8 +152,24 @@ class GridSimulator:
         self,
         plan: PartitionPlan,
         inputs: Mapping[str, np.ndarray],
+        validate: bool = True,
     ) -> Tuple[np.ndarray, SimulationReport]:
-        """Execute the plan; returns (global result, report)."""
+        """Execute the plan; returns (global result, report).
+
+        ``validate`` checks every leaf input's presence/shape/dtype
+        before the run (:func:`repro.robustness.validation.
+        validate_env`), so failures name the offending tensor.
+        """
+        if validate:
+            leaves = [
+                n for n in _walk_ptree(plan.root) if isinstance(n, PLeaf)
+            ]
+            validate_env(
+                inputs,
+                (n.ref for n in leaves),
+                self.bindings,
+                stage="simulate",
+            )
         report = SimulationReport(
             received={rank: 0 for rank in self.grid.ranks()},
             local_ops={rank: 0 for rank in self.grid.ranks()},
@@ -154,24 +178,38 @@ class GridSimulator:
         def axis_map(node_indices, sub_indices):
             return [node_indices.index(i) for i in sub_indices]
 
+        def plan_entry(table: Dict[int, object], node: PNode, what: str):
+            try:
+                return table[id(node)]
+            except KeyError:
+                raise PlanError(
+                    f"plan has no {what} for node {type(node).__name__}; "
+                    "the plan was built for a different tree",
+                    stage="simulate",
+                ) from None
+
         def evaluate(node: PNode) -> _DistArray:
             if isinstance(node, PLeaf):
                 name = node.ref.tensor.name
                 try:
                     glob = np.asarray(inputs[name], dtype=np.float64)
                 except KeyError:
-                    raise KeyError(f"no input array for {name!r}") from None
+                    raise SpecError(
+                        f"no input array for {name!r}",
+                        stage="simulate",
+                        tensor=name,
+                    ) from None
                 # stored axes follow the declared signature; reorder to
                 # the ptree's sorted-index convention
                 declared = list(node.ref.indices)
                 order = [declared.index(i) for i in node.indices]
                 glob = np.transpose(glob, order)
                 return self.scatter(
-                    glob, node.indices, plan.gamma[id(node)]
+                    glob, node.indices, plan_entry(plan.gamma, node, "gamma")
                 )
 
             if isinstance(node, PMul):
-                gamma = plan.gamma[id(node)]
+                gamma = plan_entry(plan.gamma, node, "gamma")
                 left = evaluate(node.left)
                 right = evaluate(node.right)
                 left = self.redistribute(
@@ -194,15 +232,15 @@ class GridSimulator:
                     report.local_ops[rank] += block.size
                 out = _DistArray(node.indices, gamma, blocks)
                 return self.redistribute(
-                    out, plan.dist[id(node)], report
+                    out, plan_entry(plan.dist, node, "distribution"), report
                 )
 
             if isinstance(node, PSum):
-                gamma = plan.gamma[id(node)]
+                gamma = plan_entry(plan.gamma, node, "gamma")
                 child = evaluate(node.child)
                 child = self.redistribute(child, gamma, report)
                 axis = list(node.child.indices).index(node.index)
-                option = plan.sum_option[id(node)]
+                option = plan_entry(plan.sum_option, node, "sum option")
                 partial_blocks: Dict[Rank, np.ndarray] = {}
                 for rank, block in child.blocks.items():
                     partial_blocks[rank] = block.sum(axis=axis)
@@ -224,7 +262,7 @@ class GridSimulator:
                         report,
                         pattern=plan.model.reduction,
                     )
-                return self.redistribute(out, plan.dist[id(node)], report)
+                return self.redistribute(out, plan_entry(plan.dist, node, "distribution"), report)
 
             raise TypeError(f"unknown PNode {type(node).__name__}")
 

@@ -31,6 +31,7 @@ Communication patterns match the cost model exactly:
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +44,8 @@ from repro.parallel.grid import ProcessorGrid
 from repro.parallel.partition import PartitionPlan
 from repro.parallel.ptree import PLeaf, PMul, PNode, PSum
 from repro.parallel.spmd_runtime import paste
+from repro.robustness.errors import CommFailure, InjectedFault
+from repro.robustness.faults import FaultSchedule
 
 Rank = Tuple[int, ...]
 
@@ -53,24 +56,69 @@ Rank = Tuple[int, ...]
 
 
 class LocalComm:
-    """In-process mailbox communicator with traffic counters."""
+    """In-process mailbox communicator with traffic counters.
 
-    def __init__(self, grid: ProcessorGrid) -> None:
+    ``faults`` (a :class:`~repro.robustness.faults.FaultSchedule`)
+    injects message drops by cross-rank message ordinal: a dropped
+    attempt is charged to the sender (the network ate it) but never
+    delivered; the communicator retries up to ``max_retries`` times
+    (sleeping ``retry_backoff * attempt`` seconds between attempts)
+    and raises :class:`~repro.robustness.errors.CommFailure` when the
+    drop schedule outlasts the retry budget.  Fault-free behaviour is
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        grid: ProcessorGrid,
+        faults: Optional[FaultSchedule] = None,
+        max_retries: int = 3,
+        retry_backoff: float = 0.0,
+    ) -> None:
         self.grid = grid
+        self.faults = faults
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self._mail: Dict[Tuple[Rank, str], List] = {}
         self.sent_elements: Dict[Rank, int] = {r: 0 for r in grid.ranks()}
         self.received_elements: Dict[Rank, int] = {
             r: 0 for r in grid.ranks()
         }
         self.messages = 0
+        self.dropped = 0
+        self.retries = 0
+        self._ordinal = 0
 
     def send(self, source: Rank, dest: Rank, tag: str, payload) -> None:
-        self._mail.setdefault((dest, tag), []).append(payload)
-        if source != dest:
-            size = int(np.asarray(payload[1]).size)
+        if source == dest:
+            self._mail.setdefault((dest, tag), []).append(payload)
+            return
+        size = int(np.asarray(payload[1]).size)
+        ordinal = self._ordinal
+        self._ordinal += 1
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.retries += 1
+                if self.retry_backoff > 0.0:
+                    time.sleep(self.retry_backoff * attempt)
             self.sent_elements[source] += size
+            if self.faults is not None and self.faults.should_drop(
+                ordinal, attempt
+            ):
+                self.dropped += 1
+                continue
+            self._mail.setdefault((dest, tag), []).append(payload)
             self.received_elements[dest] += size
             self.messages += 1
+            return
+        raise CommFailure(
+            f"message {ordinal} from rank {source} to rank {dest} "
+            f"dropped on every attempt; {self.max_retries} retries "
+            "exhausted",
+            stage="spmd",
+            source=source,
+            dest=dest,
+        )
 
     def recv_all(self, dest: Rank, tag: str) -> List:
         return self._mail.pop((dest, tag), [])
@@ -425,6 +473,7 @@ class SpmdRun:
     comm: LocalComm
     source: str
     supersteps: int
+    restarts: int = 0
 
 
 @dataclass
@@ -441,12 +490,24 @@ def run_spmd(
     plan: PartitionPlan,
     inputs,
     name: str = "rank_program",
+    faults: Optional[FaultSchedule] = None,
+    max_retries: int = 3,
+    max_restarts: int = 3,
+    retry_backoff: float = 0.0,
 ) -> SpmdRun:
     """Generate, compile, and execute the rank program on all ranks.
 
     The driver advances every rank program one superstep at a time
     (lock-step, like a BSP machine), then assembles the distributed
     result into a global array.
+
+    ``faults`` injects failures: message drops are retried inside the
+    communicator (see :class:`LocalComm`), and a scheduled superstep
+    crash aborts the statement, which is restarted from its inputs with
+    a fresh communicator (statement-level restart: inputs are never
+    mutated, so a rerun is bit-identical).  Each scheduled crash fires
+    once; exceeding ``max_restarts`` raises
+    :class:`~repro.robustness.errors.CommFailure`.
     """
     source = generate_spmd_source(plan, name)
     namespace: Dict[str, object] = {}
@@ -454,23 +515,49 @@ def run_spmd(
     program = namespace[name]
 
     grid = plan.grid
-    comm = LocalComm(grid)
-    states: Dict[Rank, Dict] = {r: {} for r in grid.ranks()}
-    gens = {
-        r: program(r, comm, inputs, states[r]) for r in grid.ranks()
-    }
-    supersteps = 0
-    live = dict(gens)
-    while live:
-        done = []
-        for rank, gen in live.items():
-            try:
-                next(gen)
-            except StopIteration:
-                done.append(rank)
-        supersteps += 1
-        for rank in done:
-            del live[rank]
+    restarts = 0
+    fired_crashes: set = set()
+    while True:
+        comm = LocalComm(
+            grid, faults=faults, max_retries=max_retries,
+            retry_backoff=retry_backoff,
+        )
+        states: Dict[Rank, Dict] = {r: {} for r in grid.ranks()}
+        gens = {
+            r: program(r, comm, inputs, states[r]) for r in grid.ranks()
+        }
+        supersteps = 0
+        live = dict(gens)
+        try:
+            while live:
+                if (
+                    faults is not None
+                    and supersteps in faults.crash_supersteps
+                    and supersteps not in fired_crashes
+                ):
+                    fired_crashes.add(supersteps)
+                    raise InjectedFault(
+                        f"rank crash injected at superstep {supersteps}",
+                        stage="spmd",
+                    )
+                done = []
+                for rank, gen in live.items():
+                    try:
+                        next(gen)
+                    except StopIteration:
+                        done.append(rank)
+                supersteps += 1
+                for rank in done:
+                    del live[rank]
+            break
+        except InjectedFault:
+            restarts += 1
+            if restarts > max_restarts:
+                raise CommFailure(
+                    f"execution did not complete within {max_restarts} "
+                    "restarts",
+                    stage="spmd",
+                ) from None
 
     indices = tuple(plan.root.indices)
     shape = tuple(i.extent(plan.bindings) for i in indices)
@@ -479,10 +566,17 @@ def run_spmd(
         box, blk = state.get("__result__", (None, None))
         if box is not None:
             paste(out, tuple((0, n) for n in shape), box, blk)
-    return SpmdRun(out, comm, source, supersteps)
+    return SpmdRun(out, comm, source, supersteps, restarts)
 
 
-def run_spmd_sequence(statements, seq_plan, inputs) -> SpmdSequenceRun:
+def run_spmd_sequence(
+    statements,
+    seq_plan,
+    inputs,
+    faults: Optional[FaultSchedule] = None,
+    max_retries: int = 3,
+    max_restarts: int = 3,
+) -> SpmdSequenceRun:
     """Execute a whole-sequence plan (:func:`repro.parallel.program_plan.
     plan_sequence`) as a series of generated SPMD programs.
 
@@ -491,6 +585,9 @@ def run_spmd_sequence(statements, seq_plan, inputs) -> SpmdSequenceRun:
     storage convention of the rest of the repository).  The per-program
     gather/re-scatter is an artifact of running programs independently;
     traffic inside each program still matches the cost model.
+
+    ``faults`` applies to *every* statement's program (drop ordinals
+    and crash supersteps restart per statement).
     """
     declared = {s.result.name: tuple(s.result.indices) for s in statements}
     arrays: Dict[str, np.ndarray] = dict(inputs)
@@ -498,7 +595,10 @@ def run_spmd_sequence(statements, seq_plan, inputs) -> SpmdSequenceRun:
     traffic = 0
     steps = 0
     for name, plan in seq_plan.plans:
-        run = run_spmd(plan, arrays)
+        run = run_spmd(
+            plan, arrays, faults=faults, max_retries=max_retries,
+            max_restarts=max_restarts,
+        )
         runs.append((name, run))
         traffic += run.comm.total_traffic
         steps += run.supersteps

@@ -51,6 +51,8 @@ from repro.codegen.loops import Block, loop_op_count, peak_memory, render, total
 from repro.codegen.pygen import compile_loops, generate_source
 from repro.engine.counters import Counters
 from repro.report import StageReport
+from repro.robustness.budget import Budget, BudgetTracker
+from repro.robustness.errors import BudgetExceeded
 
 
 @dataclass
@@ -80,6 +82,11 @@ class SynthesisConfig:
     #: dispatch statements with declared-sparse operands to the sparse
     #: executor (dense statements keep the loop-IR path)
     sparse_execution: bool = True
+    #: search budget (deadline and/or node count) shared across every
+    #: search stage; on exhaustion each stage degrades to its documented
+    #: greedy fallback and the stage report records it (strict budgets
+    #: raise :class:`~repro.robustness.errors.BudgetExceeded` instead)
+    budget: Optional[Budget] = None
 
 
 @dataclass
@@ -101,6 +108,16 @@ class SynthesisResult:
     sparsity_estimates: Dict[str, "SparsityEstimate"] = field(
         default_factory=dict
     )
+    #: the budget tracker that drove the run (None without a budget);
+    #: its ``degradations`` list which stages fell back and why
+    budget_tracker: Optional[BudgetTracker] = None
+
+    @property
+    def degraded_stages(self) -> List[str]:
+        """Stage keys that exhausted the budget and used a fallback."""
+        if self.budget_tracker is None:
+            return []
+        return self.budget_tracker.degraded_stages()
 
     def describe(self) -> str:
         return "\n\n".join(r.render() for r in self.reports)
@@ -113,6 +130,9 @@ class SynthesisResult:
         inputs: Mapping[str, np.ndarray],
         functions: Optional[Mapping[str, Callable]] = None,
         counters: Optional[Counters] = None,
+        *,
+        check_finite: bool = False,
+        checkpoint: Optional[str] = None,
     ) -> Dict[str, np.ndarray]:
         """Run the synthesized computation (interpreter, counted).
 
@@ -120,10 +140,23 @@ class SynthesisResult:
         statements with sparse operands run on the nonzero-iterating
         executor and dense statements on the loop-IR interpreter;
         otherwise the whole loop structure is interpreted.
+
+        ``check_finite`` rejects NaN/Inf inputs up front;
+        ``checkpoint`` names a directory for checkpoint/restart of the
+        loop-IR path (see :func:`repro.codegen.interp.execute`; not
+        supported for the mixed sparse execution plan).
         """
         if self.execution_plan is not None:
             from repro.codegen.dispatch import execute_plan
 
+            if checkpoint is not None:
+                from repro.robustness.errors import CheckpointError
+
+                raise CheckpointError(
+                    "checkpointing is only supported on the loop-IR "
+                    "execution path, not the mixed sparse plan",
+                    stage="execution",
+                )
             return execute_plan(
                 self.execution_plan,
                 inputs,
@@ -137,6 +170,8 @@ class SynthesisResult:
             self.config.bindings,
             functions,
             counters,
+            check_finite=check_finite,
+            checkpoint=checkpoint,
         )
 
     def compile(self) -> Callable:
@@ -172,6 +207,10 @@ class SynthesisResult:
         self,
         inputs: Mapping[str, np.ndarray],
         functions: Optional[Mapping[str, Callable]] = None,
+        *,
+        faults=None,
+        max_retries: int = 3,
+        max_restarts: int = 3,
     ) -> Dict[str, np.ndarray]:
         """Execute the generated SPMD programs for the whole sequence on
         the in-process lock-step driver; returns produced arrays.
@@ -179,6 +218,11 @@ class SynthesisResult:
         Statements without partition plans (multi-term combines kept
         data-local) and statements materializing primitive functions are
         evaluated in place between the SPMD runs.
+
+        ``faults`` (a :class:`~repro.robustness.faults.FaultSchedule`)
+        injects message drops and rank crashes into every statement's
+        SPMD run; recovery is by bounded retry and statement restart
+        (see :func:`repro.parallel.spmd.run_spmd`).
         """
         if not self.partition_plans:
             raise ValueError("no partition plans: configure a grid first")
@@ -199,7 +243,10 @@ class SynthesisResult:
                 )
                 continue
             seq_plan = SequencePlan([(name, plan)], plan.total_cost)
-            out = run_spmd_sequence([stmt], seq_plan, arrays)
+            out = run_spmd_sequence(
+                [stmt], seq_plan, arrays, faults=faults,
+                max_retries=max_retries, max_restarts=max_restarts,
+            )
             arrays.update(out.arrays)
         return arrays
 
@@ -211,6 +258,9 @@ def synthesize(
     """Run the full Fig.-5 pipeline on a program or its source text."""
     config = config or SynthesisConfig()
     bindings = config.bindings
+    tracker = (
+        config.budget.start() if config.budget is not None else None
+    )
     program = (
         parse_program(source) if isinstance(source, str) else source
     )
@@ -225,6 +275,7 @@ def synthesize(
         bindings,
         factorize=config.factorize,
         sparse_aware=config.sparse_aware,
+        budget=tracker,
     )
     optimized_ops = sequence_op_count(statements, bindings)
     from repro.opmin.schedule import schedule_statements
@@ -264,7 +315,12 @@ def synthesize(
     # roots of non-final trees are shared temporaries: their storage
     # counts toward the temporary-memory objective
     fusion_results = [
-        minimize_memory(root, bindings, include_output=(k < len(forest) - 1))
+        minimize_memory(
+            root,
+            bindings,
+            include_output=(k < len(forest) - 1),
+            budget=tracker,
+        )
         for k, root in enumerate(forest)
     ]
     fused_memory = sum(r.total_memory for r in fusion_results)
@@ -305,20 +361,35 @@ def synthesize(
             if result.total_memory <= remaining // max(1, len(forest)):
                 blocks.append(build_fused(result))
                 continue
-            frontier = tradeoff_search(root, bindings, memory_limit=capacity)
-            solution = min(
-                (s for s in frontier if s.memory <= capacity),
-                key=lambda s: s.ops,
-                default=None,
-            )
-            if solution is None:
-                raise ValueError(
-                    f"no space-time trade-off fits {root.array.name} into "
-                    f"{capacity} elements"
+            try:
+                frontier = tradeoff_search(
+                    root, bindings, memory_limit=capacity, budget=tracker
                 )
-            tiled = search_tile_sizes(
-                solution, memory_limit=capacity, bindings=bindings
-            )
+                solution = min(
+                    (s for s in frontier if s.memory <= capacity),
+                    key=lambda s: s.ops,
+                    default=None,
+                )
+                if solution is None:
+                    raise ValueError(
+                        f"no space-time trade-off fits {root.array.name} "
+                        f"into {capacity} elements"
+                    )
+                tiled = search_tile_sizes(
+                    solution,
+                    memory_limit=capacity,
+                    bindings=bindings,
+                    budget=tracker,
+                )
+            except BudgetExceeded as exc:
+                tracker.degrade(
+                    "spacetime",
+                    exc,
+                    "fused structure without space-time rewriting",
+                )
+                blocks.append(build_fused(result))
+                st_report.details[f"{root.array.name}: degraded"] = "true"
+                continue
             blocks.append(tiled.structure)
             st_report.details[f"{root.array.name}: pareto points"] = len(
                 frontier
@@ -360,6 +431,7 @@ def synthesize(
             config.machine.cache.capacity,
             bindings,
             indices=indices,
+            budget=tracker,
         )
         locality_tiles = {i.name: b for i, b in loc.tile_sizes.items()}
         structure = loc.structure
@@ -400,7 +472,8 @@ def synthesize(
                     continue
         if tree is not None:
             choice = choose_grid(
-                tree, config.processors, config.comm, bindings
+                tree, config.processors, config.comm, bindings,
+                budget=tracker,
             )
             grid = choice.grid
             grid_note = (
@@ -418,7 +491,7 @@ def synthesize(
         if grid_note:
             part_report.notes.append(grid_note)
         seq_plan = plan_sequence(
-            statements, grid, config.comm, bindings
+            statements, grid, config.comm, bindings, budget=tracker
         )
         from repro.expr.ast import Add
 
@@ -472,7 +545,7 @@ def synthesize(
         if config.sparse_execution:
             from repro.codegen.dispatch import plan_execution
 
-            execution_plan = plan_execution(statements, bindings)
+            execution_plan = plan_execution(statements, bindings, budget=tracker)
             sp_report.details["sparse-dispatched statements"] = len(
                 execution_plan.sparse_statements
             )
@@ -499,6 +572,9 @@ def synthesize(
         )
     )
 
+    if tracker is not None:
+        _annotate_degradations(reports, tracker)
+
     return SynthesisResult(
         program,
         config,
@@ -510,4 +586,30 @@ def synthesize(
         locality_tiles,
         execution_plan,
         sparsity_estimates,
+        tracker,
     )
+
+
+#: budget stage key -> pipeline stage report title
+_STAGE_TITLES = {
+    "opmin": "Algebraic transformations",
+    "fusion": "Memory minimization",
+    "spacetime": "Space-time transformation",
+    "locality": "Data locality optimization",
+    "distribution": "Data distribution and partitioning",
+}
+
+
+def _annotate_degradations(
+    reports: List[StageReport], tracker: BudgetTracker
+) -> None:
+    """Record budget fallbacks on the stage reports that took them."""
+    by_title = {r.name: r for r in reports}
+    for deg in tracker.degradations:
+        report = by_title.get(_STAGE_TITLES.get(deg.stage, ""))
+        if report is None:
+            continue
+        report.details["degraded"] = "true"
+        report.notes.append(
+            f"budget exhausted ({deg.reason}); fell back to {deg.fallback}"
+        )

@@ -1,0 +1,59 @@
+"""Robustness layer: error taxonomy, search budgets with graceful
+degradation, input validation, checkpoint/restart, and fault injection.
+
+See ``docs/architecture.md`` ("The robustness layer") for how these
+pieces thread through the pipeline.
+"""
+
+from repro.robustness.budget import (
+    Budget,
+    BudgetTracker,
+    Degradation,
+    as_tracker,
+)
+from repro.robustness.checkpoint import (
+    checkpoint_path,
+    clear_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.robustness.errors import (
+    BudgetExceeded,
+    CheckpointError,
+    CommFailure,
+    InjectedFault,
+    PlanError,
+    ReproError,
+    ShapeError,
+    SpecError,
+)
+from repro.robustness.faults import FaultSchedule, parse_fault_spec
+from repro.robustness.validation import (
+    expected_input_shapes,
+    validate_block_inputs,
+    validate_env,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetTracker",
+    "BudgetExceeded",
+    "CheckpointError",
+    "CommFailure",
+    "Degradation",
+    "FaultSchedule",
+    "InjectedFault",
+    "PlanError",
+    "ReproError",
+    "ShapeError",
+    "SpecError",
+    "as_tracker",
+    "checkpoint_path",
+    "clear_checkpoint",
+    "expected_input_shapes",
+    "load_checkpoint",
+    "parse_fault_spec",
+    "save_checkpoint",
+    "validate_block_inputs",
+    "validate_env",
+]

@@ -1,0 +1,97 @@
+"""Checkpoint/restart for long-running executions.
+
+A checkpoint is a single pickle file written *atomically* (temp file +
+``os.replace``), so an interruption mid-write never leaves a corrupt
+restart point -- the previous checkpoint survives.  The interpreter
+(:func:`repro.codegen.interp.execute`) and the out-of-core simulator
+(:func:`repro.engine.outofcore.simulate_out_of_core`) snapshot after
+every completed top-level *unit* (a top-level statement or one
+iteration of a top-level loop) and resume bit-identically: arrays,
+counters, and any extra execution state (e.g. the buffer-pool LRU
+contents) are restored exactly as they were.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.robustness.errors import CheckpointError
+
+#: File name used inside a checkpoint directory.
+CHECKPOINT_NAME = "checkpoint.pkl"
+
+
+def checkpoint_path(path: str) -> str:
+    """Resolve a checkpoint location: a directory maps to the canonical
+    file inside it, anything else is used verbatim."""
+    if os.path.isdir(path):
+        return os.path.join(path, CHECKPOINT_NAME)
+    root, ext = os.path.splitext(path)
+    if not ext:  # treat extension-less paths as (future) directories
+        os.makedirs(path, exist_ok=True)
+        return os.path.join(path, CHECKPOINT_NAME)
+    return path
+
+
+def save_checkpoint(path: str, payload: Dict[str, Any]) -> None:
+    """Atomically persist ``payload`` at ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".ckpt-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise CheckpointError(
+            f"cannot write checkpoint {path!r}: {exc}"
+        ) from exc
+
+
+def load_checkpoint(path: str) -> Optional[Dict[str, Any]]:
+    """Load a checkpoint; ``None`` when none exists yet."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint {path!r}: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or "unit" not in payload:
+        raise CheckpointError(
+            f"checkpoint {path!r} is missing execution context"
+        )
+    return payload
+
+
+def clear_checkpoint(path: str) -> None:
+    """Remove a checkpoint after a successful run (restart from it
+    would silently skip the whole computation)."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def counters_state(counters) -> Dict[str, int]:
+    """Snapshot of a :class:`~repro.engine.counters.Counters`."""
+    return {
+        f.name: getattr(counters, f.name)
+        for f in dataclasses.fields(counters)
+    }
+
+
+def restore_counters(counters, state: Dict[str, int]) -> None:
+    """Restore a snapshot into the caller's counters object."""
+    for name, value in state.items():
+        setattr(counters, name, value)

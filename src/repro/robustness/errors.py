@@ -1,0 +1,126 @@
+"""The error taxonomy of the synthesis system.
+
+Every failure the pipeline can produce is classified into one of the
+:class:`ReproError` subclasses below and carries *structured context*
+(the pipeline stage, the offending statement, the offending tensor) so
+that diagnostics name the artifact that broke instead of raising from
+numpy internals.
+
+Back-compatibility: :class:`SpecError` and :class:`PlanError` also
+subclass :class:`KeyError`, and :class:`ShapeError` subclasses
+:class:`ValueError` -- existing ``except KeyError`` / ``except
+ValueError`` call sites (and tests matching their messages) keep
+working, but the message now renders as a one-line diagnostic instead of
+``KeyError``'s quoted repr.
+
+Exit-code convention (used by :mod:`repro.cli`):
+
+====================  ====  =========================================
+class                 code  meaning
+====================  ====  =========================================
+``SpecError``            2  bad program/spec (missing tensor, parse)
+``ShapeError``           4  input array disagrees with declarations
+``PlanError``            4  plan applied to the wrong tree
+``BudgetExceeded``       3  search budget exhausted (strict mode)
+``CommFailure``          4  message loss beyond the retry limit
+``CheckpointError``      4  unreadable/corrupt checkpoint
+``InjectedFault``        4  deliberately injected fault fired
+====================  ====  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class: a failure with structured context.
+
+    Parameters beyond ``message`` are keyword-only annotations that the
+    raising site fills in when known; :meth:`diagnostic` renders them as
+    a single ``Class[key=value ...]: message`` line.
+    """
+
+    #: process exit code :mod:`repro.cli` maps this class to
+    exit_code = 4
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: Optional[str] = None,
+        statement: Optional[str] = None,
+        tensor: Optional[str] = None,
+        **context: object,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.stage = stage
+        self.statement = statement
+        self.tensor = tensor
+        self.context = context
+
+    def diagnostic(self) -> str:
+        """One-line diagnostic: ``Class[stage=.. tensor=..]: message``."""
+        parts = []
+        for key in ("stage", "statement", "tensor"):
+            value = getattr(self, key)
+            if value is not None:
+                parts.append(f"{key}={value}")
+        for key, value in self.context.items():
+            parts.append(f"{key}={value}")
+        where = f"[{' '.join(parts)}]" if parts else ""
+        return f"{type(self).__name__}{where}: {self.message}"
+
+    def __str__(self) -> str:  # resolves before KeyError.__str__ in MRO
+        return self.diagnostic()
+
+
+class SpecError(ReproError, KeyError):
+    """The program/spec and the provided environment disagree: a
+    referenced tensor has no array, a function tensor has no registered
+    implementation, or the source does not parse."""
+
+    exit_code = 2
+
+
+class ShapeError(ReproError, ValueError):
+    """An input array's shape, dtype, or values contradict the
+    program's declarations (wrong extents, non-numeric dtype, or
+    non-finite values under ``check_finite``)."""
+
+    exit_code = 4
+
+
+class PlanError(ReproError, KeyError):
+    """A plan (partition plan, fusion decisions) was applied to a tree
+    it does not cover."""
+
+    exit_code = 4
+
+
+class BudgetExceeded(ReproError):
+    """A search budget ran out.  Under graceful degradation the raising
+    stage catches this and falls back to its documented greedy plan;
+    in strict mode it propagates to the caller."""
+
+    exit_code = 3
+
+
+class CommFailure(ReproError):
+    """A message could not be delivered within the retry limit."""
+
+    exit_code = 4
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing context, unreadable, or corrupt."""
+
+    exit_code = 4
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected fault (crash schedule, interrupt-after)
+    fired.  Raised only when fault injection is configured."""
+
+    exit_code = 4

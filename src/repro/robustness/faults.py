@@ -1,0 +1,88 @@
+"""Deterministic fault-injection schedules for the SPMD runtime.
+
+A :class:`FaultSchedule` describes *which* faults fire and *when*, in
+terms of deterministic event ordinals -- the ordinal of a cross-rank
+message on the communicator, or a superstep number of the lock-step
+driver -- so every injected failure (and its recovery) is exactly
+reproducible:
+
+* **message drops**: ``drop_messages`` lists cross-rank message
+  ordinals whose first ``drop_attempts`` delivery attempts are dropped
+  on the floor.  The communicator's bounded retry-with-backoff loop
+  recovers drops up to its retry limit; beyond it, a
+  :class:`~repro.robustness.errors.CommFailure` is raised.
+* **rank crashes**: ``crash_supersteps`` lists driver supersteps at
+  whose start the whole statement execution fails with
+  :class:`~repro.robustness.errors.InjectedFault`; the driver restarts
+  the statement from its inputs (SPMD statement runs are effectively
+  transactions -- inputs are never mutated), each scheduled crash
+  firing at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.robustness.errors import SpecError
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Deterministic schedule of injected faults (see module doc)."""
+
+    #: cross-rank message ordinals (0-based) scheduled to drop
+    drop_messages: Tuple[int, ...] = ()
+    #: delivery attempts that fail per scheduled drop (1 = first try
+    #: drops, the immediate retry succeeds)
+    drop_attempts: int = 1
+    #: driver supersteps (0-based) at whose start a rank crash fires
+    crash_supersteps: Tuple[int, ...] = ()
+
+    def should_drop(self, ordinal: int, attempt: int) -> bool:
+        """Whether delivery ``attempt`` (0-based) of cross-rank message
+        ``ordinal`` is dropped."""
+        return ordinal in self.drop_messages and attempt < self.drop_attempts
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(self.drop_messages or self.crash_supersteps)
+
+
+def parse_fault_spec(spec: str) -> FaultSchedule:
+    """Parse the CLI's ``--inject-fault`` syntax.
+
+    ``drop:0,3`` drops cross-rank messages 0 and 3 once each;
+    ``drop:0x2`` drops message 0 on two consecutive attempts;
+    ``crash:2`` crashes the run at superstep 2.  Multiple clauses join
+    with ``;``: ``drop:1;crash:0``.
+    """
+    drops: list = []
+    attempts = 1
+    crashes: list = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, arg = clause.partition(":")
+        try:
+            if kind == "drop":
+                if "x" in arg:
+                    arg, _, reps = arg.partition("x")
+                    attempts = max(attempts, int(reps))
+                drops.extend(int(p) for p in arg.split(",") if p)
+            elif kind == "crash":
+                crashes.extend(int(p) for p in arg.split(",") if p)
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        except ValueError as exc:
+            raise SpecError(
+                f"bad fault spec {spec!r}: {exc} "
+                "(use e.g. drop:0,3 / drop:0x2 / crash:2)",
+                stage="fault-injection",
+            ) from None
+    return FaultSchedule(
+        drop_messages=tuple(drops),
+        drop_attempts=attempts,
+        crash_supersteps=tuple(crashes),
+    )

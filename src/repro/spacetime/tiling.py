@@ -92,6 +92,7 @@ def search_tile_sizes(
     memory_limit: Optional[int] = None,
     bindings: Optional[Bindings] = None,
     include_output: bool = False,
+    budget=None,
 ) -> TileSearchResult:
     """Search uniform block sizes (1, 2, 4, ..., N) for the solution's
     recomputation indices; return the minimum-operation structure whose
@@ -99,7 +100,16 @@ def search_tile_sizes(
 
     ``include_output=False`` excludes the root output array from the
     memory measure (it exists in every variant).
+
+    ``budget`` bounds the candidate evaluations; on exhaustion the best
+    feasible candidate found so far is returned (anytime search), or
+    :class:`~repro.robustness.errors.BudgetExceeded` propagates when
+    none was evaluated yet.
     """
+    from repro.robustness.budget import as_tracker
+    from repro.robustness.errors import BudgetExceeded
+
+    tracker = as_tracker(budget)
     indices = sorted(solution.recomputation_indices())
     if not indices:
         block = tiled_structure(solution, {})
@@ -121,6 +131,16 @@ def search_tile_sizes(
     best: Optional[TileSearchResult] = None
     candidates: List[Dict[str, int]] = []
     for b in sizes:
+        if tracker is not None:
+            try:
+                tracker.tick(1, stage="spacetime")
+            except BudgetExceeded as exc:
+                if best is None:
+                    raise
+                tracker.degrade(
+                    "spacetime", exc, "best tile size found so far"
+                )
+                break  # anytime: keep the best candidate found so far
         tiles = {i: min(b, i.extent(bindings)) for i in indices}
         block = tiled_structure(solution, tiles)
         ops = loop_op_count(block, bindings)

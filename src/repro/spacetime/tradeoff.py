@@ -143,13 +143,22 @@ def tradeoff_search(
     memory_limit: Optional[int] = None,
     allow_redundancy: bool = True,
     max_redundant_per_edge: int = 4,
+    budget=None,
 ) -> List[TradeoffSolution]:
     """Pareto frontier of (memory, ops) fusion/recompute configurations.
 
     Returns solutions sorted by memory (ascending); ops is then
     descending.  ``memory_limit`` prunes during the search (the paper's
     "solutions exceeding the memory limit are pruned out").
+
+    ``budget`` bounds the pareto DP (each merged candidate ticks); on
+    exhaustion :class:`~repro.robustness.errors.BudgetExceeded`
+    propagates -- the pipeline degrades to the fused-but-untiled
+    structure from memory minimization.
     """
+    from repro.robustness.budget import as_tracker
+
+    tracker = as_tracker(budget)
     # per node: {(S, visible_chain): [(mem, ops, choice), ...]}  where
     # choice = tuple per child of (child_key, entry_index, redundant_set)
     tables: Dict[int, Dict[Tuple[SetKey, Chain], List[Tuple]]] = {}
@@ -238,6 +247,8 @@ def tradeoff_search(
                         continue
                     bucket = new_states.setdefault(merged, [])
                     for mem, ops, picks in entries:
+                        if tracker is not None:
+                            tracker.tick(1, stage="spacetime")
                         if (
                             memory_limit is not None
                             and mem + cmem > memory_limit

@@ -36,6 +36,7 @@ from repro.engine.executor import FunctionImpl, _materialize_function
 from repro.expr.ast import Expr, Program, Statement, TensorRef
 from repro.expr.canonical import flatten
 from repro.expr.indices import Bindings, Index
+from repro.robustness.errors import SpecError
 from repro.sparse.formats import COOTensor, as_coo
 
 
@@ -50,9 +51,11 @@ def _ref_as_coo(
     if ref.tensor.is_function:
         impl = functions.get(ref.tensor.name)
         if impl is None:
-            raise KeyError(
+            raise SpecError(
                 f"no implementation registered for function "
-                f"{ref.tensor.name!r}"
+                f"{ref.tensor.name!r}",
+                stage="execution",
+                tensor=ref.tensor.name,
             )
         dense = _materialize_function(ref, impl, bindings)
         counters.func_evals += dense.size
@@ -61,8 +64,10 @@ def _ref_as_coo(
     try:
         return as_coo(arrays[ref.tensor.name])
     except KeyError:
-        raise KeyError(
-            f"no array provided for tensor {ref.tensor.name!r}"
+        raise SpecError(
+            f"no array provided for tensor {ref.tensor.name!r}",
+            stage="execution",
+            tensor=ref.tensor.name,
         ) from None
 
 
@@ -130,16 +135,33 @@ def evaluate_expression(
     bindings: Optional[Bindings] = None,
     functions: Optional[Mapping[str, FunctionImpl]] = None,
     counters: Optional[Counters] = None,
+    *,
+    validate: bool = True,
+    check_finite: bool = False,
 ) -> np.ndarray:
     """Evaluate ``expr`` by nonzero iteration (axes: ``sorted(expr.free)``).
 
     ``arrays`` values may be dense ndarrays, :class:`COOTensor`, or
     :class:`CSFTensor` -- dense operands are scanned once to coordinate
     form (their zeros then cost nothing downstream).
+
+    ``validate`` checks presence/shape/dtype of every referenced array
+    up front so failures name the offending tensor (sparse containers
+    are checked through their ``shape``/``values``).
     """
+    from repro.robustness.validation import validate_env
+
     functions = functions or {}
     counters = counters if counters is not None else Counters()
     terms = flatten(expr)
+    if validate:
+        validate_env(
+            arrays,
+            (ref for _, _, refs in terms for ref in refs),
+            bindings,
+            stage="execution",
+            check_finite=check_finite,
+        )
     out_indices = tuple(sorted(expr.free))
     out_shape = tuple(i.extent(bindings) for i in out_indices)
     acc: Dict[Tuple[int, ...], float] = {}

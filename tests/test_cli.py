@@ -75,7 +75,7 @@ class TestMain:
         bad = tmp_path / "bad.tce"
         bad.write_text("range V = ;")
         rc = main([str(bad)])
-        assert rc == 1
+        assert rc == 2
         assert "error" in capsys.readouterr().err
 
     def test_emit_kernel_is_importable(self, src_file, tmp_path, capsys):
@@ -122,7 +122,7 @@ class TestEmitSpmd:
     def test_emit_spmd_without_grid_fails(self, src_file, tmp_path, capsys):
         out_py = tmp_path / "spmd.py"
         rc = main([src_file, "--no-cache-opt", "--emit-spmd", str(out_py)])
-        assert rc == 1
+        assert rc == 2
         assert "requires --grid" in capsys.readouterr().err
 
     def test_processors_flag(self, src_file, capsys):
@@ -130,3 +130,86 @@ class TestEmitSpmd:
         assert rc == 0
         out = capsys.readouterr().out
         assert "chose grid" in out
+
+
+SMALL_SRC = """
+range N = 4;
+index i, j, k : N;
+tensor A(i, k); tensor B(k, j);
+C(i, j) = sum(k) A(i, k) * B(k, j);
+"""
+
+
+@pytest.fixture
+def small_file(tmp_path):
+    path = tmp_path / "small.tce"
+    path.write_text(SMALL_SRC)
+    return str(path)
+
+
+class TestExitCodes:
+    """The documented exit-code contract: 2 spec, 3 budget, 4 execution."""
+
+    def test_strict_budget_exhaustion_is_exit_3(self, src_file, capsys):
+        rc = main([
+            src_file, "--no-cache-opt",
+            "--budget-nodes", "0", "--budget-strict",
+        ])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "BudgetExceeded" in err
+
+    def test_lenient_budget_degrades_to_success(self, src_file, capsys):
+        rc = main([src_file, "--no-cache-opt", "--budget-nodes", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+
+    def test_bad_fault_spec_is_exit_2(self, small_file, capsys):
+        rc = main([
+            small_file, "--no-cache-opt", "--run",
+            "--inject-fault", "explode:9",
+        ])
+        assert rc == 2
+        assert "fault spec" in capsys.readouterr().err
+
+    def test_inject_fault_requires_run(self, small_file, capsys):
+        rc = main([small_file, "--no-cache-opt", "--inject-fault", "drop:0"])
+        assert rc == 2
+        assert "requires --run" in capsys.readouterr().err
+
+    def test_unrecoverable_fault_is_exit_4(self, small_file, capsys):
+        rc = main([
+            small_file, "--no-cache-opt", "--grid", "2", "--run",
+            "--inject-fault", "crash:0;crash:1;crash:2;crash:3;crash:4",
+        ])
+        assert rc == 4
+        assert "restart" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_validates_against_reference(self, small_file, capsys):
+        rc = main([small_file, "--no-cache-opt", "--run"])
+        assert rc == 0
+        assert "match the reference executor" in capsys.readouterr().out
+
+    def test_run_parallel_with_recovered_faults(self, small_file, capsys):
+        rc = main([
+            small_file, "--no-cache-opt", "--grid", "2", "--run",
+            "--inject-fault", "drop:0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parallel outputs match" in out
+
+    def test_run_with_checkpoint_dir(self, small_file, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        rc = main([
+            small_file, "--no-cache-opt", "--run",
+            "--checkpoint-dir", str(ckpt),
+        ])
+        assert rc == 0
+        assert "match the reference executor" in capsys.readouterr().out
+        # checkpoint is cleared after a successful run
+        assert not (ckpt / "checkpoint.pkl").exists()

@@ -1,5 +1,6 @@
-"""Failure-injection tests: corrupted inputs, broken plans, and
-inconsistent structures must fail loudly, never silently."""
+"""Failure-injection tests: corrupted inputs, broken plans, dropped
+messages, and crashed ranks must fail loudly (with typed, named-tensor
+errors) or recover exactly -- never silently corrupt results."""
 
 import numpy as np
 import pytest
@@ -13,6 +14,14 @@ from repro.parallel.partition import optimize_distribution
 from repro.parallel.ptree import expression_to_ptree
 from repro.parallel.simulate import GridSimulator
 from repro.parallel.spmd import LocalComm, run_spmd
+from repro.robustness import (
+    CommFailure,
+    FaultSchedule,
+    PlanError,
+    ReproError,
+    ShapeError,
+    SpecError,
+)
 
 
 def matmul(n=4):
@@ -33,19 +42,48 @@ class TestBadInputs:
             "A": np.zeros((4, 4)),
             "B": np.zeros((2, 2)),  # wrong shape
         }
-        with pytest.raises(IndexError):
+        with pytest.raises(ShapeError, match="tensor 'B'") as info:
             execute(block, bad)
+        assert info.value.tensor == "B"
+        # ShapeError is a ValueError: pre-taxonomy callers still catch it
+        assert isinstance(info.value, ValueError)
+
+    def test_wrong_shape_in_dense_oracle(self):
+        prog = matmul()
+        arrays = random_inputs(prog, seed=0)
+        arrays["A"] = np.zeros((3, 5))
+        with pytest.raises(ShapeError, match="tensor 'A'"):
+            evaluate_expression(prog.statements[0].expr, arrays)
+
+    def test_missing_input_named(self):
+        prog = matmul()
+        expr = prog.statements[0].expr
+        with pytest.raises(SpecError, match="no array provided for tensor 'B'"):
+            evaluate_expression(expr, {"A": np.zeros((4, 4))})
 
     def test_missing_input_in_simulator(self):
         prog = matmul()
         tree = expression_to_ptree(prog.statements[0].expr)
         grid = ProcessorGrid((2,))
         plan = optimize_distribution(tree, grid)
-        with pytest.raises(KeyError, match="no input array"):
+        with pytest.raises(SpecError, match="tensor 'B'") as info:
             GridSimulator(grid).run(plan, {"A": np.zeros((4, 4))})
+        # SpecError is a KeyError: pre-taxonomy callers still catch it
+        assert isinstance(info.value, KeyError)
+
+    def test_non_numeric_dtype_rejected(self):
+        prog = matmul()
+        block = build_unfused(prog.statements)
+        bad = {
+            "A": np.zeros((4, 4)),
+            "B": np.array([["x"] * 4] * 4, dtype=object),
+        }
+        with pytest.raises(ShapeError, match="tensor 'B'"):
+            execute(block, bad)
 
     def test_nan_propagates_not_hidden(self):
-        """NaNs in inputs surface in outputs (no silent masking)."""
+        """NaNs in inputs surface in outputs (no silent masking) --
+        finite-checking is opt-in, not a default."""
         prog = matmul()
         block = build_unfused(prog.statements)
         arrays = random_inputs(prog, seed=0)
@@ -54,11 +92,20 @@ class TestBadInputs:
         env = execute(block, arrays)
         assert np.isnan(env["C"][0]).any()
 
+    def test_nan_rejected_when_check_finite(self):
+        prog = matmul()
+        block = build_unfused(prog.statements)
+        arrays = random_inputs(prog, seed=0)
+        arrays["A"] = arrays["A"].copy()
+        arrays["A"][0, 0] = np.nan
+        with pytest.raises(ShapeError, match="non-finite"):
+            execute(block, arrays, check_finite=True)
+
 
 class TestBrokenPlans:
     def test_mismatched_plan_and_tree(self):
         """A plan from one tree applied to a different tree's simulator
-        run fails (no cross-wired silent success)."""
+        run fails with a PlanError (no cross-wired silent success)."""
         prog = matmul()
         tree1 = expression_to_ptree(prog.statements[0].expr)
         tree2 = expression_to_ptree(prog.statements[0].expr)
@@ -66,8 +113,11 @@ class TestBrokenPlans:
         plan = optimize_distribution(tree1, grid)
         # tree2 has different node ids -> lookups must fail
         plan.root = tree2
-        with pytest.raises(KeyError):
+        with pytest.raises(PlanError) as info:
             GridSimulator(grid).run(plan, random_inputs(prog, seed=0))
+        # PlanError is a KeyError: the original contract still holds
+        assert isinstance(info.value, KeyError)
+        assert isinstance(info.value, ReproError)
 
 
 class TestCommFailures:
@@ -141,3 +191,61 @@ class TestCommFailures:
                 touched = True
         if comm._count >= 2 and touched:
             assert not np.allclose(out, want)
+
+
+class TestFaultTolerantSpmd:
+    """Injected faults recovered by the runtime: results stay exact."""
+
+    def _plan_and_inputs(self, seed=3):
+        from repro.parallel.dist import Distribution, SINGLE
+        from repro.parallel.partition import canonical_plan
+
+        prog = matmul()
+        tree = expression_to_ptree(prog.statements[0].expr)
+        grid = ProcessorGrid((2,))
+        # canonical (unsearched) plan: every node block-distributed, so
+        # the program genuinely communicates (the searched optimum on
+        # this tiny workload is communication-free)
+        plan = canonical_plan(
+            tree, grid, result_dist=Distribution((SINGLE,))
+        )
+        arrays = random_inputs(prog, seed=seed)
+        want = evaluate_expression(prog.statements[0].expr, arrays)
+        return plan, arrays, want
+
+    def test_dropped_messages_recovered_by_retry(self):
+        """Messages dropped within the retry limit are retransmitted;
+        the run is bit-identical to a fault-free run."""
+        plan, arrays, want = self._plan_and_inputs()
+        clean = run_spmd(plan, arrays)
+        faults = FaultSchedule(drop_messages=(0, 2), drop_attempts=1)
+        run = run_spmd(plan, arrays, faults=faults)
+        assert run.comm.dropped == 2
+        assert run.comm.retries == 2
+        assert np.array_equal(run.result, clean.result)
+        np.testing.assert_allclose(run.result, want, rtol=1e-10)
+        # retransmissions are charged: the lossy run sends strictly more
+        assert run.comm.total_traffic > clean.comm.total_traffic
+
+    def test_drop_beyond_retry_limit_raises(self):
+        plan, arrays, _ = self._plan_and_inputs()
+        faults = FaultSchedule(drop_messages=(0,), drop_attempts=10)
+        with pytest.raises(CommFailure, match="retries"):
+            run_spmd(plan, arrays, faults=faults, max_retries=2)
+
+    def test_rank_crash_restart_bit_identical(self):
+        """A crashed superstep triggers a statement restart; the final
+        result is bit-identical to a fault-free run."""
+        plan, arrays, want = self._plan_and_inputs(seed=4)
+        clean = run_spmd(plan, arrays)
+        faults = FaultSchedule(crash_supersteps=(1,))
+        run = run_spmd(plan, arrays, faults=faults)
+        assert run.restarts == 1
+        assert np.array_equal(run.result, clean.result)
+        np.testing.assert_allclose(run.result, want, rtol=1e-10)
+
+    def test_crash_beyond_restart_limit_raises(self):
+        plan, arrays, _ = self._plan_and_inputs()
+        faults = FaultSchedule(crash_supersteps=(0, 1, 2, 3, 4, 5))
+        with pytest.raises(CommFailure, match="restart"):
+            run_spmd(plan, arrays, faults=faults, max_restarts=2)
