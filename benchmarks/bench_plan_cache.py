@@ -1,0 +1,96 @@
+"""E17 -- content-addressed plan cache.
+
+Synthesis chains five search stages; a serving deployment compiles the
+same specification repeatedly.  This experiment measures cold-vs-warm
+``synthesize()`` time on representative workloads (including the CCSD
+doubles stress program) across both cache tiers.
+
+Acceptance: a warm in-memory hit on the CCSD-doubles spec is at least
+10x faster than the cold synthesis that populated it.
+"""
+
+import time
+
+import pytest
+
+from repro.chem.workloads import (
+    ccsd_doubles_program,
+    fig1_program,
+)
+from repro.parallel.grid import ProcessorGrid
+from repro.pipeline import SynthesisConfig, synthesize
+from repro.runtime.plan_cache import PlanCache
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_cold_vs_warm_synthesis(record_rows, tmp_path):
+    workloads = [
+        ("fig1", fig1_program(V=8, O=4), SynthesisConfig()),
+        (
+            "fig1 grid 2x2",
+            fig1_program(V=8, O=4),
+            SynthesisConfig(grid=ProcessorGrid((2, 2))),
+        ),
+        (
+            "ccsd doubles",
+            ccsd_doubles_program(V=6, O=3),
+            SynthesisConfig(grid=ProcessorGrid((2,))),
+        ),
+    ]
+    rows = []
+    for label, prog, cfg in workloads:
+        cache = PlanCache(directory=str(tmp_path / label.replace(" ", "_")))
+        cold_result, cold = _timed(lambda: synthesize(prog, cfg, cache=cache))
+        warm_result, warm = _timed(lambda: synthesize(prog, cfg, cache=cache))
+        fresh = PlanCache(directory=cache.directory)  # new process: disk tier
+        _, disk = _timed(lambda: synthesize(prog, cfg, cache=fresh))
+        assert warm_result.source == cold_result.source
+        assert warm_result.reports[-1].details["hit"] == "memory"
+        speedup = cold / warm if warm else float("inf")
+        rows.append(
+            [label, f"{cold * 1e3:.1f}", f"{warm * 1e3:.2f}",
+             f"{disk * 1e3:.2f}", f"{speedup:,.0f}x"]
+        )
+        if label == "ccsd doubles":
+            # the acceptance bar: warm >= 10x faster than cold
+            assert speedup >= 10, f"warm hit only {speedup:.1f}x faster"
+    record_rows(
+        "plan cache: cold synthesis vs warm hits",
+        ["workload", "cold ms", "memory hit ms", "disk hit ms", "speedup"],
+        rows,
+    )
+
+
+def test_invalidation_matrix(record_rows):
+    """Exactly the right things miss: config changes and different
+    programs; formatting-only source changes hit."""
+    cache = PlanCache()
+    base_cfg = SynthesisConfig(grid=ProcessorGrid((2,)))
+    prog = fig1_program(V=6, O=3)
+    synthesize(prog, base_cfg, cache=cache)
+    probes = [
+        ("same program + config", prog, base_cfg),
+        ("reparsed program", fig1_program(V=6, O=3), base_cfg),
+        ("different extents", fig1_program(V=8, O=3), base_cfg),
+        ("different grid", prog, SynthesisConfig(grid=ProcessorGrid((4,)))),
+        ("no locality search", prog,
+         SynthesisConfig(grid=ProcessorGrid((2,)), optimize_cache=False)),
+    ]
+    rows = []
+    for label, p, cfg in probes:
+        result = synthesize(p, cfg, cache=cache)
+        hit = result.reports[-1].details["hit"]
+        rows.append([label, hit])
+    record_rows(
+        "plan-cache invalidation matrix", ["probe", "outcome"], rows
+    )
+    outcomes = dict(rows)
+    assert outcomes["same program + config"] == "memory"
+    assert outcomes["reparsed program"] == "memory"
+    for label in ("different extents", "different grid", "no locality search"):
+        assert "miss" in outcomes[label]

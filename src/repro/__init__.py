@@ -42,6 +42,7 @@ __all__ = [
 ]
 
 # secondary public surface (stable import points for library users)
+from repro.runtime.plan_cache import PlanCache
 from repro.engine.executor import evaluate_expression, random_inputs, run_statements
 from repro.engine.counters import Counters
 from repro.expr.parser import parse_program
@@ -51,6 +52,7 @@ from repro.opmin.schedule import schedule_statements
 from repro.validate import verify_result
 
 __all__ += [
+    "PlanCache",
     "evaluate_expression",
     "random_inputs",
     "run_statements",

@@ -173,6 +173,24 @@ def build_parser() -> argparse.ArgumentParser:
         "'drop:0,3', 'drop:0x5' (5 attempts), 'crash:1', or "
         "'drop:0;crash:2'",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("local", "process"),
+        default="local",
+        help="with --run and a grid: SPMD execution backend -- 'local' "
+        "(in-process lock-step driver) or 'process' (worker OS "
+        "processes, bit-identical results)",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=None,
+        help="with --backend process: worker process count "
+        "(default: one per rank)",
+    )
+    parser.add_argument(
+        "--plan-cache", metavar="DIR", default=None,
+        help="content-addressed synthesis cache directory: reuse the "
+        "complete plan when program + config + version match",
+    )
     return parser
 
 
@@ -227,8 +245,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         sparse_execution=not args.no_sparse_exec,
         budget=budget,
     )
+    cache = None
+    if args.plan_cache is not None:
+        from repro.runtime.plan_cache import PlanCache
+
+        cache = PlanCache(directory=args.plan_cache)
     try:
-        result = synthesize(source, config)
+        result = synthesize(source, config, cache=cache)
     except BudgetExceeded as exc:
         return _fail(exc, EXIT_BUDGET)
     except ParseError as exc:
@@ -274,13 +297,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 handle.write("\n")
         print(f"wrote SPMD program(s) to {args.emit_spmd}")
     if args.run:
-        rc = _run_and_validate(result, faults, args.checkpoint_dir)
+        rc = _run_and_validate(
+            result, faults, args.checkpoint_dir,
+            backend=args.backend, procs=args.procs,
+        )
         if rc:
             return rc
     return 0
 
 
-def _run_and_validate(result, faults, checkpoint_dir) -> int:
+def _run_and_validate(
+    result, faults, checkpoint_dir, *, backend="local", procs=None
+) -> int:
     """Execute the synthesis result on deterministic random inputs and
     compare against the reference einsum executor; 0 on success."""
     import numpy as np
@@ -314,7 +342,11 @@ def _run_and_validate(result, faults, checkpoint_dir) -> int:
                 )
         print("run: outputs match the reference executor")
         if result.partition_plans:
-            out = result.run_parallel(inputs, faults=faults)
+            out = result.run_parallel(
+                inputs, faults=faults, backend=backend, procs=procs
+            )
+            for note in result.last_run_notes:
+                print(f"warning: {note}", file=sys.stderr)
             for stmt in program.statements:
                 name = stmt.result.name
                 if name not in out:

@@ -13,21 +13,23 @@ to tight tolerances (scalar loops).
 
 from __future__ import annotations
 
-import string
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.expr.ast import Statement, TensorRef
 from repro.expr.canonical import flatten
-from repro.expr.indices import Bindings, Index
+from repro.expr.indices import Bindings, Index, einsum_letters
 
 
 def _letters_for(indices: Sequence[Index]) -> Dict[Index, str]:
-    table = {}
-    for k, idx in enumerate(sorted(set(indices))):
-        table[idx] = string.ascii_letters[k]
-    return table
+    """Label table for one statement's einsum calls.
+
+    Delegates to the shared :func:`repro.expr.indices.einsum_letters`
+    so statements with more than 52 distinct indices raise the same
+    explicit :class:`ValueError` as the reference executor.
+    """
+    return einsum_letters(sorted(set(indices)))
 
 
 def generate_numpy_source(

@@ -18,14 +18,13 @@ Conventions
 
 from __future__ import annotations
 
-import string
 from typing import Callable, Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.expr.ast import Add, Expr, Mul, Program, Statement, Sum, TensorRef
 from repro.expr.canonical import flatten
-from repro.expr.indices import Bindings, Index
+from repro.expr.indices import Bindings, Index, einsum_letters
 from repro.robustness.errors import SpecError
 
 #: Signature of a function-tensor implementation: called with integer
@@ -45,10 +44,8 @@ def _materialize_function(
 
 
 def _einsum_letters(indices: Sequence[Index]) -> Dict[Index, str]:
-    letters = string.ascii_letters
-    if len(indices) > len(letters):
-        raise ValueError("too many distinct indices for einsum labels")
-    return {idx: letters[k] for k, idx in enumerate(indices)}
+    """Shared label table (see :func:`repro.expr.indices.einsum_letters`)."""
+    return einsum_letters(indices)
 
 
 def evaluate_expression(

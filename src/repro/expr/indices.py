@@ -15,8 +15,9 @@ concrete integer -- so the same program can be analyzed at paper scale
 
 from __future__ import annotations
 
+import string
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 #: Mapping from range name to concrete extent, e.g. ``{"V": 3000, "O": 100}``.
 Bindings = Mapping[str, int]
@@ -115,3 +116,23 @@ def total_extent(indices: Iterable[Index], bindings: Optional[Bindings] = None) 
 def make_indices(names: Iterable[str], rng: IndexRange) -> Dict[str, Index]:
     """Create a name->Index mapping for several indices over one range."""
     return {name: Index(name, rng) for name in names}
+
+
+def einsum_letters(indices: Sequence[Index]) -> Dict[Index, str]:
+    """Assign each index a distinct ``numpy.einsum`` subscript letter.
+
+    The shared label table of every einsum-emitting backend
+    (:mod:`repro.engine.executor`, :mod:`repro.codegen.npgen`).  einsum
+    subscripts only have ``a-zA-Z`` available, so a statement touching
+    more than 52 distinct indices cannot be expressed; that limit is
+    checked here so all backends fail with the same explicit
+    :class:`ValueError` instead of a raw ``IndexError`` from the letter
+    lookup.
+    """
+    letters = string.ascii_letters
+    if len(indices) > len(letters):
+        raise ValueError(
+            f"too many distinct indices for einsum labels "
+            f"({len(indices)} > {len(letters)} available subscripts)"
+        )
+    return {idx: letters[k] for k, idx in enumerate(indices)}

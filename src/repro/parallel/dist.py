@@ -35,6 +35,15 @@ class _Marker:
     def __repr__(self) -> str:
         return self.text
 
+    def __reduce__(self):
+        # markers are compared by identity (``e is SINGLE``): pickling
+        # and deepcopy must revive the module singletons, not clones
+        return (_marker, (self.text,))
+
+
+def _marker(text: str) -> "_Marker":
+    return REPLICATED if text == "*" else SINGLE
+
 
 #: Replication marker (the paper's ``*``).
 REPLICATED = _Marker("*")

@@ -63,6 +63,35 @@ class PartitionPlan:
     states_evaluated: int
     bindings: Optional[Bindings] = None
 
+    # The per-node tables are keyed by ``id(node)``, which does not
+    # survive serialization: unpickling (or deep-copying) the tree
+    # creates fresh objects with fresh ids.  Re-key the tables by the
+    # node's position in the deterministic pre-order walk of ``root``
+    # while serialized, and rebuild the id keys against the new tree on
+    # the way back in.  This is what makes partition plans (and hence
+    # whole synthesis results) storable in the on-disk plan cache.
+
+    def __getstate__(self) -> Dict[str, object]:
+        pos = {id(n): k for k, n in enumerate(self.root.walk())}
+        state = self.__dict__.copy()
+        for table in ("dist", "gamma", "sum_option"):
+            state[table] = {
+                pos[node_id]: value
+                for node_id, value in getattr(self, table).items()
+                if node_id in pos
+            }
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        nodes = list(self.root.walk())
+        for table in ("dist", "gamma", "sum_option"):
+            setattr(
+                self,
+                table,
+                {id(nodes[k]): v for k, v in state[table].items()},
+            )
+
     def describe(self) -> str:
         lines: List[str] = [f"grid {self.grid}, total cost {self.total_cost:.0f}"]
 

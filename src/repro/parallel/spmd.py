@@ -33,7 +33,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +66,10 @@ class LocalComm:
     and raises :class:`~repro.robustness.errors.CommFailure` when the
     drop schedule outlasts the retry budget.  Fault-free behaviour is
     unchanged.
+
+    ``sleep`` is the backoff delay function (default ``time.sleep``);
+    tests inject a recorder so nonzero ``retry_backoff`` schedules can
+    be asserted without wall-clock sleeping.
     """
 
     def __init__(
@@ -74,11 +78,13 @@ class LocalComm:
         faults: Optional[FaultSchedule] = None,
         max_retries: int = 3,
         retry_backoff: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.grid = grid
         self.faults = faults
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.sleep = sleep
         self._mail: Dict[Tuple[Rank, str], List] = {}
         self.sent_elements: Dict[Rank, int] = {r: 0 for r in grid.ranks()}
         self.received_elements: Dict[Rank, int] = {
@@ -100,7 +106,7 @@ class LocalComm:
             if attempt:
                 self.retries += 1
                 if self.retry_backoff > 0.0:
-                    time.sleep(self.retry_backoff * attempt)
+                    self.sleep(self.retry_backoff * attempt)
             self.sent_elements[source] += size
             if self.faults is not None and self.faults.should_drop(
                 ordinal, attempt
@@ -122,6 +128,13 @@ class LocalComm:
 
     def recv_all(self, dest: Rank, tag: str) -> List:
         return self._mail.pop((dest, tag), [])
+
+    def drain(self) -> Dict[Tuple[Rank, str], List]:
+        """Take all pending mail (the multi-process router's delivery
+        hook: messages are accounted here, then shipped to workers)."""
+        mail = self._mail
+        self._mail = {}
+        return mail
 
     @property
     def total_traffic(self) -> int:
@@ -494,6 +507,7 @@ def run_spmd(
     max_retries: int = 3,
     max_restarts: int = 3,
     retry_backoff: float = 0.0,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> SpmdRun:
     """Generate, compile, and execute the rank program on all ranks.
 
@@ -520,7 +534,7 @@ def run_spmd(
     while True:
         comm = LocalComm(
             grid, faults=faults, max_retries=max_retries,
-            retry_backoff=retry_backoff,
+            retry_backoff=retry_backoff, sleep=sleep,
         )
         states: Dict[Rank, Dict] = {r: {} for r in grid.ranks()}
         gens = {
@@ -576,6 +590,9 @@ def run_spmd_sequence(
     faults: Optional[FaultSchedule] = None,
     max_retries: int = 3,
     max_restarts: int = 3,
+    backend: str = "local",
+    procs: Optional[int] = None,
+    pool=None,
 ) -> SpmdSequenceRun:
     """Execute a whole-sequence plan (:func:`repro.parallel.program_plan.
     plan_sequence`) as a series of generated SPMD programs.
@@ -588,14 +605,48 @@ def run_spmd_sequence(
 
     ``faults`` applies to *every* statement's program (drop ordinals
     and crash supersteps restart per statement).
+
+    ``backend`` selects the driver: ``"local"`` is the in-process
+    lock-step driver (:func:`run_spmd`); ``"process"`` runs every rank
+    in a worker OS process (:mod:`repro.runtime.process`) with at most
+    ``procs`` workers, reusing one worker ``pool`` across the sequence
+    when given.
     """
+    if backend not in ("local", "process"):
+        raise ValueError(
+            f"unknown SPMD backend {backend!r} (use 'local' or 'process')"
+        )
+    run_one = run_spmd
+    owned_pool = None
+    if backend == "process":
+        from repro.runtime.process import SpmdProcessPool, run_spmd_process
+
+        if pool is None and seq_plan.plans:
+            grid_size = seq_plan.plans[0][1].grid.size
+            pool = owned_pool = SpmdProcessPool(procs or grid_size)
+
+        def run_one(plan, arrays, **kw):
+            return run_spmd_process(plan, arrays, pool=pool, procs=procs, **kw)
+
     declared = {s.result.name: tuple(s.result.indices) for s in statements}
-    arrays: Dict[str, np.ndarray] = dict(inputs)
+    try:
+        return _run_sequence(
+            seq_plan, run_one, dict(inputs), declared,
+            faults, max_retries, max_restarts,
+        )
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
+
+
+def _run_sequence(
+    seq_plan, run_one, arrays, declared, faults, max_retries, max_restarts,
+) -> SpmdSequenceRun:
     runs: List[Tuple[str, SpmdRun]] = []
     traffic = 0
     steps = 0
     for name, plan in seq_plan.plans:
-        run = run_spmd(
+        run = run_one(
             plan, arrays, faults=faults, max_retries=max_retries,
             max_restarts=max_restarts,
         )

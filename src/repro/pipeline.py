@@ -111,6 +111,11 @@ class SynthesisResult:
     #: the budget tracker that drove the run (None without a budget);
     #: its ``degradations`` list which stages fell back and why
     budget_tracker: Optional[BudgetTracker] = None
+    #: per-statement notes from the most recent :meth:`run_parallel`
+    #: call: statements that could not run distributed (no partition
+    #: plan, or they materialize function tensors) are listed here so
+    #: callers know exactly what executed where
+    last_run_notes: List[str] = field(default_factory=list)
 
     @property
     def degraded_stages(self) -> List[str]:
@@ -211,13 +216,23 @@ class SynthesisResult:
         faults=None,
         max_retries: int = 3,
         max_restarts: int = 3,
+        backend: str = "local",
+        procs: Optional[int] = None,
     ) -> Dict[str, np.ndarray]:
-        """Execute the generated SPMD programs for the whole sequence on
-        the in-process lock-step driver; returns produced arrays.
+        """Execute the generated SPMD programs for the whole sequence;
+        returns produced arrays.
+
+        ``backend`` selects the SPMD driver: ``"local"`` advances every
+        rank in-process in lock step; ``"process"`` runs the same
+        generated rank programs across worker OS processes
+        (:mod:`repro.runtime.process`, at most ``procs`` workers, one
+        pool shared across the sequence) with bit-identical results.
 
         Statements without partition plans (multi-term combines kept
         data-local) and statements materializing primitive functions are
-        evaluated in place between the SPMD runs.
+        evaluated in place between the SPMD runs; each such statement is
+        recorded in :attr:`last_run_notes` so callers can tell which
+        statements actually ran distributed.
 
         ``faults`` (a :class:`~repro.robustness.faults.FaultSchedule`)
         injects message drops and rank crashes into every statement's
@@ -226,43 +241,113 @@ class SynthesisResult:
         """
         if not self.partition_plans:
             raise ValueError("no partition plans: configure a grid first")
+        if backend not in ("local", "process"):
+            raise ValueError(
+                f"unknown SPMD backend {backend!r} "
+                "(use 'local' or 'process')"
+            )
         from repro.engine.executor import run_statements as run_local
         from repro.parallel.program_plan import SequencePlan
         from repro.parallel.spmd import run_spmd_sequence
 
+        pool = None
+        if backend == "process":
+            from repro.runtime.process import SpmdProcessPool
+
+            grid_size = next(
+                iter(self.partition_plans.values())
+            ).grid.size
+            pool = SpmdProcessPool(max(1, min(procs or grid_size, grid_size)))
+
+        notes: List[str] = []
         arrays: Dict[str, np.ndarray] = dict(inputs)
-        for stmt in self.statements:
-            name = stmt.result.name
-            plan = self.partition_plans.get(name)
-            uses_functions = any(
-                ref.tensor.is_function for ref in stmt.expr.refs()
-            )
-            if plan is None or uses_functions:
-                arrays = run_local(
-                    [stmt], arrays, self.config.bindings, functions
+        try:
+            for stmt in self.statements:
+                name = stmt.result.name
+                plan = self.partition_plans.get(name)
+                uses_functions = any(
+                    ref.tensor.is_function for ref in stmt.expr.refs()
                 )
-                continue
-            seq_plan = SequencePlan([(name, plan)], plan.total_cost)
-            out = run_spmd_sequence(
-                [stmt], seq_plan, arrays, faults=faults,
-                max_retries=max_retries, max_restarts=max_restarts,
-            )
-            arrays.update(out.arrays)
+                if plan is None or uses_functions:
+                    reason = (
+                        "materializes function tensors"
+                        if uses_functions
+                        else "no partition plan "
+                        "(multi-term combine kept data-local)"
+                    )
+                    notes.append(f"{name}: executed locally -- {reason}")
+                    arrays = run_local(
+                        [stmt], arrays, self.config.bindings, functions
+                    )
+                    continue
+                seq_plan = SequencePlan([(name, plan)], plan.total_cost)
+                out = run_spmd_sequence(
+                    [stmt], seq_plan, arrays, faults=faults,
+                    max_retries=max_retries, max_restarts=max_restarts,
+                    backend=backend, procs=procs, pool=pool,
+                )
+                arrays.update(out.arrays)
+        finally:
+            self.last_run_notes = notes
+            if pool is not None:
+                pool.close()
         return arrays
 
 
 def synthesize(
     source: "str | Program",
     config: Optional[SynthesisConfig] = None,
+    *,
+    cache: Optional["PlanCache"] = None,
 ) -> SynthesisResult:
-    """Run the full Fig.-5 pipeline on a program or its source text."""
+    """Run the full Fig.-5 pipeline on a program or its source text.
+
+    With a ``cache`` (:class:`repro.runtime.plan_cache.PlanCache`), the
+    result is memoized under a content-addressed key of the canonical
+    program text, the configuration fingerprint, and the package
+    version; a hit skips every search stage and returns a private copy.
+    Either way a ``"Plan cache"`` stage report records the outcome.
+    """
     config = config or SynthesisConfig()
+    program = (
+        parse_program(source) if isinstance(source, str) else source
+    )
+    if cache is None:
+        return _synthesize_pipeline(program, config)
+
+    from repro.runtime.plan_cache import plan_key
+
+    key = plan_key(program, config)
+    cached = cache.get(key)
+    if cached is not None:
+        result, tier = cached
+        result.reports.append(
+            StageReport(
+                "Plan cache",
+                {"hit": tier, "key": key[:16], "stats": cache.describe()},
+            )
+        )
+        return result
+    result = _synthesize_pipeline(program, config)
+    # store before appending the miss report: cached copies carry only
+    # the pipeline's own reports, and each hit appends its own entry
+    cache.put(key, result)
+    result.reports.append(
+        StageReport(
+            "Plan cache",
+            {"hit": "miss (synthesized and stored)", "key": key[:16]},
+        )
+    )
+    return result
+
+
+def _synthesize_pipeline(
+    program: Program, config: SynthesisConfig
+) -> SynthesisResult:
+    """The uncached six-stage pipeline on a parsed program."""
     bindings = config.bindings
     tracker = (
         config.budget.start() if config.budget is not None else None
-    )
-    program = (
-        parse_program(source) if isinstance(source, str) else source
     )
     reports: List[StageReport] = []
 

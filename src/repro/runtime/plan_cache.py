@@ -1,0 +1,183 @@
+"""Content-addressed caching of synthesis results.
+
+``synthesize()`` chains five search stages, several of them
+worst-case-exponential; in a serving scenario the same specification is
+compiled over and over.  A :class:`PlanCache` memoizes the complete
+:class:`~repro.pipeline.SynthesisResult` under a content-addressed key:
+
+    sha256( package version
+          + configuration fingerprint
+          + canonical program text )
+
+* the **canonical program text** comes from
+  :func:`repro.expr.printer.program_to_source`, so two sources that
+  parse to the same program (whitespace, comments, formatting) share a
+  cache entry;
+* the **configuration fingerprint** enumerates every
+  :class:`~repro.pipeline.SynthesisConfig` field generically (mappings
+  are order-normalized), so *any* config change -- machine model, grid,
+  communication weights, stage toggles, budgets -- yields a different
+  key, and fields added in future versions are picked up automatically;
+* the **package version** invalidates everything on upgrade: a newer
+  compiler may plan differently.
+
+Entries live in a bounded in-memory LRU and, when a ``directory`` is
+given, as pickle files on disk (written atomically; corrupt or
+unreadable files are treated as misses and removed).  Values are stored
+*pickled* even in memory, so every hit returns a private deep copy --
+callers can mutate results freely without poisoning the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import fields
+from typing import Mapping, Optional, Tuple
+
+__all__ = ["PlanCache", "plan_key", "config_fingerprint"]
+
+
+def config_fingerprint(config) -> str:
+    """A deterministic text rendering of every config field.
+
+    Field values render through ``repr`` (the models are frozen
+    dataclasses whose reprs enumerate their fields); mappings such as
+    ``bindings`` are sorted first so iteration order cannot split the
+    cache.
+    """
+    parts = []
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, Mapping):
+            value = ("mapping", tuple(sorted(value.items())))
+        parts.append(f"{f.name}={value!r}")
+    return ";".join(parts)
+
+
+def plan_key(program, config) -> str:
+    """The content-addressed cache key of (program, config, version)."""
+    from repro import __version__
+    from repro.expr.printer import program_to_source
+
+    payload = "\n".join(
+        [__version__, config_fingerprint(config), program_to_source(program)]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PlanCache:
+    """In-memory LRU + optional on-disk store of synthesis results.
+
+    ``maxsize`` bounds the in-memory entry count (least recently used
+    entries are evicted; disk entries are never evicted by the LRU).
+    ``directory`` enables the persistent tier: entries found on disk are
+    promoted back into memory on hit.
+    """
+
+    def __init__(
+        self, maxsize: int = 128, directory: Optional[str] = None
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self.hits = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.plan.pkl")
+
+    def get(self, key: str) -> Optional[Tuple[object, str]]:
+        """``(result, tier)`` for a cached key, else ``None``.
+
+        ``tier`` is ``"memory"`` or ``"disk"``; the returned result is a
+        private copy (unpickled from the stored bytes).
+        """
+        blob = self._memory.get(key)
+        if blob is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            self.memory_hits += 1
+            return pickle.loads(blob), "memory"
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+                result = pickle.loads(blob)
+            except FileNotFoundError:
+                pass
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                # corrupt or stale entry: drop it and treat as a miss
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            else:
+                self._store_memory(key, blob)
+                self.hits += 1
+                self.disk_hits += 1
+                return result, "disk"
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result) -> None:
+        """Store a synthesis result under ``key`` in both tiers."""
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store_memory(key, blob)
+        if self.directory is not None:
+            # atomic publish: never expose a half-written entry
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, suffix=".plan.tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, self._path(key))
+            except OSError:  # pragma: no cover - disk full etc.
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+
+    def _store_memory(self, key: str, blob: bytes) -> None:
+        self._memory[key] = blob
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory tier (and the disk tier with ``disk=True``)."""
+        self._memory.clear()
+        if disk and self.directory is not None:
+            for entry in os.listdir(self.directory):
+                if entry.endswith(".plan.pkl"):
+                    try:
+                        os.remove(os.path.join(self.directory, entry))
+                    except OSError:
+                        pass
+
+    def describe(self) -> str:
+        tiers = f"memory[{len(self._memory)}/{self.maxsize}]"
+        if self.directory is not None:
+            tiers += f" + disk[{self.directory}]"
+        return (
+            f"PlanCache({tiers}): {self.hits} hits "
+            f"({self.memory_hits} memory, {self.disk_hits} disk), "
+            f"{self.misses} misses, {self.evictions} evictions"
+        )

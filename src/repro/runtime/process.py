@@ -1,0 +1,420 @@
+"""Multi-process SPMD execution of generated rank programs.
+
+The in-process driver (:func:`repro.parallel.spmd.run_spmd`) advances
+every rank's generator in one interpreter -- correct, countable, but
+serial.  This module runs the *same generated source* across worker OS
+processes, the way the paper's target machines run one MPI rank per
+processor:
+
+* each worker process executes one or more ranks (round-robin when the
+  grid is larger than the worker count), advancing each rank's program
+  generator one superstep at a time;
+* a bulk-synchronous **router** in the calling process implements the
+  superstep barrier: per superstep it issues one ``go`` to every
+  worker, collects their outboxes, accounts every cross-rank message
+  through a :class:`~repro.parallel.spmd.LocalComm` (so traffic
+  counters, :class:`~repro.robustness.faults.FaultSchedule` drops,
+  bounded retry with backoff, and :class:`~repro.robustness.errors.
+  CommFailure` semantics are *identical* to the in-process driver), and
+  ships each rank's inbox with the next ``go``;
+* an injected rank crash aborts the superstep loop and restarts the
+  statement on the same workers from the original inputs (inputs are
+  never mutated, so the rerun is bit-identical), mirroring
+  ``run_spmd``'s statement-restart recovery.
+
+Determinism: messages are ordered by the sender's grid-rank position
+(stable within a rank), which is exactly the ordinal order the
+in-process lock-step driver produces; result blocks are assembled in
+grid-rank order.  The process backend is therefore cross-validated
+**bit-for-bit** against ``run_spmd`` in the test suite.
+
+Workers hold no state between statements beyond their process: a
+``load`` command replaces program, inputs, and mailboxes, so one
+:class:`SpmdProcessPool` amortizes process startup across a whole
+formula sequence (and across repeated executions).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel.partition import PartitionPlan
+from repro.parallel.spmd import (
+    LocalComm,
+    SpmdRun,
+    SpmdSequenceRun,
+    generate_spmd_source,
+)
+from repro.parallel.spmd_runtime import paste
+from repro.robustness.errors import CommFailure, InjectedFault
+from repro.robustness.faults import FaultSchedule
+
+Rank = Tuple[int, ...]
+
+#: worker -> router message kinds: ("loaded",) | ("step", outbox, n_done)
+#: | ("restarted",) | ("results", {rank: (box, blk)}) | ("error", text)
+#: router -> worker: ("load", source, fname, ranks, arrays) |
+#: ("go", inbox) | ("restart",) | ("collect",) | ("stop",)
+
+
+class _RankComm:
+    """Worker-side communicator for one rank.
+
+    Same-rank handoffs stay local (free, uncounted -- exactly like
+    ``LocalComm``); cross-rank sends are buffered into an outbox the
+    worker ships to the router at the superstep barrier.  Inbound
+    messages arrive via :meth:`push` with the next superstep's ``go``.
+    """
+
+    def __init__(self, rank: Rank) -> None:
+        self.rank = rank
+        self._mail: Dict[str, List] = {}
+        self._outbox: List[Tuple[Rank, Rank, str, object]] = []
+
+    def send(self, source: Rank, dest: Rank, tag: str, payload) -> None:
+        if source == dest:
+            self._mail.setdefault(tag, []).append(payload)
+        else:
+            self._outbox.append((source, dest, tag, payload))
+
+    def recv_all(self, dest: Rank, tag: str) -> List:
+        return self._mail.pop(tag, [])
+
+    def push(self, tag: str, payload) -> None:
+        self._mail.setdefault(tag, []).append(payload)
+
+    def drain(self) -> List[Tuple[Rank, Rank, str, object]]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+
+def _fresh_programs(program, ranks, arrays):
+    """(comms, states, gens, live) for a (re)start from the inputs."""
+    comms = {r: _RankComm(r) for r in ranks}
+    states = {r: {} for r in ranks}
+    gens = {r: program(r, comms[r], arrays, states[r]) for r in ranks}
+    return comms, states, gens, set(ranks)
+
+
+def _worker_main(conn) -> None:
+    """Entry point of one worker process (see module docstring)."""
+    program = None
+    arrays = None
+    ranks: List[Rank] = []
+    comms: Dict[Rank, _RankComm] = {}
+    states: Dict[Rank, Dict] = {}
+    gens: Dict[Rank, object] = {}
+    live: set = set()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            kind = msg[0]
+            try:
+                if kind == "load":
+                    _, source, fname, ranks, arrays = msg
+                    namespace: Dict[str, object] = {}
+                    exec(
+                        compile(source, "<spmd rank program>", "exec"),
+                        namespace,
+                    )
+                    program = namespace[fname]
+                    comms, states, gens, live = _fresh_programs(
+                        program, ranks, arrays
+                    )
+                    conn.send(("loaded",))
+                elif kind == "go":
+                    for dest, tag, payload in msg[1]:
+                        comms[dest].push(tag, payload)
+                    outbox: List = []
+                    n_done = 0
+                    for rank in ranks:
+                        if rank not in live:
+                            continue
+                        try:
+                            next(gens[rank])
+                        except StopIteration:
+                            live.discard(rank)
+                            n_done += 1
+                        outbox.extend(comms[rank].drain())
+                    conn.send(("step", outbox, n_done))
+                elif kind == "restart":
+                    comms, states, gens, live = _fresh_programs(
+                        program, ranks, arrays
+                    )
+                    conn.send(("restarted",))
+                elif kind == "collect":
+                    conn.send(
+                        (
+                            "results",
+                            {
+                                r: states[r].get("__result__", (None, None))
+                                for r in ranks
+                            },
+                        )
+                    )
+                elif kind == "stop":
+                    break
+                else:
+                    conn.send(("error", f"unknown command {kind!r}"))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class SpmdProcessPool:
+    """A persistent pool of SPMD worker processes.
+
+    Workers are started lazily (at most ``procs``) and reused across
+    statements and runs; ``close`` (or use as a context manager) shuts
+    them down.  Uses the ``fork`` start method where available (cheap,
+    inherits the loaded package) and falls back to ``spawn``.
+    """
+
+    def __init__(self, procs: int, context=None) -> None:
+        if procs < 1:
+            raise ValueError(f"need at least one worker process, got {procs}")
+        self.procs = procs
+        if context is None:
+            methods = mp.get_all_start_methods()
+            context = mp.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+        self._ctx = context
+        self._workers: List[Tuple[object, object]] = []  # (Process, Conn)
+        self._broken = False
+
+    def workers(self, n: int) -> List[Tuple[object, object]]:
+        """At least ``n`` running workers (capped at ``procs``)."""
+        if self._broken:
+            raise CommFailure(
+                "worker pool is broken (a worker died mid-protocol); "
+                "create a fresh SpmdProcessPool",
+                stage="spmd-process",
+            )
+        n = min(n, self.procs)
+        while len(self._workers) < n:
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+        return self._workers[:n]
+
+    def mark_broken(self) -> None:
+        self._broken = True
+
+    def close(self) -> None:
+        for proc, conn in self._workers:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for proc, conn in self._workers:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._workers = []
+
+    def __enter__(self) -> "SpmdProcessPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _recv(pool: SpmdProcessPool, conn):
+    """Receive one worker reply, surfacing worker-side failures."""
+    try:
+        reply = conn.recv()
+    except EOFError:  # pragma: no cover - worker died
+        pool.mark_broken()
+        raise CommFailure(
+            "SPMD worker process exited unexpectedly", stage="spmd-process"
+        ) from None
+    if reply[0] == "error":
+        raise CommFailure(
+            f"SPMD worker failed:\n{reply[1]}", stage="spmd-process"
+        )
+    return reply
+
+
+def run_spmd_process(
+    plan: PartitionPlan,
+    inputs,
+    name: str = "rank_program",
+    faults: Optional[FaultSchedule] = None,
+    max_retries: int = 3,
+    max_restarts: int = 3,
+    retry_backoff: float = 0.0,
+    sleep: Callable[[float], None] = time.sleep,
+    procs: Optional[int] = None,
+    pool: Optional[SpmdProcessPool] = None,
+) -> SpmdRun:
+    """Execute a partition plan's rank programs across worker processes.
+
+    Drop-in replacement for :func:`repro.parallel.spmd.run_spmd` with
+    the same fault-injection, retry, and restart semantics; returns the
+    same :class:`~repro.parallel.spmd.SpmdRun` (the ``comm`` carries the
+    router's traffic counters, which equal the in-process driver's).
+
+    ``procs`` bounds the worker count (default: one per rank); ``pool``
+    reuses an existing :class:`SpmdProcessPool` so callers executing a
+    sequence pay process startup once.
+    """
+    source = generate_spmd_source(plan, name)
+    grid = plan.grid
+    ranks = list(grid.ranks())
+    nworkers = max(1, min(procs or len(ranks), len(ranks)))
+    owned = pool is None
+    if pool is None:
+        pool = SpmdProcessPool(nworkers)
+    try:
+        return _drive(
+            pool, nworkers, plan, source, name, ranks, inputs,
+            faults, max_retries, max_restarts, retry_backoff, sleep,
+        )
+    finally:
+        if owned:
+            pool.close()
+
+
+def _drive(
+    pool: SpmdProcessPool,
+    nworkers: int,
+    plan: PartitionPlan,
+    source: str,
+    name: str,
+    ranks: List[Rank],
+    inputs,
+    faults: Optional[FaultSchedule],
+    max_retries: int,
+    max_restarts: int,
+    retry_backoff: float,
+    sleep: Callable[[float], None],
+) -> SpmdRun:
+    grid = plan.grid
+    workers = pool.workers(nworkers)
+    nworkers = len(workers)
+    assignment = [ranks[w::nworkers] for w in range(nworkers)]
+    worker_of = {r: w for w, rs in enumerate(assignment) for r in rs}
+    rank_pos = {r: k for k, r in enumerate(ranks)}
+
+    arrays = dict(inputs)
+    for w, (_, conn) in enumerate(workers):
+        conn.send(("load", source, name, assignment[w], arrays))
+    for _, conn in workers:
+        _recv(pool, conn)  # "loaded"
+
+    restarts = 0
+    fired_crashes: set = set()
+    supersteps = 0
+    while True:
+        comm = LocalComm(
+            grid, faults=faults, max_retries=max_retries,
+            retry_backoff=retry_backoff, sleep=sleep,
+        )
+        supersteps = 0
+        live = len(ranks)
+        inboxes: List[List] = [[] for _ in workers]
+        try:
+            while live:
+                # mirror run_spmd: a scheduled crash fires at the start
+                # of the superstep, before any rank advances
+                if (
+                    faults is not None
+                    and supersteps in faults.crash_supersteps
+                    and supersteps not in fired_crashes
+                ):
+                    fired_crashes.add(supersteps)
+                    raise InjectedFault(
+                        f"rank crash injected at superstep {supersteps}",
+                        stage="spmd",
+                    )
+                for w, (_, conn) in enumerate(workers):
+                    conn.send(("go", inboxes[w]))
+                outboxes: List[List] = []
+                for _, conn in workers:
+                    reply = _recv(pool, conn)  # ("step", outbox, n_done)
+                    outboxes.append(reply[1])
+                    live -= reply[2]
+                supersteps += 1
+                # account and route: global ordinal order is by sender's
+                # grid-rank position (stable within one rank's sends),
+                # exactly the in-process lock-step driver's order
+                messages = [m for outbox in outboxes for m in outbox]
+                messages.sort(key=lambda m: rank_pos[m[0]])
+                for source_rank, dest, tag, payload in messages:
+                    comm.send(source_rank, dest, tag, payload)
+                inboxes = [[] for _ in workers]
+                for (dest, tag), payloads in comm.drain().items():
+                    box = inboxes[worker_of[dest]]
+                    for payload in payloads:
+                        box.append((dest, tag, payload))
+            break
+        except InjectedFault:
+            restarts += 1
+            if restarts > max_restarts:
+                raise CommFailure(
+                    f"execution did not complete within {max_restarts} "
+                    "restarts",
+                    stage="spmd",
+                ) from None
+            for _, conn in workers:
+                conn.send(("restart",))
+            for _, conn in workers:
+                _recv(pool, conn)  # "restarted"
+
+    for _, conn in workers:
+        conn.send(("collect",))
+    results: Dict[Rank, Tuple] = {}
+    for _, conn in workers:
+        results.update(_recv(pool, conn)[1])
+
+    indices = tuple(plan.root.indices)
+    shape = tuple(i.extent(plan.bindings) for i in indices)
+    out = np.zeros(shape)
+    whole = tuple((0, n) for n in shape)
+    for rank in ranks:
+        box, blk = results.get(rank, (None, None))
+        if box is not None:
+            paste(out, whole, box, blk)
+    return SpmdRun(out, comm, source, supersteps, restarts)
+
+
+def run_spmd_sequence_process(
+    statements,
+    seq_plan,
+    inputs,
+    faults: Optional[FaultSchedule] = None,
+    max_retries: int = 3,
+    max_restarts: int = 3,
+    procs: Optional[int] = None,
+    pool: Optional[SpmdProcessPool] = None,
+) -> SpmdSequenceRun:
+    """Process-backend twin of :func:`repro.parallel.spmd.
+    run_spmd_sequence`: every statement's rank programs run on one
+    shared worker pool."""
+    from repro.parallel.spmd import run_spmd_sequence
+
+    return run_spmd_sequence(
+        statements, seq_plan, inputs, faults=faults,
+        max_retries=max_retries, max_restarts=max_restarts,
+        backend="process", procs=procs, pool=pool,
+    )

@@ -213,3 +213,60 @@ class TestRun:
         assert "match the reference executor" in capsys.readouterr().out
         # checkpoint is cleared after a successful run
         assert not (ckpt / "checkpoint.pkl").exists()
+
+
+class TestProcessBackend:
+    def test_run_with_process_backend(self, small_file, capsys):
+        rc = main([
+            small_file, "--no-cache-opt", "--grid", "2", "--run",
+            "--backend", "process", "--procs", "2",
+        ])
+        assert rc == 0
+        assert "parallel outputs match" in capsys.readouterr().out
+
+    def test_process_backend_recovers_faults(self, small_file, capsys):
+        rc = main([
+            small_file, "--no-cache-opt", "--grid", "2", "--run",
+            "--backend", "process", "--inject-fault", "drop:0;crash:1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "injected faults recovered" in out
+
+    def test_local_fallback_warning_on_stderr(self, tmp_path, capsys):
+        path = tmp_path / "mixed.tce"
+        path.write_text("""
+        range N = 4;
+        index a, b, c : N;
+        tensor A(a, b); tensor B(b, c); tensor G(a, c);
+        R(a, c) = sum(b) A(a, b) * B(b, c) + G(a, c);
+        """)
+        rc = main([str(path), "--no-cache-opt", "--grid", "2", "--run"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "executed locally" in err
+
+
+class TestPlanCacheFlag:
+    def test_cold_then_warm(self, small_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "plans")
+        rc = main([small_file, "--no-cache-opt", "--plan-cache", cache_dir])
+        assert rc == 0
+        assert "miss" in capsys.readouterr().out
+        rc = main([small_file, "--no-cache-opt", "--plan-cache", cache_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Plan cache" in out and "disk" in out
+
+    def test_cached_plan_still_runs(self, small_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "plans")
+        args = [
+            small_file, "--no-cache-opt", "--grid", "2",
+            "--plan-cache", cache_dir, "--run",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0  # warm: revived result must execute
+        out = capsys.readouterr().out
+        assert "disk" in out
+        assert "parallel outputs match" in out

@@ -93,3 +93,38 @@ class TestNumpyBackend:
         for k in arrays:
             np.testing.assert_array_equal(arrays[k], before[k])
         assert "S" not in arrays  # the caller's dict is untouched
+
+
+class TestLetterGuard:
+    """Regression: ``_letters_for`` used to fall off the end of the
+    letter alphabet with a raw IndexError; both einsum backends now
+    share the :func:`repro.expr.indices.einsum_letters` guard."""
+
+    def _many_indices(self, n):
+        from repro.expr.indices import Index, IndexRange
+
+        rng = IndexRange("N", 2)
+        return [Index(f"x{k:03d}", rng) for k in range(n)]
+
+    def test_npgen_raises_value_error_not_index_error(self):
+        from repro.codegen.npgen import _letters_for
+
+        with pytest.raises(ValueError, match="too many distinct indices"):
+            _letters_for(self._many_indices(53))
+
+    def test_executor_path_raises_the_same_error(self):
+        from repro.codegen.npgen import _letters_for
+        from repro.engine.executor import _einsum_letters
+
+        indices = self._many_indices(60)
+        with pytest.raises(ValueError) as np_err:
+            _letters_for(indices)
+        with pytest.raises(ValueError) as ex_err:
+            _einsum_letters(indices)
+        assert str(np_err.value) == str(ex_err.value)
+
+    def test_at_capacity_still_works(self):
+        from repro.codegen.npgen import _letters_for
+
+        table = _letters_for(self._many_indices(52))
+        assert len(set(table.values())) == 52

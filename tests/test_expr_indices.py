@@ -89,3 +89,28 @@ class TestMakeIndices:
         table = make_indices("abc", rng_v)
         assert set(table) == {"a", "b", "c"}
         assert all(i.range == rng_v for i in table.values())
+
+
+class TestEinsumLetters:
+    def test_distinct_letters(self, rng_v):
+        from repro.expr.indices import einsum_letters
+
+        indices = [Index(f"x{k}", rng_v) for k in range(10)]
+        table = einsum_letters(indices)
+        assert len(set(table.values())) == 10
+        assert all(len(ch) == 1 and ch.isalpha() for ch in table.values())
+
+    def test_too_many_indices_is_a_value_error(self, rng_v):
+        """Shared guard for both einsum backends: 52 subscript letters
+        exist, the 53rd index must raise an informative ValueError."""
+        from repro.expr.indices import einsum_letters
+
+        indices = [Index(f"x{k}", rng_v) for k in range(53)]
+        with pytest.raises(ValueError, match="too many distinct indices"):
+            einsum_letters(indices)
+
+    def test_52_indices_is_the_boundary(self, rng_v):
+        from repro.expr.indices import einsum_letters
+
+        indices = [Index(f"x{k}", rng_v) for k in range(52)]
+        assert len(einsum_letters(indices)) == 52

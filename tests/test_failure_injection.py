@@ -249,3 +249,43 @@ class TestFaultTolerantSpmd:
         faults = FaultSchedule(crash_supersteps=(0, 1, 2, 3, 4, 5))
         with pytest.raises(CommFailure, match="restart"):
             run_spmd(plan, arrays, faults=faults, max_restarts=2)
+
+
+class TestRetryBackoff:
+    """The communicator's backoff delay is injectable, so schedules can
+    be asserted without wall-clock sleeping."""
+
+    def test_backoff_sequence_recorded(self):
+        from repro.parallel.dist import Distribution, SINGLE
+        from repro.parallel.partition import canonical_plan
+
+        prog = matmul()
+        tree = expression_to_ptree(prog.statements[0].expr)
+        plan = canonical_plan(
+            tree, ProcessorGrid((2,)), result_dist=Distribution((SINGLE,))
+        )
+        arrays = random_inputs(prog, seed=0)
+        delays = []
+        faults = FaultSchedule(drop_messages=(0,), drop_attempts=2)
+        run = run_spmd(
+            plan, arrays, faults=faults,
+            retry_backoff=0.5, sleep=delays.append,
+        )
+        # message 0 dropped twice: retry 1 sleeps 0.5s, retry 2 sleeps 1.0s
+        assert delays == [0.5, 1.0]
+        assert run.comm.retries == 2
+
+    def test_zero_backoff_never_sleeps(self):
+        from repro.parallel.dist import Distribution, SINGLE
+        from repro.parallel.partition import canonical_plan
+
+        prog = matmul()
+        tree = expression_to_ptree(prog.statements[0].expr)
+        plan = canonical_plan(
+            tree, ProcessorGrid((2,)), result_dist=Distribution((SINGLE,))
+        )
+        arrays = random_inputs(prog, seed=0)
+        delays = []
+        faults = FaultSchedule(drop_messages=(0,), drop_attempts=1)
+        run_spmd(plan, arrays, faults=faults, sleep=delays.append)
+        assert delays == []

@@ -13,6 +13,7 @@ from repro import (
 )
 from repro.engine.counters import Counters
 from repro.engine.executor import evaluate_expression, random_inputs, run_statements
+from repro.expr.parser import parse_program
 from repro.chem.a3a import a3a_problem
 from repro.chem.workloads import ccsd_like_program, fig1_program
 
@@ -198,3 +199,51 @@ class TestCounters:
             r for r in fig1_result.reports if r.name == "Code generation"
         )
         assert counters.total_ops == codegen.details["operation count"]
+
+
+class TestRunParallelNotes:
+    """Statements that cannot run distributed are reported, not silent."""
+
+    def test_mixed_sequence_notes_local_statements(self):
+        from repro.chem.workloads import ccsd_like_program
+        from repro.engine.executor import random_inputs, run_statements
+
+        prog = ccsd_like_program(V=4, O=2)
+        res = synthesize(prog, SynthesisConfig(grid=ProcessorGrid((2,))))
+        # the residual R is a multi-term combine: planned data-local
+        assert "R" not in res.partition_plans
+        assert res.partition_plans  # ...but the chain contractions ran SPMD
+        inputs = random_inputs(prog, seed=0)
+        out = res.run_parallel(inputs)
+        assert any(
+            note.startswith("R: executed locally") for note in res.last_run_notes
+        )
+        assert "multi-term combine" in " ".join(res.last_run_notes)
+        want = run_statements(prog.statements, inputs)
+        np.testing.assert_allclose(out["R"], want["R"], rtol=1e-8)
+
+    def test_fully_planned_sequence_has_no_notes(self):
+        from repro.engine.executor import random_inputs
+
+        prog = parse_program("""
+        range N = 4;
+        index i, j, k : N;
+        tensor A(i, k); tensor B(k, j);
+        C(i, j) = sum(k) A(i, k) * B(k, j);
+        """)
+        res = synthesize(prog, SynthesisConfig(grid=ProcessorGrid((2,))))
+        res.run_parallel(random_inputs(prog, seed=0))
+        assert res.last_run_notes == []
+
+    def test_unknown_backend_rejected(self):
+        from repro.engine.executor import random_inputs
+
+        prog = parse_program("""
+        range N = 4;
+        index i, j, k : N;
+        tensor A(i, k); tensor B(k, j);
+        C(i, j) = sum(k) A(i, k) * B(k, j);
+        """)
+        res = synthesize(prog, SynthesisConfig(grid=ProcessorGrid((2,))))
+        with pytest.raises(ValueError, match="backend"):
+            res.run_parallel(random_inputs(prog, seed=0), backend="mpi")

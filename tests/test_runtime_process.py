@@ -1,0 +1,170 @@
+"""Multi-process SPMD backend: cross-validation against the in-process
+lock-step driver.
+
+The acceptance bar is **bit-for-bit** equality -- same result arrays,
+same traffic counters, same fault-recovery behaviour -- because the
+process backend replays the exact message ordering of the in-process
+driver (see :mod:`repro.runtime.process`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.workloads import ccsd_doubles_program, fig1_formula_sequence
+from repro.engine.executor import random_inputs, run_statements
+from repro.expr.parser import parse_program
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.program_plan import plan_sequence
+from repro.parallel.spmd import run_spmd, run_spmd_sequence
+from repro.pipeline import SynthesisConfig, synthesize
+from repro.robustness.errors import CommFailure
+from repro.robustness.faults import FaultSchedule
+from repro.runtime.process import (
+    SpmdProcessPool,
+    run_spmd_process,
+    run_spmd_sequence_process,
+)
+
+MATMUL = """
+range N = 6;
+index i, j, k : N;
+tensor A(i, k); tensor B(k, j);
+C(i, j) = sum(k) A(i, k) * B(k, j);
+"""
+
+
+def matmul_plan():
+    res = synthesize(MATMUL, SynthesisConfig(grid=ProcessorGrid((2, 2))))
+    inputs = random_inputs(res.program, None, seed=0)
+    return res.partition_plans["C"], inputs, res
+
+
+def assert_comm_equal(a, b):
+    assert a.sent_elements == b.sent_elements
+    assert a.received_elements == b.received_elements
+    assert a.messages == b.messages
+    assert a.dropped == b.dropped
+    assert a.retries == b.retries
+    assert a.total_traffic == b.total_traffic
+
+
+class TestBitForBit:
+    def test_matmul_matches_local_driver(self):
+        plan, inputs, _ = matmul_plan()
+        local = run_spmd(plan, inputs)
+        proc = run_spmd_process(plan, inputs)
+        np.testing.assert_array_equal(local.result, proc.result)
+        assert local.supersteps == proc.supersteps
+        assert_comm_equal(local.comm, proc.comm)
+
+    def test_fewer_workers_than_ranks(self):
+        """Round-robin rank assignment must not change results or
+        traffic (1 and 3 workers for a 4-rank grid)."""
+        plan, inputs, _ = matmul_plan()
+        local = run_spmd(plan, inputs)
+        for procs in (1, 3):
+            proc = run_spmd_process(plan, inputs, procs=procs)
+            np.testing.assert_array_equal(local.result, proc.result)
+            assert_comm_equal(local.comm, proc.comm)
+
+    def test_fig1_sequence_matches_local_driver(self):
+        prog = fig1_formula_sequence(V=4, O=2)
+        grid = ProcessorGrid((2,))
+        seq = plan_sequence(prog.statements, grid)
+        inputs = random_inputs(prog, seed=1)
+        local = run_spmd_sequence(prog.statements, seq, inputs)
+        proc = run_spmd_sequence_process(prog.statements, seq, inputs)
+        for name in local.arrays:
+            np.testing.assert_array_equal(
+                local.arrays[name], proc.arrays[name], err_msg=name
+            )
+        assert local.total_traffic == proc.total_traffic
+        assert local.total_supersteps == proc.total_supersteps
+
+    def test_ccsd_doubles_run_parallel_matches_local(self):
+        prog = ccsd_doubles_program(V=4, O=3)
+        res = synthesize(prog, SynthesisConfig(grid=ProcessorGrid((2,))))
+        inputs = random_inputs(prog, seed=2)
+        local = res.run_parallel(dict(inputs), backend="local")
+        proc = res.run_parallel(dict(inputs), backend="process", procs=2)
+        for name in local:
+            np.testing.assert_array_equal(
+                local[name], proc[name], err_msg=name
+            )
+        want = run_statements(prog.statements, inputs)
+        np.testing.assert_allclose(proc["R"], want["R"], rtol=1e-8)
+
+
+class TestFaultParity:
+    def test_message_drops_recovered_identically(self):
+        plan, inputs, _ = matmul_plan()
+        faults = FaultSchedule(drop_messages=(0, 3), drop_attempts=2)
+        local = run_spmd(plan, inputs, faults=faults)
+        proc = run_spmd_process(plan, inputs, faults=faults)
+        np.testing.assert_array_equal(local.result, proc.result)
+        assert proc.comm.dropped == 4
+        assert proc.comm.retries == 4
+        assert_comm_equal(local.comm, proc.comm)
+
+    def test_rank_crash_restarts_statement(self):
+        plan, inputs, _ = matmul_plan()
+        local = run_spmd(
+            plan, inputs, faults=FaultSchedule(crash_supersteps={2})
+        )
+        proc = run_spmd_process(
+            plan, inputs, faults=FaultSchedule(crash_supersteps={2})
+        )
+        assert local.restarts == proc.restarts == 1
+        np.testing.assert_array_equal(local.result, proc.result)
+        assert_comm_equal(local.comm, proc.comm)
+
+    def test_drops_and_crash_together(self):
+        plan, inputs, _ = matmul_plan()
+        faults = FaultSchedule(drop_messages=(1,), crash_supersteps=(1, 3))
+        local = run_spmd(plan, inputs, faults=faults)
+        proc = run_spmd_process(plan, inputs, faults=faults)
+        assert local.restarts == proc.restarts == 2
+        np.testing.assert_array_equal(local.result, proc.result)
+        assert_comm_equal(local.comm, proc.comm)
+
+    def test_restart_budget_exhaustion_raises(self):
+        plan, inputs, _ = matmul_plan()
+        with pytest.raises(CommFailure, match="restarts"):
+            run_spmd_process(
+                plan,
+                inputs,
+                faults=FaultSchedule(crash_supersteps={0, 1, 2, 3}),
+                max_restarts=2,
+            )
+
+
+class TestPool:
+    def test_pool_reused_across_statements(self):
+        """One pool serves a whole sequence and repeated runs."""
+        plan, inputs, _ = matmul_plan()
+        local = run_spmd(plan, inputs)
+        with SpmdProcessPool(2) as pool:
+            first = run_spmd_process(plan, inputs, pool=pool)
+            second = run_spmd_process(plan, inputs, pool=pool)
+            np.testing.assert_array_equal(local.result, first.result)
+            np.testing.assert_array_equal(local.result, second.result)
+
+    def test_pool_requires_positive_worker_count(self):
+        with pytest.raises(ValueError):
+            SpmdProcessPool(0)
+
+    def test_worker_failure_surfaces_as_comm_failure(self):
+        """A worker-side exception (missing input) must not hang the
+        router; it becomes a CommFailure carrying the traceback."""
+        plan, inputs, _ = matmul_plan()
+        bad = {k: v for k, v in inputs.items() if k != "B"}
+        with pytest.raises(CommFailure, match="worker failed"):
+            run_spmd_process(plan, bad)
+
+    def test_unknown_backend_rejected(self):
+        prog = parse_program(MATMUL)
+        grid = ProcessorGrid((2, 2))
+        seq = plan_sequence(prog.statements, grid)
+        inputs = random_inputs(prog, seed=0)
+        with pytest.raises(ValueError, match="backend"):
+            run_spmd_sequence(prog.statements, seq, inputs, backend="mpi")
