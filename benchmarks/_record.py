@@ -1,0 +1,91 @@
+"""Benchmark capture: machine-readable ``BENCH_<name>.json`` artifacts.
+
+Every experiment module prints a human-readable reproduction table
+through the ``record_rows`` fixture; this helper additionally persists
+the same rows (plus any scalar metrics like wall times and speedups) as
+JSON next to the benchmark sources, so experiment results survive the
+terminal and CI can archive or diff them.
+
+One JSON file per benchmark module, named ``BENCH_<module>.json`` with
+the ``bench_`` prefix stripped (``bench_kernel_gemm.py`` ->
+``BENCH_kernel_gemm.json``).  The file maps each test's node name to
+its recorded payload::
+
+    {
+      "test_gemm_vs_einsum": {
+        "title": "E18: ...",
+        "headers": [...],
+        "rows": [[...], ...],
+        "metrics": {"speedup": 3.2, "gemm_s": 0.01, ...}
+      },
+      ...
+    }
+
+Re-running a module rewrites its entries in place (read-merge-write),
+so partial runs (``-k`` selections) never destroy sibling results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Mapping, Optional, Sequence
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def bench_json_path(module_name: str) -> str:
+    """``BENCH_<name>.json`` path for a benchmark module name."""
+    name = module_name.rsplit(".", 1)[-1]
+    if name.startswith("bench_"):
+        name = name[len("bench_") :]
+    return os.path.join(_BENCH_DIR, f"BENCH_{name}.json")
+
+
+def _jsonable(value):
+    """Best-effort conversion of row/metric values to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    try:  # numpy scalars
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+def write_bench(
+    module_name: str,
+    test_name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    metrics: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Merge one test's recorded table/metrics into the module's JSON.
+
+    Returns the path written.  Atomic (write-then-rename), so a crashed
+    run never leaves a truncated artifact.
+    """
+    path = bench_json_path(module_name)
+    data: Dict[str, dict] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data[test_name] = {
+        "title": title,
+        "headers": list(headers),
+        "rows": [_jsonable(list(r)) for r in rows],
+        "metrics": _jsonable(dict(metrics or {})),
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path

@@ -1,0 +1,156 @@
+"""E18: compiled GEMM kernel plans vs per-call einsum on CCSD doubles.
+
+The kernel subsystem (:mod:`repro.kernels`) lowers every binary
+contraction of the synthesized formula sequence to permute + reshape +
+``np.matmul`` once, at synthesis time, and recycles all intermediate
+buffers through an arena.  This experiment measures the end-to-end
+repeated-execution win over the reference path, which re-plans the
+einsum contraction path and reallocates every intermediate on each
+call.
+
+Floor: ``E18_MIN_SPEEDUP`` (default 2.0; CI perf smoke relaxes to 1.5
+to tolerate shared-runner noise).  Timings are min-of-repeats, which is
+the standard way to strip scheduler noise from a single-machine
+comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import synthesize, random_inputs
+from repro.chem.workloads import ccsd_doubles_program
+from repro.engine.executor import run_statements
+from repro.kernels import clear_einsum_path_cache, einsum_path_cache_stats
+
+# Sized so per-call planning + allocation overhead (what the compiled
+# plan removes) is a solid share of the run without timings dropping
+# into jitter territory; at much larger V/O the contraction FLOPs
+# dominate both paths and the ratio tends to 1.
+V, O = 16, 5
+MIN_SPEEDUP = float(os.environ.get("E18_MIN_SPEEDUP", "2.0"))
+
+
+def _best(fn, repeats: int = 5, inner: int = 4) -> float:
+    """Min-of-repeats wall time per call."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        times.append((time.perf_counter() - t0) / inner)
+    return min(times)
+
+
+@pytest.fixture(scope="module")
+def ccsd():
+    prog = ccsd_doubles_program(V=V, O=O)
+    result = synthesize(prog)
+    inputs = random_inputs(prog, None, seed=0)
+    return prog, result, inputs
+
+
+class TestE18GemmKernels:
+    def test_gemm_plan_matches_reference(self, ccsd):
+        _, result, inputs = ccsd
+        ref = run_statements(
+            result.statements, inputs, None, None, path_cache=False
+        )
+        got = result.kernel_runner().run(inputs)
+        np.testing.assert_allclose(got["R"], ref["R"], rtol=1e-10, atol=1e-10)
+
+    def test_gemm_vs_einsum(self, ccsd, record_rows):
+        _, result, inputs = ccsd
+        stmts = result.statements
+        plan = result.kernel_plan
+        assert plan is not None and plan.gemm_terms > 0
+
+        runner = result.kernel_runner()
+        runner.run(inputs)  # warm: buffers allocated, functions cached
+        run_statements(stmts, inputs, None, None, path_cache=False)
+
+        base = _best(
+            lambda: run_statements(
+                stmts, inputs, None, None, path_cache=False
+            )
+        )
+        clear_einsum_path_cache()
+        run_statements(stmts, inputs, None, None)  # warm the path cache
+        cached = _best(lambda: run_statements(stmts, inputs, None, None))
+        fast = _best(lambda: runner.run(inputs))
+        speedup = base / fast
+        cached_speedup = base / cached
+
+        record_rows(
+            f"E18: CCSD doubles (V={V}, O={O}) repeated execution",
+            ["path", "ms/run", "speedup vs per-call einsum"],
+            [
+                ["einsum(optimize=True), per-call planning",
+                 f"{base * 1e3:.3f}", "1.00x"],
+                ["einsum + path cache",
+                 f"{cached * 1e3:.3f}", f"{cached_speedup:.2f}x"],
+                ["compiled GEMM plan + arena",
+                 f"{fast * 1e3:.3f}", f"{speedup:.2f}x"],
+            ],
+            metrics={
+                "V": V,
+                "O": O,
+                "einsum_percall_s": base,
+                "einsum_path_cached_s": cached,
+                "gemm_plan_s": fast,
+                "speedup": speedup,
+                "path_cached_speedup": cached_speedup,
+                "gemm_terms": plan.gemm_terms,
+                "copy_terms": plan.copy_terms,
+                "einsum_terms": plan.einsum_terms,
+                "min_speedup_floor": MIN_SPEEDUP,
+            },
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"GEMM plan only {speedup:.2f}x over per-call einsum "
+            f"(floor {MIN_SPEEDUP}x)"
+        )
+
+    def test_steady_state_is_allocation_free(self, ccsd, record_rows):
+        _, result, inputs = ccsd
+        runner = result.kernel_runner()
+        runner.run(inputs)
+        runner.run(inputs)  # any shape-dependent scratch settles by here
+        before = runner.arena.allocations
+        for _ in range(5):
+            runner.run(inputs)
+        after = runner.arena.allocations
+        record_rows(
+            "E18: arena steady state",
+            ["metric", "value"],
+            [
+                ["allocations during 5 warm runs", after - before],
+                ["arena", runner.arena.describe()],
+            ],
+            metrics={"steady_state_allocations": after - before},
+        )
+        assert after == before
+
+    def test_path_cache_hit_rate(self, ccsd, record_rows):
+        _, result, inputs = ccsd
+        clear_einsum_path_cache()
+        run_statements(result.statements, inputs, None, None)
+        cold = einsum_path_cache_stats()
+        run_statements(result.statements, inputs, None, None)
+        warm = einsum_path_cache_stats()
+        record_rows(
+            "E18: einsum path cache",
+            ["run", "hits", "misses"],
+            [
+                ["cold", cold["hits"], cold["misses"]],
+                ["warm", warm["hits"], warm["misses"]],
+            ],
+            metrics={"cold": cold, "warm": warm},
+        )
+        # second run re-plans nothing
+        assert warm["misses"] == cold["misses"]
+        assert warm["hits"] > cold["hits"]

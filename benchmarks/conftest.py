@@ -3,25 +3,45 @@
 Every experiment module regenerates one paper artifact (figure/table)
 and records the reproduced rows through ``record_rows`` so that running
 ``pytest benchmarks/ --benchmark-only -s`` prints the same series the
-paper reports.
+paper reports.  Each recorded table is also persisted as machine-
+readable JSON (``BENCH_<module>.json``, see :mod:`_record`), so every
+benchmark run leaves an artifact CI can archive and diff; pass extra
+scalar results via ``metrics=`` to capture wall times and speedups
+alongside the table.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import pytest
 
 from repro.report import format_table
 
+from _record import write_bench
+
 
 @pytest.fixture
 def record_rows(request, capsys):
-    """Print a labelled reproduction table (visible with -s / -rA)."""
+    """Print a labelled reproduction table (visible with -s / -rA) and
+    persist it (plus optional ``metrics``) to the module's BENCH JSON."""
 
-    def _record(title: str, headers: Sequence[str], rows: Sequence[Sequence]):
+    def _record(
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence],
+        metrics: Optional[Mapping[str, object]] = None,
+    ):
         text = f"\n[{request.node.name}] {title}\n"
         text += format_table(headers, rows)
         print(text)
+        write_bench(
+            request.node.module.__name__,
+            request.node.name,
+            title,
+            headers,
+            rows,
+            metrics,
+        )
 
     return _record

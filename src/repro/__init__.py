@@ -43,6 +43,7 @@ __all__ = [
 
 # secondary public surface (stable import points for library users)
 from repro.runtime.plan_cache import PlanCache
+from repro.kernels import BufferArena, KernelPlan, KernelRunner, compile_kernel_plan
 from repro.engine.executor import evaluate_expression, random_inputs, run_statements
 from repro.engine.counters import Counters
 from repro.expr.parser import parse_program
@@ -53,6 +54,10 @@ from repro.validate import verify_result
 
 __all__ += [
     "PlanCache",
+    "BufferArena",
+    "KernelPlan",
+    "KernelRunner",
+    "compile_kernel_plan",
     "evaluate_expression",
     "random_inputs",
     "run_statements",

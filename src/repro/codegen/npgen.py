@@ -2,13 +2,20 @@
 
 The scalar-loop backend (:mod:`repro.codegen.pygen`) mirrors the paper's
 pseudo-code and is ideal for counting and validation, but it is slow.
-This backend emits one ``numpy.einsum`` call per flat term of each
-statement -- the form a practical user runs at real sizes.  Function
-tensors are materialized once per statement over their index grid.
+This backend emits one kernel call per flat term of each statement --
+the form a practical user runs at real sizes.  Binary contractions are
+lowered to GEMM at generation time (:mod:`repro.kernels.lowering`): the
+emitted call carries the precomputed axis permutations and group
+arities as literals, so no per-call planning remains.  Terms GEMM
+cannot express (repeated indices, 3+ operand products) fall back to
+``einsum`` through the process-wide contraction-path cache
+(:mod:`repro.kernels.einsum_cache`).  Function tensors are materialized
+once per statement over their index grid.
 
 The two backends are cross-validated in the test suite; both must agree
-with the reference executor bit-for-bit (same einsum reduction order) or
-to tight tolerances (scalar loops).
+with the reference executor to tight tolerances (the GEMM regrouping
+reassociates floating-point sums, so agreement is ``allclose`` at
+~1e-12 relative, not bit-for-bit).
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ import numpy as np
 from repro.expr.ast import Statement, TensorRef
 from repro.expr.canonical import flatten
 from repro.expr.indices import Bindings, Index, einsum_letters
+from repro.kernels.einsum_cache import cached_einsum
+from repro.kernels.lowering import exec_gemm, lower_binary_term
 
 
 def _letters_for(indices: Sequence[Index]) -> Dict[Index, str]:
@@ -37,7 +46,13 @@ def generate_numpy_source(
     bindings: Optional[Bindings] = None,
     name: str = "kernel",
 ) -> str:
-    """Render a formula sequence as a numpy kernel's Python source."""
+    """Render a formula sequence as a numpy kernel's Python source.
+
+    The source references ``_np`` (numpy), ``_gemm``
+    (:func:`repro.kernels.lowering.exec_gemm`), and ``_einsum``
+    (:func:`repro.kernels.einsum_cache.cached_einsum`), which
+    :func:`compile_sequence` injects into the execution namespace.
+    """
     lines: List[str] = [f"def {name}(_arrays, _funcs=None):"]
     lines.append("    _arrays = dict(_arrays)")
     lines.append("    _funcs = _funcs or {}")
@@ -45,7 +60,6 @@ def generate_numpy_source(
     for snum, stmt in enumerate(statements):
         terms = flatten(stmt.expr)  # formula statements always flatten
         target = stmt.result
-        out_letters_src: List[Index] = list(target.indices)
         term_exprs: List[str] = []
         prep: List[str] = []
         for tnum, (coef, sums, refs) in enumerate(terms):
@@ -71,23 +85,33 @@ def generate_numpy_source(
                     operands.append(f"_arrays[{ref.tensor.name!r}]")
                 subscripts.append(sub)
             out_sub = "".join(letters[i] for i in target.indices)
+            gemm = (
+                lower_binary_term(
+                    refs[0].indices, refs[1].indices, sums, target.indices
+                )
+                if len(refs) == 2
+                else None
+            )
             if len(refs) == 1 and not sums and subscripts[0] == out_sub:
                 expr = f"_np.asarray({operands[0]}, dtype=_np.float64)"
-                if coef != 1.0:
-                    expr = f"{coef} * {expr}"
+            elif gemm is not None:
+                expr = (
+                    f"_gemm({operands[0]}, {operands[1]}, "
+                    f"lred={gemm.lred!r}, rred={gemm.rred!r}, "
+                    f"lperm={gemm.lperm!r}, rperm={gemm.rperm!r}, "
+                    f"nb={gemm.nb}, nm={gemm.nm}, nk={gemm.nk}, "
+                    f"nn={gemm.nn}, operm={gemm.operm!r})"
+                )
             else:
                 spec = ",".join(subscripts) + "->" + out_sub
                 expr = (
-                    f"_np.einsum({spec!r}, "
-                    + ", ".join(operands)
-                    + ", optimize=True)"
+                    f"_einsum({spec!r}, " + ", ".join(operands) + ")"
                 )
-                if coef != 1.0:
-                    expr = f"{coef} * {expr}"
+            if coef != 1.0:
+                expr = f"{coef} * {expr}"
             term_exprs.append(expr)
         lines.extend(prep)
         rhs = " + ".join(term_exprs)
-        op = "+" if stmt.accumulate else ""
         if stmt.accumulate:
             lines.append(
                 f"    _arrays[{target.name!r}] = "
@@ -106,6 +130,10 @@ def compile_sequence(
 ) -> Callable[..., Dict[str, np.ndarray]]:
     """Compile a formula sequence to a fast numpy kernel."""
     source = generate_numpy_source(statements, bindings, name)
-    namespace: Dict[str, object] = {"_np": np}
+    namespace: Dict[str, object] = {
+        "_np": np,
+        "_gemm": exec_gemm,
+        "_einsum": cached_einsum,
+    }
     exec(compile(source, f"<generated numpy {name}>", "exec"), namespace)
     return namespace[name]  # type: ignore[return-value]

@@ -25,6 +25,7 @@ import numpy as np
 from repro.expr.ast import Add, Expr, Mul, Program, Statement, Sum, TensorRef
 from repro.expr.canonical import flatten
 from repro.expr.indices import Bindings, Index, einsum_letters
+from repro.kernels.einsum_cache import cached_einsum
 from repro.robustness.errors import SpecError
 
 #: Signature of a function-tensor implementation: called with integer
@@ -56,6 +57,7 @@ def evaluate_expression(
     *,
     validate: bool = True,
     check_finite: bool = False,
+    path_cache: bool = True,
 ) -> np.ndarray:
     """Evaluate ``expr`` to a dense array (axes: ``sorted(expr.free)``).
 
@@ -66,6 +68,12 @@ def evaluate_expression(
     dtype up front (:func:`repro.robustness.validation.validate_env`),
     so failures name the offending tensor; ``check_finite`` additionally
     rejects NaN/Inf inputs.
+
+    ``path_cache`` serves each contraction's einsum path from the
+    process-wide cache (:mod:`repro.kernels.einsum_cache`) instead of
+    re-planning per call -- bit-for-bit identical results, since
+    ``optimize=True`` resolves to the same greedy path.  ``False``
+    restores the re-planning behaviour (used as a benchmark baseline).
     """
     from repro.robustness.validation import validate_env
 
@@ -112,7 +120,11 @@ def evaluate_expression(
             subscripts.append("".join(letters[i] for i in ref.indices))
         out_sub = "".join(letters[i] for i in out_indices)
         spec = ",".join(subscripts) + "->" + out_sub
-        result = result + coef * np.einsum(spec, *operands, optimize=True)
+        if path_cache:
+            value = cached_einsum(spec, *operands)
+        else:
+            value = np.einsum(spec, *operands, optimize=True)
+        result = result + coef * value
     return result
 
 
@@ -121,16 +133,21 @@ def run_statements(
     inputs: Mapping[str, np.ndarray],
     bindings: Optional[Bindings] = None,
     functions: Optional[Mapping[str, FunctionImpl]] = None,
+    *,
+    path_cache: bool = True,
 ) -> Dict[str, np.ndarray]:
     """Execute a formula sequence; returns all arrays (inputs + produced).
 
     Produced arrays are stored with axes in the order of the result
     tensor's declared signature.  ``+=`` statements accumulate into an
-    existing array (allocating zeros on first touch).
+    existing array (allocating zeros on first touch).  ``path_cache``
+    as in :func:`evaluate_expression`.
     """
     env: Dict[str, np.ndarray] = {k: np.asarray(v) for k, v in inputs.items()}
     for stmt in statements:
-        value = evaluate_expression(stmt.expr, env, bindings, functions)
+        value = evaluate_expression(
+            stmt.expr, env, bindings, functions, path_cache=path_cache
+        )
         # transpose from sorted-free order to declared result order
         sorted_order = tuple(sorted(stmt.result.indices))
         perm = tuple(sorted_order.index(i) for i in stmt.result.indices)

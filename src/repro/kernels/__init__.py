@@ -1,0 +1,56 @@
+"""Compiled execution kernels: plans lowered ahead of time.
+
+The interpretation gap this package closes: every other execution path
+re-derives *how* to run a contraction on each call (``np.einsum(...,
+optimize=True)`` re-plans the contraction path; fresh intermediates are
+allocated every execution).  Here each formula-sequence statement is
+compiled **once** into a :class:`~repro.kernels.plan.KernelPlan`:
+
+* binary contractions are lowered to axis-permute + reshape +
+  ``np.matmul`` (GEMM) with every permutation and axis grouping
+  computed at synthesis time (:mod:`repro.kernels.lowering`);
+* degenerate terms (repeated indices, 3+ operand products) fall back to
+  ``einsum`` through a process-wide contraction-path cache
+  (:mod:`repro.kernels.einsum_cache`), so even the fallback stops
+  re-planning;
+* a :class:`~repro.kernels.arena.BufferArena` recycles intermediate and
+  output buffers keyed by shape/dtype, with temporaries released at
+  their last-use statement (liveness from the schedule), so repeated
+  executions of one sequence are allocation-free in the steady state.
+
+The plan is a pickle-safe value object, so it rides the content-
+addressed plan cache (:mod:`repro.runtime.plan_cache`): warm
+``synthesize()`` hits return plans whose path planning is already done.
+"""
+
+from repro.kernels.arena import BufferArena
+from repro.kernels.einsum_cache import (
+    cached_einsum,
+    cached_einsum_path,
+    einsum_path_cache_stats,
+    clear_einsum_path_cache,
+)
+from repro.kernels.lowering import GemmSpec, exec_gemm, lower_binary_term
+from repro.kernels.plan import (
+    KernelPlan,
+    KernelRunner,
+    StatementPlan,
+    TermPlan,
+    compile_kernel_plan,
+)
+
+__all__ = [
+    "BufferArena",
+    "cached_einsum",
+    "cached_einsum_path",
+    "einsum_path_cache_stats",
+    "clear_einsum_path_cache",
+    "GemmSpec",
+    "exec_gemm",
+    "lower_binary_term",
+    "KernelPlan",
+    "KernelRunner",
+    "StatementPlan",
+    "TermPlan",
+    "compile_kernel_plan",
+]

@@ -1,0 +1,86 @@
+"""Buffer arena: shape/dtype-keyed ndarray reuse.
+
+Executing a formula sequence allocates the same intermediate and output
+arrays on every run.  The arena turns those allocations into pool hits:
+``take(shape, dtype)`` pops a previously released buffer of the exact
+``(shape, dtype)`` key (or allocates one on first demand), ``release``
+returns it.  :class:`~repro.kernels.plan.KernelRunner` takes statement
+outputs and GEMM scratch from here and releases temporaries at their
+last-use statement (liveness comes from the compiled plan), so the
+steady state of a repeated execution performs **zero** array
+allocations -- asserted by ``tests/test_kernels.py``.
+
+Buffers come back uninitialized (``np.empty`` semantics): every kernel
+writes its full output (``out=`` / ``copyto``), never reads one.
+A disabled arena (``BufferArena(enabled=False)``) degrades to plain
+allocation, which keeps the runner usable where buffer retention is
+undesirable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["BufferArena"]
+
+
+class BufferArena:
+    """Exact-key (shape, dtype) free-list pool of ndarrays."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._free: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
+        #: fresh ``np.empty`` calls (pool misses)
+        self.allocations = 0
+        #: ``take`` calls served from the free list
+        self.reuses = 0
+        #: buffers currently parked in the free list
+        self.pooled = 0
+
+    @staticmethod
+    def _key(shape: Tuple[int, ...], dtype) -> Tuple[Tuple[int, ...], str]:
+        return (tuple(shape), np.dtype(dtype).str)
+
+    def take(self, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A writable C-contiguous buffer of exactly ``shape``/``dtype``.
+
+        Contents are undefined (like ``np.empty``); callers overwrite.
+        """
+        if self.enabled:
+            stack = self._free.get(self._key(shape, dtype))
+            if stack:
+                self.reuses += 1
+                self.pooled -= 1
+                return stack.pop()
+        self.allocations += 1
+        return np.empty(tuple(shape), dtype=dtype)
+
+    def release(self, array: np.ndarray) -> None:
+        """Return a buffer to the pool (no-op when disabled).
+
+        Only buffers obtained from :meth:`take` should come back; the
+        caller must not touch the array afterwards.
+        """
+        if not self.enabled:
+            return
+        base = array if array.base is None else array.base
+        if not isinstance(base, np.ndarray) or not base.flags.c_contiguous:
+            return  # not something we can safely hand out again
+        self._free.setdefault(self._key(base.shape, base.dtype), []).append(
+            base
+        )
+        self.pooled += 1
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (frees the memory to the allocator)."""
+        self._free.clear()
+        self.pooled = 0
+
+    def describe(self) -> str:
+        return (
+            f"BufferArena({'on' if self.enabled else 'off'}): "
+            f"{self.allocations} allocations, {self.reuses} reuses, "
+            f"{self.pooled} pooled"
+        )

@@ -1,0 +1,89 @@
+"""Process-wide cache of ``np.einsum_path`` results.
+
+``np.einsum(spec, *ops, optimize=True)`` re-runs the greedy
+contraction-path search on **every call** -- for the small-to-moderate
+tensors the synthesis system executes at test and serving scale, that
+planning overhead rivals or exceeds the arithmetic.  The path depends
+only on the subscript spec and the operand shapes, so it is cached here
+under ``(spec, shapes)`` and replayed with ``optimize=<path>``.
+
+Replaying an explicitly computed path is **bit-for-bit** identical to
+``optimize=True``: numpy resolves ``optimize=True`` to the same greedy
+path internally, and the execution machinery is shared.  The reference
+executor therefore stays the repository's semantic oracle unchanged;
+it just stops re-planning (see ``tests/test_kernels.py`` for the
+bit-for-bit assertion).
+
+The cache is a bounded LRU (`maxsize` entries); eviction only costs a
+re-plan, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "cached_einsum",
+    "cached_einsum_path",
+    "einsum_path_cache_stats",
+    "clear_einsum_path_cache",
+]
+
+#: LRU bound; paths are tiny (a list of index pairs), so this is generous.
+_MAXSIZE = 4096
+
+_CacheKey = Tuple[str, Tuple[Tuple[int, ...], ...]]
+_paths: "OrderedDict[_CacheKey, List]" = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def cached_einsum_path(spec: str, *operands: np.ndarray) -> List:
+    """The einsum contraction path for ``spec`` on these operand shapes.
+
+    Computed once per ``(spec, shapes)`` via ``np.einsum_path`` with the
+    default greedy optimizer (the same one ``optimize=True`` uses), then
+    served from the LRU.
+    """
+    global _hits, _misses
+    key = (spec, tuple(np.shape(op) for op in operands))
+    path = _paths.get(key)
+    if path is not None:
+        _paths.move_to_end(key)
+        _hits += 1
+        return path
+    _misses += 1
+    path = np.einsum_path(spec, *operands, optimize=True)[0]
+    _paths[key] = path
+    while len(_paths) > _MAXSIZE:
+        _paths.popitem(last=False)
+    return path
+
+
+def cached_einsum(
+    spec: str, *operands: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """``np.einsum(spec, *operands, optimize=True)`` without re-planning.
+
+    Numerically identical to the uncached call (same path, same
+    execution kernels); the only difference is that the path search runs
+    once per ``(spec, shapes)`` instead of once per call.
+    """
+    path = cached_einsum_path(spec, *operands)
+    return np.einsum(spec, *operands, optimize=path, out=out)
+
+
+def einsum_path_cache_stats() -> Dict[str, int]:
+    """``{"entries", "hits", "misses"}`` counters of the process cache."""
+    return {"entries": len(_paths), "hits": _hits, "misses": _misses}
+
+
+def clear_einsum_path_cache() -> None:
+    """Drop all cached paths and reset the counters (test isolation)."""
+    global _hits, _misses
+    _paths.clear()
+    _hits = 0
+    _misses = 0

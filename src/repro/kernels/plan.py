@@ -1,0 +1,396 @@
+"""Ahead-of-time kernel plans for formula sequences.
+
+:func:`compile_kernel_plan` lowers every statement of a formula
+sequence into a :class:`KernelPlan` **once**: each flat term becomes a
+:class:`TermPlan` that is either a GEMM lowering
+(:mod:`repro.kernels.lowering`), an aligned copy, or a cached-path
+einsum fallback, and statement liveness (who reads each produced array
+last) is recorded so temporaries can be recycled.  The plan is a pure
+value object of names, ints, and floats -- pickle-safe by construction,
+which is what lets it ride the content-addressed plan cache
+(:mod:`repro.runtime.plan_cache`) inside a
+:class:`~repro.pipeline.SynthesisResult`.
+
+:class:`KernelRunner` executes a plan against input arrays.  All
+intermediate and output storage comes from a
+:class:`~repro.kernels.arena.BufferArena`; temporaries are released at
+their last-use statement and statement outputs live in buffers the
+runner owns and rewrites, so repeated runs allocate nothing in the
+steady state.  Consequently the arrays a ``run()`` returns are **valid
+until the next** ``run()`` unless ``copy=True`` detaches them.
+
+Numerics: the GEMM path regroups the contraction sums, so results agree
+with the einsum reference to floating-point reassociation tolerance
+(``rtol ~1e-12`` on the property suite); the copy and einsum-fallback
+paths are bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.expr.ast import Statement
+from repro.expr.canonical import flatten
+from repro.expr.indices import Bindings, einsum_letters
+from repro.kernels.arena import BufferArena
+from repro.kernels.einsum_cache import cached_einsum
+from repro.kernels.lowering import GemmSpec, exec_gemm_arena, lower_binary_term
+from repro.robustness.errors import SpecError
+
+__all__ = [
+    "OperandSpec",
+    "TermPlan",
+    "StatementPlan",
+    "KernelPlan",
+    "KernelRunner",
+    "compile_kernel_plan",
+]
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """One term operand: a named array or a function materialization."""
+
+    name: str
+    is_function: bool = False
+    #: function-tensor grid shape (resolved at compile time); None for arrays
+    shape: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class TermPlan:
+    """One flat term, lowered.
+
+    ``kind`` is ``"gemm"`` (binary contraction through
+    :func:`~repro.kernels.lowering.exec_gemm_arena`), ``"copy"`` (an
+    aligned single-operand term), or ``"einsum"`` (cached-path
+    fallback for degenerate shapes -- repeated indices, 3+ operand
+    products, permuting single-operand terms).
+    """
+
+    coef: float
+    operands: Tuple[OperandSpec, ...]
+    kind: str
+    gemm: Optional[GemmSpec] = None
+    spec: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class StatementPlan:
+    """One statement: accumulate its terms into the result buffer, then
+    release the temporaries whose last reader this statement was."""
+
+    result: str
+    accumulate: bool
+    out_shape: Tuple[int, ...]
+    terms: Tuple[TermPlan, ...]
+    release: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """A compiled formula sequence: statements + liveness + lowering stats."""
+
+    statements: Tuple[StatementPlan, ...]
+    #: produced arrays never consumed by a later statement (the results
+    #: a :class:`KernelRunner` returns); everything else is a temporary
+    outputs: Tuple[str, ...]
+    gemm_terms: int = 0
+    einsum_terms: int = 0
+    copy_terms: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"KernelPlan({len(self.statements)} statements: "
+            f"{self.gemm_terms} gemm, {self.copy_terms} copy, "
+            f"{self.einsum_terms} einsum-fallback terms; "
+            f"outputs {', '.join(self.outputs)})"
+        )
+
+
+def compile_kernel_plan(
+    statements: Sequence[Statement],
+    bindings: Optional[Bindings] = None,
+) -> KernelPlan:
+    """Lower a formula sequence to a :class:`KernelPlan`.
+
+    All path planning happens here, at synthesis time: GEMM axis
+    classification per binary term, einsum subscript construction for
+    the fallbacks, function-tensor grid shapes, and the liveness that
+    drives arena recycling.  The plan is specialized to ``bindings``
+    (shapes are resolved now, exactly like the generated numpy kernels).
+    """
+    stmt_plans: List[StatementPlan] = []
+    gemm_terms = einsum_terms = copy_terms = 0
+    for stmt in statements:
+        target = tuple(stmt.result.indices)
+        out_shape = tuple(i.extent(bindings) for i in target)
+        terms: List[TermPlan] = []
+        for coef, sums, refs in flatten(stmt.expr):
+            operands = tuple(
+                OperandSpec(
+                    ref.tensor.name,
+                    ref.tensor.is_function,
+                    tuple(i.extent(bindings) for i in ref.indices)
+                    if ref.tensor.is_function
+                    else None,
+                )
+                for ref in refs
+            )
+            gemm = None
+            spec = None
+            if len(refs) == 2:
+                gemm = lower_binary_term(
+                    refs[0].indices, refs[1].indices, sums, target
+                )
+            if gemm is not None:
+                kind = "gemm"
+                gemm_terms += 1
+            elif (
+                len(refs) == 1
+                and not sums
+                and tuple(refs[0].indices) == target
+                and len(set(target)) == len(target)
+            ):
+                kind = "copy"
+                copy_terms += 1
+            else:
+                kind = "einsum"
+                einsum_terms += 1
+                all_indices = sorted(
+                    {i for ref in refs for i in ref.indices} | set(target)
+                )
+                letters = einsum_letters(all_indices)
+                subscripts = [
+                    "".join(letters[i] for i in ref.indices) for ref in refs
+                ]
+                out_sub = "".join(letters[i] for i in target)
+                spec = ",".join(subscripts) + "->" + out_sub
+            terms.append(TermPlan(coef, operands, kind, gemm, spec))
+        stmt_plans.append(
+            StatementPlan(stmt.result.name, stmt.accumulate, out_shape, tuple(terms))
+        )
+
+    # liveness: last production and last read per produced name
+    produced: Dict[str, int] = {}
+    last_read: Dict[str, int] = {}
+    for k, (stmt, sp) in enumerate(zip(statements, stmt_plans)):
+        for term in sp.terms:
+            for op in term.operands:
+                if not op.is_function and op.name in produced:
+                    last_read[op.name] = k
+        if sp.accumulate and sp.result in produced:
+            last_read[sp.result] = k  # += reads its previous value
+        produced[sp.result] = k
+    outputs = tuple(
+        name
+        for name in produced
+        if last_read.get(name, -1) <= produced[name]
+    )
+    temps = set(produced) - set(outputs)
+    release_at: Dict[int, List[str]] = {}
+    for name in temps:
+        release_at.setdefault(last_read[name], []).append(name)
+    stmt_plans = [
+        StatementPlan(
+            sp.result,
+            sp.accumulate,
+            sp.out_shape,
+            sp.terms,
+            tuple(sorted(release_at.get(k, ()))),
+        )
+        for k, sp in enumerate(stmt_plans)
+    ]
+    return KernelPlan(
+        tuple(stmt_plans), outputs, gemm_terms, einsum_terms, copy_terms
+    )
+
+
+class KernelRunner:
+    """Executes a :class:`KernelPlan` with arena-backed storage.
+
+    ``functions`` registers function-tensor implementations once;
+    their materialized grids are cached across runs (they depend only
+    on the grid shape).  ``arena`` defaults to a fresh
+    :class:`~repro.kernels.arena.BufferArena`; pass
+    ``BufferArena(enabled=False)`` to opt out of buffer retention.
+
+    ``run`` returns ``inputs`` plus the plan's output arrays.  Output
+    buffers are owned by the runner and **rewritten by the next run**;
+    pass ``copy=True`` (or copy arrays yourself) to detach results.
+    Temporaries are recycled internally and not returned; name them in
+    ``keep`` to retain (they then get persistent buffers too).
+    """
+
+    def __init__(
+        self,
+        plan: KernelPlan,
+        functions: Optional[Mapping[str, Callable]] = None,
+        arena: Optional[BufferArena] = None,
+        keep: Sequence[str] = (),
+    ) -> None:
+        self.plan = plan
+        self.arena = arena if arena is not None else BufferArena()
+        self.functions = dict(functions or {})
+        self.keep = frozenset(keep)
+        self._kept = frozenset(plan.outputs) | self.keep
+        self._persistent: Dict[str, np.ndarray] = {}
+        self._func_cache: Dict[Tuple[str, Tuple[int, ...]], np.ndarray] = {}
+
+    # -- operand access ----------------------------------------------------
+
+    def _materialize(self, op: OperandSpec, funcs) -> np.ndarray:
+        impl = funcs.get(op.name)
+        if impl is None:
+            raise SpecError(
+                f"no implementation registered for function {op.name!r}",
+                stage="execution",
+                tensor=op.name,
+            )
+        cacheable = self.functions.get(op.name) is impl
+        key = (op.name, op.shape)
+        if cacheable and key in self._func_cache:
+            return self._func_cache[key]
+        value = np.asarray(impl(*np.indices(op.shape)), dtype=np.float64)
+        if cacheable:
+            self._func_cache[key] = value
+        return value
+
+    @staticmethod
+    def _fetch(op: OperandSpec, env, inputs) -> np.ndarray:
+        got = env.get(op.name)
+        if got is not None:
+            return got
+        try:
+            return np.asarray(inputs[op.name])
+        except KeyError:
+            raise SpecError(
+                f"no array provided for tensor {op.name!r}",
+                stage="execution",
+                tensor=op.name,
+            ) from None
+
+    # -- term execution ----------------------------------------------------
+
+    def _accumulate(self, out, value, coef: float, first: bool) -> None:
+        if first:
+            if coef == 1.0:
+                np.copyto(out, value)
+            else:
+                np.multiply(value, coef, out=out)
+        elif coef == 1.0:
+            np.add(out, value, out=out)
+        elif coef == -1.0:
+            np.subtract(out, value, out=out)
+        else:
+            scratch = self.arena.take(out.shape, out.dtype)
+            np.multiply(value, coef, out=scratch)
+            np.add(out, scratch, out=out)
+            self.arena.release(scratch)
+
+    def _exec_term(self, term: TermPlan, out, env, inputs, funcs, first: bool):
+        ops = [
+            self._materialize(op, funcs)
+            if op.is_function
+            else self._fetch(op, env, inputs)
+            for op in term.operands
+        ]
+        if term.kind == "gemm":
+            value, live = exec_gemm_arena(ops[0], ops[1], term.gemm, self.arena)
+            self._accumulate(out, value, term.coef, first)
+            for buf in live:
+                self.arena.release(buf)
+        elif term.kind == "copy":
+            self._accumulate(out, ops[0], term.coef, first)
+        else:  # einsum fallback (cached contraction path)
+            if first and term.coef == 1.0:
+                cached_einsum(term.spec, *ops, out=out)
+            else:
+                scratch = self.arena.take(out.shape, out.dtype)
+                cached_einsum(term.spec, *ops, out=scratch)
+                self._accumulate(out, scratch, term.coef, first)
+                self.arena.release(scratch)
+
+    # -- statement/sequence execution --------------------------------------
+
+    def _out_buffer(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        if name in self._kept:
+            buf = self._persistent.get(name)
+            if buf is None or buf.shape != shape:
+                buf = np.empty(shape)
+                self._persistent[name] = buf
+                self.arena.allocations += 1
+            return buf
+        return self.arena.take(shape)
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        functions: Optional[Mapping[str, Callable]] = None,
+        *,
+        copy: bool = False,
+    ) -> Dict[str, np.ndarray]:
+        """Execute the plan; returns inputs + produced output arrays.
+
+        Returned output arrays alias runner-owned buffers that the next
+        ``run()`` overwrites; ``copy=True`` returns detached copies.
+        """
+        funcs = dict(self.functions)
+        if functions:
+            funcs.update(functions)
+        env: Dict[str, np.ndarray] = {}
+        for sp in self.plan.statements:
+            existing = env.get(sp.result)
+            reads_self = any(
+                op.name == sp.result and not op.is_function
+                for term in sp.terms
+                for op in term.operands
+            )
+            if existing is not None and not sp.accumulate and reads_self:
+                # re-assignment reading the old value: write elsewhere
+                out = self.arena.take(sp.out_shape)
+                old = existing
+                existing = None
+            else:
+                old = None
+                out = (
+                    existing
+                    if existing is not None
+                    else self._out_buffer(sp.result, sp.out_shape)
+                )
+            first = True
+            if sp.accumulate:
+                if existing is not None:
+                    first = False  # += onto our own buffer in place
+                elif sp.result in inputs:
+                    np.copyto(out, np.asarray(inputs[sp.result]))
+                    first = False  # seed from (unmutated) caller array
+            for term in sp.terms:
+                self._exec_term(term, out, env, inputs, funcs, first)
+                first = False
+            if old is not None:
+                if sp.result in self._kept:
+                    np.copyto(old, out)
+                    self.arena.release(out)
+                    out = old
+                else:
+                    self.arena.release(old)
+            env[sp.result] = out
+            for name in sp.release:
+                if name in self._kept:
+                    continue
+                buf = env.pop(name, None)
+                if buf is not None:
+                    self.arena.release(buf)
+        result: Dict[str, np.ndarray] = {
+            k: np.asarray(v) for k, v in inputs.items()
+        }
+        for name in self._kept:
+            if name in env:
+                result[name] = env[name].copy() if copy else env[name]
+        return result
+
+    __call__ = run

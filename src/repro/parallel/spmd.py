@@ -593,6 +593,7 @@ def run_spmd_sequence(
     backend: str = "local",
     procs: Optional[int] = None,
     pool=None,
+    transport: str = "shm",
 ) -> SpmdSequenceRun:
     """Execute a whole-sequence plan (:func:`repro.parallel.program_plan.
     plan_sequence`) as a series of generated SPMD programs.
@@ -610,7 +611,9 @@ def run_spmd_sequence(
     lock-step driver (:func:`run_spmd`); ``"process"`` runs every rank
     in a worker OS process (:mod:`repro.runtime.process`) with at most
     ``procs`` workers, reusing one worker ``pool`` across the sequence
-    when given.
+    when given.  ``transport`` (``"shm"`` or ``"pipe"``) selects the
+    process backend's ndarray wire (ignored for ``"local"`` and when an
+    existing ``pool`` is passed -- the pool's own transport wins).
     """
     if backend not in ("local", "process"):
         raise ValueError(
@@ -623,7 +626,9 @@ def run_spmd_sequence(
 
         if pool is None and seq_plan.plans:
             grid_size = seq_plan.plans[0][1].grid.size
-            pool = owned_pool = SpmdProcessPool(procs or grid_size)
+            pool = owned_pool = SpmdProcessPool(
+                procs or grid_size, transport=transport
+            )
 
         def run_one(plan, arrays, **kw):
             return run_spmd_process(plan, arrays, pool=pool, procs=procs, **kw)

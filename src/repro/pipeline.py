@@ -116,6 +116,12 @@ class SynthesisResult:
     #: plan, or they materialize function tensors) are listed here so
     #: callers know exactly what executed where
     last_run_notes: List[str] = field(default_factory=list)
+    #: the formula sequence compiled ahead of time to execution kernels
+    #: (:mod:`repro.kernels`): GEMM lowerings, einsum fallback specs,
+    #: and buffer liveness, all resolved at synthesis time.  Pickle-safe,
+    #: so it rides the plan cache; ``None`` only when lowering was not
+    #: applicable (see the Code generation stage report).
+    kernel_plan: Optional["KernelPlan"] = None
 
     @property
     def degraded_stages(self) -> List[str]:
@@ -186,14 +192,36 @@ class SynthesisResult:
     def compile_fast(self) -> Callable:
         """Compile the *formula sequence* to a vectorized numpy kernel.
 
-        This is the practical execution path at real sizes: one einsum
-        per contraction (no fusion/tiling -- use it when the problem
+        This is the practical execution path at real sizes: binary
+        contractions lowered to GEMM, degenerate terms on the
+        cached-path einsum (no fusion/tiling -- use it when the problem
         fits in memory).  Numerically it matches the reference executor
-        bit-for-bit.
+        to floating-point reassociation tolerance (~1e-12 relative).
         """
         from repro.codegen.npgen import compile_sequence
 
         return compile_sequence(self.statements, self.config.bindings)
+
+    def kernel_runner(
+        self,
+        functions: Optional[Mapping[str, Callable]] = None,
+        **kwargs,
+    ) -> "KernelRunner":
+        """A :class:`~repro.kernels.plan.KernelRunner` over the compiled
+        :attr:`kernel_plan` -- the allocation-free repeated-execution
+        path (persistent output buffers, arena-recycled temporaries).
+
+        Each call builds a fresh runner (runners own mutable buffers, so
+        they are deliberately not stored on the cacheable result); hold
+        on to it across executions to get the steady-state behaviour.
+        """
+        from repro.kernels import compile_kernel_plan
+        from repro.kernels.plan import KernelRunner
+
+        plan = self.kernel_plan
+        if plan is None:
+            plan = compile_kernel_plan(self.statements, self.config.bindings)
+        return KernelRunner(plan, functions=functions, **kwargs)
 
     def spmd_sources(self) -> Dict[str, str]:
         """Generated per-rank SPMD program source per planned statement.
@@ -218,6 +246,7 @@ class SynthesisResult:
         max_restarts: int = 3,
         backend: str = "local",
         procs: Optional[int] = None,
+        transport: str = "shm",
     ) -> Dict[str, np.ndarray]:
         """Execute the generated SPMD programs for the whole sequence;
         returns produced arrays.
@@ -227,6 +256,12 @@ class SynthesisResult:
         generated rank programs across worker OS processes
         (:mod:`repro.runtime.process`, at most ``procs`` workers, one
         pool shared across the sequence) with bit-identical results.
+        ``procs`` beyond the machine's CPU count is clamped to
+        ``os.cpu_count()`` (oversubscribing cores only adds scheduler
+        thrash; the clamp is recorded in :attr:`last_run_notes`).
+        ``transport`` selects the process backend's ndarray wire:
+        ``"shm"`` (default) ships arrays through shared-memory segments,
+        ``"pipe"`` pickles them into the worker pipes.
 
         Statements without partition plans (multi-term combines kept
         data-local) and statements materializing primitive functions are
@@ -250,16 +285,27 @@ class SynthesisResult:
         from repro.parallel.program_plan import SequencePlan
         from repro.parallel.spmd import run_spmd_sequence
 
+        notes: List[str] = []
         pool = None
         if backend == "process":
+            import os
+
             from repro.runtime.process import SpmdProcessPool
 
             grid_size = next(
                 iter(self.partition_plans.values())
             ).grid.size
-            pool = SpmdProcessPool(max(1, min(procs or grid_size, grid_size)))
+            nworkers = max(1, min(procs or grid_size, grid_size))
+            ncpu = os.cpu_count() or 1
+            if nworkers > ncpu:
+                notes.append(
+                    f"procs clamped {nworkers} -> {ncpu} "
+                    f"(os.cpu_count(); oversubscription disabled)"
+                )
+                nworkers = ncpu
+                procs = ncpu
+            pool = SpmdProcessPool(nworkers, transport=transport)
 
-        notes: List[str] = []
         arrays: Dict[str, np.ndarray] = dict(inputs)
         try:
             for stmt in self.statements:
@@ -285,6 +331,7 @@ class SynthesisResult:
                     [stmt], seq_plan, arrays, faults=faults,
                     max_retries=max_retries, max_restarts=max_restarts,
                     backend=backend, procs=procs, pool=pool,
+                    transport=transport,
                 )
                 arrays.update(out.arrays)
         finally:
@@ -645,17 +692,33 @@ def _synthesize_pipeline(
 
     # -- stage 6: code generation --------------------------------------------
     src = generate_source(structure, bindings)
-    reports.append(
-        StageReport(
-            "Code generation",
-            {
-                "operation count": structure_ops,
-                "temporary memory (elements)": structure_memory,
-                "peak memory (elements)": peak_memory(structure, bindings),
-                "generated source lines": src.count("\n"),
-            },
-        )
+    codegen_report = StageReport(
+        "Code generation",
+        {
+            "operation count": structure_ops,
+            "temporary memory (elements)": structure_memory,
+            "peak memory (elements)": peak_memory(structure, bindings),
+            "generated source lines": src.count("\n"),
+        },
     )
+    # kernel compilation: lower every statement once, at synthesis time,
+    # so warm plan-cache hits carry fully planned execution kernels
+    from repro.kernels import compile_kernel_plan
+
+    kernel_plan = None
+    try:
+        kernel_plan = compile_kernel_plan(statements, bindings)
+    except (OverflowError, ValueError) as exc:
+        codegen_report.notes.append(
+            f"kernel plan not compiled ({exc}); execution falls back to "
+            "per-call planning"
+        )
+    if kernel_plan is not None:
+        codegen_report.details["kernel terms (gemm/copy/einsum)"] = (
+            f"{kernel_plan.gemm_terms}/{kernel_plan.copy_terms}/"
+            f"{kernel_plan.einsum_terms}"
+        )
+    reports.append(codegen_report)
 
     if tracker is not None:
         _annotate_degradations(reports, tracker)
@@ -672,6 +735,7 @@ def _synthesize_pipeline(
         execution_plan,
         sparsity_estimates,
         tracker,
+        kernel_plan=kernel_plan,
     )
 
 

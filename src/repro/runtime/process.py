@@ -32,6 +32,15 @@ Workers hold no state between statements beyond their process: a
 ``load`` command replaces program, inputs, and mailboxes, so one
 :class:`SpmdProcessPool` amortizes process startup across a whole
 formula sequence (and across repeated executions).
+
+Transport: command/reply framing always rides the pipe, but ndarray
+payloads (rank inputs, superstep messages, collected blocks) travel by
+default through ``multiprocessing.shared_memory`` segments
+(:mod:`repro.runtime.shm`) instead of being pickled into the pipe --
+``transport="pipe"`` restores the pure-pickle wire.  The router tracks
+segments it has posted but not yet seen acknowledged (the protocol is
+strictly request/reply per worker) and unlinks them if the pool breaks,
+so a dead worker cannot orphan shared memory.
 """
 
 from __future__ import annotations
@@ -53,6 +62,14 @@ from repro.parallel.spmd import (
 from repro.parallel.spmd_runtime import paste
 from repro.robustness.errors import CommFailure, InjectedFault
 from repro.robustness.faults import FaultSchedule
+from repro.runtime.shm import (
+    DEFAULT_MIN_BYTES,
+    SHM_AVAILABLE,
+    pack_message,
+    segment_of,
+    unlink_segment,
+    unpack_message,
+)
 
 Rank = Tuple[int, ...]
 
@@ -60,6 +77,8 @@ Rank = Tuple[int, ...]
 #: | ("restarted",) | ("results", {rank: (box, blk)}) | ("error", text)
 #: router -> worker: ("load", source, fname, ranks, arrays) |
 #: ("go", inbox) | ("restart",) | ("collect",) | ("stop",)
+#: Each message is wrapped by :func:`repro.runtime.shm.pack_message`
+#: before hitting the pipe (``("raw", msg)`` under the pipe transport).
 
 
 class _RankComm:
@@ -102,8 +121,13 @@ def _fresh_programs(program, ranks, arrays):
     return comms, states, gens, set(ranks)
 
 
-def _worker_main(conn) -> None:
-    """Entry point of one worker process (see module docstring)."""
+def _worker_main(conn, shm_min_bytes: Optional[int] = None) -> None:
+    """Entry point of one worker process (see module docstring).
+
+    ``shm_min_bytes`` selects the reply transport: ``None`` pickles
+    everything into the pipe; an int side-loads arrays of at least that
+    many bytes into shared-memory segments.
+    """
     program = None
     arrays = None
     ranks: List[Rank] = []
@@ -111,10 +135,14 @@ def _worker_main(conn) -> None:
     states: Dict[Rank, Dict] = {}
     gens: Dict[Rank, object] = {}
     live: set = set()
+
+    def reply(msg) -> None:
+        conn.send(pack_message(msg, shm_min_bytes))
+
     try:
         while True:
             try:
-                msg = conn.recv()
+                msg = unpack_message(conn.recv())
             except EOFError:
                 break
             kind = msg[0]
@@ -130,7 +158,7 @@ def _worker_main(conn) -> None:
                     comms, states, gens, live = _fresh_programs(
                         program, ranks, arrays
                     )
-                    conn.send(("loaded",))
+                    reply(("loaded",))
                 elif kind == "go":
                     for dest, tag, payload in msg[1]:
                         comms[dest].push(tag, payload)
@@ -145,14 +173,14 @@ def _worker_main(conn) -> None:
                             live.discard(rank)
                             n_done += 1
                         outbox.extend(comms[rank].drain())
-                    conn.send(("step", outbox, n_done))
+                    reply(("step", outbox, n_done))
                 elif kind == "restart":
                     comms, states, gens, live = _fresh_programs(
                         program, ranks, arrays
                     )
-                    conn.send(("restarted",))
+                    reply(("restarted",))
                 elif kind == "collect":
-                    conn.send(
+                    reply(
                         (
                             "results",
                             {
@@ -164,9 +192,9 @@ def _worker_main(conn) -> None:
                 elif kind == "stop":
                     break
                 else:
-                    conn.send(("error", f"unknown command {kind!r}"))
+                    reply(("error", f"unknown command {kind!r}"))
             except Exception:
-                conn.send(("error", traceback.format_exc()))
+                reply(("error", traceback.format_exc()))
     finally:
         conn.close()
 
@@ -178,12 +206,34 @@ class SpmdProcessPool:
     statements and runs; ``close`` (or use as a context manager) shuts
     them down.  Uses the ``fork`` start method where available (cheap,
     inherits the loaded package) and falls back to ``spawn``.
+
+    ``transport`` selects the ndarray wire: ``"shm"`` (default) ships
+    arrays of at least ``shm_min_bytes`` through shared-memory segments
+    (:mod:`repro.runtime.shm`); ``"pipe"`` pickles everything into the
+    pipe.  ``"shm"`` silently degrades to ``"pipe"`` on platforms
+    without POSIX shared memory.  Either way the message *contents* are
+    identical, so results and traffic accounting do not depend on the
+    transport.
     """
 
-    def __init__(self, procs: int, context=None) -> None:
+    def __init__(
+        self,
+        procs: int,
+        context=None,
+        transport: str = "shm",
+        shm_min_bytes: int = DEFAULT_MIN_BYTES,
+    ) -> None:
         if procs < 1:
             raise ValueError(f"need at least one worker process, got {procs}")
+        if transport not in ("shm", "pipe"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pipe', got {transport!r}"
+            )
+        if transport == "shm" and not SHM_AVAILABLE:  # pragma: no cover
+            transport = "pipe"
         self.procs = procs
+        self.transport = transport
+        self.shm_min_bytes = shm_min_bytes
         if context is None:
             methods = mp.get_all_start_methods()
             context = mp.get_context(
@@ -192,6 +242,9 @@ class SpmdProcessPool:
         self._ctx = context
         self._workers: List[Tuple[object, object]] = []  # (Process, Conn)
         self._broken = False
+        #: segments posted to a worker but not yet acknowledged by a
+        #: reply; unlinked on breakage so dead workers cannot leak shm
+        self._pending: Dict[int, List[str]] = {}
 
     def workers(self, n: int) -> List[Tuple[object, object]]:
         """At least ``n`` running workers (capped at ``procs``)."""
@@ -202,23 +255,47 @@ class SpmdProcessPool:
                 stage="spmd-process",
             )
         n = min(n, self.procs)
+        min_bytes = self.shm_min_bytes if self.transport == "shm" else None
         while len(self._workers) < n:
             parent_conn, child_conn = self._ctx.Pipe()
             proc = self._ctx.Process(
-                target=_worker_main, args=(child_conn,), daemon=True
+                target=_worker_main,
+                args=(child_conn, min_bytes),
+                daemon=True,
             )
             proc.start()
             child_conn.close()
             self._workers.append((proc, parent_conn))
         return self._workers[:n]
 
+    def post(self, conn, msg) -> None:
+        """Send a command to a worker over the configured transport."""
+        min_bytes = self.shm_min_bytes if self.transport == "shm" else None
+        packed = pack_message(msg, min_bytes)
+        seg = segment_of(packed)
+        if seg is not None:
+            self._pending.setdefault(id(conn), []).append(seg)
+        conn.send(packed)
+
+    def acknowledge(self, conn) -> None:
+        """A reply arrived: every segment posted to ``conn`` is consumed."""
+        self._pending.pop(id(conn), None)
+
+    def _unlink_pending(self) -> None:
+        for segs in self._pending.values():
+            for seg in segs:
+                unlink_segment(seg)
+        self._pending = {}
+
     def mark_broken(self) -> None:
         self._broken = True
+        self._unlink_pending()
 
     def close(self) -> None:
+        self._unlink_pending()
         for proc, conn in self._workers:
             try:
-                conn.send(("stop",))
+                conn.send(("raw", ("stop",)))
             except (OSError, ValueError):
                 pass
         for proc, conn in self._workers:
@@ -242,12 +319,13 @@ class SpmdProcessPool:
 def _recv(pool: SpmdProcessPool, conn):
     """Receive one worker reply, surfacing worker-side failures."""
     try:
-        reply = conn.recv()
+        reply = unpack_message(conn.recv())
     except EOFError:  # pragma: no cover - worker died
         pool.mark_broken()
         raise CommFailure(
             "SPMD worker process exited unexpectedly", stage="spmd-process"
         ) from None
+    pool.acknowledge(conn)
     if reply[0] == "error":
         raise CommFailure(
             f"SPMD worker failed:\n{reply[1]}", stage="spmd-process"
@@ -266,6 +344,7 @@ def run_spmd_process(
     sleep: Callable[[float], None] = time.sleep,
     procs: Optional[int] = None,
     pool: Optional[SpmdProcessPool] = None,
+    transport: str = "shm",
 ) -> SpmdRun:
     """Execute a partition plan's rank programs across worker processes.
 
@@ -276,7 +355,9 @@ def run_spmd_process(
 
     ``procs`` bounds the worker count (default: one per rank); ``pool``
     reuses an existing :class:`SpmdProcessPool` so callers executing a
-    sequence pay process startup once.
+    sequence pay process startup once.  ``transport`` configures the
+    ndarray wire of a pool created here (a passed-in ``pool`` keeps its
+    own transport).
     """
     source = generate_spmd_source(plan, name)
     grid = plan.grid
@@ -284,7 +365,7 @@ def run_spmd_process(
     nworkers = max(1, min(procs or len(ranks), len(ranks)))
     owned = pool is None
     if pool is None:
-        pool = SpmdProcessPool(nworkers)
+        pool = SpmdProcessPool(nworkers, transport=transport)
     try:
         return _drive(
             pool, nworkers, plan, source, name, ranks, inputs,
@@ -318,7 +399,7 @@ def _drive(
 
     arrays = dict(inputs)
     for w, (_, conn) in enumerate(workers):
-        conn.send(("load", source, name, assignment[w], arrays))
+        pool.post(conn, ("load", source, name, assignment[w], arrays))
     for _, conn in workers:
         _recv(pool, conn)  # "loaded"
 
@@ -348,7 +429,7 @@ def _drive(
                         stage="spmd",
                     )
                 for w, (_, conn) in enumerate(workers):
-                    conn.send(("go", inboxes[w]))
+                    pool.post(conn, ("go", inboxes[w]))
                 outboxes: List[List] = []
                 for _, conn in workers:
                     reply = _recv(pool, conn)  # ("step", outbox, n_done)
@@ -377,12 +458,12 @@ def _drive(
                     stage="spmd",
                 ) from None
             for _, conn in workers:
-                conn.send(("restart",))
+                pool.post(conn, ("restart",))
             for _, conn in workers:
                 _recv(pool, conn)  # "restarted"
 
     for _, conn in workers:
-        conn.send(("collect",))
+        pool.post(conn, ("collect",))
     results: Dict[Rank, Tuple] = {}
     for _, conn in workers:
         results.update(_recv(pool, conn)[1])
@@ -407,6 +488,7 @@ def run_spmd_sequence_process(
     max_restarts: int = 3,
     procs: Optional[int] = None,
     pool: Optional[SpmdProcessPool] = None,
+    transport: str = "shm",
 ) -> SpmdSequenceRun:
     """Process-backend twin of :func:`repro.parallel.spmd.
     run_spmd_sequence`: every statement's rank programs run on one
@@ -416,5 +498,5 @@ def run_spmd_sequence_process(
     return run_spmd_sequence(
         statements, seq_plan, inputs, faults=faults,
         max_retries=max_retries, max_restarts=max_restarts,
-        backend="process", procs=procs, pool=pool,
+        backend="process", procs=procs, pool=pool, transport=transport,
     )

@@ -1,0 +1,200 @@
+"""Zero-copy ndarray transport over POSIX shared memory.
+
+The process backend's control traffic (message kinds, counters, retry
+bookkeeping) is tiny, but its *payloads* are ndarrays: rank inputs on
+load, halo/reduction pieces each superstep, outputs on collect.  Sending
+those through a ``multiprocessing.Pipe`` costs a pickle serialization, a
+kernel-buffer copy on each side, and a deserialization.  This module
+replaces that with ``multiprocessing.shared_memory``: the sender writes
+each array once into a fresh segment and ships a small picklable
+descriptor; the receiver maps the segment and copies the arrays out.
+Four-plus copies become two, and the pickle byte-stream vanishes.
+
+Protocol
+--------
+:func:`pack_message` turns an arbitrary message tree (tuples/lists/
+dicts/scalars/ndarrays) into either
+
+* ``("raw", obj)`` -- no array at or above the size threshold; the
+  object travels over the pipe unchanged; or
+* ``("shm", seg_name, headers, tree)`` -- every qualifying ndarray was
+  written into one shared-memory segment at a 64-byte-aligned offset.
+  ``headers[k] = (offset, shape, dtype_str)`` and the tree holds
+  ``("__shm__", k)`` placeholders where the arrays were.
+
+:func:`unpack_message` inverts this: attach, copy the arrays out,
+close, **unlink**.  Ownership transfers with the message -- the sender
+closes its mapping (and un-registers it from the resource tracker, see
+below) immediately after packing; the receiver always unlinks, so each
+segment lives exactly one send/receive round trip.  Copy-on-receive is
+deliberate: handing out views over the mapping would pin it open for
+the lifetime of arbitrary downstream references (``BufferError`` on
+close), while the copy keeps lifetimes trivial and still eliminates the
+serialization entirely.
+
+CPython quirk: ``SharedMemory`` registers the segment with the
+``resource_tracker`` even when merely *attaching* (bpo-39959).  A
+sender that closes without unlinking must therefore explicitly
+un-register, or the tracker reports a spurious leak at interpreter
+shutdown.  The receiver's ``unlink()`` un-registers naturally.
+
+Placeholders use the reserved tuple ``("__shm__", k)``; the backend's
+internal message vocabulary never produces that shape, and user arrays
+are replaced before the walk recurses into them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import guard exercised only where shm is absent
+    from multiprocessing import resource_tracker, shared_memory
+
+    SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+    SHM_AVAILABLE = False
+
+__all__ = [
+    "SHM_AVAILABLE",
+    "DEFAULT_MIN_BYTES",
+    "pack_message",
+    "unpack_message",
+    "segment_of",
+    "unlink_segment",
+]
+
+#: Arrays smaller than this ride the pipe inside the descriptor; the
+#: segment-per-message overhead only pays off past a few pages.
+DEFAULT_MIN_BYTES = 32768
+
+_ALIGN = 64  # cache-line alignment for each array's offset
+_TAG = "__shm__"
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _strip(obj: Any, arrays: List[np.ndarray], min_bytes: int) -> Any:
+    """Replace qualifying ndarrays with placeholders, collecting them."""
+    if isinstance(obj, np.ndarray):
+        if obj.nbytes >= min_bytes and not obj.dtype.hasobject:
+            arrays.append(obj)
+            return (_TAG, len(arrays) - 1)
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(_strip(x, arrays, min_bytes) for x in obj)
+    if isinstance(obj, list):
+        return [_strip(x, arrays, min_bytes) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _strip(v, arrays, min_bytes) for k, v in obj.items()}
+    return obj
+
+
+def _fill(obj: Any, arrays: Sequence[np.ndarray]) -> Any:
+    """Substitute recovered arrays back for their placeholders."""
+    if isinstance(obj, tuple):
+        if len(obj) == 2 and obj[0] == _TAG and isinstance(obj[1], int):
+            return arrays[obj[1]]
+        return tuple(_fill(x, arrays) for x in obj)
+    if isinstance(obj, list):
+        return [_fill(x, arrays) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _fill(v, arrays) for k, v in obj.items()}
+    return obj
+
+
+def _untrack(seg) -> None:
+    """Forget a segment we closed but did not unlink (bpo-39959)."""
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def pack_message(obj: Any, min_bytes: Optional[int] = DEFAULT_MIN_BYTES):
+    """Pack a message for the pipe, side-loading large arrays into shm.
+
+    Returns ``("raw", obj)`` when nothing qualifies (or shared memory is
+    unavailable, or ``min_bytes`` is ``None`` -- the pipe-only mode),
+    else ``("shm", seg_name, headers, tree)``.  The caller sends the
+    returned value over the pipe as usual; the segment is already closed
+    on this side and owned by the receiver.
+    """
+    if not SHM_AVAILABLE or min_bytes is None:
+        return ("raw", obj)
+    arrays: List[np.ndarray] = []
+    tree = _strip(obj, arrays, min_bytes)
+    if not arrays:
+        return ("raw", obj)
+    headers: List[Tuple[int, Tuple[int, ...], str]] = []
+    offset = 0
+    for a in arrays:
+        offset = _align(offset)
+        headers.append((offset, a.shape, a.dtype.str))
+        offset += a.nbytes
+    seg = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    try:
+        for a, (off, _, _) in zip(arrays, headers):
+            dest = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf, offset=off)
+            np.copyto(dest, a)
+            del dest  # release the buffer export before close()
+        name = seg.name
+    except BaseException:
+        seg.close()
+        seg.unlink()
+        raise
+    seg.close()
+    _untrack(seg)
+    return ("shm", name, headers, tree)
+
+
+def unpack_message(msg) -> Any:
+    """Recover the original message; unlinks the segment if there is one."""
+    if msg[0] == "raw":
+        return msg[1]
+    _, name, headers, tree = msg
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        arrays: List[np.ndarray] = []
+        for off, shape, dtype_str in headers:
+            count = int(np.prod(shape, dtype=np.int64))
+            flat = np.frombuffer(
+                seg.buf, dtype=np.dtype(dtype_str), count=count, offset=off
+            )
+            arrays.append(flat.reshape(shape).copy())
+            del flat  # release the buffer export before close()
+    finally:
+        seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    return _fill(tree, arrays)
+
+
+def segment_of(msg) -> Optional[str]:
+    """The segment name a packed message owns, or ``None`` for raw ones."""
+    if isinstance(msg, tuple) and len(msg) == 4 and msg[0] == "shm":
+        return msg[1]
+    return None
+
+
+def unlink_segment(name: str) -> bool:
+    """Best-effort unlink of an orphaned segment (dead receiver cleanup)."""
+    if not SHM_AVAILABLE:
+        return False
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced with receiver
+        pass
+    return True

@@ -1,0 +1,368 @@
+"""Tests for the compiled execution kernels (repro.kernels).
+
+The GEMM lowering is property-tested against the einsum oracle across
+random index patterns -- including the degenerate corners (scalar
+results, outer products, single-operand reductions) -- with the
+documented tolerance: the GEMM path regroups floating-point sums, so
+agreement is ``allclose`` at 1e-12 relative, while the einsum-fallback
+and path-cache paths must be **bit-for-bit** equal to the uncached
+reference.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chem.workloads import ccsd_doubles_program, random_contraction_program
+from repro.engine.executor import random_inputs, run_statements
+from repro.expr.ast import Mul, Statement, Sum, TensorRef
+from repro.expr.indices import Index, IndexRange
+from repro.expr.tensor import Tensor
+from repro.kernels import (
+    BufferArena,
+    KernelPlan,
+    KernelRunner,
+    cached_einsum,
+    clear_einsum_path_cache,
+    compile_kernel_plan,
+    einsum_path_cache_stats,
+    exec_gemm,
+    lower_binary_term,
+)
+from repro.pipeline import SynthesisConfig, synthesize
+
+COMMON = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: documented GEMM-vs-einsum tolerance (sum regrouping only)
+RTOL, ATOL = 1e-12, 1e-12
+
+
+def _indices(extents):
+    return [
+        Index(f"i{k}", IndexRange(f"R{k}", e)) for k, e in enumerate(extents)
+    ]
+
+
+def _oracle(left, right, out, a, b):
+    """Reference einsum for one binary term (sums everything not in out)."""
+    letters = {}
+    for i in list(left) + list(right) + list(out):
+        letters.setdefault(i, chr(ord("a") + len(letters)))
+    spec = (
+        "".join(letters[i] for i in left)
+        + ","
+        + "".join(letters[i] for i in right)
+        + "->"
+        + "".join(letters[i] for i in out)
+    )
+    return np.einsum(spec, a, b, optimize=True)
+
+
+@st.composite
+def binary_terms(draw):
+    """A random binary contraction: index memberships, orders, extents."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    extents = [draw(st.integers(min_value=1, max_value=4)) for _ in range(n)]
+    idx = _indices(extents)
+    membership = [
+        draw(st.sampled_from(["l", "r", "b"])) for _ in range(n)
+    ]
+    kept = [draw(st.booleans()) for _ in range(n)]
+    left = [i for i, m in zip(idx, membership) if m in ("l", "b")]
+    right = [i for i, m in zip(idx, membership) if m in ("r", "b")]
+    out = [i for i, k in zip(idx, kept) if k]
+    # random axis orders on each operand and the output
+    left = draw(st.permutations(left)) if left else []
+    right = draw(st.permutations(right)) if right else []
+    out = draw(st.permutations(out)) if out else []
+    return tuple(left), tuple(right), tuple(out)
+
+
+class TestGemmLowering:
+    @settings(max_examples=120, **COMMON)
+    @given(term=binary_terms(), seed=st.integers(0, 2**16))
+    def test_matches_einsum_oracle(self, term, seed):
+        left, right, out = term
+        sums = frozenset(set(left) | set(right)) - set(out)
+        spec = lower_binary_term(left, right, sums, out)
+        assert spec is not None, "no degenerate features drawn; must lower"
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal([i.extent() for i in left])
+        b = rng.standard_normal([i.extent() for i in right])
+        want = _oracle(left, right, out, a, b)
+        got = exec_gemm(
+            a, b,
+            lred=spec.lred, rred=spec.rred,
+            lperm=spec.lperm, rperm=spec.rperm,
+            nb=spec.nb, nm=spec.nm, nk=spec.nk, nn=spec.nn,
+            operm=spec.operm,
+        )
+        assert got.shape == want.shape
+        np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+
+    def test_scalar_result(self):
+        i, j = _indices([3, 4])
+        spec = lower_binary_term((i, j), (i, j), frozenset({i, j}), ())
+        a = np.arange(12.0).reshape(3, 4)
+        b = np.ones((3, 4))
+        got = exec_gemm(
+            a, b, lred=spec.lred, rred=spec.rred, lperm=spec.lperm,
+            rperm=spec.rperm, nb=spec.nb, nm=spec.nm, nk=spec.nk,
+            nn=spec.nn, operm=spec.operm,
+        )
+        assert got.shape == ()
+        assert got == pytest.approx(a.sum())
+
+    def test_outer_product(self):
+        i, j = _indices([3, 4])
+        spec = lower_binary_term((i,), (j,), frozenset(), (i, j))
+        a = np.arange(3.0)
+        b = np.arange(4.0)
+        got = exec_gemm(
+            a, b, lred=spec.lred, rred=spec.rred, lperm=spec.lperm,
+            rperm=spec.rperm, nb=spec.nb, nm=spec.nm, nk=spec.nk,
+            nn=spec.nn, operm=spec.operm,
+        )
+        np.testing.assert_allclose(got, np.outer(a, b), rtol=RTOL)
+
+    def test_single_operand_reduction(self):
+        # an index summed in only one operand is pre-reduced (lred/rred)
+        i, j, k = _indices([3, 4, 5])
+        spec = lower_binary_term((i, k), (i, j), frozenset({i, k}), (j,))
+        assert spec.lred == (1,)
+        a = np.random.default_rng(0).standard_normal((3, 5))
+        b = np.random.default_rng(1).standard_normal((3, 4))
+        got = exec_gemm(
+            a, b, lred=spec.lred, rred=spec.rred, lperm=spec.lperm,
+            rperm=spec.rperm, nb=spec.nb, nm=spec.nm, nk=spec.nk,
+            nn=spec.nn, operm=spec.operm,
+        )
+        np.testing.assert_allclose(
+            got, np.einsum("ik,ij->j", a, b), rtol=RTOL, atol=ATOL
+        )
+
+    def test_repeated_index_declines(self):
+        # diagonal within one operand: GEMM cannot express it
+        i, j = _indices([3, 3])
+        assert (
+            lower_binary_term((i, i), (i, j), frozenset({i}), (j,)) is None
+        )
+
+    def test_output_index_from_neither_operand_declines(self):
+        i, j = _indices([3, 4])
+        assert lower_binary_term((i,), (i,), frozenset(), (i, j)) is None
+
+
+class TestKernelPlan:
+    @settings(max_examples=25, **COMMON)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_runner_matches_reference_on_synthesized_sequences(self, seed):
+        prog = random_contraction_program(seed, extents=(3, 4, 5))
+        res = synthesize(prog, SynthesisConfig())
+        inputs = random_inputs(prog, seed=seed)
+        want = run_statements(
+            res.statements, inputs, None, None, path_cache=False
+        )
+        plan = res.kernel_plan
+        assert plan is not None
+        got = KernelRunner(plan).run(inputs)
+        for name in plan.outputs:
+            np.testing.assert_allclose(
+                got[name], want[name], rtol=1e-10, atol=1e-12, err_msg=name
+            )
+
+    def test_einsum_fallback_on_repeated_indices(self):
+        # B(j,j) is a diagonal read: the statement must compile to an
+        # einsum-fallback term and still match the reference executor
+        i, j = _indices([3, 3])
+        A = Tensor("A", (i, j))
+        B = Tensor("B", (j, j))
+        S = Tensor("S", (i,))
+        stmt = Statement(
+            S,
+            Sum((j,), Mul((TensorRef(A, (i, j)), TensorRef(B, (j, j))))),
+        )
+        plan = compile_kernel_plan([stmt])
+        assert plan.einsum_terms == 1 and plan.gemm_terms == 0
+        inputs = {
+            "A": np.arange(9.0).reshape(3, 3),
+            "B": np.random.default_rng(2).standard_normal((3, 3)),
+        }
+        want = run_statements([stmt], inputs)["S"]
+        got = KernelRunner(plan).run(inputs)["S"]
+        np.testing.assert_array_equal(got, want)
+
+    def test_accumulate_statements(self):
+        i, = _indices([4])
+        A = Tensor("A", (i,))
+        S = Tensor("S", (i,))
+        stmts = [
+            Statement(S, TensorRef(A, (i,))),
+            Statement(S, TensorRef(A, (i,)), accumulate=True),
+        ]
+        plan = compile_kernel_plan(stmts)
+        a = np.arange(4.0)
+        want = run_statements(stmts, {"A": a})["S"]
+        got = KernelRunner(plan).run({"A": a})["S"]
+        np.testing.assert_allclose(got, want, rtol=RTOL)
+
+    def test_accumulate_does_not_mutate_caller_seed(self):
+        i, = _indices([4])
+        A = Tensor("A", (i,))
+        S = Tensor("S", (i,))
+        stmts = [Statement(S, TensorRef(A, (i,)), accumulate=True)]
+        plan = compile_kernel_plan(stmts)
+        a = np.arange(4.0)
+        seed = np.ones(4)
+        out = KernelRunner(plan).run({"A": a, "S": seed})
+        np.testing.assert_array_equal(seed, np.ones(4))  # caller untouched
+        np.testing.assert_allclose(out["S"], seed + a, rtol=RTOL)
+
+    def test_liveness_releases_temporaries(self):
+        prog = ccsd_doubles_program(V=6, O=3)
+        res = synthesize(prog)
+        plan = res.kernel_plan
+        released = [n for sp in plan.statements for n in sp.release]
+        produced = {sp.result for sp in plan.statements}
+        # multi-statement factorized sequence: temporaries exist and are
+        # all released; outputs never are
+        assert len(produced) > 1
+        assert set(released) == produced - set(plan.outputs)
+        assert "R" in plan.outputs and "R" not in released
+
+    def test_plan_pickle_round_trip(self):
+        prog = ccsd_doubles_program(V=5, O=3)
+        res = synthesize(prog)
+        plan = res.kernel_plan
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        inputs = random_inputs(prog, None, seed=3)
+        a = KernelRunner(plan).run(inputs)
+        b = KernelRunner(clone).run(inputs)
+        for name in plan.outputs:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_plan_survives_plan_cache_round_trip(self, tmp_path):
+        from repro.runtime.plan_cache import PlanCache
+
+        prog = ccsd_doubles_program(V=5, O=3)
+        cache = PlanCache(directory=str(tmp_path))
+        first = synthesize(prog, cache=cache)
+        assert first.kernel_plan is not None
+        # cold memory tier, warm disk tier: full serialization exercised
+        second = synthesize(prog, cache=PlanCache(directory=str(tmp_path)))
+        assert second.kernel_plan == first.kernel_plan
+        inputs = random_inputs(prog, None, seed=1)
+        got = second.kernel_runner().run(inputs)
+        want = run_statements(second.statements, inputs)
+        np.testing.assert_allclose(
+            got["R"], want["R"], rtol=1e-10, atol=1e-12
+        )
+
+    def test_runner_output_buffers_are_reused(self):
+        prog = ccsd_doubles_program(V=5, O=3)
+        res = synthesize(prog)
+        runner = res.kernel_runner()
+        inputs = random_inputs(prog, None, seed=0)
+        first = runner.run(inputs)["R"]
+        second = runner.run(inputs)["R"]
+        assert first is second  # same persistent buffer, rewritten
+        detached = runner.run(inputs, copy=True)["R"]
+        assert detached is not second
+        np.testing.assert_array_equal(detached, second)
+
+    def test_steady_state_allocation_free(self):
+        prog = ccsd_doubles_program(V=5, O=3)
+        res = synthesize(prog)
+        runner = res.kernel_runner()
+        inputs = random_inputs(prog, None, seed=0)
+        runner.run(inputs)
+        runner.run(inputs)
+        before = runner.arena.allocations
+        for _ in range(4):
+            runner.run(inputs)
+        assert runner.arena.allocations == before
+
+
+class TestBufferArena:
+    def test_take_release_reuses_exact_key(self):
+        arena = BufferArena()
+        a = arena.take((3, 4))
+        arena.release(a)
+        b = arena.take((3, 4))
+        assert b is a
+        assert arena.reuses == 1
+        c = arena.take((4, 3))  # different shape: fresh allocation
+        assert c is not a
+        assert arena.allocations == 2
+
+    def test_dtype_is_part_of_the_key(self):
+        arena = BufferArena()
+        a = arena.take((5,), np.float64)
+        arena.release(a)
+        b = arena.take((5,), np.float32)
+        assert b is not a
+
+    def test_disabled_arena_never_pools(self):
+        arena = BufferArena(enabled=False)
+        a = arena.take((2, 2))
+        arena.release(a)
+        assert arena.pooled == 0
+        assert arena.take((2, 2)) is not a
+
+    def test_release_resolves_views_to_base(self):
+        arena = BufferArena()
+        a = arena.take((4, 4))
+        arena.release(a.reshape(2, 8))  # view: the base buffer is pooled
+        assert arena.pooled == 1
+        assert arena.take((4, 4)) is a
+
+    def test_clear_empties_pool(self):
+        arena = BufferArena()
+        arena.release(arena.take((2,)))
+        arena.clear()
+        assert arena.pooled == 0
+
+
+class TestEinsumPathCache:
+    def test_bit_for_bit_vs_optimize_true(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((6, 7, 8))
+        b = rng.standard_normal((8, 7, 5))
+        clear_einsum_path_cache()
+        for _ in range(2):  # miss then hit: both must be identical
+            got = cached_einsum("abc,cbd->ad", a, b)
+            want = np.einsum("abc,cbd->ad", a, b, optimize=True)
+            np.testing.assert_array_equal(got, want)
+
+    def test_hit_miss_accounting(self):
+        clear_einsum_path_cache()
+        a = np.ones((3, 4))
+        b = np.ones((4, 5))
+        cached_einsum("ij,jk->ik", a, b)
+        stats = einsum_path_cache_stats()
+        assert stats == {"entries": 1, "hits": 0, "misses": 1}
+        cached_einsum("ij,jk->ik", a, b)
+        assert einsum_path_cache_stats()["hits"] == 1
+        # different shapes under the same spec re-plan
+        cached_einsum("ij,jk->ik", np.ones((2, 2)), np.ones((2, 2)))
+        assert einsum_path_cache_stats()["misses"] == 2
+
+    def test_executor_path_cache_is_bit_for_bit(self):
+        prog = ccsd_doubles_program(V=5, O=3)
+        inputs = random_inputs(prog, None, seed=0)
+        cached = run_statements(prog.statements, inputs)
+        uncached = run_statements(
+            prog.statements, inputs, path_cache=False
+        )
+        for name in cached:
+            np.testing.assert_array_equal(
+                cached[name], uncached[name], err_msg=name
+            )
