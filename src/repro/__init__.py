@@ -28,7 +28,7 @@ from repro.engine.machine import MachineModel, MemoryLevel
 from repro.parallel.grid import ProcessorGrid
 from repro.parallel.commcost import CommModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "synthesize",
@@ -42,6 +42,7 @@ __all__ = [
 ]
 
 # secondary public surface (stable import points for library users)
+from repro.autotune import AutotuneOptions, TuningDB
 from repro.runtime.plan_cache import PlanCache
 from repro.kernels import BufferArena, KernelPlan, KernelRunner, compile_kernel_plan
 from repro.engine.executor import evaluate_expression, random_inputs, run_statements
@@ -53,6 +54,8 @@ from repro.opmin.schedule import schedule_statements
 from repro.validate import verify_result
 
 __all__ += [
+    "AutotuneOptions",
+    "TuningDB",
     "PlanCache",
     "BufferArena",
     "KernelPlan",

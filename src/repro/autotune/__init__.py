@@ -1,0 +1,45 @@
+"""Empirical autotuning: measure the model's top candidates, remember
+the winners.
+
+The locality and distribution stages pick tile sizes and processor
+grids from purely analytical cost models (the paper's Section-6
+doubling search and Section-7 DP).  On real hardware those models
+misrank candidates that differ in loop overhead, GEMM shape, or
+transport cost.  This package closes the gap the way SparseAuto and
+CoNST do -- analytical candidate generation, empirical selection:
+
+* :mod:`repro.autotune.candidates` -- the top-K pareto candidates of
+  each analytical search (tile combinations, grid shapes, kernel
+  lowering variants, transport/procs), each wrapped as a measurable
+  runner;
+* :mod:`repro.autotune.measure` -- timed micro-runs with warmup,
+  repetition, median-of-N ``perf_counter_ns`` timing, and outlier
+  rejection, charged against a shared search budget;
+* :mod:`repro.autotune.db` -- the persistent :class:`TuningDB`:
+  content-addressed records (program + config + machine signature)
+  in an in-memory LRU over an atomic on-disk JSON tier, so repeat
+  syntheses skip measurement entirely;
+* :mod:`repro.autotune.stage` -- the opt-in pipeline stage
+  (``synthesize(..., autotune=...)``, CLI ``--autotune``) that applies
+  measured winners and reports timings, rank disagreements, and
+  budget degradation.
+"""
+
+from repro.autotune.db import TuningDB, machine_signature, tuning_key
+from repro.autotune.measure import Measurement, Measurer
+from repro.autotune.stage import (
+    AutotuneOptions,
+    TuningDecisions,
+    run_autotune,
+)
+
+__all__ = [
+    "AutotuneOptions",
+    "Measurement",
+    "Measurer",
+    "TuningDB",
+    "TuningDecisions",
+    "machine_signature",
+    "run_autotune",
+    "tuning_key",
+]

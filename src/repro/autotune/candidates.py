@@ -1,0 +1,371 @@
+"""Candidate generation: the analytical searches' pareto heads.
+
+The autotuner never invents candidates -- it re-ranks the *top-K* of
+what the analytical stages already searched, which is what keeps
+measurement cheap (SparseAuto's insight: prune with the model, decide
+with the stopwatch).  One :class:`DimensionTuner` per tunable decision:
+
+``tiles``
+    the Section-6 tile search's lowest-modeled-miss combinations
+    (:func:`repro.locality.tile_search.top_candidates`), re-applied to
+    the pre-locality structure and timed through the compiled loop
+    kernel;
+``kernel``
+    the kernel lowering variants -- GEMM lowering vs the cached einsum
+    path (:func:`repro.kernels.plan.compile_kernel_plan` modes) --
+    timed through a steady-state :class:`~repro.kernels.plan.KernelRunner`;
+``grid``
+    the Section-7 grid-shape DP's cheapest shapes
+    (:func:`repro.parallel.gridsearch.top_shapes`), re-planned and
+    timed through the SPMD driver;
+``transport``
+    the process backend's wire and worker count (shm vs pipe transport,
+    procs), timed through real worker pools.
+
+Each tuner yields :class:`Candidate` objects carrying the analytical
+model's cost (for the rank-disagreement report), builds a no-argument
+runner per candidate for the :class:`~repro.autotune.measure.Measurer`,
+and knows how to apply a winner to the
+:class:`~repro.pipeline.SynthesisResult` and how to reconstruct that
+application from a persisted decision payload.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Candidate",
+    "DimensionTuner",
+    "TileTuner",
+    "KernelTuner",
+    "GridTuner",
+    "TransportTuner",
+    "build_tuners",
+]
+
+
+@dataclass
+class Candidate:
+    """One measurable choice within a dimension."""
+
+    label: str
+    #: JSON-able decision payload (what the TuningDB stores)
+    payload: object
+    #: the analytical model's cost for this candidate (rank reporting)
+    model_cost: float = 0.0
+    #: True for the choice the analytical pipeline already made
+    analytical: bool = False
+
+
+class DimensionTuner:
+    """One tunable decision: candidates, runners, application."""
+
+    dimension: str = ""
+
+    def candidates(self) -> List[Candidate]:
+        raise NotImplementedError
+
+    def runner(self, cand: Candidate) -> Callable[[], object]:
+        raise NotImplementedError
+
+    def apply(self, cand: Candidate) -> None:
+        raise NotImplementedError
+
+    def apply_payload(self, payload: object) -> bool:
+        """Re-apply a persisted decision; False if it no longer maps."""
+        for cand in self.candidates():
+            if cand.payload == payload:
+                self.apply(cand)
+                return True
+        return False
+
+    def analytical_candidate(self, cands: List[Candidate]) -> Candidate:
+        for cand in cands:
+            if cand.analytical:
+                return cand
+        return min(cands, key=lambda c: c.model_cost)
+
+
+class TileTuner(DimensionTuner):
+    """Section-6 tile sizes, re-ranked by compiled-loop wall time.
+
+    The miss model prices memory traffic only; at real sizes the tiled
+    loop nest also pays per-iteration loop overhead the model cannot
+    see, so the modeled best tiling and the fastest structure routinely
+    disagree -- exactly the gap measurement closes.
+    """
+
+    dimension = "tiles"
+
+    def __init__(self, result, inputs, top_k: int) -> None:
+        from repro.locality.tile_search import (
+            tileable_indices,
+            top_candidates,
+        )
+
+        self.result = result
+        self.inputs = inputs
+        self.top_k = top_k
+        self.base = result.pre_locality_structure
+        self.table = result.locality_table
+        self._by_name = (
+            {i.name: i for i in tileable_indices(self.base)}
+            if self.base is not None
+            else {}
+        )
+        self._structures: Dict[str, object] = {}
+        self._top = top_candidates if self.table else None
+
+    def active(self) -> bool:
+        return bool(self.table) and self.base is not None
+
+    def _structure(self, tiles_by_name: Dict[str, int]):
+        from repro.codegen.builder import apply_tiling
+        from repro.codegen.loops import Alloc, walk
+
+        if not tiles_by_name:
+            return self.base
+        tiles = {
+            self._by_name[name]: size
+            for name, size in tiles_by_name.items()
+        }
+        keep_global = [
+            n.array for n in walk(self.base) if isinstance(n, Alloc)
+        ]
+        return apply_tiling(self.base, tiles, keep_global=keep_global)
+
+    def candidates(self) -> List[Candidate]:
+        from repro.locality.tile_search import top_candidates
+
+        out: List[Candidate] = []
+        chosen = dict(self.result.locality_tiles)
+        for row in top_candidates(self.table, self.top_k):
+            tiles = dict(row["tiles"])
+            if any(name not in self._by_name for name in tiles):
+                continue
+            label = (
+                "tiles " + ",".join(
+                    f"{n}={b}" for n, b in sorted(tiles.items())
+                )
+                if tiles
+                else "untiled"
+            )
+            self._structures[label] = self._structure(tiles)
+            out.append(
+                Candidate(
+                    label,
+                    tiles,
+                    model_cost=float(row["cost"]),
+                    analytical=(tiles == chosen),
+                )
+            )
+        return out
+
+    def runner(self, cand: Candidate) -> Callable[[], object]:
+        from repro.codegen.pygen import compile_loops
+
+        kernel = compile_loops(
+            self._structures[cand.label], self.result.config.bindings
+        )
+        inputs = self.inputs
+        return lambda: kernel(inputs)
+
+    def apply(self, cand: Candidate) -> None:
+        from repro.codegen.pygen import generate_source
+
+        structure = self._structures[cand.label]
+        self.result.structure = structure
+        self.result.locality_tiles = dict(cand.payload)
+        self.result.source = generate_source(
+            structure, self.result.config.bindings
+        )
+
+
+class KernelTuner(DimensionTuner):
+    """GEMM lowering vs the cached einsum path, per whole sequence."""
+
+    dimension = "kernel"
+
+    def __init__(self, result, inputs) -> None:
+        self.result = result
+        self.inputs = inputs
+        self._plans: Dict[str, object] = {}
+        self._runners: Dict[str, object] = {}
+
+    def active(self) -> bool:
+        plan = self.result.kernel_plan
+        return plan is not None and plan.gemm_terms > 0
+
+    def _plan(self, mode: str):
+        from repro.kernels import compile_kernel_plan
+
+        plan = self._plans.get(mode)
+        if plan is None:
+            current = self.result.kernel_plan
+            if current is not None and current.mode == mode:
+                plan = current
+            else:
+                plan = compile_kernel_plan(
+                    self.result.statements,
+                    self.result.config.bindings,
+                    mode=mode,
+                )
+            self._plans[mode] = plan
+        return plan
+
+    def candidates(self) -> List[Candidate]:
+        return [
+            Candidate("kernel gemm", "gemm", 0.0, analytical=True),
+            Candidate("kernel einsum", "einsum", 1.0),
+        ]
+
+    def runner(self, cand: Candidate) -> Callable[[], object]:
+        from repro.kernels.plan import KernelRunner
+
+        mode = cand.payload
+        runner = self._runners.get(mode)
+        if runner is None:
+            runner = KernelRunner(self._plan(mode))
+            self._runners[mode] = runner
+        inputs = self.inputs
+        return lambda: runner.run(inputs)
+
+    def apply(self, cand: Candidate) -> None:
+        self.result.kernel_plan = self._plan(cand.payload)
+
+
+class GridTuner(DimensionTuner):
+    """Section-7 logical grid shapes, re-ranked by SPMD wall time."""
+
+    dimension = "grid"
+
+    def __init__(self, result, config, inputs, top_k: int) -> None:
+        self.result = result
+        self.config = config
+        self.inputs = inputs
+        self.top_k = top_k
+        self._plans: Dict[Tuple[int, ...], Dict[str, object]] = {}
+
+    def active(self) -> bool:
+        return (
+            self.config.processors is not None
+            and len(self.result.grid_table) > 1
+            and bool(self.result.partition_plans)
+        )
+
+    def _plans_for(self, shape: Tuple[int, ...]):
+        from repro.parallel.grid import ProcessorGrid
+        from repro.parallel.program_plan import plan_sequence
+
+        plans = self._plans.get(shape)
+        if plans is None:
+            seq_plan = plan_sequence(
+                self.result.statements,
+                ProcessorGrid(shape),
+                self.config.comm,
+                self.config.bindings,
+            )
+            plans = dict(seq_plan.plans)
+            self._plans[shape] = plans
+        return plans
+
+    def candidates(self) -> List[Candidate]:
+        from repro.parallel.gridsearch import top_shapes
+
+        chosen = tuple(
+            next(iter(self.result.partition_plans.values())).grid.dims
+        )
+        costs = {tuple(s): c for s, c in self.result.grid_table}
+        out = []
+        for shape in top_shapes(self.result.grid_table, self.top_k):
+            shape = tuple(shape)
+            if not self._plans_for(shape):
+                continue
+            out.append(
+                Candidate(
+                    "grid " + "x".join(str(d) for d in shape),
+                    list(shape),
+                    model_cost=float(costs.get(shape, 0.0)),
+                    analytical=(shape == chosen),
+                )
+            )
+        return out
+
+    def runner(self, cand: Candidate) -> Callable[[], object]:
+        plans = self._plans_for(tuple(cand.payload))
+        result, inputs = self.result, self.inputs
+
+        def run():
+            saved = result.partition_plans
+            result.partition_plans = plans
+            try:
+                return result.run_parallel(inputs, backend="local")
+            finally:
+                result.partition_plans = saved
+
+        return run
+
+    def apply(self, cand: Candidate) -> None:
+        self.result.partition_plans = self._plans_for(tuple(cand.payload))
+
+
+class TransportTuner(DimensionTuner):
+    """Process-backend wire (shm vs pipe) and worker count."""
+
+    dimension = "transport"
+
+    def __init__(self, result, inputs, measure_parallel: bool) -> None:
+        self.result = result
+        self.inputs = inputs
+        self.measure_parallel = measure_parallel
+
+    def active(self) -> bool:
+        return self.measure_parallel and bool(self.result.partition_plans)
+
+    def candidates(self) -> List[Candidate]:
+        grid_size = next(
+            iter(self.result.partition_plans.values())
+        ).grid.size
+        default_procs = min(grid_size, os.cpu_count() or 1)
+        procs_options = sorted({1, default_procs})
+        out = []
+        for transport in ("shm", "pipe"):
+            for procs in procs_options:
+                out.append(
+                    Candidate(
+                        f"{transport} procs={procs}",
+                        {"transport": transport, "procs": procs},
+                        model_cost=0.0 if transport == "shm" else 1.0,
+                        analytical=(
+                            transport == "shm" and procs == default_procs
+                        ),
+                    )
+                )
+        return out
+
+    def runner(self, cand: Candidate) -> Callable[[], object]:
+        result, inputs = self.result, self.inputs
+        transport = cand.payload["transport"]
+        procs = cand.payload["procs"]
+        return lambda: result.run_parallel(
+            inputs, backend="process", procs=procs, transport=transport
+        )
+
+    def apply(self, cand: Candidate) -> None:
+        # the decision lands in result.tuning (run_parallel's defaults);
+        # nothing structural changes
+        pass
+
+
+def build_tuners(result, config, inputs, options) -> List[DimensionTuner]:
+    """The active tuners for one synthesis result, in a fixed order."""
+    tuners: List[DimensionTuner] = [
+        TileTuner(result, inputs, options.top_k),
+        KernelTuner(result, inputs),
+        GridTuner(result, config, inputs, options.top_k),
+        TransportTuner(result, inputs, options.measure_parallel),
+    ]
+    return [t for t in tuners if t.active()]

@@ -1,0 +1,226 @@
+"""The persistent tuning database.
+
+Measured tuning decisions are only meaningful on the machine that
+produced them, for the exact program and configuration that was tuned.
+A :class:`TuningDB` therefore stores each record under a
+content-addressed key (the same sha256 fingerprint discipline as
+:mod:`repro.runtime.plan_cache`):
+
+    sha256( package version
+          + configuration fingerprint
+          + canonical program text
+          + machine signature )
+
+The **machine signature** (:func:`machine_signature`) captures what the
+measurements depended on: the CPU count, the configured cache/memory
+capacities from :class:`~repro.engine.machine.MachineModel`, and the
+numpy version (its kernels do the measured work).  A record is *never*
+applied under a different signature -- the signature is part of the key
+*and* re-validated against the stored copy on every hit, so even a file
+copied between machines reads as a miss.
+
+Storage mirrors the plan cache: a bounded in-memory LRU over an
+optional on-disk tier.  Disk records are canonical JSON (sorted keys,
+fixed separators, trailing newline) written atomically, so two tuning
+runs that reach the same decisions produce **byte-identical** files --
+the property the CI determinism check asserts.  Records deliberately
+contain decisions and trial counts but no raw timings: timings are
+reported in the stage report, where run-to-run noise belongs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+__all__ = ["TuningDB", "machine_signature", "tuning_key"]
+
+
+def machine_signature(machine=None) -> Dict[str, object]:
+    """What the measurements depend on: cpu count, the configured
+    memory-hierarchy capacities, and the numpy version.
+
+    ``machine`` is the :class:`~repro.engine.machine.MachineModel` the
+    synthesis ran with (its capacities steer the analytical choices the
+    measurements compete against); ``None`` uses the default model.
+    """
+    import numpy as np
+
+    from repro.engine.machine import MachineModel
+
+    machine = machine or MachineModel()
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "cache_elements": machine.cache.capacity,
+        "memory_elements": machine.memory.capacity,
+        "numpy": np.__version__,
+    }
+
+
+def _canonical(record: Dict[str, object]) -> str:
+    """Canonical JSON text: sorted keys, fixed separators, newline."""
+    return json.dumps(record, sort_keys=True, indent=2) + "\n"
+
+
+def tuning_key(program, config, signature: Dict[str, object]) -> str:
+    """Content-addressed key of (program, config, machine, version)."""
+    from repro import __version__
+    from repro.expr.printer import program_to_source
+    from repro.runtime.plan_cache import config_fingerprint
+
+    payload = "\n".join(
+        [
+            __version__,
+            config_fingerprint(config),
+            program_to_source(program),
+            json.dumps(signature, sort_keys=True),
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TuningDB:
+    """In-memory LRU + optional on-disk store of tuning records.
+
+    ``maxsize`` bounds the in-memory entry count; ``directory`` enables
+    the persistent tier (one ``<key>.tune.json`` file per record,
+    published atomically).  Hits promote disk records back into memory.
+    A record whose stored signature or package version disagrees with
+    the caller's is treated as a miss (and counted in ``stale``).
+    """
+
+    def __init__(
+        self, maxsize: int = 128, directory: Optional[str] = None
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._memory: "OrderedDict[str, str]" = OrderedDict()
+        self.hits = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.tune.json")
+
+    def _validate(
+        self, record: Dict[str, object], signature: Optional[Dict[str, object]]
+    ) -> bool:
+        from repro import __version__
+
+        if record.get("version") != __version__:
+            return False
+        if signature is not None and record.get("signature") != signature:
+            return False
+        return True
+
+    def get(
+        self, key: str, signature: Optional[Dict[str, object]] = None
+    ) -> Optional[Tuple[Dict[str, object], str]]:
+        """``(record, tier)`` for a stored key, else ``None``.
+
+        ``tier`` is ``"memory"`` or ``"disk"``.  With a ``signature``
+        the stored record must carry the identical signature (defense
+        against files copied across machines); mismatches count as
+        ``stale`` misses and stale disk files are removed.
+        """
+        text = self._memory.get(key)
+        if text is not None:
+            record = json.loads(text)
+            if self._validate(record, signature):
+                self._memory.move_to_end(key)
+                self.hits += 1
+                self.memory_hits += 1
+                return record, "memory"
+            del self._memory[key]
+            self.stale += 1
+            self.misses += 1
+            return None
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+                record = json.loads(text)
+            except FileNotFoundError:
+                pass
+            except (OSError, json.JSONDecodeError):
+                # corrupt record: drop it and treat as a miss
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            else:
+                if not self._validate(record, signature):
+                    self.stale += 1
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+                else:
+                    self._store_memory(key, text)
+                    self.hits += 1
+                    self.disk_hits += 1
+                    return record, "disk"
+        self.misses += 1
+        return None
+
+    def put(self, key: str, record: Dict[str, object]) -> None:
+        """Store a tuning record under ``key`` in both tiers."""
+        text = _canonical(record)
+        self._store_memory(key, text)
+        if self.directory is not None:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, suffix=".tune.tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp, self._path(key))
+            except OSError:  # pragma: no cover - disk full etc.
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+
+    def _store_memory(self, key: str, text: str) -> None:
+        self._memory[key] = text
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory tier (and the disk tier with ``disk=True``)."""
+        self._memory.clear()
+        if disk and self.directory is not None:
+            for entry in os.listdir(self.directory):
+                if entry.endswith(".tune.json"):
+                    try:
+                        os.remove(os.path.join(self.directory, entry))
+                    except OSError:
+                        pass
+
+    def describe(self) -> str:
+        tiers = f"memory[{len(self._memory)}/{self.maxsize}]"
+        if self.directory is not None:
+            tiers += f" + disk[{self.directory}]"
+        return (
+            f"TuningDB({tiers}): {self.hits} hits "
+            f"({self.memory_hits} memory, {self.disk_hits} disk), "
+            f"{self.misses} misses ({self.stale} stale), "
+            f"{self.evictions} evictions"
+        )

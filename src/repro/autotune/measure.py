@@ -1,0 +1,123 @@
+"""Timed micro-runs with warmup, repetition, and outlier rejection.
+
+The analytical cost models rank candidates; this module ranks them by
+what actually happens on the hardware.  The protocol per candidate:
+
+1. **warmup** runs (not timed) populate caches -- numpy's einsum path
+   cache, the buffer arena, CPU caches, the OS page cache;
+2. **repeats** timed runs through ``time.perf_counter_ns``;
+3. **outlier rejection**: samples above ``3x`` the median (a GC pause,
+   a scheduler preemption) are discarded and the median of the
+   survivors is the candidate's score.  The median is always a
+   survivor, so rejection can never empty the sample set.
+
+Every run (warmup included) charges one node against the shared
+:class:`~repro.robustness.budget.BudgetTracker` under the ``"tuning"``
+stage, so a wall-clock budget bounds measurement like any other search
+stage; :class:`~repro.robustness.errors.BudgetExceeded` propagates to
+the autotune stage, which degrades to the analytical choice.
+
+The clock is injectable (``timer``) so tests and the CI determinism
+check can drive the whole subsystem with a deterministic fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.robustness.budget import BudgetTracker
+
+__all__ = ["Measurement", "Measurer", "median"]
+
+#: samples above this multiple of the median are rejected as outliers
+OUTLIER_FACTOR = 3.0
+
+
+def median(values: List[float]) -> float:
+    """The sample median (mean of the middle pair for even counts)."""
+    if not values:
+        raise ValueError("median of an empty sample set")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass
+class Measurement:
+    """One candidate's timing summary."""
+
+    label: str
+    samples_ns: List[int] = field(default_factory=list)
+    median_ns: float = 0.0
+    rejected: int = 0
+    runs: int = 0  # total executions, warmup included
+
+    @property
+    def median_ms(self) -> float:
+        return self.median_ns / 1e6
+
+
+class Measurer:
+    """Runs candidates under the common timing protocol.
+
+    ``warmup``/``repeats`` set the per-candidate run counts; ``timer``
+    is a ``perf_counter_ns``-compatible clock; ``tracker`` (optional)
+    is the budget the runs are charged against.  ``total_runs`` counts
+    every execution across all candidates -- the stage report exposes it
+    so callers can assert that a warm TuningDB hit measured nothing.
+    """
+
+    def __init__(
+        self,
+        warmup: int = 1,
+        repeats: int = 5,
+        timer: Callable[[], int] = time.perf_counter_ns,
+        tracker: Optional[BudgetTracker] = None,
+    ) -> None:
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.warmup = warmup
+        self.repeats = repeats
+        self.timer = timer
+        self.tracker = tracker
+        self.total_runs = 0
+
+    def _tick(self) -> None:
+        if self.tracker is not None:
+            self.tracker.tick(1, stage="tuning")
+
+    def measure(self, label: str, fn: Callable[[], object]) -> Measurement:
+        """Time ``fn`` under the warmup/repeat/reject protocol.
+
+        Raises :class:`~repro.robustness.errors.BudgetExceeded` as soon
+        as the budget runs out -- partial samples are discarded and the
+        caller falls back to its analytical choice.
+        """
+        for _ in range(self.warmup):
+            self._tick()
+            fn()
+            self.total_runs += 1
+        samples: List[int] = []
+        for _ in range(self.repeats):
+            self._tick()
+            start = self.timer()
+            fn()
+            samples.append(self.timer() - start)
+            self.total_runs += 1
+        raw_median = median([float(s) for s in samples])
+        kept = [
+            float(s) for s in samples if s <= OUTLIER_FACTOR * raw_median
+        ]
+        return Measurement(
+            label=label,
+            samples_ns=samples,
+            median_ns=median(kept),
+            rejected=len(samples) - len(kept),
+            runs=self.warmup + len(samples),
+        )

@@ -191,11 +191,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed synthesis cache directory: reuse the "
         "complete plan when program + config + version match",
     )
+    parser.add_argument(
+        "--autotune", action="store_true",
+        help="measure the analytical searches' top candidates (tile "
+        "sizes, kernel lowering, grid shape) on this machine and keep "
+        "the fastest",
+    )
+    parser.add_argument(
+        "--tuning-db", metavar="DIR", default=None,
+        help="with --autotune: persistent tuning database directory; "
+        "repeat syntheses on the same machine skip measurement",
+    )
+    parser.add_argument(
+        "--tune-trials", type=int, default=3,
+        help="with --autotune: timed repetitions per candidate "
+        "(median-of-N with outlier rejection; default 3)",
+    )
     return parser
+
+
+def _validate_args(args) -> Optional[SpecError]:
+    """Range checks argparse types cannot express; None when valid."""
+    if args.procs is not None and args.procs < 1:
+        return SpecError(
+            f"--procs must be a positive worker count, got {args.procs}"
+        )
+    if args.processors is not None and args.processors < 1:
+        return SpecError(
+            "--processors must be a positive processor count, "
+            f"got {args.processors}"
+        )
+    if args.budget_ms is not None and args.budget_ms <= 0:
+        return SpecError(
+            f"--budget-ms must be a positive deadline, got {args.budget_ms:g}"
+        )
+    if args.budget_nodes is not None and args.budget_nodes < 0:
+        return SpecError(
+            f"--budget-nodes must be >= 0, got {args.budget_nodes}"
+        )
+    if args.tune_trials < 1:
+        return SpecError(
+            f"--tune-trials must be >= 1, got {args.tune_trials}"
+        )
+    if args.tuning_db is not None and not args.autotune:
+        return SpecError("--tuning-db requires --autotune")
+    return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    invalid = _validate_args(args)
+    if invalid is not None:
+        return _fail(invalid, EXIT_SPEC)
     if args.input == "-":
         source = sys.stdin.read()
     else:
@@ -250,8 +297,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.runtime.plan_cache import PlanCache
 
         cache = PlanCache(directory=args.plan_cache)
+    autotune = None
+    if args.autotune:
+        from repro.autotune import AutotuneOptions, TuningDB
+
+        autotune = AutotuneOptions(
+            trials=args.tune_trials,
+            db=(
+                TuningDB(directory=args.tuning_db)
+                if args.tuning_db is not None
+                else None
+            ),
+            budget=budget,
+        )
     try:
-        result = synthesize(source, config, cache=cache)
+        result = synthesize(source, config, cache=cache, autotune=autotune)
     except BudgetExceeded as exc:
         return _fail(exc, EXIT_BUDGET)
     except ParseError as exc:

@@ -101,6 +101,8 @@ class KernelPlan:
     gemm_terms: int = 0
     einsum_terms: int = 0
     copy_terms: int = 0
+    #: lowering variant this plan was compiled with ('gemm' | 'einsum')
+    mode: str = "gemm"
 
     def describe(self) -> str:
         return (
@@ -114,6 +116,7 @@ class KernelPlan:
 def compile_kernel_plan(
     statements: Sequence[Statement],
     bindings: Optional[Bindings] = None,
+    mode: str = "gemm",
 ) -> KernelPlan:
     """Lower a formula sequence to a :class:`KernelPlan`.
 
@@ -122,7 +125,18 @@ def compile_kernel_plan(
     the fallbacks, function-tensor grid shapes, and the liveness that
     drives arena recycling.  The plan is specialized to ``bindings``
     (shapes are resolved now, exactly like the generated numpy kernels).
+
+    ``mode`` selects the lowering variant: ``"gemm"`` (the analytical
+    default) lowers binary contractions to GEMM; ``"einsum"`` keeps
+    every contraction on the cached einsum path.  The empirical
+    autotuner (:mod:`repro.autotune`) measures both and keeps the
+    faster plan -- on some shapes einsum's fused path beats the GEMM
+    pack/permute sequence.
     """
+    if mode not in ("gemm", "einsum"):
+        raise ValueError(
+            f"unknown kernel-plan mode {mode!r} (use 'gemm' or 'einsum')"
+        )
     stmt_plans: List[StatementPlan] = []
     gemm_terms = einsum_terms = copy_terms = 0
     for stmt in statements:
@@ -142,7 +156,7 @@ def compile_kernel_plan(
             )
             gemm = None
             spec = None
-            if len(refs) == 2:
+            if len(refs) == 2 and mode == "gemm":
                 gemm = lower_binary_term(
                     refs[0].indices, refs[1].indices, sums, target
                 )
@@ -205,7 +219,8 @@ def compile_kernel_plan(
         for k, sp in enumerate(stmt_plans)
     ]
     return KernelPlan(
-        tuple(stmt_plans), outputs, gemm_terms, einsum_terms, copy_terms
+        tuple(stmt_plans), outputs, gemm_terms, einsum_terms, copy_terms,
+        mode,
     )
 
 

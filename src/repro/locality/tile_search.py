@@ -51,6 +51,30 @@ class LocalityResult:
         return self.baseline_cost / self.cost if self.cost else float("inf")
 
 
+def top_candidates(
+    table: Sequence[Dict[str, object]], k: int
+) -> List[Dict[str, object]]:
+    """The ``k`` lowest-modeled-cost rows of a search table, untiled
+    baseline always included.
+
+    The tile search's ``table`` rows are ``{"tiles": {name: size},
+    "cost": int}``; this is the pareto head the empirical autotuner
+    re-ranks by measurement (:mod:`repro.autotune`).  Ties break toward
+    fewer tiled indices, matching the search's own preference.
+    """
+    ranked = sorted(
+        table, key=lambda row: (row["cost"], len(row["tiles"]))
+    )
+    out = ranked[: max(1, k)]
+    if not any(not row["tiles"] for row in out):
+        untiled = next(
+            (row for row in table if not row["tiles"]), None
+        )
+        if untiled is not None:
+            out.append(untiled)
+    return out
+
+
 def candidate_sizes(extent: int) -> List[int]:
     """1, 2, 4, ..., extent (always including the full extent)."""
     sizes = []

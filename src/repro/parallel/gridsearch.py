@@ -78,6 +78,19 @@ class GridChoice:
     table: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
 
 
+def top_shapes(
+    table: Sequence[Tuple[Tuple[int, ...], float]], k: int
+) -> List[Tuple[int, ...]]:
+    """The ``k`` cheapest grid shapes of a ``choose_grid`` table.
+
+    This is the candidate head the empirical autotuner re-ranks by
+    measured execution (:mod:`repro.autotune`); ties break toward fewer
+    grid dimensions (cheaper logical view), then lexicographically.
+    """
+    ranked = sorted(table, key=lambda t: (t[1], len(t[0]), t[0]))
+    return [shape for shape, _ in ranked[: max(1, k)]]
+
+
 def choose_grid(
     tree: PNode,
     processors: int,

@@ -122,6 +122,24 @@ class SynthesisResult:
     #: so it rides the plan cache; ``None`` only when lowering was not
     #: applicable (see the Code generation stage report).
     kernel_plan: Optional["KernelPlan"] = None
+    #: the structure as it stood *before* the locality stage tiled it,
+    #: kept so the empirical autotuner (:mod:`repro.autotune`) can
+    #: re-apply alternative tile combinations; ``None`` when the
+    #: locality search did not run
+    pre_locality_structure: Optional[Block] = None
+    #: the head of the locality search table (``{"tiles": .., "cost":
+    #: ..}`` rows, modeled-cost ascending) -- the autotuner's tile
+    #: candidate pool
+    locality_table: List[Dict[str, object]] = field(default_factory=list)
+    #: ``(shape, modeled cost)`` rows from the grid-shape search when
+    #: ``processors`` was given -- the autotuner's grid candidate pool
+    grid_table: List[Tuple[Tuple[int, ...], float]] = field(
+        default_factory=list
+    )
+    #: measured tuning decisions in effect
+    #: (:class:`~repro.autotune.stage.TuningDecisions`); ``None`` until
+    #: the autotune stage runs
+    tuning: Optional["TuningDecisions"] = None
 
     @property
     def degraded_stages(self) -> List[str]:
@@ -246,7 +264,7 @@ class SynthesisResult:
         max_restarts: int = 3,
         backend: str = "local",
         procs: Optional[int] = None,
-        transport: str = "shm",
+        transport: Optional[str] = None,
     ) -> Dict[str, np.ndarray]:
         """Execute the generated SPMD programs for the whole sequence;
         returns produced arrays.
@@ -260,8 +278,12 @@ class SynthesisResult:
         ``os.cpu_count()`` (oversubscribing cores only adds scheduler
         thrash; the clamp is recorded in :attr:`last_run_notes`).
         ``transport`` selects the process backend's ndarray wire:
-        ``"shm"`` (default) ships arrays through shared-memory segments,
-        ``"pipe"`` pickles them into the worker pipes.
+        ``"shm"`` ships arrays through shared-memory segments,
+        ``"pipe"`` pickles them into the worker pipes.  Left ``None``,
+        ``transport`` and ``procs`` default to the measured
+        :attr:`tuning` decisions when the autotune stage ran
+        (:mod:`repro.autotune`), else to ``"shm"`` / one worker per
+        rank.
 
         Statements without partition plans (multi-term combines kept
         data-local) and statements materializing primitive functions are
@@ -284,6 +306,15 @@ class SynthesisResult:
         from repro.engine.executor import run_statements as run_local
         from repro.parallel.program_plan import SequencePlan
         from repro.parallel.spmd import run_spmd_sequence
+
+        if transport is None:
+            transport = (
+                self.tuning.transport
+                if self.tuning is not None and self.tuning.transport
+                else "shm"
+            )
+        if procs is None and self.tuning is not None:
+            procs = self.tuning.procs
 
         notes: List[str] = []
         pool = None
@@ -346,6 +377,7 @@ def synthesize(
     config: Optional[SynthesisConfig] = None,
     *,
     cache: Optional["PlanCache"] = None,
+    autotune: "bool | AutotuneOptions | None" = None,
 ) -> SynthesisResult:
     """Run the full Fig.-5 pipeline on a program or its source text.
 
@@ -354,11 +386,39 @@ def synthesize(
     program text, the configuration fingerprint, and the package
     version; a hit skips every search stage and returns a private copy.
     Either way a ``"Plan cache"`` stage report records the outcome.
+
+    ``autotune`` opts into the empirical tuning stage
+    (:mod:`repro.autotune`): ``True`` for defaults or an
+    :class:`~repro.autotune.stage.AutotuneOptions` (measurement
+    protocol, :class:`~repro.autotune.db.TuningDB`, budget).  The stage
+    measures the analytical searches' top candidates on this machine,
+    applies the winners to the result, and appends an ``"Autotuning"``
+    stage report; it composes with ``cache`` -- a plan-cache hit skips
+    synthesis, a TuningDB hit additionally skips all measurement.
     """
     config = config or SynthesisConfig()
     program = (
         parse_program(source) if isinstance(source, str) else source
     )
+    result = _synthesize_cached(program, config, cache)
+    if autotune:
+        from repro.autotune.stage import AutotuneOptions, run_autotune
+
+        options = (
+            autotune
+            if isinstance(autotune, AutotuneOptions)
+            else AutotuneOptions()
+        )
+        run_autotune(result, config, options)
+    return result
+
+
+def _synthesize_cached(
+    program: Program,
+    config: SynthesisConfig,
+    cache: Optional["PlanCache"],
+) -> SynthesisResult:
+    """The pipeline behind the plan cache (untuned)."""
     if cache is None:
         return _synthesize_pipeline(program, config)
 
@@ -539,6 +599,8 @@ def _synthesize_pipeline(
 
     # -- stage 4: data locality --------------------------------------------
     locality_tiles: Dict[str, int] = {}
+    pre_locality_structure: Optional[Block] = None
+    locality_table: List[Dict[str, object]] = []
     if config.optimize_cache:
         loc_report = StageReport(
             "Data locality optimization",
@@ -558,6 +620,7 @@ def _synthesize_pipeline(
         indices = sorted(
             indices, key=lambda i: -i.extent(bindings)
         )[: config.locality_max_indices]
+        pre_locality_structure = structure
         loc = optimize_locality(
             structure,
             config.machine.cache.capacity,
@@ -566,6 +629,14 @@ def _synthesize_pipeline(
             budget=tracker,
         )
         locality_tiles = {i.name: b for i, b in loc.tile_sizes.items()}
+        # keep the table head for the empirical autotuner (modeled-cost
+        # ascending; bounded so the result stays cheap to pickle)
+        from repro.locality.tile_search import top_candidates
+
+        locality_table = [
+            {"tiles": dict(row["tiles"]), "cost": row["cost"]}
+            for row in top_candidates(loc.table, 32)
+        ]
         structure = loc.structure
         loc_report.details.update(
             {
@@ -585,6 +656,7 @@ def _synthesize_pipeline(
     partition_plans: Dict[str, PartitionPlan] = {}
     grid = config.grid
     grid_note = None
+    grid_table: List[Tuple[Tuple[int, ...], float]] = []
     if grid is None and config.processors is not None:
         # let the synthesis system pick the logical view: choose the
         # shape minimizing the whole-sequence (or first plannable
@@ -608,6 +680,9 @@ def _synthesize_pipeline(
                 budget=tracker,
             )
             grid = choice.grid
+            grid_table = [
+                (tuple(shape), float(cost)) for shape, cost in choice.table
+            ]
             grid_note = (
                 f"chose grid {grid} among "
                 f"{len(choice.table)} shapes for {config.processors} "
@@ -736,6 +811,9 @@ def _synthesize_pipeline(
         sparsity_estimates,
         tracker,
         kernel_plan=kernel_plan,
+        pre_locality_structure=pre_locality_structure,
+        locality_table=locality_table,
+        grid_table=grid_table,
     )
 
 

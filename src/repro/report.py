@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 
 @dataclass
@@ -20,8 +20,18 @@ class StageReport:
         for key, value in self.details.items():
             if isinstance(value, float):
                 value = f"{value:,.1f}"
+            elif isinstance(value, bool):
+                value = str(value).lower()
             elif isinstance(value, int):
                 value = f"{value:,}"
+            elif isinstance(value, Mapping):
+                value = (
+                    "{" + ", ".join(
+                        f"{k}={v}" for k, v in sorted(
+                            value.items(), key=lambda kv: str(kv[0])
+                        )
+                    ) + "}"
+                ) if value else "{}"
             lines.append(f"  {key.ljust(width)} : {value}")
         for note in self.notes:
             lines.append(f"  - {note}")

@@ -17,6 +17,7 @@ fusion (memory min.)   no-fusion baseline (full temporaries)
 space-time trade-off   fused-but-untiled structure
 data locality          best tiling found so far (or untiled)
 data distribution      canonical block distribution, 1-D grid
+empirical autotuning   the analytical choice, unmeasured
 =====================  ==========================================
 
 Every degradation is recorded on the tracker so the pipeline's stage
@@ -103,6 +104,15 @@ class BudgetTracker:
 
     def exhausted(self) -> bool:
         return self._exhausted_reason is not None
+
+    def remaining_ms(self) -> Optional[float]:
+        """Wall-clock milliseconds left before the deadline (clamped at
+        0), or ``None`` when the budget has no deadline.  Anytime loops
+        (the autotuner's measurement schedule) use this to size the
+        work they still attempt."""
+        if self._deadline is None:
+            return None
+        return max(0.0, (self._deadline - time.monotonic()) * 1000.0)
 
     def degrade(self, stage: str, exc: BudgetExceeded, fallback: str) -> None:
         """Record that ``stage`` fell back to ``fallback``.

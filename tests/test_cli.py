@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import re
 import subprocess
 import sys
 
@@ -270,3 +271,76 @@ class TestPlanCacheFlag:
         out = capsys.readouterr().out
         assert "disk" in out
         assert "parallel outputs match" in out
+
+
+class TestArgumentValidation:
+    """Out-of-range values argparse accepts must fail fast with one
+    structured diagnostic line and the spec exit code (2)."""
+
+    def _assert_spec_error(self, capsys, rc, fragment):
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert fragment in err
+
+    def test_procs_zero_is_exit_2(self, small_file, capsys):
+        rc = main([small_file, "--backend", "process", "--procs", "0"])
+        self._assert_spec_error(capsys, rc, "--procs")
+
+    def test_procs_negative_is_exit_2(self, small_file, capsys):
+        rc = main([small_file, "--backend", "process", "--procs", "-2"])
+        self._assert_spec_error(capsys, rc, "--procs")
+
+    def test_processors_zero_is_exit_2(self, small_file, capsys):
+        rc = main([small_file, "--processors", "0"])
+        self._assert_spec_error(capsys, rc, "--processors")
+
+    def test_negative_budget_ms_is_exit_2(self, small_file, capsys):
+        rc = main([small_file, "--budget-ms", "-5"])
+        self._assert_spec_error(capsys, rc, "--budget-ms")
+
+    def test_negative_budget_nodes_is_exit_2(self, small_file, capsys):
+        rc = main([small_file, "--budget-nodes", "-3"])
+        self._assert_spec_error(capsys, rc, "--budget-nodes")
+
+    def test_tune_trials_zero_is_exit_2(self, small_file, capsys):
+        rc = main([small_file, "--autotune", "--tune-trials", "0"])
+        self._assert_spec_error(capsys, rc, "--tune-trials")
+
+    def test_tuning_db_requires_autotune(self, small_file, tmp_path, capsys):
+        rc = main([small_file, "--tuning-db", str(tmp_path / "db")])
+        self._assert_spec_error(capsys, rc, "--autotune")
+
+    def test_validation_precedes_file_access(self, capsys):
+        """Bad flag values are diagnosed before the input is opened."""
+        rc = main(["/nonexistent/input.tce", "--procs", "0"])
+        self._assert_spec_error(capsys, rc, "--procs")
+
+
+class TestAutotuneFlag:
+    def test_autotune_reports_stage(self, small_file, capsys):
+        rc = main([small_file, "--autotune", "--tune-trials", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Autotuning" in out
+        assert "measurement runs" in out
+
+    def test_tuning_db_cold_then_warm(self, small_file, tmp_path, capsys):
+        db_dir = str(tmp_path / "tune")
+        args = [
+            small_file, "--autotune", "--tune-trials", "2",
+            "--tuning-db", db_dir,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "miss (measured and stored)" in out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "hit" in out and "disk" in out
+        assert re.search(r"measurement runs\s*: 0\b", out)
+
+    def test_autotuned_result_still_validates(self, small_file, capsys):
+        rc = main([small_file, "--autotune", "--tune-trials", "2", "--run"])
+        assert rc == 0
+        assert "match the reference executor" in capsys.readouterr().out

@@ -1,6 +1,8 @@
 """Tests for the Section-6 locality cost model and tile search."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.expr.parser import parse_program
 from repro.codegen.builder import apply_tiling, build_unfused
@@ -11,6 +13,7 @@ from repro.locality.tile_search import (
     candidate_sizes,
     optimize_locality,
     tileable_indices,
+    top_candidates,
 )
 
 
@@ -156,3 +159,89 @@ class TestMachineModel:
             MemoryLevel("x", 0, 1.0)
         with pytest.raises(ValueError):
             MemoryLevel("x", 10, -1.0)
+
+
+class TestCandidateSizesProperties:
+    """Paper Section 6: tile sizes double from 1 until the loop range."""
+
+    @given(st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=200, deadline=None)
+    def test_strictly_increasing_and_terminates_in_extent(self, extent):
+        sizes = candidate_sizes(extent)
+        assert sizes[0] == 1
+        assert sizes[-1] == extent
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    @given(st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=200, deadline=None)
+    def test_doubling_except_final_step(self, extent):
+        sizes = candidate_sizes(extent)
+        # every step but the last doubles; the last clamps to the extent
+        for a, b in zip(sizes, sizes[2:]):
+            assert b == 4 * a or b == sizes[-1]
+        for a, b in zip(sizes, sizes[1:-1]):
+            assert b == 2 * a
+
+    @given(st.integers(min_value=2, max_value=4096))
+    @settings(max_examples=200, deadline=None)
+    def test_sizes_never_exceed_extent(self, extent):
+        assert all(1 <= s <= extent for s in candidate_sizes(extent))
+
+
+class TestNonPowerOfTwoExtents:
+    """The search must handle ranges that are not powers of two: the
+    final (remainder) tile is smaller, but the op count is invariant."""
+
+    @pytest.mark.parametrize("n", [6, 12, 18, 24])
+    def test_search_preserves_op_count(self, n):
+        block = build_unfused(matmul_program(n).statements)
+        result = optimize_locality(block, capacity=64)
+        assert loop_op_count(result.structure) == loop_op_count(block)
+
+    @pytest.mark.parametrize("n", [6, 12])
+    def test_tiling_still_beats_baseline(self, n):
+        block = build_unfused(matmul_program(n).statements)
+        result = optimize_locality(block, capacity=16)
+        assert result.cost <= result.baseline_cost
+
+    def test_candidate_grid_uses_clamped_sizes(self):
+        block = build_unfused(matmul_program(12).statements)
+        result = optimize_locality(block, capacity=64)
+        # 3 indices x |candidate_sizes(12)| = 5 each
+        assert result.evaluated == len(candidate_sizes(12)) ** 3
+        for idx, size in result.tile_sizes.items():
+            assert size in candidate_sizes(12)
+
+
+class TestTopCandidates:
+    """The pareto head handed to the empirical autotuner."""
+
+    def _table(self, n=16, capacity=64):
+        block = build_unfused(matmul_program(n).statements)
+        return optimize_locality(block, capacity=capacity).table
+
+    def test_sorted_by_cost(self):
+        head = top_candidates(self._table(), 4)
+        costs = [row["cost"] for row in head[:4]]
+        assert costs == sorted(costs)
+
+    def test_untiled_baseline_always_present(self):
+        head = top_candidates(self._table(), 3)
+        assert any(not row["tiles"] for row in head)
+
+    def test_k_bounds_head_size(self):
+        table = self._table()
+        head = top_candidates(table, 4)
+        assert len(head) <= 5  # k rows + possibly the untiled baseline
+        assert top_candidates(table, 1)[0]["cost"] == min(
+            row["cost"] for row in table
+        )
+
+    def test_ties_prefer_fewer_tiled_indices(self):
+        table = [
+            {"tiles": {"i": 2, "j": 2}, "cost": 10},
+            {"tiles": {"i": 2}, "cost": 10},
+            {"tiles": {}, "cost": 50},
+        ]
+        head = top_candidates(table, 2)
+        assert head[0]["tiles"] == {"i": 2}
