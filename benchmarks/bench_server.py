@@ -1,0 +1,167 @@
+"""E21 -- the compilation service: warm serving path and coalescing.
+
+A serving deployment amortizes the paper's expensive synthesis searches
+across requests three ways: the content-addressed plan cache makes
+repeat compilations ~free, request coalescing collapses concurrent
+identical cold requests into one synthesis, and warm SPMD worker pools
+take process startup off the execution path.  This experiment measures
+both properties end to end -- real HTTP requests against a live
+:class:`~repro.server.app.ReproServer`.
+
+Acceptance:
+
+* warm-path requests are **execution-dominated**: the synthesis share
+  of the warm p50 total is < 20% (override: ``E21_MAX_SYNTH_SHARE``,
+  relaxed on noisy CI runners);
+* a burst of N identical cold requests performs **exactly one**
+  synthesis (plan-cache miss counter == 1).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import statistics
+import time
+
+from repro.chem.workloads import ccsd_doubles_program
+from repro.expr.printer import program_to_source
+from repro.server.app import ReproServer, ServerConfig
+from repro.server.client import arequest
+
+#: execution-heavy enough that the warm path is dominated by running,
+#: not by the memory-tier cache hit
+MATMUL = """
+range N = 64;
+index i, j, k : N;
+tensor A(i, k);
+tensor B(k, j);
+C(i, j) = sum(k) A(i, k) * B(k, j);
+"""
+
+
+def _serve(test, config=None):
+    async def wrapper():
+        app = ReproServer(config or ServerConfig(port=0))
+        await app.start()
+        try:
+            return await test(app, app.host, app.port)
+        finally:
+            await app.stop()
+
+    return asyncio.run(wrapper())
+
+
+def test_warm_path_dominated_by_execution(record_rows):
+    """Cold request pays synthesis once; warm requests pay (almost)
+    only execution."""
+    payload = {
+        "program": MATMUL,
+        "options": {"grid": "2x2"},
+        "result": "checksum",
+    }
+    n_warm = 10
+
+    async def run(app, host, port):
+        responses = []
+        for _ in range(n_warm + 2):
+            status, body = await arequest(
+                host, port, "POST", "/v1/execute", payload
+            )
+            assert status == 200
+            responses.append(body)
+        return responses
+
+    responses = _serve(run)
+    cold = responses[0]
+    # responses[1] may still pay pool spin-up bookkeeping; measure the
+    # steady state
+    warm = responses[2:]
+    assert cold["cached"] == "miss"
+    for body in warm:
+        assert body["cached"] == "memory"
+        assert body["pool"]["warm"] is True
+    synth_p50 = statistics.median(
+        r["timings_ms"]["synthesis"] for r in warm
+    )
+    exec_p50 = statistics.median(
+        r["timings_ms"]["execution"] for r in warm
+    )
+    total_p50 = statistics.median(r["timings_ms"]["total"] for r in warm)
+    share = synth_p50 / total_p50 if total_p50 else 0.0
+    speedup = (
+        cold["timings_ms"]["synthesis"] / synth_p50
+        if synth_p50
+        else float("inf")
+    )
+    record_rows(
+        "E21: warm serving path (execute, grid 2x2, N=64)",
+        ["phase", "synthesis ms", "execution ms", "total ms"],
+        [
+            [
+                "cold (miss)",
+                f"{cold['timings_ms']['synthesis']:.1f}",
+                f"{cold['timings_ms']['execution']:.1f}",
+                f"{cold['timings_ms']['total']:.1f}",
+            ],
+            [
+                f"warm p50 (n={len(warm)})",
+                f"{synth_p50:.2f}",
+                f"{exec_p50:.2f}",
+                f"{total_p50:.2f}",
+            ],
+        ],
+        metrics={
+            "warm_synthesis_share": round(share, 4),
+            "warm_synthesis_speedup": round(speedup, 1),
+            "warm_p50_ms": total_p50,
+        },
+    )
+    ceiling = float(os.environ.get("E21_MAX_SYNTH_SHARE", "0.20"))
+    assert share < ceiling, (
+        f"warm p50 is synthesis-bound: share {share:.1%} >= {ceiling:.0%}"
+    )
+
+
+def test_coalescing_reduces_synthesis_to_one(record_rows):
+    """A burst of identical cold requests triggers exactly one
+    synthesis; every response carries the identical plan."""
+    heavy = program_to_source(ccsd_doubles_program(V=6, O=3))
+    payload = {"program": heavy, "options": {"grid": 2}}
+    burst = 8
+
+    async def run(app, host, port):
+        t0 = time.perf_counter()
+        responses = await asyncio.gather(
+            *(
+                arequest(host, port, "POST", "/v1/synthesize", payload)
+                for _ in range(burst)
+            )
+        )
+        wall = time.perf_counter() - t0
+        return responses, wall, app.plan_cache.misses, app.coalescer.stats()
+
+    responses, wall, misses, coalescer = _serve(run)
+    assert all(status == 200 for status, _ in responses)
+    bodies = [body for _, body in responses]
+    assert misses == 1, f"{misses} syntheses for {burst} identical requests"
+    assert len({b["source_sha256"] for b in bodies}) == 1
+    leader_ms = max(b["timings_ms"]["synthesis"] for b in bodies)
+    record_rows(
+        "E21: request coalescing (8 identical cold CCSD requests)",
+        ["quantity", "value"],
+        [
+            ["burst size", burst],
+            ["syntheses performed", misses],
+            ["requests coalesced", coalescer["coalesced"]],
+            ["leader synthesis ms", f"{leader_ms:.0f}"],
+            ["burst wall-clock ms", f"{wall * 1e3:.0f}"],
+        ],
+        metrics={
+            "burst": burst,
+            "syntheses": misses,
+            "coalesced": coalescer["coalesced"],
+            "burst_wall_ms": round(wall * 1e3, 1),
+        },
+    )
+    assert coalescer["coalesced"] == burst - 1

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Load smoke test of the compilation service.
+
+Boots a :class:`~repro.server.app.ReproServer` in-process and drives a
+mixed cold/warm request stream through real HTTP: a handful of
+distinct specifications (the cold set, each synthesized once) repeated
+across the remaining requests (the warm set, served from the plan
+cache), with a slice of execute requests exercising the warm SPMD
+pool.  Reports p50/p95/p99 latency and the warm hit rate, persists the
+series to ``benchmarks/BENCH_server.json`` (via the benchmark capture
+helper), and exits nonzero when the warm hit rate falls below the
+floor -- CI runs this as the serving regression gate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/load_smoke.py --requests 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "benchmarks"
+    ),
+)
+
+from repro.server.app import ReproServer, ServerConfig  # noqa: E402
+from repro.server.client import arequest  # noqa: E402
+
+from _record import write_bench  # noqa: E402
+
+PROGRAM_TEMPLATE = """
+range N = {n};
+index i, j, k : N;
+tensor A(i, k);
+tensor B(k, j);
+C{n}(i, j) = sum(k) A(i, k) * B(k, j);
+"""
+
+#: distinct cold specifications; every other request repeats one of
+#: these and must be served warm
+COLD_SET = [PROGRAM_TEMPLATE.format(n=n) for n in range(8, 24, 2)]
+
+EXECUTE_PROGRAM = PROGRAM_TEMPLATE.format(n=16)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def drive(app, host, port, total, execute_every):
+    latencies_ms = []
+    outcomes = []
+    for i in range(total):
+        if execute_every and i % execute_every == execute_every - 1:
+            path, payload = "/v1/execute", {
+                "program": EXECUTE_PROGRAM,
+                "options": {"grid": 2},
+                "result": "checksum",
+            }
+        else:
+            path, payload = "/v1/synthesize", {
+                "program": COLD_SET[i % len(COLD_SET)],
+            }
+        t0 = time.perf_counter()
+        status, body = await arequest(host, port, "POST", path, payload)
+        latencies_ms.append((time.perf_counter() - t0) * 1e3)
+        if status != 200:
+            raise SystemExit(
+                f"request {i} ({path}) failed: {status} {body}"
+            )
+        outcomes.append(body["cached"])
+    return latencies_ms, outcomes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument(
+        "--execute-every", type=int, default=10,
+        help="every Nth request is an execute (0 disables)",
+    )
+    parser.add_argument(
+        "--min-warm-rate", type=float, default=0.90,
+        help="fail when the warm hit rate drops below this",
+    )
+    args = parser.parse_args(argv)
+    if args.requests < len(COLD_SET) * 2:
+        print(
+            f"error: need at least {len(COLD_SET) * 2} requests",
+            file=sys.stderr,
+        )
+        return 2
+
+    async def run():
+        app = ReproServer(ServerConfig(port=0))
+        await app.start()
+        try:
+            result = await drive(
+                app, app.host, app.port, args.requests, args.execute_every
+            )
+            _, stats = await arequest(
+                app.host, app.port, "GET", "/healthz"
+            )
+            return result, stats
+        finally:
+            await app.stop()
+
+    started = time.perf_counter()
+    (latencies_ms, outcomes), stats = asyncio.run(run())
+    wall_s = time.perf_counter() - started
+
+    warm = sum(1 for outcome in outcomes if outcome in ("memory", "disk"))
+    warm_rate = warm / len(outcomes)
+    p50 = statistics.median(latencies_ms)
+    p95 = _percentile(latencies_ms, 0.95)
+    p99 = _percentile(latencies_ms, 0.99)
+    rows = [
+        ["requests", len(outcomes)],
+        ["distinct specs (cold)", len(COLD_SET)],
+        ["warm hit rate", f"{warm_rate:.1%}"],
+        ["p50 ms", f"{p50:.2f}"],
+        ["p95 ms", f"{p95:.2f}"],
+        ["p99 ms", f"{p99:.2f}"],
+        ["wall s", f"{wall_s:.2f}"],
+        ["pool reuse", stats["pools"]["reused"]],
+    ]
+    width = max(len(str(label)) for label, _ in rows)
+    print("load smoke: mixed cold/warm stream over HTTP")
+    for label, value in rows:
+        print(f"  {label:<{width}}  {value}")
+    write_bench(
+        "bench_server",
+        "load_smoke",
+        f"load smoke: {len(outcomes)} mixed cold/warm requests",
+        ["quantity", "value"],
+        rows,
+        metrics={
+            "requests": len(outcomes),
+            "warm_hit_rate": round(warm_rate, 4),
+            "p50_ms": round(p50, 3),
+            "p95_ms": round(p95, 3),
+            "p99_ms": round(p99, 3),
+            "wall_s": round(wall_s, 3),
+        },
+    )
+    if warm_rate < args.min_warm_rate:
+        print(
+            f"FAIL: warm hit rate {warm_rate:.1%} < "
+            f"{args.min_warm_rate:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: warm hit rate {warm_rate:.1%} >= {args.min_warm_rate:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,13 +19,16 @@ applied under a different signature -- the signature is part of the key
 *and* re-validated against the stored copy on every hit, so even a file
 copied between machines reads as a miss.
 
-Storage mirrors the plan cache: a bounded in-memory LRU over an
-optional on-disk tier.  Disk records are canonical JSON (sorted keys,
-fixed separators, trailing newline) written atomically, so two tuning
-runs that reach the same decisions produce **byte-identical** files --
-the property the CI determinism check asserts.  Records deliberately
-contain decisions and trial counts but no raw timings: timings are
-reported in the stage report, where run-to-run noise belongs.
+Storage is a :class:`repro.store.TwoTierStore` shared with the plan
+cache: a bounded in-memory LRU over an optional sharded on-disk tier
+with atomic, lock-protected publication (concurrent server workers and
+CLI tuning runs share a directory without torn writes).  Disk records
+are canonical JSON (sorted keys, fixed separators, trailing newline),
+so two tuning runs that reach the same decisions produce
+**byte-identical** files -- the property the CI determinism check
+asserts.  Records deliberately contain decisions and trial counts but
+no raw timings: timings are reported in the stage report, where
+run-to-run noise belongs.
 """
 
 from __future__ import annotations
@@ -33,9 +36,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
-from collections import OrderedDict
 from typing import Dict, Optional, Tuple
+
+from repro.store import TwoTierStore
 
 __all__ = ["TuningDB", "machine_signature", "tuning_key"]
 
@@ -87,34 +90,59 @@ class TuningDB:
     """In-memory LRU + optional on-disk store of tuning records.
 
     ``maxsize`` bounds the in-memory entry count; ``directory`` enables
-    the persistent tier (one ``<key>.tune.json`` file per record,
-    published atomically).  Hits promote disk records back into memory.
-    A record whose stored signature or package version disagrees with
-    the caller's is treated as a miss (and counted in ``stale``).
+    the persistent tier (one ``<key>.tune.json`` file per record, in a
+    256-way sharded layout, published atomically under a lock file).
+    Hits promote disk records back into memory.  A record whose stored
+    signature or package version disagrees with the caller's is treated
+    as a miss (and counted in ``stale``).
     """
 
     def __init__(
         self, maxsize: int = 128, directory: Optional[str] = None
     ) -> None:
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        self.maxsize = maxsize
-        self.directory = directory
-        if directory is not None:
-            os.makedirs(directory, exist_ok=True)
-        self._memory: "OrderedDict[str, str]" = OrderedDict()
-        self.hits = 0
-        self.memory_hits = 0
-        self.disk_hits = 0
-        self.misses = 0
-        self.stale = 0
-        self.evictions = 0
+        self._store = TwoTierStore(maxsize, directory, suffix=".tune.json")
 
     def __len__(self) -> int:
-        return len(self._memory)
+        return len(self._store)
+
+    @property
+    def maxsize(self) -> int:
+        return self._store.maxsize
+
+    @property
+    def directory(self) -> Optional[str]:
+        return self._store.directory
+
+    @property
+    def _memory(self):
+        return self._store._memory
+
+    @property
+    def hits(self) -> int:
+        return self._store.hits
+
+    @property
+    def memory_hits(self) -> int:
+        return self._store.memory_hits
+
+    @property
+    def disk_hits(self) -> int:
+        return self._store.disk_hits
+
+    @property
+    def misses(self) -> int:
+        return self._store.misses
+
+    @property
+    def stale(self) -> int:
+        return self._store.stale
+
+    @property
+    def evictions(self) -> int:
+        return self._store.evictions
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.tune.json")
+        return self._store.path(key)
 
     def _validate(
         self, record: Dict[str, object], signature: Optional[Dict[str, object]]
@@ -137,89 +165,33 @@ class TuningDB:
         against files copied across machines); mismatches count as
         ``stale`` misses and stale disk files are removed.
         """
-        text = self._memory.get(key)
-        if text is not None:
-            record = json.loads(text)
-            if self._validate(record, signature):
-                self._memory.move_to_end(key)
-                self.hits += 1
-                self.memory_hits += 1
-                return record, "memory"
-            del self._memory[key]
-            self.stale += 1
-            self.misses += 1
-            return None
-        if self.directory is not None:
-            path = self._path(key)
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    text = handle.read()
-                record = json.loads(text)
-            except FileNotFoundError:
-                pass
-            except (OSError, json.JSONDecodeError):
-                # corrupt record: drop it and treat as a miss
-                try:
-                    os.remove(path)
-                except OSError:
-                    pass
-            else:
-                if not self._validate(record, signature):
-                    self.stale += 1
-                    try:
-                        os.remove(path)
-                    except OSError:
-                        pass
-                else:
-                    self._store_memory(key, text)
-                    self.hits += 1
-                    self.disk_hits += 1
-                    return record, "disk"
-        self.misses += 1
-        return None
+        return self._store.get(
+            key,
+            decode=lambda blob: json.loads(blob.decode("utf-8")),
+            validate=lambda record: self._validate(record, signature),
+        )
 
     def put(self, key: str, record: Dict[str, object]) -> None:
         """Store a tuning record under ``key`` in both tiers."""
-        text = _canonical(record)
-        self._store_memory(key, text)
-        if self.directory is not None:
-            fd, tmp = tempfile.mkstemp(
-                dir=self.directory, suffix=".tune.tmp"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(text)
-                os.replace(tmp, self._path(key))
-            except OSError:  # pragma: no cover - disk full etc.
-                try:
-                    os.remove(tmp)
-                except OSError:
-                    pass
+        self._store.put(key, _canonical(record).encode("utf-8"))
 
-    def _store_memory(self, key: str, text: str) -> None:
-        self._memory[key] = text
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.maxsize:
-            self._memory.popitem(last=False)
-            self.evictions += 1
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits per tier, misses, stale, evictions."""
+        return self._store.stats()
 
     def clear(self, disk: bool = False) -> None:
         """Drop the in-memory tier (and the disk tier with ``disk=True``)."""
-        self._memory.clear()
-        if disk and self.directory is not None:
-            for entry in os.listdir(self.directory):
-                if entry.endswith(".tune.json"):
-                    try:
-                        os.remove(os.path.join(self.directory, entry))
-                    except OSError:
-                        pass
+        self._store.clear(disk=disk)
 
     def describe(self) -> str:
-        tiers = f"memory[{len(self._memory)}/{self.maxsize}]"
-        if self.directory is not None:
-            tiers += f" + disk[{self.directory}]"
         return (
-            f"TuningDB({tiers}): {self.hits} hits "
+            f"TuningDB(memory[{len(self._store)}/{self.maxsize}]"
+            + (
+                f" + disk[{self.directory}]"
+                if self.directory is not None
+                else ""
+            )
+            + f"): {self.hits} hits "
             f"({self.memory_hits} memory, {self.disk_hits} disk), "
             f"{self.misses} misses ({self.stale} stale), "
             f"{self.evictions} evictions"

@@ -10,6 +10,11 @@ Usage::
     python -m repro input.tce --cache 32768 --memory 16777216
     python -m repro input.tce --budget-ms 50       # bounded search
     python -m repro input.tce --run --grid 2 --inject-fault drop:0
+    python -m repro serve --port 8075              # HTTP/JSON service
+
+``repro serve`` starts the multi-tenant compilation service
+(:mod:`repro.server`); every other invocation is the one-shot
+compiler below.
 
 The input file uses the high-level notation of
 :mod:`repro.expr.parser` (see ``examples/quickstart.py``).
@@ -239,6 +244,11 @@ def _validate_args(args) -> Optional[SpecError]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        from repro.server.app import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     invalid = _validate_args(args)
     if invalid is not None:

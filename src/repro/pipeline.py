@@ -265,6 +265,7 @@ class SynthesisResult:
         backend: str = "local",
         procs: Optional[int] = None,
         transport: Optional[str] = None,
+        pool=None,
     ) -> Dict[str, np.ndarray]:
         """Execute the generated SPMD programs for the whole sequence;
         returns produced arrays.
@@ -291,6 +292,13 @@ class SynthesisResult:
         recorded in :attr:`last_run_notes` so callers can tell which
         statements actually ran distributed.
 
+        ``pool`` (process backend only) executes on an existing
+        :class:`~repro.runtime.process.SpmdProcessPool` instead of
+        spawning one: the serving layer keeps warm pools resident
+        across requests.  A caller-provided pool is *not* closed here
+        -- its owner decides its lifetime (and must evict it if a
+        worker died: see :attr:`SpmdProcessPool.broken`).
+
         ``faults`` (a :class:`~repro.robustness.faults.FaultSchedule`)
         injects message drops and rank crashes into every statement's
         SPMD run; recovery is by bounded retry and statement restart
@@ -302,6 +310,11 @@ class SynthesisResult:
             raise ValueError(
                 f"unknown SPMD backend {backend!r} "
                 "(use 'local' or 'process')"
+            )
+        if pool is not None and backend != "process":
+            raise ValueError(
+                "a worker pool requires backend='process', "
+                f"got backend={backend!r}"
             )
         from repro.engine.executor import run_statements as run_local
         from repro.parallel.program_plan import SequencePlan
@@ -317,7 +330,7 @@ class SynthesisResult:
             procs = self.tuning.procs
 
         notes: List[str] = []
-        pool = None
+        owned_pool = pool is None
         if backend == "process":
             import os
 
@@ -335,7 +348,13 @@ class SynthesisResult:
                 )
                 nworkers = ncpu
                 procs = ncpu
-            pool = SpmdProcessPool(nworkers, transport=transport)
+            if pool is None:
+                pool = SpmdProcessPool(nworkers, transport=transport)
+            else:
+                # a warm pool keeps its own transport and worker cap
+                transport = pool.transport
+                if nworkers > pool.procs:
+                    procs = pool.procs
 
         arrays: Dict[str, np.ndarray] = dict(inputs)
         try:
@@ -367,7 +386,7 @@ class SynthesisResult:
                 arrays.update(out.arrays)
         finally:
             self.last_run_notes = notes
-            if pool is not None:
+            if pool is not None and owned_pool:
                 pool.close()
         return arrays
 
@@ -431,7 +450,7 @@ def _synthesize_cached(
         result.reports.append(
             StageReport(
                 "Plan cache",
-                {"hit": tier, "key": key[:16], "stats": cache.describe()},
+                {"hit": tier, "key": key[:16], "stats": cache.stats()},
             )
         )
         return result

@@ -27,7 +27,10 @@ class StageReport:
             elif isinstance(value, Mapping):
                 value = (
                     "{" + ", ".join(
-                        f"{k}={v}" for k, v in sorted(
+                        f"{k}={v:,}"
+                        if isinstance(v, int) and not isinstance(v, bool)
+                        else f"{k}={v}"
+                        for k, v in sorted(
                             value.items(), key=lambda kv: str(kv[0])
                         )
                     ) + "}"

@@ -53,6 +53,35 @@ class Budget:
         """Begin tracking: the deadline clock starts now."""
         return BudgetTracker(self)
 
+    def narrowed(
+        self,
+        deadline_ms: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+    ) -> "Budget":
+        """A budget no looser than this one.
+
+        Each limit becomes the minimum of the existing bound and the
+        given one (``None`` keeps the existing bound); ``strict`` is
+        preserved.  The serving layer's per-tenant admission control
+        uses this to clamp a tenant's per-request budget to whatever
+        allowance the tenant has left -- a tenant at zero allowance
+        gets ``max_nodes=0``, so every stage degrades gracefully
+        instead of failing.
+        """
+
+        def tighter(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return Budget(
+            deadline_ms=tighter(self.deadline_ms, deadline_ms),
+            max_nodes=tighter(self.max_nodes, max_nodes),
+            strict=self.strict,
+        )
+
 
 @dataclass
 class Degradation:

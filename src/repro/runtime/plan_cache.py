@@ -21,22 +21,29 @@ compiled over and over.  A :class:`PlanCache` memoizes the complete
 * the **package version** invalidates everything on upgrade: a newer
   compiler may plan differently.
 
-Entries live in a bounded in-memory LRU and, when a ``directory`` is
-given, as pickle files on disk (written atomically; corrupt or
-unreadable files are treated as misses and removed).  Values are stored
-*pickled* even in memory, so every hit returns a private deep copy --
-callers can mutate results freely without poisoning the cache.
+Storage is a :class:`repro.store.TwoTierStore`: a bounded in-memory LRU
+over an optional sharded on-disk tier (atomic, lock-protected writes --
+concurrent server workers and CLI runs share one directory safely;
+corrupt or unreadable files are treated as misses and removed).  Values
+are stored *pickled* even in memory, so every hit returns a private
+deep copy -- callers can mutate results freely without poisoning the
+cache.
+
+The serving layer (:mod:`repro.server`) additionally deduplicates
+concurrent identical requests against the same key; every deduplicated
+waiter is recorded here through :meth:`PlanCache.note_coalesced` so one
+:meth:`PlanCache.stats` snapshot tells the whole hit/miss/coalesce
+story.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
-import tempfile
-from collections import OrderedDict
 from dataclasses import fields
-from typing import Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.store import TwoTierStore
 
 __all__ = ["PlanCache", "plan_key", "config_fingerprint"]
 
@@ -81,24 +88,46 @@ class PlanCache:
     def __init__(
         self, maxsize: int = 128, directory: Optional[str] = None
     ) -> None:
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        self.maxsize = maxsize
-        self.directory = directory
-        if directory is not None:
-            os.makedirs(directory, exist_ok=True)
-        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
-        self.hits = 0
-        self.memory_hits = 0
-        self.disk_hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._store = TwoTierStore(maxsize, directory, suffix=".plan.pkl")
+        self.coalesced = 0
 
     def __len__(self) -> int:
-        return len(self._memory)
+        return len(self._store)
+
+    @property
+    def maxsize(self) -> int:
+        return self._store.maxsize
+
+    @property
+    def directory(self) -> Optional[str]:
+        return self._store.directory
+
+    @property
+    def _memory(self):
+        return self._store._memory
+
+    @property
+    def hits(self) -> int:
+        return self._store.hits
+
+    @property
+    def memory_hits(self) -> int:
+        return self._store.memory_hits
+
+    @property
+    def disk_hits(self) -> int:
+        return self._store.disk_hits
+
+    @property
+    def misses(self) -> int:
+        return self._store.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._store.evictions
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.plan.pkl")
+        return self._store.path(key)
 
     def get(self, key: str) -> Optional[Tuple[object, str]]:
         """``(result, tier)`` for a cached key, else ``None``.
@@ -106,78 +135,33 @@ class PlanCache:
         ``tier`` is ``"memory"`` or ``"disk"``; the returned result is a
         private copy (unpickled from the stored bytes).
         """
-        blob = self._memory.get(key)
-        if blob is not None:
-            self._memory.move_to_end(key)
-            self.hits += 1
-            self.memory_hits += 1
-            return pickle.loads(blob), "memory"
-        if self.directory is not None:
-            path = self._path(key)
-            try:
-                with open(path, "rb") as handle:
-                    blob = handle.read()
-                result = pickle.loads(blob)
-            except FileNotFoundError:
-                pass
-            except (OSError, pickle.UnpicklingError, EOFError,
-                    AttributeError, ImportError):
-                # corrupt or stale entry: drop it and treat as a miss
-                try:
-                    os.remove(path)
-                except OSError:
-                    pass
-            else:
-                self._store_memory(key, blob)
-                self.hits += 1
-                self.disk_hits += 1
-                return result, "disk"
-        self.misses += 1
-        return None
+        return self._store.get(key, decode=pickle.loads)
 
     def put(self, key: str, result) -> None:
         """Store a synthesis result under ``key`` in both tiers."""
-        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        self._store_memory(key, blob)
-        if self.directory is not None:
-            # atomic publish: never expose a half-written entry
-            fd, tmp = tempfile.mkstemp(
-                dir=self.directory, suffix=".plan.tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp, self._path(key))
-            except OSError:  # pragma: no cover - disk full etc.
-                try:
-                    os.remove(tmp)
-                except OSError:
-                    pass
+        self._store.put(
+            key, pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        )
 
-    def _store_memory(self, key: str, blob: bytes) -> None:
-        self._memory[key] = blob
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.maxsize:
-            self._memory.popitem(last=False)
-            self.evictions += 1
+    def note_coalesced(self, n: int = 1) -> None:
+        """Record ``n`` requests that shared an in-flight synthesis for
+        one of this cache's keys instead of running their own (the
+        serving layer's request coalescing)."""
+        self.coalesced += n
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits per tier, misses, evictions, and
+        coalesced requests (see :meth:`note_coalesced`)."""
+        out = self._store.stats()
+        out["coalesced"] = self.coalesced
+        return out
 
     def clear(self, disk: bool = False) -> None:
         """Drop the in-memory tier (and the disk tier with ``disk=True``)."""
-        self._memory.clear()
-        if disk and self.directory is not None:
-            for entry in os.listdir(self.directory):
-                if entry.endswith(".plan.pkl"):
-                    try:
-                        os.remove(os.path.join(self.directory, entry))
-                    except OSError:
-                        pass
+        self._store.clear(disk=disk)
 
     def describe(self) -> str:
-        tiers = f"memory[{len(self._memory)}/{self.maxsize}]"
-        if self.directory is not None:
-            tiers += f" + disk[{self.directory}]"
-        return (
-            f"PlanCache({tiers}): {self.hits} hits "
-            f"({self.memory_hits} memory, {self.disk_hits} disk), "
-            f"{self.misses} misses, {self.evictions} evictions"
-        )
+        text = self._store.describe("PlanCache")
+        if self.coalesced:
+            text += f", {self.coalesced} coalesced"
+        return text

@@ -275,7 +275,16 @@ class SpmdProcessPool:
         seg = segment_of(packed)
         if seg is not None:
             self._pending.setdefault(id(conn), []).append(seg)
-        conn.send(packed)
+        try:
+            conn.send(packed)
+        except (BrokenPipeError, OSError):
+            # the worker died before this command: same breakage as a
+            # mid-protocol EOF, surfaced with the same structured error
+            self.mark_broken()
+            raise CommFailure(
+                "SPMD worker process died (pipe closed on send)",
+                stage="spmd-process",
+            ) from None
 
     def acknowledge(self, conn) -> None:
         """A reply arrived: every segment posted to ``conn`` is consumed."""
@@ -286,6 +295,21 @@ class SpmdProcessPool:
             for seg in segs:
                 unlink_segment(seg)
         self._pending = {}
+
+    @property
+    def broken(self) -> bool:
+        """True once a worker died mid-protocol; the pool must not be
+        reused (a warm-pool registry evicts it instead)."""
+        return self._broken
+
+    def healthy(self) -> bool:
+        """Whether the pool is safe to (re)use: not marked broken and
+        every started worker process is still alive.  Catches workers
+        killed *between* requests, which :meth:`mark_broken` (driven by
+        mid-protocol EOFs) cannot see."""
+        return not self._broken and all(
+            proc.is_alive() for proc, _ in self._workers
+        )
 
     def mark_broken(self) -> None:
         self._broken = True
@@ -320,7 +344,7 @@ def _recv(pool: SpmdProcessPool, conn):
     """Receive one worker reply, surfacing worker-side failures."""
     try:
         reply = unpack_message(conn.recv())
-    except EOFError:  # pragma: no cover - worker died
+    except (EOFError, OSError):
         pool.mark_broken()
         raise CommFailure(
             "SPMD worker process exited unexpectedly", stage="spmd-process"

@@ -1,0 +1,30 @@
+"""repro.server: the async multi-tenant compilation service.
+
+Serves the synthesis pipeline over HTTP/JSON with three serving-layer
+optimizations the offline CLI cannot provide:
+
+* **request coalescing** (:mod:`repro.server.coalesce`) -- concurrent
+  identical requests share one in-flight synthesis;
+* **tenant admission** (:mod:`repro.server.tenants`) -- per-tenant
+  search budgets that degrade gracefully, never 5xx;
+* **warm pools** (:mod:`repro.server.pools`) -- SPMD worker pools
+  reused across execute requests.
+
+Start it with ``repro serve`` (see :func:`repro.server.app.serve_main`)
+or embed :class:`repro.server.app.ReproServer` in an asyncio program.
+"""
+
+from repro.server.app import ReproServer, ServerConfig, serve_main
+from repro.server.coalesce import Coalescer
+from repro.server.pools import PoolRegistry
+from repro.server.tenants import TenantPolicy, TenantRegistry
+
+__all__ = [
+    "ReproServer",
+    "ServerConfig",
+    "serve_main",
+    "Coalescer",
+    "PoolRegistry",
+    "TenantPolicy",
+    "TenantRegistry",
+]

@@ -1,0 +1,88 @@
+"""A tiny JSON-over-HTTP client for the compilation service.
+
+Used by the test suite, the load smoke test, and the serving
+benchmark; kept dependency-free (asyncio streams / ``http.client``)
+like the server itself.  Each call is one connection -- the server
+answers ``Connection: close``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+__all__ = ["arequest", "request"]
+
+
+async def arequest(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    timeout: float = 120.0,
+) -> Tuple[int, dict]:
+    """``(status, body)`` of one request against a running server."""
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        # read exactly Content-Length bytes -- never wait for EOF: pool
+        # worker processes forked mid-request inherit this socket's fd
+        # and keep it open long after the server answered
+        header_blob = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=timeout
+        )
+        length = 0
+        for line in header_blob.decode("latin-1").split("\r\n")[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        response_body = await asyncio.wait_for(
+            reader.readexactly(length), timeout=timeout
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split()[1])
+    return status, json.loads(response_body.decode("utf-8"))
+
+
+def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    timeout: float = 120.0,
+) -> Tuple[int, dict]:
+    """Synchronous :func:`arequest` (scripts without an event loop)."""
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = (
+            None if payload is None else json.dumps(payload).encode("utf-8")
+        )
+        conn.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()

@@ -1,0 +1,278 @@
+"""Endpoint logic of the compilation service.
+
+The HTTP layer (:mod:`repro.server.app`) owns sockets and error
+mapping; each handler here turns one validated JSON payload into one
+JSON response, wired through the server's shared machinery:
+
+* synthesis goes through the **coalescer** (one synthesis per in-flight
+  plan-cache key) into the shared **plan cache**;
+* every request runs under its tenant's **admission budget** -- an
+  over-allowance tenant degrades per-stage and the response says so in
+  ``degraded`` / ``admission``, with status 200;
+* process-backend executions borrow warm worker pools from the
+  **pool registry** and always return them (broken pools are evicted
+  there, never reused).
+
+Blocking pipeline work (search stages, executions) runs in the server's
+thread executor so the event loop keeps accepting connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+import time
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.expr.parser import parse_program
+from repro.robustness.budget import Budget
+from repro.robustness.errors import SpecError
+from repro.runtime.plan_cache import plan_key
+from repro.server import wire
+
+__all__ = ["Handlers"]
+
+
+def _round_ms(seconds: float) -> float:
+    return round(seconds * 1000.0, 3)
+
+
+def _budget_fields(budget: Optional[Budget]) -> Dict[str, object]:
+    if budget is None:
+        return {"deadline_ms": None, "max_nodes": None}
+    return {"deadline_ms": budget.deadline_ms, "max_nodes": budget.max_nodes}
+
+
+class Handlers:
+    """One instance per server; methods are the routed endpoints."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    # -- shared synthesis path ---------------------------------------------
+
+    async def _synthesize(self, program_text: str, tenant: str, config):
+        """Parse, admit, coalesce, synthesize; returns the pieces every
+        endpoint needs."""
+        app = self.app
+        program = parse_program(program_text)
+        account = app.tenants.account(tenant)
+        admission_exhausted = account.exhausted
+        budget = account.admission_budget()
+        if (
+            budget.deadline_ms is None
+            and budget.max_nodes is None
+            and not budget.strict
+        ):
+            # an unbounded budget fingerprints like the CLI's default
+            # (None), so server and CLI share plan-cache entries
+            budget = None
+        config = replace(config, budget=budget)
+        key = plan_key(program, config)
+        started = time.perf_counter()
+
+        def thunk():
+            return app.synthesize_fn(program, config, cache=app.plan_cache)
+
+        result, coalesced = await app.coalescer.run(
+            key, thunk, app.executor
+        )
+        synthesis_s = time.perf_counter() - started
+        if coalesced:
+            app.plan_cache.note_coalesced()
+        tier = "unknown"
+        if result.reports and result.reports[-1].name == "Plan cache":
+            tier = str(result.reports[-1].details.get("hit", "unknown"))
+        if tier.startswith("miss"):
+            tier = "miss"
+        # charge search nodes only to the request that ran the search;
+        # warm hits and coalesced followers spent (almost) nothing
+        ran_search = tier == "miss" and not coalesced
+        nodes = (
+            result.budget_tracker.nodes
+            if ran_search and result.budget_tracker is not None
+            else 0
+        )
+        degraded = list(result.degraded_stages)
+        account.charge(nodes, degraded=bool(degraded))
+        admission = {
+            "tenant": account.policy.name,
+            "exhausted": admission_exhausted,
+            "budget": _budget_fields(budget),
+            "nodes_charged": nodes,
+        }
+        return program, config, result, {
+            "key": key,
+            "cached": tier,
+            "coalesced": coalesced,
+            "degraded": degraded,
+            "admission": admission,
+            "synthesis_s": synthesis_s,
+        }
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def synthesize(self, payload) -> Tuple[int, Dict[str, object]]:
+        """``POST /v1/synthesize``: compile (or fetch) a plan."""
+        req = wire.parse_synthesize_request(payload)
+        program, _, result, meta = await self._synthesize(
+            req.program, req.tenant, req.config
+        )
+        body = {
+            "key": meta["key"],
+            "tenant": req.tenant,
+            "cached": meta["cached"],
+            "coalesced": meta["coalesced"],
+            "degraded": meta["degraded"],
+            "admission": meta["admission"],
+            "statements": len(result.statements),
+            "partition_plans": sorted(result.partition_plans),
+            "source_lines": result.source.count("\n"),
+            "source_sha256": hashlib.sha256(
+                result.source.encode("utf-8")
+            ).hexdigest(),
+            "stage_reports": [r.name for r in result.reports],
+            "timings_ms": {"synthesis": _round_ms(meta["synthesis_s"])},
+        }
+        return 200, body
+
+    async def execute(self, payload) -> Tuple[int, Dict[str, object]]:
+        """``POST /v1/execute``: compile (cached/coalesced) + run."""
+        app = self.app
+        req = wire.parse_execute_request(payload)
+        program, config, result, meta = await self._synthesize(
+            req.program, req.tenant, req.config
+        )
+
+        def run():
+            t0 = time.perf_counter()
+            inputs = req.inputs
+            if inputs is None:
+                if any(t.is_function for t in program.tensors()):
+                    raise SpecError(
+                        "cannot synthesize random inputs for function "
+                        "tensors; send explicit 'inputs'"
+                    )
+                from repro.engine.executor import random_inputs
+
+                inputs = random_inputs(
+                    program, config.bindings, seed=req.seed
+                )
+            backend = req.backend
+            if backend == "auto":
+                backend = (
+                    "process" if result.partition_plans else "interp"
+                )
+            if backend in ("process", "local") and not result.partition_plans:
+                raise SpecError(
+                    f"backend {backend!r} needs partition plans; request "
+                    "options.grid or options.processors"
+                )
+            pool_meta = {"leased": False, "warm": False}
+            if backend == "process":
+                grid_size = next(
+                    iter(result.partition_plans.values())
+                ).grid.size
+                nworkers = max(
+                    1,
+                    min(
+                        req.procs or grid_size,
+                        grid_size,
+                        os.cpu_count() or 1,
+                    ),
+                )
+                pool, warm = app.pools.lease(nworkers, req.transport)
+                pool_meta = {
+                    "leased": True,
+                    "warm": warm,
+                    "procs": nworkers,
+                    "transport": pool.transport,
+                }
+                try:
+                    out = result.run_parallel(
+                        inputs,
+                        faults=req.faults,
+                        backend="process",
+                        procs=nworkers,
+                        pool=pool,
+                    )
+                finally:
+                    app.pools.release(pool)
+            elif backend == "local":
+                out = result.run_parallel(
+                    inputs, faults=req.faults, backend="local"
+                )
+            else:
+                out = result.execute(inputs)
+            execution_s = time.perf_counter() - t0
+            return out, backend, pool_meta, execution_s
+
+        loop = asyncio.get_running_loop()
+        out, backend, pool_meta, execution_s = await loop.run_in_executor(
+            app.executor, run
+        )
+        wanted = [stmt.result.name for stmt in program.statements]
+        outputs: Dict[str, object] = {}
+        for name in wanted:
+            if name not in out:
+                continue
+            array = np.asarray(out[name])
+            if req.result_mode == "checksum":
+                outputs[name] = {
+                    "sum": float(array.sum()),
+                    "shape": list(array.shape),
+                }
+            else:
+                outputs[name] = array.tolist()
+        body = {
+            "key": meta["key"],
+            "tenant": req.tenant,
+            "cached": meta["cached"],
+            "coalesced": meta["coalesced"],
+            "degraded": meta["degraded"],
+            "admission": meta["admission"],
+            "backend": backend,
+            "pool": pool_meta,
+            "notes": list(result.last_run_notes),
+            "result": req.result_mode,
+            "outputs": outputs,
+            "timings_ms": {
+                "synthesis": _round_ms(meta["synthesis_s"]),
+                "execution": _round_ms(execution_s),
+                "total": _round_ms(meta["synthesis_s"] + execution_s),
+            },
+        }
+        return 200, body
+
+    async def healthz(self, payload=None) -> Tuple[int, Dict[str, object]]:
+        """``GET /healthz`` (and ``/stats``): liveness + counters."""
+        from repro import __version__
+
+        app = self.app
+        return 200, {
+            "status": "ok",
+            "service": "repro.server",
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - app.started, 3),
+            "requests": dict(app.request_counts),
+            "plan_cache": app.plan_cache.stats(),
+            "coalescer": app.coalescer.stats(),
+            "pools": app.pools.stats(),
+            "tenants": app.tenants.stats(),
+        }
+
+    async def index(self, payload=None) -> Tuple[int, Dict[str, object]]:
+        """``GET /``: service discovery."""
+        return 200, {
+            "service": "repro.server",
+            "endpoints": [
+                "POST /v1/synthesize",
+                "POST /v1/execute",
+                "GET /healthz",
+                "GET /stats",
+            ],
+        }

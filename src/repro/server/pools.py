@@ -1,0 +1,170 @@
+"""Warm :class:`~repro.runtime.process.SpmdProcessPool` reuse.
+
+Spawning worker processes per request would put process startup on
+every execution's critical path -- the exact cost the paper's batch
+pipeline amortizes by compiling once and executing many times.  The
+registry keeps finished pools warm, keyed by ``(procs, transport)``
+(pools are interchangeable within a key: workers hold no state between
+statements), and leases them to one request at a time -- the worker
+protocol is strictly request/reply, so a pool must never serve two
+executions concurrently.
+
+Health discipline (the ``run_parallel`` pool-teardown fix): a pool
+whose worker died mid-request is marked broken by the router; the
+registry closes and **evicts** it on release instead of parking it for
+the next request, and re-checks liveness on every lease (catching
+workers killed while parked).  Idle pools are reaped after
+``idle_timeout_s`` -- the server's background reaper calls
+:meth:`reap` periodically -- and :meth:`drain` closes everything for a
+graceful shutdown.
+
+Thread-safe: executions run in the server's executor threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.runtime.process import SpmdProcessPool
+
+__all__ = ["PoolRegistry"]
+
+PoolKey = Tuple[int, str]  # (procs, transport)
+
+
+class PoolRegistry:
+    """Keyed registry of warm, single-lease SPMD worker pools."""
+
+    def __init__(
+        self,
+        max_idle_per_key: int = 2,
+        idle_timeout_s: float = 120.0,
+        clock: Callable[[], float] = time.monotonic,
+        pool_factory: Callable[..., SpmdProcessPool] = SpmdProcessPool,
+    ) -> None:
+        if max_idle_per_key < 0:
+            raise ValueError(
+                f"max_idle_per_key must be >= 0, got {max_idle_per_key}"
+            )
+        self.max_idle_per_key = max_idle_per_key
+        self.idle_timeout_s = idle_timeout_s
+        self._clock = clock
+        self._factory = pool_factory
+        #: idle pools per key with the instant they were parked
+        self._idle: Dict[PoolKey, List[Tuple[SpmdProcessPool, float]]] = {}
+        self._busy: Dict[int, PoolKey] = {}  # id(pool) -> key
+        self._lock = threading.Lock()
+        self.created = 0
+        self.reused = 0
+        self.evicted_broken = 0
+        self.reaped = 0
+        self.discarded = 0
+
+    def lease(
+        self, procs: int, transport: str = "shm"
+    ) -> Tuple[SpmdProcessPool, bool]:
+        """``(pool, was_warm)``: a healthy pool for exclusive use.
+
+        Reuses the most recently parked healthy pool under the key
+        (LIFO keeps the hottest workers busiest and lets the rest age
+        out); unhealthy parked pools are closed and counted evicted.
+        """
+        key: PoolKey = (procs, transport)
+        while True:
+            with self._lock:
+                idle = self._idle.get(key, [])
+                if not idle:
+                    break
+                pool, _ = idle.pop()
+            if pool.healthy():
+                with self._lock:
+                    self._busy[id(pool)] = key
+                self.reused += 1
+                return pool, True
+            self.evicted_broken += 1
+            pool.close()
+        pool = self._factory(procs, transport=transport)
+        with self._lock:
+            self._busy[id(pool)] = key
+        self.created += 1
+        return pool, False
+
+    def release(self, pool: SpmdProcessPool) -> None:
+        """Return a leased pool: park it warm, or evict it if broken.
+
+        Never park a pool whose worker died mid-request -- the next
+        lease would hand a dead pool to an innocent request.
+        """
+        with self._lock:
+            key = self._busy.pop(id(pool), None)
+        if key is None:  # not ours; close defensively
+            pool.close()
+            return
+        if pool.broken or not pool.healthy():
+            self.evicted_broken += 1
+            pool.close()
+            return
+        overflow: List[SpmdProcessPool] = []
+        with self._lock:
+            idle = self._idle.setdefault(key, [])
+            idle.append((pool, self._clock()))
+            while len(idle) > self.max_idle_per_key:
+                victim, _ = idle.pop(0)
+                overflow.append(victim)
+        for victim in overflow:
+            self.discarded += 1
+            victim.close()
+
+    def reap(self) -> int:
+        """Close pools idle longer than ``idle_timeout_s``; returns how
+        many were reaped."""
+        now = self._clock()
+        victims: List[SpmdProcessPool] = []
+        with self._lock:
+            for key, idle in list(self._idle.items()):
+                keep = []
+                for pool, since in idle:
+                    if now - since > self.idle_timeout_s:
+                        victims.append(pool)
+                    else:
+                        keep.append((pool, since))
+                if keep:
+                    self._idle[key] = keep
+                else:
+                    self._idle.pop(key, None)
+        for pool in victims:
+            self.reaped += 1
+            pool.close()
+        return len(victims)
+
+    def drain(self) -> None:
+        """Close every parked pool (graceful shutdown).  Busy pools are
+        closed by their leaseholders via :meth:`release`; the server
+        drains only after in-flight requests finish."""
+        with self._lock:
+            victims = [
+                pool for idle in self._idle.values() for pool, _ in idle
+            ]
+            self._idle.clear()
+        for pool in victims:
+            pool.close()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            idle = sum(len(v) for v in self._idle.values())
+            busy = len(self._busy)
+            keys = sorted(
+                f"{procs}x{transport}" for procs, transport in self._idle
+            )
+        return {
+            "idle": idle,
+            "busy": busy,
+            "idle_keys": keys,
+            "created": self.created,
+            "reused": self.reused,
+            "evicted_broken": self.evicted_broken,
+            "reaped": self.reaped,
+            "discarded": self.discarded,
+        }

@@ -1,0 +1,209 @@
+"""Per-tenant admission control over the shared search budget machinery.
+
+Every request names a tenant; each tenant carries a *per-request*
+:class:`~repro.robustness.budget.Budget` (how much search one
+compilation may spend) and an optional *cumulative node allowance*
+(how much total search the tenant may spend across requests).  A tenant
+over its allowance is not rejected: its requests run under
+``budget.narrowed(max_nodes=0)``, so every pipeline stage degrades to
+its documented greedy fallback exactly as the offline pipeline does --
+the response carries a structured ``degraded`` list and admission note,
+never a 5xx.
+
+Admission is deliberately **binary** (full per-request budget while
+allowance remains, zero-node budget after): the budget is part of the
+plan-cache fingerprint, so quantizing to two states keeps one tenant's
+requests cache- and coalesce-compatible with each other (and with every
+other tenant on the same policy) instead of splitting the key space by
+the continuously-shrinking remainder.
+
+Policies load from a JSON tenants file (``repro serve
+--tenants-file``)::
+
+    {
+      "default": {"budget_ms": 2000},
+      "tenants": {
+        "team-a": {"budget_nodes": 200000, "allowance_nodes": 1000000},
+        "batch":  {"budget_ms": 500}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.robustness.budget import Budget
+from repro.robustness.errors import SpecError
+
+__all__ = ["TenantPolicy", "TenantAccount", "TenantRegistry"]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Declarative limits of one tenant (or the default for unknowns)."""
+
+    name: str
+    #: per-request search budget (unbounded by default)
+    budget: Budget = field(default_factory=Budget)
+    #: cumulative search-node allowance across requests; ``None`` is
+    #: unlimited.  Cache hits and coalesced requests charge ~nothing,
+    #: so a well-behaved tenant's allowance lasts.
+    allowance_nodes: Optional[int] = None
+
+
+class TenantAccount:
+    """Mutable consumption state of one tenant."""
+
+    def __init__(self, policy: TenantPolicy) -> None:
+        self.policy = policy
+        self.nodes_used = 0
+        self.requests = 0
+        self.degraded_requests = 0
+        self._lock = threading.Lock()
+
+    @property
+    def exhausted(self) -> bool:
+        return (
+            self.policy.allowance_nodes is not None
+            and self.nodes_used >= self.policy.allowance_nodes
+        )
+
+    def admission_budget(self) -> Budget:
+        """The budget this tenant's next request runs under."""
+        if self.exhausted:
+            return self.policy.budget.narrowed(max_nodes=0)
+        return self.policy.budget
+
+    def charge(self, nodes: int, degraded: bool) -> None:
+        """Account one finished request against the allowance."""
+        with self._lock:
+            self.nodes_used += nodes
+            self.requests += 1
+            if degraded:
+                self.degraded_requests += 1
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "degraded_requests": self.degraded_requests,
+            "nodes_used": self.nodes_used,
+            "allowance_nodes": self.policy.allowance_nodes,
+            "exhausted": self.exhausted,
+        }
+
+
+def _policy_from_spec(name: str, spec: Mapping) -> TenantPolicy:
+    if not isinstance(spec, Mapping):
+        raise SpecError(
+            f"tenant {name!r}: policy must be an object, "
+            f"got {type(spec).__name__}"
+        )
+    allowed = {"budget_ms", "budget_nodes", "allowance_nodes"}
+    unknown = set(spec) - allowed
+    if unknown:
+        raise SpecError(
+            f"tenant {name!r}: unknown key(s) {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    budget_ms = spec.get("budget_ms")
+    budget_nodes = spec.get("budget_nodes")
+    allowance = spec.get("allowance_nodes")
+    for key, value, kind in (
+        ("budget_ms", budget_ms, (int, float)),
+        ("budget_nodes", budget_nodes, int),
+        ("allowance_nodes", allowance, int),
+    ):
+        if value is not None and (
+            not isinstance(value, kind)
+            or isinstance(value, bool)
+            or value < 0
+        ):
+            raise SpecError(
+                f"tenant {name!r}: {key} must be a non-negative number, "
+                f"got {value!r}"
+            )
+    return TenantPolicy(
+        name=name,
+        budget=Budget(
+            deadline_ms=float(budget_ms) if budget_ms is not None else None,
+            max_nodes=budget_nodes,
+        ),
+        allowance_nodes=allowance,
+    )
+
+
+class TenantRegistry:
+    """Accounts per tenant name, created on first sight from policies.
+
+    ``policies`` maps known tenant names to their
+    :class:`TenantPolicy`; unknown tenants get ``default`` (renamed to
+    the requester).  Thread-safe: handlers run in executor threads.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[Mapping[str, TenantPolicy]] = None,
+        default: Optional[TenantPolicy] = None,
+    ) -> None:
+        self._policies = dict(policies or {})
+        self._default = default or TenantPolicy("default")
+        self._accounts: Dict[str, TenantAccount] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_file(cls, path: str) -> "TenantRegistry":
+        """Load a tenants file (see module docstring for the format)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise SpecError(f"cannot read tenants file {path!r}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"tenants file {path!r} is not valid JSON: {exc}")
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"tenants file {path!r} must hold a JSON object"
+            )
+        unknown = set(data) - {"default", "tenants"}
+        if unknown:
+            raise SpecError(
+                f"tenants file {path!r}: unknown key(s) {sorted(unknown)}"
+            )
+        default = None
+        if "default" in data:
+            default = _policy_from_spec("default", data["default"])
+        tenants = data.get("tenants", {})
+        if not isinstance(tenants, Mapping):
+            raise SpecError(f"tenants file {path!r}: 'tenants' must map names")
+        policies = {
+            str(name): _policy_from_spec(str(name), spec)
+            for name, spec in tenants.items()
+        }
+        return cls(policies=policies, default=default)
+
+    def account(self, name: str) -> TenantAccount:
+        """The (possibly new) account of tenant ``name``."""
+        with self._lock:
+            account = self._accounts.get(name)
+            if account is None:
+                policy = self._policies.get(name)
+                if policy is None:
+                    policy = TenantPolicy(
+                        name=name,
+                        budget=self._default.budget,
+                        allowance_nodes=self._default.allowance_nodes,
+                    )
+                account = TenantAccount(policy)
+                self._accounts[name] = account
+            return account
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {
+                name: account.stats()
+                for name, account in sorted(self._accounts.items())
+            }

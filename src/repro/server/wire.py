@@ -1,0 +1,303 @@
+"""Request/response wire schema of the compilation service.
+
+Requests and responses are JSON objects; this module is the single
+place that turns untrusted payloads into validated, typed values (and
+pipeline results back into JSON-safe dictionaries).  Malformed payloads
+raise :class:`~repro.robustness.errors.SpecError`, which the HTTP layer
+maps to a structured ``400`` -- the service reserves 5xx for genuine
+server-side failures, never for over-budget or ill-formed requests.
+
+``POST /v1/synthesize`` body::
+
+    {
+      "program": "range N = 6; ... C(i,j) = sum(k) A(i,k)*B(k,j);",
+      "tenant": "team-a",                  # optional, default "anonymous"
+      "options": {                          # optional SynthesisConfig subset
+        "grid": "2x2" | 4,                  # processor grid
+        "processors": 4,                    # alternative: let search pick
+        "bindings": {"N": 64},
+        "optimize_cache": true, "sparse_aware": false,
+        "sparse_execution": true, "factorize": true,
+        "capacity_level": "memory",
+        "cache_elements": 32768, "memory_elements": 16777216
+      }
+    }
+
+``POST /v1/execute`` accepts the same fields plus::
+
+    {
+      "inputs": {"A": [[...], ...]},        # or "seed": 0 for deterministic
+      "seed": 0,                            #   random inputs
+      "backend": "auto" | "process" | "local" | "interp",
+      "procs": 2, "transport": "shm" | "pipe",
+      "faults": "drop:0;crash:1",           # FaultSchedule spec
+      "result": "arrays" | "checksum"       # payload size control
+    }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.engine.machine import MachineModel, MemoryLevel
+from repro.parallel.grid import ProcessorGrid
+from repro.pipeline import SynthesisConfig
+from repro.robustness.errors import SpecError
+from repro.robustness.faults import FaultSchedule, parse_fault_spec
+
+__all__ = [
+    "SynthesizeRequest",
+    "ExecuteRequest",
+    "parse_synthesize_request",
+    "parse_execute_request",
+    "config_from_options",
+]
+
+#: accepted keys of the ``options`` object
+_OPTION_KEYS = frozenset(
+    {
+        "grid",
+        "processors",
+        "bindings",
+        "optimize_cache",
+        "sparse_aware",
+        "sparse_execution",
+        "factorize",
+        "capacity_level",
+        "cache_elements",
+        "memory_elements",
+    }
+)
+
+_BACKENDS = ("auto", "process", "local", "interp")
+_RESULT_MODES = ("arrays", "checksum")
+
+
+@dataclass(frozen=True)
+class SynthesizeRequest:
+    """A validated ``/v1/synthesize`` payload."""
+
+    program: str
+    tenant: str = "anonymous"
+    config: SynthesisConfig = field(default_factory=SynthesisConfig)
+
+
+@dataclass(frozen=True)
+class ExecuteRequest:
+    """A validated ``/v1/execute`` payload."""
+
+    program: str
+    tenant: str = "anonymous"
+    config: SynthesisConfig = field(default_factory=SynthesisConfig)
+    inputs: Optional[Dict[str, np.ndarray]] = None
+    seed: int = 0
+    backend: str = "auto"
+    procs: Optional[int] = None
+    transport: str = "shm"
+    faults: Optional[FaultSchedule] = None
+    result_mode: str = "arrays"
+
+
+def _expect(payload: Mapping, key: str, types, default=None, required=False):
+    value = payload.get(key, default)
+    if value is None and not required:
+        return default
+    if required and key not in payload:
+        raise SpecError(f"request is missing required field {key!r}")
+    if not isinstance(value, types):
+        names = (
+            types.__name__
+            if isinstance(types, type)
+            else "/".join(t.__name__ for t in types)
+        )
+        raise SpecError(
+            f"field {key!r} must be {names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _parse_grid(value) -> ProcessorGrid:
+    try:
+        if isinstance(value, int):
+            return ProcessorGrid((value,))
+        if isinstance(value, str):
+            return ProcessorGrid(
+                tuple(int(p) for p in value.lower().split("x"))
+            )
+    except (ValueError, TypeError) as exc:
+        raise SpecError(f"bad grid {value!r}: {exc}") from exc
+    raise SpecError(
+        f"grid must be an int or a string like '2x2', "
+        f"got {type(value).__name__}"
+    )
+
+
+def config_from_options(options: Optional[Mapping]) -> SynthesisConfig:
+    """Build a :class:`SynthesisConfig` from a request's ``options``.
+
+    Unknown keys are rejected by name (a typo must not silently fall
+    back to defaults).  The tenant's admission budget is attached by
+    the handler, not here -- budgets are a server policy, never client
+    input.
+    """
+    if options is None:
+        return SynthesisConfig()
+    if not isinstance(options, Mapping):
+        raise SpecError(
+            f"options must be an object, got {type(options).__name__}"
+        )
+    unknown = set(options) - _OPTION_KEYS
+    if unknown:
+        raise SpecError(
+            f"unknown option(s) {sorted(unknown)}; "
+            f"allowed: {sorted(_OPTION_KEYS)}"
+        )
+    config = SynthesisConfig()
+    if "grid" in options and "processors" in options:
+        raise SpecError("give either 'grid' or 'processors', not both")
+    if "grid" in options:
+        config = replace(config, grid=_parse_grid(options["grid"]))
+    if "processors" in options:
+        processors = _expect(options, "processors", int, required=True)
+        if processors < 1:
+            raise SpecError(
+                f"processors must be a positive count, got {processors}"
+            )
+        config = replace(config, processors=processors)
+    if "bindings" in options:
+        bindings = _expect(options, "bindings", Mapping, required=True)
+        clean: Dict[str, int] = {}
+        for name, extent in bindings.items():
+            if not isinstance(extent, int) or extent < 1:
+                raise SpecError(
+                    f"binding {name!r} must be a positive integer extent, "
+                    f"got {extent!r}"
+                )
+            clean[str(name)] = extent
+        config = replace(config, bindings=clean)
+    for key in (
+        "optimize_cache", "sparse_aware", "sparse_execution", "factorize",
+    ):
+        if key in options:
+            config = replace(
+                config, **{key: _expect(options, key, bool, required=True)}
+            )
+    if "capacity_level" in options:
+        level = _expect(options, "capacity_level", str, required=True)
+        if level not in ("memory", "disk"):
+            raise SpecError(
+                f"capacity_level must be 'memory' or 'disk', got {level!r}"
+            )
+        config = replace(config, capacity_level=level)
+    if "cache_elements" in options or "memory_elements" in options:
+        cache = _expect(
+            options, "cache_elements", int, default=32 * 1024
+        )
+        memory = _expect(
+            options, "memory_elements", int, default=16 * 1024 * 1024
+        )
+        if cache < 1 or memory < 1:
+            raise SpecError(
+                "cache_elements/memory_elements must be positive capacities"
+            )
+        default = MachineModel()
+        config = replace(
+            config,
+            machine=MachineModel(
+                cache=MemoryLevel("cache", cache, default.cache.miss_cost),
+                memory=MemoryLevel(
+                    "memory", memory, default.memory.miss_cost
+                ),
+                disk=default.disk,
+            ),
+        )
+    return config
+
+
+def _parse_common(payload: Mapping):
+    if not isinstance(payload, Mapping):
+        raise SpecError(
+            f"request body must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    program = _expect(payload, "program", str, required=True)
+    if not program.strip():
+        raise SpecError("field 'program' must not be empty")
+    tenant = _expect(payload, "tenant", str, default="anonymous")
+    config = config_from_options(payload.get("options"))
+    return program, tenant, config
+
+
+def parse_synthesize_request(payload: Mapping) -> SynthesizeRequest:
+    """Validate a ``/v1/synthesize`` body (see module docstring)."""
+    allowed = {"program", "tenant", "options"}
+    unknown = set(payload) - allowed if isinstance(payload, Mapping) else set()
+    if unknown:
+        raise SpecError(
+            f"unknown field(s) {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    program, tenant, config = _parse_common(payload)
+    return SynthesizeRequest(program=program, tenant=tenant, config=config)
+
+
+def parse_execute_request(payload: Mapping) -> ExecuteRequest:
+    """Validate a ``/v1/execute`` body (see module docstring)."""
+    allowed = {
+        "program", "tenant", "options", "inputs", "seed", "backend",
+        "procs", "transport", "faults", "result",
+    }
+    unknown = set(payload) - allowed if isinstance(payload, Mapping) else set()
+    if unknown:
+        raise SpecError(
+            f"unknown field(s) {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    program, tenant, config = _parse_common(payload)
+    backend = _expect(payload, "backend", str, default="auto")
+    if backend not in _BACKENDS:
+        raise SpecError(
+            f"backend must be one of {_BACKENDS}, got {backend!r}"
+        )
+    result_mode = _expect(payload, "result", str, default="arrays")
+    if result_mode not in _RESULT_MODES:
+        raise SpecError(
+            f"result must be one of {_RESULT_MODES}, got {result_mode!r}"
+        )
+    procs = _expect(payload, "procs", int)
+    if procs is not None and procs < 1:
+        raise SpecError(f"procs must be a positive worker count, got {procs}")
+    transport = _expect(payload, "transport", str, default="shm")
+    if transport not in ("shm", "pipe"):
+        raise SpecError(
+            f"transport must be 'shm' or 'pipe', got {transport!r}"
+        )
+    seed = _expect(payload, "seed", int, default=0)
+    faults = None
+    if payload.get("faults") is not None:
+        faults = parse_fault_spec(_expect(payload, "faults", str))
+    inputs = None
+    if payload.get("inputs") is not None:
+        raw = _expect(payload, "inputs", Mapping)
+        inputs = {}
+        for name, cells in raw.items():
+            try:
+                inputs[str(name)] = np.asarray(cells, dtype=float)
+            except (TypeError, ValueError) as exc:
+                raise SpecError(
+                    f"input {name!r} is not a numeric array: {exc}",
+                    tensor=str(name),
+                ) from exc
+    return ExecuteRequest(
+        program=program,
+        tenant=tenant,
+        config=config,
+        inputs=inputs,
+        seed=seed,
+        backend=backend,
+        procs=procs,
+        transport=transport,
+        faults=faults,
+        result_mode=result_mode,
+    )

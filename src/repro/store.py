@@ -1,0 +1,268 @@
+"""The shared two-tier (memory LRU + on-disk) content-addressed store.
+
+:class:`~repro.runtime.plan_cache.PlanCache` and
+:class:`~repro.autotune.db.TuningDB` keep the same storage shape: a
+bounded in-memory LRU of serialized blobs over an optional persistent
+directory of one file per content-addressed key.  :class:`TwoTierStore`
+is that shape, extracted once, so both wrappers only decide *what* a
+blob means (pickle vs canonical JSON, signature validation) while the
+mechanics live here:
+
+* **LRU memory tier** -- blobs keyed by hex digest, least recently used
+  entries evicted beyond ``maxsize``; hits refresh recency.
+* **Sharded disk tier** -- keys fan out into ``directory/<key[:2]>/``
+  subdirectories (256-way), so a serving deployment writing tens of
+  thousands of plans never piles them into one directory.  Legacy flat
+  files (pre-sharding layouts) are still found on read.
+* **Atomic, locked publication** -- a writer stakes a ``<key>.lock``
+  file with ``O_EXCL``, writes a temporary file, and ``os.replace``\\ s
+  it over the canonical path, so concurrent server workers and CLI
+  processes can share one directory without torn or duplicated writes.
+  Because keys are content-addressed, a writer that loses the lock race
+  simply skips publication: the winner is writing identical bytes.
+  Locks abandoned by a crashed writer are broken after
+  ``lock_timeout_s``.
+* **Corruption discipline** -- unreadable or undecodable disk entries
+  are removed and read as misses; an optional ``validate`` hook lets
+  the wrapper reject decoded-but-stale records (counted separately).
+
+All operations are thread-safe: the serving layer synthesizes in
+executor threads that share one store.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["TwoTierStore", "SHARD_CHARS"]
+
+#: leading hex digits of the key that name the fan-out subdirectory
+SHARD_CHARS = 2
+
+
+class TwoTierStore:
+    """Bounded in-memory LRU over an optional sharded disk directory.
+
+    ``suffix`` names the entry files (``<key><suffix>``); ``decode``
+    callbacks passed to :meth:`get` turn stored bytes back into values.
+    Counters (``hits``/``memory_hits``/``disk_hits``/``misses``/
+    ``stale``/``evictions``) accumulate across the store's lifetime and
+    are snapshotted by :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 128,
+        directory: Optional[str] = None,
+        suffix: str = ".bin",
+        *,
+        lock_timeout_s: float = 60.0,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.directory = directory
+        self.suffix = suffix
+        self.lock_timeout_s = lock_timeout_s
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    # -- paths -------------------------------------------------------------
+
+    def path(self, key: str) -> str:
+        """Canonical (sharded) disk path of ``key``."""
+        return os.path.join(
+            self.directory, key[:SHARD_CHARS], f"{key}{self.suffix}"
+        )
+
+    def _legacy_path(self, key: str) -> str:
+        """Pre-sharding flat path, still honoured on read."""
+        return os.path.join(self.directory, f"{key}{self.suffix}")
+
+    # -- read path ---------------------------------------------------------
+
+    def get(
+        self,
+        key: str,
+        decode: Optional[Callable[[bytes], object]] = None,
+        validate: Optional[Callable[[object], bool]] = None,
+    ) -> Optional[Tuple[object, str]]:
+        """``(value, tier)`` for a stored key, else ``None``.
+
+        ``tier`` is ``"memory"`` or ``"disk"``.  ``decode`` maps stored
+        bytes to the returned value (identity when omitted); a disk blob
+        whose decode raises is treated as corrupt, removed, and counted
+        as a miss.  ``validate`` inspects the decoded value: entries it
+        rejects are dropped from their tier and counted ``stale``.
+        """
+        with self._lock:
+            blob = self._memory.get(key)
+            if blob is not None:
+                value = blob if decode is None else decode(blob)
+                if validate is not None and not validate(value):
+                    del self._memory[key]
+                    self.stale += 1
+                    self.misses += 1
+                    return None
+                self._memory.move_to_end(key)
+                self.hits += 1
+                self.memory_hits += 1
+                return value, "memory"
+            if self.directory is not None:
+                found = self._read_disk(key, decode, validate)
+                if found is not None:
+                    return found
+            self.misses += 1
+            return None
+
+    def _read_disk(self, key, decode, validate):
+        """One disk probe under the lock; counts its own hit/stale."""
+        for path in (self.path(key), self._legacy_path(key)):
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            except FileNotFoundError:
+                continue
+            except OSError:
+                self._remove_file(path)
+                continue
+            try:
+                value = blob if decode is None else decode(blob)
+            except Exception:
+                # corrupt entry: drop it and treat as a miss
+                self._remove_file(path)
+                continue
+            if validate is not None and not validate(value):
+                self.stale += 1
+                self._remove_file(path)
+                continue
+            self._store_memory(key, blob)
+            self.hits += 1
+            self.disk_hits += 1
+            return value, "disk"
+        return None
+
+    @staticmethod
+    def _remove_file(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # -- write path --------------------------------------------------------
+
+    def put(self, key: str, blob: bytes) -> None:
+        """Store serialized ``blob`` under ``key`` in both tiers."""
+        with self._lock:
+            self._store_memory(key, blob)
+        if self.directory is not None:
+            self._publish(key, blob)
+
+    def _store_memory(self, key: str, blob: bytes) -> None:
+        self._memory[key] = blob
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    def _publish(self, key: str, blob: bytes) -> bool:
+        """Atomically write the disk entry; ``False`` when another
+        writer holds the key's lock (their bytes are identical -- keys
+        are content-addressed -- so skipping is correct)."""
+        path = self.path(key)
+        shard = os.path.dirname(path)
+        try:
+            os.makedirs(shard, exist_ok=True)
+        except OSError:  # pragma: no cover - permissions/disk full
+            return False
+        lock = os.path.join(shard, f"{key}.lock")
+        for attempt in (0, 1):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt or not self._break_stale_lock(lock):
+                    return False
+                continue
+            except OSError:  # pragma: no cover - defensive
+                return False
+            os.close(fd)
+            try:
+                tmp_fd, tmp = tempfile.mkstemp(
+                    dir=shard, suffix=f"{self.suffix}.tmp"
+                )
+                try:
+                    with os.fdopen(tmp_fd, "wb") as handle:
+                        handle.write(blob)
+                    os.replace(tmp, path)
+                except OSError:  # pragma: no cover - disk full etc.
+                    self._remove_file(tmp)
+                    return False
+            finally:
+                self._remove_file(lock)
+            return True
+        return False  # pragma: no cover - loop always returns
+
+    def _break_stale_lock(self, lock: str) -> bool:
+        """Remove a lock left behind by a crashed writer; ``True`` when
+        the caller should retry acquisition."""
+        try:
+            age = time.time() - os.path.getmtime(lock)
+        except OSError:
+            return True  # lock vanished: the other writer finished
+        if age < self.lock_timeout_s:
+            return False  # live writer: let it win
+        self._remove_file(lock)
+        return True
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and the disk tier with ``disk=True``)."""
+        with self._lock:
+            self._memory.clear()
+        if disk and self.directory is not None:
+            for dirpath, _, files in os.walk(self.directory):
+                for entry in files:
+                    if entry.endswith(self.suffix):
+                        self._remove_file(os.path.join(dirpath, entry))
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the store's counters and occupancy."""
+        with self._lock:
+            return {
+                "memory_entries": len(self._memory),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "stale": self.stale,
+                "evictions": self.evictions,
+            }
+
+    def describe(self, name: str = "TwoTierStore") -> str:
+        tiers = f"memory[{len(self._memory)}/{self.maxsize}]"
+        if self.directory is not None:
+            tiers += f" + disk[{self.directory}]"
+        return (
+            f"{name}({tiers}): {self.hits} hits "
+            f"({self.memory_hits} memory, {self.disk_hits} disk), "
+            f"{self.misses} misses, {self.evictions} evictions"
+        )

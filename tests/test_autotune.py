@@ -207,8 +207,8 @@ class TestTuningDB:
         d1, d2 = tmp_path / "one", tmp_path / "two"
         TuningDB(directory=str(d1)).put("k", self._record(sig))
         TuningDB(directory=str(d2)).put("k", self._record(sig))
-        f1 = (d1 / "k.tune.json").read_bytes()
-        assert f1 == (d2 / "k.tune.json").read_bytes()
+        f1 = (d1 / "k" / "k.tune.json").read_bytes()
+        assert f1 == (d2 / "k" / "k.tune.json").read_bytes()
         assert f1.endswith(b"\n")
         # canonical JSON: sorted keys survive a parse/re-dump roundtrip
         parsed = json.loads(f1)
@@ -300,8 +300,8 @@ class TestAutotuneStage:
         d1, d2 = tmp_path / "one", tmp_path / "two"
         tune(db=TuningDB(directory=str(d1)), timer=FakeClock(), seed=0)
         tune(db=TuningDB(directory=str(d2)), timer=FakeClock(), seed=0)
-        files1 = sorted(os.listdir(d1))
-        files2 = sorted(os.listdir(d2))
+        files1 = sorted(p.relative_to(d1) for p in d1.rglob("*.tune.json"))
+        files2 = sorted(p.relative_to(d2) for p in d2.rglob("*.tune.json"))
         assert files1 == files2 and len(files1) == 1
         assert (d1 / files1[0]).read_bytes() == (d2 / files2[0]).read_bytes()
 
@@ -310,7 +310,7 @@ class TestAutotuneStage:
         db = TuningDB(directory=str(tmp_path))
         tune(db=db, config=tiny_cache_config())
         tune(db=db, config=tiny_cache_config(optimize_cache=False))
-        assert len(list(tmp_path.glob("*.tune.json"))) == 2
+        assert len(list(tmp_path.rglob("*.tune.json"))) == 2
 
     def test_exhausted_budget_degrades_not_raises(self):
         result = tune(budget=Budget(max_nodes=0))
@@ -338,7 +338,7 @@ class TestAutotuneStage:
     def test_degraded_run_not_stored(self, tmp_path):
         db = TuningDB(directory=str(tmp_path))
         tune(db=db, budget=Budget(max_nodes=0))
-        assert list(tmp_path.glob("*.tune.json")) == []
+        assert list(tmp_path.rglob("*.tune.json")) == []
 
     def test_top_k_bounds_tile_candidates(self):
         r2 = autotune_report(tune(top_k=2))

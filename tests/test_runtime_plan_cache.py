@@ -108,15 +108,13 @@ class TestSynthesizeWithCache:
         cfg = SynthesisConfig()
         cache = PlanCache(directory=str(tmp_path))
         synthesize(MATMUL, cfg, cache=cache)
-        (entry,) = [
-            p for p in os.listdir(tmp_path) if p.endswith(".plan.pkl")
-        ]
-        (tmp_path / entry).write_bytes(b"not a pickle")
+        (entry,) = list(tmp_path.rglob("*.plan.pkl"))
+        entry.write_bytes(b"not a pickle")
         fresh = PlanCache(directory=str(tmp_path))
         result = synthesize(MATMUL, cfg, cache=fresh)
         assert fresh.misses == 1 and fresh.hits == 0
         assert "miss" in result.reports[-1].details["hit"]
-        assert not (tmp_path / entry).read_bytes() == b"not a pickle"
+        assert not entry.read_bytes() == b"not a pickle"
 
 
 class TestLru:

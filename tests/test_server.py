@@ -1,0 +1,451 @@
+"""The HTTP compilation service: endpoints, coalescing, tenants.
+
+Every test boots a real :class:`~repro.server.app.ReproServer` on an
+OS-assigned port and speaks actual HTTP through the stdlib client --
+the suite covers the wire format, the error taxonomy mapping, request
+coalescing (N identical concurrent requests -> exactly one synthesis),
+and multi-tenant admission (an exhausted tenant degrades, a healthy
+one keeps full fidelity; never a 5xx either way).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.pipeline import synthesize
+from repro.robustness.budget import Budget
+from repro.server.app import ReproServer, ServerConfig
+from repro.server.client import arequest
+from repro.server.tenants import TenantPolicy, TenantRegistry
+from repro.server.wire import config_from_options
+from repro.robustness.errors import SpecError
+
+MATMUL = """
+range N = 8;
+index i, j, k : N;
+tensor A(i, k);
+tensor B(k, j);
+C(i, j) = sum(k) A(i, k) * B(k, j);
+"""
+
+#: a three-operand contraction: operation minimization has real work
+#: to do, so a budget tracker accumulates search nodes
+CHAIN = """
+range N = 6;
+index i, j, k, l : N;
+tensor A(i, j);
+tensor B(j, k);
+tensor C(k, l);
+D(i, l) = sum(j, k) A(i, j) * B(j, k) * C(k, l);
+"""
+
+
+def serve(test, config=None):
+    """Run async ``test(app, host, port)`` against a live server."""
+
+    async def wrapper():
+        app = ReproServer(config or ServerConfig(port=0))
+        await app.start()
+        try:
+            return await test(app, app.host, app.port)
+        finally:
+            await app.stop()
+
+    return asyncio.run(wrapper())
+
+
+class TestHttpSurface:
+    def test_index_lists_endpoints(self):
+        async def check(app, host, port):
+            status, body = await arequest(host, port, "GET", "/")
+            assert status == 200
+            assert "POST /v1/synthesize" in body["endpoints"]
+
+        serve(check)
+
+    def test_unknown_path_is_404_with_endpoints(self):
+        async def check(app, host, port):
+            status, body = await arequest(host, port, "GET", "/nope")
+            assert status == 404
+            assert body["error"] == "not_found"
+            assert any("synthesize" in e for e in body["endpoints"])
+
+        serve(check)
+
+    def test_wrong_method_is_405(self):
+        async def check(app, host, port):
+            status, body = await arequest(host, port, "GET", "/v1/synthesize")
+            assert status == 405
+            assert body["error"] == "method_not_allowed"
+
+        serve(check)
+
+    def test_bad_json_is_400(self):
+        async def check(app, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            blob = b"not json"
+            writer.write(
+                b"POST /v1/synthesize HTTP/1.1\r\n"
+                b"Content-Length: " + str(len(blob)).encode() + b"\r\n"
+                b"\r\n" + blob
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            assert b"400" in raw.split(b"\r\n", 1)[0]
+            assert b"bad_json" in raw
+
+        serve(check)
+
+    def test_missing_program_is_400(self):
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/synthesize", {}
+            )
+            assert status == 400
+            assert body["error"] == "SpecError"
+            assert "program" in body["detail"]
+
+        serve(check)
+
+    def test_unknown_field_is_400(self):
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/synthesize",
+                {"program": MATMUL, "prgram": "typo"},
+            )
+            assert status == 400
+            assert "prgram" in body["detail"]
+
+        serve(check)
+
+    def test_parse_error_is_400_not_500(self):
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/synthesize",
+                {"program": "range N = ;;;"},
+            )
+            assert status == 400
+            assert body["error"] == "ParseError"
+
+        serve(check)
+
+
+class TestSynthesize:
+    def test_miss_then_memory_hit(self):
+        async def check(app, host, port):
+            payload = {"program": MATMUL, "options": {"grid": "2x2"}}
+            status, first = await arequest(
+                host, port, "POST", "/v1/synthesize", payload
+            )
+            assert status == 200
+            assert first["cached"] == "miss"
+            assert first["partition_plans"] == ["C"]
+            status, second = await arequest(
+                host, port, "POST", "/v1/synthesize", payload
+            )
+            assert status == 200
+            assert second["cached"] == "memory"
+            assert second["key"] == first["key"]
+            assert second["source_sha256"] == first["source_sha256"]
+
+        serve(check)
+
+    def test_distinct_options_distinct_keys(self):
+        async def check(app, host, port):
+            _, a = await arequest(
+                host, port, "POST", "/v1/synthesize", {"program": MATMUL}
+            )
+            _, b = await arequest(
+                host, port, "POST", "/v1/synthesize",
+                {"program": MATMUL, "options": {"grid": "2x2"}},
+            )
+            assert a["key"] != b["key"]
+
+        serve(check)
+
+    def test_plan_persists_on_disk_across_servers(self, tmp_path):
+        config = ServerConfig(port=0, plan_cache_dir=str(tmp_path))
+
+        async def first(app, host, port):
+            _, body = await arequest(
+                host, port, "POST", "/v1/synthesize", {"program": MATMUL}
+            )
+            assert body["cached"] == "miss"
+
+        serve(first, config)
+        config2 = ServerConfig(port=0, plan_cache_dir=str(tmp_path))
+
+        async def second(app, host, port):
+            _, body = await arequest(
+                host, port, "POST", "/v1/synthesize", {"program": MATMUL}
+            )
+            assert body["cached"] == "disk"
+
+        serve(second, config2)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_one_synthesis(self):
+        """N identical cold requests -> exactly 1 synthesis (the plan
+        cache records one miss), and every response carries the same
+        plan (bit-identical generated source)."""
+        n = 5
+        release = threading.Event()
+
+        def gated_synthesize(program, config, cache=None):
+            release.wait(timeout=30)
+            return synthesize(program, config, cache=cache)
+
+        config = ServerConfig(
+            port=0, workers=2, synthesize_fn=gated_synthesize
+        )
+
+        async def check(app, host, port):
+            payload = {"program": MATMUL, "options": {"grid": "2x2"}}
+            requests = [
+                asyncio.create_task(
+                    arequest(host, port, "POST", "/v1/synthesize", payload)
+                )
+                for _ in range(n)
+            ]
+            # wait until the followers have piled onto the leader's
+            # in-flight future, then let the one synthesis proceed
+            for _ in range(1000):
+                if app.coalescer.coalesced >= n - 1:
+                    break
+                await asyncio.sleep(0.01)
+            assert app.coalescer.coalesced == n - 1
+            assert app.coalescer.inflight == 1
+            release.set()
+            responses = await asyncio.gather(*requests)
+            assert all(status == 200 for status, _ in responses)
+            bodies = [body for _, body in responses]
+            assert app.plan_cache.misses == 1, "exactly one synthesis"
+            assert app.coalescer.leaders == 1
+            assert sorted(b["coalesced"] for b in bodies) == [
+                False, True, True, True, True,
+            ]
+            hashes = {b["source_sha256"] for b in bodies}
+            assert len(hashes) == 1, "all plans bit-identical"
+            keys = {b["key"] for b in bodies}
+            assert len(keys) == 1
+            assert app.plan_cache.stats()["coalesced"] == n - 1
+
+        serve(check, config)
+
+    def test_coalesced_failure_propagates_to_all_without_leak(self):
+        n = 3
+        release = threading.Event()
+
+        def failing_synthesize(program, config, cache=None):
+            release.wait(timeout=30)
+            raise SpecError("synthetic failure", stage="test")
+
+        config = ServerConfig(
+            port=0, workers=2, synthesize_fn=failing_synthesize
+        )
+
+        async def check(app, host, port):
+            payload = {"program": MATMUL}
+            requests = [
+                asyncio.create_task(
+                    arequest(host, port, "POST", "/v1/synthesize", payload)
+                )
+                for _ in range(n)
+            ]
+            for _ in range(1000):
+                if app.coalescer.coalesced >= n - 1:
+                    break
+                await asyncio.sleep(0.01)
+            release.set()
+            responses = await asyncio.gather(*requests)
+            assert [status for status, _ in responses] == [400] * n
+            assert app.coalescer.inflight == 0, "key cleared for retries"
+
+        serve(check, config)
+
+
+class TestTenants:
+    def _registry(self):
+        return TenantRegistry(
+            policies={
+                "metered": TenantPolicy(
+                    name="metered",
+                    budget=Budget(max_nodes=10_000_000),
+                    allowance_nodes=1,
+                ),
+            },
+        )
+
+    def test_exhausted_tenant_degrades_other_tenant_full_fidelity(self):
+        config = ServerConfig(port=0, tenants=self._registry())
+
+        async def check(app, host, port):
+            # the metered tenant's first request runs a real search and
+            # burns its 1-node allowance
+            status, first = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": CHAIN, "tenant": "metered",
+                 "result": "checksum"},
+            )
+            assert status == 200
+            assert first["degraded"] == []
+            assert first["admission"]["nodes_charged"] > 0
+            # now exhausted: stages degrade, response stays 200 and says so
+            status, second = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": CHAIN, "tenant": "metered",
+                 "result": "checksum"},
+            )
+            assert status == 200
+            assert second["admission"]["exhausted"] is True
+            assert second["admission"]["budget"]["max_nodes"] == 0
+            assert second["degraded"] != []
+            # an unmetered tenant is untouched by the noisy neighbour
+            status, other = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": CHAIN, "tenant": "other", "result": "checksum"},
+            )
+            assert status == 200
+            assert other["degraded"] == []
+            assert other["admission"]["exhausted"] is False
+            # degraded or not, the mathematics is identical
+            assert second["outputs"]["D"]["sum"] == pytest.approx(
+                other["outputs"]["D"]["sum"], rel=1e-9
+            )
+            stats = app.tenants.stats()
+            assert stats["metered"]["exhausted"] is True
+            assert stats["metered"]["degraded_requests"] == 1
+            assert stats["other"]["degraded_requests"] == 0
+
+        serve(check, config)
+
+    def test_tenants_file_round_trip(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(
+            '{"default": {"budget_ms": 2000},'
+            ' "tenants": {"team-a": {"budget_nodes": 50,'
+            ' "allowance_nodes": 100}}}'
+        )
+        registry = TenantRegistry.from_file(str(path))
+        account = registry.account("team-a")
+        assert account.policy.budget.max_nodes == 50
+        assert account.policy.allowance_nodes == 100
+        unknown = registry.account("walk-in")
+        assert unknown.policy.budget.deadline_ms == 2000
+
+    def test_tenants_file_rejects_unknown_keys(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text('{"tenants": {"a": {"budget_mss": 1}}}')
+        with pytest.raises(SpecError, match="budget_mss"):
+            TenantRegistry.from_file(str(path))
+
+
+class TestExecute:
+    def test_process_and_interp_agree(self):
+        async def check(app, host, port):
+            _, dist = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": MATMUL, "options": {"grid": "2x2"},
+                 "result": "checksum", "seed": 7},
+            )
+            _, local = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": MATMUL, "result": "checksum", "seed": 7},
+            )
+            assert dist["backend"] == "process"
+            assert local["backend"] == "interp"
+            assert dist["outputs"]["C"]["shape"] == [8, 8]
+            assert dist["outputs"]["C"]["sum"] == pytest.approx(
+                local["outputs"]["C"]["sum"], rel=1e-9
+            )
+
+        serve(check)
+
+    def test_explicit_inputs_arrays_mode(self):
+        async def check(app, host, port):
+            eye = [[1.0 if r == c else 0.0 for c in range(8)]
+                   for r in range(8)]
+            ones = [[1.0] * 8 for _ in range(8)]
+            status, body = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": MATMUL, "inputs": {"A": eye, "B": ones}},
+            )
+            assert status == 200
+            assert body["outputs"]["C"] == ones
+
+        serve(check)
+
+    def test_process_backend_without_grid_is_400(self):
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": MATMUL, "backend": "process"},
+            )
+            assert status == 400
+            assert "partition plans" in body["detail"]
+
+        serve(check)
+
+    def test_faults_through_server_recover(self):
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": MATMUL, "options": {"grid": 2},
+                 "faults": "drop:0;crash:1", "result": "checksum",
+                 "seed": 3},
+            )
+            assert status == 200
+            _, clean = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": MATMUL, "options": {"grid": 2},
+                 "result": "checksum", "seed": 3},
+            )
+            assert body["outputs"]["C"]["sum"] == pytest.approx(
+                clean["outputs"]["C"]["sum"], rel=1e-9
+            )
+
+        serve(check)
+
+
+class TestHealthz:
+    def test_counters_surface(self):
+        async def check(app, host, port):
+            payload = {"program": MATMUL}
+            await arequest(host, port, "POST", "/v1/synthesize", payload)
+            await arequest(host, port, "POST", "/v1/synthesize", payload)
+            status, body = await arequest(host, port, "GET", "/healthz")
+            assert status == 200
+            assert body["status"] == "ok"
+            assert body["requests"]["POST /v1/synthesize"] == 2
+            assert body["plan_cache"]["misses"] == 1
+            assert body["plan_cache"]["memory_hits"] == 1
+            assert "coalesced" in body["plan_cache"]
+            assert body["tenants"]["anonymous"]["requests"] == 2
+            stats_status, stats = await arequest(host, port, "GET", "/stats")
+            assert stats_status == 200
+            assert stats["plan_cache"]["misses"] == 1
+
+        serve(check)
+
+
+class TestWireValidation:
+    def test_grid_and_processors_conflict(self):
+        with pytest.raises(SpecError, match="not both"):
+            config_from_options({"grid": 2, "processors": 2})
+
+    def test_unknown_option_named(self):
+        with pytest.raises(SpecError, match="grdi"):
+            config_from_options({"grdi": 2})
+
+    def test_bad_binding_rejected(self):
+        with pytest.raises(SpecError, match="positive integer"):
+            config_from_options({"bindings": {"N": -4}})
+
+    def test_grid_string_parses(self):
+        config = config_from_options({"grid": "2x2"})
+        assert config.grid.dims == (2, 2)

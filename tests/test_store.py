@@ -1,0 +1,221 @@
+"""The shared two-tier store (memory LRU + sharded on-disk tier).
+
+Both content-addressed stores (the plan cache and the tuning database)
+sit on :class:`repro.store.TwoTierStore`; these tests pin down the
+store's own contract -- sharded fanout layout, atomic + locked
+publication, LRU behavior, corrupt/stale handling, and the counters
+the serving layer surfaces.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.store import TwoTierStore
+
+
+def _keys(n, prefix=""):
+    return [f"{prefix}{i:02d}{'ab' * 31}" for i in range(n)]
+
+
+class TestMemoryTier:
+    def test_round_trip(self):
+        store = TwoTierStore(maxsize=4)
+        store.put("deadbeef", b"payload")
+        value, tier = store.get("deadbeef")
+        assert value == b"payload"
+        assert tier == "memory"
+
+    def test_miss_returns_none(self):
+        store = TwoTierStore(maxsize=4)
+        assert store.get("deadbeef") is None
+        assert store.misses == 1
+
+    def test_lru_eviction_order(self):
+        store = TwoTierStore(maxsize=2)
+        a, b, c = _keys(3)
+        store.put(a, b"a")
+        store.put(b, b"b")
+        store.get(a)  # refresh a; b is now least recent
+        store.put(c, b"c")
+        assert store.evictions == 1
+        assert store.get(b) is None  # evicted (no disk tier)
+        assert store.get(a) is not None
+        assert store.get(c) is not None
+
+    def test_decode_applies(self):
+        store = TwoTierStore(maxsize=4)
+        store.put("k", b"123")
+        value, _ = store.get("k", decode=lambda blob: int(blob))
+        assert value == 123
+
+
+class TestDiskTier:
+    def test_sharded_layout(self, tmp_path):
+        store = TwoTierStore(maxsize=4, directory=tmp_path, suffix=".bin")
+        store.put("cafef00d", b"x")
+        expected = tmp_path / "ca" / "cafef00d.bin"
+        assert expected.is_file()
+        assert expected.read_bytes() == b"x"
+
+    def test_disk_hit_after_memory_eviction(self, tmp_path):
+        store = TwoTierStore(maxsize=1, directory=tmp_path)
+        a, b = _keys(2)
+        store.put(a, b"a")
+        store.put(b, b"b")  # evicts a from memory; disk keeps it
+        value, tier = store.get(a)
+        assert value == b"a"
+        assert tier == "disk"
+        assert store.disk_hits == 1
+        # a disk hit repopulates the memory tier
+        _, tier = store.get(a)
+        assert tier == "memory"
+
+    def test_fresh_instance_reads_other_instances_files(self, tmp_path):
+        first = TwoTierStore(maxsize=4, directory=tmp_path)
+        first.put("feedface", b"shared")
+        second = TwoTierStore(maxsize=4, directory=tmp_path)
+        value, tier = second.get("feedface")
+        assert value == b"shared"
+        assert tier == "disk"
+
+    def test_legacy_flat_file_still_readable(self, tmp_path):
+        # stores written before sharding kept files at the top level
+        (tmp_path / "0ldkey.bin").write_bytes(b"legacy")
+        store = TwoTierStore(maxsize=4, directory=tmp_path, suffix=".bin")
+        value, tier = store.get("0ldkey")
+        assert value == b"legacy"
+        assert tier == "disk"
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        store = TwoTierStore(maxsize=1, directory=tmp_path)
+        a, b = _keys(2)
+        store.put(a, b"good")
+        store.put(b, b"spill")  # push a out of memory
+        path = Path(store.path(a))
+        path.write_bytes(b"")
+
+        def decode(blob):
+            if not blob:
+                raise ValueError("corrupt")
+            return blob
+
+        assert store.get(a, decode=decode) is None
+        assert not path.exists(), "corrupt file must be removed"
+        assert store.misses == 1
+
+    def test_stale_entry_is_a_miss(self, tmp_path):
+        store = TwoTierStore(maxsize=1, directory=tmp_path)
+        a, b = _keys(2)
+        store.put(a, b"v1")
+        store.put(b, b"spill")
+        result = store.get(a, validate=lambda value: False)
+        assert result is None
+        assert store.stale == 1
+
+    def test_clear_disk(self, tmp_path):
+        store = TwoTierStore(maxsize=4, directory=tmp_path)
+        store.put("aa11", b"x")
+        store.put("bb22", b"y")
+        store.clear(disk=True)
+        assert store.get("aa11") is None
+        assert not list(tmp_path.rglob("*.bin"))
+
+
+class TestLocking:
+    def test_held_lock_skips_publication(self, tmp_path):
+        store = TwoTierStore(maxsize=4, directory=tmp_path)
+        shard = tmp_path / "ca"
+        shard.mkdir()
+        lock = shard / "cafe.lock"
+        lock.write_text("held")
+        store.put("cafe", b"blocked")
+        # memory tier has it, disk publication was skipped
+        assert store.get("cafe") == (b"blocked", "memory")
+        assert not Path(store.path("cafe")).exists()
+        assert lock.exists()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        store = TwoTierStore(
+            maxsize=4, directory=tmp_path, lock_timeout_s=0.0
+        )
+        shard = tmp_path / "ca"
+        shard.mkdir()
+        (shard / "cafe.lock").write_text("orphan")
+        store.put("cafe", b"published")
+        assert Path(store.path("cafe")).read_bytes() == b"published"
+        assert not (shard / "cafe.lock").exists()
+
+    def test_lock_removed_after_publish(self, tmp_path):
+        store = TwoTierStore(maxsize=4, directory=tmp_path)
+        store.put("cafe", b"x")
+        assert not list(tmp_path.rglob("*.lock"))
+
+    def test_concurrent_writers_one_file_no_tempfile_litter(self, tmp_path):
+        store = TwoTierStore(maxsize=64, directory=tmp_path)
+        barrier = threading.Barrier(8)
+
+        def writer(i):
+            barrier.wait()
+            store.put("c0ffee", f"writer-{i}".encode())
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        files = sorted(p.name for p in tmp_path.rglob("*") if p.is_file())
+        assert files == ["c0ffee.bin"], files
+        assert Path(store.path("c0ffee")).read_bytes().startswith(b"writer-")
+
+    def test_multiprocess_style_distinct_stores_same_dir(self, tmp_path):
+        stores = [
+            TwoTierStore(maxsize=4, directory=tmp_path) for _ in range(4)
+        ]
+        for i, store in enumerate(stores):
+            store.put("deadbeef", b"same-content")
+            store.put(f"unique{i}", f"{i}".encode())
+        assert Path(store.path("deadbeef")).read_bytes() == b"same-content"
+        for i, store in enumerate(stores):
+            value, _ = store.get(f"unique{i}")
+            assert value == f"{i}".encode()
+
+
+class TestStats:
+    def test_counters(self, tmp_path):
+        store = TwoTierStore(maxsize=1, directory=tmp_path)
+        a, b = _keys(2)
+        store.put(a, b"a")
+        store.get(a)  # memory hit
+        store.put(b, b"b")  # evicts a
+        store.get(a)  # disk hit
+        store.get("missing")  # miss
+        stats = store.stats()
+        assert stats["hits"] == 2
+        assert stats["memory_hits"] == 1
+        assert stats["disk_hits"] == 1
+        assert stats["misses"] == 1
+        # put(b) evicted a; the disk hit on a repopulated and evicted b
+        assert stats["evictions"] == 2
+        assert stats["memory_entries"] == 1
+        assert stats["maxsize"] == 1
+
+    def test_describe_mentions_tiers(self, tmp_path):
+        store = TwoTierStore(maxsize=4, directory=tmp_path)
+        text = store.describe("test store")
+        assert "test store" in text
+
+
+def test_memory_entries_respects_maxsize(tmp_path):
+    store = TwoTierStore(maxsize=2, directory=tmp_path)
+    for key in _keys(5):
+        store.put(key, b"x")
+    assert store.stats()["memory_entries"] <= 2
+    # every entry still served from disk
+    for key in _keys(5):
+        assert store.get(key) is not None
