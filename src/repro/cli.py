@@ -45,7 +45,7 @@ from repro.parallel.grid import ProcessorGrid
 from repro.pipeline import SynthesisConfig, synthesize
 from repro.robustness.budget import Budget
 from repro.robustness.errors import BudgetExceeded, ReproError, SpecError
-from repro.robustness.faults import parse_fault_spec
+from repro.robustness.faults import parse_chaos_spec, parse_fault_spec
 
 #: exit codes by failure class (mirrors ReproError.exit_code)
 EXIT_SPEC = 2
@@ -179,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
         "'drop:0;crash:2'",
     )
     parser.add_argument(
+        "--inject-chaos", metavar="SPEC", default=None,
+        help="with --run and --backend process: inject process-level "
+        "chaos, e.g. 'kill_worker@0', 'hang_worker@1', 'drop_reply@2' "
+        "(joined with ';'); a supervised pool recovers by respawn + "
+        "statement retry with bit-identical results",
+    )
+    parser.add_argument(
         "--backend",
         choices=("local", "process"),
         default="local",
@@ -272,6 +279,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.run:
             return _fail(
                 SpecError("--inject-fault requires --run"), EXIT_SPEC
+            )
+
+    chaos = None
+    if args.inject_chaos is not None:
+        try:
+            chaos = parse_chaos_spec(args.inject_chaos)
+        except SpecError as exc:
+            return _fail(exc, EXIT_SPEC)
+        if not args.run or args.backend != "process":
+            return _fail(
+                SpecError(
+                    "--inject-chaos requires --run --backend process "
+                    "(chaos acts on worker OS processes)"
+                ),
+                EXIT_SPEC,
             )
 
     budget = None
@@ -369,7 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.run:
         rc = _run_and_validate(
             result, faults, args.checkpoint_dir,
-            backend=args.backend, procs=args.procs,
+            backend=args.backend, procs=args.procs, chaos=chaos,
         )
         if rc:
             return rc
@@ -377,7 +399,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run_and_validate(
-    result, faults, checkpoint_dir, *, backend="local", procs=None
+    result, faults, checkpoint_dir, *, backend="local", procs=None,
+    chaos=None,
 ) -> int:
     """Execute the synthesis result on deterministic random inputs and
     compare against the reference einsum executor; 0 on success."""
@@ -412,9 +435,28 @@ def _run_and_validate(
                 )
         print("run: outputs match the reference executor")
         if result.partition_plans:
-            out = result.run_parallel(
-                inputs, faults=faults, backend=backend, procs=procs
-            )
+            supervisor = None
+            if chaos is not None and chaos.any_chaos:
+                from repro.robustness.faults import ChaosState
+                from repro.runtime.supervisor import PoolSupervisor
+
+                grid_size = next(
+                    iter(result.partition_plans.values())
+                ).grid.size
+                supervisor = PoolSupervisor(
+                    max(1, min(procs or grid_size, grid_size)),
+                    chaos=ChaosState(chaos),
+                )
+            if supervisor is not None:
+                with supervisor:
+                    out = result.run_parallel(
+                        inputs, faults=faults, backend=backend,
+                        procs=procs, supervisor=supervisor,
+                    )
+            else:
+                out = result.run_parallel(
+                    inputs, faults=faults, backend=backend, procs=procs
+                )
             for note in result.last_run_notes:
                 print(f"warning: {note}", file=sys.stderr)
             for stmt in program.statements:
@@ -433,9 +475,19 @@ def _run_and_validate(
                         ),
                         EXIT_EXECUTION,
                     )
+            recovered = []
+            if faults is not None and faults.any_faults:
+                recovered.append("injected faults")
+            if supervisor is not None and (
+                supervisor.respawns or supervisor.retries
+            ):
+                recovered.append(
+                    f"process chaos: {supervisor.respawns} respawn(s), "
+                    f"{supervisor.retries} retried statement(s)"
+                )
             suffix = (
-                " (with injected faults recovered)"
-                if faults is not None and faults.any_faults
+                f" (with {'; '.join(recovered)} recovered)"
+                if recovered
                 else ""
             )
             print(f"run: parallel outputs match the reference executor{suffix}")

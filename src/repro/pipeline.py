@@ -266,6 +266,7 @@ class SynthesisResult:
         procs: Optional[int] = None,
         transport: Optional[str] = None,
         pool=None,
+        supervisor=None,
     ) -> Dict[str, np.ndarray]:
         """Execute the generated SPMD programs for the whole sequence;
         returns produced arrays.
@@ -303,6 +304,16 @@ class SynthesisResult:
         injects message drops and rank crashes into every statement's
         SPMD run; recovery is by bounded retry and statement restart
         (see :func:`repro.parallel.spmd.run_spmd`).
+
+        ``supervisor`` (process backend only, a
+        :class:`~repro.runtime.supervisor.PoolSupervisor`) executes
+        every statement under supervision: dead workers are detected,
+        the pool is respawned, and the failed statement is re-run on
+        the fresh pool with bit-identical results.  The supervisor's
+        recovery log (respawns, retries) is merged into
+        :attr:`last_run_notes`.  Mutually exclusive with ``pool`` --
+        the supervisor owns its pool (adopt a warm pool by passing it
+        to the supervisor's constructor instead).
         """
         if not self.partition_plans:
             raise ValueError("no partition plans: configure a grid first")
@@ -315,6 +326,16 @@ class SynthesisResult:
             raise ValueError(
                 "a worker pool requires backend='process', "
                 f"got backend={backend!r}"
+            )
+        if supervisor is not None and backend != "process":
+            raise ValueError(
+                "a supervisor requires backend='process', "
+                f"got backend={backend!r}"
+            )
+        if supervisor is not None and pool is not None:
+            raise ValueError(
+                "pass pool= or supervisor=, not both (a supervisor owns "
+                "its pool; adopt a warm pool via PoolSupervisor(pool=...))"
             )
         from repro.engine.executor import run_statements as run_local
         from repro.parallel.program_plan import SequencePlan
@@ -330,7 +351,7 @@ class SynthesisResult:
             procs = self.tuning.procs
 
         notes: List[str] = []
-        owned_pool = pool is None
+        owned_pool = pool is None and supervisor is None
         if backend == "process":
             import os
 
@@ -348,7 +369,12 @@ class SynthesisResult:
                 )
                 nworkers = ncpu
                 procs = ncpu
-            if pool is None:
+            if supervisor is not None:
+                # the supervisor keeps its own transport and worker cap
+                transport = supervisor.transport
+                if nworkers > supervisor.procs:
+                    procs = supervisor.procs
+            elif pool is None:
                 pool = SpmdProcessPool(nworkers, transport=transport)
             else:
                 # a warm pool keeps its own transport and worker cap
@@ -377,14 +403,29 @@ class SynthesisResult:
                     )
                     continue
                 seq_plan = SequencePlan([(name, plan)], plan.total_cost)
-                out = run_spmd_sequence(
-                    [stmt], seq_plan, arrays, faults=faults,
-                    max_retries=max_retries, max_restarts=max_restarts,
-                    backend=backend, procs=procs, pool=pool,
-                    transport=transport,
-                )
+                if supervisor is not None:
+                    out = supervisor.run_statement(
+                        lambda p, stmt=stmt, seq_plan=seq_plan: (
+                            run_spmd_sequence(
+                                [stmt], seq_plan, arrays, faults=faults,
+                                max_retries=max_retries,
+                                max_restarts=max_restarts,
+                                backend=backend, procs=procs, pool=p,
+                                transport=p.transport,
+                            )
+                        )
+                    )
+                else:
+                    out = run_spmd_sequence(
+                        [stmt], seq_plan, arrays, faults=faults,
+                        max_retries=max_retries, max_restarts=max_restarts,
+                        backend=backend, procs=procs, pool=pool,
+                        transport=transport,
+                    )
                 arrays.update(out.arrays)
         finally:
+            if supervisor is not None and supervisor.notes:
+                notes.extend(supervisor.notes)
             self.last_run_notes = notes
             if pool is not None and owned_pool:
                 pool.close()

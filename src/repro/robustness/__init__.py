@@ -21,13 +21,20 @@ from repro.robustness.errors import (
     BudgetExceeded,
     CheckpointError,
     CommFailure,
+    DeadlineExceeded,
     InjectedFault,
     PlanError,
     ReproError,
     ShapeError,
     SpecError,
 )
-from repro.robustness.faults import FaultSchedule, parse_fault_spec
+from repro.robustness.faults import (
+    ChaosSchedule,
+    ChaosState,
+    FaultSchedule,
+    parse_chaos_spec,
+    parse_fault_spec,
+)
 from repro.robustness.validation import (
     expected_input_shapes,
     validate_block_inputs,
@@ -38,8 +45,11 @@ __all__ = [
     "Budget",
     "BudgetTracker",
     "BudgetExceeded",
+    "ChaosSchedule",
+    "ChaosState",
     "CheckpointError",
     "CommFailure",
+    "DeadlineExceeded",
     "Degradation",
     "FaultSchedule",
     "InjectedFault",
@@ -52,6 +62,7 @@ __all__ = [
     "clear_checkpoint",
     "expected_input_shapes",
     "load_checkpoint",
+    "parse_chaos_spec",
     "parse_fault_spec",
     "save_checkpoint",
     "validate_block_inputs",

@@ -25,6 +25,7 @@ class                 code  meaning
 ``CommFailure``          4  message loss beyond the retry limit
 ``CheckpointError``      4  unreadable/corrupt checkpoint
 ``InjectedFault``        4  deliberately injected fault fired
+``DeadlineExceeded``     4  per-request deadline expired (HTTP 504)
 ====================  ====  =========================================
 """
 
@@ -109,6 +110,18 @@ class BudgetExceeded(ReproError):
 
 class CommFailure(ReproError):
     """A message could not be delivered within the retry limit."""
+
+    exit_code = 4
+
+
+class DeadlineExceeded(ReproError):
+    """A per-request deadline expired before the work completed.
+
+    Raised by the serving layer when a request's ``deadline_ms`` runs
+    out between synthesis and execution, or when the recv watchdog
+    terminates a hung worker past the deadline.  Mapped to HTTP 504 by
+    :mod:`repro.server.app` -- a structured timeout, never a raw
+    traceback."""
 
     exit_code = 4
 

@@ -61,7 +61,7 @@ from repro.parallel.spmd import (
 )
 from repro.parallel.spmd_runtime import paste
 from repro.robustness.errors import CommFailure, InjectedFault
-from repro.robustness.faults import FaultSchedule
+from repro.robustness.faults import ChaosState, FaultSchedule
 from repro.runtime.shm import (
     DEFAULT_MIN_BYTES,
     SHM_AVAILABLE,
@@ -135,9 +135,11 @@ def _worker_main(conn, shm_min_bytes: Optional[int] = None) -> None:
     states: Dict[Rank, Dict] = {}
     gens: Dict[Rank, object] = {}
     live: set = set()
+    muted = False
 
     def reply(msg) -> None:
-        conn.send(pack_message(msg, shm_min_bytes))
+        if not muted:  # chaos "mute": execute, but swallow the reply
+            conn.send(pack_message(msg, shm_min_bytes))
 
     try:
         while True:
@@ -145,7 +147,19 @@ def _worker_main(conn, shm_min_bytes: Optional[int] = None) -> None:
                 msg = unpack_message(conn.recv())
             except EOFError:
                 break
+            muted = False
             kind = msg[0]
+            if kind == "mute":
+                # chaos drop_reply: process the wrapped command normally
+                # but never answer -- the router's watchdog must notice
+                muted = True
+                msg = msg[1]
+                kind = msg[0]
+            if kind == "hang":
+                # chaos hang_worker: alive but unresponsive, forever --
+                # distinguishable from a dead worker only by a watchdog
+                while True:  # pragma: no cover - terminated externally
+                    time.sleep(3600)
             try:
                 if kind == "load":
                     _, source, fname, ranks, arrays = msg
@@ -222,6 +236,8 @@ class SpmdProcessPool:
         context=None,
         transport: str = "shm",
         shm_min_bytes: int = DEFAULT_MIN_BYTES,
+        recv_timeout_s: Optional[float] = None,
+        chaos: Optional[ChaosState] = None,
     ) -> None:
         if procs < 1:
             raise ValueError(f"need at least one worker process, got {procs}")
@@ -234,6 +250,16 @@ class SpmdProcessPool:
         self.procs = procs
         self.transport = transport
         self.shm_min_bytes = shm_min_bytes
+        #: recv watchdog: how long :func:`_recv` waits for a worker
+        #: reply before declaring the worker hung, terminating it, and
+        #: raising CommFailure.  ``None`` (default) blocks forever --
+        #: the pre-watchdog behaviour.  Mutable: a supervisor adopting
+        #: a warm pool installs its own timeout.
+        self.recv_timeout_s = recv_timeout_s
+        #: process-level chaos injection (:class:`~repro.robustness.
+        #: faults.ChaosState`); consulted on every posted ``go``.
+        #: Mutable for the same adopt-a-warm-pool reason.
+        self.chaos = chaos
         if context is None:
             methods = mp.get_all_start_methods()
             context = mp.get_context(
@@ -268,8 +294,27 @@ class SpmdProcessPool:
             self._workers.append((proc, parent_conn))
         return self._workers[:n]
 
-    def post(self, conn, msg) -> None:
-        """Send a command to a worker over the configured transport."""
+    def post(self, conn, msg, proc=None) -> None:
+        """Send a command to a worker over the configured transport.
+
+        When a :class:`~repro.robustness.faults.ChaosState` is attached,
+        every ``go`` advances its ordinal and may fire process-level
+        chaos against this worker: ``kill_worker`` SIGKILLs the process
+        before sending (the send or the next recv observes the broken
+        pipe), ``hang_worker`` replaces the command with ``("hang",)``
+        (the worker sleeps forever; only the recv watchdog notices), and
+        ``drop_reply`` wraps the command in ``("mute", ...)`` (the
+        worker executes it but never answers).
+        """
+        if self.chaos is not None and msg and msg[0] == "go":
+            action = self.chaos.next_action()
+            if action == "kill_worker" and proc is not None:
+                proc.kill()
+                proc.join(timeout=5)
+            elif action == "hang_worker":
+                msg = ("hang",)
+            elif action == "drop_reply":
+                msg = ("mute", msg)
         min_bytes = self.shm_min_bytes if self.transport == "shm" else None
         packed = pack_message(msg, min_bytes)
         seg = segment_of(packed)
@@ -324,8 +369,14 @@ class SpmdProcessPool:
                 pass
         for proc, conn in self._workers:
             proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
+            if proc.is_alive():
                 proc.terminate()
+                proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - needs a D-state proc
+                # a worker that shrugs off SIGTERM (hung in
+                # uninterruptible I/O, masked signals) must not become a
+                # zombie holding shm segments open: escalate to SIGKILL
+                proc.kill()
                 proc.join(timeout=5)
             try:
                 conn.close()
@@ -340,8 +391,36 @@ class SpmdProcessPool:
         self.close()
 
 
-def _recv(pool: SpmdProcessPool, conn):
-    """Receive one worker reply, surfacing worker-side failures."""
+def _recv(pool: SpmdProcessPool, conn, proc=None):
+    """Receive one worker reply, surfacing worker-side failures.
+
+    With ``pool.recv_timeout_s`` set, this is the recv **watchdog**: a
+    worker that produces no reply within the timeout -- alive but hung,
+    indistinguishable from a slow superstep by any other means -- is
+    terminated, the pool is marked broken, and a structured
+    :class:`CommFailure` (``stage="spmd-process"``) surfaces instead of
+    blocking the caller forever.
+    """
+    timeout = pool.recv_timeout_s
+    if timeout is not None:
+        try:
+            ready = conn.poll(timeout)
+        except (EOFError, OSError):  # pragma: no cover - defensive
+            ready = True  # fall through to recv, which raises cleanly
+        if not ready:
+            pool.mark_broken()
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.kill()
+                    proc.join(timeout=5)
+            raise CommFailure(
+                f"SPMD worker unresponsive for {timeout:g}s (recv "
+                "watchdog); worker terminated",
+                stage="spmd-process",
+                timeout_s=timeout,
+            )
     try:
         reply = unpack_message(conn.recv())
     except (EOFError, OSError):
@@ -424,8 +503,8 @@ def _drive(
     arrays = dict(inputs)
     for w, (_, conn) in enumerate(workers):
         pool.post(conn, ("load", source, name, assignment[w], arrays))
-    for _, conn in workers:
-        _recv(pool, conn)  # "loaded"
+    for proc, conn in workers:
+        _recv(pool, conn, proc)  # "loaded"
 
     restarts = 0
     fired_crashes: set = set()
@@ -452,11 +531,11 @@ def _drive(
                         f"rank crash injected at superstep {supersteps}",
                         stage="spmd",
                     )
-                for w, (_, conn) in enumerate(workers):
-                    pool.post(conn, ("go", inboxes[w]))
+                for w, (proc, conn) in enumerate(workers):
+                    pool.post(conn, ("go", inboxes[w]), proc)
                 outboxes: List[List] = []
-                for _, conn in workers:
-                    reply = _recv(pool, conn)  # ("step", outbox, n_done)
+                for proc, conn in workers:
+                    reply = _recv(pool, conn, proc)  # ("step", outbox, n)
                     outboxes.append(reply[1])
                     live -= reply[2]
                 supersteps += 1
@@ -483,14 +562,14 @@ def _drive(
                 ) from None
             for _, conn in workers:
                 pool.post(conn, ("restart",))
-            for _, conn in workers:
-                _recv(pool, conn)  # "restarted"
+            for proc, conn in workers:
+                _recv(pool, conn, proc)  # "restarted"
 
     for _, conn in workers:
         pool.post(conn, ("collect",))
     results: Dict[Rank, Tuple] = {}
-    for _, conn in workers:
-        results.update(_recv(pool, conn)[1])
+    for proc, conn in workers:
+        results.update(_recv(pool, conn, proc)[1])
 
     indices = tuple(plan.root.indices)
     shape = tuple(i.extent(plan.bindings) for i in indices)

@@ -10,16 +10,27 @@ optimizations the offline CLI cannot provide:
 * **warm pools** (:mod:`repro.server.pools`) -- SPMD worker pools
   reused across execute requests.
 
+PR 7 adds the fault-tolerance layer that makes the service survivable
+(``docs/architecture.md`` section 13): executions run under a
+:class:`~repro.runtime.supervisor.PoolSupervisor` (dead workers
+respawned, statements retried bit-identically), per-request
+``deadline_ms`` deadlines surface as structured 504s, a bounded
+in-flight gate sheds load with 429 + ``Retry-After``, and per-route
+:class:`~repro.server.breaker.CircuitBreaker`\\ s stop hammering a
+sick route -- all observable in ``/healthz``.
+
 Start it with ``repro serve`` (see :func:`repro.server.app.serve_main`)
 or embed :class:`repro.server.app.ReproServer` in an asyncio program.
 """
 
 from repro.server.app import ReproServer, ServerConfig, serve_main
+from repro.server.breaker import CircuitBreaker
 from repro.server.coalesce import Coalescer
 from repro.server.pools import PoolRegistry
 from repro.server.tenants import TenantPolicy, TenantRegistry
 
 __all__ = [
+    "CircuitBreaker",
     "ReproServer",
     "ServerConfig",
     "serve_main",

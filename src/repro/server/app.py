@@ -33,8 +33,15 @@ from typing import Callable, Dict, Optional, Set
 
 from repro.expr.parser import ParseError
 from repro.pipeline import synthesize
-from repro.robustness.errors import ReproError, ShapeError, SpecError
+from repro.robustness.errors import (
+    DeadlineExceeded,
+    ReproError,
+    ShapeError,
+    SpecError,
+)
 from repro.runtime.plan_cache import PlanCache
+from repro.runtime.supervisor import DEFAULT_WATCHDOG_S
+from repro.server.breaker import CircuitBreaker
 from repro.server.coalesce import Coalescer
 from repro.server.handlers import Handlers
 from repro.server.pools import PoolRegistry
@@ -48,7 +55,10 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: request body cap -- execute payloads carry arrays, synthesis only text
@@ -73,6 +83,21 @@ class ServerConfig:
     #: executor width: how many syntheses/executions may grind at once
     workers: int = 4
     drain_timeout_s: float = 30.0
+    #: admission control: how many ``/v1/*`` requests may be in flight
+    #: before load shedding (429 + ``Retry-After``); 0 disables the gate
+    max_inflight: int = 32
+    #: default per-request deadline applied when a request sends none
+    #: (``None`` = unbounded, the pre-deadline behaviour)
+    deadline_ms: Optional[int] = None
+    #: recv watchdog for supervised executions: a worker silent this
+    #: long is terminated and the statement retried on a fresh pool
+    watchdog_timeout_s: float = DEFAULT_WATCHDOG_S
+    #: per-route circuit breaker: consecutive server-side failures
+    #: before the route opens, and the cool-down before a probe
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 30.0
+    #: breaker clock seam -- tests drive open -> half-open w/o sleeping
+    breaker_clock: Callable[[], float] = time.monotonic
     #: synthesis seam -- tests substitute an instrumented callable with
     #: the same ``(program, config, cache=...)`` signature
     synthesize_fn: Callable = synthesize
@@ -111,6 +136,23 @@ class ReproServer:
             ("GET", "/stats"): self.handlers.healthz,
             ("GET", "/"): self.handlers.index,
         }
+        #: admission control covers only the expensive ``/v1/*`` work;
+        #: ``/healthz`` must answer even when the service is drowning
+        self._gated = {
+            path for method, path in self._routes if method == "POST"
+        }
+        self.breakers: Dict[str, CircuitBreaker] = {
+            path: CircuitBreaker(
+                failure_threshold=config.breaker_threshold,
+                reset_timeout_s=config.breaker_reset_s,
+                clock=config.breaker_clock,
+            )
+            for path in self._gated
+        }
+        #: ``/v1/*`` requests currently executing (admission gate)
+        self.gated_inflight = 0
+        #: requests shed by the in-flight gate (lifetime)
+        self.shed = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -231,34 +273,83 @@ class ReproServer:
                 "detail": "POST requires a JSON body",
             })
             return
+        gated = path in self._gated
+        breaker = self.breakers.get(path)
+        if gated:
+            if (
+                self.config.max_inflight
+                and self.gated_inflight >= self.config.max_inflight
+            ):
+                # load shedding: a structured 429 now beats an opaque
+                # timeout later; Retry-After tells well-behaved clients
+                # when to come back
+                self.shed += 1
+                self._write(writer, 429, {
+                    "error": "overloaded",
+                    "detail": (
+                        f"{self.gated_inflight} requests in flight "
+                        f">= max_inflight={self.config.max_inflight}; "
+                        "retry shortly"
+                    ),
+                    "max_inflight": self.config.max_inflight,
+                }, headers={"Retry-After": "1"})
+                return
+            if breaker is not None and not breaker.allow():
+                retry_after = max(1, round(breaker.retry_after_s()))
+                self._write(writer, 503, {
+                    "error": "circuit_open",
+                    "detail": (
+                        f"circuit breaker for {path} is "
+                        f"{breaker.state} after repeated failures; "
+                        "retry after the cool-down"
+                    ),
+                    "breaker": breaker.snapshot(),
+                }, headers={"Retry-After": str(retry_after)})
+                return
+            self.gated_inflight += 1
         try:
-            status, response = await handler(payload)
-        except (SpecError, ShapeError) as exc:
-            self._write(writer, 400, {
-                "error": type(exc).__name__,
-                "detail": exc.diagnostic(),
-            })
-        except ParseError as exc:
-            self._write(writer, 400, {
-                "error": "ParseError",
-                "detail": str(exc),
-            })
-        except ReproError as exc:
-            self._write(writer, 500, {
-                "error": type(exc).__name__,
-                "detail": exc.diagnostic(),
-            })
-        except Exception as exc:  # noqa: BLE001 -- last-resort mapping
-            print(
-                f"repro.server: unhandled {type(exc).__name__}: {exc}",
-                file=sys.stderr,
-            )
-            self._write(writer, 500, {
-                "error": "internal",
-                "detail": f"{type(exc).__name__}: {exc}",
-            })
-        else:
-            self._write(writer, status, response)
+            try:
+                status, response = await handler(payload)
+            except (SpecError, ShapeError) as exc:
+                status, response = 400, {
+                    "error": type(exc).__name__,
+                    "detail": exc.diagnostic(),
+                }
+            except ParseError as exc:
+                status, response = 400, {
+                    "error": "ParseError",
+                    "detail": str(exc),
+                }
+            except DeadlineExceeded as exc:
+                status, response = 504, {
+                    "error": "DeadlineExceeded",
+                    "detail": exc.diagnostic(),
+                }
+            except ReproError as exc:
+                status, response = 500, {
+                    "error": type(exc).__name__,
+                    "detail": exc.diagnostic(),
+                }
+            except Exception as exc:  # noqa: BLE001 -- last-resort mapping
+                print(
+                    f"repro.server: unhandled {type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+                status, response = 500, {
+                    "error": "internal",
+                    "detail": f"{type(exc).__name__}: {exc}",
+                }
+        finally:
+            if gated:
+                self.gated_inflight -= 1
+        if gated and breaker is not None:
+            # only server-side failures say anything about route
+            # health; 400s are the client's problem
+            if status >= 500:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        self._write(writer, status, response)
 
     async def _read_head(self, reader, writer):
         head = await reader.readuntil(b"\r\n\r\n")
@@ -308,12 +399,22 @@ class ReproServer:
         self.request_counts[route] = self.request_counts.get(route, 0) + 1
 
     @staticmethod
-    def _write(writer: asyncio.StreamWriter, status: int, payload) -> None:
+    def _write(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n"
             f"\r\n"
         ).encode("latin-1")
@@ -369,6 +470,28 @@ def serve_main(argv=None) -> int:
         "--pool-idle-timeout", type=float, default=120.0, metavar="S",
         help="seconds before an idle warm pool is reaped",
     )
+    parser.add_argument(
+        "--max-inflight", type=int, default=32,
+        help=(
+            "in-flight /v1/* requests before load shedding "
+            "(429 + Retry-After); 0 disables the gate"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-ms", type=int, default=None, metavar="MS",
+        help=(
+            "default per-request deadline applied when a request "
+            "sends no deadline_ms (expiry = structured 504)"
+        ),
+    )
+    parser.add_argument(
+        "--watchdog-timeout", type=float, default=DEFAULT_WATCHDOG_S,
+        metavar="S",
+        help=(
+            "recv watchdog: seconds a worker may stay silent before "
+            "it is terminated and the statement retried"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.port < 0 or args.port > 65535:
         print(f"error: port {args.port} out of range", file=sys.stderr)
@@ -383,6 +506,19 @@ def serve_main(argv=None) -> int:
         print(
             "error: --pool-max-idle must be >= 0 and "
             "--pool-idle-timeout positive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_inflight < 0 or args.watchdog_timeout <= 0:
+        print(
+            "error: --max-inflight must be >= 0 and "
+            "--watchdog-timeout positive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.deadline_ms is not None and args.deadline_ms < 1:
+        print(
+            "error: --deadline-ms must be a positive millisecond count",
             file=sys.stderr,
         )
         return 2
@@ -404,6 +540,9 @@ def serve_main(argv=None) -> int:
         workers=args.workers,
         pool_max_idle=args.pool_max_idle,
         pool_idle_timeout_s=args.pool_idle_timeout,
+        max_inflight=args.max_inflight,
+        deadline_ms=args.deadline_ms,
+        watchdog_timeout_s=args.watchdog_timeout,
     )
     try:
         asyncio.run(_serve_forever(config))

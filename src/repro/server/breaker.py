@@ -1,0 +1,138 @@
+"""Per-route circuit breakers for the serving layer.
+
+When a dependency of one route is sick -- worker pools thrashing, a
+pathological program class that reliably times out -- retrying every
+incoming request against it burns executor threads and makes the
+outage worse.  A :class:`CircuitBreaker` is the standard remedy, per
+route:
+
+* **closed** (healthy): requests flow; consecutive failures are
+  counted, a success resets the count;
+* **open**: after ``failure_threshold`` consecutive failures the
+  breaker rejects requests outright (the HTTP layer answers a
+  structured 503 with ``Retry-After``) for ``reset_timeout_s``;
+* **half-open**: after the cool-down, exactly one probe request is
+  admitted -- success closes the breaker, failure re-opens it for
+  another full cool-down.
+
+Only *server-side* failures (5xx: pipeline errors, deadline expiries)
+trip the breaker; client mistakes (400s) and load shedding (429s) say
+nothing about route health and are not recorded.  ``/healthz`` is
+never gated -- an open breaker is a *reported* condition, not an
+excuse to go dark.
+
+The clock is injectable so tests drive the open -> half-open
+transition without sleeping.  Thread-safe; the HTTP layer records
+outcomes from the event loop, but nothing here requires that.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """One route's failure-driven admission gate (see module doc)."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be positive, got {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0  # consecutive, while closed
+        self._opened_at: float = 0.0
+        self._state = "closed"
+        self._probing = False  # a half-open probe is in flight
+        #: lifetime counters, surfaced in ``/healthz``
+        self.rejected = 0
+        self.opened = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` -- evaluating
+        the open -> half-open transition against the clock."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = "half-open"
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the next request may proceed.  In half-open state
+        this admits exactly one probe: further calls are rejected until
+        the probe's outcome is recorded."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half-open" and not self._probing:
+                self._probing = True
+                return True
+            self.rejected += 1
+            return False
+
+    def record_success(self) -> None:
+        """A gated request finished healthily: close the breaker."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        """A gated request failed server-side: count it; trip at the
+        threshold (a half-open probe's failure re-opens immediately)."""
+        with self._lock:
+            if self._probing:  # the probe failed: full cool-down again
+                self._probing = False
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.opened += 1
+                self._failures = 0
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                if self._state != "open":
+                    self.opened += 1
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._failures = 0
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker half-opens (for ``Retry-After``)."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            left = self.reset_timeout_s - (self._clock() - self._opened_at)
+            return max(0.0, left)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state for ``/healthz``."""
+        return {
+            "state": self.state,
+            "failure_threshold": self.failure_threshold,
+            "reset_timeout_s": self.reset_timeout_s,
+            "rejected": self.rejected,
+            "opened": self.opened,
+        }

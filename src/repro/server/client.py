@@ -4,15 +4,30 @@ Used by the test suite, the load smoke test, and the serving
 benchmark; kept dependency-free (asyncio streams / ``http.client``)
 like the server itself.  Each call is one connection -- the server
 answers ``Connection: close``.
+
+:func:`request` optionally retries (``retries=N``) with jittered
+exponential backoff -- but only failures that are safe and useful to
+retry: connection errors (server restarting), 429 (load shed), and
+503 (circuit open).  A served error (400, 500, 504) is the answer,
+not a transient; retrying it would just repeat the failure.  The
+server's ``Retry-After`` header, when present, overrides the computed
+backoff -- the server knows its own cool-down better than the client's
+exponent does.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional, Tuple
+import random
+import time
+from typing import Callable, Optional, Tuple
 
 __all__ = ["arequest", "request"]
+
+#: statuses worth retrying: shed load and open breakers clear on their
+#: own; everything else is a definitive answer
+RETRYABLE_STATUSES = (429, 503)
 
 
 async def arequest(
@@ -62,15 +77,15 @@ async def arequest(
     return status, json.loads(response_body.decode("utf-8"))
 
 
-def request(
+def _request_once(
     host: str,
     port: int,
     method: str,
     path: str,
-    payload: Optional[dict] = None,
-    timeout: float = 120.0,
-) -> Tuple[int, dict]:
-    """Synchronous :func:`arequest` (scripts without an event loop)."""
+    payload: Optional[dict],
+    timeout: float,
+) -> Tuple[int, dict, Optional[str]]:
+    """``(status, body, retry_after_header)`` of one attempt."""
     import http.client
 
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
@@ -83,6 +98,61 @@ def request(
             headers={"Content-Type": "application/json"},
         )
         response = conn.getresponse()
-        return response.status, json.loads(response.read().decode("utf-8"))
+        return (
+            response.status,
+            json.loads(response.read().decode("utf-8")),
+            response.getheader("Retry-After"),
+        )
     finally:
         conn.close()
+
+
+def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    timeout: float = 120.0,
+    retries: int = 0,
+    backoff_s: float = 0.25,
+    max_backoff_s: float = 5.0,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+) -> Tuple[int, dict]:
+    """Synchronous :func:`arequest` (scripts without an event loop).
+
+    ``retries`` enables bounded retry (see module docstring): up to
+    ``retries`` re-attempts after a connection error, 429, or 503,
+    sleeping a full-jittered exponential backoff between attempts
+    (``uniform(0, min(max_backoff_s, backoff_s * 2**attempt))``), or
+    the server's ``Retry-After`` when it sent one.  The last answer
+    (or the last connection error) is surfaced when retries run out.
+    ``sleep`` and ``rng`` are injectable so tests cover the schedule
+    without wall-clock waits.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    rng = rng or random.Random()
+    attempt = 0
+    while True:
+        retry_after = None
+        try:
+            status, body, retry_after = _request_once(
+                host, port, method, path, payload, timeout
+            )
+            if status not in RETRYABLE_STATUSES or attempt >= retries:
+                return status, body
+        except (ConnectionError, OSError):
+            if attempt >= retries:
+                raise
+        delay = rng.uniform(
+            0.0, min(max_backoff_s, backoff_s * (2.0 ** attempt))
+        )
+        if retry_after is not None:
+            try:
+                delay = max(0.0, float(retry_after))
+            except ValueError:
+                pass  # unparseable header: keep the computed backoff
+        sleep(delay)
+        attempt += 1

@@ -30,8 +30,10 @@ import numpy as np
 
 from repro.expr.parser import parse_program
 from repro.robustness.budget import Budget
-from repro.robustness.errors import SpecError
+from repro.robustness.errors import DeadlineExceeded, SpecError
+from repro.robustness.faults import ChaosState
 from repro.runtime.plan_cache import plan_key
+from repro.runtime.supervisor import PoolSupervisor, deadline_clock
 from repro.server import wire
 
 __all__ = ["Handlers"]
@@ -55,7 +57,13 @@ class Handlers:
 
     # -- shared synthesis path ---------------------------------------------
 
-    async def _synthesize(self, program_text: str, tenant: str, config):
+    async def _synthesize(
+        self,
+        program_text: str,
+        tenant: str,
+        config,
+        deadline_ms: Optional[int] = None,
+    ):
         """Parse, admit, coalesce, synthesize; returns the pieces every
         endpoint needs."""
         app = self.app
@@ -63,6 +71,13 @@ class Handlers:
         account = app.tenants.account(tenant)
         admission_exhausted = account.exhausted
         budget = account.admission_budget()
+        if deadline_ms is not None:
+            # a request deadline narrows the search budget the same way
+            # tenant admission does; the stages degrade instead of
+            # overrunning.  It necessarily enters the plan-cache key
+            # (same deadline -> same key) -- the binary tenant-budget
+            # quantization precedent, documented in architecture.md
+            budget = budget.narrowed(deadline_ms=deadline_ms)
         if (
             budget.deadline_ms is None
             and budget.max_nodes is None
@@ -120,7 +135,8 @@ class Handlers:
         """``POST /v1/synthesize``: compile (or fetch) a plan."""
         req = wire.parse_synthesize_request(payload)
         program, _, result, meta = await self._synthesize(
-            req.program, req.tenant, req.config
+            req.program, req.tenant, req.config,
+            deadline_ms=req.deadline_ms,
         )
         body = {
             "key": meta["key"],
@@ -144,12 +160,27 @@ class Handlers:
         """``POST /v1/execute``: compile (cached/coalesced) + run."""
         app = self.app
         req = wire.parse_execute_request(payload)
+        deadline_ms = (
+            req.deadline_ms
+            if req.deadline_ms is not None
+            else app.config.deadline_ms
+        )
+        # the deadline clock starts before synthesis: whatever search
+        # spends is gone from execution's share
+        time_left = deadline_clock(deadline_ms)
         program, config, result, meta = await self._synthesize(
-            req.program, req.tenant, req.config
+            req.program, req.tenant, req.config, deadline_ms=deadline_ms
         )
 
         def run():
             t0 = time.perf_counter()
+            if time_left is not None and time_left() <= 0:
+                raise DeadlineExceeded(
+                    f"deadline of {deadline_ms}ms expired during "
+                    "synthesis, before execution",
+                    stage="serving",
+                    deadline_ms=deadline_ms,
+                )
             inputs = req.inputs
             if inputs is None:
                 if any(t.is_function for t in program.tensors()):
@@ -192,16 +223,36 @@ class Handlers:
                     "procs": nworkers,
                     "transport": pool.transport,
                 }
+                # the recv watchdog never waits past what is left of
+                # the request's deadline
+                watchdog = app.config.watchdog_timeout_s
+                if time_left is not None:
+                    watchdog = min(watchdog, max(0.1, time_left()))
+                supervisor = PoolSupervisor(
+                    pool=pool,
+                    recv_timeout_s=watchdog,
+                    chaos=(
+                        ChaosState(req.chaos)
+                        if req.chaos is not None
+                        else None
+                    ),
+                    time_left=time_left,
+                    on_respawn=app.pools.replace,
+                )
                 try:
                     out = result.run_parallel(
                         inputs,
                         faults=req.faults,
                         backend="process",
                         procs=nworkers,
-                        pool=pool,
+                        supervisor=supervisor,
                     )
                 finally:
-                    app.pools.release(pool)
+                    pool_meta["respawns"] = supervisor.respawns
+                    pool_meta["retries"] = supervisor.retries
+                    final = supervisor.detach()
+                    if final is not None:
+                        app.pools.release(final)
             elif backend == "local":
                 out = result.run_parallel(
                     inputs, faults=req.faults, backend="local"
@@ -263,6 +314,15 @@ class Handlers:
             "coalescer": app.coalescer.stats(),
             "pools": app.pools.stats(),
             "tenants": app.tenants.stats(),
+            "admission": {
+                "max_inflight": app.config.max_inflight,
+                "inflight": app.gated_inflight,
+                "shed": app.shed,
+            },
+            "breakers": {
+                route: breaker.snapshot()
+                for route, breaker in app.breakers.items()
+            },
         }
 
     async def index(self, payload=None) -> Tuple[int, Dict[str, object]]:

@@ -61,6 +61,7 @@ class PoolRegistry:
         self.evicted_broken = 0
         self.reaped = 0
         self.discarded = 0
+        self.respawned = 0
 
     def lease(
         self, procs: int, transport: str = "shm"
@@ -90,6 +91,29 @@ class PoolRegistry:
             self._busy[id(pool)] = key
         self.created += 1
         return pool, False
+
+    def replace(
+        self,
+        old: Optional[SpmdProcessPool],
+        new: SpmdProcessPool,
+    ) -> None:
+        """Re-key a busy lease from ``old`` to its respawned ``new``.
+
+        A :class:`~repro.runtime.supervisor.PoolSupervisor` that
+        respawns a dead leased pool calls this (via ``on_respawn``) so
+        the later :meth:`release` of the replacement finds its lease --
+        without it the replacement looks foreign (closed defensively)
+        and the dead pool's busy entry leaks forever.  Lifetime of
+        ``old`` is the supervisor's problem; only bookkeeping moves.
+        """
+        with self._lock:
+            key = (
+                self._busy.pop(id(old), None) if old is not None else None
+            )
+            if key is None:
+                return  # not a tracked lease: nothing to re-key
+            self._busy[id(new)] = key
+        self.respawned += 1
 
     def release(self, pool: SpmdProcessPool) -> None:
         """Return a leased pool: park it warm, or evict it if broken.
@@ -167,4 +191,5 @@ class PoolRegistry:
             "evicted_broken": self.evicted_broken,
             "reaped": self.reaped,
             "discarded": self.discarded,
+            "respawned": self.respawned,
         }

@@ -12,6 +12,7 @@ server-side failures, never for over-budget or ill-formed requests.
     {
       "program": "range N = 6; ... C(i,j) = sum(k) A(i,k)*B(k,j);",
       "tenant": "team-a",                  # optional, default "anonymous"
+      "deadline_ms": 2000,                  # optional per-request deadline
       "options": {                          # optional SynthesisConfig subset
         "grid": "2x2" | 4,                  # processor grid
         "processors": 4,                    # alternative: let search pick
@@ -31,8 +32,18 @@ server-side failures, never for over-budget or ill-formed requests.
       "backend": "auto" | "process" | "local" | "interp",
       "procs": 2, "transport": "shm" | "pipe",
       "faults": "drop:0;crash:1",           # FaultSchedule spec
+      "chaos": "kill_worker@0",             # ChaosSchedule spec
       "result": "arrays" | "checksum"       # payload size control
     }
+
+``deadline_ms`` bounds the *whole* request: it narrows the synthesis
+budget (degrading search stages the same way tenant admission does)
+and what remains after synthesis bounds execution -- the recv watchdog
+shrinks to the remaining time and an expired deadline surfaces as a
+structured 504, never a hung connection.  ``chaos`` injects
+process-level faults (worker kills, hangs, swallowed replies) into
+this request's execution; recovery by the supervised pool is recorded
+in the response's ``pool``/``notes`` fields.
 """
 
 from __future__ import annotations
@@ -46,7 +57,12 @@ from repro.engine.machine import MachineModel, MemoryLevel
 from repro.parallel.grid import ProcessorGrid
 from repro.pipeline import SynthesisConfig
 from repro.robustness.errors import SpecError
-from repro.robustness.faults import FaultSchedule, parse_fault_spec
+from repro.robustness.faults import (
+    ChaosSchedule,
+    FaultSchedule,
+    parse_chaos_spec,
+    parse_fault_spec,
+)
 
 __all__ = [
     "SynthesizeRequest",
@@ -83,6 +99,7 @@ class SynthesizeRequest:
     program: str
     tenant: str = "anonymous"
     config: SynthesisConfig = field(default_factory=SynthesisConfig)
+    deadline_ms: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -92,12 +109,14 @@ class ExecuteRequest:
     program: str
     tenant: str = "anonymous"
     config: SynthesisConfig = field(default_factory=SynthesisConfig)
+    deadline_ms: Optional[int] = None
     inputs: Optional[Dict[str, np.ndarray]] = None
     seed: int = 0
     backend: str = "auto"
     procs: Optional[int] = None
     transport: str = "shm"
     faults: Optional[FaultSchedule] = None
+    chaos: Optional[ChaosSchedule] = None
     result_mode: str = "arrays"
 
 
@@ -228,33 +247,44 @@ def _parse_common(payload: Mapping):
         raise SpecError("field 'program' must not be empty")
     tenant = _expect(payload, "tenant", str, default="anonymous")
     config = config_from_options(payload.get("options"))
-    return program, tenant, config
+    deadline_ms = _expect(payload, "deadline_ms", int)
+    if deadline_ms is not None and deadline_ms < 1:
+        raise SpecError(
+            f"deadline_ms must be a positive millisecond count, "
+            f"got {deadline_ms}"
+        )
+    return program, tenant, config, deadline_ms
 
 
 def parse_synthesize_request(payload: Mapping) -> SynthesizeRequest:
     """Validate a ``/v1/synthesize`` body (see module docstring)."""
-    allowed = {"program", "tenant", "options"}
+    allowed = {"program", "tenant", "options", "deadline_ms"}
     unknown = set(payload) - allowed if isinstance(payload, Mapping) else set()
     if unknown:
         raise SpecError(
             f"unknown field(s) {sorted(unknown)}; allowed: {sorted(allowed)}"
         )
-    program, tenant, config = _parse_common(payload)
-    return SynthesizeRequest(program=program, tenant=tenant, config=config)
+    program, tenant, config, deadline_ms = _parse_common(payload)
+    return SynthesizeRequest(
+        program=program,
+        tenant=tenant,
+        config=config,
+        deadline_ms=deadline_ms,
+    )
 
 
 def parse_execute_request(payload: Mapping) -> ExecuteRequest:
     """Validate a ``/v1/execute`` body (see module docstring)."""
     allowed = {
-        "program", "tenant", "options", "inputs", "seed", "backend",
-        "procs", "transport", "faults", "result",
+        "program", "tenant", "options", "deadline_ms", "inputs", "seed",
+        "backend", "procs", "transport", "faults", "chaos", "result",
     }
     unknown = set(payload) - allowed if isinstance(payload, Mapping) else set()
     if unknown:
         raise SpecError(
             f"unknown field(s) {sorted(unknown)}; allowed: {sorted(allowed)}"
         )
-    program, tenant, config = _parse_common(payload)
+    program, tenant, config, deadline_ms = _parse_common(payload)
     backend = _expect(payload, "backend", str, default="auto")
     if backend not in _BACKENDS:
         raise SpecError(
@@ -277,6 +307,11 @@ def parse_execute_request(payload: Mapping) -> ExecuteRequest:
     faults = None
     if payload.get("faults") is not None:
         faults = parse_fault_spec(_expect(payload, "faults", str))
+    chaos = None
+    if payload.get("chaos") is not None:
+        chaos = parse_chaos_spec(_expect(payload, "chaos", str))
+        if chaos is not None and not chaos.any_chaos:
+            chaos = None
     inputs = None
     if payload.get("inputs") is not None:
         raw = _expect(payload, "inputs", Mapping)
@@ -293,11 +328,13 @@ def parse_execute_request(payload: Mapping) -> ExecuteRequest:
         program=program,
         tenant=tenant,
         config=config,
+        deadline_ms=deadline_ms,
         inputs=inputs,
         seed=seed,
         backend=backend,
         procs=procs,
         transport=transport,
         faults=faults,
+        chaos=chaos,
         result_mode=result_mode,
     )

@@ -11,6 +11,7 @@ one keeps full fidelity; never a 5xx either way).
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 
 import pytest
@@ -449,3 +450,420 @@ class TestWireValidation:
     def test_grid_string_parses(self):
         config = config_from_options({"grid": "2x2"})
         assert config.grid.dims == (2, 2)
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_structured_504(self):
+        """A deadline the request cannot possibly meet surfaces as a
+        structured 504, never a hung connection or a raw traceback."""
+
+        def slow_synthesize(program, config, cache=None):
+            import time as _time
+
+            _time.sleep(0.05)  # guarantee the 1ms deadline is blown
+            return synthesize(program, config, cache=cache)
+
+        config = ServerConfig(port=0, synthesize_fn=slow_synthesize)
+
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/execute",
+                {
+                    "program": MATMUL,
+                    "options": {"grid": "2x2"},
+                    "backend": "process",
+                    "deadline_ms": 1,
+                    "result": "checksum",
+                },
+            )
+            assert status == 504
+            assert body["error"] == "DeadlineExceeded"
+            assert "deadline" in body["detail"].lower()
+
+        serve(check, config)
+
+    def test_server_default_deadline_applies(self):
+        def slow_synthesize(program, config, cache=None):
+            import time as _time
+
+            _time.sleep(0.05)
+            return synthesize(program, config, cache=cache)
+
+        config = ServerConfig(
+            port=0, deadline_ms=1, synthesize_fn=slow_synthesize
+        )
+
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/execute",
+                {
+                    "program": MATMUL,
+                    "options": {"grid": "2x2"},
+                    "backend": "process",
+                    "result": "checksum",
+                },
+            )
+            assert status == 504
+            assert body["error"] == "DeadlineExceeded"
+
+        serve(check, config)
+
+    def test_generous_deadline_succeeds(self):
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/execute",
+                {
+                    "program": MATMUL,
+                    "options": {"grid": "2x2"},
+                    "backend": "process",
+                    "deadline_ms": 120_000,
+                    "result": "checksum",
+                },
+            )
+            assert status == 200
+            assert body["outputs"]["C"]["shape"] == [8, 8]
+
+        serve(check)
+
+    def test_bad_deadline_is_400(self):
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/synthesize",
+                {"program": MATMUL, "deadline_ms": 0},
+            )
+            assert status == 400
+            assert "deadline_ms" in body["detail"]
+
+        serve(check)
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_429_and_retry_after(self):
+        """With max_inflight=1 and a gated synthesis, a second request
+        gets a structured 429 + Retry-After while /healthz (ungated)
+        keeps answering."""
+        release = threading.Event()
+
+        def gated_synthesize(program, config, cache=None):
+            release.wait(timeout=30)
+            return synthesize(program, config, cache=cache)
+
+        config = ServerConfig(
+            port=0, workers=2, max_inflight=1,
+            synthesize_fn=gated_synthesize,
+        )
+
+        async def check(app, host, port):
+            leader = asyncio.create_task(arequest(
+                host, port, "POST", "/v1/synthesize",
+                {"program": MATMUL, "options": {"grid": "2x2"}},
+            ))
+            for _ in range(1000):
+                if app.gated_inflight >= 1:
+                    break
+                await asyncio.sleep(0.01)
+            assert app.gated_inflight == 1
+            # raw connection: the 429 must carry Retry-After
+            reader, writer = await asyncio.open_connection(host, port)
+            blob = json.dumps({"program": MATMUL}).encode()
+            writer.write(
+                b"POST /v1/execute HTTP/1.1\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(blob)).encode() + b"\r\n"
+                b"\r\n" + blob
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head = raw.split(b"\r\n\r\n", 1)[0]
+            assert b"429" in head.split(b"\r\n", 1)[0]
+            assert b"retry-after" in head.lower()
+            assert b"overloaded" in raw
+            # the health probe is never shed
+            status, hz = await arequest(host, port, "GET", "/healthz")
+            assert status == 200
+            assert hz["admission"]["shed"] == 1
+            assert hz["admission"]["inflight"] == 1
+            release.set()
+            status, _ = await leader
+            assert status == 200
+
+        serve(check, config)
+
+    def test_zero_disables_the_gate(self):
+        config = ServerConfig(port=0, max_inflight=0)
+
+        async def check(app, host, port):
+            status, _ = await arequest(
+                host, port, "POST", "/v1/synthesize",
+                {"program": MATMUL},
+            )
+            assert status == 200
+            assert app.shed == 0
+
+        serve(check, config)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_failures_halfopens_on_probe(self):
+        """Repeated 500s trip the route's breaker (503 + Retry-After);
+        after the cool-down one probe is admitted and its success
+        closes the breaker.  The sibling route is untouched."""
+        clock = [0.0]
+        fail = [True]
+
+        def flaky_synthesize(program, config, cache=None):
+            if fail[0]:
+                raise RuntimeError("boom")
+            return synthesize(program, config, cache=cache)
+
+        config = ServerConfig(
+            port=0,
+            breaker_threshold=2,
+            breaker_reset_s=10.0,
+            breaker_clock=lambda: clock[0],
+            synthesize_fn=flaky_synthesize,
+        )
+
+        async def check(app, host, port):
+            payload = {"program": MATMUL}
+            for _ in range(2):
+                status, _ = await arequest(
+                    host, port, "POST", "/v1/synthesize", payload
+                )
+                assert status == 500
+            # breaker open: rejected without touching the pipeline
+            status, body = await arequest(
+                host, port, "POST", "/v1/synthesize", payload
+            )
+            assert status == 503
+            assert body["error"] == "circuit_open"
+            # the sibling route has its own breaker, still closed
+            assert (
+                app.breakers["/v1/execute"].state == "closed"
+            )
+            _, hz = await arequest(host, port, "GET", "/healthz")
+            assert hz["breakers"]["/v1/synthesize"]["state"] == "open"
+            # cool-down elapses -> half-open -> healthy probe closes it
+            clock[0] += 11.0
+            fail[0] = False
+            status, body = await arequest(
+                host, port, "POST", "/v1/synthesize", payload
+            )
+            assert status == 200
+            assert app.breakers["/v1/synthesize"].state == "closed"
+
+        serve(check, config)
+
+    def test_client_errors_do_not_trip_breaker(self):
+        config = ServerConfig(port=0, breaker_threshold=2)
+
+        async def check(app, host, port):
+            for _ in range(4):
+                status, _ = await arequest(
+                    host, port, "POST", "/v1/synthesize",
+                    {"program": "range N = ;;;"},
+                )
+                assert status == 400
+            assert app.breakers["/v1/synthesize"].state == "closed"
+
+        serve(check)
+
+    def test_probe_failure_reopens(self):
+        from repro.server.breaker import CircuitBreaker
+
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0,
+            clock=lambda: clock[0],
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock[0] += 6.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the one probe
+        assert not breaker.allow()  # no second concurrent probe
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        assert breaker.retry_after_s() == pytest.approx(5.0)
+        clock[0] += 6.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
+class TestChaosOverHttp:
+    def test_hung_worker_recovers_while_healthz_answers(self):
+        """The ISSUE acceptance scenario: a worker hung mid-request is
+        caught by the recv watchdog within its timeout, the statement
+        retries on a fresh pool, and the server stays responsive the
+        whole time (concurrent /healthz probes)."""
+        config = ServerConfig(port=0, watchdog_timeout_s=1.0)
+
+        async def check(app, host, port):
+            execute = asyncio.create_task(arequest(
+                host, port, "POST", "/v1/execute",
+                {
+                    "program": MATMUL,
+                    "options": {"grid": "2x2"},
+                    "backend": "process",
+                    "seed": 3,
+                    "chaos": "hang_worker@0",
+                    "result": "checksum",
+                },
+            ))
+            probes = 0
+            while not execute.done():
+                status, _ = await asyncio.wait_for(
+                    arequest(host, port, "GET", "/healthz"), timeout=5
+                )
+                assert status == 200, "server went dark during the hang"
+                probes += 1
+                await asyncio.sleep(0.05)
+            assert probes >= 1
+            status, body = await execute
+            assert status == 200
+            assert body["pool"]["respawns"] >= 1
+            assert any("watchdog" in n for n in body["notes"])
+            # recovered result equals the clean run bit for bit
+            status, clean = await arequest(
+                host, port, "POST", "/v1/execute",
+                {
+                    "program": MATMUL,
+                    "options": {"grid": "2x2"},
+                    "backend": "process",
+                    "seed": 3,
+                    "result": "checksum",
+                },
+            )
+            assert clean["outputs"] == body["outputs"]
+
+        serve(check, config)
+
+    def test_killed_worker_recovers_bit_identically(self):
+        async def check(app, host, port):
+            chaotic = {
+                "program": MATMUL,
+                "options": {"grid": "2x2"},
+                "backend": "process",
+                "seed": 4,
+                "chaos": "kill_worker@0",
+                "result": "checksum",
+            }
+            status, body = await arequest(
+                host, port, "POST", "/v1/execute", chaotic
+            )
+            assert status == 200
+            assert body["pool"]["respawns"] == 1
+            clean = dict(chaotic)
+            del clean["chaos"]
+            _, reference = await arequest(
+                host, port, "POST", "/v1/execute", clean
+            )
+            assert reference["outputs"] == body["outputs"]
+            _, hz = await arequest(host, port, "GET", "/healthz")
+            assert hz["pools"]["respawned"] >= 1
+
+        serve(check)
+
+    def test_bad_chaos_spec_is_400(self):
+        async def check(app, host, port):
+            status, body = await arequest(
+                host, port, "POST", "/v1/execute",
+                {"program": MATMUL, "chaos": "explode@1"},
+            )
+            assert status == 400
+            assert "chaos" in body["detail"]
+
+        serve(check)
+
+
+class TestClientRetries:
+    def _patched(self, monkeypatch, outcomes):
+        """Patch one-attempt transport; returns (sleeps, calls)."""
+        from repro.server import client as client_mod
+
+        sleeps = []
+        calls = []
+
+        def fake_once(host, port, method, path, payload, timeout):
+            calls.append(path)
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client_mod, "_request_once", fake_once)
+        return sleeps, calls
+
+    def test_retries_connection_errors_then_succeeds(self, monkeypatch):
+        from repro.server.client import request
+
+        sleeps, calls = self._patched(monkeypatch, [
+            ConnectionRefusedError("down"),
+            (200, {"ok": True}, None),
+        ])
+        status, body = request(
+            "h", 1, "GET", "/healthz", retries=2,
+            sleep=sleeps.append,
+        )
+        assert status == 200 and body == {"ok": True}
+        assert len(calls) == 2
+        assert len(sleeps) == 1
+
+    def test_honors_retry_after_header(self, monkeypatch):
+        from repro.server.client import request
+
+        sleeps, calls = self._patched(monkeypatch, [
+            (429, {"error": "overloaded"}, "2.5"),
+            (200, {"ok": True}, None),
+        ])
+        status, _ = request(
+            "h", 1, "POST", "/v1/execute", {}, retries=1,
+            sleep=sleeps.append,
+        )
+        assert status == 200
+        assert sleeps == [2.5], "server's Retry-After beats the backoff"
+
+    def test_does_not_retry_served_errors(self, monkeypatch):
+        from repro.server.client import request
+
+        sleeps, calls = self._patched(monkeypatch, [
+            (500, {"error": "internal"}, None),
+        ])
+        status, _ = request(
+            "h", 1, "POST", "/v1/synthesize", {}, retries=5,
+            sleep=sleeps.append,
+        )
+        assert status == 500
+        assert len(calls) == 1 and sleeps == []
+
+    def test_exhausted_retries_surface_last_answer(self, monkeypatch):
+        import random as random_mod
+
+        from repro.server.client import request
+
+        sleeps, calls = self._patched(monkeypatch, [
+            (503, {"error": "circuit_open"}, None),
+            (503, {"error": "circuit_open"}, None),
+        ])
+        status, body = request(
+            "h", 1, "POST", "/v1/execute", {}, retries=1,
+            sleep=sleeps.append, rng=random_mod.Random(7),
+        )
+        assert status == 503
+        assert len(calls) == 2
+        # jittered exponential: within [0, backoff * 2^attempt]
+        assert 0.0 <= sleeps[0] <= 0.25
+
+    def test_exhausted_connection_errors_raise(self, monkeypatch):
+        from repro.server.client import request
+
+        sleeps, _ = self._patched(monkeypatch, [
+            ConnectionRefusedError("down"),
+            ConnectionRefusedError("still down"),
+        ])
+        with pytest.raises(ConnectionRefusedError):
+            request("h", 1, "GET", "/healthz", retries=1,
+                    sleep=sleeps.append)
