@@ -185,7 +185,11 @@ class TileTuner(DimensionTuner):
 
 
 class KernelTuner(DimensionTuner):
-    """GEMM lowering vs the cached einsum path, per whole sequence."""
+    """Kernel codegen target, per whole sequence: GEMM lowering vs the
+    cached einsum path vs compiled native loop nests (the native
+    candidate only appears on machines with a working backend, so a
+    TuningDB decision for it can never be replayed where it cannot
+    run -- and the machine signature's compiler fingerprint keys it)."""
 
     dimension = "kernel"
 
@@ -217,10 +221,27 @@ class KernelTuner(DimensionTuner):
         return plan
 
     def candidates(self) -> List[Candidate]:
-        return [
-            Candidate("kernel gemm", "gemm", 0.0, analytical=True),
-            Candidate("kernel einsum", "einsum", 1.0),
+        from repro.kernels import native_available
+
+        plan = self.result.kernel_plan
+        current = plan.mode if plan is not None else "gemm"
+        out = [
+            Candidate(
+                "kernel gemm", "gemm", 0.0, analytical=(current == "gemm")
+            ),
+            Candidate(
+                "kernel einsum", "einsum", 1.0,
+                analytical=(current == "einsum"),
+            ),
         ]
+        if native_available():
+            out.append(
+                Candidate(
+                    "kernel native", "native", 0.5,
+                    analytical=(current == "native"),
+                )
+            )
+        return out
 
     def runner(self, cand: Candidate) -> Callable[[], object]:
         from repro.kernels.plan import KernelRunner
@@ -235,6 +256,7 @@ class KernelTuner(DimensionTuner):
 
     def apply(self, cand: Candidate) -> None:
         self.result.kernel_plan = self._plan(cand.payload)
+        self.result.codegen_mode = cand.payload
 
 
 class GridTuner(DimensionTuner):

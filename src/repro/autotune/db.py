@@ -13,8 +13,10 @@ content-addressed key (the same sha256 fingerprint discipline as
 
 The **machine signature** (:func:`machine_signature`) captures what the
 measurements depended on: the CPU count, the configured cache/memory
-capacities from :class:`~repro.engine.machine.MachineModel`, and the
-numpy version (its kernels do the measured work).  A record is *never*
+capacities from :class:`~repro.engine.machine.MachineModel`, the
+numpy version (its kernels do the measured work), and the native
+kernel compiler fingerprint (the ``kernel`` dimension's native
+candidate depends on what compiled it).  A record is *never*
 applied under a different signature -- the signature is part of the key
 *and* re-validated against the stored copy on every hit, so even a file
 copied between machines reads as a miss.
@@ -45,15 +47,21 @@ __all__ = ["TuningDB", "machine_signature", "tuning_key"]
 
 def machine_signature(machine=None) -> Dict[str, object]:
     """What the measurements depend on: cpu count, the configured
-    memory-hierarchy capacities, and the numpy version.
+    memory-hierarchy capacities, the numpy version, and the native
+    kernel compiler.
 
     ``machine`` is the :class:`~repro.engine.machine.MachineModel` the
     synthesis ran with (its capacities steer the analytical choices the
     measurements compete against); ``None`` uses the default model.
+    The compiler fingerprint
+    (:func:`repro.kernels.native.compiler_fingerprint`) keys the
+    ``kernel`` dimension's native candidate: a decision measured with
+    one compiler (or with none) is never replayed under another.
     """
     import numpy as np
 
     from repro.engine.machine import MachineModel
+    from repro.kernels import compiler_fingerprint
 
     machine = machine or MachineModel()
     return {
@@ -61,6 +69,7 @@ def machine_signature(machine=None) -> Dict[str, object]:
         "cache_elements": machine.cache.capacity,
         "memory_elements": machine.memory.capacity,
         "numpy": np.__version__,
+        "kernel_compiler": compiler_fingerprint(),
     }
 
 

@@ -199,6 +199,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: one per rank)",
     )
     parser.add_argument(
+        "--codegen",
+        choices=("auto", "native", "gemm", "einsum"),
+        default="auto",
+        help="kernel codegen target: 'native' compiles fused tiled "
+        "loop nests (numba or cc; machines without a compiler degrade "
+        "to gemm and say so), 'gemm'/'einsum' force those lowerings, "
+        "'auto' uses gemm and lets --autotune measure native",
+    )
+    parser.add_argument(
+        "--artifact-store", metavar="DIR", default=None,
+        help="content-addressed compiled-kernel store directory: warm "
+        "runs load shared objects instead of re-invoking the compiler",
+    )
+    parser.add_argument(
         "--plan-cache", metavar="DIR", default=None,
         help="content-addressed synthesis cache directory: reuse the "
         "complete plan when program + config + version match",
@@ -323,7 +337,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         sparse_aware=args.sparse_aware,
         sparse_execution=not args.no_sparse_exec,
         budget=budget,
+        codegen=args.codegen,
     )
+    if args.artifact_store is not None:
+        from repro.kernels import configure_default_engine
+
+        configure_default_engine(directory=args.artifact_store)
     cache = None
     if args.plan_cache is not None:
         from repro.runtime.plan_cache import PlanCache

@@ -16,7 +16,14 @@ compiled **once** into a :class:`~repro.kernels.plan.KernelPlan`:
 * a :class:`~repro.kernels.arena.BufferArena` recycles intermediate and
   output buffers keyed by shape/dtype, with temporaries released at
   their last-use statement (liveness from the schedule), so repeated
-  executions of one sequence are allocation-free in the steady state.
+  executions of one sequence are allocation-free in the steady state;
+* with ``mode="native"``, each non-copy term additionally carries a
+  fused tiled loop-nest spec (:mod:`repro.kernels.native`) compiled to
+  machine code -- numba JIT when installed, ``cc``-built shared object
+  otherwise -- with compiled blobs kept in a content-addressed
+  :class:`~repro.kernels.artifacts.ArtifactStore` so warm processes
+  load instead of recompiling; environments with no compiler at all
+  degrade per-term to the embedded GEMM/einsum fallback.
 
 The plan is a pickle-safe value object, so it rides the content-
 addressed plan cache (:mod:`repro.runtime.plan_cache`): warm
@@ -24,6 +31,7 @@ addressed plan cache (:mod:`repro.runtime.plan_cache`): warm
 """
 
 from repro.kernels.arena import BufferArena
+from repro.kernels.artifacts import ArtifactStore, artifact_key
 from repro.kernels.einsum_cache import (
     cached_einsum,
     cached_einsum_path,
@@ -31,6 +39,17 @@ from repro.kernels.einsum_cache import (
     clear_einsum_path_cache,
 )
 from repro.kernels.lowering import GemmSpec, exec_gemm, lower_binary_term
+from repro.kernels.native import (
+    NativeEngine,
+    NativeSpec,
+    compiler_fingerprint,
+    configure_default_engine,
+    default_engine,
+    engine_stats,
+    lower_native_term,
+    native_available,
+    native_backend,
+)
 from repro.kernels.plan import (
     KernelPlan,
     KernelRunner,
@@ -40,7 +59,18 @@ from repro.kernels.plan import (
 )
 
 __all__ = [
+    "ArtifactStore",
+    "artifact_key",
     "BufferArena",
+    "NativeEngine",
+    "NativeSpec",
+    "compiler_fingerprint",
+    "configure_default_engine",
+    "default_engine",
+    "engine_stats",
+    "lower_native_term",
+    "native_available",
+    "native_backend",
     "cached_einsum",
     "cached_einsum_path",
     "einsum_path_cache_stats",

@@ -38,6 +38,9 @@ class BufferArena:
         self.reuses = 0
         #: buffers currently parked in the free list
         self.pooled = 0
+        #: buffers taken and not yet released (leak detector: a runner
+        #: that unwinds cleanly leaves this at its pre-run value)
+        self.outstanding = 0
 
     @staticmethod
     def _key(shape: Tuple[int, ...], dtype) -> Tuple[Tuple[int, ...], str]:
@@ -48,6 +51,7 @@ class BufferArena:
 
         Contents are undefined (like ``np.empty``); callers overwrite.
         """
+        self.outstanding += 1
         if self.enabled:
             stack = self._free.get(self._key(shape, dtype))
             if stack:
@@ -63,6 +67,7 @@ class BufferArena:
         Only buffers obtained from :meth:`take` should come back; the
         caller must not touch the array afterwards.
         """
+        self.outstanding -= 1
         if not self.enabled:
             return
         base = array if array.base is None else array.base
@@ -82,5 +87,5 @@ class BufferArena:
         return (
             f"BufferArena({'on' if self.enabled else 'off'}): "
             f"{self.allocations} allocations, {self.reuses} reuses, "
-            f"{self.pooled} pooled"
+            f"{self.pooled} pooled, {self.outstanding} outstanding"
         )

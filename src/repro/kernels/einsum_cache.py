@@ -4,8 +4,9 @@
 contraction-path search on **every call** -- for the small-to-moderate
 tensors the synthesis system executes at test and serving scale, that
 planning overhead rivals or exceeds the arithmetic.  The path depends
-only on the subscript spec and the operand shapes, so it is cached here
-under ``(spec, shapes)`` and replayed with ``optimize=<path>``.
+only on the subscript spec and the operand signatures, so it is cached
+here under ``(spec, (shape, dtype)...)`` and replayed with
+``optimize=<path>``.
 
 Replaying an explicitly computed path is **bit-for-bit** identical to
 ``optimize=True``: numpy resolves ``optimize=True`` to the same greedy
@@ -15,11 +16,23 @@ it just stops re-planning (see ``tests/test_kernels.py`` for the
 bit-for-bit assertion).
 
 The cache is a bounded LRU (`maxsize` entries); eviction only costs a
-re-plan, never correctness.
+re-plan, never correctness.  It is shared by every thread of the
+process -- the serving layer hammers it from a pool -- so all structure
+and counter mutation happens under one lock.  The path search itself
+runs outside the lock; a race between two threads planning the same key
+costs one redundant search, never a wrong path.
+
+Keying includes the operand dtypes, not just shapes: the greedy
+optimizer weighs intermediate sizes in *bytes*, so a float32 call may
+legitimately pick a different path than a float64 call of the same
+shapes -- serving one the other's path would silently change the
+cost-model decision (same audit that put dtype into the artifact and
+tuning keys).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -35,31 +48,43 @@ __all__ = [
 #: LRU bound; paths are tiny (a list of index pairs), so this is generous.
 _MAXSIZE = 4096
 
-_CacheKey = Tuple[str, Tuple[Tuple[int, ...], ...]]
+_CacheKey = Tuple[str, Tuple[Tuple[Tuple[int, ...], str], ...]]
 _paths: "OrderedDict[_CacheKey, List]" = OrderedDict()
 _hits = 0
 _misses = 0
+_lock = threading.Lock()
+
+
+def _signature(operands) -> Tuple[Tuple[Tuple[int, ...], str], ...]:
+    return tuple(
+        (np.shape(op), np.asarray(op).dtype.str) for op in operands
+    )
 
 
 def cached_einsum_path(spec: str, *operands: np.ndarray) -> List:
-    """The einsum contraction path for ``spec`` on these operand shapes.
+    """The einsum contraction path for ``spec`` on these operands.
 
-    Computed once per ``(spec, shapes)`` via ``np.einsum_path`` with the
-    default greedy optimizer (the same one ``optimize=True`` uses), then
-    served from the LRU.
+    Computed once per ``(spec, shapes+dtypes)`` via ``np.einsum_path``
+    with the default greedy optimizer (the same one ``optimize=True``
+    uses), then served from the LRU.  Thread-safe.
     """
     global _hits, _misses
-    key = (spec, tuple(np.shape(op) for op in operands))
-    path = _paths.get(key)
-    if path is not None:
-        _paths.move_to_end(key)
-        _hits += 1
-        return path
-    _misses += 1
+    key = (spec, _signature(operands))
+    with _lock:
+        path = _paths.get(key)
+        if path is not None:
+            _paths.move_to_end(key)
+            _hits += 1
+            return path
+        _misses += 1
+    # plan outside the lock: the search can be the expensive part, and a
+    # duplicate race only re-plans, it cannot produce a wrong entry
     path = np.einsum_path(spec, *operands, optimize=True)[0]
-    _paths[key] = path
-    while len(_paths) > _MAXSIZE:
-        _paths.popitem(last=False)
+    with _lock:
+        _paths[key] = path
+        _paths.move_to_end(key)
+        while len(_paths) > _MAXSIZE:
+            _paths.popitem(last=False)
     return path
 
 
@@ -70,7 +95,7 @@ def cached_einsum(
 
     Numerically identical to the uncached call (same path, same
     execution kernels); the only difference is that the path search runs
-    once per ``(spec, shapes)`` instead of once per call.
+    once per operand signature instead of once per call.
     """
     path = cached_einsum_path(spec, *operands)
     return np.einsum(spec, *operands, optimize=path, out=out)
@@ -78,12 +103,14 @@ def cached_einsum(
 
 def einsum_path_cache_stats() -> Dict[str, int]:
     """``{"entries", "hits", "misses"}`` counters of the process cache."""
-    return {"entries": len(_paths), "hits": _hits, "misses": _misses}
+    with _lock:
+        return {"entries": len(_paths), "hits": _hits, "misses": _misses}
 
 
 def clear_einsum_path_cache() -> None:
     """Drop all cached paths and reset the counters (test isolation)."""
     global _hits, _misses
-    _paths.clear()
-    _hits = 0
-    _misses = 0
+    with _lock:
+        _paths.clear()
+        _hits = 0
+        _misses = 0

@@ -1,0 +1,506 @@
+"""Compiled native backend for the kernel plans' loop nests.
+
+The paper's synthesis system emitted compiled Fortran for its fused,
+tiled loop nests; the GEMM kernel plans (:mod:`repro.kernels.plan`)
+stop at numpy calls.  This module closes that gap: each flat term of a
+formula sequence lowers to a :class:`NativeSpec` -- a shape-specialized
+loop-nest value object -- and a :class:`NativeEngine` turns specs into
+machine code:
+
+* **numba backend** -- when numba is importable, the nest's Python
+  rendering (:func:`repro.codegen.cgen.py_source`) is ``njit``-ed;
+* **cc backend** -- otherwise the C rendering
+  (:func:`repro.codegen.cgen.c_source`) is compiled by the system C
+  compiler (``cc``/``gcc``/``clang``, discovered once) into a shared
+  object loaded through :mod:`ctypes`.
+
+Compiled objects are cached in a content-addressed
+:class:`~repro.kernels.artifacts.ArtifactStore` keyed by sha256 of the
+nest IR + dtype + backend + compiler identity + flags + package version
+(:func:`repro.kernels.artifacts.artifact_key`), so a warm hit loads the
+existing shared object with **zero** compiler invocations -- in-process
+through the function cache, across processes through the store's disk
+tier.
+
+Unavailability is never an error: an environment with neither numba
+nor a C compiler reports :meth:`NativeEngine.available` ``False`` and
+every caller (pipeline, runner, autotuner) degrades to the GEMM/einsum
+path with a structured note.  A nest whose individual compilation
+fails is remembered as failed (no retry storms) and its term falls
+back the same way.
+
+Unlike the GEMM lowering, native nests are *total* over array terms:
+diagonals (repeated indices within an operand) and 3+-operand products
+compile fine -- only repeated output indices stay on the einsum path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.artifacts import ArtifactStore, artifact_key
+
+
+def _cgen():
+    # deferred: repro.codegen's package __init__ imports the interpreter,
+    # which imports the executor, which imports this package -- importing
+    # the emitter at call time keeps the module graph acyclic
+    from repro.codegen import cgen
+
+    return cgen
+
+__all__ = [
+    "NativeSpec",
+    "NativeEngine",
+    "lower_native_term",
+    "default_engine",
+    "configure_default_engine",
+    "native_available",
+    "native_backend",
+    "compiler_fingerprint",
+    "engine_stats",
+]
+
+#: optimization flags baked into every cc compile (and the artifact key)
+CC_FLAGS: Tuple[str, ...] = ("-O3", "-fPIC", "-shared")
+
+#: summation-loop block size of the emitted nests
+NATIVE_TILE = 64
+
+#: dtypes the backends implement (C types exist for both)
+_CTYPES = {"float64": "double", "float32": "float"}
+
+
+@dataclass(frozen=True)
+class NativeSpec:
+    """One flat term as a shape-specialized loop nest (pickle-safe).
+
+    Loop order is output indices (in target order) followed by summed
+    indices (in order of first operand appearance).  ``extents`` are
+    resolved at compile time, like every other lowering; ``operands``
+    maps each operand axis to its loop position.  The output array is
+    indexed by the first ``nout`` loop variables in order.
+    """
+
+    names: Tuple[str, ...]
+    extents: Tuple[int, ...]
+    nout: int
+    operands: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def out_shape(self) -> Tuple[int, ...]:
+        return self.extents[: self.nout]
+
+    def ir(self) -> str:
+        """The deterministic nest text that addresses artifacts."""
+        return _cgen().render_nest_ir(self)
+
+
+def lower_native_term(
+    refs: Sequence, sum_indices, target: Sequence, bindings
+) -> Optional[NativeSpec]:
+    """Build the :class:`NativeSpec` of one flat term, or ``None``.
+
+    The only unsupported shape is a repeated index in the *output*
+    (no valid dense iteration space); operand diagonals and any
+    operand count lower fine.
+    """
+    target = tuple(target)
+    if len(set(target)) != len(target):
+        return None
+    order: List = list(target)
+    seen = set(target)
+    for ref in refs:
+        for i in ref.indices:
+            if i not in seen:
+                seen.add(i)
+                order.append(i)
+    pos = {i: p for p, i in enumerate(order)}
+    operands = tuple(
+        tuple(pos[i] for i in ref.indices) for ref in refs
+    )
+    try:
+        extents = tuple(i.extent(bindings) for i in order)
+    except (KeyError, TypeError, ValueError):
+        return None
+    return NativeSpec(
+        names=tuple(i.name for i in order),
+        extents=extents,
+        nout=len(target),
+        operands=operands,
+    )
+
+
+# -- compiler discovery ------------------------------------------------------
+
+
+def _find_cc() -> Optional[str]:
+    """Path of the system C compiler, or ``None``."""
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if not name:
+            continue
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+_identity_cache: Dict[str, str] = {}
+
+
+def _cc_identity(cc: str) -> str:
+    """Stable identity of one compiler binary: version line + path."""
+    cached = _identity_cache.get(cc)
+    if cached is not None:
+        return cached
+    try:
+        out = subprocess.run(
+            [cc, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        ).stdout
+        line = out.splitlines()[0].strip() if out else os.path.basename(cc)
+    except (OSError, subprocess.SubprocessError):
+        line = os.path.basename(cc)
+    identity = f"{line} [{cc}]"
+    _identity_cache[cc] = identity
+    return identity
+
+
+def _numba():
+    """The numba module when importable (and not disabled), else None."""
+    if os.environ.get("REPRO_NO_NUMBA"):
+        return None
+    try:
+        import numba  # type: ignore
+
+        return numba
+    except Exception:
+        return None
+
+
+# -- the engine --------------------------------------------------------------
+
+
+class NativeEngine:
+    """Compiles :class:`NativeSpec` nests and caches the results.
+
+    ``backend`` forces ``"numba"`` or ``"cc"`` (default: numba when
+    importable, else cc when a compiler exists, else unavailable);
+    ``"none"`` forces an unavailable engine, which is how the tests --
+    and the pipeline's degraded mode -- model a machine without any
+    compiler;
+    ``store`` is the content-addressed :class:`ArtifactStore` (a
+    private in-memory store by default -- pass one with a ``directory``
+    to share compiled objects across processes); ``tile`` is the
+    summation blocking factor baked into emitted nests.
+
+    Thread-safe: the serving layer drives one process-wide engine from
+    concurrent executor threads.
+
+    Counters: ``compile_invocations`` (compiler forks / JIT builds),
+    ``store_loads`` (functions revived from stored bytes with no
+    compile), ``failures`` (specs whose compile failed; remembered so
+    they are not retried).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        backend: Optional[str] = None,
+        tile: int = NATIVE_TILE,
+    ) -> None:
+        if backend not in (None, "numba", "cc", "none"):
+            raise ValueError(
+                f"unknown native backend {backend!r} "
+                "(use 'numba', 'cc', or 'none')"
+            )
+        self.store = store if store is not None else ArtifactStore()
+        self.tile = tile
+        self._lock = threading.Lock()
+        self._functions: Dict[str, Callable] = {}
+        self._failed: Dict[str, str] = {}
+        self._scratch: Optional[tempfile.TemporaryDirectory] = None
+        self.compile_invocations = 0
+        self.store_loads = 0
+        self._numba = _numba() if backend in (None, "numba") else None
+        self._cc = _find_cc() if backend in (None, "cc") else None
+        if backend == "numba" and self._numba is None:
+            self.backend: Optional[str] = None
+        elif backend == "cc" and self._cc is None:
+            self.backend = None
+        elif self._numba is not None and backend in (None, "numba"):
+            self.backend = "numba"
+        elif self._cc is not None:
+            self.backend = "cc"
+        else:
+            self.backend = None
+
+    # -- identity ---------------------------------------------------------
+
+    def available(self) -> bool:
+        """Whether this machine can compile nests at all."""
+        return self.backend is not None
+
+    def unavailable_reason(self) -> str:
+        return (
+            "no native backend: numba not importable and no C compiler "
+            "(cc/gcc/clang) on PATH"
+        )
+
+    def compiler_identity(self) -> str:
+        """What produces the machine code (part of every artifact key)."""
+        if self.backend == "numba":
+            return f"numba {self._numba.__version__}"
+        if self.backend == "cc":
+            return _cc_identity(self._cc)
+        return "none"
+
+    def flags(self) -> Tuple[str, ...]:
+        base = CC_FLAGS if self.backend == "cc" else ()
+        return base + (f"tile={self.tile}",)
+
+    def key(self, spec: NativeSpec, dtype) -> str:
+        """The content-addressed artifact key of ``(spec, dtype)`` here."""
+        return artifact_key(
+            spec.ir(),
+            np.dtype(dtype).str,
+            self.backend or "none",
+            self.compiler_identity(),
+            self.flags(),
+        )
+
+    # -- compilation ------------------------------------------------------
+
+    def function(
+        self, spec: NativeSpec, dtype=np.float64
+    ) -> Optional[Callable]:
+        """A callable ``fn(coef, ops, out)`` for the nest, or ``None``.
+
+        ``ops`` is the sequence of C-contiguous operand arrays and
+        ``out`` the C-contiguous output buffer, all of ``dtype``; the
+        call **accumulates** (the caller zeroes ``out`` first when it
+        wants assignment).  Returns ``None`` when the engine is
+        unavailable, the dtype unsupported, or compilation failed
+        (failures are remembered, not retried).
+        """
+        if self.backend is None:
+            return None
+        dtype = np.dtype(dtype)
+        if dtype.name not in _CTYPES:
+            return None
+        key = self.key(spec, dtype)
+        with self._lock:
+            fn = self._functions.get(key)
+            if fn is not None:
+                return fn
+            if key in self._failed:
+                return None
+            try:
+                if self.backend == "numba":
+                    fn = self._build_numba(spec, dtype, key)
+                else:
+                    fn = self._build_cc(spec, dtype, key)
+            except Exception as exc:  # compile errors degrade, never raise
+                self._failed[key] = f"{type(exc).__name__}: {exc}"
+                return None
+            self._functions[key] = fn
+            return fn
+
+    def failure(self, spec: NativeSpec, dtype=np.float64) -> Optional[str]:
+        """The recorded compile failure for ``(spec, dtype)``, if any."""
+        with self._lock:
+            return self._failed.get(self.key(spec, dtype))
+
+    # numba: the artifact is the in-process dispatcher; the store keeps
+    # the rendered source so warm processes skip nothing but the text.
+    def _build_numba(self, spec: NativeSpec, dtype, key: str) -> Callable:
+        source = _cgen().py_source(spec, tile=self.tile)
+        namespace: Dict[str, object] = {}
+        exec(compile(source, f"<nest {key[:12]}>", "exec"), namespace)
+        self.compile_invocations += 1
+        jitted = self._numba.njit(cache=False)(namespace["kern"])
+        nops = len(spec.operands)
+
+        def call(coef: float, ops, out) -> None:
+            flat = [ops[k].ravel() for k in range(nops)]
+            jitted(float(coef), *flat, out.ravel())
+
+        return call
+
+    def _build_cc(self, spec: NativeSpec, dtype, key: str) -> Callable:
+        path = self._load_path(key)  # counts store_loads on a warm hit
+        if path is None:
+            blob = self._compile_cc(spec, dtype, key)
+            path = self.store.disk_path(key)
+            if path is None:
+                path = self._spill(key, blob)
+        lib = ctypes.CDLL(path)
+        fn = lib.kern
+        ptr = ctypes.POINTER(
+            ctypes.c_double if dtype == np.float64 else ctypes.c_float
+        )
+        nops = len(spec.operands)
+        fn.argtypes = [ctypes.c_double] + [ptr] * (nops + 1)
+        fn.restype = None
+
+        def call(coef: float, ops, out) -> None:
+            args = [ops[k].ctypes.data_as(ptr) for k in range(nops)]
+            fn(ctypes.c_double(coef), *args, out.ctypes.data_as(ptr))
+
+        call._lib = lib  # keep the shared object mapped while callable
+        return call
+
+    def _load_path(self, key: str) -> Optional[str]:
+        """A loadable path for an already-stored artifact, else None."""
+        path = self.store.disk_path(key)
+        if path is not None:
+            # count the store hit (promotes bytes into the memory tier)
+            self.store.get(key)
+            self.store_loads += 1
+            return path
+        found = self.store.get(key)
+        if found is not None:
+            blob, _tier = found
+            self.store_loads += 1  # memory-tier revival, no compile
+            return self._spill(key, blob)
+        return None
+
+    def _spill(self, key: str, blob: bytes) -> str:
+        """Write artifact bytes to engine scratch so ctypes can load."""
+        if self._scratch is None:
+            self._scratch = tempfile.TemporaryDirectory(
+                prefix="repro-native-"
+            )
+        path = os.path.join(self._scratch.name, f"{key}.so")
+        if not os.path.exists(path):
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        return path
+
+    def _compile_cc(self, spec: NativeSpec, dtype, key: str) -> bytes:
+        source = _cgen().c_source(
+            spec, _CTYPES[np.dtype(dtype).name], self.tile
+        )
+        if self._scratch is None:
+            self._scratch = tempfile.TemporaryDirectory(
+                prefix="repro-native-"
+            )
+        c_path = os.path.join(self._scratch.name, f"{key}.c")
+        so_path = os.path.join(self._scratch.name, f"{key}.so")
+        with open(c_path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        cmd = [self._cc, *CC_FLAGS, "-o", so_path, c_path]
+        self.compile_invocations += 1
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120, check=False
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"cc failed ({proc.returncode}): {proc.stderr.strip()[:400]}"
+            )
+        with open(so_path, "rb") as handle:
+            blob = handle.read()
+        self.store.put(key, blob)
+        return blob
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe snapshot for ``/healthz`` and stage reports."""
+        with self._lock:
+            return {
+                "backend": self.backend or "none",
+                "compiler": self.compiler_identity(),
+                "available": self.available(),
+                "functions_loaded": len(self._functions),
+                "compile_invocations": self.compile_invocations,
+                "store_loads": self.store_loads,
+                "failures": len(self._failed),
+                "store": self.store.stats(),
+            }
+
+    def describe(self) -> str:
+        s = self.stats()
+        return (
+            f"NativeEngine({s['backend']}): {s['functions_loaded']} loaded, "
+            f"{s['compile_invocations']} compiled, "
+            f"{s['store_loads']} store loads, {s['failures']} failures"
+        )
+
+
+# -- the process-wide default engine ----------------------------------------
+
+_default_engine: Optional[NativeEngine] = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> NativeEngine:
+    """The process-wide engine (created on first use).
+
+    The pipeline, :class:`~repro.kernels.plan.KernelRunner`, autotuner,
+    and server all share it, so its function cache and counters tell
+    one coherent story per process.
+    """
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            _default_engine = NativeEngine()
+        return _default_engine
+
+
+def configure_default_engine(
+    directory: Optional[str] = None,
+    backend: Optional[str] = None,
+    maxsize: int = 256,
+) -> NativeEngine:
+    """Replace the process-wide engine (CLI ``--artifact-store``, tests).
+
+    ``directory`` enables the persistent artifact tier so compiled
+    objects survive the process and are shared with concurrent ones.
+    """
+    global _default_engine
+    engine = NativeEngine(
+        store=ArtifactStore(maxsize=maxsize, directory=directory),
+        backend=backend,
+    )
+    with _default_lock:
+        _default_engine = engine
+    return engine
+
+
+def native_available() -> bool:
+    """Whether the process-wide engine can compile nests."""
+    return default_engine().available()
+
+
+def native_backend() -> Optional[str]:
+    """The process-wide engine's backend name (``None`` if unavailable)."""
+    return default_engine().backend
+
+
+def compiler_fingerprint() -> str:
+    """The default engine's compiler identity (``"none"`` without one).
+
+    Part of the autotuner's machine signature: measured decisions that
+    involved compiled kernels must not survive a compiler change.
+    """
+    return default_engine().compiler_identity()
+
+
+def engine_stats() -> Dict[str, object]:
+    """Stats of the process-wide engine (surfaced in ``/healthz``)."""
+    return default_engine().stats()

@@ -69,6 +69,13 @@ class TermPlan:
     aligned single-operand term), or ``"einsum"`` (cached-path
     fallback for degenerate shapes -- repeated indices, 3+ operand
     products, permuting single-operand terms).
+
+    ``native`` (mode ``"native"`` only) additionally carries the term's
+    compiled-nest lowering (:class:`~repro.kernels.native.NativeSpec`).
+    A runner with a working native engine executes that; without one it
+    falls back to ``kind`` -- the plan always embeds its own numpy
+    fallback, which is what makes no-compiler environments degrade
+    instead of fail.
     """
 
     coef: float
@@ -76,6 +83,7 @@ class TermPlan:
     kind: str
     gemm: Optional[GemmSpec] = None
     spec: Optional[str] = None
+    native: Optional["NativeSpec"] = None
 
 
 @dataclass(frozen=True)
@@ -101,16 +109,21 @@ class KernelPlan:
     gemm_terms: int = 0
     einsum_terms: int = 0
     copy_terms: int = 0
-    #: lowering variant this plan was compiled with ('gemm' | 'einsum')
+    #: lowering variant this plan was compiled with
+    #: ('gemm' | 'einsum' | 'native')
     mode: str = "gemm"
+    #: terms carrying a compiled-nest lowering (mode 'native' only)
+    native_terms: int = 0
 
     def describe(self) -> str:
-        return (
+        text = (
             f"KernelPlan({len(self.statements)} statements: "
             f"{self.gemm_terms} gemm, {self.copy_terms} copy, "
-            f"{self.einsum_terms} einsum-fallback terms; "
-            f"outputs {', '.join(self.outputs)})"
+            f"{self.einsum_terms} einsum-fallback terms"
         )
+        if self.native_terms:
+            text += f", {self.native_terms} native nests"
+        return text + f"; outputs {', '.join(self.outputs)})"
 
 
 def compile_kernel_plan(
@@ -128,17 +141,27 @@ def compile_kernel_plan(
 
     ``mode`` selects the lowering variant: ``"gemm"`` (the analytical
     default) lowers binary contractions to GEMM; ``"einsum"`` keeps
-    every contraction on the cached einsum path.  The empirical
-    autotuner (:mod:`repro.autotune`) measures both and keeps the
-    faster plan -- on some shapes einsum's fused path beats the GEMM
-    pack/permute sequence.
+    every contraction on the cached einsum path; ``"native"`` is the
+    GEMM plan *plus* a compiled-loop-nest lowering per term
+    (:mod:`repro.kernels.native`) -- runners execute the compiled nest
+    when a native engine is available and the embedded GEMM/einsum
+    fallback otherwise.  The empirical autotuner
+    (:mod:`repro.autotune`) measures the variants and keeps the
+    fastest plan -- on some shapes einsum's fused path beats the GEMM
+    pack/permute sequence, and small dense nests beat both.
     """
-    if mode not in ("gemm", "einsum"):
+    if mode not in ("gemm", "einsum", "native"):
         raise ValueError(
-            f"unknown kernel-plan mode {mode!r} (use 'gemm' or 'einsum')"
+            f"unknown kernel-plan mode {mode!r} "
+            "(use 'gemm', 'einsum', or 'native')"
         )
+    lower_native = None
+    if mode == "native":
+        from repro.kernels.native import lower_native_term
+
+        lower_native = lower_native_term
     stmt_plans: List[StatementPlan] = []
-    gemm_terms = einsum_terms = copy_terms = 0
+    gemm_terms = einsum_terms = copy_terms = native_terms = 0
     for stmt in statements:
         target = tuple(stmt.result.indices)
         out_shape = tuple(i.extent(bindings) for i in target)
@@ -156,7 +179,7 @@ def compile_kernel_plan(
             )
             gemm = None
             spec = None
-            if len(refs) == 2 and mode == "gemm":
+            if len(refs) == 2 and mode in ("gemm", "native"):
                 gemm = lower_binary_term(
                     refs[0].indices, refs[1].indices, sums, target
                 )
@@ -183,7 +206,12 @@ def compile_kernel_plan(
                 ]
                 out_sub = "".join(letters[i] for i in target)
                 spec = ",".join(subscripts) + "->" + out_sub
-            terms.append(TermPlan(coef, operands, kind, gemm, spec))
+            native = None
+            if lower_native is not None and kind != "copy":
+                native = lower_native(refs, sums, target, bindings)
+                if native is not None:
+                    native_terms += 1
+            terms.append(TermPlan(coef, operands, kind, gemm, spec, native))
         stmt_plans.append(
             StatementPlan(stmt.result.name, stmt.accumulate, out_shape, tuple(terms))
         )
@@ -220,7 +248,7 @@ def compile_kernel_plan(
     ]
     return KernelPlan(
         tuple(stmt_plans), outputs, gemm_terms, einsum_terms, copy_terms,
-        mode,
+        mode, native_terms,
     )
 
 
@@ -238,6 +266,15 @@ class KernelRunner:
     pass ``copy=True`` (or copy arrays yourself) to detach results.
     Temporaries are recycled internally and not returned; name them in
     ``keep`` to retain (they then get persistent buffers too).
+
+    For plans compiled with ``mode="native"``, ``engine`` is the
+    :class:`~repro.kernels.native.NativeEngine` executing the compiled
+    nests (default: the process-wide engine).  Terms whose nest is
+    unavailable -- no compiler, unsupported dtype, compile failure --
+    run on their embedded GEMM/einsum fallback, and each fallback is
+    recorded once in :attr:`notes`.  A kernel step that raises mid-run
+    releases every live arena buffer before propagating, so callers
+    that catch and retry do not accumulate leaked scratch.
     """
 
     def __init__(
@@ -246,6 +283,7 @@ class KernelRunner:
         functions: Optional[Mapping[str, Callable]] = None,
         arena: Optional[BufferArena] = None,
         keep: Sequence[str] = (),
+        engine=None,
     ) -> None:
         self.plan = plan
         self.arena = arena if arena is not None else BufferArena()
@@ -254,6 +292,27 @@ class KernelRunner:
         self._kept = frozenset(plan.outputs) | self.keep
         self._persistent: Dict[str, np.ndarray] = {}
         self._func_cache: Dict[Tuple[str, Tuple[int, ...]], np.ndarray] = {}
+        #: native-engine notes (fallbacks taken), recorded once each
+        self.notes: List[str] = []
+        self._engine = engine
+        self._native_fns: Dict[int, Optional[Callable]] = {}
+        if engine is None and plan.native_terms:
+            from repro.kernels.native import default_engine
+
+            self._engine = default_engine()
+        if plan.native_terms and (
+            self._engine is None or not self._engine.available()
+        ):
+            reason = (
+                self._engine.unavailable_reason()
+                if self._engine is not None
+                else "no native engine"
+            )
+            self.notes.append(
+                f"native kernels unavailable ({reason}); "
+                f"{plan.native_terms} compiled nests fall back to the "
+                "gemm/einsum path"
+            )
 
     # -- operand access ----------------------------------------------------
 
@@ -302,9 +361,31 @@ class KernelRunner:
             np.subtract(out, value, out=out)
         else:
             scratch = self.arena.take(out.shape, out.dtype)
-            np.multiply(value, coef, out=scratch)
-            np.add(out, scratch, out=out)
-            self.arena.release(scratch)
+            try:
+                np.multiply(value, coef, out=scratch)
+                np.add(out, scratch, out=out)
+            finally:
+                self.arena.release(scratch)
+
+    def _native_fn(self, term: TermPlan, dtype) -> Optional[Callable]:
+        """The compiled nest for a term (cached per runner), or None."""
+        key = id(term)
+        if key in self._native_fns:
+            return self._native_fns[key]
+        fn = None
+        if self._engine is not None and self._engine.available():
+            fn = self._engine.function(term.native, dtype)
+            if fn is None:
+                reason = (
+                    self._engine.failure(term.native, dtype)
+                    or "unsupported dtype"
+                )
+                self.notes.append(
+                    f"native nest not compiled ({reason}); term falls "
+                    f"back to the {term.kind} path"
+                )
+        self._native_fns[key] = fn
+        return fn
 
     def _exec_term(self, term: TermPlan, out, env, inputs, funcs, first: bool):
         ops = [
@@ -313,11 +394,26 @@ class KernelRunner:
             else self._fetch(op, env, inputs)
             for op in term.operands
         ]
+        if term.native is not None and out.flags.c_contiguous:
+            fn = self._native_fn(term, out.dtype)
+            if fn is not None:
+                ops = [
+                    op
+                    if op.dtype == out.dtype and op.flags.c_contiguous
+                    else np.ascontiguousarray(op, dtype=out.dtype)
+                    for op in ops
+                ]
+                if first:
+                    out.fill(0)  # the nest only ever accumulates
+                fn(term.coef, ops, out)
+                return
         if term.kind == "gemm":
             value, live = exec_gemm_arena(ops[0], ops[1], term.gemm, self.arena)
-            self._accumulate(out, value, term.coef, first)
-            for buf in live:
-                self.arena.release(buf)
+            try:
+                self._accumulate(out, value, term.coef, first)
+            finally:
+                for buf in live:
+                    self.arena.release(buf)
         elif term.kind == "copy":
             self._accumulate(out, ops[0], term.coef, first)
         else:  # einsum fallback (cached contraction path)
@@ -325,9 +421,11 @@ class KernelRunner:
                 cached_einsum(term.spec, *ops, out=out)
             else:
                 scratch = self.arena.take(out.shape, out.dtype)
-                cached_einsum(term.spec, *ops, out=scratch)
-                self._accumulate(out, scratch, term.coef, first)
-                self.arena.release(scratch)
+                try:
+                    cached_einsum(term.spec, *ops, out=scratch)
+                    self._accumulate(out, scratch, term.coef, first)
+                finally:
+                    self.arena.release(scratch)
 
     # -- statement/sequence execution --------------------------------------
 
@@ -357,49 +455,73 @@ class KernelRunner:
         if functions:
             funcs.update(functions)
         env: Dict[str, np.ndarray] = {}
-        for sp in self.plan.statements:
-            existing = env.get(sp.result)
-            reads_self = any(
-                op.name == sp.result and not op.is_function
-                for term in sp.terms
-                for op in term.operands
-            )
-            if existing is not None and not sp.accumulate and reads_self:
-                # re-assignment reading the old value: write elsewhere
-                out = self.arena.take(sp.out_shape)
-                old = existing
-                existing = None
-            else:
-                old = None
-                out = (
-                    existing
-                    if existing is not None
-                    else self._out_buffer(sp.result, sp.out_shape)
+        pending: Optional[np.ndarray] = None
+        try:
+            for sp in self.plan.statements:
+                existing = env.get(sp.result)
+                reads_self = any(
+                    op.name == sp.result and not op.is_function
+                    for term in sp.terms
+                    for op in term.operands
                 )
-            first = True
-            if sp.accumulate:
-                if existing is not None:
-                    first = False  # += onto our own buffer in place
-                elif sp.result in inputs:
-                    np.copyto(out, np.asarray(inputs[sp.result]))
-                    first = False  # seed from (unmutated) caller array
-            for term in sp.terms:
-                self._exec_term(term, out, env, inputs, funcs, first)
-                first = False
-            if old is not None:
-                if sp.result in self._kept:
-                    np.copyto(old, out)
-                    self.arena.release(out)
-                    out = old
+                if existing is not None and not sp.accumulate and reads_self:
+                    # re-assignment reading the old value: write elsewhere
+                    out = self.arena.take(sp.out_shape)
+                    old = existing
+                    existing = None
                 else:
-                    self.arena.release(old)
-            env[sp.result] = out
-            for name in sp.release:
-                if name in self._kept:
-                    continue
-                buf = env.pop(name, None)
-                if buf is not None:
+                    old = None
+                    out = (
+                        existing
+                        if existing is not None
+                        else self._out_buffer(sp.result, sp.out_shape)
+                    )
+                # arena-owned and not yet tracked by env: must be released
+                # if a kernel raises before this statement publishes it
+                # (re-assignment scratch is always arena-owned; fresh
+                # non-kept outputs come from the arena too)
+                pending = (
+                    out
+                    if old is not None
+                    or (existing is None and sp.result not in self._kept)
+                    else None
+                )
+                first = True
+                if sp.accumulate:
+                    if existing is not None:
+                        first = False  # += onto our own buffer in place
+                    elif sp.result in inputs:
+                        np.copyto(out, np.asarray(inputs[sp.result]))
+                        first = False  # seed from (unmutated) caller array
+                for term in sp.terms:
+                    self._exec_term(term, out, env, inputs, funcs, first)
+                    first = False
+                if old is not None:
+                    if sp.result in self._kept:
+                        np.copyto(old, out)
+                        self.arena.release(out)
+                        out = old
+                    else:
+                        self.arena.release(old)
+                env[sp.result] = out
+                pending = None
+                for name in sp.release:
+                    if name in self._kept:
+                        continue
+                    buf = env.pop(name, None)
+                    if buf is not None:
+                        self.arena.release(buf)
+        except BaseException:
+            # a kernel step raised mid-run: hand every live arena
+            # buffer back before propagating, so a caught failure does
+            # not leak the whole working set (persistent output buffers
+            # stay -- they are reused, not pooled)
+            if pending is not None:
+                self.arena.release(pending)
+            for name, buf in env.items():
+                if name not in self._kept:
                     self.arena.release(buf)
+            raise
         result: Dict[str, np.ndarray] = {
             k: np.asarray(v) for k, v in inputs.items()
         }

@@ -54,6 +54,13 @@ from repro.report import StageReport
 from repro.robustness.budget import Budget, BudgetTracker
 from repro.robustness.errors import BudgetExceeded
 
+#: schema version of :class:`SynthesisResult` as stored in the plan
+#: cache.  Bumped whenever the result grows fields that executing code
+#: relies on, so a pickled result from an older release is rejected as
+#: stale instead of resurfacing as an object missing attributes
+#: (version 2: codegen_mode / native_artifacts / native kernel terms).
+RESULT_VERSION = 2
+
 
 @dataclass
 class SynthesisConfig:
@@ -87,6 +94,14 @@ class SynthesisConfig:
     #: greedy fallback and the stage report records it (strict budgets
     #: raise :class:`~repro.robustness.errors.BudgetExceeded` instead)
     budget: Optional[Budget] = None
+    #: kernel codegen target: ``"gemm"`` (permute+reshape+matmul,
+    #: einsum fallback), ``"einsum"`` (cached-path einsum everywhere),
+    #: ``"native"`` (compiled fused tiled loop nests via
+    #: :mod:`repro.kernels.native`, per-term GEMM/einsum fallback when
+    #: no nest compiles), or ``"auto"`` (gemm; the autotune stage may
+    #: measure and select native).  A machine without any compiler
+    #: silently degrades ``"native"`` to ``"gemm"`` and records why.
+    codegen: str = "auto"
 
 
 @dataclass
@@ -140,6 +155,17 @@ class SynthesisResult:
     #: (:class:`~repro.autotune.stage.TuningDecisions`); ``None`` until
     #: the autotune stage runs
     tuning: Optional["TuningDecisions"] = None
+    #: the codegen mode the kernel plan was actually compiled with
+    #: (``config.codegen`` after resolving ``"auto"`` and degrading an
+    #: unavailable ``"native"``)
+    codegen_mode: str = "gemm"
+    #: artifact-store keys of the nests precompiled for this plan
+    #: (native mode only); warm processes load these without a compiler
+    native_artifacts: List[str] = field(default_factory=list)
+    #: schema version stamp checked by the plan cache
+    #: (:data:`RESULT_VERSION`); results pickled by older releases lack
+    #: the attribute entirely and read as stale, never as broken objects
+    result_version: int = RESULT_VERSION
 
     @property
     def degraded_stages(self) -> List[str]:
@@ -238,7 +264,10 @@ class SynthesisResult:
 
         plan = self.kernel_plan
         if plan is None:
-            plan = compile_kernel_plan(self.statements, self.config.bindings)
+            plan = compile_kernel_plan(
+                self.statements, self.config.bindings,
+                mode=self.codegen_mode,
+            )
         return KernelRunner(plan, functions=functions, **kwargs)
 
     def spmd_sources(self) -> Dict[str, str]:
@@ -840,19 +869,77 @@ def _synthesize_pipeline(
     # so warm plan-cache hits carry fully planned execution kernels
     from repro.kernels import compile_kernel_plan
 
+    if config.codegen not in ("auto", "native", "gemm", "einsum"):
+        raise ValueError(
+            f"unknown codegen mode {config.codegen!r} "
+            "(use 'auto', 'native', 'gemm', or 'einsum')"
+        )
+    codegen_mode = "gemm" if config.codegen == "auto" else config.codegen
+    initial_notes: List[str] = []
+    engine = None
+    if codegen_mode == "native":
+        from repro.kernels import default_engine
+
+        engine = default_engine()
+        if not engine.available():
+            note = (
+                "native codegen requested but "
+                f"{engine.unavailable_reason()}; using the gemm lowering"
+            )
+            codegen_report.notes.append(note)
+            initial_notes.append(note)
+            codegen_mode = "gemm"
+            engine = None
+
     kernel_plan = None
+    native_artifacts: List[str] = []
     try:
-        kernel_plan = compile_kernel_plan(statements, bindings)
+        kernel_plan = compile_kernel_plan(
+            statements, bindings, mode=codegen_mode
+        )
     except (OverflowError, ValueError) as exc:
         codegen_report.notes.append(
             f"kernel plan not compiled ({exc}); execution falls back to "
             "per-call planning"
         )
     if kernel_plan is not None:
+        codegen_report.details["codegen mode"] = codegen_mode
         codegen_report.details["kernel terms (gemm/copy/einsum)"] = (
             f"{kernel_plan.gemm_terms}/{kernel_plan.copy_terms}/"
             f"{kernel_plan.einsum_terms}"
         )
+        if engine is not None:
+            # precompile every distinct nest now, so the first execution
+            # (and every warm process sharing the artifact store) never
+            # pays a compiler fork at run time
+            before = engine.stats()
+            compiled: Dict[str, bool] = {}
+            for sp in kernel_plan.statements:
+                for term in sp.terms:
+                    if term.native is None:
+                        continue
+                    akey = engine.key(term.native, np.float64)
+                    if akey not in compiled:
+                        fn = engine.function(term.native, np.float64)
+                        compiled[akey] = fn is not None
+            native_artifacts = [k for k, ok in compiled.items() if ok]
+            after = engine.stats()
+            codegen_report.details["native backend"] = engine.backend
+            codegen_report.details["native nests (compiled/lowered)"] = (
+                f"{len(native_artifacts)}/{len(compiled)}"
+            )
+            codegen_report.details[
+                "artifact store (compiles/warm loads)"
+            ] = (
+                f"{after['compile_invocations'] - before['compile_invocations']}"
+                f"/{after['store_loads'] - before['store_loads']}"
+            )
+            failed = len(compiled) - len(native_artifacts)
+            if failed:
+                codegen_report.notes.append(
+                    f"{failed} nests failed to compile and run on their "
+                    "embedded gemm/einsum fallback"
+                )
     reports.append(codegen_report)
 
     if tracker is not None:
@@ -874,6 +961,9 @@ def _synthesize_pipeline(
         pre_locality_structure=pre_locality_structure,
         locality_table=locality_table,
         grid_table=grid_table,
+        codegen_mode=codegen_mode,
+        native_artifacts=native_artifacts,
+        last_run_notes=initial_notes,
     )
 
 

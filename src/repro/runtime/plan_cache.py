@@ -48,6 +48,27 @@ from repro.store import TwoTierStore
 __all__ = ["PlanCache", "plan_key", "config_fingerprint"]
 
 
+def _result_current(result) -> bool:
+    """Whether a decoded result matches this release's result schema.
+
+    Results pickled by older releases lack ``result_version`` in their
+    instance ``__dict__`` entirely (unpickling bypasses ``__init__``,
+    and the dataclass default is deliberately not trusted -- it lives on
+    the *class*, which is always current), so they read as stale misses
+    here instead of resurfacing as objects whose newer attributes raise
+    ``AttributeError`` deep inside execution.  The version prefix of
+    :func:`plan_key` already keeps releases apart; this hook is the
+    defense for entries written under a matching key by any other route
+    (shared cache directories, hand-rolled keys, downgraded packages).
+    Non-result values (the store is content-agnostic) pass through.
+    """
+    from repro.pipeline import RESULT_VERSION, SynthesisResult
+
+    if not isinstance(result, SynthesisResult):
+        return True
+    return result.__dict__.get("result_version") == RESULT_VERSION
+
+
 def config_fingerprint(config) -> str:
     """A deterministic text rendering of every config field.
 
@@ -133,9 +154,13 @@ class PlanCache:
         """``(result, tier)`` for a cached key, else ``None``.
 
         ``tier`` is ``"memory"`` or ``"disk"``; the returned result is a
-        private copy (unpickled from the stored bytes).
+        private copy (unpickled from the stored bytes).  Entries whose
+        result schema predates this release are dropped and counted
+        ``stale`` (see :func:`_result_current`).
         """
-        return self._store.get(key, decode=pickle.loads)
+        return self._store.get(
+            key, decode=pickle.loads, validate=_result_current
+        )
 
     def put(self, key: str, result) -> None:
         """Store a synthesis result under ``key`` in both tiers."""

@@ -302,6 +302,7 @@ class Handlers:
     async def healthz(self, payload=None) -> Tuple[int, Dict[str, object]]:
         """``GET /healthz`` (and ``/stats``): liveness + counters."""
         from repro import __version__
+        from repro.kernels import engine_stats
 
         app = self.app
         return 200, {
@@ -311,6 +312,7 @@ class Handlers:
             "uptime_s": round(time.monotonic() - app.started, 3),
             "requests": dict(app.request_counts),
             "plan_cache": app.plan_cache.stats(),
+            "artifact_store": engine_stats(),
             "coalescer": app.coalescer.stats(),
             "pools": app.pools.stats(),
             "tenants": app.tenants.stats(),

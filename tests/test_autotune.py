@@ -110,9 +110,25 @@ class TestMachineSignature:
         sig = machine_signature()
         assert set(sig) == {
             "cpu_count", "cache_elements", "memory_elements", "numpy",
+            "kernel_compiler",
         }
         assert sig["numpy"] == np.__version__
         assert sig["cpu_count"] >= 1
+        from repro.kernels import compiler_fingerprint
+
+        assert sig["kernel_compiler"] == compiler_fingerprint()
+
+    def test_compiler_perturbation_misses(self):
+        # a record measured under one compiler must not be replayed
+        # under another (or under none): the fingerprint is in the key
+        from repro.expr.parser import parse_program
+
+        program = parse_program(MATMUL)
+        config = tiny_cache_config()
+        sig = machine_signature(config.machine)
+        base = tuning_key(program, config, sig)
+        perturbed = dict(sig, kernel_compiler="other-cc 9.9 [/usr/bin/cc]")
+        assert tuning_key(program, config, perturbed) != base
 
     def test_tracks_machine_model(self):
         small = tiny_cache_config().machine
@@ -237,10 +253,29 @@ class TestAutotuneStage:
         result = tune()
         assert result.tuning is not None
         assert result.tuning.source == "measured"
-        assert result.tuning.kernel_mode in ("gemm", "einsum")
+        assert result.tuning.kernel_mode in ("gemm", "einsum", "native")
         report = autotune_report(result)
         assert report.details["measurement runs"] > 0
         assert "rank disagreements" in report.details
+
+    def test_kernel_dimension_offers_native_when_available(self):
+        from repro.autotune.candidates import KernelTuner
+        from repro.kernels import native_available
+
+        result = synthesize(MATMUL, tiny_cache_config())
+        tuner = KernelTuner(result, None)
+        labels = {c.label for c in tuner.candidates()}
+        assert {"kernel gemm", "kernel einsum"} <= labels
+        if native_available():
+            assert "kernel native" in labels
+            native = next(
+                c for c in tuner.candidates() if c.payload == "native"
+            )
+            tuner.apply(native)
+            assert result.codegen_mode == "native"
+            assert result.kernel_plan.mode == "native"
+        else:
+            assert "kernel native" not in labels
 
     def test_tuned_result_is_still_correct(self):
         result = tune()

@@ -10,6 +10,7 @@ reference.
 """
 
 import pickle
+import threading
 
 import numpy as np
 import pytest
@@ -26,6 +27,7 @@ from repro.kernels import (
     KernelPlan,
     KernelRunner,
     cached_einsum,
+    cached_einsum_path,
     clear_einsum_path_cache,
     compile_kernel_plan,
     einsum_path_cache_stats,
@@ -290,6 +292,40 @@ class TestKernelPlan:
             runner.run(inputs)
         assert runner.arena.allocations == before
 
+    def test_failing_step_releases_every_arena_buffer(self):
+        """Regression: a kernel step raising mid-run used to leak the
+        statement's output buffer and every live temporary.  The
+        runner must hand all arena-owned buffers back before
+        propagating, so a caller that catches and retries does not
+        accumulate scratch."""
+        prog = ccsd_doubles_program(V=5, O=3)
+        res = synthesize(prog)
+        runner = res.kernel_runner()
+        assert len(res.kernel_plan.statements) > 1
+        inputs = random_inputs(prog, None, seed=0)
+        want = runner.run(inputs, copy=True)["R"]
+
+        original = runner._exec_term
+        calls = {"n": 0}
+
+        def failing(term, out, env, ins, funcs, first):
+            calls["n"] += 1
+            if calls["n"] > 1:  # fail inside a later statement
+                raise RuntimeError("injected kernel failure")
+            return original(term, out, env, ins, funcs, first)
+
+        baseline = runner.arena.outstanding
+        runner._exec_term = failing
+        with pytest.raises(RuntimeError, match="injected"):
+            runner.run(inputs)
+        assert runner.arena.outstanding == baseline  # nothing leaked
+
+        # the runner stays fully usable after a caught failure
+        runner._exec_term = original
+        got = runner.run(inputs)["R"]
+        np.testing.assert_array_equal(got, want)
+        assert runner.arena.outstanding == baseline
+
 
 class TestBufferArena:
     def test_take_release_reuses_exact_key(self):
@@ -330,6 +366,19 @@ class TestBufferArena:
         arena.clear()
         assert arena.pooled == 0
 
+    def test_outstanding_tracks_takes_and_releases(self):
+        arena = BufferArena()
+        a = arena.take((3,))
+        b = arena.take((3,))
+        assert arena.outstanding == 2
+        arena.release(a)
+        arena.release(b)
+        assert arena.outstanding == 0
+        # disabled arenas count too: the counter is the leak detector
+        off = BufferArena(enabled=False)
+        off.release(off.take((2,)))
+        assert off.outstanding == 0
+
 
 class TestEinsumPathCache:
     def test_bit_for_bit_vs_optimize_true(self):
@@ -366,3 +415,56 @@ class TestEinsumPathCache:
             np.testing.assert_array_equal(
                 cached[name], uncached[name], err_msg=name
             )
+
+    def test_dtype_is_part_of_the_key(self):
+        """float32 and float64 operands of the same shapes plan
+        separately: the greedy optimizer weighs intermediates in bytes,
+        so sharing one entry would silently cross-apply decisions."""
+        clear_einsum_path_cache()
+        a = np.ones((3, 4))
+        b = np.ones((4, 5))
+        cached_einsum_path("ij,jk->ik", a, b)
+        cached_einsum_path(
+            "ij,jk->ik", a.astype(np.float32), b.astype(np.float32)
+        )
+        stats = einsum_path_cache_stats()
+        assert stats == {"entries": 2, "hits": 0, "misses": 2}
+
+    def test_concurrent_hammer_stays_consistent(self):
+        """Many threads over a shared spec set: no exceptions, no torn
+        counters, exactly one entry per distinct signature (the
+        module-global cache is mutated under a lock)."""
+        clear_einsum_path_cache()
+        specs = [
+            ("ij,jk->ik", (3 + n, 4), (4, 5)) for n in range(8)
+        ]
+        arrays = [
+            (np.ones(sa), np.ones(sb)) for _, sa, sb in specs
+        ]
+        threads, errors = 8, []
+        rounds = 40
+        barrier = threading.Barrier(threads)
+
+        def work():
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    for (spec, _, _), (a, b) in zip(specs, arrays):
+                        cached_einsum(spec, a, b)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert errors == []
+        stats = einsum_path_cache_stats()
+        assert stats["entries"] == len(specs)
+        # a racing duplicate plan counts one extra miss, never a lost
+        # call: every lookup is accounted a hit or a miss
+        assert stats["hits"] + stats["misses"] == (
+            threads * rounds * len(specs)
+        )
+        assert stats["misses"] < stats["hits"]

@@ -1,0 +1,445 @@
+"""Native codegen backend: lowering, emitted nests, artifact store.
+
+Parity discipline: the compiled nests must agree with the einsum
+oracle -- float64 to the documented 1e-12 reassociation tolerance,
+float32 to single-precision accumulation tolerance.  The store tests
+assert the headline cache property: a warm process loads shared
+objects with **zero** compiler invocations.  The degradation tests
+assert the headline robustness property: a machine without any
+compiler completes every plan through the embedded GEMM/einsum
+fallback and says so in notes, never via an exception.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chem.workloads import random_contraction_program
+from repro.codegen.cgen import c_source, py_source, render_nest_ir
+from repro.engine.executor import random_inputs, run_statements
+from repro.expr.ast import Mul, Statement, Sum, TensorRef
+from repro.expr.indices import Index, IndexRange
+from repro.expr.tensor import Tensor
+from repro.kernels import (
+    ArtifactStore,
+    KernelRunner,
+    NativeEngine,
+    artifact_key,
+    compile_kernel_plan,
+    native_available,
+)
+from repro.pipeline import SynthesisConfig, synthesize
+
+COMMON = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+RTOL, ATOL = 1e-12, 1e-12
+
+needs_compiler = pytest.mark.skipif(
+    not native_available(),
+    reason="no native backend (numba or a C compiler) on this machine",
+)
+
+
+def _indices(extents):
+    return [
+        Index(f"i{k}", IndexRange(f"R{k}", e)) for k, e in enumerate(extents)
+    ]
+
+
+def _matmul_stmt(extents=(5, 6, 7)):
+    i, j, k = _indices(extents)
+    A = Tensor("A", (i, k))
+    B = Tensor("B", (k, j))
+    S = Tensor("S", (i, j))
+    return Statement(
+        S, Sum((k,), Mul((TensorRef(A, (i, k)), TensorRef(B, (k, j)))))
+    )
+
+
+def _spec_of(plan):
+    """The first native nest spec in a compiled plan."""
+    for sp in plan.statements:
+        for term in sp.terms:
+            if term.native is not None:
+                return term.native
+    raise AssertionError("plan lowered no native nests")
+
+
+def _einsum_of(spec, ops):
+    """The einsum oracle for a nest spec (handles diagonals)."""
+    letters = [chr(ord("a") + p) for p in range(len(spec.extents))]
+    sub = ",".join(
+        "".join(letters[p] for p in axes) for axes in spec.operands
+    )
+    out = "".join(letters[: spec.nout])
+    return np.einsum(f"{sub}->{out}", *ops, optimize=True)
+
+
+@st.composite
+def nest_statements(draw):
+    """A random 2-3 operand contraction Statement (diagonals allowed)."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    extents = [draw(st.integers(min_value=1, max_value=4)) for _ in range(n)]
+    idx = _indices(extents)
+    nops = draw(st.integers(min_value=2, max_value=3))
+    refs = []
+    used = set()
+    for k in range(nops):
+        arity = draw(st.integers(min_value=1, max_value=min(3, n)))
+        axes = draw(
+            st.lists(
+                st.sampled_from(idx), min_size=arity, max_size=arity
+            )
+        )
+        used.update(axes)
+        refs.append((f"X{k}", tuple(axes)))
+    used = sorted(used, key=lambda i: i.name)
+    kept = [i for i in used if draw(st.booleans())]
+    out = tuple(draw(st.permutations(kept))) if kept else ()
+    sums = tuple(i for i in used if i not in out)
+    tensors = [Tensor(name, axes) for name, axes in refs]
+    S = Tensor("S", out)
+    product = Mul(
+        tuple(
+            TensorRef(t, axes) for t, (_, axes) in zip(tensors, refs)
+        )
+    )
+    expr = Sum(sums, product) if sums else product
+    return Statement(S, expr)
+
+
+class TestLowering:
+    def test_every_non_copy_term_lowers(self):
+        plan = compile_kernel_plan([_matmul_stmt()], mode="native")
+        assert plan.mode == "native"
+        assert plan.native_terms == 1
+        spec = _spec_of(plan)
+        assert spec.extents == (5, 6, 7)
+        assert spec.nout == 2
+        assert spec.out_shape == (5, 6)
+
+    def test_gemm_fallback_is_embedded(self):
+        """Native terms keep their GEMM lowering: the fallback is in
+        the plan itself, so a no-compiler machine needs nothing new."""
+        plan = compile_kernel_plan([_matmul_stmt()], mode="native")
+        term = plan.statements[0].terms[0]
+        assert term.native is not None
+        assert term.kind == "gemm" and term.gemm is not None
+
+    def test_repeated_output_index_does_not_lower(self):
+        i, = _indices([4])
+        A = Tensor("A", (i,))
+        S = Tensor("S", (i, i))
+        stmt = Statement(S, TensorRef(A, (i,)))
+        plan = compile_kernel_plan([stmt], mode="native")
+        assert plan.native_terms == 0  # falls back, never miscompiles
+
+    def test_ir_is_deterministic_and_content_bearing(self):
+        plan = compile_kernel_plan([_matmul_stmt()], mode="native")
+        spec = _spec_of(plan)
+        assert spec.ir() == render_nest_ir(spec)
+        other = _spec_of(
+            compile_kernel_plan([_matmul_stmt((5, 6, 8))], mode="native")
+        )
+        assert spec.ir() != other.ir()
+
+    def test_specs_are_pickle_safe(self):
+        plan = compile_kernel_plan([_matmul_stmt()], mode="native")
+        revived = pickle.loads(pickle.dumps(plan))
+        assert revived.native_terms == 1
+        assert _spec_of(revived) == _spec_of(plan)
+
+
+class TestEmission:
+    def test_c_source_shape(self):
+        spec = _spec_of(
+            compile_kernel_plan([_matmul_stmt((3, 4, 100))], mode="native")
+        )
+        src = c_source(spec, "double", tile=64)
+        assert "void kern(double coef," in src
+        assert "restrict" in src
+        assert "+= (double)coef * acc" in src
+        assert "t2 += 64" in src  # the 100-extent sum loop is blocked
+
+    def test_py_source_matches_einsum(self):
+        spec = _spec_of(
+            compile_kernel_plan([_matmul_stmt((3, 4, 70))], mode="native")
+        )
+        ns = {}
+        exec(py_source(spec, tile=16), ns)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 70))
+        b = rng.standard_normal((70, 4))
+        out = np.zeros(12)
+        ns["kern"](2.5, a.ravel(), b.ravel(), out)
+        want = 2.5 * _einsum_of(spec, [a, b])
+        np.testing.assert_allclose(
+            out.reshape(3, 4), want, rtol=RTOL, atol=ATOL
+        )
+
+
+@needs_compiler
+class TestCompiledParity:
+    @settings(max_examples=60, **COMMON)
+    @given(stmt=nest_statements(), seed=st.integers(0, 2**16))
+    def test_native_plan_matches_einsum_oracle(self, stmt, seed):
+        plan = compile_kernel_plan([stmt], mode="native")
+        rng = np.random.default_rng(seed)
+        inputs = {
+            ref.tensor.name: rng.standard_normal(
+                tuple(i.extent() for i in ref.indices)
+            )
+            for ref in stmt.expr.refs()
+        }
+        want = run_statements([stmt], inputs)[stmt.result.name]
+        got = KernelRunner(plan).run(inputs)[stmt.result.name]
+        np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+
+    @settings(max_examples=30, **COMMON)
+    @given(stmt=nest_statements(), seed=st.integers(0, 2**16))
+    def test_compiled_nest_both_dtypes(self, stmt, seed):
+        """The engine-level kernels agree with einsum in float64 and
+        float32 (single-precision accumulation tolerance)."""
+        plan = compile_kernel_plan([stmt], mode="native")
+        if plan.native_terms == 0:
+            return  # repeated-output draw: nothing to compile
+        spec = _spec_of(plan)
+        engine = NativeEngine()
+        rng = np.random.default_rng(seed)
+        base = [
+            rng.standard_normal(
+                tuple(spec.extents[p] for p in axes)
+            )
+            for axes in spec.operands
+        ]
+        for dtype, rtol in ((np.float64, RTOL), (np.float32, 2e-4)):
+            fn = engine.function(spec, dtype)
+            assert fn is not None, engine.failure(spec, dtype)
+            ops = [np.ascontiguousarray(a, dtype=dtype) for a in base]
+            out = np.zeros(spec.out_shape, dtype=dtype)
+            fn(1.0, ops, out)
+            want = _einsum_of(spec, [o.astype(np.float64) for o in ops])
+            np.testing.assert_allclose(
+                out.astype(np.float64), want, rtol=rtol, atol=rtol
+            )
+
+    def test_tiled_summation_matches(self):
+        """Extents beyond the tile size take the blocked loops; the
+        partial sums must compose exactly (caller-zeroed += contract)."""
+        stmt = _matmul_stmt((4, 3, 3 * 64 + 17))
+        plan = compile_kernel_plan([stmt], mode="native")
+        rng = np.random.default_rng(7)
+        inputs = {
+            "A": rng.standard_normal((4, 3 * 64 + 17)),
+            "B": rng.standard_normal((3 * 64 + 17, 3)),
+        }
+        want = run_statements([stmt], inputs)["S"]
+        got = KernelRunner(plan).run(inputs)["S"]
+        np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+
+    def test_multi_statement_workload(self):
+        program = random_contraction_program(seed=11)
+        result = synthesize(program, SynthesisConfig(codegen="native"))
+        inputs = random_inputs(result.program, None, seed=11)
+        runner = result.kernel_runner()
+        got = runner.run(inputs)
+        want = run_statements(result.statements, inputs)
+        for name in result.kernel_plan.outputs:
+            np.testing.assert_allclose(
+                got[name], want[name], rtol=1e-11, atol=1e-11
+            )
+
+
+@needs_compiler
+class TestArtifactStore:
+    def test_warm_hit_compiles_nothing(self, tmp_path):
+        """The headline property: a second engine over the same store
+        directory loads the shared object with zero compiler forks."""
+        store = ArtifactStore(directory=str(tmp_path))
+        stmt = _matmul_stmt((3, 4, 90))
+        plan = compile_kernel_plan([stmt], mode="native")
+        rng = np.random.default_rng(1)
+        inputs = {
+            "A": rng.standard_normal((3, 90)),
+            "B": rng.standard_normal((90, 4)),
+        }
+        want = run_statements([stmt], inputs)["S"]
+
+        cold = NativeEngine(store=store)
+        got = KernelRunner(plan, engine=cold).run(inputs)["S"]
+        np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+        assert cold.stats()["compile_invocations"] >= 1
+
+        warm = NativeEngine(store=store)
+        got = KernelRunner(plan, engine=warm).run(inputs)["S"]
+        np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+        stats = warm.stats()
+        assert stats["compile_invocations"] == 0
+        assert stats["store_loads"] >= 1
+
+    def test_memory_tier_revival_spills_and_loads(self):
+        """A directory-less store still serves warm loads (bytes are
+        spilled to engine scratch for the dynamic loader)."""
+        store = ArtifactStore()
+        spec = _spec_of(compile_kernel_plan([_matmul_stmt()], mode="native"))
+        cold = NativeEngine(store=store)
+        assert cold.function(spec) is not None
+        warm = NativeEngine(store=store)
+        assert warm.function(spec) is not None
+        assert warm.stats()["compile_invocations"] == 0
+        assert warm.stats()["store_loads"] == 1
+
+    def test_key_includes_everything_the_bytes_depend_on(self):
+        base = dict(
+            nest_ir="nest-ir v1\nnames=a,b\nextents=2,3\nnout=1\nop0=0,1",
+            dtype="<f8",
+            backend="cc",
+            compiler="cc 12.2.0 [/usr/bin/cc]",
+            flags=("-O3",),
+        )
+        key = artifact_key(**base)
+        assert key == artifact_key(**base)  # deterministic
+        for field, other in [
+            ("dtype", "<f4"),
+            ("compiler", "cc 13.1.0 [/usr/bin/cc]"),
+            ("backend", "numba"),
+            ("flags", ("-O2",)),
+            ("nest_ir", base["nest_ir"].replace("2,3", "2,4")),
+        ]:
+            assert artifact_key(**{**base, field: other}) != key, field
+
+    def test_engine_key_tracks_dtype_and_tile(self):
+        spec = _spec_of(compile_kernel_plan([_matmul_stmt()], mode="native"))
+        engine = NativeEngine()
+        assert engine.key(spec, np.float64) != engine.key(spec, np.float32)
+        other = NativeEngine(tile=32)
+        assert other.key(spec, np.float64) != engine.key(spec, np.float64)
+
+
+class TestDegradation:
+    def test_forced_off_engine_runs_on_fallback(self):
+        stmt = _matmul_stmt()
+        plan = compile_kernel_plan([stmt], mode="native")
+        rng = np.random.default_rng(4)
+        inputs = {
+            "A": rng.standard_normal((5, 7)),
+            "B": rng.standard_normal((7, 6)),
+        }
+        want = run_statements([stmt], inputs)["S"]
+        engine = NativeEngine(backend="none")
+        assert not engine.available()
+        runner = KernelRunner(plan, engine=engine)
+        got = runner.run(inputs)["S"]
+        np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+        assert any("unavailable" in note for note in runner.notes)
+
+    def test_pipeline_degrades_native_to_gemm_with_note(self, monkeypatch):
+        """codegen='native' on a compiler-less machine completes via
+        the gemm path and records why -- never raises."""
+        import repro.kernels.native as native_mod
+
+        monkeypatch.setattr(
+            native_mod, "_default_engine", NativeEngine(backend="none")
+        )
+        src = (
+            "range N = 5; index i, j, k : N;\n"
+            "tensor A(i, k); tensor B(k, j);\n"
+            "C(i, j) = sum(k) A(i, k) * B(k, j);"
+        )
+        result = synthesize(src, SynthesisConfig(codegen="native"))
+        assert result.codegen_mode == "gemm"
+        assert result.native_artifacts == []
+        assert result.kernel_plan.mode == "gemm"
+        assert any(
+            "native codegen requested" in n for n in result.last_run_notes
+        )
+        inputs = random_inputs(result.program, None, seed=2)
+        got = result.kernel_runner().run(inputs)["C"]
+        np.testing.assert_allclose(
+            got, inputs["A"] @ inputs["B"], rtol=1e-10
+        )
+
+    @needs_compiler
+    def test_broken_compiler_degrades_per_term(self):
+        """A compiler that exists but fails still yields correct runs:
+        the failure is remembered and the term uses its fallback."""
+        stmt = _matmul_stmt()
+        plan = compile_kernel_plan([stmt], mode="native")
+        engine = NativeEngine(backend="cc")
+        if engine.backend != "cc":
+            pytest.skip("cc backend not available")
+        engine._cc = "/bin/false"
+        spec = _spec_of(plan)
+        assert engine.function(spec) is None
+        assert engine.failure(spec) is not None
+        rng = np.random.default_rng(5)
+        inputs = {
+            "A": rng.standard_normal((5, 7)),
+            "B": rng.standard_normal((7, 6)),
+        }
+        want = run_statements([stmt], inputs)["S"]
+        runner = KernelRunner(plan, engine=engine)
+        got = runner.run(inputs)["S"]
+        np.testing.assert_allclose(got, want, rtol=RTOL, atol=ATOL)
+        assert engine.stats()["failures"] == 1
+        # the failure is remembered: no second compiler fork
+        before = engine.stats()["compile_invocations"]
+        assert engine.function(spec) is None
+        assert engine.stats()["compile_invocations"] == before
+
+
+@needs_compiler
+class TestPipelineIntegration:
+    SRC = (
+        "range V = 10; range O = 5;\n"
+        "index a, b : V; index i, j, k : O;\n"
+        "tensor A(a, i); tensor B(i, j, k); tensor C(k, b);\n"
+        "S(a, b, j) = sum(i, k) A(a,i) * B(i,j,k) * C(k,b);"
+    )
+
+    def test_native_mode_precompiles_and_reports(self):
+        result = synthesize(self.SRC, SynthesisConfig(codegen="native"))
+        assert result.codegen_mode == "native"
+        assert result.kernel_plan.mode == "native"
+        assert result.kernel_plan.native_terms >= 1
+        assert len(result.native_artifacts) >= 1
+        report = next(
+            r for r in result.reports if r.name == "Code generation"
+        )
+        assert report.details["codegen mode"] == "native"
+        assert "native backend" in report.details
+
+    def test_auto_mode_stays_gemm(self):
+        result = synthesize(self.SRC, SynthesisConfig(codegen="auto"))
+        assert result.codegen_mode == "gemm"
+        assert result.native_artifacts == []
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize(self.SRC, SynthesisConfig(codegen="fortran"))
+
+    def test_native_result_survives_the_plan_cache(self, tmp_path):
+        from repro.runtime.plan_cache import PlanCache
+
+        cfg = SynthesisConfig(codegen="native")
+        cache = PlanCache(directory=str(tmp_path))
+        cold = synthesize(self.SRC, cfg, cache=cache)
+        warm = synthesize(
+            self.SRC, cfg, cache=PlanCache(directory=str(tmp_path))
+        )
+        assert warm.codegen_mode == "native"
+        assert warm.native_artifacts == cold.native_artifacts
+        inputs = random_inputs(warm.program, None, seed=9)
+        np.testing.assert_allclose(
+            warm.kernel_runner().run(inputs)["S"],
+            cold.kernel_runner().run(inputs)["S"],
+            rtol=RTOL,
+            atol=ATOL,
+        )

@@ -104,6 +104,29 @@ class TestSynthesizeWithCache:
             out["C"], inputs["A"] @ inputs["B"], rtol=1e-10
         )
 
+    def test_pre_bump_result_is_a_stale_miss(self, tmp_path):
+        """A result pickled by a release before the result_version stamp
+        (<= 1.1.0) must read as a clean miss -- never as a revived
+        object missing the newer attributes."""
+        cfg = SynthesisConfig()
+        cache = PlanCache(directory=str(tmp_path))
+        result = synthesize(MATMUL, cfg)
+        old = pickle.loads(pickle.dumps(result))
+        # what an old pickle looks like: no result_version in __dict__
+        # (the class-level dataclass default must not mask its absence)
+        del old.__dict__["result_version"]
+        key = plan_key(result.program, cfg)
+        cache.put(key, old)
+        assert cache.get(key) is None
+        assert cache.stats()["stale"] == 1
+        # the stale entry was dropped from both tiers: a re-synthesis
+        # stores a fresh, current-schema result that then hits
+        fresh = synthesize(MATMUL, cfg, cache=cache)
+        assert fresh.reports[-1].details["hit"].startswith("miss")
+        warm = synthesize(MATMUL, cfg, cache=cache)
+        assert warm.reports[-1].details["hit"] == "memory"
+        assert warm.result_version == result.result_version
+
     def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
         cfg = SynthesisConfig()
         cache = PlanCache(directory=str(tmp_path))
