@@ -1,0 +1,328 @@
+"""E24: thread-parallel native nests and cross-statement fusion.
+
+PR 9's perf surface: compiled nests gain a thread dimension (OpenMP
+``parallel for`` + ``simd`` pragmas when the probed compiler supports
+``-fopenmp``, a portable chunked-outer-loop thread pool otherwise) and
+consecutive statements sharing an output iteration space fuse into one
+jointly-parallel kernel.  Three measurements:
+
+* **Thread scaling** on a single compute-heavy fused nest (a
+  three-operand doubles-shaped contraction) and on the largest nest of
+  the CCSD doubles plan: wall time at 1/2/4/8 threads.  Every thread
+  count is asserted bit-identical to the sequential nest -- the
+  parallel emission never reassociates the per-element accumulation
+  order, so ``np.array_equal`` holds, not just allclose.
+* **Fusion** on the CCSD doubles sequence: the fused plan (one parallel
+  region per group, intermediates consumed in-iteration) vs the
+  unfused plan, same thread count.
+* **Warm artifacts**: threaded and fused kernels are content-addressed
+  like every other nest (thread count and fusion grouping are part of
+  the key), so a warm store serves them with zero compiler forks.
+
+Floor: ``E24_MIN_SPEEDUP`` (default 1.2) on the 2-thread speedup of the
+CCSD nest -- only enforced when ``os.cpu_count() >= 2``; single-core
+runners record the sweep but cannot scale and skip the assertion.
+Timings are min-of-repeats.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import random_inputs, synthesize
+from repro.chem.workloads import ccsd_doubles_program
+from repro.expr.ast import Mul, Statement, Sum, TensorRef
+from repro.expr.indices import Index, IndexRange
+from repro.expr.tensor import Tensor
+from repro.kernels import (
+    ArtifactStore,
+    KernelRunner,
+    NativeEngine,
+    compile_kernel_plan,
+    native_available,
+)
+from repro.pipeline import SynthesisConfig
+
+pytestmark = pytest.mark.skipif(
+    not native_available(),
+    reason="no native backend (numba or a C compiler) on this machine",
+)
+
+#: extents large enough that one nest call is compute-bound (tens of
+#: milliseconds), so thread scaling is measurable above jitter
+SCALING_EXTENTS = {"a": 40, "b": 40, "i": 20, "j": 20, "k": 20}
+CCSD_V, CCSD_O = 9, 5
+THREAD_SWEEP = (1, 2, 4, 8)
+MIN_SPEEDUP = float(os.environ.get("E24_MIN_SPEEDUP", "1.2"))
+
+multicore = pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="thread-scaling floor needs at least 2 cores",
+)
+
+
+def _best(fn, repeats: int = 3, inner: int = 3) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        times.append((time.perf_counter() - t0) / inner)
+    return min(times)
+
+
+def _scaling_statement() -> Statement:
+    """S(a,b,j) = sum(i,k) A(a,i) B(i,j,k) C(k,b): one three-operand
+    nest whose outer output loop (extent a) feeds every sweep count."""
+    idx = {
+        name: Index(name, IndexRange("R" + name, extent))
+        for name, extent in SCALING_EXTENTS.items()
+    }
+    a, b, i, j, k = (idx[n] for n in "abijk")
+    A = Tensor("A", (a, i))
+    B = Tensor("B", (i, j, k))
+    C = Tensor("C", (k, b))
+    S = Tensor("S", (a, b, j))
+    return Statement(
+        S,
+        Sum(
+            (i, k),
+            Mul(
+                (
+                    TensorRef(A, (a, i)),
+                    TensorRef(B, (i, j, k)),
+                    TensorRef(C, (k, b)),
+                )
+            ),
+        ),
+    )
+
+
+def _scaling_inputs(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    e = SCALING_EXTENTS
+    return {
+        "A": rng.standard_normal((e["a"], e["i"])),
+        "B": rng.standard_normal((e["i"], e["j"], e["k"])),
+        "C": rng.standard_normal((e["k"], e["b"])),
+    }
+
+
+def _spec_of(plan):
+    for sp in plan.statements:
+        for term in sp.terms:
+            if term.native is not None:
+                return term.native
+    raise AssertionError("plan lowered no native nests")
+
+
+def _largest_spec(plan):
+    """The most compute-heavy nest of a plan (loop-space volume)."""
+    best, volume = None, -1
+    for sp in plan.statements:
+        for term in sp.terms:
+            if term.native is None:
+                continue
+            v = 1
+            for e in term.native.extents:
+                v *= e
+            if v > volume:
+                best, volume = term.native, v
+    assert best is not None
+    return best
+
+
+def _sweep(engine, spec, ops, out_shape, coef=1.0):
+    """(times, outputs) per sweep thread count; outputs for identity."""
+    times, outs = {}, {}
+    for threads in THREAD_SWEEP:
+        fn = engine.function(spec, np.float64, threads=threads)
+        assert fn is not None, engine.failure(
+            spec, np.float64, threads=threads
+        )
+        out = np.zeros(out_shape)
+
+        def call(fn=fn, out=out):
+            out[...] = 0.0
+            fn(coef, ops, out)
+
+        times[threads] = _best(call)
+        call()
+        outs[threads] = out
+    return times, outs
+
+
+class TestE24ParallelNests:
+    def test_thread_scaling_synthetic_nest(self, record_rows):
+        spec = _spec_of(
+            compile_kernel_plan([_scaling_statement()], mode="native")
+        )
+        inputs = _scaling_inputs()
+        ops = [
+            np.ascontiguousarray(inputs[name]) for name in ("A", "B", "C")
+        ]
+        engine = NativeEngine()
+        times, outs = _sweep(engine, spec, ops, spec.out_shape)
+        for threads in THREAD_SWEEP[1:]:
+            assert np.array_equal(outs[1], outs[threads]), (
+                f"threads={threads} is not bit-identical to sequential"
+            )
+        shape = "x".join(str(SCALING_EXTENTS[n]) for n in "abijk")
+        record_rows(
+            f"E24: thread scaling, fused 3-operand nest ({shape})",
+            ["threads", "ms/run", "speedup"],
+            [
+                [t, f"{times[t] * 1e3:.2f}", f"{times[1] / times[t]:.2f}x"]
+                for t in THREAD_SWEEP
+            ],
+            metrics={
+                "extents": dict(SCALING_EXTENTS),
+                "strategy": engine.parallel_strategy(2),
+                "times_s": {str(t): times[t] for t in THREAD_SWEEP},
+                "speedup_2t": times[1] / times[2],
+                "cpu_count": os.cpu_count(),
+            },
+        )
+
+    @pytest.fixture(scope="class")
+    def ccsd(self):
+        prog = ccsd_doubles_program(V=CCSD_V, O=CCSD_O)
+        unfused = synthesize(prog, SynthesisConfig(codegen="native"))
+        fused = synthesize(
+            prog,
+            SynthesisConfig(codegen="native", fuse_statements=True),
+        )
+        inputs = random_inputs(prog, None, seed=0)
+        return unfused, fused, inputs
+
+    def test_thread_scaling_ccsd_nest(self, ccsd, record_rows):
+        unfused, _, _ = ccsd
+        spec = _largest_spec(unfused.kernel_plan)
+        rng = np.random.default_rng(3)
+        ops = [
+            np.ascontiguousarray(
+                rng.standard_normal(
+                    tuple(spec.extents[p] for p in axes)
+                )
+            )
+            for axes in spec.operands
+        ]
+        engine = NativeEngine()
+        times, outs = _sweep(engine, spec, ops, spec.out_shape)
+        for threads in THREAD_SWEEP[1:]:
+            assert np.array_equal(outs[1], outs[threads])
+        speedup_2t = times[1] / times[2]
+        record_rows(
+            f"E24: thread scaling, largest CCSD doubles nest "
+            f"(V={CCSD_V}, O={CCSD_O})",
+            ["threads", "ms/run", "speedup"],
+            [
+                [t, f"{times[t] * 1e3:.2f}", f"{times[1] / times[t]:.2f}x"]
+                for t in THREAD_SWEEP
+            ],
+            metrics={
+                "V": CCSD_V,
+                "O": CCSD_O,
+                "nest_ir": spec.ir(),
+                "strategy": engine.parallel_strategy(2),
+                "times_s": {str(t): times[t] for t in THREAD_SWEEP},
+                "speedup_2t": speedup_2t,
+                "min_speedup_floor": MIN_SPEEDUP,
+                "cpu_count": os.cpu_count(),
+            },
+        )
+        if (os.cpu_count() or 1) >= 2:
+            assert speedup_2t >= MIN_SPEEDUP, (
+                f"2 threads only {speedup_2t:.2f}x over sequential on "
+                f"the CCSD nest (floor {MIN_SPEEDUP}x)"
+            )
+
+    def test_fused_vs_unfused_plan(self, ccsd, record_rows):
+        unfused, fused, inputs = ccsd
+        assert fused.kernel_plan.fused_groups, (
+            "CCSD doubles no longer produces a fusable group; "
+            "pick a workload that does"
+        )
+        runner_u = unfused.kernel_runner()
+        runner_f = fused.kernel_runner()
+        out_u = runner_u.run(inputs)["R"]
+        out_f = runner_f.run(inputs)["R"]
+        assert np.array_equal(out_u, out_f), (
+            "fused plan is not bit-identical to the unfused plan"
+        )
+        assert not runner_f.notes, runner_f.notes
+
+        base = _best(lambda: runner_u.run(inputs))
+        fast = _best(lambda: runner_f.run(inputs))
+        speedup = base / fast
+        plan = fused.kernel_plan
+        record_rows(
+            f"E24: CCSD doubles (V={CCSD_V}, O={CCSD_O}) "
+            "fused vs unfused statement groups",
+            ["plan", "us/run", "speedup"],
+            [
+                ["unfused (one nest per statement)",
+                 f"{base * 1e6:.1f}", "1.00x"],
+                [
+                    f"fused ({len(plan.fused_groups)} groups / "
+                    f"{plan.fused_statements} statements)",
+                    f"{fast * 1e6:.1f}",
+                    f"{speedup:.2f}x",
+                ],
+            ],
+            metrics={
+                "V": CCSD_V,
+                "O": CCSD_O,
+                "unfused_s": base,
+                "fused_s": fast,
+                "speedup": speedup,
+                "fused_groups": len(plan.fused_groups),
+                "fused_statements": plan.fused_statements,
+            },
+        )
+
+    def test_warm_store_serves_threaded_and_fused_kernels(
+        self, ccsd, tmp_path, record_rows
+    ):
+        _, fused, inputs = ccsd
+        plan = fused.kernel_plan
+        cold_engine = NativeEngine(
+            store=ArtifactStore(directory=str(tmp_path))
+        )
+        if cold_engine.backend != "cc":
+            pytest.skip("warm .so loading is the cc backend's property")
+        cold = KernelRunner(plan, engine=cold_engine, threads=2)
+        cold_out = cold.run(inputs)["R"]
+        assert cold_engine.stats()["compile_invocations"] >= 1
+
+        warm_engine = NativeEngine(
+            store=ArtifactStore(directory=str(tmp_path))
+        )
+        warm = KernelRunner(plan, engine=warm_engine, threads=2)
+        warm_out = warm.run(inputs)["R"]
+        stats = warm_engine.stats()
+
+        np.testing.assert_array_equal(warm_out, cold_out)
+        record_rows(
+            "E24: warm artifact store, threaded + fused kernels",
+            ["engine", "compile invocations", "store loads",
+             "fused functions"],
+            [
+                ["cold", cold_engine.stats()["compile_invocations"],
+                 cold_engine.stats()["store_loads"],
+                 cold_engine.stats()["fused_functions"]],
+                ["warm", stats["compile_invocations"],
+                 stats["store_loads"], stats["fused_functions"]],
+            ],
+            metrics={
+                "warm_compile_invocations": stats["compile_invocations"],
+                "warm_store_loads": stats["store_loads"],
+                "warm_fused_functions": stats["fused_functions"],
+            },
+        )
+        assert stats["compile_invocations"] == 0
+        assert stats["store_loads"] >= 1

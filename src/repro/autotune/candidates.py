@@ -20,7 +20,12 @@ with the stopwatch).  One :class:`DimensionTuner` per tunable decision:
     timed through the SPMD driver;
 ``transport``
     the process backend's wire and worker count (shm vs pipe transport,
-    procs), timed through real worker pools.
+    procs), timed through real worker pools;
+``threads``
+    the native nest thread count (1 / 2 / half / all cores), timed
+    through steady-state runners built at each count -- thread scaling
+    depends on nest shape and memory bandwidth, which no static model
+    here prices.
 
 Each tuner yields :class:`Candidate` objects carrying the analytical
 model's cost (for the rank-disagreement report), builds a no-argument
@@ -43,6 +48,7 @@ __all__ = [
     "KernelTuner",
     "GridTuner",
     "TransportTuner",
+    "ThreadsTuner",
     "build_tuners",
 ]
 
@@ -382,11 +388,75 @@ class TransportTuner(DimensionTuner):
         pass
 
 
+class ThreadsTuner(DimensionTuner):
+    """Native nest thread count (1 / 2 / half / all cores).
+
+    Only active when the compiled plan actually carries native nests and
+    a backend exists to run them.  Candidates above ``os.cpu_count()``
+    are never offered, so a persisted decision replayed on a smaller
+    machine falls back to the analytical default (threads=1) instead of
+    oversubscribing.  An explicit ``SynthesisConfig.kernel_threads``
+    disables the tuner -- the user already decided.
+    """
+
+    dimension = "threads"
+
+    def __init__(self, result, inputs) -> None:
+        self.result = result
+        self.inputs = inputs
+        self._runners: Dict[int, object] = {}
+
+    def active(self) -> bool:
+        from repro.kernels import native_available
+
+        plan = self.result.kernel_plan
+        return (
+            plan is not None
+            and plan.native_terms > 0
+            and self.result.config.kernel_threads is None
+            and native_available()
+        )
+
+    def candidates(self) -> List[Candidate]:
+        ncpu = os.cpu_count() or 1
+        counts = sorted(
+            t for t in {1, 2, max(1, ncpu // 2), ncpu} if t <= ncpu
+        )
+        return [
+            Candidate(
+                f"threads={t}",
+                t,
+                model_cost=float(t != 1),
+                analytical=(t == 1),
+            )
+            for t in counts
+        ]
+
+    def runner(self, cand: Candidate) -> Callable[[], object]:
+        from repro.kernels.plan import KernelRunner
+
+        threads = cand.payload
+        runner = self._runners.get(threads)
+        if runner is None:
+            runner = KernelRunner(
+                self.result.kernel_plan, threads=threads
+            )
+            self._runners[threads] = runner
+        inputs = self.inputs
+        return lambda: runner.run(inputs)
+
+    def apply(self, cand: Candidate) -> None:
+        # the decision lands in result.tuning.threads, which
+        # kernel_runner() reads as its default; nothing structural
+        pass
+
+
 def build_tuners(result, config, inputs, options) -> List[DimensionTuner]:
     """The active tuners for one synthesis result, in a fixed order."""
     tuners: List[DimensionTuner] = [
         TileTuner(result, inputs, options.top_k),
         KernelTuner(result, inputs),
+        ThreadsTuner(result, inputs),
         GridTuner(result, config, inputs, options.top_k),
         TransportTuner(result, inputs, options.measure_parallel),
     ]

@@ -80,6 +80,9 @@ class TuningDecisions:
     grid: Optional[Tuple[int, ...]] = None
     transport: Optional[str] = None
     procs: Optional[int] = None
+    #: measured native-nest thread count (kernel_runner()'s default
+    #: when the config does not pin one)
+    threads: Optional[int] = None
     degraded: bool = False
 
     def as_payload(self) -> Dict[str, object]:
@@ -96,6 +99,8 @@ class TuningDecisions:
                 "transport": self.transport,
                 "procs": self.procs,
             }
+        if self.threads is not None:
+            out["threads"] = self.threads
         return out
 
 
@@ -109,6 +114,8 @@ def _absorb(decisions: TuningDecisions, dimension: str, payload) -> None:
     elif dimension == "transport":
         decisions.transport = payload["transport"]
         decisions.procs = payload["procs"]
+    elif dimension == "threads":
+        decisions.threads = int(payload)
 
 
 def _apply_record(result, config, options, record, tier) -> StageReport:

@@ -208,6 +208,19 @@ def build_parser() -> argparse.ArgumentParser:
         "'auto' uses gemm and lets --autotune measure native",
     )
     parser.add_argument(
+        "--kernel-threads", type=int, default=None, metavar="N",
+        help="with --codegen native: thread count for compiled loop "
+        "nests (OpenMP when the compiler supports -fopenmp, a portable "
+        "chunked thread pool otherwise; results stay bit-identical to "
+        "the sequential nest; default 1, or the autotuner's pick)",
+    )
+    parser.add_argument(
+        "--fuse-statements", action="store_true",
+        help="with --codegen native: fuse consecutive statements that "
+        "share an output iteration space into single jointly-parallel "
+        "kernels (one parallel region per fused group)",
+    )
+    parser.add_argument(
         "--artifact-store", metavar="DIR", default=None,
         help="content-addressed compiled-kernel store directory: warm "
         "runs load shared objects instead of re-invoking the compiler",
@@ -258,6 +271,10 @@ def _validate_args(args) -> Optional[SpecError]:
     if args.tune_trials < 1:
         return SpecError(
             f"--tune-trials must be >= 1, got {args.tune_trials}"
+        )
+    if args.kernel_threads is not None and args.kernel_threads < 1:
+        return SpecError(
+            f"--kernel-threads must be >= 1, got {args.kernel_threads}"
         )
     if args.tuning_db is not None and not args.autotune:
         return SpecError("--tuning-db requires --autotune")
@@ -338,6 +355,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         sparse_execution=not args.no_sparse_exec,
         budget=budget,
         codegen=args.codegen,
+        kernel_threads=args.kernel_threads,
+        fuse_statements=args.fuse_statements,
     )
     if args.artifact_store is not None:
         from repro.kernels import configure_default_engine

@@ -15,11 +15,39 @@ module renders that spec as compilable source:
 * :func:`py_source` -- the same nest as a Python function over flat
   (raveled) arrays.  It is both the numba-jittable variant and the
   compiler-independent semantic reference the tests exec directly.
-* :func:`render_nest_ir` -- the deterministic text form of the nest,
-  the content that (together with dtype, backend, compiler identity,
-  flags, and version) addresses the compiled artifact store.
+* :func:`c_fused_source` / :func:`py_fused_source` -- one function for
+  a whole *fused statement group*: consecutive statements sharing an
+  output iteration space run as one jointly-parallel nest over the
+  shared output loops, each member folding its full summation per
+  output point.  Intermediates a later member reads are written by an
+  earlier member in the same iteration, so values stay in cache and
+  the parallel region is entered once per group instead of once per
+  statement.
+* :func:`render_nest_ir` / :func:`render_fused_ir` -- the
+  deterministic text forms that (together with dtype, backend,
+  compiler identity, flags, and version) address the compiled
+  artifact store.
 
-The kernel contract, shared by both renderings:
+Parallel emission (all three strategies produce bit-identical results
+because each output element is computed by exactly one thread in an
+unchanged inner order):
+
+* ``parallel="omp"`` -- ``#pragma omp parallel num_threads(N)`` wraps
+  the nest and ``#pragma omp for schedule(static)`` distributes the
+  outermost *output* loop; summation tile loops stay outermost and run
+  redundantly per thread (index arithmetic only).
+* ``parallel="chunk"`` -- the portable fallback when the probed
+  compiler has no OpenMP: the kernel gains ``(long lo, long hi)``
+  bounds on the outermost output loop and the engine drives one call
+  per thread over disjoint slices (ctypes releases the GIL; numba
+  kernels are ``nogil``).
+* ``simd=True`` -- ``#pragma omp simd`` on the innermost *output*
+  loop.  Deliberately not a ``reduction`` over the summation loop:
+  vectorizing independent output elements preserves each element's
+  accumulation order exactly, while a SIMD reduction would license
+  reassociation and break bit-identity with the sequential nest.
+
+The kernel contract, shared by all renderings:
 
 * arrays are C-contiguous and flat; the caller resolves strides;
 * the kernel only ever **accumulates** (``+=``); the caller zeroes the
@@ -31,12 +59,22 @@ The kernel contract, shared by both renderings:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
-__all__ = ["render_nest_ir", "c_source", "py_source"]
+__all__ = [
+    "render_nest_ir",
+    "render_fused_ir",
+    "c_source",
+    "py_source",
+    "c_fused_source",
+    "py_fused_source",
+]
 
 #: bump to invalidate every stored artifact when the emitted code changes
-NEST_IR_VERSION = "nest-ir v1"
+NEST_IR_VERSION = "nest-ir v2"
+
+#: accepted values of the ``parallel`` emission strategy
+PARALLEL_STRATEGIES = ("none", "omp", "chunk")
 
 
 def _operand_offset(spec, k: int, var) -> str:
@@ -87,6 +125,29 @@ def render_nest_ir(spec) -> str:
     return "\n".join(lines)
 
 
+def render_fused_ir(fspec) -> str:
+    """Deterministic text form of a fused statement group.
+
+    Embeds each member's nest IR plus the group geometry (shared output
+    extents, the output slot each member accumulates into, and whether
+    a member reads another member's output -- which drops ``restrict``
+    from the emitted pointers), so fusion grouping is part of artifact
+    identity.
+    """
+    lines = [
+        NEST_IR_VERSION,
+        f"fused nout={fspec.nout}",
+        "out_extents=" + ",".join(str(e) for e in fspec.out_extents),
+        "slots=" + ",".join(str(s) for s in fspec.out_slots),
+        f"aliased={int(fspec.aliased)}",
+    ]
+    for m, member in enumerate(fspec.members):
+        lines.append(f"member{m}:")
+        lines.append(member.ir() if hasattr(member, "ir")
+                     else render_nest_ir(member))
+    return "\n".join(lines)
+
+
 def _nest_structure(spec, tile: int):
     """Shared loop-structure planning: which sum loops get blocked."""
     n = len(spec.extents)
@@ -96,7 +157,26 @@ def _nest_structure(spec, tile: int):
     return out_loops, sum_loops, tiled
 
 
-def c_source(spec, ctype: str = "double", tile: int = 64) -> str:
+def _check_parallel(parallel: str, nout: int) -> None:
+    if parallel not in PARALLEL_STRATEGIES:
+        raise ValueError(
+            f"unknown parallel strategy {parallel!r} "
+            f"(use one of {PARALLEL_STRATEGIES})"
+        )
+    if parallel != "none" and nout == 0:
+        raise ValueError(
+            "parallel nests need at least one output loop to distribute"
+        )
+
+
+def c_source(
+    spec,
+    ctype: str = "double",
+    tile: int = 64,
+    threads: int = 1,
+    parallel: str = "none",
+    simd: bool = False,
+) -> str:
     """Render the nest spec as one C function ``kern``.
 
     ``ctype`` is the element type (``double``/``float``); ``coef`` is
@@ -105,13 +185,27 @@ def c_source(spec, ctype: str = "double", tile: int = 64) -> str:
     outermost and the output accumulates one partial sum per tile,
     which is correct because the kernel contract is ``+=`` into a
     caller-zeroed buffer.
+
+    With ``parallel="omp"`` the whole nest runs inside one
+    ``#pragma omp parallel num_threads(threads)`` region and the first
+    output loop is an ``omp for schedule(static)``; the redundant tile
+    loops plus the static schedule keep every output element on one
+    thread with contributions in ascending tile order, so the result is
+    bit-identical to the sequential nest.  With ``parallel="chunk"``
+    the signature becomes ``kern(coef, lo, hi, ...)`` and the first
+    output loop covers ``[lo, hi)`` -- the caller threads over disjoint
+    slices.  ``simd=True`` adds ``#pragma omp simd`` on the innermost
+    output loop (see the module docstring for why not a reduction).
     """
+    _check_parallel(parallel, spec.nout)
     out_loops, sum_loops, tiled = _nest_structure(spec, tile)
     var = lambda p: f"v{p}"  # noqa: E731 - tiny local naming helper
     args = ", ".join(
         [f"const {ctype}* restrict x{k}" for k in range(len(spec.operands))]
         + [f"{ctype}* restrict out"]
     )
+    if parallel == "chunk":
+        args = f"long lo, long hi, {args}"
     lines: List[str] = [
         f"/* generated by repro.codegen.cgen ({NEST_IR_VERSION}) */",
         "/* " + render_nest_ir(spec).replace("\n", "; ") + " */",
@@ -119,16 +213,38 @@ def c_source(spec, ctype: str = "double", tile: int = 64) -> str:
         "{",
     ]
     indent = "  "
-    # outermost: tile loops over the blocked summation dimensions
+    omp = parallel == "omp" and threads > 1
+    if omp:
+        lines.append(f"{indent}#pragma omp parallel num_threads({threads})")
+        lines.append(f"{indent}{{")
+        indent += "  "
+    # outermost: tile loops over the blocked summation dimensions (run
+    # redundantly per thread under omp -- index arithmetic only; the
+    # implicit barrier of each `omp for` keeps tiles in lockstep)
     for p in tiled:
         e = spec.extents[p]
         lines.append(
             f"{indent}for (long t{p} = 0; t{p} < {e}; t{p} += {tile}) {{"
         )
         indent += "  "
-    for p in out_loops:
+    for i, p in enumerate(out_loops):
         e = spec.extents[p]
-        lines.append(f"{indent}for (long v{p} = 0; v{p} < {e}; ++v{p}) {{")
+        innermost = i == len(out_loops) - 1
+        if i == 0 and omp:
+            if innermost and simd:
+                lines.append(f"{indent}#pragma omp for simd schedule(static)")
+            else:
+                lines.append(f"{indent}#pragma omp for schedule(static)")
+        elif innermost and simd:
+            lines.append(f"{indent}#pragma omp simd")
+        if i == 0 and parallel == "chunk":
+            lines.append(
+                f"{indent}for (long v{p} = lo; v{p} < hi; ++v{p}) {{"
+            )
+        else:
+            lines.append(
+                f"{indent}for (long v{p} = 0; v{p} < {e}; ++v{p}) {{"
+            )
         indent += "  "
     lines.append(f"{indent}{ctype} acc = 0;")
     for p in sum_loops:
@@ -163,31 +279,45 @@ def c_source(spec, ctype: str = "double", tile: int = 64) -> str:
     for _ in tiled:
         indent = indent[:-2]
         lines.append(f"{indent}}}")
+    if omp:
+        indent = indent[:-2]
+        lines.append(f"{indent}}}")
     lines.append("}")
     return "\n".join(lines) + "\n"
 
 
-def py_source(spec, tile: int = 64, name: str = "kern") -> str:
+def py_source(
+    spec, tile: int = 64, name: str = "kern", chunked: bool = False
+) -> str:
     """The same nest as a Python function over flat (raveled) arrays.
 
     ``kern(coef, x0, ..., out)`` accumulates exactly like the C
     rendering; the function body is numba-``njit``-able (plain loops,
     flat indexing, no Python objects) and doubles as the semantic
-    reference for the C backend in the tests.
+    reference for the C backend in the tests.  ``chunked=True`` renders
+    the parallel-fallback variant ``kern(coef, lo, hi, x0, ..., out)``
+    whose first output loop covers ``[lo, hi)``.
     """
+    if chunked:
+        _check_parallel("chunk", spec.nout)
     out_loops, sum_loops, tiled = _nest_structure(spec, tile)
     var = lambda p: f"v{p}"  # noqa: E731 - tiny local naming helper
     args = ", ".join(
         [f"x{k}" for k in range(len(spec.operands))] + ["out"]
     )
+    if chunked:
+        args = f"lo, hi, {args}"
     lines = [f"def {name}(coef, {args}):"]
     indent = "    "
     for p in tiled:
         e = spec.extents[p]
         lines.append(f"{indent}for t{p} in range(0, {e}, {tile}):")
         indent += "    "
-    for p in out_loops:
-        lines.append(f"{indent}for v{p} in range({spec.extents[p]}):")
+    for i, p in enumerate(out_loops):
+        if i == 0 and chunked:
+            lines.append(f"{indent}for v{p} in range(lo, hi):")
+        else:
+            lines.append(f"{indent}for v{p} in range({spec.extents[p]}):")
         indent += "    "
     lines.append(f"{indent}acc = 0.0")
     for p in sum_loops:
@@ -207,4 +337,172 @@ def py_source(spec, tile: int = 64, name: str = "kern") -> str:
     lines.append(f"{indent}acc += {product}")
     indent = "    " * (1 + len(tiled) + len(out_loops))
     lines.append(f"{indent}out[{_out_offset(spec, var)}] += coef * acc")
+    return "\n".join(lines) + "\n"
+
+
+# -- fused statement groups --------------------------------------------------
+
+
+def _member_var(nout: int, m: int) -> Callable[[int], str]:
+    """Loop-variable naming of fused member ``m``: shared output
+    variables ``v0..v{nout-1}``, member-private summation variables
+    ``m{m}v{p}`` (each member owns its summation loop positions)."""
+    return lambda p: f"v{p}" if p < nout else f"m{m}v{p}"
+
+
+def c_fused_source(
+    fspec,
+    ctype: str = "double",
+    tile: int = 64,
+    threads: int = 1,
+    parallel: str = "none",
+    simd: bool = False,
+) -> str:
+    """One C function for a whole fused statement group.
+
+    ``kern(coefs, x0, ..., o0, ...)`` walks the *shared* output loops
+    once; inside, each member folds its full summation into a private
+    accumulator and adds ``coefs[m] * acc`` to its output slot.  A
+    member whose operand is another member's output reads the value
+    written earlier in the same iteration (the fusion pass only admits
+    such reads when the operand walks the output space identically), so
+    the intermediate never round-trips through memory -- and
+    ``restrict`` is dropped when that aliasing exists.  Summation-loop
+    tiling does not apply here: a member's sum is completed per output
+    point, which is what makes the in-iteration dependence legal.
+
+    ``parallel``/``threads``/``simd`` behave exactly as in
+    :func:`c_source`; the parallel region is entered once per group
+    call instead of once per statement.
+    """
+    _check_parallel(parallel, fspec.nout)
+    nout = fspec.nout
+    rq = "" if fspec.aliased else " restrict"
+    nops = sum(len(member.operands) for member in fspec.members)
+    args = [f"const double*{rq} coefs"]
+    if parallel == "chunk":
+        args.append("long lo, long hi")
+    args += [f"const {ctype}*{rq} x{g}" for g in range(nops)]
+    args += [f"{ctype}*{rq} o{s}" for s in range(fspec.nslots)]
+    lines: List[str] = [
+        f"/* generated by repro.codegen.cgen ({NEST_IR_VERSION}) */",
+        "/* fused group: "
+        + render_fused_ir(fspec).replace("\n", "; ")
+        + " */",
+        f"void kern({', '.join(args)})",
+        "{",
+    ]
+    indent = "  "
+    omp = parallel == "omp" and threads > 1
+    if omp:
+        lines.append(f"{indent}#pragma omp parallel num_threads({threads})")
+        lines.append(f"{indent}{{")
+        indent += "  "
+    for i in range(nout):
+        e = fspec.out_extents[i]
+        innermost = i == nout - 1
+        if i == 0 and omp:
+            if innermost and simd:
+                lines.append(f"{indent}#pragma omp for simd schedule(static)")
+            else:
+                lines.append(f"{indent}#pragma omp for schedule(static)")
+        elif innermost and simd:
+            lines.append(f"{indent}#pragma omp simd")
+        if i == 0 and parallel == "chunk":
+            lines.append(
+                f"{indent}for (long v{i} = lo; v{i} < hi; ++v{i}) {{"
+            )
+        else:
+            lines.append(
+                f"{indent}for (long v{i} = 0; v{i} < {e}; ++v{i}) {{"
+            )
+        indent += "  "
+    g = 0
+    for m, member in enumerate(fspec.members):
+        var = _member_var(nout, m)
+        sum_loops = list(range(nout, len(member.extents)))
+        lines.append(f"{indent}{{")
+        inner = indent + "  "
+        lines.append(f"{inner}{ctype} acc = 0;")
+        for p in sum_loops:
+            e = member.extents[p]
+            lines.append(
+                f"{inner}for (long {var(p)} = 0; {var(p)} < {e}; "
+                f"++{var(p)}) {{"
+            )
+            inner += "  "
+        product = " * ".join(
+            f"x{g + k}[{_operand_offset(member, k, var)}]"
+            for k in range(len(member.operands))
+        )
+        lines.append(f"{inner}acc += {product};")
+        for _ in sum_loops:
+            inner = inner[:-2]
+            lines.append(f"{inner}}}")
+        slot = fspec.out_slots[m]
+        lines.append(
+            f"{inner}o{slot}[{_out_offset(member, var)}] += "
+            f"({ctype})coefs[{m}] * acc;"
+        )
+        lines.append(f"{indent}}}")
+        g += len(member.operands)
+    for _ in range(nout):
+        indent = indent[:-2]
+        lines.append(f"{indent}}}")
+    if omp:
+        indent = indent[:-2]
+        lines.append(f"{indent}}}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def py_fused_source(
+    fspec, tile: int = 64, name: str = "kern", chunked: bool = False
+) -> str:
+    """The fused group as a Python function over flat arrays.
+
+    ``kern(coefs, x0, ..., o0, ...)`` mirrors :func:`c_fused_source`
+    exactly (numba-``njit``-able; ``coefs`` arrives as a float64
+    array); ``chunked=True`` adds ``lo, hi`` bounds on the first shared
+    output loop for the thread-pool fallback.
+    """
+    if chunked:
+        _check_parallel("chunk", fspec.nout)
+    nout = fspec.nout
+    nops = sum(len(member.operands) for member in fspec.members)
+    args = ["coefs"]
+    if chunked:
+        args += ["lo", "hi"]
+    args += [f"x{g}" for g in range(nops)]
+    args += [f"o{s}" for s in range(fspec.nslots)]
+    lines = [f"def {name}({', '.join(args)}):"]
+    indent = "    "
+    for i in range(nout):
+        if i == 0 and chunked:
+            lines.append(f"{indent}for v{i} in range(lo, hi):")
+        else:
+            lines.append(
+                f"{indent}for v{i} in range({fspec.out_extents[i]}):"
+            )
+        indent += "    "
+    for m, member in enumerate(fspec.members):
+        var = _member_var(nout, m)
+        sum_loops = list(range(nout, len(member.extents)))
+        lines.append(f"{indent}acc = 0.0")
+        inner = indent
+        for p in sum_loops:
+            e = member.extents[p]
+            lines.append(f"{inner}for {var(p)} in range({e}):")
+            inner += "    "
+        product = " * ".join(
+            f"x{sum(len(mm.operands) for mm in fspec.members[:m]) + k}"
+            f"[{_operand_offset(member, k, var)}]"
+            for k in range(len(member.operands))
+        )
+        lines.append(f"{inner}acc += {product}")
+        slot = fspec.out_slots[m]
+        lines.append(
+            f"{indent}o{slot}[{_out_offset(member, var)}] += "
+            f"coefs[{m}] * acc"
+        )
     return "\n".join(lines) + "\n"

@@ -23,7 +23,14 @@ compiled **once** into a :class:`~repro.kernels.plan.KernelPlan`:
   otherwise -- with compiled blobs kept in a content-addressed
   :class:`~repro.kernels.artifacts.ArtifactStore` so warm processes
   load instead of recompiling; environments with no compiler at all
-  degrade per-term to the embedded GEMM/einsum fallback.
+  degrade per-term to the embedded GEMM/einsum fallback;
+* native nests are thread-parallel (``threads=N`` on engine, runner,
+  and pipeline config): OpenMP pragmas when the probed compiler
+  supports ``-fopenmp``, a portable chunked-outer-loop thread pool
+  otherwise, always bit-identical to the sequential nest; and
+  ``fuse=True`` merges consecutive statements sharing an output
+  iteration space into single jointly-parallel fused-group kernels
+  (:class:`~repro.kernels.plan.FusedGroup`).
 
 The plan is a pickle-safe value object, so it rides the content-
 addressed plan cache (:mod:`repro.runtime.plan_cache`): warm
@@ -40,6 +47,7 @@ from repro.kernels.einsum_cache import (
 )
 from repro.kernels.lowering import GemmSpec, exec_gemm, lower_binary_term
 from repro.kernels.native import (
+    FusedSpec,
     NativeEngine,
     NativeSpec,
     compiler_fingerprint,
@@ -51,6 +59,7 @@ from repro.kernels.native import (
     native_backend,
 )
 from repro.kernels.plan import (
+    FusedGroup,
     KernelPlan,
     KernelRunner,
     StatementPlan,
@@ -62,6 +71,8 @@ __all__ = [
     "ArtifactStore",
     "artifact_key",
     "BufferArena",
+    "FusedGroup",
+    "FusedSpec",
     "NativeEngine",
     "NativeSpec",
     "compiler_fingerprint",

@@ -15,13 +15,28 @@ writes its full output (``out=`` / ``copyto``), never reads one.
 A disabled arena (``BufferArena(enabled=False)``) degrades to plain
 allocation, which keeps the runner usable where buffer retention is
 undesirable.
+
+The arena is **single-threaded by design** (free-list pops and counter
+updates are unsynchronized), and that contract is now *enforced*: the
+arena binds to the first thread that takes a buffer, and any take or
+release from another thread while buffers are outstanding raises a
+structured :class:`~repro.robustness.errors.ReproError` instead of
+silently corrupting the pool.  When nothing is outstanding the arena
+rebinds to the calling thread, so a runner built on one thread and
+driven from another (the server's executor threads) keeps working --
+what is forbidden is *concurrent* use from inside a parallel region;
+nest-level parallelism belongs to the compiled kernels
+(:mod:`repro.kernels.native`), which never touch the arena.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import threading
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.robustness.errors import ReproError
 
 __all__ = ["BufferArena"]
 
@@ -41,6 +56,29 @@ class BufferArena:
         #: buffers taken and not yet released (leak detector: a runner
         #: that unwinds cleanly leaves this at its pre-run value)
         self.outstanding = 0
+        #: ident of the thread the arena is currently bound to
+        self._owner: Optional[int] = None
+
+    def _guard(self, op: str) -> None:
+        """Enforce the single-threaded contract (see module docstring)."""
+        me = threading.get_ident()
+        if self._owner is None or self._owner == me:
+            self._owner = me
+            return
+        if self.outstanding == 0:
+            # quiescent: safe to hand the whole arena to a new thread
+            self._owner = me
+            return
+        raise ReproError(
+            f"BufferArena.{op} from thread {me} while thread "
+            f"{self._owner} holds {self.outstanding} outstanding "
+            "buffer(s): the arena is single-threaded; drive each "
+            "KernelRunner from one thread (nest parallelism lives in "
+            "the compiled kernels, not the arena)",
+            stage="execution",
+            op=op,
+            outstanding=self.outstanding,
+        )
 
     @staticmethod
     def _key(shape: Tuple[int, ...], dtype) -> Tuple[Tuple[int, ...], str]:
@@ -51,6 +89,7 @@ class BufferArena:
 
         Contents are undefined (like ``np.empty``); callers overwrite.
         """
+        self._guard("take")
         self.outstanding += 1
         if self.enabled:
             stack = self._free.get(self._key(shape, dtype))
@@ -67,6 +106,7 @@ class BufferArena:
         Only buffers obtained from :meth:`take` should come back; the
         caller must not touch the array afterwards.
         """
+        self._guard("release")
         self.outstanding -= 1
         if not self.enabled:
             return

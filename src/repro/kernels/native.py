@@ -14,20 +14,49 @@ machine code:
   compiler (``cc``/``gcc``/``clang``, discovered once) into a shared
   object loaded through :mod:`ctypes`.
 
+Nests are **thread-parallel**: ``function(spec, dtype, threads=N)``
+compiles a variant that distributes the outermost output loop over
+``N`` threads.  The strategy is probed, never assumed:
+
+* the cc backend probes the compiler for working ``-fopenmp`` once
+  (cached per compiler path; ``REPRO_NO_OPENMP=1`` disables it) and
+  emits ``#pragma omp parallel for`` nests plus ``#pragma omp simd``
+  on the innermost output loop;
+* without OpenMP (and always under numba), the engine falls back to a
+  portable *chunked* strategy: the kernel gains ``(lo, hi)`` bounds on
+  the outermost output loop and a thread pool drives disjoint slices
+  (ctypes calls release the GIL; numba kernels are ``nogil``).
+
+Both strategies keep every output element on exactly one thread with
+an unchanged inner accumulation order, so parallel nests are
+bit-identical to the sequential ones.  Thread count and strategy are
+part of the artifact flags, so every ``(nest, dtype, threads)``
+variant has its own content-addressed key and memoized function.
+
+Whole *fused statement groups* (:class:`FusedSpec`, built by the
+cross-statement fusion pass in :mod:`repro.kernels.plan`) compile the
+same way: one kernel walks the shared output loops once and evaluates
+every member statement per point, entering the parallel region once
+per group instead of once per statement.
+
 Compiled objects are cached in a content-addressed
 :class:`~repro.kernels.artifacts.ArtifactStore` keyed by sha256 of the
 nest IR + dtype + backend + compiler identity + flags + package version
 (:func:`repro.kernels.artifacts.artifact_key`), so a warm hit loads the
 existing shared object with **zero** compiler invocations -- in-process
 through the function cache, across processes through the store's disk
-tier.
+tier.  Concurrent requests for the *same* key coalesce onto one
+compile (per-key in-flight events; lookup and publication under the
+engine lock, compiler forks outside it), so an 8-thread stampede costs
+one compiler invocation.
 
 Unavailability is never an error: an environment with neither numba
 nor a C compiler reports :meth:`NativeEngine.available` ``False`` and
 every caller (pipeline, runner, autotuner) degrades to the GEMM/einsum
-path with a structured note.  A nest whose individual compilation
-fails is remembered as failed (no retry storms) and its term falls
-back the same way.
+path with a structured note; a compiler without OpenMP degrades to the
+chunked strategy with a structured note.  A nest whose individual
+compilation fails is remembered as failed (no retry storms) and its
+term falls back the same way.
 
 Unlike the GEMM lowering, native nests are *total* over array terms:
 diagonals (repeated indices within an operand) and 3+-operand products
@@ -43,7 +72,7 @@ import subprocess
 import tempfile
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -60,6 +89,7 @@ def _cgen():
 
 __all__ = [
     "NativeSpec",
+    "FusedSpec",
     "NativeEngine",
     "lower_native_term",
     "default_engine",
@@ -72,6 +102,9 @@ __all__ = [
 
 #: optimization flags baked into every cc compile (and the artifact key)
 CC_FLAGS: Tuple[str, ...] = ("-O3", "-fPIC", "-shared")
+
+#: the OpenMP flag probed per compiler and appended when it works
+OMP_FLAG = "-fopenmp"
 
 #: summation-loop block size of the emitted nests
 NATIVE_TILE = 64
@@ -103,6 +136,36 @@ class NativeSpec:
     def ir(self) -> str:
         """The deterministic nest text that addresses artifacts."""
         return _cgen().render_nest_ir(self)
+
+
+@dataclass(frozen=True)
+class FusedSpec:
+    """A fused statement group: member nests sharing one output space.
+
+    Built by the cross-statement fusion pass
+    (:func:`repro.kernels.plan.compile_kernel_plan` with ``fuse=True``)
+    from consecutive statements whose outputs walk the same iteration
+    space.  ``members`` are the flat-term nests in statement order;
+    ``out_slots[m]`` is the output array (of ``nslots`` distinct
+    results) member ``m`` accumulates into; ``aliased`` records that
+    some member reads another member's output, which drops ``restrict``
+    from the emitted kernel.
+    """
+
+    nout: int
+    out_extents: Tuple[int, ...]
+    members: Tuple[NativeSpec, ...]
+    out_slots: Tuple[int, ...]
+    nslots: int
+    aliased: bool = False
+
+    def ir(self) -> str:
+        """The deterministic group text that addresses artifacts."""
+        return _cgen().render_fused_ir(self)
+
+
+#: anything the engine can compile
+AnySpec = Union[NativeSpec, FusedSpec]
 
 
 def lower_native_term(
@@ -190,6 +253,84 @@ def _numba():
         return None
 
 
+# -- OpenMP capability probing -----------------------------------------------
+
+_OMP_PROBE_SRC = """\
+#include <omp.h>
+int probe(void)
+{
+  int n = 0;
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp atomic
+    n += 1;
+  }
+  return n;
+}
+"""
+
+_omp_cache: Dict[str, Tuple[bool, str]] = {}
+_omp_lock = threading.Lock()
+
+
+def _openmp_supported(cc: Optional[str]) -> Tuple[bool, str]:
+    """Whether compiler ``cc`` builds a working ``-fopenmp`` object.
+
+    ``(ok, reason)`` -- the reason explains a ``False`` so callers can
+    surface a structured degradation note.  Probe results are cached
+    per compiler path (the env kill-switch is consulted every call, so
+    tests and operators can flip ``REPRO_NO_OPENMP`` at runtime).
+    Probing never raises: a missing, broken, or OpenMP-less compiler
+    is an answer, not an error.
+    """
+    if cc is None:
+        return False, "no C compiler"
+    if os.environ.get("REPRO_NO_OPENMP"):
+        return False, "OpenMP disabled (REPRO_NO_OPENMP is set)"
+    with _omp_lock:
+        cached = _omp_cache.get(cc)
+    if cached is not None:
+        return cached
+    result: Tuple[bool, str]
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-omp-probe-") as tmp:
+            c_path = os.path.join(tmp, "probe.c")
+            so_path = os.path.join(tmp, "probe.so")
+            with open(c_path, "w", encoding="utf-8") as handle:
+                handle.write(_OMP_PROBE_SRC)
+            proc = subprocess.run(
+                [cc, *CC_FLAGS, OMP_FLAG, "-o", so_path, c_path],
+                capture_output=True,
+                text=True,
+                timeout=60,
+                check=False,
+            )
+        if proc.returncode == 0:
+            result = True, "OpenMP supported"
+        else:
+            detail = (proc.stderr or proc.stdout or "").strip()
+            detail = detail.splitlines()[0][:160] if detail else "exit != 0"
+            result = False, f"compiler has no working {OMP_FLAG} ({detail})"
+    except (OSError, subprocess.SubprocessError) as exc:
+        result = False, f"OpenMP probe failed ({type(exc).__name__}: {exc})"
+    with _omp_lock:
+        _omp_cache[cc] = result
+    return result
+
+
+def _chunk_bounds(extent: int, nthreads: int) -> List[Tuple[int, int]]:
+    """Disjoint, exhaustive ``[lo, hi)`` slices of the outer loop."""
+    n = max(1, min(nthreads, extent))
+    base, rem = divmod(extent, n)
+    bounds = []
+    lo = 0
+    for i in range(n):
+        hi = lo + base + (1 if i < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
 # -- the engine --------------------------------------------------------------
 
 
@@ -204,15 +345,22 @@ class NativeEngine:
     ``store`` is the content-addressed :class:`ArtifactStore` (a
     private in-memory store by default -- pass one with a ``directory``
     to share compiled objects across processes); ``tile`` is the
-    summation blocking factor baked into emitted nests.
+    summation blocking factor baked into emitted nests; ``threads`` is
+    the default thread count of compiled nests (``function`` calls can
+    override it per nest; the count is always capped by the outer
+    output extent).
 
     Thread-safe: the serving layer drives one process-wide engine from
-    concurrent executor threads.
+    concurrent executor threads.  Function memoization is per artifact
+    key: lookup and publication happen under the engine lock, compiles
+    run outside it, and concurrent requests for one key wait on a
+    per-key event instead of forking the compiler twice.
 
     Counters: ``compile_invocations`` (compiler forks / JIT builds),
     ``store_loads`` (functions revived from stored bytes with no
     compile), ``failures`` (specs whose compile failed; remembered so
-    they are not retried).
+    they are not retried), ``parallel_functions`` / ``fused_functions``
+    (loaded nests that are threaded / fused groups).
     """
 
     def __init__(
@@ -220,20 +368,27 @@ class NativeEngine:
         store: Optional[ArtifactStore] = None,
         backend: Optional[str] = None,
         tile: int = NATIVE_TILE,
+        threads: int = 1,
     ) -> None:
         if backend not in (None, "numba", "cc", "none"):
             raise ValueError(
                 f"unknown native backend {backend!r} "
                 "(use 'numba', 'cc', or 'none')"
             )
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
         self.store = store if store is not None else ArtifactStore()
         self.tile = tile
+        self.threads = threads
         self._lock = threading.Lock()
         self._functions: Dict[str, Callable] = {}
         self._failed: Dict[str, str] = {}
+        self._inflight: Dict[str, threading.Event] = {}
         self._scratch: Optional[tempfile.TemporaryDirectory] = None
         self.compile_invocations = 0
         self.store_loads = 0
+        self.parallel_functions = 0
+        self.fused_functions = 0
         self._numba = _numba() if backend in (None, "numba") else None
         self._cc = _find_cc() if backend in (None, "cc") else None
         if backend == "numba" and self._numba is None:
@@ -267,82 +422,248 @@ class NativeEngine:
             return _cc_identity(self._cc)
         return "none"
 
-    def flags(self) -> Tuple[str, ...]:
-        base = CC_FLAGS if self.backend == "cc" else ()
-        return base + (f"tile={self.tile}",)
+    def openmp(self) -> bool:
+        """Whether compiled nests can use OpenMP pragmas here."""
+        if self.backend != "cc":
+            return False
+        ok, _ = _openmp_supported(self._cc)
+        return ok
 
-    def key(self, spec: NativeSpec, dtype) -> str:
-        """The content-addressed artifact key of ``(spec, dtype)`` here."""
+    def parallel_strategy(self, threads: Optional[int] = None) -> str:
+        """How ``threads`` would be realized: ``omp``/``chunk``/``none``.
+
+        ``none`` means sequential (one thread requested, or no backend);
+        individual nests additionally fall back to ``none`` when their
+        outer output extent cannot feed a second thread.
+        """
+        eff = self.threads if threads is None else threads
+        if eff <= 1 or self.backend is None:
+            return "none"
+        if self.openmp():
+            return "omp"
+        return "chunk"
+
+    def parallel_note(self, threads: Optional[int] = None) -> Optional[str]:
+        """A structured degradation note when ``threads`` cannot use
+        OpenMP (``None`` when nothing degraded)."""
+        eff = self.threads if threads is None else threads
+        if eff <= 1 or self.backend is None:
+            return None
+        if self.backend == "numba":
+            return (
+                f"kernel threads={eff}: numba backend has no OpenMP "
+                "emission; using the chunked outer-loop fallback "
+                "(njit nogil thread pool)"
+            )
+        ok, reason = _openmp_supported(self._cc)
+        if ok:
+            return None
+        return (
+            f"kernel threads={eff}: {reason}; using the chunked "
+            "outer-loop fallback (ctypes thread pool)"
+        )
+
+    def flags(
+        self, threads: Optional[int] = None, spec: Optional[AnySpec] = None
+    ) -> Tuple[str, ...]:
+        """The flag tuple entering artifact keys (optionally for one
+        nest's effective thread count)."""
+        eff, strategy, omp_ok = self._resolve(spec, threads)
+        base = CC_FLAGS if self.backend == "cc" else ()
+        if self.backend == "cc" and omp_ok:
+            base = base + (OMP_FLAG,)
+        return base + (f"tile={self.tile}", f"threads={eff}",
+                       f"par={strategy}")
+
+    def _resolve(
+        self, spec: Optional[AnySpec], threads: Optional[int]
+    ) -> Tuple[int, str, bool]:
+        """``(effective threads, strategy, openmp available)`` for one
+        nest.  Thread count is capped by the outer output extent (the
+        distributed loop); a scalar output runs sequentially."""
+        eff = self.threads if threads is None else threads
+        if eff < 1:
+            raise ValueError(f"threads must be >= 1, got {eff}")
+        omp_ok = self.openmp()
+        if spec is not None:
+            if isinstance(spec, FusedSpec):
+                outer = spec.out_extents[0] if spec.nout else 0
+            else:
+                outer = spec.extents[0] if spec.nout else 0
+            eff = max(1, min(eff, outer)) if outer else 1
+        if eff <= 1 or self.backend is None:
+            return eff, "none", omp_ok
+        return eff, ("omp" if omp_ok else "chunk"), omp_ok
+
+    def key(
+        self, spec: AnySpec, dtype, threads: Optional[int] = None
+    ) -> str:
+        """The content-addressed artifact key of ``(spec, dtype,
+        threads)`` here."""
         return artifact_key(
             spec.ir(),
             np.dtype(dtype).str,
             self.backend or "none",
             self.compiler_identity(),
-            self.flags(),
+            self.flags(threads, spec),
         )
 
     # -- compilation ------------------------------------------------------
 
     def function(
-        self, spec: NativeSpec, dtype=np.float64
+        self, spec: AnySpec, dtype=np.float64, threads: Optional[int] = None
     ) -> Optional[Callable]:
-        """A callable ``fn(coef, ops, out)`` for the nest, or ``None``.
+        """A callable for the nest, or ``None``.
 
-        ``ops`` is the sequence of C-contiguous operand arrays and
-        ``out`` the C-contiguous output buffer, all of ``dtype``; the
-        call **accumulates** (the caller zeroes ``out`` first when it
-        wants assignment).  Returns ``None`` when the engine is
-        unavailable, the dtype unsupported, or compilation failed
-        (failures are remembered, not retried).
+        For a :class:`NativeSpec` the callable is ``fn(coef, ops, out)``
+        -- ``ops`` the sequence of C-contiguous operand arrays, ``out``
+        the C-contiguous output buffer, all of ``dtype``; the call
+        **accumulates** (the caller zeroes ``out`` first when it wants
+        assignment).  For a :class:`FusedSpec` it is
+        ``fn(coefs, ops, outs)`` with one coefficient per member, the
+        members' operands concatenated, and one output per slot.
+
+        ``threads`` overrides the engine default for this nest; the
+        compiled variant is memoized per ``(nest, dtype, threads)``
+        key.  Returns ``None`` when the engine is unavailable, the
+        dtype unsupported, or compilation failed (failures are
+        remembered, not retried).  Concurrent calls for one key
+        coalesce onto a single compile.
         """
         if self.backend is None:
             return None
         dtype = np.dtype(dtype)
         if dtype.name not in _CTYPES:
             return None
-        key = self.key(spec, dtype)
-        with self._lock:
-            fn = self._functions.get(key)
-            if fn is not None:
-                return fn
-            if key in self._failed:
-                return None
-            try:
-                if self.backend == "numba":
-                    fn = self._build_numba(spec, dtype, key)
-                else:
-                    fn = self._build_cc(spec, dtype, key)
-            except Exception as exc:  # compile errors degrade, never raise
+        eff, strategy, _ = self._resolve(spec, threads)
+        key = self.key(spec, dtype, threads)
+        while True:
+            with self._lock:
+                fn = self._functions.get(key)
+                if fn is not None:
+                    return fn
+                if key in self._failed:
+                    return None
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    break
+            # someone else is compiling this key: wait, then re-read
+            event.wait()
+        try:
+            if self.backend == "numba":
+                fn = self._build_numba(spec, dtype, key, eff, strategy)
+            else:
+                fn = self._build_cc(spec, dtype, key, eff, strategy)
+        except Exception as exc:  # compile errors degrade, never raise
+            with self._lock:
                 self._failed[key] = f"{type(exc).__name__}: {exc}"
-                return None
-            self._functions[key] = fn
-            return fn
-
-    def failure(self, spec: NativeSpec, dtype=np.float64) -> Optional[str]:
-        """The recorded compile failure for ``(spec, dtype)``, if any."""
+                self._inflight.pop(key, None)
+            event.set()
+            return None
         with self._lock:
-            return self._failed.get(self.key(spec, dtype))
+            self._functions[key] = fn
+            if eff > 1:
+                self.parallel_functions += 1
+            if isinstance(spec, FusedSpec):
+                self.fused_functions += 1
+            self._inflight.pop(key, None)
+        event.set()
+        return fn
+
+    def failure(
+        self, spec: AnySpec, dtype=np.float64, threads: Optional[int] = None
+    ) -> Optional[str]:
+        """The recorded compile failure for ``(spec, dtype)``, if any."""
+        key = self.key(spec, dtype, threads)
+        with self._lock:
+            return self._failed.get(key)
+
+    # -- source emission (shared by both backends) ------------------------
+
+    def _c_source(
+        self, spec: AnySpec, dtype, eff: int, strategy: str
+    ) -> str:
+        cgen = _cgen()
+        ctype = _CTYPES[np.dtype(dtype).name]
+        simd = self.openmp()
+        if isinstance(spec, FusedSpec):
+            return cgen.c_fused_source(
+                spec, ctype, self.tile,
+                threads=eff, parallel=strategy, simd=simd,
+            )
+        return cgen.c_source(
+            spec, ctype, self.tile,
+            threads=eff, parallel=strategy, simd=simd,
+        )
+
+    def _py_source(self, spec: AnySpec, strategy: str) -> str:
+        cgen = _cgen()
+        chunked = strategy == "chunk"
+        if isinstance(spec, FusedSpec):
+            return cgen.py_fused_source(spec, tile=self.tile,
+                                        chunked=chunked)
+        return cgen.py_source(spec, tile=self.tile, chunked=chunked)
 
     # numba: the artifact is the in-process dispatcher; the store keeps
     # the rendered source so warm processes skip nothing but the text.
-    def _build_numba(self, spec: NativeSpec, dtype, key: str) -> Callable:
-        source = _cgen().py_source(spec, tile=self.tile)
+    def _build_numba(
+        self, spec: AnySpec, dtype, key: str, eff: int, strategy: str
+    ) -> Callable:
+        source = self._py_source(spec, strategy)
         namespace: Dict[str, object] = {}
         exec(compile(source, f"<nest {key[:12]}>", "exec"), namespace)
-        self.compile_invocations += 1
-        jitted = self._numba.njit(cache=False)(namespace["kern"])
-        nops = len(spec.operands)
+        with self._lock:
+            self.compile_invocations += 1
+        chunked = strategy == "chunk"
+        jitted = self._numba.njit(cache=False, nogil=chunked)(
+            namespace["kern"]
+        )
+        fused = isinstance(spec, FusedSpec)
+        nops = (
+            sum(len(m.operands) for m in spec.members)
+            if fused
+            else len(spec.operands)
+        )
+        if fused:
+            outer = spec.out_extents[0]
+
+            def call(coefs, ops, outs) -> None:
+                carr = np.ascontiguousarray(coefs, dtype=np.float64)
+                flat = [ops[k].ravel() for k in range(nops)]
+                flat_outs = [o.ravel() for o in outs]
+                if chunked:
+                    _run_chunks(
+                        lambda lo, hi: jitted(carr, lo, hi, *flat,
+                                              *flat_outs),
+                        outer, eff,
+                    )
+                else:
+                    jitted(carr, *flat, *flat_outs)
+
+            return call
+        outer = spec.extents[0] if spec.nout else 0
 
         def call(coef: float, ops, out) -> None:
             flat = [ops[k].ravel() for k in range(nops)]
-            jitted(float(coef), *flat, out.ravel())
+            if chunked:
+                _run_chunks(
+                    lambda lo, hi: jitted(float(coef), lo, hi, *flat,
+                                          out.ravel()),
+                    outer, eff,
+                )
+            else:
+                jitted(float(coef), *flat, out.ravel())
 
         return call
 
-    def _build_cc(self, spec: NativeSpec, dtype, key: str) -> Callable:
+    def _build_cc(
+        self, spec: AnySpec, dtype, key: str, eff: int, strategy: str
+    ) -> Callable:
         path = self._load_path(key)  # counts store_loads on a warm hit
         if path is None:
-            blob = self._compile_cc(spec, dtype, key)
+            blob = self._compile_cc(spec, dtype, key, eff, strategy)
             path = self.store.disk_path(key)
             if path is None:
                 path = self._spill(key, blob)
@@ -351,13 +672,43 @@ class NativeEngine:
         ptr = ctypes.POINTER(
             ctypes.c_double if dtype == np.float64 else ctypes.c_float
         )
+        dptr = ctypes.POINTER(ctypes.c_double)
+        chunked = strategy == "chunk"
+        bounds = [ctypes.c_long, ctypes.c_long] if chunked else []
+        fused = isinstance(spec, FusedSpec)
+        if fused:
+            nops = sum(len(m.operands) for m in spec.members)
+            outer = spec.out_extents[0]
+            fn.argtypes = [dptr] + bounds + [ptr] * (nops + spec.nslots)
+            fn.restype = None
+
+            def call(coefs, ops, outs) -> None:
+                carr = np.ascontiguousarray(coefs, dtype=np.float64)
+                args = [ops[k].ctypes.data_as(ptr) for k in range(nops)]
+                args += [o.ctypes.data_as(ptr) for o in outs]
+                cp = carr.ctypes.data_as(dptr)
+                if chunked:
+                    _run_chunks(
+                        lambda lo, hi: fn(cp, lo, hi, *args), outer, eff
+                    )
+                else:
+                    fn(cp, *args)
+
+            call._lib = lib  # keep the shared object mapped while callable
+            return call
         nops = len(spec.operands)
-        fn.argtypes = [ctypes.c_double] + [ptr] * (nops + 1)
+        outer = spec.extents[0] if spec.nout else 0
+        fn.argtypes = [ctypes.c_double] + bounds + [ptr] * (nops + 1)
         fn.restype = None
 
         def call(coef: float, ops, out) -> None:
             args = [ops[k].ctypes.data_as(ptr) for k in range(nops)]
-            fn(ctypes.c_double(coef), *args, out.ctypes.data_as(ptr))
+            args.append(out.ctypes.data_as(ptr))
+            c = ctypes.c_double(coef)
+            if chunked:
+                _run_chunks(lambda lo, hi: fn(c, lo, hi, *args), outer, eff)
+            else:
+                fn(c, *args)
 
         call._lib = lib  # keep the shared object mapped while callable
         return call
@@ -368,22 +719,29 @@ class NativeEngine:
         if path is not None:
             # count the store hit (promotes bytes into the memory tier)
             self.store.get(key)
-            self.store_loads += 1
+            with self._lock:
+                self.store_loads += 1
             return path
         found = self.store.get(key)
         if found is not None:
             blob, _tier = found
-            self.store_loads += 1  # memory-tier revival, no compile
+            with self._lock:
+                self.store_loads += 1  # memory-tier revival, no compile
             return self._spill(key, blob)
         return None
 
+    def _scratch_dir(self) -> str:
+        """Engine scratch directory (created once, lock-protected)."""
+        with self._lock:
+            if self._scratch is None:
+                self._scratch = tempfile.TemporaryDirectory(
+                    prefix="repro-native-"
+                )
+            return self._scratch.name
+
     def _spill(self, key: str, blob: bytes) -> str:
         """Write artifact bytes to engine scratch so ctypes can load."""
-        if self._scratch is None:
-            self._scratch = tempfile.TemporaryDirectory(
-                prefix="repro-native-"
-            )
-        path = os.path.join(self._scratch.name, f"{key}.so")
+        path = os.path.join(self._scratch_dir(), f"{key}.so")
         if not os.path.exists(path):
             tmp = path + ".tmp"
             with open(tmp, "wb") as handle:
@@ -391,20 +749,21 @@ class NativeEngine:
             os.replace(tmp, path)
         return path
 
-    def _compile_cc(self, spec: NativeSpec, dtype, key: str) -> bytes:
-        source = _cgen().c_source(
-            spec, _CTYPES[np.dtype(dtype).name], self.tile
-        )
-        if self._scratch is None:
-            self._scratch = tempfile.TemporaryDirectory(
-                prefix="repro-native-"
-            )
-        c_path = os.path.join(self._scratch.name, f"{key}.c")
-        so_path = os.path.join(self._scratch.name, f"{key}.so")
+    def _compile_cc(
+        self, spec: AnySpec, dtype, key: str, eff: int, strategy: str
+    ) -> bytes:
+        source = self._c_source(spec, dtype, eff, strategy)
+        scratch = self._scratch_dir()
+        c_path = os.path.join(scratch, f"{key}.c")
+        so_path = os.path.join(scratch, f"{key}.so")
         with open(c_path, "w", encoding="utf-8") as handle:
             handle.write(source)
-        cmd = [self._cc, *CC_FLAGS, "-o", so_path, c_path]
-        self.compile_invocations += 1
+        flags = list(CC_FLAGS)
+        if self.openmp():
+            flags.append(OMP_FLAG)
+        cmd = [self._cc, *flags, "-o", so_path, c_path]
+        with self._lock:
+            self.compile_invocations += 1
         proc = subprocess.run(
             cmd, capture_output=True, text=True, timeout=120, check=False
         )
@@ -419,6 +778,18 @@ class NativeEngine:
 
     # -- observability ----------------------------------------------------
 
+    def _omp_status(self) -> str:
+        """Probe status without forking a compiler (for stats)."""
+        if self.backend != "cc":
+            return "n/a"
+        if os.environ.get("REPRO_NO_OPENMP"):
+            return "disabled"
+        with _omp_lock:
+            cached = _omp_cache.get(self._cc)
+        if cached is None:
+            return "unprobed"
+        return "yes" if cached[0] else "no"
+
     def stats(self) -> Dict[str, object]:
         """JSON-safe snapshot for ``/healthz`` and stage reports."""
         with self._lock:
@@ -426,7 +797,11 @@ class NativeEngine:
                 "backend": self.backend or "none",
                 "compiler": self.compiler_identity(),
                 "available": self.available(),
+                "openmp": self._omp_status(),
+                "threads": self.threads,
                 "functions_loaded": len(self._functions),
+                "parallel_functions": self.parallel_functions,
+                "fused_functions": self.fused_functions,
                 "compile_invocations": self.compile_invocations,
                 "store_loads": self.store_loads,
                 "failures": len(self._failed),
@@ -436,10 +811,36 @@ class NativeEngine:
     def describe(self) -> str:
         s = self.stats()
         return (
-            f"NativeEngine({s['backend']}): {s['functions_loaded']} loaded, "
+            f"NativeEngine({s['backend']}): {s['functions_loaded']} loaded "
+            f"({s['parallel_functions']} parallel, "
+            f"{s['fused_functions']} fused), "
             f"{s['compile_invocations']} compiled, "
             f"{s['store_loads']} store loads, {s['failures']} failures"
         )
+
+
+def _run_chunks(invoke: Callable[[int, int], None], extent: int,
+                threads: int) -> None:
+    """Drive ``invoke(lo, hi)`` over disjoint outer-loop slices from a
+    transient thread pool (the chunked fallback strategy).
+
+    ctypes foreign calls and ``nogil`` numba kernels release the GIL,
+    so the slices genuinely overlap; slices are disjoint in the output,
+    so no synchronization is needed beyond the joins.
+    """
+    bounds = _chunk_bounds(extent, threads)
+    if len(bounds) == 1:
+        invoke(*bounds[0])
+        return
+    workers = [
+        threading.Thread(target=invoke, args=bound, daemon=True)
+        for bound in bounds[1:]
+    ]
+    for worker in workers:
+        worker.start()
+    invoke(*bounds[0])
+    for worker in workers:
+        worker.join()
 
 
 # -- the process-wide default engine ----------------------------------------
@@ -466,16 +867,19 @@ def configure_default_engine(
     directory: Optional[str] = None,
     backend: Optional[str] = None,
     maxsize: int = 256,
+    threads: int = 1,
 ) -> NativeEngine:
     """Replace the process-wide engine (CLI ``--artifact-store``, tests).
 
     ``directory`` enables the persistent artifact tier so compiled
-    objects survive the process and are shared with concurrent ones.
+    objects survive the process and are shared with concurrent ones;
+    ``threads`` sets the engine's default nest thread count.
     """
     global _default_engine
     engine = NativeEngine(
         store=ArtifactStore(maxsize=maxsize, directory=directory),
         backend=backend,
+        threads=threads,
     )
     with _default_lock:
         _default_engine = engine

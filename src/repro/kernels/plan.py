@@ -27,6 +27,7 @@ paths are bit-for-bit.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -44,10 +45,21 @@ __all__ = [
     "OperandSpec",
     "TermPlan",
     "StatementPlan",
+    "FusedGroup",
     "KernelPlan",
     "KernelRunner",
     "compile_kernel_plan",
 ]
+
+
+def _in_spmd_worker() -> bool:
+    """Whether this process is an SPMD worker of the process backend.
+
+    Checked lazily through :data:`sys.modules` so importing the kernel
+    layer never drags in the multiprocessing runtime.
+    """
+    mod = sys.modules.get("repro.runtime.process")
+    return bool(mod is not None and getattr(mod, "IS_SPMD_WORKER", False))
 
 
 @dataclass(frozen=True)
@@ -99,6 +111,25 @@ class StatementPlan:
 
 
 @dataclass(frozen=True)
+class FusedGroup:
+    """A run of consecutive statements fused into one compiled nest.
+
+    ``statements[start:stop]`` of the owning plan execute as one
+    :class:`~repro.kernels.native.FusedSpec` kernel walking the shared
+    output space once.  ``members[m] == (stmt_idx, term_idx)`` maps the
+    fused spec's member ``m`` back to its term plan (coefficient
+    lookup); ``outputs[s]`` names the result array of output slot
+    ``s``.  Pure value object -- pickle-safe, rides the plan cache.
+    """
+
+    start: int
+    stop: int
+    spec: "FusedSpec"
+    members: Tuple[Tuple[int, int], ...]
+    outputs: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
 class KernelPlan:
     """A compiled formula sequence: statements + liveness + lowering stats."""
 
@@ -114,6 +145,10 @@ class KernelPlan:
     mode: str = "gemm"
     #: terms carrying a compiled-nest lowering (mode 'native' only)
     native_terms: int = 0
+    #: cross-statement fusion groups (mode 'native' with fuse=True)
+    fused_groups: Tuple[FusedGroup, ...] = ()
+    #: statements covered by a fusion group
+    fused_statements: int = 0
 
     def describe(self) -> str:
         text = (
@@ -123,13 +158,149 @@ class KernelPlan:
         )
         if self.native_terms:
             text += f", {self.native_terms} native nests"
+        if self.fused_groups:
+            text += (
+                f", {len(self.fused_groups)} fused groups covering "
+                f"{self.fused_statements} statements"
+            )
         return text + f"; outputs {', '.join(self.outputs)})"
+
+
+def _statement_fusable(sp: StatementPlan) -> bool:
+    """Whether a statement can join a fused group at all: plain
+    assignment (no ``+=`` seeding), at least one output loop to share,
+    and every term carrying a compiled-nest lowering."""
+    return (
+        len(sp.out_shape) >= 1
+        and not sp.accumulate
+        and bool(sp.terms)
+        and all(t.native is not None for t in sp.terms)
+    )
+
+
+def _fuse_groups(stmt_plans: Sequence[StatementPlan]) -> Tuple[FusedGroup, ...]:
+    """The cross-statement fusion pass: maximal runs of consecutive
+    statements sharing one output iteration space.
+
+    Legality, checked per candidate statement:
+
+    * same ``out_shape`` as the group (the shared loops) and distinct
+      result names (one output slot per member);
+    * no statement reads its *own* result (re-assignment semantics need
+      the old value, which fusion zeroes away);
+    * no statement writes a name an **earlier** group member read (that
+      member wants the pre-group value; fused execution would hand it
+      the new one);
+    * a member may read an earlier member's output only when the
+      operand walks the output space *identically* (axis map
+      ``(0..nout-1)``): the producer completes that element in the same
+      fused iteration before the consumer reads it.  Such intra-group
+      reads set ``aliased`` (dropping ``restrict`` from the kernel).
+
+    Groups of one are not groups; the statement stays on the unfused
+    path.
+    """
+    from repro.kernels.native import FusedSpec
+
+    groups: List[FusedGroup] = []
+    i = 0
+    n = len(stmt_plans)
+    while i < n:
+        sp0 = stmt_plans[i]
+        if not _statement_fusable(sp0) or any(
+            op.name == sp0.result
+            for t in sp0.terms
+            for op in t.operands
+            if not op.is_function
+        ):
+            i += 1
+            continue
+        run = [i]
+        results = {sp0.result}
+        reads = {
+            op.name
+            for t in sp0.terms
+            for op in t.operands
+            if not op.is_function
+        }
+        aliased = False
+        j = i + 1
+        while j < n:
+            sp = stmt_plans[j]
+            ok = (
+                _statement_fusable(sp)
+                and sp.out_shape == sp0.out_shape
+                and sp.result not in results
+                and sp.result not in reads
+            )
+            member_alias = False
+            if ok:
+                for t in sp.terms:
+                    identity = tuple(range(t.native.nout))
+                    for k, op in enumerate(t.operands):
+                        if op.is_function:
+                            continue
+                        if op.name == sp.result:
+                            ok = False
+                            break
+                        if op.name in results:
+                            if t.native.operands[k] != identity:
+                                ok = False
+                                break
+                            member_alias = True
+                    if not ok:
+                        break
+            if not ok:
+                break
+            run.append(j)
+            results.add(sp.result)
+            reads |= {
+                op.name
+                for t in sp.terms
+                for op in t.operands
+                if not op.is_function
+            }
+            aliased = aliased or member_alias
+            j += 1
+        if len(run) >= 2:
+            outputs = tuple(stmt_plans[k].result for k in run)
+            slot_of = {name: s for s, name in enumerate(outputs)}
+            members: List = []
+            member_ids: List[Tuple[int, int]] = []
+            slots: List[int] = []
+            for k in run:
+                for ti, t in enumerate(stmt_plans[k].terms):
+                    members.append(t.native)
+                    member_ids.append((k, ti))
+                    slots.append(slot_of[stmt_plans[k].result])
+            spec = FusedSpec(
+                nout=len(sp0.out_shape),
+                out_extents=sp0.out_shape,
+                members=tuple(members),
+                out_slots=tuple(slots),
+                nslots=len(outputs),
+                aliased=aliased,
+            )
+            groups.append(
+                FusedGroup(
+                    start=run[0],
+                    stop=run[-1] + 1,
+                    spec=spec,
+                    members=tuple(member_ids),
+                    outputs=outputs,
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return tuple(groups)
 
 
 def compile_kernel_plan(
     statements: Sequence[Statement],
     bindings: Optional[Bindings] = None,
     mode: str = "gemm",
+    fuse: bool = False,
 ) -> KernelPlan:
     """Lower a formula sequence to a :class:`KernelPlan`.
 
@@ -149,6 +320,15 @@ def compile_kernel_plan(
     (:mod:`repro.autotune`) measures the variants and keeps the
     fastest plan -- on some shapes einsum's fused path beats the GEMM
     pack/permute sequence, and small dense nests beat both.
+
+    ``fuse=True`` (mode ``"native"`` only) additionally runs the
+    cross-statement fusion pass (:func:`_fuse_groups`): maximal runs of
+    consecutive statements sharing an output iteration space become
+    :class:`FusedGroup` entries that runners execute as one compiled
+    nest -- intermediates stay in cache and a parallel region is
+    entered once per group.  Every fused statement keeps its unfused
+    lowering too, so a machine that cannot compile the group runs the
+    statements individually.
     """
     if mode not in ("gemm", "einsum", "native"):
         raise ValueError(
@@ -246,9 +426,14 @@ def compile_kernel_plan(
         )
         for k, sp in enumerate(stmt_plans)
     ]
+    fused_groups: Tuple[FusedGroup, ...] = ()
+    fused_statements = 0
+    if fuse and mode == "native":
+        fused_groups = _fuse_groups(stmt_plans)
+        fused_statements = sum(g.stop - g.start for g in fused_groups)
     return KernelPlan(
         tuple(stmt_plans), outputs, gemm_terms, einsum_terms, copy_terms,
-        mode, native_terms,
+        mode, native_terms, fused_groups, fused_statements,
     )
 
 
@@ -269,12 +454,17 @@ class KernelRunner:
 
     For plans compiled with ``mode="native"``, ``engine`` is the
     :class:`~repro.kernels.native.NativeEngine` executing the compiled
-    nests (default: the process-wide engine).  Terms whose nest is
-    unavailable -- no compiler, unsupported dtype, compile failure --
-    run on their embedded GEMM/einsum fallback, and each fallback is
-    recorded once in :attr:`notes`.  A kernel step that raises mid-run
-    releases every live arena buffer before propagating, so callers
-    that catch and retry do not accumulate leaked scratch.
+    nests (default: the process-wide engine) and ``threads`` the nest
+    thread count (default: the engine's; capped per nest by its outer
+    output extent).  Inside an SPMD worker of the process backend,
+    ``threads`` is pinned to 1 -- the process grid already owns the
+    cores, and the pin is recorded in :attr:`notes`.  Terms whose nest
+    is unavailable -- no compiler, unsupported dtype, compile failure
+    -- run on their embedded GEMM/einsum fallback, and each fallback is
+    recorded once in :attr:`notes`; a fused group that cannot compile
+    runs its statements individually the same way.  A kernel step that
+    raises mid-run releases every live arena buffer before propagating,
+    so callers that catch and retry do not accumulate leaked scratch.
     """
 
     def __init__(
@@ -284,6 +474,7 @@ class KernelRunner:
         arena: Optional[BufferArena] = None,
         keep: Sequence[str] = (),
         engine=None,
+        threads: Optional[int] = None,
     ) -> None:
         self.plan = plan
         self.arena = arena if arena is not None else BufferArena()
@@ -296,10 +487,29 @@ class KernelRunner:
         self.notes: List[str] = []
         self._engine = engine
         self._native_fns: Dict[int, Optional[Callable]] = {}
+        self._fused_fns: Dict[int, Optional[Callable]] = {}
+        self._groups_by_start = {g.start: g for g in plan.fused_groups}
         if engine is None and plan.native_terms:
             from repro.kernels.native import default_engine
 
             self._engine = default_engine()
+        if threads is not None and threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if threads is None:
+            threads = (
+                getattr(self._engine, "threads", 1)
+                if self._engine is not None
+                else 1
+            )
+        if threads > 1 and _in_spmd_worker():
+            self.notes.append(
+                f"kernel threads pinned to 1 (was {threads}) inside the "
+                "SPMD worker: the process grid owns the cores, and "
+                "procs x nest threads must not oversubscribe"
+            )
+            threads = 1
+        #: nest thread count used for every native/fused compile
+        self.threads = threads
         if plan.native_terms and (
             self._engine is None or not self._engine.available()
         ):
@@ -374,10 +584,12 @@ class KernelRunner:
             return self._native_fns[key]
         fn = None
         if self._engine is not None and self._engine.available():
-            fn = self._engine.function(term.native, dtype)
+            fn = self._engine.function(term.native, dtype,
+                                       threads=self.threads)
             if fn is None:
                 reason = (
-                    self._engine.failure(term.native, dtype)
+                    self._engine.failure(term.native, dtype,
+                                         threads=self.threads)
                     or "unsupported dtype"
                 )
                 self.notes.append(
@@ -385,6 +597,28 @@ class KernelRunner:
                     f"back to the {term.kind} path"
                 )
         self._native_fns[key] = fn
+        return fn
+
+    def _fused_fn(self, group: FusedGroup) -> Optional[Callable]:
+        """The compiled fused-group kernel (cached per runner), or None."""
+        key = group.start
+        if key in self._fused_fns:
+            return self._fused_fns[key]
+        fn = None
+        if self._engine is not None and self._engine.available():
+            fn = self._engine.function(group.spec, np.float64,
+                                       threads=self.threads)
+            if fn is None:
+                reason = (
+                    self._engine.failure(group.spec, np.float64,
+                                         threads=self.threads)
+                    or "unsupported dtype"
+                )
+                self.notes.append(
+                    f"fused group of {len(group.outputs)} statements not "
+                    f"compiled ({reason}); statements run unfused"
+                )
+        self._fused_fns[key] = fn
         return fn
 
     def _exec_term(self, term: TermPlan, out, env, inputs, funcs, first: bool):
@@ -429,6 +663,73 @@ class KernelRunner:
 
     # -- statement/sequence execution --------------------------------------
 
+    def _exec_group(self, group: FusedGroup, env, inputs, funcs) -> bool:
+        """Run ``statements[start:stop]`` as one fused kernel call.
+
+        Returns ``False`` (caller runs the statements unfused) when the
+        group kernel is unavailable.  Output buffers are zeroed up
+        front -- the fusion pass only admits plain assignments whose
+        old values no group member wants -- and published to ``env``
+        together after the call; statement releases are applied after
+        publication (deferring a temp's release past its in-group last
+        read is safe because liveness already proves no later reader).
+        """
+        fn = self._fused_fn(group)
+        if fn is None:
+            return False
+        sps = self.plan.statements[group.start:group.stop]
+        outs: List[np.ndarray] = []
+        fresh: List[np.ndarray] = []  # arena-owned, not yet in env
+        try:
+            for sp in sps:
+                existing = env.get(sp.result)
+                if existing is not None:
+                    out = existing
+                else:
+                    out = self._out_buffer(sp.result, sp.out_shape)
+                    if sp.result not in self._kept:
+                        fresh.append(out)
+                outs.append(out)
+            by_name = dict(zip(group.outputs, outs))
+            coefs: List[float] = []
+            ops: List[np.ndarray] = []
+            for si, ti in group.members:
+                term = self.plan.statements[si].terms[ti]
+                coefs.append(term.coef)
+                for op in term.operands:
+                    if op.is_function:
+                        arr = self._materialize(op, funcs)
+                    elif op.name in by_name:
+                        # intra-group read: alias the producer's output
+                        # buffer so the value written earlier in the
+                        # same fused iteration is the one read
+                        arr = by_name[op.name]
+                    else:
+                        arr = self._fetch(op, env, inputs)
+                    if (
+                        arr.dtype != np.float64
+                        or not arr.flags.c_contiguous
+                    ):
+                        arr = np.ascontiguousarray(arr, dtype=np.float64)
+                    ops.append(arr)
+            for out in outs:
+                out.fill(0)  # the fused nest only ever accumulates
+            fn(coefs, ops, outs)
+        except BaseException:
+            for buf in fresh:
+                self.arena.release(buf)
+            raise
+        for sp, out in zip(sps, outs):
+            env[sp.result] = out
+        for sp in sps:
+            for name in sp.release:
+                if name in self._kept:
+                    continue
+                buf = env.pop(name, None)
+                if buf is not None:
+                    self.arena.release(buf)
+        return True
+
     def _out_buffer(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
         if name in self._kept:
             buf = self._persistent.get(name)
@@ -457,7 +758,17 @@ class KernelRunner:
         env: Dict[str, np.ndarray] = {}
         pending: Optional[np.ndarray] = None
         try:
-            for sp in self.plan.statements:
+            k = 0
+            statements = self.plan.statements
+            while k < len(statements):
+                group = self._groups_by_start.get(k)
+                if group is not None and self._exec_group(
+                    group, env, inputs, funcs
+                ):
+                    k = group.stop
+                    continue
+                sp = statements[k]
+                k += 1
                 existing = env.get(sp.result)
                 reads_self = any(
                     op.name == sp.result and not op.is_function

@@ -58,8 +58,10 @@ from repro.robustness.errors import BudgetExceeded
 #: cache.  Bumped whenever the result grows fields that executing code
 #: relies on, so a pickled result from an older release is rejected as
 #: stale instead of resurfacing as an object missing attributes
-#: (version 2: codegen_mode / native_artifacts / native kernel terms).
-RESULT_VERSION = 2
+#: (version 2: codegen_mode / native_artifacts / native kernel terms;
+#: version 3: kernel_threads / fuse_statements config and fused-group
+#: kernel plans).
+RESULT_VERSION = 3
 
 
 @dataclass
@@ -102,6 +104,17 @@ class SynthesisConfig:
     #: measure and select native).  A machine without any compiler
     #: silently degrades ``"native"`` to ``"gemm"`` and records why.
     codegen: str = "auto"
+    #: thread count for compiled native nests (``None`` = sequential).
+    #: OpenMP when the probed compiler supports ``-fopenmp``, a portable
+    #: chunked-outer-loop thread pool otherwise; either way the result
+    #: is bit-identical to the sequential nest.  The autotuner may also
+    #: pick a measured count (``tuning.threads``); an explicit value
+    #: here wins.
+    kernel_threads: Optional[int] = None
+    #: fuse consecutive statements that share an output iteration space
+    #: into single jointly-parallel kernels (native codegen only; other
+    #: modes ignore the flag)
+    fuse_statements: bool = False
 
 
 @dataclass
@@ -258,15 +271,26 @@ class SynthesisResult:
         Each call builds a fresh runner (runners own mutable buffers, so
         they are deliberately not stored on the cacheable result); hold
         on to it across executions to get the steady-state behaviour.
+
+        Nest thread count resolution: an explicit ``threads=`` keyword
+        wins, then :attr:`SynthesisConfig.kernel_threads`, then the
+        autotuner's measured ``tuning.threads``.
         """
         from repro.kernels import compile_kernel_plan
         from repro.kernels.plan import KernelRunner
 
+        if "threads" not in kwargs or kwargs["threads"] is None:
+            threads = self.config.kernel_threads
+            if threads is None and self.tuning is not None:
+                threads = getattr(self.tuning, "threads", None)
+            if threads is not None:
+                kwargs["threads"] = threads
         plan = self.kernel_plan
         if plan is None:
             plan = compile_kernel_plan(
                 self.statements, self.config.bindings,
                 mode=self.codegen_mode,
+                fuse=self.config.fuse_statements,
             )
         return KernelRunner(plan, functions=functions, **kwargs)
 
@@ -383,6 +407,17 @@ class SynthesisResult:
         owned_pool = pool is None and supervisor is None
         if backend == "process":
             import os
+
+            wanted_threads = self.config.kernel_threads
+            if wanted_threads is None and self.tuning is not None:
+                wanted_threads = getattr(self.tuning, "threads", None)
+            if wanted_threads is not None and wanted_threads > 1:
+                notes.append(
+                    f"kernel threads pinned to 1 (was {wanted_threads}) "
+                    "under the process backend: the SPMD grid owns the "
+                    "cores, and procs x nest threads must not "
+                    "oversubscribe"
+                )
 
             from repro.runtime.process import SpmdProcessPool
 
@@ -874,6 +909,10 @@ def _synthesize_pipeline(
             f"unknown codegen mode {config.codegen!r} "
             "(use 'auto', 'native', 'gemm', or 'einsum')"
         )
+    if config.kernel_threads is not None and config.kernel_threads < 1:
+        raise ValueError(
+            f"kernel_threads must be >= 1, got {config.kernel_threads}"
+        )
     codegen_mode = "gemm" if config.codegen == "auto" else config.codegen
     initial_notes: List[str] = []
     engine = None
@@ -893,9 +932,11 @@ def _synthesize_pipeline(
 
     kernel_plan = None
     native_artifacts: List[str] = []
+    kernel_threads = config.kernel_threads or 1
     try:
         kernel_plan = compile_kernel_plan(
-            statements, bindings, mode=codegen_mode
+            statements, bindings, mode=codegen_mode,
+            fuse=config.fuse_statements,
         )
     except (OverflowError, ValueError) as exc:
         codegen_report.notes.append(
@@ -918,13 +959,41 @@ def _synthesize_pipeline(
                 for term in sp.terms:
                     if term.native is None:
                         continue
-                    akey = engine.key(term.native, np.float64)
+                    akey = engine.key(
+                        term.native, np.float64, threads=kernel_threads
+                    )
                     if akey not in compiled:
-                        fn = engine.function(term.native, np.float64)
+                        fn = engine.function(
+                            term.native, np.float64,
+                            threads=kernel_threads,
+                        )
                         compiled[akey] = fn is not None
+            for group in kernel_plan.fused_groups:
+                akey = engine.key(
+                    group.spec, np.float64, threads=kernel_threads
+                )
+                if akey not in compiled:
+                    fn = engine.function(
+                        group.spec, np.float64, threads=kernel_threads
+                    )
+                    compiled[akey] = fn is not None
             native_artifacts = [k for k, ok in compiled.items() if ok]
             after = engine.stats()
             codegen_report.details["native backend"] = engine.backend
+            if kernel_threads > 1:
+                codegen_report.details["kernel threads"] = kernel_threads
+                codegen_report.details["parallel strategy"] = (
+                    engine.parallel_strategy(kernel_threads)
+                )
+                par_note = engine.parallel_note(kernel_threads)
+                if par_note is not None:
+                    codegen_report.notes.append(par_note)
+                    initial_notes.append(par_note)
+            if kernel_plan.fused_groups:
+                codegen_report.details["fused groups (statements)"] = (
+                    f"{len(kernel_plan.fused_groups)}"
+                    f" ({kernel_plan.fused_statements})"
+                )
             codegen_report.details["native nests (compiled/lowered)"] = (
                 f"{len(native_artifacts)}/{len(compiled)}"
             )

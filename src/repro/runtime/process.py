@@ -73,6 +73,10 @@ from repro.runtime.shm import (
 
 Rank = Tuple[int, ...]
 
+#: True inside an SPMD worker process (set by ``_worker_main``); the
+#: kernel layer reads it lazily to pin nest-level threads to 1 there
+IS_SPMD_WORKER = False
+
 #: worker -> router message kinds: ("loaded",) | ("step", outbox, n_done)
 #: | ("restarted",) | ("results", {rank: (box, blk)}) | ("error", text)
 #: router -> worker: ("load", source, fname, ranks, arrays) |
@@ -128,6 +132,11 @@ def _worker_main(conn, shm_min_bytes: Optional[int] = None) -> None:
     everything into the pipe; an int side-loads arrays of at least that
     many bytes into shared-memory segments.
     """
+    # mark this process as an SPMD worker: KernelRunner pins nest-level
+    # thread parallelism to 1 here (the process grid owns the cores;
+    # procs x nest threads must not oversubscribe)
+    global IS_SPMD_WORKER
+    IS_SPMD_WORKER = True
     program = None
     arrays = None
     ranks: List[Rank] = []
