@@ -28,7 +28,7 @@ from repro.engine.machine import MachineModel, MemoryLevel
 from repro.parallel.grid import ProcessorGrid
 from repro.parallel.commcost import CommModel
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "synthesize",
@@ -51,9 +51,19 @@ from repro.expr.parser import parse_program
 from repro.expr.printer import program_to_source
 from repro.opmin.multi_term import optimize_program, optimize_statement
 from repro.opmin.schedule import schedule_statements
+from repro.semiring import (
+    Semiring,
+    available_semirings,
+    get_semiring,
+    semiring_einsum,
+)
 from repro.validate import verify_result
 
 __all__ += [
+    "Semiring",
+    "available_semirings",
+    "get_semiring",
+    "semiring_einsum",
     "AutotuneOptions",
     "TuningDB",
     "PlanCache",

@@ -222,6 +222,9 @@ class KernelTuner(DimensionTuner):
                     self.result.statements,
                     self.result.config.bindings,
                     mode=mode,
+                    semiring=getattr(
+                        self.result.config, "semiring", "plus_times"
+                    ),
                 )
             self._plans[mode] = plan
         return plan

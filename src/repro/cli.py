@@ -10,11 +10,15 @@ Usage::
     python -m repro input.tce --cache 32768 --memory 16777216
     python -m repro input.tce --budget-ms 50       # bounded search
     python -m repro input.tce --run --grid 2 --inject-fault drop:0
+    python -m repro input.tce --semiring min_plus  # shortest-path algebra
+    python -m repro run --semiring min_plus --codegen native   # APSP demo
     python -m repro serve --port 8075              # HTTP/JSON service
 
 ``repro serve`` starts the multi-tenant compilation service
-(:mod:`repro.server`); every other invocation is the one-shot
-compiler below.
+(:mod:`repro.server`); ``repro run`` is the semiring graph-analytics
+demonstration (all-pairs shortest paths executed on three independent
+substrates and checked bit-identical); every other invocation is the
+one-shot compiler below.
 
 The input file uses the high-level notation of
 :mod:`repro.expr.parser` (see ``examples/quickstart.py``).
@@ -116,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache-opt", action="store_true",
         help="skip the data-locality tile search",
+    )
+    parser.add_argument(
+        "--semiring", default="plus_times", metavar="NAME",
+        help="scalar algebra for every contraction: plus_times "
+        "(default), min_plus (shortest paths), max_plus (critical "
+        "paths), max_times (widest/most-reliable paths), or or_and "
+        "(reachability); see repro.semiring",
     )
     parser.add_argument(
         "--sparse-aware", action="store_true",
@@ -278,6 +289,12 @@ def _validate_args(args) -> Optional[SpecError]:
         )
     if args.tuning_db is not None and not args.autotune:
         return SpecError("--tuning-db requires --autotune")
+    try:
+        from repro.semiring import get_semiring
+
+        get_semiring(args.semiring)
+    except SpecError as exc:
+        return exc
     return None
 
 
@@ -287,6 +304,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.server.app import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "run":
+        return _demo_main(argv[1:])
     args = build_parser().parse_args(argv)
     invalid = _validate_args(args)
     if invalid is not None:
@@ -357,6 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         codegen=args.codegen,
         kernel_threads=args.kernel_threads,
         fuse_statements=args.fuse_statements,
+        semiring=args.semiring,
     )
     if args.artifact_store is not None:
         from repro.kernels import configure_default_engine
@@ -422,7 +442,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name, plan in result.partition_plans.items():
                 handle.write(f"# ==== statement producing {name} ====\n")
                 handle.write(
-                    generate_spmd_source(plan, name=f"rank_program_{name}")
+                    generate_spmd_source(
+                        plan,
+                        name=f"rank_program_{name}",
+                        semiring=result.config.semiring,
+                    )
                 )
                 handle.write("\n")
         print(f"wrote SPMD program(s) to {args.emit_spmd}")
@@ -458,7 +482,10 @@ def _run_and_validate(
     inputs = random_inputs(program, bindings, seed=0)
     try:
         env = result.execute(inputs, checkpoint=checkpoint_dir)
-        want = run_statements(program.statements, inputs, bindings)
+        want = run_statements(
+            program.statements, inputs, bindings,
+            semiring=result.config.semiring,
+        )
         for stmt in program.statements:
             name = stmt.result.name
             if not np.allclose(env[name], want[name], rtol=1e-8, atol=1e-10):
@@ -536,6 +563,175 @@ def _run_and_validate(
             )
     except ReproError as exc:
         return _fail(exc, exc.exit_code)
+    return 0
+
+
+def _demo_main(argv: List[str]) -> int:
+    """``repro run``: the semiring graph-analytics demonstration.
+
+    Synthesizes an all-pairs shortest-path (repeated-squaring) program
+    under the chosen algebra and executes it on three independent
+    substrates -- the loop-IR interpreter, the native-threaded kernel
+    runner, and the process-backend SPMD driver -- checking the outputs
+    bit-identical against each other and (for ``min_plus`` /
+    ``or_and``) against a pure-Python oracle.  Also demonstrates the
+    plan cache going cold -> warm and the semiring participating in the
+    cache key.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description=(
+            "All-pairs shortest paths as a tensor contraction program: "
+            "cross-substrate bit-identity demo for --semiring"
+        ),
+    )
+    parser.add_argument(
+        "--semiring", default="min_plus", metavar="NAME",
+        help="scalar algebra (default min_plus; see repro.semiring)",
+    )
+    parser.add_argument(
+        "--codegen",
+        choices=("auto", "native", "gemm", "einsum"),
+        default="auto",
+        help="kernel codegen target for the kernel-runner substrate",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=10,
+        help="graph size (default 10)",
+    )
+    parser.add_argument(
+        "--density", type=float, default=0.4,
+        help="edge density in [0, 1] (default 0.4)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="input seed")
+    parser.add_argument(
+        "--procs", type=int, default=2,
+        help="worker processes for the SPMD substrate (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from repro.graphs import (
+        apsp_program,
+        floyd_warshall,
+        random_weight_matrix,
+        reachability,
+    )
+    from repro.runtime.plan_cache import PlanCache, plan_key
+    from repro.semiring import get_semiring
+
+    try:
+        sr = get_semiring(args.semiring)
+        if args.nodes < 2:
+            raise SpecError(f"--nodes must be >= 2, got {args.nodes}")
+        if not 0.0 <= args.density <= 1.0:
+            raise SpecError(
+                f"--density must be in [0, 1], got {args.density:g}"
+            )
+        if args.procs < 1:
+            raise SpecError(f"--procs must be >= 1, got {args.procs}")
+    except SpecError as exc:
+        return _fail(exc, EXIT_SPEC)
+
+    n = args.nodes
+    source, res = apsp_program(n)
+    base = random_weight_matrix(n, args.density, args.seed)
+    if sr.name in ("min_plus", "max_plus"):
+        weights = np.where(np.isfinite(base), base, sr.zero)
+        np.fill_diagonal(weights, sr.one)
+    else:
+        # boolean-style carrier: present edges are 1, the diagonal too
+        weights = np.isfinite(base).astype(np.float64)
+        np.fill_diagonal(weights, 1.0)
+    inputs = {"W": weights}
+    print(
+        f"run: apsp n={n} semiring={sr.name} codegen={args.codegen} "
+        f"({sr.describe()})"
+    )
+
+    config = SynthesisConfig(
+        semiring=sr.name, codegen=args.codegen, kernel_threads=2,
+    )
+    grid_config = SynthesisConfig(
+        semiring=sr.name, grid=ProcessorGrid((args.procs,)),
+    )
+    try:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-plan-") as tmp:
+            cache = PlanCache(directory=tmp)
+            result = synthesize(source, config, cache=cache)
+            cold = (cache.misses, cache.hits)
+            result = synthesize(source, config, cache=cache)
+            warm = (cache.misses, cache.hits)
+        key = plan_key(result.program, config)
+        other = plan_key(
+            result.program,
+            SynthesisConfig(codegen=args.codegen, kernel_threads=2),
+        )
+        if warm[1] <= cold[1] or key == other:
+            return _fail(
+                ReproError(
+                    "plan cache did not distinguish the semiring",
+                    stage="validation",
+                ),
+                EXIT_EXECUTION,
+            )
+        print(
+            f"run: plan-cache cold miss -> warm hit "
+            f"(key {key[:12]}..., plus_times key {other[:12]}...)"
+        )
+
+        out_interp = result.execute(inputs)[res]
+        runner = result.kernel_runner()
+        out_kernel = runner.run(inputs, copy=True)[res]
+        grid_result = synthesize(source, grid_config)
+        out_spmd = grid_result.run_parallel(
+            inputs, backend="process", procs=args.procs
+        )[res]
+    except ReproError as exc:
+        return _fail(exc, exc.exit_code)
+
+    if not (
+        np.array_equal(out_interp, out_kernel)
+        and np.array_equal(out_interp, out_spmd)
+    ):
+        return _fail(
+            ReproError(
+                "substrates disagree: interp / native kernel / "
+                "process-spmd outputs are not bit-identical",
+                stage="validation",
+                semiring=sr.name,
+            ),
+            EXIT_EXECUTION,
+        )
+    print(
+        "run: interp, kernel-runner, and process-spmd outputs are "
+        "bit-identical"
+    )
+
+    if sr.name == "min_plus":
+        oracle = floyd_warshall(weights)
+        ok = bool(np.allclose(out_interp, oracle, rtol=1e-12, atol=1e-12))
+        label = "floyd_warshall"
+    elif sr.name == "or_and":
+        oracle = reachability(weights)
+        ok = bool(np.array_equal(out_interp, oracle))
+        label = "reachability"
+    else:
+        print(f"run: no pure-Python oracle registered for {sr.name}")
+        return 0
+    if not ok:
+        return _fail(
+            ReproError(
+                f"result does not match the {label} oracle",
+                stage="validation",
+                semiring=sr.name,
+            ),
+            EXIT_EXECUTION,
+        )
+    print(f"run: matches the {label} oracle")
     return 0
 
 

@@ -261,6 +261,15 @@ def apply_tiling(
         raise ValueError(f"keep_global names not allocated: {sorted(unknown)}")
     internal = allocated - keep
 
+    # Hoisting the tile loops outermost interleaves sibling top-level
+    # nests tile by tile.  That reorders a producer nest's writes with a
+    # later nest's reads of the same array, which is only sound when the
+    # reads stay inside the tile that produced them: the consumer must
+    # access the array under exactly the producer's target subscripts,
+    # and no tiled loop of the producer may fall outside those
+    # subscripts (a partial accumulation would be observed mid-stream).
+    _check_cross_nest_tiling(block, set(tiles))
+
     def tile_sub(sub: Sub, global_view: bool) -> Sub:
         if len(sub) != 1 or sub[0].role != "full":
             raise ValueError("apply_tiling expects untiled input structure")
@@ -349,6 +358,60 @@ def apply_tiling(
     result = tuple(hoisted) + body
     validate(result)
     return result
+
+
+def _check_cross_nest_tiling(block: Block, tiled: Set[Index]) -> None:
+    """Reject tilings that break dependences between top-level nests.
+
+    For each top-level node, collect the loop indices it iterates, the
+    subscript tuples it writes per array, and the subscript tuples it
+    reads per array.  A read-after-write pair across two top-level
+    nodes tolerates the hoisted tile loops only when (a) every tiled
+    index the producer iterates appears in its write subscripts (so
+    each tile's writes are complete for the elements it touches), and
+    (b) the consumer reads the array under the very same subscript
+    tuples whenever a tiled index is iterated on both sides (so reads
+    never cross into a tile that has not executed yet).
+    """
+    infos = []
+    for node in block:
+        loops: Set[Index] = set()
+        writes: Dict[str, Set[Tuple[Index, ...]]] = {}
+        reads: Dict[str, Set[Tuple[Index, ...]]] = {}
+        for n in _walk((node,)):
+            if isinstance(n, Loop):
+                loops.add(n.var.index)
+            elif isinstance(n, Assign):
+                target = n.target
+                writes.setdefault(target.array, set()).add(
+                    tuple(s[0].index for s in target.subs)
+                )
+                for term in n.terms:
+                    if isinstance(term, Access):
+                        reads.setdefault(term.array, set()).add(
+                            tuple(s[0].index for s in term.subs)
+                        )
+        infos.append((loops, writes, reads))
+
+    for wi, (wloops, wwrites, _) in enumerate(infos):
+        for rloops, _, rreads in infos[wi + 1:]:
+            for array, wsubs in wwrites.items():
+                rsubs = rreads.get(array)
+                if not rsubs:
+                    continue
+                for idx in tiled:
+                    partial = idx in wloops and any(
+                        idx not in subs for subs in wsubs
+                    )
+                    misaligned = (
+                        idx in wloops and idx in rloops and wsubs != rsubs
+                    )
+                    if partial or misaligned:
+                        raise ValueError(
+                            f"tiling over {idx.name} would reorder the "
+                            f"dependence on {array!r} between sibling "
+                            "loop nests"
+                        )
 
 
 def _walk(block: Block):

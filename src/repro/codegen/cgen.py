@@ -50,11 +50,23 @@ unchanged inner order):
 The kernel contract, shared by all renderings:
 
 * arrays are C-contiguous and flat; the caller resolves strides;
-* the kernel only ever **accumulates** (``+=``); the caller zeroes the
-  output buffer before the first term of a statement, which is what
-  makes partial sums from tiled summation loops compose;
+* the kernel only ever **reduces into** the output (``+=`` under the
+  default ``plus_times`` algebra, the semiring's reduce op otherwise);
+  the caller fills the output buffer with the semiring's identity
+  element before the first term of a statement, which is what makes
+  partial folds from tiled summation loops compose (reduce is
+  associative with identity);
 * repeated loop variables within one operand (diagonals) fold into a
   single offset term, so nests handle the cases GEMM cannot.
+
+Nest IR v3: every spec carries a ``semiring`` id (see
+:mod:`repro.semiring`).  Non-default algebras swap ``acc += a*b`` for
+``acc = reduce(acc, combine(a, b))``, initialize accumulators with the
+reduce identity (``INFINITY`` pulls in ``math.h`` / ``math.inf``), and
+reduce into the output instead of adding -- scalar coefficients are a
+``plus_times`` notion and the planner only admits coefficient-1 terms
+elsewhere.  The semiring id is part of the rendered IR, hence of the
+artifact key.
 """
 
 from __future__ import annotations
@@ -71,7 +83,7 @@ __all__ = [
 ]
 
 #: bump to invalidate every stored artifact when the emitted code changes
-NEST_IR_VERSION = "nest-ir v2"
+NEST_IR_VERSION = "nest-ir v3"
 
 #: accepted values of the ``parallel`` emission strategy
 PARALLEL_STRATEGIES = ("none", "omp", "chunk")
@@ -112,6 +124,14 @@ def _out_offset(spec, var) -> str:
     return " + ".join(terms) if terms else "0"
 
 
+def _spec_semiring(spec):
+    """The spec's :class:`~repro.semiring.Semiring` (default algebra
+    for pre-v3 specs that never carried the field)."""
+    from repro.semiring import get_semiring
+
+    return get_semiring(getattr(spec, "semiring", "plus_times"))
+
+
 def render_nest_ir(spec) -> str:
     """Deterministic text form of a nest spec (artifact-key content)."""
     lines = [
@@ -119,6 +139,7 @@ def render_nest_ir(spec) -> str:
         "names=" + ",".join(spec.names),
         "extents=" + ",".join(str(e) for e in spec.extents),
         f"nout={spec.nout}",
+        f"semiring={_spec_semiring(spec).name}",
     ]
     for k, axes in enumerate(spec.operands):
         lines.append(f"op{k}=" + ",".join(str(a) for a in axes))
@@ -198,6 +219,7 @@ def c_source(
     output loop (see the module docstring for why not a reduction).
     """
     _check_parallel(parallel, spec.nout)
+    sr = _spec_semiring(spec)
     out_loops, sum_loops, tiled = _nest_structure(spec, tile)
     var = lambda p: f"v{p}"  # noqa: E731 - tiny local naming helper
     args = ", ".join(
@@ -209,6 +231,10 @@ def c_source(
     lines: List[str] = [
         f"/* generated by repro.codegen.cgen ({NEST_IR_VERSION}) */",
         "/* " + render_nest_ir(spec).replace("\n", "; ") + " */",
+    ]
+    for header in sr.c_includes:
+        lines.append(f"#include <{header}>")
+    lines += [
         f"void kern(double coef, {args})",
         "{",
     ]
@@ -246,7 +272,10 @@ def c_source(
                 f"{indent}for (long v{p} = 0; v{p} < {e}; ++v{p}) {{"
             )
         indent += "  "
-    lines.append(f"{indent}{ctype} acc = 0;")
+    if sr.is_default:
+        lines.append(f"{indent}{ctype} acc = 0;")
+    else:
+        lines.append(f"{indent}{ctype} acc = {sr.c_zero(ctype)};")
     for p in sum_loops:
         e = spec.extents[p]
         if p in tiled:
@@ -262,17 +291,29 @@ def c_source(
                 f"{indent}for (long v{p} = 0; v{p} < {e}; ++v{p}) {{"
             )
         indent += "  "
-    product = " * ".join(
+    operands_c = [
         f"x{k}[{_operand_offset(spec, k, var)}]"
         for k in range(len(spec.operands))
-    )
-    lines.append(f"{indent}acc += {product};")
+    ]
+    if sr.is_default:
+        lines.append(f"{indent}acc += {' * '.join(operands_c)};")
+    else:
+        combined = operands_c[0]
+        for nxt in operands_c[1:]:
+            combined = sr.c_combine(combined, nxt)
+        lines.append(f"{indent}{ctype} w = {combined};")
+        lines.append(f"{indent}acc = {sr.c_reduce('acc', 'w')};")
     for _ in sum_loops:
         indent = indent[:-2]
         lines.append(f"{indent}}}")
-    lines.append(
-        f"{indent}out[{_out_offset(spec, var)}] += ({ctype})coef * acc;"
-    )
+    off = _out_offset(spec, var)
+    if sr.is_default:
+        lines.append(f"{indent}out[{off}] += ({ctype})coef * acc;")
+    else:
+        # coefficient-1 contract (enforced by the planner): pure reduce
+        lines.append(
+            f"{indent}out[{off}] = {sr.c_reduce(f'out[{off}]', 'acc')};"
+        )
     for _ in out_loops:
         indent = indent[:-2]
         lines.append(f"{indent}}}")
@@ -300,6 +341,7 @@ def py_source(
     """
     if chunked:
         _check_parallel("chunk", spec.nout)
+    sr = _spec_semiring(spec)
     out_loops, sum_loops, tiled = _nest_structure(spec, tile)
     var = lambda p: f"v{p}"  # noqa: E731 - tiny local naming helper
     args = ", ".join(
@@ -307,7 +349,10 @@ def py_source(
     )
     if chunked:
         args = f"lo, hi, {args}"
-    lines = [f"def {name}(coef, {args}):"]
+    lines = []
+    if "math." in sr.py_zero():
+        lines.append("import math")
+    lines.append(f"def {name}(coef, {args}):")
     indent = "    "
     for p in tiled:
         e = spec.extents[p]
@@ -319,7 +364,10 @@ def py_source(
         else:
             lines.append(f"{indent}for v{p} in range({spec.extents[p]}):")
         indent += "    "
-    lines.append(f"{indent}acc = 0.0")
+    if sr.is_default:
+        lines.append(f"{indent}acc = 0.0")
+    else:
+        lines.append(f"{indent}acc = {sr.py_zero()}")
     for p in sum_loops:
         e = spec.extents[p]
         if p in tiled:
@@ -330,13 +378,26 @@ def py_source(
         else:
             lines.append(f"{indent}for v{p} in range({e}):")
         indent += "    "
-    product = " * ".join(
+    operands_py = [
         f"x{k}[{_operand_offset(spec, k, var)}]"
         for k in range(len(spec.operands))
-    )
-    lines.append(f"{indent}acc += {product}")
+    ]
+    if sr.is_default:
+        lines.append(f"{indent}acc += {' * '.join(operands_py)}")
+    else:
+        combined = operands_py[0]
+        for nxt in operands_py[1:]:
+            combined = sr.py_expr_combine(combined, nxt)
+        lines.append(f"{indent}w = {combined}")
+        lines.append(f"{indent}acc = {sr.py_expr_reduce('acc', 'w')}")
     indent = "    " * (1 + len(tiled) + len(out_loops))
-    lines.append(f"{indent}out[{_out_offset(spec, var)}] += coef * acc")
+    off = _out_offset(spec, var)
+    if sr.is_default:
+        lines.append(f"{indent}out[{off}] += coef * acc")
+    else:
+        lines.append(
+            f"{indent}out[{off}] = {sr.py_expr_reduce(f'out[{off}]', 'acc')}"
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -389,6 +450,15 @@ def c_fused_source(
         "/* fused group: "
         + render_fused_ir(fspec).replace("\n", "; ")
         + " */",
+    ]
+    headers: List[str] = []
+    for member in fspec.members:
+        for header in _spec_semiring(member).c_includes:
+            if header not in headers:
+                headers.append(header)
+    for header in headers:
+        lines.append(f"#include <{header}>")
+    lines += [
         f"void kern({', '.join(args)})",
         "{",
     ]
@@ -419,11 +489,15 @@ def c_fused_source(
         indent += "  "
     g = 0
     for m, member in enumerate(fspec.members):
+        sr = _spec_semiring(member)
         var = _member_var(nout, m)
         sum_loops = list(range(nout, len(member.extents)))
         lines.append(f"{indent}{{")
         inner = indent + "  "
-        lines.append(f"{inner}{ctype} acc = 0;")
+        if sr.is_default:
+            lines.append(f"{inner}{ctype} acc = 0;")
+        else:
+            lines.append(f"{inner}{ctype} acc = {sr.c_zero(ctype)};")
         for p in sum_loops:
             e = member.extents[p]
             lines.append(
@@ -431,19 +505,27 @@ def c_fused_source(
                 f"++{var(p)}) {{"
             )
             inner += "  "
-        product = " * ".join(
+        operands_c = [
             f"x{g + k}[{_operand_offset(member, k, var)}]"
             for k in range(len(member.operands))
-        )
-        lines.append(f"{inner}acc += {product};")
+        ]
+        if sr.is_default:
+            lines.append(f"{inner}acc += {' * '.join(operands_c)};")
+        else:
+            combined = operands_c[0]
+            for nxt in operands_c[1:]:
+                combined = sr.c_combine(combined, nxt)
+            lines.append(f"{inner}{ctype} w = {combined};")
+            lines.append(f"{inner}acc = {sr.c_reduce('acc', 'w')};")
         for _ in sum_loops:
             inner = inner[:-2]
             lines.append(f"{inner}}}")
         slot = fspec.out_slots[m]
-        lines.append(
-            f"{inner}o{slot}[{_out_offset(member, var)}] += "
-            f"({ctype})coefs[{m}] * acc;"
-        )
+        dst = f"o{slot}[{_out_offset(member, var)}]"
+        if sr.is_default:
+            lines.append(f"{inner}{dst} += ({ctype})coefs[{m}] * acc;")
+        else:
+            lines.append(f"{inner}{dst} = {sr.c_reduce(dst, 'acc')};")
         lines.append(f"{indent}}}")
         g += len(member.operands)
     for _ in range(nout):
@@ -475,7 +557,10 @@ def py_fused_source(
         args += ["lo", "hi"]
     args += [f"x{g}" for g in range(nops)]
     args += [f"o{s}" for s in range(fspec.nslots)]
-    lines = [f"def {name}({', '.join(args)}):"]
+    lines = []
+    if any("math." in _spec_semiring(m).py_zero() for m in fspec.members):
+        lines.append("import math")
+    lines.append(f"def {name}({', '.join(args)}):")
     indent = "    "
     for i in range(nout):
         if i == 0 and chunked:
@@ -486,23 +571,35 @@ def py_fused_source(
             )
         indent += "    "
     for m, member in enumerate(fspec.members):
+        sr = _spec_semiring(member)
         var = _member_var(nout, m)
         sum_loops = list(range(nout, len(member.extents)))
-        lines.append(f"{indent}acc = 0.0")
+        if sr.is_default:
+            lines.append(f"{indent}acc = 0.0")
+        else:
+            lines.append(f"{indent}acc = {sr.py_zero()}")
         inner = indent
         for p in sum_loops:
             e = member.extents[p]
             lines.append(f"{inner}for {var(p)} in range({e}):")
             inner += "    "
-        product = " * ".join(
+        operands_py = [
             f"x{sum(len(mm.operands) for mm in fspec.members[:m]) + k}"
             f"[{_operand_offset(member, k, var)}]"
             for k in range(len(member.operands))
-        )
-        lines.append(f"{inner}acc += {product}")
+        ]
+        if sr.is_default:
+            lines.append(f"{inner}acc += {' * '.join(operands_py)}")
+        else:
+            combined = operands_py[0]
+            for nxt in operands_py[1:]:
+                combined = sr.py_expr_combine(combined, nxt)
+            lines.append(f"{inner}w = {combined}")
+            lines.append(f"{inner}acc = {sr.py_expr_reduce('acc', 'w')}")
         slot = fspec.out_slots[m]
-        lines.append(
-            f"{indent}o{slot}[{_out_offset(member, var)}] += "
-            f"coefs[{m}] * acc"
-        )
+        dst = f"o{slot}[{_out_offset(member, var)}]"
+        if sr.is_default:
+            lines.append(f"{indent}{dst} += coefs[{m}] * acc")
+        else:
+            lines.append(f"{indent}{dst} = {sr.py_expr_reduce(dst, 'acc')}")
     return "\n".join(lines) + "\n"

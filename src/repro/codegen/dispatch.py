@@ -145,13 +145,16 @@ def execute_plan(
     bindings: Optional[Bindings] = None,
     functions: Optional[Mapping[str, FunctionImpl]] = None,
     counters: Optional[Counters] = None,
+    *,
+    semiring: str = "plus_times",
 ) -> Dict[str, np.ndarray]:
     """Run a mixed plan; returns the full array environment.
 
     Dense segments run on the loop-IR interpreter, sparse segments on
-    the nonzero-iterating executor; both tally into the same counters.
-    Inputs may be dense arrays or sparse tensors (sparse inputs consumed
-    by a *dense* segment are densified on entry).
+    the nonzero-iterating executor; both tally into the same counters
+    and both evaluate under the selected ``semiring``.  Inputs may be
+    dense arrays or sparse tensors (sparse inputs consumed by a *dense*
+    segment are densified on entry).
     """
     from repro.sparse.executor import run_statements as sparse_run
     from repro.sparse.formats import as_dense
@@ -161,13 +164,17 @@ def execute_plan(
     for seg in plan.segments:
         if isinstance(seg, SparseSegment):
             env = dict(
-                sparse_run(seg.statements, env, bindings, functions, counters)
+                sparse_run(
+                    seg.statements, env, bindings, functions, counters,
+                    semiring=semiring,
+                )
             )
         else:
             dense_env = {k: as_dense(v) for k, v in env.items()}
             env = dict(
                 interp_execute(
-                    seg.block, dense_env, bindings, functions, counters
+                    seg.block, dense_env, bindings, functions, counters,
+                    semiring=semiring,
                 )
             )
     return {k: as_dense(v) for k, v in env.items()}

@@ -64,6 +64,7 @@ def execute(
     checkpoint: Optional[str] = None,
     interrupt_after: Optional[int] = None,
     extra_state=None,
+    semiring: str = "plus_times",
 ) -> Dict[str, np.ndarray]:
     """Run the structure; returns the array environment (inputs +
     allocated arrays).
@@ -87,7 +88,21 @@ def execute(
     checkpoint tests use.  ``extra_state`` is an optional
     ``(get_state, set_state)`` pair folded into the snapshot (used by
     the out-of-core buffer pool).
+
+    ``semiring`` selects the scalar algebra (:mod:`repro.semiring`):
+    allocations and re-zeroes fill the reduce-identity element,
+    per-element products fold with the combine op, and accumulation is
+    the reduce op.  Only coefficient-1 assignments are legal outside
+    ``plus_times``; ``check_finite`` is skipped there because infinite
+    identity elements are legitimate carrier values.
     """
+    from repro.semiring import get_semiring, require_unit_coef
+
+    sr = get_semiring(semiring)
+    if not sr.is_default:
+        check_finite = False
+    combine = sr.py_combine
+    reduce_ = sr.py_reduce
     functions = functions or {}
     counters = counters if counters is not None else Counters()
     if validate:
@@ -192,7 +207,11 @@ def execute(
                 shape = tuple(
                     _alloc_dim_extent(dim, bindings) for dim in node.dims
                 )
-                arrays[node.array] = np.zeros(shape)
+                arrays[node.array] = (
+                    np.zeros(shape)
+                    if sr.is_default
+                    else np.full(shape, sr.zero)
+                )
                 if node.array not in allocated:
                     allocated.add(node.array)
                     size = 1
@@ -200,13 +219,19 @@ def execute(
                         size *= s
                     counters.allocate(size)
             elif isinstance(node, ZeroArr):
-                arrays[node.array][...] = 0.0
+                arrays[node.array][...] = sr.zero
             elif isinstance(node, Assign):
                 if not guard_ok():
                     continue
-                value = node.coef
-                for term in node.terms:
-                    value *= term_value(term)
+                if sr.is_default:
+                    value = node.coef
+                    for term in node.terms:
+                        value *= term_value(term)
+                else:
+                    require_unit_coef(node.coef, sr, stage="execution")
+                    value = sr.one
+                    for term in node.terms:
+                        value = combine(value, term_value(term))
                 coords = tuple(
                     sub_value(sub) for sub in node.target.subs
                 )
@@ -227,7 +252,12 @@ def execute(
                     muls += 1
                 try:
                     if node.accumulate:
-                        target[coords] += value
+                        if sr.is_default:
+                            target[coords] += value
+                        else:
+                            target[coords] = reduce_(
+                                float(target[coords]), value
+                            )
                         counters.flops += muls + 1
                     else:
                         target[coords] = value

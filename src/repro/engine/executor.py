@@ -27,6 +27,7 @@ from repro.expr.canonical import flatten
 from repro.expr.indices import Bindings, Index, einsum_letters
 from repro.kernels.einsum_cache import cached_einsum
 from repro.robustness.errors import SpecError
+from repro.semiring import get_semiring, require_unit_coef
 
 #: Signature of a function-tensor implementation: called with integer
 #: coordinate arrays (broadcastable), returns the element values.
@@ -58,6 +59,7 @@ def evaluate_expression(
     validate: bool = True,
     check_finite: bool = False,
     path_cache: bool = True,
+    semiring: str = "plus_times",
 ) -> np.ndarray:
     """Evaluate ``expr`` to a dense array (axes: ``sorted(expr.free)``).
 
@@ -74,9 +76,18 @@ def evaluate_expression(
     re-planning per call -- bit-for-bit identical results, since
     ``optimize=True`` resolves to the same greedy path.  ``False``
     restores the re-planning behaviour (used as a benchmark baseline).
+
+    ``semiring`` selects the scalar algebra (:mod:`repro.semiring`):
+    terms evaluate through the semiring-aware einsum and fold into the
+    result with the registered reduce op from an identity-element
+    start.  ``check_finite`` only applies to the default algebra --
+    tropical carriers legitimately hold ``inf``.
     """
     from repro.robustness.validation import validate_env
 
+    sr = get_semiring(semiring)
+    if not sr.is_default:
+        check_finite = False  # inf is a legitimate tropical carrier value
     functions = functions or {}
     terms = flatten(expr)  # OverflowError propagates: caller's bug
     if validate:
@@ -89,8 +100,13 @@ def evaluate_expression(
         )
     out_indices = tuple(sorted(expr.free))
     out_shape = tuple(i.extent(bindings) for i in out_indices)
-    result = np.zeros(out_shape)
+    result = (
+        np.zeros(out_shape)
+        if sr.is_default
+        else np.full(out_shape, sr.zero)
+    )
     for coef, sum_indices, refs in terms:
+        require_unit_coef(coef, sr, stage="execution")
         all_indices = tuple(
             sorted(set().union(*[set(r.indices) for r in refs]))
         )
@@ -120,11 +136,15 @@ def evaluate_expression(
             subscripts.append("".join(letters[i] for i in ref.indices))
         out_sub = "".join(letters[i] for i in out_indices)
         spec = ",".join(subscripts) + "->" + out_sub
-        if path_cache:
+        if not sr.is_default:
+            value = cached_einsum(spec, *operands, semiring=sr.name)
+            result = sr.np_reduce(result, value)
+        elif path_cache:
             value = cached_einsum(spec, *operands)
+            result = result + coef * value
         else:
             value = np.einsum(spec, *operands, optimize=True)
-        result = result + coef * value
+            result = result + coef * value
     return result
 
 
@@ -135,18 +155,22 @@ def run_statements(
     functions: Optional[Mapping[str, FunctionImpl]] = None,
     *,
     path_cache: bool = True,
+    semiring: str = "plus_times",
 ) -> Dict[str, np.ndarray]:
     """Execute a formula sequence; returns all arrays (inputs + produced).
 
     Produced arrays are stored with axes in the order of the result
     tensor's declared signature.  ``+=`` statements accumulate into an
-    existing array (allocating zeros on first touch).  ``path_cache``
-    as in :func:`evaluate_expression`.
+    existing array (allocating zeros on first touch) -- under a
+    non-default ``semiring`` the accumulation is the registered reduce
+    op.  ``path_cache`` as in :func:`evaluate_expression`.
     """
+    sr = get_semiring(semiring)
     env: Dict[str, np.ndarray] = {k: np.asarray(v) for k, v in inputs.items()}
     for stmt in statements:
         value = evaluate_expression(
-            stmt.expr, env, bindings, functions, path_cache=path_cache
+            stmt.expr, env, bindings, functions, path_cache=path_cache,
+            semiring=semiring,
         )
         # transpose from sorted-free order to declared result order
         sorted_order = tuple(sorted(stmt.result.indices))
@@ -155,7 +179,11 @@ def run_statements(
         name = stmt.result.name
         if stmt.accumulate:
             if name in env:
-                env[name] = env[name] + value
+                env[name] = (
+                    env[name] + value
+                    if sr.is_default
+                    else sr.np_reduce(env[name], value)
+                )
             else:
                 env[name] = value
         else:

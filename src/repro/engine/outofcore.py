@@ -167,6 +167,7 @@ def simulate_out_of_core(
     *,
     checkpoint_dir: Optional[str] = None,
     interrupt_after: Optional[int] = None,
+    semiring: str = "plus_times",
 ) -> OOCStats:
     """Execute ``block`` with a bounded buffer pool; returns I/O stats.
 
@@ -195,6 +196,7 @@ def simulate_out_of_core(
         checkpoint=checkpoint_dir,
         interrupt_after=interrupt_after,
         extra_state=(pool.get_state, pool.set_state),
+        semiring=semiring,
     )
     pool.flush()
     pool.stats.arrays = arrays

@@ -125,16 +125,28 @@ def build_forest(statements: Sequence[Statement]) -> List[CompNode]:
     # (positional dimension elimination would be ambiguous then); two
     # identical references within one statement are one consumer nest
     consumer_counts: Dict[str, int] = {}
+    renamed: Set[str] = set()
     for stmt in statements:
         tuples_here: Dict[str, set] = {}
         for ref in stmt.expr.refs():
             name = ref.tensor.name
             if name in producers and producers[name] is not stmt:
                 tuples_here.setdefault(name, set()).add(tuple(ref.indices))
+                # a reference under indices other than the producer's
+                # declared output indices (e.g. D(j) consumed as D(i)
+                # inside a contraction) is a *transposed/renamed* use:
+                # the producer's loops are not the consumer's loops
+                # even when the Index objects coincide, so fusing the
+                # edge would misalign the nests.  Materialize instead.
+                if tuple(ref.indices) != tuple(
+                    producers[name].result.indices
+                ):
+                    renamed.add(name)
         for name, tuples in tuples_here.items():
             consumer_counts[name] = consumer_counts.get(name, 0) + len(tuples)
 
     shared = {name for name, count in consumer_counts.items() if count > 1}
+    shared |= renamed
 
     def node_for(stmt: Statement) -> CompNode:
         name = stmt.result.name

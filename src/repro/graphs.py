@@ -1,0 +1,248 @@
+"""Graph and dynamic-programming workloads as tensor programs.
+
+The semiring layer (:mod:`repro.semiring`) turns the synthesis pipeline
+into a graph engine: the same contraction programs that compute
+``C[i,j] = sum(k) A[i,k] * B[k,j]`` compute single-source shortest
+paths, all-pairs shortest paths, and transitive closure once the scalar
+algebra is swapped.  This module provides
+
+* **program builders** emitting the high-level notation
+  (:mod:`repro.expr.parser`) for three classic problems:
+
+  - :func:`sssp_program` -- Bellman-Ford relaxation
+    ``D_t(j) = sum(i) D_{t-1}(i) * W(i, j)`` over ``min_plus``;
+  - :func:`apsp_program` -- all-pairs shortest paths by repeated
+    squaring ``S_{2t}(i,j) = sum(k) S_t(i,k) * S_t(k,j)`` over
+    ``min_plus`` (``ceil(log2(n-1))`` statements);
+  - :func:`closure_program` -- transitive closure by the same squaring
+    over ``or_and``;
+
+* **deterministic input generators** (:func:`random_weight_matrix`,
+  :func:`random_adjacency`) whose absent edges carry the semiring's
+  annihilator (``inf`` for ``min_plus``) and whose diagonal carries the
+  identity (``0.0`` -- a zero-length path), making every matrix power
+  monotone in path length;
+
+* **brute-force oracles** (:func:`bellman_ford`, :func:`floyd_warshall`,
+  :func:`reachability`) written as plain Python loops -- no scipy, no
+  networkx -- so validation never depends on the machinery under test.
+
+``min_plus`` results are **bit-identical** across executors, not merely
+close: the only operations are float addition and ``min`` of previously
+constructed values, both exact in IEEE double for any evaluation order
+that the executors legally reassociate into.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "apsp_program",
+    "bellman_ford",
+    "closure_program",
+    "floyd_warshall",
+    "random_adjacency",
+    "random_weight_matrix",
+    "reachability",
+    "squaring_steps",
+    "sssp_program",
+]
+
+
+def squaring_steps(n: int) -> int:
+    """Squarings needed to cover all simple paths of ``n`` nodes.
+
+    After ``m`` squarings of a reflexive weight matrix, entry ``(i, j)``
+    is the shortest walk of at most ``2**m`` edges; simple shortest
+    paths have at most ``n - 1`` edges.
+    """
+    steps = 0
+    reach = 1
+    while reach < max(n - 1, 1):
+        reach *= 2
+        steps += 1
+    return max(steps, 1)
+
+
+def random_weight_matrix(
+    n: int, density: float = 0.4, seed: int = 0
+) -> np.ndarray:
+    """Random directed weight matrix for ``min_plus`` programs.
+
+    Present edges get weights in ``[1, 10)``; absent edges are ``inf``
+    (the ``min_plus`` annihilator); the diagonal is ``0.0`` (the
+    identity -- a zero-length path).  Deterministic in ``seed``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one node, got n={n}")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    weights = 1.0 + 9.0 * rng.random((n, n))
+    present = rng.random((n, n)) < density
+    out = np.where(present, weights, np.inf)
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def random_adjacency(
+    n: int, density: float = 0.3, seed: int = 0
+) -> np.ndarray:
+    """Random reflexive 0/1 adjacency matrix for ``or_and`` programs."""
+    if n < 1:
+        raise ValueError(f"need at least one node, got n={n}")
+    rng = np.random.default_rng(seed)
+    out = (rng.random((n, n)) < density).astype(np.float64)
+    np.fill_diagonal(out, 1.0)
+    return out
+
+
+def sssp_program(n: int, relaxations: int | None = None) -> Tuple[str, str]:
+    """Bellman-Ford as a tensor program; returns ``(source, result)``.
+
+    ``D0`` is the source-distance vector (``0`` at the source, ``inf``
+    elsewhere); each statement relaxes every edge once.  ``n - 1``
+    relaxations (the default) reach every shortest path.
+    """
+    relaxations = max(n - 1, 1) if relaxations is None else relaxations
+    if relaxations < 1:
+        raise ValueError(f"need at least one relaxation, got {relaxations}")
+    lines: List[str] = [
+        f"range N = {n};",
+        "index i, j : N;",
+        "tensor W(i, j);",
+        "tensor D0(i);",
+    ]
+    for t in range(1, relaxations + 1):
+        lines.append(f"D{t}(j) = sum(i) D{t - 1}(i) * W(i, j);")
+    return "\n".join(lines) + "\n", f"D{relaxations}"
+
+
+def apsp_program(n: int) -> Tuple[str, str]:
+    """All-pairs shortest paths by repeated squaring; ``(source, result)``.
+
+    ``ceil(log2(n - 1))`` matrix squarings of the reflexive weight
+    matrix over ``min_plus``; the final statement's result (``D``)
+    holds the full shortest-path distance matrix.
+    """
+    steps = squaring_steps(n)
+    lines: List[str] = [
+        f"range N = {n};",
+        "index i, j, k : N;",
+        "tensor W(i, j);",
+    ]
+    prev = "W"
+    for t in range(1, steps + 1):
+        cur = "D" if t == steps else f"S{t}"
+        lines.append(f"{cur}(i, j) = sum(k) {prev}(i, k) * {prev}(k, j);")
+        prev = cur
+    return "\n".join(lines) + "\n", "D"
+
+
+def closure_program(n: int) -> Tuple[str, str]:
+    """Transitive closure by repeated squaring over ``or_and``.
+
+    Same statement shape as :func:`apsp_program` on a reflexive 0/1
+    adjacency matrix ``A``; the result ``C`` is 1 where a directed path
+    exists.
+    """
+    steps = squaring_steps(n)
+    lines: List[str] = [
+        f"range N = {n};",
+        "index i, j, k : N;",
+        "tensor A(i, j);",
+    ]
+    prev = "A"
+    for t in range(1, steps + 1):
+        cur = "C" if t == steps else f"R{t}"
+        lines.append(f"{cur}(i, j) = sum(k) {prev}(i, k) * {prev}(k, j);")
+        prev = cur
+    return "\n".join(lines) + "\n", "C"
+
+
+# -- oracles (plain Python; deliberately independent of the pipeline) ----
+
+
+def bellman_ford(weights: np.ndarray, source: int = 0) -> np.ndarray:
+    """Single-source shortest distances by edge relaxation.
+
+    Pure-Python nested loops over a dense weight matrix (``inf`` =
+    absent edge); the reference implementation the E25 benchmark times
+    the native ``min_plus`` backend against.
+    """
+    n = len(weights)
+    dist = [float("inf")] * n
+    dist[source] = 0.0
+    w = [[float(weights[i][j]) for j in range(n)] for i in range(n)]
+    for _ in range(max(n - 1, 1)):
+        changed = False
+        for i in range(n):
+            di = dist[i]
+            if di == float("inf"):
+                continue
+            row = w[i]
+            for j in range(n):
+                cand = di + row[j]
+                if cand < dist[j]:
+                    dist[j] = cand
+                    changed = True
+        if not changed:
+            break
+    return np.array(dist)
+
+
+def floyd_warshall(weights: np.ndarray) -> np.ndarray:
+    """All-pairs shortest distances, pure-Python triple loop."""
+    n = len(weights)
+    dist = [[float(weights[i][j]) for j in range(n)] for i in range(n)]
+    for i in range(n):
+        dist[i][i] = min(dist[i][i], 0.0)
+    for k in range(n):
+        rk = dist[k]
+        for i in range(n):
+            dik = dist[i][k]
+            if dik == float("inf"):
+                continue
+            ri = dist[i]
+            for j in range(n):
+                cand = dik + rk[j]
+                if cand < ri[j]:
+                    ri[j] = cand
+    return np.array(dist)
+
+
+def reachability(adjacency: np.ndarray) -> np.ndarray:
+    """Reflexive-transitive closure (0/1), pure-Python worklist."""
+    n = len(adjacency)
+    reach: List[set] = [
+        {j for j in range(n) if adjacency[i][j] != 0.0} | {i}
+        for i in range(n)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n):
+            new = set()
+            for j in reach[i]:
+                new |= reach[j]
+            if not new <= reach[i]:
+                reach[i] |= new
+                changed = True
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in reach[i]:
+            out[i][j] = 1.0
+    return out
+
+
+def sssp_inputs(
+    weights: np.ndarray, source: int = 0
+) -> Dict[str, np.ndarray]:
+    """Input environment for :func:`sssp_program` on ``weights``."""
+    n = len(weights)
+    d0 = np.full(n, np.inf)
+    d0[source] = 0.0
+    return {"W": np.asarray(weights, dtype=np.float64), "D0": d0}

@@ -28,6 +28,11 @@ legitimately pick a different path than a float64 call of the same
 shapes -- serving one the other's path would silently change the
 cost-model decision (same audit that put dtype into the artifact and
 tuning keys).
+
+Keys also carry the **semiring id**: ``np.einsum`` only evaluates the
+``plus_times`` algebra, so any other registered semiring dispatches to
+:func:`repro.semiring.semiring_einsum` (broadcast-combine-then-reduce)
+and its entries must never collide with the classical paths.
 """
 
 from __future__ import annotations
@@ -48,7 +53,7 @@ __all__ = [
 #: LRU bound; paths are tiny (a list of index pairs), so this is generous.
 _MAXSIZE = 4096
 
-_CacheKey = Tuple[str, Tuple[Tuple[Tuple[int, ...], str], ...]]
+_CacheKey = Tuple[str, str, Tuple[Tuple[Tuple[int, ...], str], ...]]
 _paths: "OrderedDict[_CacheKey, List]" = OrderedDict()
 _hits = 0
 _misses = 0
@@ -61,15 +66,17 @@ def _signature(operands) -> Tuple[Tuple[Tuple[int, ...], str], ...]:
     )
 
 
-def cached_einsum_path(spec: str, *operands: np.ndarray) -> List:
+def cached_einsum_path(
+    spec: str, *operands: np.ndarray, semiring: str = "plus_times"
+) -> List:
     """The einsum contraction path for ``spec`` on these operands.
 
-    Computed once per ``(spec, shapes+dtypes)`` via ``np.einsum_path``
-    with the default greedy optimizer (the same one ``optimize=True``
-    uses), then served from the LRU.  Thread-safe.
+    Computed once per ``(spec, semiring, shapes+dtypes)`` via
+    ``np.einsum_path`` with the default greedy optimizer (the same one
+    ``optimize=True`` uses), then served from the LRU.  Thread-safe.
     """
     global _hits, _misses
-    key = (spec, _signature(operands))
+    key = (spec, semiring, _signature(operands))
     with _lock:
         path = _paths.get(key)
         if path is not None:
@@ -89,15 +96,28 @@ def cached_einsum_path(spec: str, *operands: np.ndarray) -> List:
 
 
 def cached_einsum(
-    spec: str, *operands: np.ndarray, out: Optional[np.ndarray] = None
+    spec: str,
+    *operands: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    semiring: str = "plus_times",
 ) -> np.ndarray:
     """``np.einsum(spec, *operands, optimize=True)`` without re-planning.
 
     Numerically identical to the uncached call (same path, same
     execution kernels); the only difference is that the path search runs
     once per operand signature instead of once per call.
+
+    A non-default ``semiring`` evaluates the same subscript spec under
+    that algebra via :func:`repro.semiring.semiring_einsum` (einsum
+    itself cannot fold with anything but ``(+, ×)``).
     """
-    path = cached_einsum_path(spec, *operands)
+    if semiring != "plus_times":
+        from repro.semiring import get_semiring, semiring_einsum
+
+        return semiring_einsum(
+            spec, *operands, semiring=get_semiring(semiring), out=out
+        )
+    path = cached_einsum_path(spec, *operands, semiring=semiring)
     return np.einsum(spec, *operands, optimize=path, out=out)
 
 

@@ -35,8 +35,29 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.expr.indices import Index
+from repro.robustness.errors import ReproError
 
 __all__ = ["GemmSpec", "lower_binary_term", "exec_gemm", "exec_gemm_arena"]
+
+
+def _require_plus_times(semiring: str, where: str) -> None:
+    """GEMM *is* the ``(+, ×)`` algebra -- ``np.matmul`` hard-codes it.
+
+    Reaching this lowering under any other semiring would silently
+    compute classical sums of products where the caller asked for, say,
+    tropical shortest paths; that must be a structured error, never a
+    wrong answer.  The kernel planner routes non-default algebras to
+    the native/einsum reduction paths and never gets here.
+    """
+    if semiring != "plus_times":
+        raise ReproError(
+            f"GEMM lowering only implements the plus_times semiring; "
+            f"'{semiring}' contractions must use the native or einsum "
+            "reduction path",
+            stage="codegen",
+            semiring=semiring,
+            where=where,
+        )
 
 
 @dataclass(frozen=True)
@@ -67,14 +88,19 @@ def lower_binary_term(
     right: Sequence[Index],
     sum_indices: frozenset,
     out: Sequence[Index],
+    semiring: str = "plus_times",
 ) -> Optional[GemmSpec]:
     """Classify a binary term's indices and build its :class:`GemmSpec`.
 
     Returns ``None`` for the degenerate cases GEMM cannot express
     directly (repeated indices within an operand -- diagonals/traces --
     or an output index absent from both operands); callers fall back to
-    einsum there.
+    einsum there.  A non-``plus_times`` ``semiring`` raises a
+    structured :class:`~repro.robustness.errors.ReproError`: GEMM can
+    never evaluate it, and declining loudly beats a silent wrong
+    answer.
     """
+    _require_plus_times(semiring, "lower_binary_term")
     left = tuple(left)
     right = tuple(right)
     out = tuple(out)
@@ -141,6 +167,7 @@ def exec_gemm(
     nk: int,
     nn: int,
     operm: Tuple[int, ...],
+    semiring: str = "plus_times",
 ) -> np.ndarray:
     """Execute a lowered binary contraction (allocation-per-call form).
 
@@ -148,6 +175,7 @@ def exec_gemm(
     (:mod:`repro.codegen.npgen`) call; :class:`~repro.kernels.plan.
     KernelRunner` uses :func:`exec_gemm_arena` instead to reuse buffers.
     """
+    _require_plus_times(semiring, "exec_gemm")
     a = np.asarray(a)
     b = np.asarray(b)
     if lred:

@@ -128,6 +128,9 @@ class NativeSpec:
     extents: Tuple[int, ...]
     nout: int
     operands: Tuple[Tuple[int, ...], ...]
+    #: scalar algebra of the nest (see :mod:`repro.semiring`); part of
+    #: the rendered IR, hence of the artifact key
+    semiring: str = "plus_times"
 
     @property
     def out_shape(self) -> Tuple[int, ...]:
@@ -169,13 +172,16 @@ AnySpec = Union[NativeSpec, FusedSpec]
 
 
 def lower_native_term(
-    refs: Sequence, sum_indices, target: Sequence, bindings
+    refs: Sequence, sum_indices, target: Sequence, bindings,
+    semiring: str = "plus_times",
 ) -> Optional[NativeSpec]:
     """Build the :class:`NativeSpec` of one flat term, or ``None``.
 
     The only unsupported shape is a repeated index in the *output*
     (no valid dense iteration space); operand diagonals and any
-    operand count lower fine.
+    operand count lower fine.  ``semiring`` selects the scalar algebra
+    the nest folds with (any registered algebra compiles -- native
+    nests, unlike GEMM, are total over semirings).
     """
     target = tuple(target)
     if len(set(target)) != len(target):
@@ -200,6 +206,7 @@ def lower_native_term(
         extents=extents,
         nout=len(target),
         operands=operands,
+        semiring=semiring,
     )
 
 

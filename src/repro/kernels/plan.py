@@ -40,6 +40,7 @@ from repro.kernels.arena import BufferArena
 from repro.kernels.einsum_cache import cached_einsum
 from repro.kernels.lowering import GemmSpec, exec_gemm_arena, lower_binary_term
 from repro.robustness.errors import SpecError
+from repro.semiring import get_semiring, require_unit_coef
 
 __all__ = [
     "OperandSpec",
@@ -149,6 +150,9 @@ class KernelPlan:
     fused_groups: Tuple[FusedGroup, ...] = ()
     #: statements covered by a fusion group
     fused_statements: int = 0
+    #: scalar algebra every term folds with (see :mod:`repro.semiring`);
+    #: non-default algebras carry no GEMM terms by construction
+    semiring: str = "plus_times"
 
     def describe(self) -> str:
         text = (
@@ -156,6 +160,8 @@ class KernelPlan:
             f"{self.gemm_terms} gemm, {self.copy_terms} copy, "
             f"{self.einsum_terms} einsum-fallback terms"
         )
+        if self.semiring != "plus_times":
+            text += f", semiring {self.semiring}"
         if self.native_terms:
             text += f", {self.native_terms} native nests"
         if self.fused_groups:
@@ -301,6 +307,7 @@ def compile_kernel_plan(
     bindings: Optional[Bindings] = None,
     mode: str = "gemm",
     fuse: bool = False,
+    semiring: str = "plus_times",
 ) -> KernelPlan:
     """Lower a formula sequence to a :class:`KernelPlan`.
 
@@ -329,12 +336,20 @@ def compile_kernel_plan(
     entered once per group.  Every fused statement keeps its unfused
     lowering too, so a machine that cannot compile the group runs the
     statements individually.
+
+    ``semiring`` selects the scalar algebra (see :mod:`repro.semiring`).
+    Under any non-default algebra GEMM classification is skipped
+    entirely -- ``np.matmul`` is ``(+, ×)`` by definition -- so terms
+    lower to native nests (which fold with the registered combine and
+    reduce ops) with the semiring-aware einsum reduction as the
+    fallback, and only coefficient-1 terms are accepted.
     """
     if mode not in ("gemm", "einsum", "native"):
         raise ValueError(
             f"unknown kernel-plan mode {mode!r} "
             "(use 'gemm', 'einsum', or 'native')"
         )
+    sr = get_semiring(semiring)
     lower_native = None
     if mode == "native":
         from repro.kernels.native import lower_native_term
@@ -347,6 +362,9 @@ def compile_kernel_plan(
         out_shape = tuple(i.extent(bindings) for i in target)
         terms: List[TermPlan] = []
         for coef, sums, refs in flatten(stmt.expr):
+            require_unit_coef(
+                coef, sr, stage="codegen", statement=stmt.result.name
+            )
             operands = tuple(
                 OperandSpec(
                     ref.tensor.name,
@@ -359,7 +377,7 @@ def compile_kernel_plan(
             )
             gemm = None
             spec = None
-            if len(refs) == 2 and mode in ("gemm", "native"):
+            if len(refs) == 2 and mode in ("gemm", "native") and sr.is_default:
                 gemm = lower_binary_term(
                     refs[0].indices, refs[1].indices, sums, target
                 )
@@ -388,7 +406,8 @@ def compile_kernel_plan(
                 spec = ",".join(subscripts) + "->" + out_sub
             native = None
             if lower_native is not None and kind != "copy":
-                native = lower_native(refs, sums, target, bindings)
+                native = lower_native(refs, sums, target, bindings,
+                                      semiring=semiring)
                 if native is not None:
                     native_terms += 1
             terms.append(TermPlan(coef, operands, kind, gemm, spec, native))
@@ -433,7 +452,7 @@ def compile_kernel_plan(
         fused_statements = sum(g.stop - g.start for g in fused_groups)
     return KernelPlan(
         tuple(stmt_plans), outputs, gemm_terms, einsum_terms, copy_terms,
-        mode, native_terms, fused_groups, fused_statements,
+        mode, native_terms, fused_groups, fused_statements, semiring,
     )
 
 
@@ -477,6 +496,8 @@ class KernelRunner:
         threads: Optional[int] = None,
     ) -> None:
         self.plan = plan
+        # pre-semiring plans revived from old caches carry no field
+        self._sr = get_semiring(getattr(plan, "semiring", "plus_times"))
         self.arena = arena if arena is not None else BufferArena()
         self.functions = dict(functions or {})
         self.keep = frozenset(keep)
@@ -560,6 +581,14 @@ class KernelRunner:
     # -- term execution ----------------------------------------------------
 
     def _accumulate(self, out, value, coef: float, first: bool) -> None:
+        if not self._sr.is_default:
+            # coefficient-1 contract (enforced at plan compile time):
+            # folding is a pure semiring reduce into the buffer
+            if first:
+                np.copyto(out, value)
+            else:
+                self._sr.np_reduce(out, value, out=out)
+            return
         if first:
             if coef == 1.0:
                 np.copyto(out, value)
@@ -638,7 +667,9 @@ class KernelRunner:
                     for op in ops
                 ]
                 if first:
-                    out.fill(0)  # the nest only ever accumulates
+                    # the nest only ever reduces into the buffer; seed
+                    # it with the algebra's identity element
+                    out.fill(self._sr.zero)
                 fn(term.coef, ops, out)
                 return
         if term.kind == "gemm":
@@ -652,11 +683,13 @@ class KernelRunner:
             self._accumulate(out, ops[0], term.coef, first)
         else:  # einsum fallback (cached contraction path)
             if first and term.coef == 1.0:
-                cached_einsum(term.spec, *ops, out=out)
+                cached_einsum(term.spec, *ops, out=out,
+                              semiring=self._sr.name)
             else:
                 scratch = self.arena.take(out.shape, out.dtype)
                 try:
-                    cached_einsum(term.spec, *ops, out=scratch)
+                    cached_einsum(term.spec, *ops, out=scratch,
+                                  semiring=self._sr.name)
                     self._accumulate(out, scratch, term.coef, first)
                 finally:
                     self.arena.release(scratch)
@@ -713,7 +746,8 @@ class KernelRunner:
                         arr = np.ascontiguousarray(arr, dtype=np.float64)
                     ops.append(arr)
             for out in outs:
-                out.fill(0)  # the fused nest only ever accumulates
+                # the fused nest only ever reduces into its slots
+                out.fill(self._sr.zero)
             fn(coefs, ops, outs)
         except BaseException:
             for buf in fresh:

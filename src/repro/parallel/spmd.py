@@ -295,8 +295,23 @@ def compile_schedule(plan: PartitionPlan) -> List[Step]:
 # ---------------------------------------------------------------------------
 
 
-def generate_spmd_source(plan: PartitionPlan, name: str = "rank_program") -> str:
-    """Emit the per-rank program source for a partition plan."""
+def generate_spmd_source(
+    plan: PartitionPlan,
+    name: str = "rank_program",
+    semiring: str = "plus_times",
+) -> str:
+    """Emit the per-rank program source for a partition plan.
+
+    ``semiring`` selects the scalar algebra (:mod:`repro.semiring`):
+    local products emit the combine ufunc, partial sums emit the reduce
+    ufunc's axis reduction, and the combine superstep's cross-rank
+    accumulation emits the reduce ufunc -- the emitted text is what
+    ships to process-backend workers, so every execution substrate
+    inherits the algebra from this one emission site.
+    """
+    from repro.semiring import get_semiring
+
+    sr = get_semiring(semiring)
     grid = plan.grid
     bindings = plan.bindings
     steps = compile_schedule(plan)
@@ -405,7 +420,13 @@ def generate_spmd_source(plan: PartitionPlan, name: str = "rank_program") -> str
                 f"    _rb = broadcast_to_axes(state[{rvar!r}][1], "
                 f"{raxes!r}, {len(oind)})"
             )
-            emit(f"    state[{step.out!r}] = (_box, _lb * _rb)")
+            if sr.is_default:
+                emit(f"    state[{step.out!r}] = (_box, _lb * _rb)")
+            else:
+                emit(
+                    f"    state[{step.out!r}] = (_box, "
+                    f"np.{sr.combine_ufunc}(_lb, _rb))"
+                )
             emit("else:")
             emit(f"    state[{step.out!r}] = (None, None)")
             emit("yield")
@@ -420,7 +441,16 @@ def generate_spmd_source(plan: PartitionPlan, name: str = "rank_program") -> str
                 f"    _box = tuple(r for _k, r in enumerate(_held[0]) "
                 f"if _k != {axis})"
             )
-            emit(f"    state[{step.out!r}] = (_box, _held[1].sum(axis={axis}))")
+            if sr.is_default:
+                emit(
+                    f"    state[{step.out!r}] = "
+                    f"(_box, _held[1].sum(axis={axis}))"
+                )
+            else:
+                emit(
+                    f"    state[{step.out!r}] = (_box, "
+                    f"np.{sr.reduce_ufunc}.reduce(_held[1], axis={axis}))"
+                )
             emit("else:")
             emit(f"    state[{step.out!r}] = (None, None)")
             emit("yield")
@@ -437,7 +467,10 @@ def generate_spmd_source(plan: PartitionPlan, name: str = "rank_program") -> str
             emit(f"    _box, _blk = state[{pvar!r}]")
             emit("    _blk = _blk.copy()")
             emit(f"    for _pbox, _piece in comm.recv_all(rank, {tag!r}):")
-            emit("        _blk += _piece")
+            if sr.is_default:
+                emit("        _blk += _piece")
+            else:
+                emit(f"        _blk = np.{sr.reduce_ufunc}(_blk, _piece)")
             emit(f"    state[{step.out!r}] = (_box, _blk)")
             emit("else:")
             emit(f"    state[{step.out!r}] = (None, None)")
@@ -508,6 +541,7 @@ def run_spmd(
     max_restarts: int = 3,
     retry_backoff: float = 0.0,
     sleep: Callable[[float], None] = time.sleep,
+    semiring: str = "plus_times",
 ) -> SpmdRun:
     """Generate, compile, and execute the rank program on all ranks.
 
@@ -523,7 +557,7 @@ def run_spmd(
     once; exceeding ``max_restarts`` raises
     :class:`~repro.robustness.errors.CommFailure`.
     """
-    source = generate_spmd_source(plan, name)
+    source = generate_spmd_source(plan, name, semiring=semiring)
     namespace: Dict[str, object] = {}
     exec(compile(source, "<generated spmd>", "exec"), namespace)
     program = namespace[name]
@@ -575,7 +609,14 @@ def run_spmd(
 
     indices = tuple(plan.root.indices)
     shape = tuple(i.extent(plan.bindings) for i in indices)
-    out = np.zeros(shape)
+    if semiring == "plus_times":
+        out = np.zeros(shape)
+    else:
+        from repro.semiring import get_semiring
+
+        # result blocks partition the output, but an identity-element
+        # background is the only neutral fill outside plus_times
+        out = np.full(shape, get_semiring(semiring).zero)
     for rank, state in states.items():
         box, blk = state.get("__result__", (None, None))
         if box is not None:
@@ -594,6 +635,7 @@ def run_spmd_sequence(
     procs: Optional[int] = None,
     pool=None,
     transport: str = "shm",
+    semiring: str = "plus_times",
 ) -> SpmdSequenceRun:
     """Execute a whole-sequence plan (:func:`repro.parallel.program_plan.
     plan_sequence`) as a series of generated SPMD programs.
@@ -637,7 +679,7 @@ def run_spmd_sequence(
     try:
         return _run_sequence(
             seq_plan, run_one, dict(inputs), declared,
-            faults, max_retries, max_restarts,
+            faults, max_retries, max_restarts, semiring,
         )
     finally:
         if owned_pool is not None:
@@ -646,6 +688,7 @@ def run_spmd_sequence(
 
 def _run_sequence(
     seq_plan, run_one, arrays, declared, faults, max_retries, max_restarts,
+    semiring="plus_times",
 ) -> SpmdSequenceRun:
     runs: List[Tuple[str, SpmdRun]] = []
     traffic = 0
@@ -653,7 +696,7 @@ def _run_sequence(
     for name, plan in seq_plan.plans:
         run = run_one(
             plan, arrays, faults=faults, max_retries=max_retries,
-            max_restarts=max_restarts,
+            max_restarts=max_restarts, semiring=semiring,
         )
         runs.append((name, run))
         traffic += run.comm.total_traffic

@@ -60,8 +60,10 @@ from repro.robustness.errors import BudgetExceeded
 #: stale instead of resurfacing as an object missing attributes
 #: (version 2: codegen_mode / native_artifacts / native kernel terms;
 #: version 3: kernel_threads / fuse_statements config and fused-group
-#: kernel plans).
-RESULT_VERSION = 3
+#: kernel plans; version 4: semiring-generalized contractions -- the
+#: config carries a semiring id, kernel plans record their algebra, and
+#: nest IR moved to v3 with semiring-aware emission).
+RESULT_VERSION = 4
 
 
 @dataclass
@@ -115,6 +117,16 @@ class SynthesisConfig:
     #: into single jointly-parallel kernels (native codegen only; other
     #: modes ignore the flag)
     fuse_statements: bool = False
+    #: scalar algebra the contractions evaluate under
+    #: (:mod:`repro.semiring`): ``"plus_times"`` is classical linear
+    #: algebra; ``"min_plus"``/``"max_plus"``/``"max_times"``/
+    #: ``"or_and"`` turn the same tensor programs into shortest-path /
+    #: longest-path / max-reliability / reachability engines.  Threaded
+    #: through every executor, the kernel planner (GEMM declines
+    #: non-default algebras), generated nest IR, and the SPMD runtime;
+    #: part of the config fingerprint, so plan-cache entries never
+    #: collide across algebras.
+    semiring: str = "plus_times"
 
 
 @dataclass
@@ -231,6 +243,7 @@ class SynthesisResult:
                 self.config.bindings,
                 functions,
                 counters,
+                semiring=self.config.semiring,
             )
         return interp_execute(
             self.structure,
@@ -240,10 +253,25 @@ class SynthesisResult:
             counters,
             check_finite=check_finite,
             checkpoint=checkpoint,
+            semiring=self.config.semiring,
         )
+
+    def _require_default_semiring(self, where: str) -> None:
+        """The loop/numpy source generators hard-code ``(+, ×)``."""
+        if getattr(self.config, "semiring", "plus_times") != "plus_times":
+            from repro.robustness.errors import ReproError
+
+            raise ReproError(
+                f"{where} only supports the plus_times semiring; use "
+                "execute(), kernel_runner(), or the native codegen path "
+                f"for '{self.config.semiring}' programs",
+                stage="codegen",
+                semiring=self.config.semiring,
+            )
 
     def compile(self) -> Callable:
         """Compile the generated Python source to a callable kernel."""
+        self._require_default_semiring("compile()")
         return compile_loops(self.structure, self.config.bindings)
 
     def compile_fast(self) -> Callable:
@@ -255,6 +283,7 @@ class SynthesisResult:
         fits in memory).  Numerically it matches the reference executor
         to floating-point reassociation tolerance (~1e-12 relative).
         """
+        self._require_default_semiring("compile_fast()")
         from repro.codegen.npgen import compile_sequence
 
         return compile_sequence(self.statements, self.config.bindings)
@@ -291,6 +320,7 @@ class SynthesisResult:
                 self.statements, self.config.bindings,
                 mode=self.codegen_mode,
                 fuse=self.config.fuse_statements,
+                semiring=self.config.semiring,
             )
         return KernelRunner(plan, functions=functions, **kwargs)
 
@@ -303,7 +333,11 @@ class SynthesisResult:
         from repro.parallel.spmd import generate_spmd_source
 
         return {
-            name: generate_spmd_source(plan, name=f"rank_program_{name}")
+            name: generate_spmd_source(
+                plan,
+                name=f"rank_program_{name}",
+                semiring=self.config.semiring,
+            )
             for name, plan in self.partition_plans.items()
         }
 
@@ -463,7 +497,8 @@ class SynthesisResult:
                     )
                     notes.append(f"{name}: executed locally -- {reason}")
                     arrays = run_local(
-                        [stmt], arrays, self.config.bindings, functions
+                        [stmt], arrays, self.config.bindings, functions,
+                        semiring=self.config.semiring,
                     )
                     continue
                 seq_plan = SequencePlan([(name, plan)], plan.total_cost)
@@ -476,6 +511,7 @@ class SynthesisResult:
                                 max_restarts=max_restarts,
                                 backend=backend, procs=procs, pool=p,
                                 transport=p.transport,
+                                semiring=self.config.semiring,
                             )
                         )
                     )
@@ -485,6 +521,7 @@ class SynthesisResult:
                         max_retries=max_retries, max_restarts=max_restarts,
                         backend=backend, procs=procs, pool=pool,
                         transport=transport,
+                        semiring=self.config.semiring,
                     )
                 arrays.update(out.arrays)
         finally:
@@ -521,6 +558,9 @@ def synthesize(
     synthesis, a TuningDB hit additionally skips all measurement.
     """
     config = config or SynthesisConfig()
+    from repro.semiring import get_semiring
+
+    get_semiring(config.semiring)  # fail fast on unknown algebra names
     program = (
         parse_program(source) if isinstance(source, str) else source
     )
@@ -937,6 +977,7 @@ def _synthesize_pipeline(
         kernel_plan = compile_kernel_plan(
             statements, bindings, mode=codegen_mode,
             fuse=config.fuse_statements,
+            semiring=config.semiring,
         )
     except (OverflowError, ValueError) as exc:
         codegen_report.notes.append(
@@ -945,6 +986,8 @@ def _synthesize_pipeline(
         )
     if kernel_plan is not None:
         codegen_report.details["codegen mode"] = codegen_mode
+        if config.semiring != "plus_times":
+            codegen_report.details["semiring"] = config.semiring
         codegen_report.details["kernel terms (gemm/copy/einsum)"] = (
             f"{kernel_plan.gemm_terms}/{kernel_plan.copy_terms}/"
             f"{kernel_plan.einsum_terms}"

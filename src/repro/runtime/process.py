@@ -457,6 +457,7 @@ def run_spmd_process(
     procs: Optional[int] = None,
     pool: Optional[SpmdProcessPool] = None,
     transport: str = "shm",
+    semiring: str = "plus_times",
 ) -> SpmdRun:
     """Execute a partition plan's rank programs across worker processes.
 
@@ -471,7 +472,9 @@ def run_spmd_process(
     ndarray wire of a pool created here (a passed-in ``pool`` keeps its
     own transport).
     """
-    source = generate_spmd_source(plan, name)
+    # workers exec the shipped source text, so the semiring-aware
+    # emission here is the only change the process backend needs
+    source = generate_spmd_source(plan, name, semiring=semiring)
     grid = plan.grid
     ranks = list(grid.ranks())
     nworkers = max(1, min(procs or len(ranks), len(ranks)))
@@ -482,6 +485,7 @@ def run_spmd_process(
         return _drive(
             pool, nworkers, plan, source, name, ranks, inputs,
             faults, max_retries, max_restarts, retry_backoff, sleep,
+            semiring,
         )
     finally:
         if owned:
@@ -501,6 +505,7 @@ def _drive(
     max_restarts: int,
     retry_backoff: float,
     sleep: Callable[[float], None],
+    semiring: str = "plus_times",
 ) -> SpmdRun:
     grid = plan.grid
     workers = pool.workers(nworkers)
@@ -582,7 +587,12 @@ def _drive(
 
     indices = tuple(plan.root.indices)
     shape = tuple(i.extent(plan.bindings) for i in indices)
-    out = np.zeros(shape)
+    if semiring == "plus_times":
+        out = np.zeros(shape)
+    else:
+        from repro.semiring import get_semiring
+
+        out = np.full(shape, get_semiring(semiring).zero)
     whole = tuple((0, n) for n in shape)
     for rank in ranks:
         box, blk = results.get(rank, (None, None))
@@ -601,6 +611,7 @@ def run_spmd_sequence_process(
     procs: Optional[int] = None,
     pool: Optional[SpmdProcessPool] = None,
     transport: str = "shm",
+    semiring: str = "plus_times",
 ) -> SpmdSequenceRun:
     """Process-backend twin of :func:`repro.parallel.spmd.
     run_spmd_sequence`: every statement's rank programs run on one
@@ -611,4 +622,5 @@ def run_spmd_sequence_process(
         statements, seq_plan, inputs, faults=faults,
         max_retries=max_retries, max_restarts=max_restarts,
         backend="process", procs=procs, pool=pool, transport=transport,
+        semiring=semiring,
     )

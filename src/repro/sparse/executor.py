@@ -23,6 +23,17 @@ same axis conventions, same function-tensor protocol, same ``+=``
 accumulation -- so the two can be compared ``allclose`` on any program.
 Measured multiply-adds are tallied into the standard
 :class:`repro.engine.counters.Counters` (``flops``/``func_evals``).
+
+Semirings: under a non-default algebra (:mod:`repro.semiring`) the
+*stored-entry* predicate is ``value != semiring.zero`` -- for
+``min_plus`` an absent edge is ``inf`` (droppable annihilator) while a
+``0.0`` diagonal entry is the multiplicative identity and **must** be
+kept, exactly inverted from the classical convention.  Because
+:class:`COOTensor` canonicalization hard-codes the classical
+"no stored zeros" rule, non-default operands are compressed into a
+private coordinate container instead; join products fold with the
+combine op and matches accumulate with the reduce op from an
+identity-element start.
 """
 
 from __future__ import annotations
@@ -37,7 +48,38 @@ from repro.expr.ast import Expr, Program, Statement, TensorRef
 from repro.expr.canonical import flatten
 from repro.expr.indices import Bindings, Index
 from repro.robustness.errors import SpecError
-from repro.sparse.formats import COOTensor, as_coo
+from repro.semiring import Semiring, get_semiring, require_unit_coef
+from repro.sparse.formats import COOTensor, as_coo, as_dense
+
+
+class _Entries:
+    """Coordinate list of one operand's semiring-stored entries.
+
+    Duck-compatible with the ``coords``/``values``/``nnz`` surface the
+    join uses.  Exists because :class:`COOTensor` canonicalization drops
+    stored ``0.0`` values -- under ``min_plus`` those are identity
+    elements that must survive compression.
+    """
+
+    __slots__ = ("coords", "values", "nnz")
+
+    def __init__(self, coords: np.ndarray, values: np.ndarray) -> None:
+        self.coords = coords
+        self.values = values
+        self.nnz = len(values)
+
+
+def _compress(dense: np.ndarray, sr: Semiring) -> _Entries:
+    """Stored entries of a dense array: everything ``!= sr.zero``."""
+    dense = np.asarray(dense, dtype=np.float64)
+    mask = dense != sr.zero
+    coords = np.argwhere(mask)
+    if dense.ndim == 0:
+        coords = np.zeros((1 if mask else 0, 0), dtype=np.int64)
+        values = dense.reshape(1)[: len(coords)]
+    else:
+        values = dense[tuple(coords.T)] if coords.size else dense.ravel()[:0]
+    return _Entries(coords, values)
 
 
 def _ref_as_coo(
@@ -46,8 +88,15 @@ def _ref_as_coo(
     bindings: Optional[Bindings],
     functions: Mapping[str, FunctionImpl],
     counters: Counters,
-) -> COOTensor:
-    """Stored nonzeros of one factor (function tensors materialize)."""
+    sr: Semiring,
+):
+    """Stored entries of one factor (function tensors materialize).
+
+    Returns a :class:`COOTensor` under ``plus_times``; under any other
+    algebra, a :class:`_Entries` compressed with the semiring-aware
+    predicate (sparse containers densify first: their absent entries
+    are classical zeros, which are ordinary carrier values there).
+    """
     if ref.tensor.is_function:
         impl = functions.get(ref.tensor.name)
         if impl is None:
@@ -60,24 +109,30 @@ def _ref_as_coo(
         dense = _materialize_function(ref, impl, bindings)
         counters.func_evals += dense.size
         counters.func_ops += dense.size * ref.tensor.compute_cost
+        if not sr.is_default:
+            return _compress(dense, sr)
         return COOTensor.from_dense(dense)
     try:
-        return as_coo(arrays[ref.tensor.name])
+        stored = arrays[ref.tensor.name]
     except KeyError:
         raise SpecError(
             f"no array provided for tensor {ref.tensor.name!r}",
             stage="execution",
             tensor=ref.tensor.name,
         ) from None
+    if not sr.is_default:
+        return _compress(as_dense(stored), sr)
+    return as_coo(stored)
 
 
 def _join_term(
     coef: float,
     refs: Sequence[TensorRef],
-    operands: Sequence[COOTensor],
+    operands: Sequence[object],
     out_indices: Tuple[Index, ...],
     acc: Dict[Tuple[int, ...], float],
     counters: Counters,
+    sr: Semiring,
 ) -> None:
     """Multi-way hash join of one product term into the accumulator."""
     # visit small factors first: they bind indices cheaply and prune early
@@ -99,11 +154,18 @@ def _join_term(
 
     n = len(plans)
     muls_per_match = max(n - 1, 0) + (0 if coef in (1.0, -1.0) else 1)
+    if not sr.is_default:
+        require_unit_coef(coef, sr, stage="execution")
+    combine = sr.py_combine
+    reduce_ = sr.py_reduce
 
     def descend(depth: int, env: Dict[Index, int], product: float) -> None:
         if depth == n:
             key = tuple(env[i] for i in out_indices)
-            acc[key] = acc.get(key, 0.0) + coef * product
+            if sr.is_default:
+                acc[key] = acc.get(key, 0.0) + coef * product
+            else:
+                acc[key] = reduce_(acc.get(key, sr.zero), product)
             counters.flops += muls_per_match + 1
             return
         ref, table, key_pos, indices = plans[depth]
@@ -124,9 +186,15 @@ def _join_term(
                     consistent = False
                     break
             if consistent:
-                descend(depth + 1, new_env, product * value)
+                descend(
+                    depth + 1,
+                    new_env,
+                    product * value
+                    if sr.is_default
+                    else combine(product, value),
+                )
 
-    descend(0, {}, 1.0)
+    descend(0, {}, 1.0 if sr.is_default else sr.one)
 
 
 def evaluate_expression(
@@ -138,6 +206,7 @@ def evaluate_expression(
     *,
     validate: bool = True,
     check_finite: bool = False,
+    semiring: str = "plus_times",
 ) -> np.ndarray:
     """Evaluate ``expr`` by nonzero iteration (axes: ``sorted(expr.free)``).
 
@@ -148,9 +217,16 @@ def evaluate_expression(
     ``validate`` checks presence/shape/dtype of every referenced array
     up front so failures name the offending tensor (sparse containers
     are checked through their ``shape``/``values``).
+
+    A non-default ``semiring`` switches the stored-entry predicate to
+    ``!= semiring.zero`` and the join arithmetic to combine/reduce;
+    ``check_finite`` is skipped there (``inf`` identities are data).
     """
     from repro.robustness.validation import validate_env
 
+    sr = get_semiring(semiring)
+    if not sr.is_default:
+        check_finite = False
     functions = functions or {}
     counters = counters if counters is not None else Counters()
     terms = flatten(expr)
@@ -167,13 +243,20 @@ def evaluate_expression(
     acc: Dict[Tuple[int, ...], float] = {}
     for coef, _sum_indices, refs in terms:
         operands = [
-            _ref_as_coo(ref, arrays, bindings, functions, counters)
+            _ref_as_coo(ref, arrays, bindings, functions, counters, sr)
             for ref in refs
         ]
-        _join_term(coef, refs, operands, out_indices, acc, counters)
-    result = np.zeros(out_shape)
+        _join_term(coef, refs, operands, out_indices, acc, counters, sr)
+    result = (
+        np.zeros(out_shape)
+        if sr.is_default
+        else np.full(out_shape, sr.zero)
+    )
     for key, value in acc.items():
-        result[key] += value
+        if sr.is_default:
+            result[key] += value
+        else:
+            result[key] = value  # acc keys are unique; start is sr.zero
     return result
 
 
@@ -183,34 +266,39 @@ def run_statements(
     bindings: Optional[Bindings] = None,
     functions: Optional[Mapping[str, FunctionImpl]] = None,
     counters: Optional[Counters] = None,
+    *,
+    semiring: str = "plus_times",
 ) -> Dict[str, np.ndarray]:
     """Execute a formula sequence sparsely; returns dense arrays.
 
     Mirrors :func:`repro.engine.executor.run_statements`: produced
     arrays use the result tensor's declared axis order and ``+=``
-    accumulates.  Inputs may be sparse tensors; the returned environment
-    is dense for interchangeability with the dense substrates
-    (intermediates are re-compressed on their next sparse use, keeping
-    *dynamic* zeros out of later joins).
+    accumulates (the registered reduce op under a non-default
+    ``semiring``).  Inputs may be sparse tensors; the returned
+    environment is dense for interchangeability with the dense
+    substrates (intermediates are re-compressed on their next sparse
+    use, keeping *dynamic* zeros out of later joins).
     """
+    sr = get_semiring(semiring)
     counters = counters if counters is not None else Counters()
     env: Dict[str, object] = dict(inputs)
     for stmt in statements:
         value = evaluate_expression(
-            stmt.expr, env, bindings, functions, counters
+            stmt.expr, env, bindings, functions, counters,
+            semiring=semiring,
         )
         sorted_order = tuple(sorted(stmt.result.indices))
         perm = tuple(sorted_order.index(i) for i in stmt.result.indices)
         value = np.transpose(value, perm) if perm else value
         name = stmt.result.name
         if stmt.accumulate and name in env:
-            from repro.sparse.formats import as_dense
-
-            env[name] = as_dense(env[name]) + value
+            env[name] = (
+                as_dense(env[name]) + value
+                if sr.is_default
+                else sr.np_reduce(as_dense(env[name]), value)
+            )
         else:
             env[name] = value
-    from repro.sparse.formats import as_dense
-
     return {k: as_dense(v) for k, v in env.items()}
 
 
